@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation; see EXPERIMENTS.md for the index and DESIGN.md for the shape
+criteria.  Corpus profiles are generated once per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.profilers.corpus import generate_bytes, tier
+
+#: Set EASYVIEW_BENCH_LARGE=0 to skip the ~20 s/viewer large tier.
+LARGE_ENABLED = os.environ.get("EASYVIEW_BENCH_LARGE", "1") != "0"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """name → serialized pprof bytes for the Fig. 5 tiers."""
+    names = ["small", "medium"] + (["large"] if LARGE_ENABLED else [])
+    return {name: generate_bytes(tier(name)) for name in names}
+
+
+@pytest.fixture(scope="session")
+def small_bytes(corpus):
+    return corpus["small"]
+
+
+@pytest.fixture(scope="session")
+def medium_bytes(corpus):
+    return corpus["medium"]

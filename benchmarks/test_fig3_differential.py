@@ -1,0 +1,77 @@
+"""Figure 3 — differential top-down flame graph: Spark RDD vs SQL APIs.
+
+The paper diffs two Async-Profiler captures of SparkBench — P1 on the RDD
+APIs, P2 on the SQL Dataset APIs — and reads the result off the tags: the
+executor scaffolding shrinks ([-]), the SQL engine contexts appear ([A]),
+the iterator/shuffle pipeline disappears ([D]), and overall the SQL run is
+clearly faster thanks to the efficient SQL engine and shuffle bypass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diff import (add_delta_column, diff_profiles, summarize,
+                                 TAG_ADDED, TAG_DELETED, TAG_SHRANK)
+from repro.profilers.workloads import spark_profile
+from repro.viz.flamegraph import FlameGraph
+from repro.viz.terminal import render_tree_text
+
+
+def test_fig3_differential_flamegraph(benchmark):
+    """Regenerate the differential view and check its tag structure."""
+    rdd = spark_profile("rdd")
+    sql = spark_profile("sql")
+
+    tree = benchmark.pedantic(lambda: diff_profiles(rdd, sql),
+                              rounds=3, iterations=1)
+
+    tags = summarize(tree)
+    print("\nFigure 3 — differential view, Spark RDD (P1) vs SQL (P2)")
+    print(render_tree_text(tree, max_depth=12))
+    print("tag counts:", tags)
+
+    # Shape: all three expected change classes are present.
+    assert tags.get(TAG_ADDED, 0) >= 3      # SQL engine contexts
+    assert tags.get(TAG_DELETED, 0) >= 3    # RDD iterator chain
+    assert tags.get(TAG_SHRANK, 0) >= 3     # shared scaffolding got cheaper
+
+    # Shape: the SQL variant wins overall, by roughly 2x.
+    ratio = rdd.total("cpu") / sql.total("cpu")
+    assert 1.5 <= ratio <= 3.0, ratio
+
+    # The specific contexts the paper's figure shows.
+    added = {n.frame.name for n in tree.nodes() if n.tag == TAG_ADDED}
+    deleted = {n.frame.name for n in tree.nodes() if n.tag == TAG_DELETED}
+    assert any("WholeStageCodegen" in name or "UnsafeRow" in name
+               for name in added)
+    assert any("Iterator" in name or "CartesianRDD" in name
+               for name in deleted)
+
+    benchmark.extra_info["tags"] = tags
+    benchmark.extra_info["rdd_over_sql"] = round(ratio, 2)
+
+
+def test_fig3_diff_render(benchmark):
+    """Benchmark rendering the differential flame graph to SVG."""
+    graph = FlameGraph.differential(spark_profile("rdd"),
+                                    spark_profile("sql"))
+    svg = benchmark(graph.to_svg)
+    assert "Differential" in svg
+
+
+def test_fig3_delta_columns(benchmark):
+    """The quantified difference (delta and ratio columns)."""
+    tree = diff_profiles(spark_profile("rdd"), spark_profile("sql"))
+
+    def add_columns():
+        local = diff_profiles(spark_profile("rdd"), spark_profile("sql"))
+        delta = add_delta_column(local, 0, mode="subtract")
+        ratio = add_delta_column(local, 0, mode="ratio")
+        return local, delta, ratio
+
+    local, delta, ratio = benchmark.pedantic(add_columns, rounds=2,
+                                             iterations=1)
+    root_delta = local.root.inclusive[delta]
+    assert root_delta < 0   # P2 cheaper than P1 overall
+    benchmark.extra_info["total_delta"] = round(root_delta, 1)

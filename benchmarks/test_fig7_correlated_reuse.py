@@ -1,0 +1,72 @@
+"""Figure 7 + §VII-C2 (second half) — correlated flame graphs on LULESH.
+
+DrCCTProf's use/reuse profile, shown as three correlated panes
+(allocations → uses of the selected allocation → reuses of the selected
+use), exposes a reuse pair spanning the volume-force and hourglass-force
+loops.  Hoisting both to their least common ancestor
+(``CalcVolumeForceForElems``) and fusing the loops yields the paper's ~28%
+additional speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reuse import fusion_candidates
+from repro.profilers.workloads import (lulesh_fused_profile, lulesh_profile,
+                                       lulesh_reuse_profile)
+from repro.viz.flamegraph import CorrelatedView
+
+
+@pytest.fixture(scope="module")
+def reuse_profile():
+    return lulesh_reuse_profile(scale=4)
+
+
+def test_fig7_correlated_panes(benchmark, reuse_profile):
+    """Regenerate the ①/② interaction across the three panes."""
+    def interact():
+        view = CorrelatedView(reuse_profile)
+        allocations = view.allocations()
+        uses = view.select_allocation(allocations[0][0])   # click ①
+        reuses = view.select_use(uses[0][0])               # click ②
+        return view, allocations, uses, reuses
+
+    view, allocations, uses, reuses = benchmark.pedantic(
+        interact, rounds=3, iterations=1)
+
+    print("\nFigure 7 — correlated flame graphs")
+    print(view.render_text())
+
+    # Shape: the hottest allocation is the element scratch array, its
+    # dominant use is in the volume-force loop, and the reuse that follows
+    # lives in the hourglass-force loop.
+    assert allocations[0][0].frame.name == "dvdx[]"
+    assert uses[0][0].frame.name == "IntegrateStressForElems"
+    assert reuses[0][0].frame.name == "CalcFBHourglassForceForElems"
+
+    # Shape: volumes decrease along the drill-down.
+    assert allocations[0][1] >= uses[0][1] >= reuses[0][1]
+
+
+def test_fig7_fusion_guidance(benchmark, reuse_profile):
+    """The hoisting guidance: LCA of the hottest use/reuse pair."""
+    candidates = benchmark.pedantic(
+        lambda: fusion_candidates(reuse_profile), rounds=3, iterations=1)
+    top = candidates[0]
+    print("\nguidance: hoist %s and %s to %s"
+          % (top.use.frame.name, top.reuse.frame.name, top.hoist_target()))
+    assert "CalcVolumeForceForElems" in top.hoist_target()
+    benchmark.extra_info["hoist_target"] = top.hoist_target()
+
+
+def test_fig7_fusion_speedup(benchmark):
+    """The optimization the view motivates: loop fusion ⇒ ~28%."""
+    fused_total = benchmark.pedantic(
+        lambda: lulesh_fused_profile(scale=4).total("cpu_time"),
+        rounds=2, iterations=1)
+    before = lulesh_profile(scale=4).total("cpu_time")
+    speedup = before / fused_total
+    print("\n§VII-C2 — loop fusion: %.2fx speedup (paper: ~1.28x)" % speedup)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    assert 1.18 <= speedup <= 1.45

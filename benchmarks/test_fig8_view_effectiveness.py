@@ -1,0 +1,44 @@
+"""Figure 8 — per-view effectiveness from the 26-participant survey.
+
+The paper reports the percentage of participants who found each view
+effective: flame graphs beat tree tables overall (92.3% vs 84.6%) and,
+within both families, top-down > bottom-up > flat.  We replay the survey
+model (see ``repro.study.survey`` for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.survey import run_survey
+
+
+def test_fig8_view_effectiveness(benchmark):
+    """Regenerate the Fig. 8 bars and check every ordering."""
+    outcome = benchmark.pedantic(run_survey, rounds=5, iterations=1)
+
+    print("\nFigure 8 — %% of participants finding each view effective")
+    print(outcome.render())
+
+    # Headline comparison (paper: 92.3% vs 84.6%).
+    flame = outcome.any_flame_percent()
+    table = outcome.any_table_percent()
+    assert flame > table
+    assert 85 <= flame <= 100
+    assert 75 <= table <= 95
+
+    # Within each family: top-down ≥ bottom-up ≥ flat.
+    for family in ("flame", "table"):
+        td = outcome.percent(family, "top_down")
+        bu = outcome.percent(family, "bottom_up")
+        fl = outcome.percent(family, "flat")
+        assert td >= bu >= fl, (family, td, bu, fl)
+
+    # Per shape: the flame variant is at least as effective as the table.
+    for shape in ("top_down", "bottom_up", "flat"):
+        assert outcome.percent("flame", shape) >= \
+            outcome.percent("table", shape)
+
+    benchmark.extra_info["percentages"] = {
+        "%s/%s" % key: round(value, 1)
+        for key, value in outcome.effective_percent.items()}

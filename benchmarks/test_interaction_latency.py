@@ -1,0 +1,89 @@
+"""Supplementary bench — interaction latency (§III's "Efficient" design
+principle: "users can enjoy low response time and smooth interactions").
+
+Fig. 5 measures the *open* path; this suite measures the interactions
+that follow — shape switches, search, zoom, click-to-source, tree-table
+expansion — on an already-open medium-tier profile.  Smoothness target:
+each interaction completes well under the ~100 ms perception budget
+(asserted loosely at 500 ms to stay robust on loaded CI machines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.converters.pprof import parse as parse_pprof
+from repro.ide.mock_ide import MockIDE
+
+SMOOTH_SECONDS = 0.5
+
+
+@pytest.fixture(scope="module")
+def open_session(medium_bytes):
+    ide = MockIDE()
+    profile = parse_pprof(medium_bytes)
+    opened = ide.session.open(profile)
+    # Warm the top-down view so interaction benches measure interaction,
+    # not first-view construction.
+    ide.session.view(opened.id, "top_down")
+    return ide, opened
+
+
+def test_switch_to_bottom_up(benchmark, open_session):
+    ide, opened = open_session
+    result = benchmark.pedantic(
+        lambda: ide.request("view/switchShape", profileId=opened.id,
+                            shape="bottom_up"),
+        rounds=2, iterations=1)
+    assert result["blocks"] > 0
+    assert benchmark.stats.stats.min < 30  # sanity: it ran
+
+
+def test_search_latency(benchmark, open_session):
+    ide, opened = open_session
+    result = benchmark(lambda: ide.request(
+        "view/search", profileId=opened.id, pattern="Serve"))
+    assert result["matches"]
+    assert benchmark.stats.stats.mean < SMOOTH_SECONDS
+
+
+def test_zoom_latency(benchmark, open_session):
+    ide, opened = open_session
+    match_ref = ide.request("view/search", profileId=opened.id,
+                            pattern="Serve")["matches"][0]
+    result = benchmark(lambda: ide.request(
+        "view/zoom", profileId=opened.id, nodeRef=match_ref))
+    assert result["blocks"] >= 1
+    assert benchmark.stats.stats.mean < SMOOTH_SECONDS
+
+
+def test_click_to_source_latency(benchmark, open_session):
+    ide, opened = open_session
+    match_ref = ide.request("view/search", profileId=opened.id,
+                            pattern="Serve")["matches"][0]
+    result = benchmark(lambda: ide.request(
+        "view/select", profileId=opened.id, nodeRef=match_ref))
+    assert benchmark.stats.stats.mean < SMOOTH_SECONDS
+
+
+def test_table_hot_path_latency(benchmark, open_session):
+    ide, opened = open_session
+    result = benchmark(lambda: ide.request(
+        "view/tableExpand", profileId=opened.id, hotPath=True,
+        maxRows=50))
+    assert result["rows"]
+    assert benchmark.stats.stats.mean < SMOOTH_SECONDS
+
+
+def test_derive_metric_latency(benchmark, open_session):
+    ide, opened = open_session
+    counter = [0]
+
+    def derive():
+        counter[0] += 1
+        return ide.request("view/deriveMetric", profileId=opened.id,
+                           name="cpu_scaled_%d" % counter[0],
+                           formula="cpu / 1000")
+
+    result = benchmark.pedantic(derive, rounds=3, iterations=1)
+    assert "metricIndex" in result

@@ -1,0 +1,64 @@
+"""Supplementary bench — multi-profile operations (§V-A(c)).
+
+Aggregation and differencing are the operations that separate EasyView
+from single-profile viewers (the whole of Task III hinges on them), so
+their cost must stay interactive as the number of profiles grows.  This
+bench aggregates N spark-shaped profiles and diffs two corpus-scale
+profiles, asserting interactive-grade latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregate import aggregate_profiles
+from repro.analysis.diff import diff_profiles, summarize
+from repro.converters.pprof import parse as parse_pprof
+from repro.profilers.corpus import CorpusSpec, generate_bytes
+from repro.profilers.workloads import spark_profile
+
+
+@pytest.fixture(scope="module")
+def spark_fleet():
+    # 16 per-executor profiles with different seeds (distinct jitter).
+    return [spark_profile("rdd", seed=100 + i) for i in range(16)]
+
+
+@pytest.mark.parametrize("count", [2, 8, 16])
+def test_aggregate_scaling(benchmark, spark_fleet, count):
+    """Aggregation cost grows roughly linearly in profile count."""
+    tree = benchmark.pedantic(
+        lambda: aggregate_profiles(spark_fleet[:count]),
+        rounds=3, iterations=1)
+    # Every context carries a series of exactly `count` entries.
+    task = tree.find_by_name("Task.run")[0]
+    assert len(task.histogram[0]) == count
+    benchmark.extra_info["profiles"] = count
+
+
+def test_diff_medium_profiles(benchmark):
+    """Differencing two ~40k-context profiles stays interactive."""
+    spec_a = CorpusSpec("diff-a", functions=1000, samples=10_000,
+                        max_depth=32, seed=5)
+    spec_b = CorpusSpec("diff-b", functions=1000, samples=10_000,
+                        max_depth=32, seed=6)
+    baseline = parse_pprof(generate_bytes(spec_a))
+    treatment = parse_pprof(generate_bytes(spec_b))
+
+    tree = benchmark.pedantic(
+        lambda: diff_profiles(baseline, treatment),
+        rounds=2, iterations=1)
+    tags = summarize(tree)
+    assert sum(tags.values()) == tree.node_count() - 1
+    benchmark.extra_info["nodes"] = tree.node_count()
+
+
+def test_snapshot_aggregation(benchmark):
+    """The Task III path: aggregating a 20-capture snapshot series."""
+    from repro.analysis.aggregate import snapshot_series
+    from repro.profilers.workloads import grpc_client_profile
+    profile = grpc_client_profile(clients=50, snapshots=20)
+
+    series = benchmark(lambda: snapshot_series(profile, "inuse_bytes"))
+    assert series
+    assert all(len(values) == 20 for values in series.values())

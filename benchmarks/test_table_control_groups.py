@@ -1,0 +1,68 @@
+"""§VII-D control groups — Task I/II/III times per tool.
+
+The paper's experimental group (EasyView) and two control groups (default
+PProf viewer, GoLand's pprof plugin), 7 people each, perform three tasks:
+
+* Task I (top-down hotspots): ~10 min vs ~30 min vs ~15 min;
+* Task II (bottom-up callers): ~10 min vs >3 h vs ~1 h;
+* Task III (leak across snapshots): ~10 min vs DNF vs DNF.
+
+We replay the simulation (see ``repro.study`` for the substitution
+rationale), feeding it the *measured* per-tool open times from the Fig. 5
+pipelines so the two experiments stay coupled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EasyViewViewer, GoLandViewer, PProfViewer
+from repro.study.simulate import render_table, run_study
+
+
+def measured_open_seconds(corpus) -> dict:
+    """Per-tool response time on the largest generated tier."""
+    biggest = corpus[max(corpus, key=lambda name: len(corpus[name]))]
+    return {
+        "easyview": EasyViewViewer().open_profile(biggest).seconds,
+        "pprof": PProfViewer().open_profile(biggest).seconds,
+        "goland": GoLandViewer().open_profile(biggest).seconds,
+    }
+
+
+def test_control_group_table(benchmark, corpus):
+    """Regenerate the study table and check all nine cells' bands."""
+    open_seconds = measured_open_seconds(corpus)
+    table = benchmark.pedantic(
+        lambda: run_study(open_seconds=open_seconds),
+        rounds=3, iterations=1)
+
+    print("\n§VII-D — control-group study (group means)")
+    print("measured open times: %s"
+          % {k: round(v, 2) for k, v in open_seconds.items()})
+    print(render_table(table))
+
+    t = {tool: {task: cell for task, cell in cells.items()}
+         for tool, cells in table.items()}
+
+    # Task I: EasyView ~10, GoLand ~15, PProf ~30 (minutes).
+    assert t["easyview"]["task1"].mean_minutes < \
+        t["goland"]["task1"].mean_minutes < t["pprof"]["task1"].mean_minutes
+    assert 7 <= t["easyview"]["task1"].mean_minutes <= 14
+    assert 24 <= t["pprof"]["task1"].mean_minutes <= 40
+
+    # Task II: EasyView ~10, GoLand ~60, PProf ≈3 h but completes.
+    assert t["easyview"]["task2"].mean_minutes <= 15
+    assert 40 <= t["goland"]["task2"].mean_minutes <= 85
+    assert t["pprof"]["task2"].mean_minutes >= 150
+    assert t["pprof"]["task2"].completion_rate == 1.0
+
+    # Task III: EasyView ~10 min; both control groups give up.
+    assert t["easyview"]["task3"].mean_minutes <= 15
+    assert t["easyview"]["task3"].completion_rate == 1.0
+    assert t["pprof"]["task3"].completion_rate == 0.0
+    assert t["goland"]["task3"].completion_rate == 0.0
+
+    benchmark.extra_info["table"] = {
+        tool: {task: cell.render() for task, cell in cells.items()}
+        for tool, cells in table.items()}

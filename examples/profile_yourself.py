@@ -1,0 +1,83 @@
+"""Profile real Python code with the built-in profilers and explore the
+result through the full EasyView stack.
+
+Run with::
+
+    python examples/profile_yourself.py
+
+Uses the tracing profiler (exact call accounting via ``sys.setprofile``)
+and the heap-snapshot profiler (``tracemalloc``) on a small workload, then
+opens both profiles in the viewer session with a scripted IDE attached —
+the same protocol path the VSCode extension would drive.
+"""
+
+import json
+
+from repro.analysis.leak import detect_leaks
+from repro.ide.mock_ide import MockIDE
+from repro.profilers.memsnap import snapshot_workload
+from repro.profilers.tracing import profile_callable
+from repro.viz.flamegraph import FlameGraph
+
+
+# --- a deliberately imperfect workload --------------------------------------
+
+_CACHE = []
+
+
+def parse_records(n):
+    """CPU-ish work: parse and re-serialize some JSON records."""
+    blob = json.dumps({"values": list(range(50))})
+    return [json.loads(blob) for _ in range(n)]
+
+
+def remember_forever(n):
+    """Leak-ish work: append buffers to a module-level cache."""
+    for _ in range(n):
+        _CACHE.append(bytearray(16 * 1024))
+
+
+def workload():
+    records = parse_records(400)
+    remember_forever(20)
+    return len(records)
+
+
+# -----------------------------------------------------------------------------
+
+
+def main():
+    print("== tracing profiler (exact call accounting) ==")
+    result, cpu_profile = profile_callable(workload)
+    print("workload returned %d; %d contexts captured"
+          % (result, cpu_profile.node_count()))
+
+    graph = FlameGraph.top_down(cpu_profile, metric="wall_time")
+    print(graph.to_text(width=78))
+
+    print("\n== open it in the (scripted) IDE ==")
+    ide = MockIDE()
+    opened = ide.session.open(cpu_profile)
+    matches = ide.session.view(opened.id, "top_down")
+    from repro.analysis.query import search
+    hot = search(matches, "parse_records")[0]
+    link = ide.session.select(opened.id, hot)
+    print("clicking parse_records code-links to %s:%d"
+          % (link.file, link.line))
+
+    print("\n== heap-snapshot profiler (leak check) ==")
+    heap_profile = snapshot_workload(lambda step: remember_forever(5),
+                                     steps=6)
+    verdicts = detect_leaks(heap_profile, "inuse_bytes",
+                            min_peak=32 * 1024)
+    for verdict in verdicts[:3]:
+        print("  " + verdict.describe())
+    flagged = [v for v in verdicts if v.suspicious]
+    if flagged:
+        path = flagged[0].context.call_path()
+        print("top suspect's allocation path tail: ... %s"
+              % " -> ".join(str(f.location) for f in path[-2:]))
+
+
+if __name__ == "__main__":
+    main()

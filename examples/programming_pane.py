@@ -1,0 +1,84 @@
+"""The programming pane (§V-B): customize the analysis with user scripts.
+
+Run with::
+
+    python examples/programming_pane.py
+
+EasyView's GUI exposes a pane where users write Python that runs against
+the viewer's internal trees.  This example drives the same machinery: a
+script that derives a new metric, one that registers node-visit callbacks
+(elision and renaming) which the next transform applies, the preset
+catalogue for common hardware-counter formulas, and per-thread splitting.
+"""
+
+from repro import ProfileBuilder
+from repro.analysis.pane import ProgrammingPane
+from repro.analysis.presets import apply_all, applicable_presets
+from repro.analysis.threads import imbalance, split_by_thread
+from repro.analysis.transform import top_down
+from repro.core.frame import FrameKind, intern_frame
+from repro.viz.terminal import render_tree_text
+
+
+def build_hw_profile():
+    """A perf-style profile with hardware-counter metrics and threads."""
+    builder = ProfileBuilder(tool="perf")
+    cycles = builder.metric("cycles", unit="count")
+    instructions = builder.metric("instructions", unit="count")
+    misses = builder.metric("cache_misses", unit="count")
+
+    def thread(name):
+        return intern_frame(name, kind=FrameKind.THREAD)
+
+    builder.sample([thread("worker-0"), ("main", "app.c", 3),
+                    ("transform", "app.c", 40)],
+                   {cycles: 9e6, instructions: 2.2e6, misses: 60_000})
+    builder.sample([thread("worker-0"), ("main", "app.c", 3),
+                    ("checksum", "app.c", 80)],
+                   {cycles: 2e6, instructions: 1.9e6, misses: 800})
+    builder.sample([thread("worker-1"), ("main", "app.c", 3),
+                    ("transform", "app.c", 40)],
+                   {cycles: 4e6, instructions: 1.0e6, misses: 26_000})
+    return builder.build()
+
+
+def main():
+    profile = build_hw_profile()
+    tree = top_down(profile)
+
+    print("== preset catalogue ==")
+    for preset in applicable_presets(tree):
+        print("  %-12s %s" % (preset.name, preset.formula))
+    applied = apply_all(tree)
+    print("applied:", ", ".join(applied))
+
+    print("\n== pane script: find the cache-hostile contexts ==")
+    pane = ProgrammingPane(tree)
+    outcome = pane.run(
+        "bad = [n for n in nodes()\n"
+        "       if value(n, 'instructions') > 0\n"
+        "       and value(n, 'mpki') > 10]\n"
+        "for n in sorted(bad, key=lambda n: -value(n, 'mpki')):\n"
+        "    emit('%-30s mpki=%.1f cpi=%.2f'\n"
+        "         % (n.frame.name, value(n, 'mpki'), value(n, 'cpi')))\n"
+        "result = len(bad)\n")
+    for line in outcome.output:
+        print("  " + line)
+    print("  (%d flagged)" % outcome.result)
+
+    print("\n== pane script: reshape the view ==")
+    outcome = pane.run(
+        "elide(lambda node: node.frame.name == 'checksum')\n"
+        "emit('hiding checksum contexts')\n")
+    reshaped = top_down(profile, customization=outcome.customization)
+    print(render_tree_text(reshaped, max_depth=3))
+
+    print("\n== per-thread view ==")
+    print("imbalance on cycles: %.2f (max/mean)"
+          % imbalance(profile, "cycles"))
+    for name, part in split_by_thread(profile).items():
+        print("  %-10s %.0f cycles" % (name, part.total("cycles")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Quickstart: build a profile, analyze it, render it, annotate source.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the core API end to end: the data builder (how profilers emit
+EasyView data), the three view shapes, search, derived metrics, and the
+IDE annotations, all on a small hand-made profile.
+"""
+
+from repro import ProfileBuilder
+from repro.analysis.formula import derive
+from repro.analysis.prune import hot_path
+from repro.ide.annotations import build_code_lenses, build_hover
+from repro.viz.flamegraph import FlameGraph
+from repro.viz.terminal import render_summary
+from repro.viz.treetable import TreeTable
+
+
+def build_example_profile():
+    """A profiler's-eye view: declare metrics, then stream samples."""
+    builder = ProfileBuilder(tool="quickstart")
+    cpu = builder.metric("cpu", unit="nanoseconds")
+    allocations = builder.metric("alloc", unit="bytes")
+
+    # Root-first call stacks with exclusive metric values.
+    builder.sample([("main", "app.py", 3), ("load_config", "config.py", 10)],
+                   {cpu: 4_000_000})
+    builder.sample([("main", "app.py", 3), ("serve", "server.py", 22),
+                    ("handle_request", "server.py", 40),
+                    ("render_json", "codec.py", 8)],
+                   {cpu: 95_000_000, allocations: 3_500_000})
+    builder.sample([("main", "app.py", 3), ("serve", "server.py", 22),
+                    ("handle_request", "server.py", 40),
+                    ("query_db", "db.py", 31)],
+                   {cpu: 61_000_000, allocations: 400_000})
+    builder.sample([("main", "app.py", 3), ("serve", "server.py", 22),
+                    ("log_access", "logging.py", 77)],
+                   {cpu: 9_000_000, allocations: 120_000})
+    # Dispatch overhead measured in handle_request itself.
+    builder.sample([("main", "app.py", 3), ("serve", "server.py", 22),
+                    ("handle_request", "server.py", 40)],
+                   {cpu: 6_000_000})
+    return builder.build()
+
+
+def main():
+    profile = build_example_profile()
+    print("== profile summary ==")
+    for key, value in profile.summary().items():
+        print("  %s: %s" % (key, value))
+
+    print("\n== top-down flame graph (terminal rendering) ==")
+    graph = FlameGraph.top_down(profile, metric="cpu")
+    print(graph.to_text(width=78))
+
+    print("\n== hottest contexts ==")
+    print(render_summary(graph.tree))
+
+    print("\n== hot path ==")
+    for node in hot_path(graph.tree):
+        print("  -> %s" % node.frame.label())
+
+    print("\n== search: everything matching 'request' ==")
+    for node in graph.search("request"):
+        print("  %s (%.1f%% of cpu)" % (
+            node.frame.label(),
+            100.0 * node.inclusive[0] / graph.tree.total(0)))
+
+    print("\n== derived metric: bytes allocated per cpu millisecond ==")
+    index = derive(graph.tree, "bytes_per_ms", "alloc / (cpu / 1000000)")
+    for node in graph.tree.top(index, count=3):
+        print("  %-40s %.0f" % (node.frame.label(),
+                                node.inclusive[index]))
+
+    print("\n== tree table (bottom-up, all metrics) ==")
+    table = TreeTable(FlameGraph.bottom_up(profile).tree)
+    table.expand_hot_path()
+    print(table.render_text(max_rows=12))
+
+    print("\n== IDE annotations for server.py ==")
+    for lens in build_code_lenses(graph.tree, file="server.py"):
+        print("  server.py:%d  ⟪%s⟫" % (lens.line, lens.text))
+    hover = build_hover(graph.tree, "codec.py", 8,
+                        tips=["JSON rendering dominates; consider a "
+                              "streaming encoder"])
+    print("\n".join("  " + line for line in hover.lines))
+
+    # Write the SVG next to this script for a browser look.
+    out = __file__.replace(".py", ".svg")
+    with open(out, "w") as handle:
+        handle.write(graph.to_svg(title="quickstart profile"))
+    print("\nwrote %s" % out)
+
+
+if __name__ == "__main__":
+    main()

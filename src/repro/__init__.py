@@ -1,0 +1,44 @@
+"""repro — a faithful Python reproduction of EasyView (CGO 2024).
+
+EasyView brings performance profiles into IDEs: a generic calling-context-
+tree representation of profiles, converters from mainstream profiler
+formats, an analysis engine (transforms, aggregation, differencing, derived
+metrics), flame-graph/tree-table visualization, and an LSP-style protocol
+binding views to source code.
+
+Quickstart::
+
+    from repro import ProfileBuilder, open_profile
+    from repro.viz import render_flamegraph
+
+See README.md for the full tour.
+"""
+
+from .builder import ProfileBuilder, validate
+from .core import (CCT, CCTNode, Frame, FrameKind, Metric, MetricSchema,
+                   MonitoringPoint, PointKind, Profile, ProfileMeta,
+                   intern_frame)
+from .core.serialize import dump, dumps, load, loads
+from .errors import (AnalysisError, ConversionError, EasyViewError,
+                     FormatError, FormulaError, ProtocolError, SchemaError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProfileBuilder", "validate", "CCT", "CCTNode", "Frame", "FrameKind",
+    "Metric", "MetricSchema", "MonitoringPoint", "PointKind", "Profile",
+    "ProfileMeta", "intern_frame", "dump", "dumps", "load", "loads",
+    "EasyViewError", "FormatError", "ConversionError", "SchemaError",
+    "AnalysisError", "FormulaError", "ProtocolError", "open_profile",
+    "__version__",
+]
+
+
+def open_profile(path, format=None):
+    """Open a profile of any supported format (auto-sniffed by default).
+
+    A convenience wrapper around :func:`repro.converters.open_profile`,
+    imported lazily to keep base import time low.
+    """
+    from .converters import open_profile as _open
+    return _open(path, format=format)

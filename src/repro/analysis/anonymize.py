@@ -1,0 +1,122 @@
+"""Profile anonymization for safe sharing.
+
+§II calls out that upload-based visualizers "raise some security and
+privacy concerns", and EasyView's answer is local processing.  When a
+profile *must* leave the machine anyway (attaching it to a public bug
+report, sharing with a vendor), this module strips the identifying
+content while preserving every analyzable property:
+
+* function/file/module/object names are replaced by stable pseudonyms
+  (``fn_3f2a…``) derived from a keyed hash, so equal names map to equal
+  pseudonyms and all views, diffs, and aggregations still line up —
+  including across two profiles anonymized with the same key;
+* line numbers and instruction addresses are dropped (or kept, opt-in);
+* free-form metadata attributes are removed;
+* metric names, values, tree structure, and monitoring points are kept
+  verbatim — the performance content is the point of sharing.
+
+The mapping is one-way; whoever holds the key can regenerate it with
+:func:`mapping_for` to translate findings back to real names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict, Iterable, Optional
+
+from ..core.cct import CCTNode
+from ..core.frame import Frame, FrameKind, intern_frame
+from ..core.monitor import MonitoringPoint
+from ..core.profile import Profile, ProfileMeta
+
+_PREFIX = {
+    FrameKind.FUNCTION: "fn",
+    FrameKind.LOOP: "loop",
+    FrameKind.BASIC_BLOCK: "blk",
+    FrameKind.INSTRUCTION: "insn",
+    FrameKind.DATA_OBJECT: "obj",
+    FrameKind.THREAD: "thr",
+    FrameKind.ROOT: "root",
+}
+
+
+def _pseudonym(key: bytes, kind: str, text: str, length: int = 10) -> str:
+    digest = hmac.new(key, ("%s\x00%s" % (kind, text)).encode("utf-8"),
+                      hashlib.sha256).hexdigest()
+    return "%s_%s" % (kind, digest[:length])
+
+
+def anonymize(profile: Profile, key: str,
+              keep_lines: bool = False,
+              keep_modules: Iterable[str] = ()) -> Profile:
+    """Return an anonymized copy of ``profile``.
+
+    ``key`` seeds the pseudonym hash — use the same key across profiles
+    that must stay diffable against each other.  ``keep_modules`` lists
+    module names to leave readable (e.g. well-known system libraries,
+    whose names are not secrets and which reviewers need to recognize).
+    """
+    secret = key.encode("utf-8")
+    keep = frozenset(keep_modules)
+
+    def scrub_frame(frame: Frame) -> Frame:
+        if frame.kind is FrameKind.ROOT:
+            return frame
+        if frame.module in keep and frame.module:
+            return (frame if keep_lines
+                    else intern_frame(frame.name, frame.file, 0,
+                                      frame.module, 0, frame.kind))
+        prefix = _PREFIX.get(frame.kind, "sym")
+        name = _pseudonym(secret, prefix, frame.name)
+        file = (_pseudonym(secret, "file", frame.file) + ".x"
+                if frame.file else "")
+        module = (_pseudonym(secret, "mod", frame.module)
+                  if frame.module else "")
+        return intern_frame(name, file,
+                            frame.line if keep_lines else 0,
+                            module, 0, frame.kind)
+
+    result = Profile(schema=profile.schema.copy(),
+                     meta=ProfileMeta(tool=profile.meta.tool,
+                                      time_nanos=0, duration_nanos=
+                                      profile.meta.duration_nanos))
+    node_map: Dict[int, CCTNode] = {id(profile.root): result.root}
+    stack = [(profile.root, result.root)]
+    while stack:
+        src, dst = stack.pop()
+        for index, value in src.metrics.items():
+            dst.add_value(index, value)
+        for child in src.children.values():
+            copy = dst.child(scrub_frame(child.frame))
+            node_map[id(child)] = copy
+            stack.append((child, copy))
+    for point in profile.points:
+        result.points.append(MonitoringPoint(
+            kind=point.kind,
+            contexts=[node_map[id(ctx)] for ctx in point.contexts],
+            values=dict(point.values),
+            sequence=point.sequence))
+    return result
+
+
+def mapping_for(profile: Profile, key: str) -> Dict[str, str]:
+    """Pseudonym → real-name mapping for a profile's frames.
+
+    Generated from the *original* profile with the same key; the holder
+    uses it to translate shared findings back.
+    """
+    secret = key.encode("utf-8")
+    table: Dict[str, str] = {}
+    for node in profile.nodes():
+        frame = node.frame
+        if frame.kind is FrameKind.ROOT:
+            continue
+        prefix = _PREFIX.get(frame.kind, "sym")
+        table[_pseudonym(secret, prefix, frame.name)] = frame.name
+        if frame.file:
+            table[_pseudonym(secret, "file", frame.file) + ".x"] = \
+                frame.file
+        if frame.module:
+            table[_pseudonym(secret, "mod", frame.module)] = frame.module
+    return table

@@ -1,0 +1,91 @@
+"""Combining profiles from *different tools* into one unified profile.
+
+§VII-C2's HPC case study leans on EasyView's ability to put HPCToolkit's
+hotspot profile and DrCCTProf's locality profile side by side: "these two
+tools have their own GUIs ... which cannot easily combine their profiles
+in a unified view for easy analysis."
+
+:func:`combine` merges N profiles — typically from different profilers
+over the same program — into one: calling contexts merge on the
+cross-tool identity (name + file + module, line-insensitive like the
+diff/aggregate operations), metric schemas concatenate with tool-prefixed
+names on collision, and monitoring points carry over with their contexts
+re-anchored.  The result is an ordinary profile: every view, the
+correlated panes, and the leak detector all apply to the union.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cct import CCTNode
+from ..core.metric import Metric
+from ..core.monitor import MonitoringPoint
+from ..core.profile import Profile, ProfileMeta
+from ..errors import AnalysisError
+
+
+def combine(profiles: Sequence[Profile],
+            tool_names: Optional[Sequence[str]] = None) -> Profile:
+    """Merge profiles from different tools into one unified profile.
+
+    ``tool_names`` labels each input (defaults to each profile's own
+    ``meta.tool``); when two inputs declare a metric with the same name
+    but different descriptors, the later one is disambiguated as
+    ``<tool>:<metric>``.
+    """
+    if not profiles:
+        raise AnalysisError("cannot combine zero profiles")
+    if tool_names is not None and len(tool_names) != len(profiles):
+        raise AnalysisError("tool_names must match profiles in length")
+
+    labels = list(tool_names) if tool_names is not None else [
+        profile.meta.tool or ("tool%d" % i)
+        for i, profile in enumerate(profiles)]
+
+    merged = Profile(meta=ProfileMeta(
+        tool="+".join(dict.fromkeys(labels)),
+        attributes={"combined_from": ", ".join(labels)}))
+
+    # Column remapping per input profile.
+    remaps: List[List[int]] = []
+    for label, profile in zip(labels, profiles):
+        remap: List[int] = []
+        for metric in profile.schema:
+            existing = merged.schema.get(metric.name)
+            if existing is not None and merged.schema[existing] != metric:
+                metric = Metric(name="%s:%s" % (label, metric.name),
+                                unit=metric.unit,
+                                description=metric.description,
+                                aggregation=metric.aggregation)
+            remap.append(merged.schema.add(metric))
+        remaps.append(remap)
+
+    # Cross-tool identity: merge on (name, file, module) so line-number
+    # differences between tools do not split contexts; the first-seen
+    # frame's attribution wins.  The index keeps merging linear.
+    merge_index: Dict[Tuple[int, Tuple], CCTNode] = {}
+    for profile, remap in zip(profiles, remaps):
+        node_map: Dict[int, CCTNode] = {id(profile.root): merged.root}
+        stack = [(profile.root, merged.root)]
+        while stack:
+            src, dst = stack.pop()
+            for index, value in src.metrics.items():
+                dst.add_value(remap[index], value)
+            for child in src.children.values():
+                key = (id(dst), child.frame.merge_key())
+                target = merge_index.get(key)
+                if target is None:
+                    target = dst.child(child.frame)
+                    merge_index[key] = target
+                node_map[id(child)] = target
+                stack.append((child, target))
+        for point in profile.points:
+            merged.points.append(MonitoringPoint(
+                kind=point.kind,
+                contexts=[node_map[id(ctx)] for ctx in point.contexts],
+                values={remap[index]: value
+                        for index, value in point.values.items()},
+                sequence=point.sequence))
+    merged.cct.clear_inclusive_cache()
+    return merged

@@ -1,0 +1,380 @@
+"""A small expression language for derived metrics (§V-B).
+
+Users define new metrics with formulas over existing ones::
+
+    derive(tree, "cpi", "cycles / instructions")
+    derive(tree, "mpki", "1000 * cache_misses / instructions")
+    derive(tree, "mem_scaling", "inclusive.bytes@2 / inclusive.bytes@1")
+
+The grammar (classic recursive descent over a hand-rolled token stream):
+
+    expr     := compare
+    compare  := sum ((">" | "<" | ">=" | "<=" | "==" | "!=") sum)?
+    sum      := term (("+" | "-") term)*
+    term     := unary (("*" | "/" | "%") unary)*
+    unary    := ("-" | "+") unary | power
+    power    := primary ("^" unary)?            # right-associative
+    primary  := NUMBER | IDENT | IDENT "(" args ")" | "(" expr ")"
+    args     := expr ("," expr)*
+
+Comparisons evaluate to 1.0/0.0 and pair naturally with ``if``:
+``if(cache_misses / instructions > 0.02, cycles, 0)`` keeps a metric only
+where the miss rate is pathological.
+
+Identifiers name metrics; dotted/at-suffixed names (``inclusive.bytes@2``)
+are resolved by the environment, letting multi-profile views expose
+per-profile columns.  Metric names with spaces can be backtick-quoted.
+Division by zero evaluates to 0 rather than raising: profiles are full of
+contexts where the denominator metric was never measured, and a viewer must
+keep rendering.
+
+Built-in functions: ``min``, ``max``, ``abs``, ``sqrt``, ``log``, ``log2``,
+``log10``, ``if`` (``if(cond, then, else)`` with nonzero = true).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from ..core.metric import Aggregation, Metric
+from ..errors import FormulaError
+from .viewtree import ViewTree
+
+
+class TokenKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+
+_OPS = set("+-*/%^")
+_COMPARE_OPS = frozenset((">", "<", ">=", "<=", "==", "!="))
+_IDENT_EXTRA = set("._@$:")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split a formula into tokens; raises FormulaError on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and source[pos + 1].isdigit()):
+            start = pos
+            seen_dot = False
+            seen_exp = False
+            while pos < length:
+                ch = source[pos]
+                if ch.isdigit():
+                    pos += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    pos += 1
+                elif ch in "eE" and not seen_exp and pos > start:
+                    seen_exp = True
+                    pos += 1
+                    if pos < length and source[pos] in "+-":
+                        pos += 1
+                else:
+                    break
+            tokens.append(Token(TokenKind.NUMBER, source[start:pos], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum()
+                                    or source[pos] in _IDENT_EXTRA):
+                pos += 1
+            tokens.append(Token(TokenKind.IDENT, source[start:pos], start))
+            continue
+        if ch == "`":
+            end = source.find("`", pos + 1)
+            if end < 0:
+                raise FormulaError("unterminated backquoted name at %d" % pos)
+            tokens.append(Token(TokenKind.IDENT, source[pos + 1:end], pos))
+            pos = end + 1
+            continue
+        if ch in "<>!=":
+            if pos + 1 < length and source[pos + 1] == "=":
+                op = source[pos:pos + 2]
+                if op not in _COMPARE_OPS:
+                    raise FormulaError("unknown operator %r at %d"
+                                       % (op, pos))
+                tokens.append(Token(TokenKind.OP, op, pos))
+                pos += 2
+                continue
+            if ch in "<>":
+                tokens.append(Token(TokenKind.OP, ch, pos))
+                pos += 1
+                continue
+            raise FormulaError("unexpected character %r at position %d"
+                               % (ch, pos))
+        if ch in _OPS:
+            tokens.append(Token(TokenKind.OP, ch, pos))
+            pos += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, ch, pos))
+            pos += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ch, pos))
+            pos += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ch, pos))
+            pos += 1
+            continue
+        raise FormulaError("unexpected character %r at position %d" % (ch, pos))
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Ref:
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: tuple
+
+
+Expr = Union[Num, Ref, Unary, Binary, Call]
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        tok = self._peek()
+        if tok.kind is not TokenKind.END:
+            raise FormulaError("unexpected %r at position %d in %r"
+                               % (tok.text, tok.position, self._source))
+        return expr
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind) -> Token:
+        tok = self._advance()
+        if tok.kind is not kind:
+            raise FormulaError("expected %s but found %r at position %d"
+                               % (kind.value, tok.text, tok.position))
+        return tok
+
+    def _expr(self) -> Expr:
+        left = self._sum()
+        tok = self._peek()
+        if tok.kind is TokenKind.OP and tok.text in _COMPARE_OPS:
+            op = self._advance().text
+            return Binary(op, left, self._sum())
+        return left
+
+    def _sum(self) -> Expr:
+        left = self._term()
+        while (self._peek().kind is TokenKind.OP
+               and self._peek().text in "+-"):
+            op = self._advance().text
+            left = Binary(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._unary()
+        while (self._peek().kind is TokenKind.OP
+               and self._peek().text in "*/%"):
+            op = self._advance().text
+            left = Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.OP and tok.text in "+-":
+            self._advance()
+            return Unary(tok.text, self._unary())
+        return self._power()
+
+    def _power(self) -> Expr:
+        base = self._primary()
+        tok = self._peek()
+        if tok.kind is TokenKind.OP and tok.text == "^":
+            self._advance()
+            return Binary("^", base, self._unary())
+        return base
+
+    def _primary(self) -> Expr:
+        tok = self._advance()
+        if tok.kind is TokenKind.NUMBER:
+            return Num(float(tok.text))
+        if tok.kind is TokenKind.IDENT:
+            if self._peek().kind is TokenKind.LPAREN:
+                self._advance()
+                args: List[Expr] = []
+                if self._peek().kind is not TokenKind.RPAREN:
+                    args.append(self._expr())
+                    while self._peek().kind is TokenKind.COMMA:
+                        self._advance()
+                        args.append(self._expr())
+                self._expect(TokenKind.RPAREN)
+                return Call(tok.text, tuple(args))
+            return Ref(tok.text)
+        if tok.kind is TokenKind.LPAREN:
+            expr = self._expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise FormulaError("unexpected %r at position %d"
+                           % (tok.text or "end of input", tok.position))
+
+
+def parse(source: str) -> Expr:
+    """Parse a formula into its AST."""
+    return _Parser(tokenize(source), source).parse()
+
+
+# -- evaluation ---------------------------------------------------------------
+
+_FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "sqrt": lambda x: math.sqrt(x) if x >= 0 else 0.0,
+    "log": lambda x: math.log(x) if x > 0 else 0.0,
+    "log2": lambda x: math.log2(x) if x > 0 else 0.0,
+    "log10": lambda x: math.log10(x) if x > 0 else 0.0,
+    "if": lambda cond, then, other: then if cond else other,
+}
+
+_ARITY = {"min": 2, "max": 2, "abs": 1, "sqrt": 1, "log": 1, "log2": 1,
+          "log10": 1, "if": 3}
+
+
+def evaluate(expr: Expr, env: Mapping[str, float]) -> float:
+    """Evaluate an AST against a name→value environment.
+
+    Unknown names raise :class:`FormulaError`; division by zero yields 0
+    (see module docstring).
+    """
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Ref):
+        try:
+            return float(env[expr.name])
+        except KeyError:
+            raise FormulaError("unknown metric %r (have: %s)" % (
+                expr.name, ", ".join(sorted(env)))) from None
+    if isinstance(expr, Unary):
+        value = evaluate(expr.operand, env)
+        return -value if expr.op == "-" else value
+    if isinstance(expr, Binary):
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right else 0.0
+        if expr.op == "%":
+            return math.fmod(left, right) if right else 0.0
+        if expr.op == "^":
+            try:
+                return float(left ** right)
+            except (OverflowError, ValueError):
+                return 0.0
+        if expr.op in _COMPARE_OPS:
+            result = {
+                ">": left > right, "<": left < right,
+                ">=": left >= right, "<=": left <= right,
+                "==": left == right, "!=": left != right,
+            }[expr.op]
+            return 1.0 if result else 0.0
+        raise FormulaError("unknown operator %r" % expr.op)
+    if isinstance(expr, Call):
+        fn = _FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise FormulaError("unknown function %r (have: %s)" % (
+                expr.name, ", ".join(sorted(_FUNCTIONS))))
+        expected = _ARITY[expr.name]
+        if len(expr.args) != expected:
+            raise FormulaError("%s() takes %d arguments, got %d"
+                               % (expr.name, expected, len(expr.args)))
+        return float(fn(*(evaluate(arg, env) for arg in expr.args)))
+    raise FormulaError("unevaluable node %r" % (expr,))
+
+
+def evaluate_str(source: str, env: Mapping[str, float]) -> float:
+    """Parse and evaluate in one step."""
+    return evaluate(parse(source), env)
+
+
+def derive(tree: ViewTree, name: str, formula: str, unit: str = "",
+           description: str = "", inclusive: bool = True,
+           aggregation: Aggregation = Aggregation.SUM) -> int:
+    """Add a derived metric column to a view tree via a formula.
+
+    The formula is evaluated per node against that node's existing metric
+    values (inclusive by default).  Returns the new column index.
+    """
+    expr = parse(formula)
+    names = tree.schema.names()
+    index = tree.schema.add(Metric(name=name, unit=unit,
+                                   description=description or formula,
+                                   aggregation=aggregation))
+    for node in tree.nodes():
+        table = node.inclusive if inclusive else node.exclusive
+        env = {metric_name: table.get(i, 0.0)
+               for i, metric_name in enumerate(names)}
+        table[index] = evaluate(expr, env)
+    return index

@@ -1,0 +1,119 @@
+"""Memory-leak detection over snapshot series (§VII-C1, Fig. 4).
+
+The paper's cloud case study captures a heap snapshot every 0.1 s and flags
+allocation contexts whose *active* (live) memory stays continuously high
+with no clear sign of reclamation — the textbook pprof leak-hunting recipe,
+automated.  A healthy context's live bytes diminish toward the end of the
+run; a leaky context's live bytes plateau or keep climbing.
+
+The classifier below scores each allocation context's series on three
+signals and combines them:
+
+* **trend** — the slope of a least-squares line fit over the series,
+  normalized by the series mean (persistent growth ⇒ positive);
+* **retention** — final live bytes relative to the series peak (a healthy
+  context releases most of its peak by the end);
+* **monotonicity** — the fraction of steps that do not decrease (a leak
+  rarely shrinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.cct import CCTNode
+from ..core.monitor import PointKind
+from ..core.profile import Profile
+from .aggregate import snapshot_series
+
+
+@dataclass
+class LeakVerdict:
+    """Assessment of one allocation context."""
+
+    context: CCTNode
+    series: List[float]
+    trend: float          # normalized slope per snapshot
+    retention: float      # final value / peak value (0..1)
+    monotonicity: float   # fraction of non-decreasing steps (0..1)
+    score: float          # combined 0..1 suspicion score
+    suspicious: bool
+
+    def describe(self) -> str:
+        """One-line human summary, as a hover would show it."""
+        state = "POTENTIAL LEAK" if self.suspicious else "healthy"
+        return ("%s: %s (trend %+0.3f/snapshot, retention %.0f%%, "
+                "monotonic %.0f%%)"
+                % (self.context.frame.label(), state, self.trend,
+                   self.retention * 100, self.monotonicity * 100))
+
+
+def analyze_series(series: Sequence[float]) -> Dict[str, float]:
+    """Compute the three leak signals for one value series."""
+    values = np.asarray(series, dtype=float)
+    n = len(values)
+    if n < 2:
+        return {"trend": 0.0, "retention": 1.0 if n and values[-1] > 0 else 0.0,
+                "monotonicity": 1.0}
+    mean = float(values.mean())
+    x = np.arange(n, dtype=float)
+    slope = float(np.polyfit(x, values, 1)[0])
+    trend = slope / mean if mean else 0.0
+    peak = float(values.max())
+    retention = float(values[-1]) / peak if peak else 0.0
+    steps = np.diff(values)
+    monotonicity = float((steps >= 0).mean())
+    return {"trend": trend, "retention": retention,
+            "monotonicity": monotonicity}
+
+
+def score_series(series: Sequence[float],
+                 trend_weight: float = 0.4,
+                 retention_weight: float = 0.4,
+                 monotonic_weight: float = 0.2) -> float:
+    """Combined 0..1 suspicion score for one series."""
+    signals = analyze_series(series)
+    # A strongly positive trend saturates at +5%/snapshot.
+    trend_component = min(max(signals["trend"] / 0.05, 0.0), 1.0)
+    return (trend_weight * trend_component
+            + retention_weight * signals["retention"]
+            + monotonic_weight * signals["monotonicity"])
+
+
+def detect_leaks(profile: Profile, metric_name: str = "inuse_bytes",
+                 threshold: float = 0.6,
+                 min_peak: float = 0.0) -> List[LeakVerdict]:
+    """Classify every allocation context with a snapshot series.
+
+    Returns verdicts sorted by descending suspicion score.  ``min_peak``
+    filters out contexts whose peak live bytes never matter (noise).
+    """
+    verdicts: List[LeakVerdict] = []
+    series_by_context = snapshot_series(profile, metric_name,
+                                        kind=PointKind.ALLOCATION)
+    for context, series in series_by_context.items():
+        peak = max(series) if series else 0.0
+        if peak < min_peak:
+            continue
+        signals = analyze_series(series)
+        score = score_series(series)
+        verdicts.append(LeakVerdict(
+            context=context,
+            series=list(series),
+            trend=signals["trend"],
+            retention=signals["retention"],
+            monotonicity=signals["monotonicity"],
+            score=score,
+            suspicious=score >= threshold))
+    verdicts.sort(key=lambda v: -v.score)
+    return verdicts
+
+
+def suspicious_contexts(profile: Profile, metric_name: str = "inuse_bytes",
+                        threshold: float = 0.6) -> List[CCTNode]:
+    """Just the contexts flagged as potential leaks."""
+    return [v.context for v in detect_leaks(profile, metric_name, threshold)
+            if v.suspicious]

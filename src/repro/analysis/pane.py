@@ -1,0 +1,135 @@
+"""The programming pane: user scripts over the loaded views (§V-B).
+
+In the paper, a pane in the GUI runs user-written Python (via
+Python→WASM) against the viewer's internal trees, with callbacks hooked
+into the tree operations.  Here the pane executes script text in a
+*restricted namespace*: no imports, no filesystem, no attribute escapes —
+just the analysis surface a viewer would expose:
+
+* ``tree`` — the current :class:`~repro.analysis.viewtree.ViewTree`;
+* ``nodes()`` / ``find(name)`` / ``search(pattern)`` — traversal;
+* ``value(node, metric)`` / ``exclusive(node, metric)`` — metric access;
+* ``derive(name, formula)`` — the formula engine;
+* ``elide(predicate)`` / ``rename(fn)`` — node-visit customization
+  (recorded into a :class:`~repro.analysis.callbacks.Customization` that
+  the caller re-applies through a transform);
+* ``emit(...)`` — output lines returned to the pane.
+
+Scripts are plain Python expressions/statements; the sandbox denies
+dunder access and the builtins that reach the interpreter or the OS.  It
+is a *usability* boundary — protecting the user from accidents, as the
+paper's WASM pane does — not a security boundary against adversaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import AnalysisError
+from .callbacks import Customization
+from .formula import derive as formula_derive
+from .query import search as query_search
+from .viewtree import ViewNode, ViewTree
+
+_ALLOWED_BUILTINS = {
+    "abs": abs, "min": min, "max": max, "sum": sum, "len": len,
+    "sorted": sorted, "enumerate": enumerate, "range": range,
+    "round": round, "zip": zip, "map": map, "filter": filter,
+    "float": float, "int": int, "str": str, "bool": bool,
+    "list": list, "dict": dict, "set": set, "tuple": tuple,
+    "any": any, "all": all, "reversed": reversed, "print": None,  # replaced
+}
+
+_BANNED_SUBSTRINGS = ("__", "import", "open(", "exec(", "eval(",
+                      "globals(", "locals(", "getattr(", "setattr(",
+                      "delattr(", "vars(", "compile(")
+
+
+@dataclass
+class PaneResult:
+    """What one script run produced."""
+
+    output: List[str] = field(default_factory=list)
+    derived: List[str] = field(default_factory=list)
+    customization: Customization = field(default_factory=Customization)
+    #: The script's final ``result`` variable, if it set one.
+    result: Any = None
+
+
+class ProgrammingPane:
+    """Executes user scripts against one view tree."""
+
+    def __init__(self, tree: ViewTree) -> None:
+        self.tree = tree
+
+    def run(self, script: str) -> PaneResult:
+        """Execute ``script``; returns its output and registered hooks.
+
+        Raises :class:`AnalysisError` for banned constructs or runtime
+        failures, with the original message preserved.
+        """
+        lowered = script  # case-sensitive: dunders and calls are lowercase
+        for banned in _BANNED_SUBSTRINGS:
+            if banned in lowered:
+                raise AnalysisError(
+                    "pane scripts may not use %r" % banned)
+
+        pane_result = PaneResult()
+        tree = self.tree
+
+        def emit(*parts: Any) -> None:
+            pane_result.output.append(" ".join(str(p) for p in parts))
+
+        def find(name: str) -> List[ViewNode]:
+            return tree.find_by_name(name)
+
+        def search(pattern: str, regex: bool = False) -> List[ViewNode]:
+            return query_search(tree, pattern, regex=regex)
+
+        def nodes() -> List[ViewNode]:
+            return list(tree.nodes())
+
+        def value(node: ViewNode, metric: str) -> float:
+            return node.inclusive.get(tree.schema.index_of(metric), 0.0)
+
+        def exclusive(node: ViewNode, metric: str) -> float:
+            return node.exclusive.get(tree.schema.index_of(metric), 0.0)
+
+        def derive(name: str, formula: str, unit: str = "") -> int:
+            index = formula_derive(tree, name, formula, unit=unit)
+            pane_result.derived.append(name)
+            return index
+
+        def elide(predicate: Callable) -> None:
+            pane_result.customization.elide_if(predicate)
+
+        def rename(fn: Callable) -> None:
+            pane_result.customization.remap_with(fn)
+
+        builtins = dict(_ALLOWED_BUILTINS)
+        builtins["print"] = emit
+        namespace: Dict[str, Any] = {
+            "__builtins__": builtins,
+            "tree": tree,
+            "emit": emit,
+            "find": find,
+            "search": search,
+            "nodes": nodes,
+            "value": value,
+            "exclusive": exclusive,
+            "derive": derive,
+            "elide": elide,
+            "rename": rename,
+            "total": lambda metric: tree.total(
+                tree.schema.index_of(metric)),
+        }
+        try:
+            exec(compile(script, "<pane>", "exec"), namespace)  # noqa: S102
+        except AnalysisError:
+            raise
+        except Exception as exc:
+            raise AnalysisError("pane script failed: %s: %s"
+                                % (type(exc).__name__, exc)) from exc
+        pane_result.result = namespace.get("result")
+        return pane_result

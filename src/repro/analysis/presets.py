@@ -1,0 +1,97 @@
+"""A library of predefined derived-metric formulas (§V-B examples).
+
+The paper's metric-computation callbacks let users "compute cycles per
+instruction, cache misses per thousand instructions, and many others via
+specifying the corresponding formulae".  This module packages the common
+ones so a viewer can offer them as one-click derivations: each preset
+declares the metrics it needs and applies itself only when they exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.metric import Aggregation
+from .formula import derive
+from .viewtree import ViewTree
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One predefined derived metric."""
+
+    name: str
+    formula: str
+    requires: Tuple[str, ...]
+    unit: str = ""
+    description: str = ""
+
+    def applicable(self, tree: ViewTree) -> bool:
+        """Whether the view carries every metric the formula references."""
+        return all(metric in tree.schema for metric in self.requires)
+
+    def apply(self, tree: ViewTree) -> int:
+        """Derive the preset's column; returns its index."""
+        return derive(tree, self.name, self.formula, unit=self.unit,
+                      description=self.description or self.formula)
+
+
+#: The standard catalogue, keyed by preset name.
+PRESETS: Dict[str, Preset] = {preset.name: preset for preset in (
+    Preset(name="cpi",
+           formula="cycles / instructions",
+           requires=("cycles", "instructions"),
+           description="cycles per instruction"),
+    Preset(name="ipc",
+           formula="instructions / cycles",
+           requires=("cycles", "instructions"),
+           description="instructions per cycle"),
+    Preset(name="mpki",
+           formula="1000 * cache_misses / instructions",
+           requires=("cache_misses", "instructions"),
+           description="cache misses per thousand instructions"),
+    Preset(name="miss_ratio",
+           formula="cache_misses / cache_accesses",
+           requires=("cache_misses", "cache_accesses"),
+           description="cache miss ratio"),
+    Preset(name="branch_mpki",
+           formula="1000 * branch_misses / instructions",
+           requires=("branch_misses", "instructions"),
+           description="branch mispredictions per thousand instructions"),
+    Preset(name="alloc_rate",
+           formula="alloc_bytes / (cpu / 1000000000)",
+           requires=("alloc_bytes", "cpu"),
+           unit="bytes",
+           description="allocation rate (bytes per cpu-second)"),
+    Preset(name="time_share",
+           formula="100 * cpu / `total:cpu`",
+           requires=("cpu", "total:cpu"),
+           unit="percent",
+           description="share of total cpu time"),
+)}
+
+
+def applicable_presets(tree: ViewTree) -> List[Preset]:
+    """The catalogue entries this view can apply."""
+    return [preset for preset in PRESETS.values()
+            if preset.applicable(tree)]
+
+
+def apply_preset(tree: ViewTree, name: str) -> int:
+    """Apply one preset by name; raises KeyError for unknown names."""
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        raise KeyError("unknown preset %r (have: %s)"
+                       % (name, ", ".join(sorted(PRESETS)))) from None
+    return preset.apply(tree)
+
+
+def apply_all(tree: ViewTree) -> List[str]:
+    """Apply every applicable preset; returns the names applied."""
+    applied = []
+    for preset in applicable_presets(tree):
+        preset.apply(tree)
+        applied.append(preset.name)
+    return applied

@@ -1,0 +1,142 @@
+"""Tree hygiene: recursion collapsing, pruning, and hot-path extraction.
+
+These are the "associated analyses" §V-A(a) couples with tree traversal:
+collapsing deep and recursive call paths and pruning insignificant nodes,
+which keep large profiles readable and the renderer fast.
+All operations work on view trees and return new trees or node lists; the
+underlying profile is never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.frame import FrameKind
+from .viewtree import ViewNode, ViewTree
+
+
+def collapse_recursion(tree: ViewTree) -> ViewTree:
+    """Merge self-recursive chains: a child with its parent's identity folds
+    into the parent (values and grandchildren move up).
+
+    ``f → f → f → g`` becomes ``f → g``; the folded ``f`` keeps the chain's
+    combined exclusive value and the outermost inclusive value.
+    """
+    result = ViewTree(tree.schema.copy(), shape=tree.shape)
+    _copy_collapsed(tree.root, result.root)
+    return result
+
+
+def _copy_collapsed(src: ViewNode, dst: ViewNode) -> None:
+    # Iterative: profiles carry call paths deep enough to blow the Python
+    # recursion limit (deeply recursive workloads).
+    stack = [(src, dst)]
+    while stack:
+        s, d = stack.pop()
+        for index, value in s.exclusive.items():
+            d.add_exclusive(index, value)
+        if not d.inclusive:
+            d.inclusive = dict(s.inclusive)
+        d.sources.extend(s.sources)
+        d.tag = d.tag or s.tag
+        for child in s.children.values():
+            if child.frame.merge_key() == d.frame.merge_key():
+                # Same function recursing: fold into d itself.
+                stack.append((child, d))
+            else:
+                stack.append((child, d.child(child.frame)))
+
+
+def prune(tree: ViewTree, metric_index: int = 0,
+          min_fraction: float = 0.005,
+          other_label: str = "<pruned>") -> ViewTree:
+    """Drop subtrees whose inclusive value falls below a fraction of total.
+
+    Pruned siblings are folded into a single ``<pruned>`` placeholder per
+    parent so totals remain exact (the flame graph still adds up).
+    """
+    total = tree.total(metric_index)
+    threshold = abs(total) * min_fraction
+    result = ViewTree(tree.schema.copy(), shape=tree.shape)
+    _copy_pruned(tree.root, result.root, metric_index, threshold, other_label)
+    return result
+
+
+def _copy_pruned(src: ViewNode, dst: ViewNode, metric_index: int,
+                 threshold: float, other_label: str) -> None:
+    from ..core.frame import intern_frame
+    placeholder_frame = intern_frame(other_label, kind=FrameKind.BASIC_BLOCK)
+    stack = [(src, dst)]
+    while stack:
+        s, d = stack.pop()
+        d.exclusive = dict(s.exclusive)
+        d.inclusive = dict(s.inclusive)
+        d.sources = list(s.sources)
+        d.tag = s.tag
+        dropped: dict = {}
+        for child in s.children.values():
+            if abs(child.inclusive.get(metric_index, 0.0)) >= threshold:
+                stack.append((child, d.child(child.frame)))
+            else:
+                for index, value in child.inclusive.items():
+                    dropped[index] = dropped.get(index, 0.0) + value
+        if dropped:
+            placeholder = d.child(placeholder_frame)
+            for index, value in dropped.items():
+                placeholder.add_inclusive(index, value)
+                placeholder.add_exclusive(index, value)
+
+
+def hot_path(tree: ViewTree, metric_index: int = 0,
+             min_fraction: float = 0.5) -> List[ViewNode]:
+    """Follow the dominant child while it keeps ``min_fraction`` of its
+    parent's inclusive value; returns the path (root excluded).
+
+    This is the classic "hot path" drill-down a viewer offers as a single
+    action instead of repeated clicking.
+    """
+    path: List[ViewNode] = []
+    node = tree.root
+    while node.children:
+        best: Optional[ViewNode] = None
+        best_value = 0.0
+        for child in node.children.values():
+            value = abs(child.inclusive.get(metric_index, 0.0))
+            if value > best_value:
+                best, best_value = child, value
+        parent_value = abs(node.inclusive.get(metric_index, 0.0))
+        if best is None or parent_value <= 0:
+            break
+        if best_value < min_fraction * parent_value:
+            break
+        path.append(best)
+        node = best
+    return path
+
+
+def truncate_depth(tree: ViewTree, max_depth: int) -> ViewTree:
+    """Cut the tree below ``max_depth``; cut subtrees collapse into their
+    deepest kept ancestor's exclusive value so totals are preserved."""
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+    result = ViewTree(tree.schema.copy(), shape=tree.shape)
+    _copy_truncated(tree.root, result.root, max_depth)
+    return result
+
+
+def _copy_truncated(src: ViewNode, dst: ViewNode, max_depth: int) -> None:
+    stack = [(src, dst, max_depth)]
+    while stack:
+        s, d, remaining = stack.pop()
+        d.exclusive = dict(s.exclusive)
+        d.inclusive = dict(s.inclusive)
+        d.sources = list(s.sources)
+        d.tag = s.tag
+        if remaining == 0:
+            # Fold the entire remaining subtree into this node's exclusive
+            # cost so totals stay exact.
+            d.exclusive = dict(s.inclusive)
+            d.children = {}
+            continue
+        for child in s.children.values():
+            stack.append((child, d.child(child.frame), remaining - 1))

@@ -1,0 +1,133 @@
+"""Computation-redundancy analysis (§IV-A's redundant/killing pairs).
+
+RedSpy- and Witch-style profilers record *redundancies*: a value written at
+one context (the **dead** write) is overwritten at another (the
+**killing** write) without ever being read, or a load re-reads a value that
+was never modified.  EasyView's representation stores each as a
+two-context monitoring point ``[dead, killing]`` of kind ``REDUNDANCY``,
+and this module turns those points into actionable reports:
+
+* ranked dead/killing pairs with their least common ancestor (where a
+  fix — hoisting, caching, eliminating the dead store — would live);
+* the *redundancy fraction*: how much of the program's total operation
+  count is wasted, the headline number such tools report;
+* classification into intra-function (same function writes twice) and
+  cross-function pairs, which need different fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cct import CCTNode
+from ..core.monitor import MonitoringPoint, PointKind
+from ..core.profile import Profile
+from ..errors import AnalysisError
+from .traversal import common_ancestor
+
+
+@dataclass
+class RedundancyPair:
+    """One aggregated (dead write, killing write) pair."""
+
+    dead: CCTNode
+    killing: CCTNode
+    count: float
+    lca: Optional[CCTNode]
+
+    @property
+    def intra_function(self) -> bool:
+        """True when both writes live in the same function."""
+        return self.dead.frame.merge_key() == self.killing.frame.merge_key()
+
+    def fix_site(self) -> str:
+        """Where the fix would live, as guidance text."""
+        if self.intra_function:
+            return "inside %s" % self.dead.frame.label()
+        if self.lca is None or self.lca.parent is None:
+            return "<program root>"
+        return "under %s" % self.lca.frame.label()
+
+    def describe(self) -> str:
+        """One-line report entry."""
+        kind = ("intra-function" if self.intra_function
+                else "cross-function")
+        return ("%s redundancy: value written at %s is killed at %s "
+                "(%g occurrences) — fix %s"
+                % (kind, _locate(self.dead), _locate(self.killing),
+                   self.count, self.fix_site()))
+
+
+def _locate(node: CCTNode) -> str:
+    frame = node.frame
+    if frame.location.is_known():
+        return "%s (%s)" % (frame.name, frame.location)
+    return frame.label()
+
+
+def redundancy_points(profile: Profile) -> List[MonitoringPoint]:
+    """All REDUNDANCY monitoring points in a profile."""
+    return profile.points_of_kind(PointKind.REDUNDANCY)
+
+
+def redundancy_pairs(profile: Profile, top: int = 20,
+                     metric: str = "") -> List[RedundancyPair]:
+    """Aggregate and rank the profile's redundancy pairs."""
+    if not redundancy_points(profile):
+        return []
+    index = _count_metric(profile, metric)
+    merged: Dict[Tuple[int, int], RedundancyPair] = {}
+    for point in redundancy_points(profile):
+        dead, killing = point.contexts
+        key = (id(dead), id(killing))
+        pair = merged.get(key)
+        if pair is None:
+            merged[key] = RedundancyPair(
+                dead=dead, killing=killing,
+                count=point.value(index),
+                lca=common_ancestor(dead, killing))
+        else:
+            pair.count += point.value(index)
+    ranked = sorted(merged.values(), key=lambda p: -p.count)
+    return ranked[:top]
+
+
+def redundancy_fraction(profile: Profile, total_metric: str,
+                        count_metric: str = "") -> float:
+    """Wasted fraction: redundant occurrences / total operations.
+
+    ``total_metric`` names the denominator column (e.g. total stores or
+    instructions measured by the host profiler).
+    """
+    total = profile.total(total_metric)
+    if total <= 0:
+        return 0.0
+    index = _count_metric(profile, count_metric)
+    wasted = sum(point.value(index)
+                 for point in redundancy_points(profile))
+    return min(wasted / total, 1.0)
+
+
+def report(profile: Profile, top: int = 10) -> str:
+    """A textual redundancy report (what the GUI pane would list)."""
+    pairs = redundancy_pairs(profile, top=top)
+    if not pairs:
+        return "no redundancy pairs recorded"
+    lines = ["top %d redundancy pairs:" % len(pairs)]
+    for i, pair in enumerate(pairs, 1):
+        lines.append("%2d. %s" % (i, pair.describe()))
+    return "\n".join(lines)
+
+
+def _count_metric(profile: Profile, metric: str = "") -> int:
+    if metric:
+        return profile.schema.index_of(metric)
+    for name in ("redundant_ops", "occurrences", "count", "accesses"):
+        index = profile.schema.get(name)
+        if index is not None:
+            return index
+    for point in redundancy_points(profile):
+        if point.values:
+            return next(iter(point.values))
+    raise AnalysisError("profile has no redundancy count metric")

@@ -1,0 +1,141 @@
+"""Scaling analysis: division-based differentials (ScaAnalyzer-style).
+
+The paper invokes memory scaling twice: differentiation "provides unique
+insights [59], such as scaling losses and resource contention" (§V-A) and
+"users can use division instead of subtraction to derive differential
+metrics, which is used to measure memory scaling [59]" (§V-B).
+
+Given the same program profiled at increasing scale (thread counts,
+problem sizes, ranks), each context's *scaling factor* is its metric
+ratio between runs.  Comparing the factor against the expected one
+classifies contexts:
+
+* **scalable** — grows no faster than the scale (ideal for work metrics,
+  flat for per-process memory);
+* **scaling loss** — grows faster than expected: the contexts
+  ScaAnalyzer highlights as memory-scaling bottlenecks.
+
+:func:`scaling_report` fits a growth exponent per context across a whole
+scale sweep, which is more robust than a single pairwise ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profile import Profile
+from ..errors import AnalysisError
+from .diff import add_delta_column, diff_profiles
+from .transform import top_down
+from .viewtree import ViewNode, ViewTree
+
+
+@dataclass
+class ScalingVerdict:
+    """Growth assessment for one context across a scale sweep."""
+
+    label: str
+    values: List[float]       # metric per run, in sweep order
+    exponent: float           # fitted growth exponent α in value ∝ scaleᵅ
+    expected: float           # the ideal exponent for this metric
+    loss: bool                # grows meaningfully faster than expected
+
+    def describe(self) -> str:
+        state = "SCALING LOSS" if self.loss else "scalable"
+        return ("%s: %s (value ∝ scale^%.2f, expected ≤ scale^%.2f)"
+                % (self.label, state, self.exponent, self.expected))
+
+
+def scaling_tree(baseline: Profile, scaled: Profile,
+                 metric: Optional[str] = None,
+                 shape: str = "top_down") -> ViewTree:
+    """The division-based differential view between two scales.
+
+    A diff tree whose extra ``<metric>:ratio`` column holds
+    ``scaled / baseline`` per context — the §V-B formulation.
+    """
+    tree = diff_profiles(baseline, scaled, shape=shape, metric=metric)
+    metric_index = (tree.schema.index_of(metric) if metric else 0)
+    add_delta_column(tree, metric_index, mode="ratio")
+    return tree
+
+
+def fit_exponent(scales: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares fit of α in ``value ∝ scaleᵅ`` (log-log regression).
+
+    Contexts absent at some scale (value 0) are clamped to a tiny epsilon
+    so a context that *appears* with scale reads as fast growth.
+    """
+    if len(scales) != len(values) or len(scales) < 2:
+        raise AnalysisError("need matching scale/value series of length ≥2")
+    xs = np.log(np.asarray(scales, dtype=float))
+    eps = max(max(values) * 1e-9, 1e-12)
+    ys = np.log(np.maximum(np.asarray(values, dtype=float), eps))
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    return slope
+
+
+def scaling_report(profiles: Sequence[Tuple[float, Profile]],
+                   metric: str, expected_exponent: float = 1.0,
+                   tolerance: float = 0.25, min_share: float = 0.01
+                   ) -> List[ScalingVerdict]:
+    """Classify every context across a scale sweep.
+
+    ``profiles`` is a list of (scale, profile) pairs, ascending.
+    ``expected_exponent`` is the ideal growth: 1.0 for work metrics under
+    strong scaling of the input, 0.0 for per-process memory that should
+    stay flat as ranks increase.  Contexts holding under ``min_share`` of
+    the largest run's total are skipped as noise.  Verdicts sort by
+    exponent, worst first.
+    """
+    if len(profiles) < 2:
+        raise AnalysisError("a scaling sweep needs at least two runs")
+    scales = [scale for scale, _ in profiles]
+    if sorted(scales) != list(scales):
+        raise AnalysisError("profiles must be ordered by ascending scale")
+
+    trees = [top_down(profile) for _, profile in profiles]
+    index = trees[0].schema.index_of(metric)
+
+    # Collect per-context series keyed by the merged call path.
+    def path_key(node: ViewNode) -> Tuple:
+        return tuple(n.frame.merge_key() for n in node.path())
+
+    series: Dict[Tuple, List[float]] = {}
+    labels: Dict[Tuple, str] = {}
+    for position, tree in enumerate(trees):
+        for node in tree.nodes():
+            if node is tree.root:
+                continue
+            key = path_key(node)
+            values = series.setdefault(key, [0.0] * len(trees))
+            values[position] += node.inclusive.get(index, 0.0)
+            labels.setdefault(key, node.frame.label())
+
+    largest_total = trees[-1].total(index) or 1.0
+    verdicts: List[ScalingVerdict] = []
+    for key, values in series.items():
+        if values[-1] < largest_total * min_share:
+            continue
+        exponent = fit_exponent(scales, values)
+        verdicts.append(ScalingVerdict(
+            label=labels[key],
+            values=values,
+            exponent=exponent,
+            expected=expected_exponent,
+            loss=exponent > expected_exponent + tolerance))
+    verdicts.sort(key=lambda v: -v.exponent)
+    return verdicts
+
+
+def scaling_losses(profiles: Sequence[Tuple[float, Profile]],
+                   metric: str, expected_exponent: float = 1.0
+                   ) -> List[ScalingVerdict]:
+    """Just the contexts flagged as scaling losses, worst first."""
+    return [v for v in scaling_report(profiles, metric,
+                                      expected_exponent=expected_exponent)
+            if v.loss]

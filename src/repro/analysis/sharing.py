@@ -1,0 +1,132 @@
+"""False-sharing and data-race analysis (§IV-A's two-access pairs).
+
+Cheetah/Featherlight-style detectors report *false sharing* — two threads
+ping-ponging a cache line through accesses to different fields of one
+object — and race detectors report two unsynchronized accesses to the same
+location.  Both inhabit EasyView's representation as two-context
+monitoring points (``FALSE_SHARING`` / ``DATA_RACE``), optionally carrying
+the contested data object as the first access's ancestor context.
+
+This module aggregates the pairs, ranks them by ping-pong volume, names
+the contested objects, and emits the per-kind guidance the paper's GUI
+would surface (pad/realign for false sharing; synchronize for races).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cct import CCTNode
+from ..core.frame import FrameKind
+from ..core.monitor import MonitoringPoint, PointKind
+from ..core.profile import Profile
+from ..errors import AnalysisError
+
+
+@dataclass
+class AccessPair:
+    """One aggregated two-access inefficiency."""
+
+    kind: PointKind
+    first: CCTNode
+    second: CCTNode
+    count: float
+
+    def contested_object(self) -> Optional[str]:
+        """The data object both accesses touch, when recorded.
+
+        Detectors that know the object attach it as a ``DATA_OBJECT``
+        ancestor of the access contexts.
+        """
+        for node in (self.first, self.second):
+            current: Optional[CCTNode] = node
+            while current is not None:
+                if current.frame.kind is FrameKind.DATA_OBJECT:
+                    return current.frame.name
+                current = current.parent
+        return None
+
+    def guidance(self) -> str:
+        """The per-kind fix suggestion."""
+        target = self.contested_object() or "the shared data"
+        if self.kind is PointKind.FALSE_SHARING:
+            return ("pad or realign %s so the two fields fall in "
+                    "different cache lines" % target)
+        return ("synchronize the accesses to %s (lock, atomic, or "
+                "ownership transfer)" % target)
+
+    def describe(self) -> str:
+        label = ("false sharing" if self.kind is PointKind.FALSE_SHARING
+                 else "data race")
+        return ("%s between %s and %s (%g events) — %s"
+                % (label, self.first.frame.label(),
+                   self.second.frame.label(), self.count, self.guidance()))
+
+
+def sharing_points(profile: Profile,
+                   kind: Optional[PointKind] = None
+                   ) -> List[MonitoringPoint]:
+    """All FALSE_SHARING / DATA_RACE points (optionally one kind)."""
+    kinds = ((kind,) if kind is not None
+             else (PointKind.FALSE_SHARING, PointKind.DATA_RACE))
+    return [p for p in profile.points if p.kind in kinds]
+
+
+def access_pairs(profile: Profile, kind: Optional[PointKind] = None,
+                 top: int = 20, metric: str = "") -> List[AccessPair]:
+    """Aggregate and rank the two-access pairs."""
+    if not sharing_points(profile, kind):
+        return []
+    index = _count_metric(profile, metric)
+    merged: Dict[Tuple[int, int, int], AccessPair] = {}
+    for point in sharing_points(profile, kind):
+        first, second = point.contexts
+        # Unordered pair: (a, b) and (b, a) are the same contention.
+        key = (int(point.kind),) + tuple(sorted((id(first), id(second))))
+        pair = merged.get(key)
+        if pair is None:
+            merged[key] = AccessPair(kind=point.kind, first=first,
+                                     second=second,
+                                     count=point.value(index))
+        else:
+            pair.count += point.value(index)
+    ranked = sorted(merged.values(), key=lambda p: -p.count)
+    return ranked[:top]
+
+
+def contention_by_object(profile: Profile) -> List[Tuple[str, float]]:
+    """Total contention events per contested data object, hottest first."""
+    volumes: Dict[str, float] = {}
+    for pair in access_pairs(profile, top=10 ** 9):
+        name = pair.contested_object() or "<unknown object>"
+        volumes[name] = volumes.get(name, 0.0) + pair.count
+    return sorted(volumes.items(), key=lambda kv: -kv[1])
+
+
+def report(profile: Profile, top: int = 10) -> str:
+    """A textual contention report."""
+    pairs = access_pairs(profile, top=top)
+    if not pairs:
+        return "no contention pairs recorded"
+    lines = ["top %d contention pairs:" % len(pairs)]
+    for i, pair in enumerate(pairs, 1):
+        lines.append("%2d. %s" % (i, pair.describe()))
+    by_object = contention_by_object(profile)
+    if by_object:
+        lines.append("contested objects: "
+                     + ", ".join("%s (%g)" % item for item in by_object))
+    return "\n".join(lines)
+
+
+def _count_metric(profile: Profile, metric: str = "") -> int:
+    if metric:
+        return profile.schema.index_of(metric)
+    for name in ("pingpongs", "events", "count", "accesses"):
+        index = profile.schema.get(name)
+        if index is not None:
+            return index
+    for point in sharing_points(profile):
+        if point.values:
+            return next(iter(point.values))
+    raise AnalysisError("profile has no contention count metric")

@@ -1,0 +1,127 @@
+"""Per-thread profile operations.
+
+Profilers either emit one profile per thread (handled by
+:mod:`repro.analysis.aggregate`) or one profile whose top-level contexts
+are threads (speedscope multi-profile files, Austin's ``T`` prefixes,
+Chrome trace tracks).  This module handles the second form: split a
+threaded profile into per-thread profiles, measure imbalance, and build
+the cross-thread aggregate view in one step — the "investigate the
+behavior across different threads" workflow of §VI-A(b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cct import CCTNode
+from ..core.frame import FrameKind
+from ..core.monitor import MonitoringPoint
+from ..core.profile import Profile, ProfileMeta
+from ..errors import AnalysisError
+from .viewtree import ViewTree
+
+
+def thread_roots(profile: Profile) -> List[CCTNode]:
+    """The profile's thread contexts (anywhere in the top two levels).
+
+    Converters place threads directly under the root, or under a process
+    context; both layouts are recognized.
+    """
+    roots: List[CCTNode] = []
+    for child in profile.root.children.values():
+        if child.frame.kind is FrameKind.THREAD:
+            roots.append(child)
+        else:
+            roots.extend(grand for grand in child.children.values()
+                         if grand.frame.kind is FrameKind.THREAD)
+    return roots
+
+
+def is_threaded(profile: Profile) -> bool:
+    """Whether the profile carries thread contexts to split on."""
+    return bool(thread_roots(profile))
+
+
+def split_by_thread(profile: Profile) -> Dict[str, Profile]:
+    """One profile per thread context, sharing the original's schema.
+
+    Each extracted profile contains the thread's subtree re-rooted at the
+    top (the thread frame itself is dropped — within one thread's profile
+    it carries no information).  Monitoring points whose contexts live in
+    the subtree move along.
+    """
+    roots = thread_roots(profile)
+    if not roots:
+        raise AnalysisError("profile has no thread contexts to split on")
+
+    result: Dict[str, Profile] = {}
+    for thread_node in roots:
+        name = thread_node.frame.name
+        sub = Profile(schema=profile.schema.copy(),
+                      meta=ProfileMeta(
+                          tool=profile.meta.tool,
+                          time_nanos=profile.meta.time_nanos,
+                          duration_nanos=profile.meta.duration_nanos,
+                          attributes=dict(profile.meta.attributes,
+                                          thread=name)))
+        # Copy the thread's subtree, skipping the thread frame itself.
+        mapping: Dict[int, CCTNode] = {id(thread_node): sub.root}
+        stack = [thread_node]
+        while stack:
+            node = stack.pop()
+            target = mapping[id(node)]
+            for child in node.children.values():
+                copy = target.child(child.frame)
+                for index, value in child.metrics.items():
+                    copy.add_value(index, value)
+                mapping[id(child)] = copy
+                stack.append(child)
+        for point in profile.points:
+            if all(id(ctx) in mapping for ctx in point.contexts):
+                sub.points.append(MonitoringPoint(
+                    kind=point.kind,
+                    contexts=[mapping[id(ctx)] for ctx in point.contexts],
+                    values=dict(point.values),
+                    sequence=point.sequence))
+        result[name] = sub
+    return result
+
+
+def thread_totals(profile: Profile, metric: str) -> Dict[str, float]:
+    """Per-thread total of one metric (inclusive over each subtree)."""
+    index = profile.schema.index_of(metric)
+    totals: Dict[str, float] = {}
+    for thread_node in thread_roots(profile):
+        total = 0.0
+        for node in thread_node.walk():
+            total += node.metrics.get(index, 0.0)
+        totals[thread_node.frame.name] = total
+    return totals
+
+
+def imbalance(profile: Profile, metric: str) -> float:
+    """Load imbalance: max / mean of per-thread totals (1.0 = balanced).
+
+    The standard HPC imbalance figure; > ~1.2 means some thread is the
+    straggler and the others wait.
+    """
+    totals = list(thread_totals(profile, metric).values())
+    if not totals:
+        raise AnalysisError("profile has no thread contexts")
+    mean = sum(totals) / len(totals)
+    if mean == 0.0:
+        return 1.0
+    return max(totals) / mean
+
+
+def aggregate_threads(profile: Profile, shape: str = "top_down"
+                      ) -> ViewTree:
+    """Split by thread and aggregate: per-context cross-thread statistics.
+
+    The resulting view carries, for every context, the per-thread value
+    series in ``histogram`` plus sum/min/max/mean columns — exactly the
+    aggregate view of §VI-A(b), with threads as the population.
+    """
+    from .aggregate import aggregate_profiles
+    parts = split_by_thread(profile)
+    return aggregate_profiles(list(parts.values()), shape=shape)

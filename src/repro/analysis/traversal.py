@@ -1,0 +1,140 @@
+"""Tree traversal orders and the visitor/callback machinery (§V-A(a)).
+
+EasyView exposes traversals so users can hook arbitrary analysis into them.
+Two callback families exist, mirroring §V-B:
+
+* *node-visit callbacks* run at every node and return a
+  :class:`VisitAction` steering the traversal (keep, skip the subtree,
+  stop entirely);
+* *metric-computation callbacks* are handled by
+  :mod:`repro.analysis.formula` and :mod:`repro.analysis.callbacks`.
+
+The functions here are generic over CCT nodes and view nodes: anything with
+``children`` (a dict of nodes) walks.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, List, Optional, TypeVar
+
+NodeT = TypeVar("NodeT")
+
+
+class VisitAction(enum.Enum):
+    """What a node-visit callback asks the traversal to do next."""
+
+    CONTINUE = "continue"   # keep going
+    SKIP = "skip"           # do not descend into this node's children
+    STOP = "stop"           # abort the whole traversal
+
+
+class Order(enum.Enum):
+    """Supported traversal orders."""
+
+    PRE = "pre"
+    POST = "post"
+    BFS = "bfs"
+
+
+def preorder(root: NodeT) -> Iterator[NodeT]:
+    """Depth-first pre-order (parents before children)."""
+    stack: List[NodeT] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children.values())  # type: ignore[attr-defined]
+
+
+def postorder(root: NodeT) -> Iterator[NodeT]:
+    """Depth-first post-order (children before parents), iteratively.
+
+    Profiles routinely carry call paths hundreds of frames deep (recursive
+    workloads), so recursion-based walks would hit Python's stack limit.
+    """
+    stack: List[tuple] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+        else:
+            stack.append((node, True))
+            stack.extend(
+                (child, False)
+                for child in node.children.values())  # type: ignore[attr-defined]
+
+
+def bfs(root: NodeT) -> Iterator[NodeT]:
+    """Breadth-first order (level by level)."""
+    queue: List[NodeT] = [root]
+    index = 0
+    while index < len(queue):
+        node = queue[index]
+        index += 1
+        yield node
+        queue.extend(node.children.values())  # type: ignore[attr-defined]
+
+
+_ORDERS = {Order.PRE: preorder, Order.POST: postorder, Order.BFS: bfs}
+
+
+def iterate(root: NodeT, order: Order = Order.PRE) -> Iterator[NodeT]:
+    """Iterate a tree in the requested order."""
+    return _ORDERS[order](root)
+
+
+def visit(root: NodeT,
+          callback: Callable[[NodeT], Optional[VisitAction]],
+          order: Order = Order.PRE) -> int:
+    """Run a node-visit callback over the tree; returns nodes visited.
+
+    For :data:`Order.PRE`, a callback returning :data:`VisitAction.SKIP`
+    prunes the subtree below the current node; :data:`VisitAction.STOP`
+    aborts immediately.  For post-order and BFS, ``SKIP`` is meaningless
+    (children were already visited or enqueued) and is treated as
+    ``CONTINUE``.
+    """
+    visited = 0
+    if order is Order.PRE:
+        stack: List[NodeT] = [root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            action = callback(node) or VisitAction.CONTINUE
+            if action is VisitAction.STOP:
+                return visited
+            if action is VisitAction.SKIP:
+                continue
+            stack.extend(node.children.values())  # type: ignore[attr-defined]
+        return visited
+
+    for node in iterate(root, order):
+        visited += 1
+        action = callback(node) or VisitAction.CONTINUE
+        if action is VisitAction.STOP:
+            return visited
+    return visited
+
+
+def ancestors(node: NodeT) -> Iterator[NodeT]:
+    """Walk from a node's parent up to the root."""
+    current = getattr(node, "parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "parent", None)
+
+
+def common_ancestor(a: NodeT, b: NodeT) -> Optional[NodeT]:
+    """Least common ancestor of two nodes of the same tree (or None).
+
+    This is the operation behind the locality guidance of §VII-C2: hoisting
+    a use and its reuse to the least common ancestor of their call paths.
+    """
+    seen = {id(a)}
+    seen.update(id(n) for n in ancestors(a))
+    if id(b) in seen:
+        return b
+    for candidate in ancestors(b):
+        if id(candidate) in seen:
+            return candidate
+    return None

@@ -1,0 +1,168 @@
+"""View trees: the display-oriented trees the analysis engine produces.
+
+A raw CCT keeps every calling context distinct (one node per frame *and*
+call line).  Views merge contexts that a reader considers the same — by
+default on (function name, file, module) — and carry both inclusive and
+exclusive values per metric.  All three tree shapes from §V-A (top-down,
+bottom-up, flat) are view trees, which lets the differential and aggregate
+operations (§V-A(c)) apply uniformly to every shape, a capability the paper
+highlights over prior diff tools that only handle top-down flame graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.cct import CCTNode
+from ..core.frame import Frame, FrameKind, ROOT_FRAME
+from ..core.metric import MetricSchema
+
+#: Key under which children are merged; produced by a key function.
+MergeKey = Tuple
+
+
+def default_merge_key(frame: Frame) -> MergeKey:
+    """Merge frames by (name, file, module), ignoring line and address."""
+    return frame.merge_key()
+
+
+def line_merge_key(frame: Frame) -> MergeKey:
+    """Merge frames only when the source line also matches."""
+    return (frame.name, frame.file, frame.line, frame.module)
+
+
+class ViewNode:
+    """One node of a view tree."""
+
+    __slots__ = ("frame", "parent", "children", "inclusive", "exclusive",
+                 "sources", "tag", "baseline", "histogram")
+
+    def __init__(self, frame: Frame,
+                 parent: Optional["ViewNode"] = None) -> None:
+        self.frame = frame
+        self.parent = parent
+        self.children: Dict[MergeKey, ViewNode] = {}
+        self.inclusive: Dict[int, float] = {}
+        self.exclusive: Dict[int, float] = {}
+        #: CCT nodes that contributed to this view node (for code links).
+        self.sources: List[CCTNode] = []
+        #: Differential tag: one of "A", "D", "+", "-", "=" (None otherwise).
+        self.tag: Optional[str] = None
+        #: In a differential tree, the first profile's inclusive values.
+        self.baseline: Dict[int, float] = {}
+        #: In an aggregate tree, per-profile (or per-snapshot) value series.
+        self.histogram: Dict[int, List[float]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def child(self, frame: Frame,
+              key_fn: Callable[[Frame], MergeKey] = default_merge_key
+              ) -> "ViewNode":
+        """Return the merged child for ``frame``, creating it if absent."""
+        key = key_fn(frame)
+        node = self.children.get(key)
+        if node is None:
+            node = ViewNode(frame, parent=self)
+            self.children[key] = node
+        return node
+
+    def add_inclusive(self, metric_index: int, value: float) -> None:
+        """Accumulate an inclusive value."""
+        self.inclusive[metric_index] = (
+            self.inclusive.get(metric_index, 0.0) + value)
+
+    def add_exclusive(self, metric_index: int, value: float) -> None:
+        """Accumulate an exclusive value."""
+        self.exclusive[metric_index] = (
+            self.exclusive.get(metric_index, 0.0) + value)
+
+    # -- queries -----------------------------------------------------------
+
+    def value(self, metric_index: int, inclusive: bool = True) -> float:
+        """This node's value for a metric (0 when absent)."""
+        table = self.inclusive if inclusive else self.exclusive
+        return table.get(metric_index, 0.0)
+
+    def delta(self, metric_index: int) -> float:
+        """In a differential tree: new value minus baseline value."""
+        return (self.inclusive.get(metric_index, 0.0)
+                - self.baseline.get(metric_index, 0.0))
+
+    def label(self) -> str:
+        """Display label, including the differential tag when present."""
+        base = self.frame.label()
+        if self.tag:
+            return "[%s] %s" % (self.tag, base)
+        return base
+
+    def path(self) -> List["ViewNode"]:
+        """Nodes from the root (exclusive) down to this node."""
+        nodes: List[ViewNode] = []
+        node: Optional[ViewNode] = self
+        while node is not None and node.frame.kind is not FrameKind.ROOT:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+    def depth(self) -> int:
+        """Distance from the view root."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def sorted_children(self) -> List["ViewNode"]:
+        """Children ordered by descending first-metric inclusive value,
+        breaking ties on the label for determinism."""
+        return sorted(self.children.values(),
+                      key=lambda n: (-n.inclusive.get(0, 0.0), n.frame.name,
+                                     n.frame.file))
+
+    def walk(self) -> Iterator["ViewNode"]:
+        """Depth-first pre-order iteration over this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def __repr__(self) -> str:
+        return "<ViewNode %s>" % self.label()
+
+
+class ViewTree:
+    """A view tree plus the metric schema its column indices refer to."""
+
+    #: The shape of the view: "top_down", "bottom_up", "flat", or a
+    #: decorated shape such as "diff:top_down" / "aggregate:top_down".
+    def __init__(self, schema: MetricSchema, shape: str = "top_down") -> None:
+        self.root = ViewNode(ROOT_FRAME)
+        self.schema = schema
+        self.shape = shape
+
+    def nodes(self) -> Iterator[ViewNode]:
+        """Pre-order iteration over all nodes."""
+        return self.root.walk()
+
+    def node_count(self) -> int:
+        """Total node count including the root."""
+        return sum(1 for _ in self.nodes())
+
+    def total(self, metric_index: int) -> float:
+        """The root's inclusive value for a metric."""
+        return self.root.inclusive.get(metric_index, 0.0)
+
+    def find_by_name(self, name: str) -> List[ViewNode]:
+        """All nodes whose frame name equals ``name``."""
+        return [n for n in self.nodes() if n.frame.name == name]
+
+    def top(self, metric_index: int = 0, count: int = 10,
+            inclusive: bool = False) -> List[ViewNode]:
+        """The hottest non-root nodes by a metric."""
+        candidates = [n for n in self.nodes()
+                      if n.frame.kind is not FrameKind.ROOT]
+        candidates.sort(key=lambda n: -n.value(metric_index, inclusive))
+        return candidates[:count]

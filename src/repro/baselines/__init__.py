@@ -1,0 +1,10 @@
+"""Baseline viewer pipelines for the Fig. 5 response-time comparison:
+the default pprof web UI, the GoLand pprof plugin, and EasyView itself."""
+
+from .common import BaselineViewer, OpenResult, measure
+from .easyview_viewer import EasyViewViewer
+from .goland_viewer import GoLandViewer
+from .pprof_viewer import PProfViewer
+
+__all__ = ["BaselineViewer", "OpenResult", "measure", "EasyViewViewer",
+           "GoLandViewer", "PProfViewer"]

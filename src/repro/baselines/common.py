@@ -1,0 +1,56 @@
+"""Shared harness for the response-time comparison (Fig. 5).
+
+All three viewers measure the same end-to-end operation the paper defines:
+*open a profile* = data processing (parsing, tree construction, metric
+computation) + data visualization (producing the initial top-down flame
+graph).  Each viewer implements :class:`BaselineViewer.open_profile` with
+its own architecture; the benchmark times them on identical pprof bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class OpenResult:
+    """Outcome of one viewer opening one profile."""
+
+    viewer: str
+    seconds: float
+    nodes: int          # contexts the viewer materialized
+    blocks: int         # flame-graph blocks the viewer produced
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class BaselineViewer:
+    """Interface every measured viewer implements."""
+
+    name = "abstract"
+
+    def open_profile(self, data: bytes) -> OpenResult:
+        """Open raw pprof bytes and produce the initial top-down view."""
+        raise NotImplementedError
+
+    def _timed(self, fn: Callable[[], Any]) -> "tuple[Any, float]":
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+
+def measure(viewer: BaselineViewer, data: bytes, repeats: int = 1
+            ) -> OpenResult:
+    """Open ``data`` ``repeats`` times; returns the best (min) run.
+
+    Min-of-N is the standard way to strip scheduler noise from a
+    deterministic computation.
+    """
+    best: Optional[OpenResult] = None
+    for _ in range(repeats):
+        result = viewer.open_profile(data)
+        if best is None or result.seconds < best.seconds:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,68 @@
+"""A faithful model of the GoLand pprof plugin's open pipeline.
+
+Architecture being modeled (JetBrains profiler tooling):
+
+1. **Parse + tree construction** comparable to EasyView's (one pass).
+2. **Eager whole-tree materialization** — the IDE builds its tree-table
+   model up front: every context becomes a row object with pre-formatted
+   label, value, and percentage strings, so large profiles pay for every
+   row before the first paint (the "slow to open and navigate large
+   profiles" behavior Task I observed).
+3. **Full flame layout** — the flame tab lays out all nodes without a
+   minimum-width cutoff.
+4. **No bottom-up flame graph** — only a bottom-up *tree table* exists,
+   which is what costs the GoLand control group an hour on Task II.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.transform import top_down
+from ..converters.pprof import parse as parse_pprof
+from ..viz.layout import layout
+from .common import BaselineViewer, OpenResult
+
+
+class GoLandViewer(BaselineViewer):
+    """The GoLand pprof plugin open pipeline."""
+
+    name = "goland"
+
+    #: Capability matrix consumed by the user-study simulation.
+    has_bottom_up_flame = False
+    has_bottom_up_table = True
+    has_multi_profile = False
+
+    def open_profile(self, data: bytes) -> OpenResult:
+        (profile, parse_s) = self._timed(lambda: parse_pprof(data))
+        (tree, analyze_s) = self._timed(lambda: top_down(profile))
+        (rows, table_s) = self._timed(lambda: self._materialize_rows(tree))
+        (flame, flame_s) = self._timed(
+            lambda: layout(tree, min_width=0.0))  # no lazy cutoff
+        return OpenResult(
+            viewer=self.name,
+            seconds=parse_s + analyze_s + table_s + flame_s,
+            nodes=tree.node_count(),
+            blocks=flame.laid_out_nodes,
+            detail={"parse": parse_s, "analyze": analyze_s,
+                    "table": table_s, "flame": flame_s})
+
+    def _materialize_rows(self, tree) -> List[tuple]:
+        """Build every tree-table row eagerly with formatted cells."""
+        total = tree.total(0) or 1.0
+        rows: List[tuple] = []
+        stack = [(tree.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            value = node.inclusive.get(0, 0.0)
+            rows.append((
+                depth,
+                "  " * depth + node.frame.label(),
+                "{:,.0f}".format(value),
+                "%.2f%%" % (100.0 * value / total),
+                "%s:%d" % (node.frame.file, node.frame.line),
+            ))
+            stack.extend((child, depth + 1)
+                         for child in node.sorted_children())
+        return rows

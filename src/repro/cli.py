@@ -1,0 +1,413 @@
+"""The ``easyview`` command-line interface.
+
+Subcommands mirror the viewer's capabilities for headless use:
+
+* ``open``      — render a profile as a flame graph / outline / summary
+* ``convert``   — convert any supported format to EasyView's binary format
+* ``diff``      — differential view of two profiles
+* ``aggregate`` — aggregate view over several profiles
+* ``report``    — write a self-contained HTML report
+* ``formats``   — list supported input formats
+* ``serve``     — speak the Profile View Protocol over stdio
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_open(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.transform import transform
+    from .viz.flamegraph import FlameGraph
+    from .viz.terminal import render_summary, render_tree_text
+
+    profile = open_profile(args.path, format=args.format)
+    tree = transform(profile, args.shape)
+    graph = FlameGraph(tree, metric=args.metric or "")
+    if args.outline:
+        print(render_tree_text(tree, metric_index=graph.metric_index))
+    else:
+        print(graph.to_text(width=args.width, color=args.color))
+    print()
+    print(render_summary(tree, metric_index=graph.metric_index))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .core.serialize import dump
+
+    profile = open_profile(args.input, format=args.format)
+    dump(profile, args.output)
+    print("wrote %s (%d contexts, metrics: %s)"
+          % (args.output, profile.node_count(),
+             ", ".join(profile.schema.names())))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.diff import diff_profiles, summarize
+    from .viz.terminal import render_tree_text
+
+    baseline = open_profile(args.baseline, format=args.format)
+    treatment = open_profile(args.treatment, format=args.format)
+    tree = diff_profiles(baseline, treatment, shape=args.shape)
+    print(render_tree_text(tree))
+    print()
+    tags = summarize(tree)
+    print("difference tags:", " ".join(
+        "[%s]=%d" % (tag, count) for tag, count in sorted(tags.items())))
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.aggregate import aggregate_profiles
+    from .viz.terminal import render_tree_text
+
+    profiles = [open_profile(path, format=args.format)
+                for path in args.paths]
+    tree = aggregate_profiles(profiles, shape=args.shape)
+    print("aggregated %d profiles; showing %s"
+          % (len(profiles), tree.schema[0].name))
+    print(render_tree_text(tree))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .viz.flamegraph import FlameGraph
+    from .viz.html import HtmlReport
+    from .viz.treetable import TreeTable
+
+    profile = open_profile(args.path, format=args.format)
+    if args.interactive:
+        from .viz.webview import save_webview
+        save_webview(profile, args.output,
+                     title="EasyView — %s" % args.path)
+        print("wrote %s (interactive)" % args.output)
+        return 0
+    report = HtmlReport("EasyView report — %s" % args.path)
+    for shape in ("top_down", "bottom_up", "flat"):
+        graph = getattr(FlameGraph, shape)(profile)
+        report.add_heading("%s flame graph" % shape.replace("_", "-"))
+        report.add_flamegraph(graph)
+    table = TreeTable(FlameGraph.top_down(profile).tree)
+    table.expand_hot_path()
+    report.add_heading("tree table (hot path expanded)")
+    report.add_table(table)
+    report.save(args.output)
+    print("wrote %s" % args.output)
+    return 0
+
+
+def _cmd_leak(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.leak import detect_leaks
+    from .viz.histogram import sparkline
+
+    profile = open_profile(args.path, format=args.format)
+    verdicts = detect_leaks(profile, args.metric, threshold=args.threshold,
+                            min_peak=args.min_peak)
+    if not verdicts:
+        print("no snapshot series found (metric %r)" % args.metric)
+        return 1
+    for verdict in verdicts[:args.top]:
+        print("%s %s" % (sparkline(verdict.series), verdict.describe()))
+    suspicious = sum(v.suspicious for v in verdicts)
+    print("\n%d of %d contexts look like potential leaks"
+          % (suspicious, len(verdicts)))
+    return 0
+
+
+def _cmd_reuse(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .viz.flamegraph import CorrelatedView
+
+    profile = open_profile(args.path, format=args.format)
+    view = CorrelatedView(profile)
+    allocations = view.allocations()
+    if not allocations:
+        print("no use/reuse pairs recorded in this profile")
+        return 1
+    view.select_allocation(allocations[0][0])
+    uses = view.uses()
+    if uses:
+        view.select_use(uses[0][0])
+    print(view.render_text(top=args.top))
+    print()
+    for line in view.guidance(top=args.top):
+        print("guidance:", line)
+    return 0
+
+
+def _cmd_inefficiencies(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis import redundancy, sharing
+
+    profile = open_profile(args.path, format=args.format)
+    printed = False
+    if profile.points and any(p.kind.name == "REDUNDANCY"
+                              for p in profile.points):
+        print(redundancy.report(profile, top=args.top))
+        printed = True
+    contention = sharing.report(profile, top=args.top)
+    if "no contention" not in contention:
+        if printed:
+            print()
+        print(contention)
+        printed = True
+    if not printed:
+        print("no multi-context inefficiency points recorded")
+        return 1
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .builder import validate
+
+    profile = open_profile(args.path, format=args.format)
+    report = validate(profile)
+    for error in report.errors:
+        print("error: %s" % error)
+    for warning in report.warnings:
+        print("warning: %s" % warning)
+    if report.ok:
+        print("OK: %d contexts, %d points, metrics: %s"
+              % (profile.node_count(), len(profile.points),
+                 ", ".join(profile.schema.names())))
+        return 0
+    return 1
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.anonymize import anonymize
+    from .core.serialize import dump
+
+    profile = open_profile(args.path, format=args.format)
+    scrubbed = anonymize(profile, key=args.key,
+                         keep_lines=args.keep_lines,
+                         keep_modules=args.keep_module)
+    dump(scrubbed, args.output)
+    print("wrote %s (%d contexts anonymized; values untouched)"
+          % (args.output, scrubbed.node_count()))
+    return 0
+
+
+def _cmd_combine(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.combine import combine
+    from .core.serialize import dump
+
+    profiles = [open_profile(path, format=args.format)
+                for path in args.paths]
+    merged = combine(profiles)
+    dump(merged, args.output)
+    print("wrote %s (tools: %s; metrics: %s)"
+          % (args.output, merged.meta.tool,
+             ", ".join(merged.schema.names())))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .converters import open_profile
+    from .analysis.timerange import find_phases, range_profile
+    from .viz.terminal import render_summary, render_tree_text
+    from .viz.timeline import timeline_text
+    from .analysis.transform import top_down
+
+    profile = open_profile(args.path, format=args.format)
+    text = timeline_text(profile, args.metric, width=args.width)
+    if "no snapshot" in text:
+        print(text)
+        return 1
+    print(text)
+    if args.window:
+        start, _, end = args.window.partition(":")
+        sub = range_profile(profile, int(start), int(end),
+                            combine=args.combine)
+        print()
+        print("window %s..%s (%s):" % (start, end, args.combine))
+        print(render_summary(top_down(sub)))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .study.simulate import render_table, run_study
+    from .study.survey import run_survey
+
+    table = run_study(seed=args.seed)
+    print("control-group study (group mean task times):")
+    print(render_table(table))
+    print()
+    print("view-effectiveness survey:")
+    print(run_survey(seed=args.seed + 2).render())
+    return 0
+
+
+def _cmd_formats(args: argparse.Namespace) -> int:
+    from .converters import base
+
+    for name in base.names():
+        converter = base.get(name)
+        extensions = " ".join(converter.extensions) or "-"
+        print("%-16s %-28s %s"
+              % (name, extensions, converter.description))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .ide.server import StdioServer
+
+    StdioServer().serve_forever()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="easyview",
+        description="EasyView: performance profiles, anywhere")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_open = sub.add_parser("open", help="render a profile")
+    p_open.add_argument("path")
+    p_open.add_argument("--format", default=None)
+    p_open.add_argument("--shape", default="top_down",
+                        choices=["top_down", "bottom_up", "flat"])
+    p_open.add_argument("--metric", default=None)
+    p_open.add_argument("--width", type=int, default=100)
+    p_open.add_argument("--color", action="store_true")
+    p_open.add_argument("--outline", action="store_true",
+                        help="indented outline instead of flame rows")
+    p_open.set_defaults(fn=_cmd_open)
+
+    p_convert = sub.add_parser("convert",
+                               help="convert to EasyView binary format")
+    p_convert.add_argument("input")
+    p_convert.add_argument("output")
+    p_convert.add_argument("--format", default=None)
+    p_convert.set_defaults(fn=_cmd_convert)
+
+    p_diff = sub.add_parser("diff", help="differential view of two profiles")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("treatment")
+    p_diff.add_argument("--format", default=None)
+    p_diff.add_argument("--shape", default="top_down",
+                        choices=["top_down", "bottom_up", "flat"])
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_agg = sub.add_parser("aggregate",
+                           help="aggregate view over several profiles")
+    p_agg.add_argument("paths", nargs="+")
+    p_agg.add_argument("--format", default=None)
+    p_agg.add_argument("--shape", default="top_down",
+                       choices=["top_down", "bottom_up", "flat"])
+    p_agg.set_defaults(fn=_cmd_aggregate)
+
+    p_report = sub.add_parser("report", help="write an HTML report")
+    p_report.add_argument("path")
+    p_report.add_argument("-o", "--output", default="easyview-report.html")
+    p_report.add_argument("--format", default=None)
+    p_report.add_argument("--interactive", action="store_true",
+                          help="self-contained interactive viewer instead "
+                               "of a static report")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_leak = sub.add_parser("leak",
+                            help="memory-leak verdicts from snapshots")
+    p_leak.add_argument("path")
+    p_leak.add_argument("--format", default=None)
+    p_leak.add_argument("--metric", default="inuse_bytes")
+    p_leak.add_argument("--threshold", type=float, default=0.6)
+    p_leak.add_argument("--min-peak", type=float, default=0.0,
+                        dest="min_peak")
+    p_leak.add_argument("--top", type=int, default=10)
+    p_leak.set_defaults(fn=_cmd_leak)
+
+    p_reuse = sub.add_parser("reuse",
+                             help="correlated use/reuse analysis")
+    p_reuse.add_argument("path")
+    p_reuse.add_argument("--format", default=None)
+    p_reuse.add_argument("--top", type=int, default=5)
+    p_reuse.set_defaults(fn=_cmd_reuse)
+
+    p_ineff = sub.add_parser("inefficiencies",
+                             help="redundancy and contention reports")
+    p_ineff.add_argument("path")
+    p_ineff.add_argument("--format", default=None)
+    p_ineff.add_argument("--top", type=int, default=10)
+    p_ineff.set_defaults(fn=_cmd_inefficiencies)
+
+    p_validate = sub.add_parser("validate",
+                                help="structural validation report")
+    p_validate.add_argument("path")
+    p_validate.add_argument("--format", default=None)
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_anon = sub.add_parser("anonymize",
+                            help="scrub names for safe sharing")
+    p_anon.add_argument("path")
+    p_anon.add_argument("-o", "--output", default="anonymized.ezvw")
+    p_anon.add_argument("--key", required=True,
+                        help="pseudonym key (same key keeps profiles "
+                             "diffable)")
+    p_anon.add_argument("--keep-lines", action="store_true",
+                        dest="keep_lines")
+    p_anon.add_argument("--keep-module", action="append", default=[],
+                        help="module name to leave readable (repeatable)")
+    p_anon.add_argument("--format", default=None)
+    p_anon.set_defaults(fn=_cmd_anonymize)
+
+    p_combine = sub.add_parser("combine",
+                               help="merge profiles from different tools")
+    p_combine.add_argument("paths", nargs="+")
+    p_combine.add_argument("-o", "--output", default="combined.ezvw")
+    p_combine.add_argument("--format", default=None)
+    p_combine.set_defaults(fn=_cmd_combine)
+
+    p_timeline = sub.add_parser("timeline",
+                                help="snapshot-series timeline strip")
+    p_timeline.add_argument("path")
+    p_timeline.add_argument("--format", default=None)
+    p_timeline.add_argument("--metric", default="inuse_bytes")
+    p_timeline.add_argument("--width", type=int, default=60)
+    p_timeline.add_argument("--window", default=None,
+                            help="START:END snapshot range to summarize")
+    p_timeline.add_argument("--combine", default="mean",
+                            choices=["mean", "sum", "last"])
+    p_timeline.set_defaults(fn=_cmd_timeline)
+
+    p_study = sub.add_parser("study",
+                             help="replay the §VII-D study simulation")
+    p_study.add_argument("--seed", type=int, default=2024)
+    p_study.set_defaults(fn=_cmd_study)
+
+    p_formats = sub.add_parser("formats", help="list supported formats")
+    p_formats.set_defaults(fn=_cmd_formats)
+
+    p_serve = sub.add_parser("serve",
+                             help="Profile View Protocol server on stdio")
+    p_serve.set_defaults(fn=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except Exception as exc:  # surface errors as exit status, not traceback
+        print("easyview: error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

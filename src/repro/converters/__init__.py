@@ -1,0 +1,26 @@
+"""Format converters: pprof, collapsed stacks, Chrome, speedscope,
+pyinstrument, Scalene, perf script, HPCToolkit, TAU, Cloud Profiler, and
+gprof — all registered with auto-detection (§IV-B)."""
+
+from .base import Converter, detect, get, names, open_profile, parse_bytes
+
+# Importing each module registers its converter.  Registration order sets
+# sniffing priority: binary/magic formats first, permissive text last.
+from . import easyview         # noqa: F401  (EZVW magic)
+from . import pprof            # noqa: F401  (gzip/protobuf magic)
+from . import cloudprofiler    # noqa: F401  (JSON with profileBytes)
+from . import speedscope       # noqa: F401  (JSON with $schema)
+from . import chrome           # noqa: F401  (JSON with nodes/callFrame)
+from . import chrome_trace     # noqa: F401  (JSON with traceEvents/ph)
+from . import pyinstrument     # noqa: F401  (JSON with root_frame)
+from . import scalene          # noqa: F401  (JSON with files/…)
+from . import hpctoolkit       # noqa: F401  (XML)
+from . import gprof            # noqa: F401  (text with 'Flat profile')
+from . import callgrind        # noqa: F401  (text with events:/fn=)
+from . import tau              # noqa: F401  (text '<n> <metric>')
+from . import perf_script      # noqa: F401  (text sample headers)
+from . import austin           # noqa: F401  (text P/T-prefixed stacks)
+from . import collapsed        # noqa: F401  (text, most permissive)
+
+__all__ = ["Converter", "detect", "get", "names", "open_profile",
+           "parse_bytes"]

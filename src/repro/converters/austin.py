@@ -1,0 +1,105 @@
+"""Austin sampler converter.
+
+Austin (cited by the paper as one of the profilers with its own VSCode
+extension) emits one line per collapsed sample with process/thread
+prefixes::
+
+    P123;T0x7f0a;module.main:main:12;module.work:work:40 642
+
+The trailing number is the sampled wall time in microseconds (or memory
+delta in ``-m`` mode).  Frames are ``filename:function:line`` triples;
+process and thread prefixes become ``THREAD``-kind contexts so per-thread
+views and cross-thread aggregation work out of the box.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, FrameKind, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+_PROCESS_RE = re.compile(r"^P(?P<pid>\w+)$")
+_THREAD_RE = re.compile(r"^T(?P<tid>\w+)(:\w+)?$")
+
+
+def _parse_frame(token: str) -> Frame:
+    # Austin frames are "filename:function:line"; the filename itself may
+    # contain ':' on Windows, so split from the right.
+    parts = token.rsplit(":", 2)
+    if len(parts) == 3 and parts[2].lstrip("-").isdigit():
+        filename, function, line = parts
+        return intern_frame(function or "<unknown>", file=filename,
+                            line=max(int(line), 0))
+    return intern_frame(token or "<unknown>")
+
+
+def parse(data: bytes) -> Profile:
+    """Convert Austin collapsed output."""
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FormatError("Austin output must be UTF-8 text") from exc
+
+    builder = ProfileBuilder(tool="austin")
+    metric = builder.metric("wall_time", unit="microseconds")
+    parsed = 0
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack_text, _, value_text = line.rpartition(" ")
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise FormatError("line %d has non-numeric sample value %r"
+                              % (line_number, value_text)) from None
+        frames: List[Frame] = []
+        for token in stack_text.split(";"):
+            token = token.strip()
+            if not token:
+                continue
+            if _PROCESS_RE.match(token):
+                frames.append(intern_frame("process %s" % token[1:],
+                                           kind=FrameKind.THREAD))
+            elif _THREAD_RE.match(token):
+                frames.append(intern_frame("thread %s" % token[1:],
+                                           kind=FrameKind.THREAD))
+            else:
+                frames.append(_parse_frame(token))
+        if not frames:
+            raise FormatError("line %d has an empty stack" % line_number)
+        builder.sample(frames, {metric: value})
+        parsed += 1
+    if not parsed:
+        raise FormatError("no samples found in Austin output")
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096]
+    if head[:1] in (b"{", b"<", b"\x1f"):
+        return False
+    try:
+        text = head.decode("utf-8")
+    except UnicodeDecodeError:
+        return False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # The P<pid>;T<tid>; prefix is Austin's signature.
+        return bool(re.match(r"^P\w+;T\w+", line))
+    return False
+
+
+register(Converter(
+    name="austin",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".austin",),
+    description="Austin frame-stack sampler output (P/T-prefixed stacks)"))

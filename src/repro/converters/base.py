@@ -1,0 +1,100 @@
+"""Converter infrastructure: the registry and format sniffing.
+
+A converter turns one foreign profile format into EasyView's representation
+(§IV-B's second integration path).  Each converter declares a name, file
+extensions, and a ``sniff`` predicate; :func:`open_profile` picks one by
+explicit name, extension, or content sniffing, in that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.profile import Profile
+from ..errors import ConversionError, FormatError
+
+ParseFn = Callable[[bytes], Profile]
+SniffFn = Callable[[bytes, str], bool]
+
+
+@dataclass(frozen=True)
+class Converter:
+    """One registered format converter."""
+
+    name: str
+    parse: ParseFn
+    sniff: SniffFn
+    extensions: Sequence[str] = ()
+    description: str = ""
+
+
+_REGISTRY: Dict[str, Converter] = {}
+_ORDER: List[str] = []
+
+
+def register(converter: Converter) -> Converter:
+    """Add a converter to the registry (insertion order = sniff priority)."""
+    if converter.name in _REGISTRY:
+        raise ConversionError("converter %r already registered"
+                              % converter.name)
+    _REGISTRY[converter.name] = converter
+    _ORDER.append(converter.name)
+    return converter
+
+
+def get(name: str) -> Converter:
+    """Look up a converter by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConversionError(
+            "unknown format %r (supported: %s)"
+            % (name, ", ".join(sorted(_REGISTRY)))) from None
+
+
+def names() -> List[str]:
+    """All registered converter names, in registration order."""
+    return list(_ORDER)
+
+
+def detect(data: bytes, path: str = "") -> Converter:
+    """Pick a converter by extension first, then by content sniffing."""
+    lowered = path.lower()
+    for name in _ORDER:
+        converter = _REGISTRY[name]
+        if any(lowered.endswith(ext) for ext in converter.extensions):
+            if converter.sniff(data, path):
+                return converter
+    for name in _ORDER:
+        converter = _REGISTRY[name]
+        if converter.sniff(data, path):
+            return converter
+    raise FormatError("cannot detect the format of %r (%d bytes); "
+                      "pass format= explicitly" % (path or "<data>",
+                                                   len(data)))
+
+
+def parse_bytes(data: bytes, format: Optional[str] = None,
+                path: str = "") -> Profile:
+    """Convert raw bytes with an explicit or detected format.
+
+    The conversion runs under the :func:`~repro.core.gcguard.no_gc` guard:
+    bulk CCT construction allocates millions of acyclic containers, and
+    suppressing generational collections during the build is one of the
+    §V-C efficiency levers.
+    """
+    from ..core.gcguard import no_gc
+    converter = get(format) if format else detect(data, path)
+    with no_gc():
+        profile = converter.parse(data)
+    if not profile.meta.tool:
+        profile.meta.tool = converter.name
+    return profile
+
+
+def open_profile(path: str, format: Optional[str] = None) -> Profile:
+    """Open a profile file of any supported format."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return parse_bytes(data, format=format, path=path)

@@ -1,0 +1,201 @@
+"""Valgrind Callgrind output converter.
+
+Callgrind's profile format (the KCachegrind input; Valgrind is one of the
+fine-grained profilers §IV-A surveys) is positional text: ``events:``
+declares the cost columns, ``fl=``/``fn=`` set the current file/function —
+with the ``(N) name`` compression scheme where a number introduces or
+back-references a string — cost lines attribute events to source lines,
+and ``cfl=``/``cfn=``/``calls=`` describe call edges whose following cost
+line carries the *inclusive* cost of the calls.
+
+Callgrind records a call *graph*, not full call paths, so conversion
+mirrors the gprof strategy: per-function line costs become contexts under
+the function, and each call edge adds a two-level ``caller → callee``
+path carrying the edge's inclusive cost as a ``calls`` metric plus
+attributed events — enough for top-down, bottom-up, and flat questions.
+Subposition compression (``+N``/``-N``/``*``) is handled.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import FrameKind, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+_NAME_REF_RE = re.compile(r"^\((?P<id>\d+)\)\s*(?P<name>.*)$")
+
+
+class _NameTable:
+    """One compression namespace (fl/fn/cfl/cfn share per-kind tables)."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, str] = {}
+
+    def resolve(self, text: str) -> str:
+        text = text.strip()
+        match = _NAME_REF_RE.match(text)
+        if match is None:
+            return text
+        ref = int(match.group("id"))
+        name = match.group("name").strip()
+        if name:
+            self._by_id[ref] = name
+            return name
+        if ref not in self._by_id:
+            raise FormatError("callgrind back-reference (%d) before "
+                              "definition" % ref)
+        return self._by_id[ref]
+
+
+def _parse_position(token: str, last: int) -> int:
+    """One subposition: absolute, ``+N``/``-N`` relative, or ``*``."""
+    if token == "*":
+        return last
+    if token.startswith("+"):
+        return last + int(token[1:])
+    if token.startswith("-"):
+        return last - int(token[1:])
+    if token.startswith("0x"):
+        return int(token, 16)
+    return int(token)
+
+
+def parse(data: bytes) -> Profile:
+    """Convert a callgrind.out file."""
+    text = data.decode("utf-8", errors="replace")
+    lines = text.splitlines()
+
+    events: List[str] = []
+    builder = ProfileBuilder(tool="callgrind")
+    metric_columns: List[int] = []
+    calls_metric: Optional[int] = None
+
+    files = _NameTable()
+    functions = _NameTable()
+    objects = _NameTable()
+
+    current_file = ""
+    current_fn = ""
+    current_obj = ""
+    last_line = 0
+    pending_call: Optional[Tuple[str, str, float]] = None  # (fn, file, count)
+    cost_rows = 0
+
+    def ensure_metrics() -> None:
+        nonlocal calls_metric
+        if metric_columns:
+            return
+        declared = events or ["Ir"]
+        for event in declared:
+            unit = "count"
+            metric_columns.append(builder.metric(event, unit=unit))
+        calls_metric = builder.metric("calls", unit="count")
+
+    def module() -> str:
+        return current_obj.rsplit("/", 1)[-1] if current_obj else ""
+
+    for line_number, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered.startswith("events:"):
+            events = line.split(":", 1)[1].split()
+            continue
+        if ":" in line and line.split(":", 1)[0].lower() in (
+                "version", "creator", "cmd", "part", "pid", "thread",
+                "desc", "positions", "summary", "totals"):
+            continue
+        if line.startswith("ob="):
+            current_obj = objects.resolve(line[3:])
+            continue
+        if line.startswith("fl=") or line.startswith("fi=") \
+                or line.startswith("fe="):
+            current_file = files.resolve(line[3:])
+            continue
+        if line.startswith("fn="):
+            current_fn = functions.resolve(line[3:])
+            last_line = 0
+            continue
+        if line.startswith("cob="):
+            objects.resolve(line[4:])
+            continue
+        if line.startswith("cfi=") or line.startswith("cfl="):
+            call_file = files.resolve(line[4:])
+            pending_call = (pending_call[0] if pending_call else "",
+                            call_file,
+                            pending_call[2] if pending_call else 0.0)
+            continue
+        if line.startswith("cfn="):
+            name = functions.resolve(line[4:])
+            call_file = pending_call[1] if pending_call else ""
+            pending_call = (name, call_file, 0.0)
+            continue
+        if line.startswith("calls="):
+            count = float(line.split("=", 1)[1].split()[0])
+            if pending_call is None:
+                raise FormatError("line %d: calls= without cfn="
+                                  % line_number)
+            pending_call = (pending_call[0], pending_call[1], count)
+            continue
+        if line.startswith("jump=") or line.startswith("jcnd="):
+            continue
+        # A cost line: subposition(s) followed by event counts.
+        tokens = line.split()
+        if not current_fn:
+            raise FormatError("line %d: cost line before any fn="
+                              % line_number)
+        ensure_metrics()
+        try:
+            position = _parse_position(tokens[0], last_line)
+            costs = [float(token) for token in tokens[1:]]
+        except ValueError:
+            raise FormatError("line %d: unparseable cost line %r"
+                              % (line_number, raw)) from None
+        last_line = position
+        caller_frame = intern_frame(current_fn, file=current_file,
+                                    module=module())
+        if pending_call is not None:
+            callee_name, callee_file, count = pending_call
+            pending_call = None
+            callee_frame = intern_frame(callee_name, file=callee_file)
+            # The call line's event costs are the callee's *inclusive*
+            # cost, which the callee's own section already reports as self
+            # costs — recording them again would double-count, so the edge
+            # carries only the call count (like the gprof converter).
+            builder.sample([caller_frame, callee_frame],
+                           {calls_metric: count})
+        else:
+            line_frame = intern_frame(
+                "line %d" % position, file=current_file, line=position,
+                module=module(), kind=FrameKind.INSTRUCTION)
+            values = {}
+            for column, cost in zip(metric_columns, costs):
+                values[column] = cost
+            builder.sample([caller_frame, line_frame], values)
+        cost_rows += 1
+
+    if not cost_rows:
+        raise FormatError("no cost lines found in callgrind input")
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096]
+    if head[:1] in (b"{", b"<", b"\x1f"):
+        return False
+    return (b"events:" in head
+            and (b"fn=" in head or b"fl=" in head))
+
+
+register(Converter(
+    name="callgrind",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".callgrind", ".out.callgrind"),
+    description="Valgrind Callgrind output (KCachegrind input)"))

@@ -1,0 +1,131 @@
+"""Chrome Trace Event Format converter (``about:tracing`` / Perfetto
+legacy JSON).
+
+Trace files carry time-ordered *events* rather than samples: ``B``/``E``
+pairs open and close a named slice on a (pid, tid) track, ``X`` events are
+complete slices with a duration, and ``M`` metadata events name processes
+and threads.  EasyView folds the slices into calling-context form — a
+slice's "call path" is the stack of slices open around it on its track —
+attributing each slice's *self* time (duration minus nested slices), which
+turns any trace into a profile every view understands.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, FrameKind, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Convert a Trace Event Format JSON payload."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError("not valid trace-event JSON: %s" % exc) from exc
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise FormatError("trace JSON must carry a 'traceEvents' array")
+    elif isinstance(payload, list):
+        events = payload  # the bare-array flavor
+    else:
+        raise FormatError("trace JSON must be an object or array")
+
+    builder = ProfileBuilder(tool="chrome-trace")
+    wall = builder.metric("wall_time", unit="microseconds")
+    count = builder.metric("slices", unit="count")
+
+    thread_names: Dict[Tuple, str] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            raise FormatError("trace events must be JSON objects")
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid"), event.get("tid"))
+            thread_names[key] = event.get("args", {}).get("name", "")
+
+    def thread_frame(pid, tid) -> Frame:
+        label = thread_names.get((pid, tid)) or "pid %s tid %s" % (pid, tid)
+        return intern_frame(label, kind=FrameKind.THREAD)
+
+    def slice_frame(event) -> Frame:
+        args = event.get("args") or {}
+        return intern_frame(event.get("name") or "(unnamed)",
+                            file=str(args.get("file", "")),
+                            line=int(args.get("line", 0) or 0),
+                            module=event.get("cat", ""))
+
+    # Per-track open-slice stacks: entries are [frame, start, child_time].
+    stacks: Dict[Tuple, List[list]] = {}
+    emitted = 0
+
+    def emit(track_key, frame, start, end, child_time) -> None:
+        nonlocal emitted
+        duration = max(end - start, 0.0)
+        self_time = max(duration - child_time, 0.0)
+        stack = stacks.get(track_key, [])
+        if stack:
+            stack[-1][2] += duration
+        path = [thread_frame(*track_key)]
+        path.extend(entry[0] for entry in stack)
+        path.append(frame)
+        builder.sample(path, {wall: self_time, count: 1.0})
+        emitted += 1
+
+    # Events must be processed in timestamp order per track; sort stably.
+    def sort_key(event):
+        ts = event.get("ts", 0)
+        if not isinstance(ts, (int, float)):
+            raise FormatError("event 'ts' must be numeric")
+        return (ts, 0 if event.get("ph") != "E" else 1)
+
+    for event in sorted((e for e in events if isinstance(e, dict)),
+                        key=sort_key):
+        phase = event.get("ph")
+        key = (event.get("pid"), event.get("tid"))
+        ts = float(event.get("ts", 0))
+        if phase == "B":
+            stacks.setdefault(key, []).append([slice_frame(event), ts, 0.0])
+        elif phase == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise FormatError("E event at ts=%s closes nothing" % ts)
+            frame, start, child_time = stack.pop()
+            emit(key, frame, start, ts, child_time)
+        elif phase == "X":
+            duration = float(event.get("dur", 0))
+            stack = stacks.setdefault(key, [])
+            # A complete slice nests under whatever is open around it.
+            stacks[key].append([slice_frame(event), ts, 0.0])
+            frame, start, child_time = stacks[key].pop()
+            emit(key, frame, ts, ts + duration, child_time)
+
+    for key, stack in stacks.items():
+        if stack:
+            raise FormatError("track %s ended with %d unclosed slices"
+                              % (key, len(stack)))
+    if not emitted:
+        raise FormatError("trace contains no duration events")
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096].lstrip()
+    if head.startswith(b"{"):
+        return b'"traceEvents"' in data[:8192]
+    if head.startswith(b"["):
+        return b'"ph"' in data[:8192] and b'"ts"' in data[:8192]
+    return False
+
+
+register(Converter(
+    name="chrome-trace",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".trace.json", ".traceevents"),
+    description="Chrome/Perfetto Trace Event Format (B/E/X slices)"))

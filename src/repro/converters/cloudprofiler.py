@@ -1,0 +1,73 @@
+"""Google Cloud Profiler converter.
+
+Cloud Profiler's API wraps a standard pprof payload in a JSON envelope
+(``profiles.create``/``profiles.patch`` bodies): the gzipped protobuf is
+base64-encoded under ``profileBytes`` alongside ``profileType`` and
+deployment metadata.  Conversion unwraps the envelope and delegates to the
+pprof converter, tagging the profile with the deployment attributes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+from .pprof import parse as parse_pprof
+
+
+def parse(data: bytes) -> Profile:
+    """Convert a Cloud Profiler JSON envelope."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError("not a Cloud Profiler JSON envelope: %s"
+                          % exc) from exc
+    if not isinstance(payload, dict):
+        raise FormatError("Cloud Profiler envelope must be an object")
+    encoded = payload.get("profileBytes")
+    if not encoded:
+        raise FormatError("envelope has no 'profileBytes'")
+    try:
+        raw = base64.b64decode(encoded, validate=True)
+    except Exception as exc:
+        raise FormatError("profileBytes is not valid base64: %s"
+                          % exc) from exc
+    profile = parse_pprof(raw)
+    profile.meta.tool = "cloud-profiler"
+    if "profileType" in payload:
+        profile.meta.attributes["profileType"] = str(payload["profileType"])
+    deployment = payload.get("deployment", {})
+    if isinstance(deployment, dict):
+        for key in ("projectId", "target"):
+            if key in deployment:
+                profile.meta.attributes[key] = str(deployment[key])
+    return profile
+
+
+def wrap(pprof_bytes: bytes, profile_type: str = "CPU",
+         project_id: str = "", target: str = "") -> bytes:
+    """Build a Cloud Profiler envelope around a pprof payload (for tests
+    and for exporting back to the API)."""
+    envelope = {
+        "profileType": profile_type,
+        "profileBytes": base64.b64encode(pprof_bytes).decode("ascii"),
+        "deployment": {"projectId": project_id, "target": target},
+    }
+    return json.dumps(envelope).encode("utf-8")
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096]
+    return (head.lstrip().startswith(b"{")
+            and b'"profileBytes"' in head)
+
+
+register(Converter(
+    name="cloud-profiler",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".cloudprofile.json",),
+    description="Google Cloud Profiler JSON envelope around pprof"))

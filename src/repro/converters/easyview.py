@@ -1,0 +1,53 @@
+"""Loader for EasyView's own binary format (``.ezvw``).
+
+Registered like any converter so :func:`repro.open_profile` and the viewer
+session open native files transparently — this is the format the data
+builder emits and ``easyview convert`` writes.
+"""
+
+from __future__ import annotations
+
+from ..core import serialize
+from ..core.profile import Profile
+from ..proto.easyview_pb import FORMAT_MAGIC
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Parse a native EasyView profile."""
+    return serialize.loads(data)
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    return data[:4] == FORMAT_MAGIC
+
+
+register(Converter(
+    name="easyview",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".ezvw", ".drcctprof"),
+    description="EasyView native binary format (data-builder output)"))
+
+
+def _parse_json(data: bytes) -> Profile:
+    from ..core import jsonio
+    from ..errors import FormatError
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FormatError("easyview-json must be UTF-8") from exc
+    return jsonio.loads(text)
+
+
+def _sniff_json(data: bytes, path: str) -> bool:
+    head = data[:2048]
+    return head.lstrip().startswith(b"{") and b'"easyview-json"' in head
+
+
+register(Converter(
+    name="easyview-json",
+    parse=_parse_json,
+    sniff=_sniff_json,
+    extensions=(".ezvw.json",),
+    description="EasyView JSON form (debugging / web front-ends)"))

@@ -1,0 +1,141 @@
+"""gprof text output converter.
+
+``gprof`` (Graham, Kessler & McKusick, 1982) prints a *flat profile* —
+per-function self seconds and call counts — and a *call graph* of
+parent/child attributions.  gprof never records full call paths, so the
+conversion reconstructs what the data supports: the flat section becomes
+single-frame contexts with self time, and the call-graph section adds
+two-level ``parent → child`` paths carrying the child-attributed time, so
+bottom-up views still answer "who calls the hot function?".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+_FLAT_ROW_RE = re.compile(
+    r"^\s*(?P<percent>[\d.]+)\s+(?P<cumulative>[\d.]+)\s+"
+    r"(?P<self>[\d.]+)\s+(?:(?P<calls>\d+)\s+(?:[\d.]+)\s+(?:[\d.]+)\s+)?"
+    r"(?P<name>\S.*?)\s*$")
+# Call-graph child rows: "    0.02    0.01    7208/7208    child_name [5]"
+_GRAPH_CHILD_RE = re.compile(
+    r"^\s+(?P<self>[\d.]+)\s+(?P<children>[\d.]+)\s+"
+    r"(?P<calls>\d+)(?:/\d+)?\s+(?P<name>\S.*?)\s*\[\d+\]\s*$")
+_GRAPH_PRIMARY_RE = re.compile(
+    r"^\[\d+\]\s+[\d.]+\s+(?P<self>[\d.]+)\s+(?P<children>[\d.]+)\s+"
+    r"(?:\d+(?:\+\d+)?\s+)?(?P<name>\S.*?)\s*\[\d+\]\s*$")
+
+
+def parse(data: bytes) -> Profile:
+    """Convert gprof's textual report."""
+    text = data.decode("utf-8", errors="replace")
+    if "Flat profile" not in text and "flat profile" not in text:
+        raise FormatError("no 'Flat profile' section found")
+
+    builder = ProfileBuilder(tool="gprof")
+    time_metric = builder.metric("self_time", unit="seconds")
+    calls_metric = builder.metric("calls", unit="count")
+
+    sections = _split_sections(text)
+
+    # Call-graph entries first: the callers block (rows above the primary
+    # line) re-attributes the primary's flat self time to two-level
+    # caller→callee paths, so any function with caller rows must *not*
+    # also emit its flat row (that would double-count).
+    graph_samples = []
+    attributed = set()
+    for entry in sections.get("graph_entries", []):
+        primary_index = None
+        for i, line in enumerate(entry):
+            if _GRAPH_PRIMARY_RE.match(line):
+                primary_index = i
+                break
+        if primary_index is None:
+            continue
+        primary = _GRAPH_PRIMARY_RE.match(entry[primary_index])
+        assert primary is not None
+        primary_name = primary.group("name")
+        for line in entry[:primary_index]:
+            caller = _GRAPH_CHILD_RE.match(line)
+            if caller is None:
+                continue
+            share = float(caller.group("self"))
+            if share <= 0:
+                continue
+            attributed.add(primary_name)
+            graph_samples.append((caller.group("name"), primary_name,
+                                  share, float(caller.group("calls"))))
+
+    flat_rows = 0
+    for line in sections.get("flat", []):
+        match = _FLAT_ROW_RE.match(line)
+        if match is None or match.group("name") == "name":
+            continue
+        name = match.group("name")
+        if name.startswith("%") or name.startswith("time"):
+            continue
+        flat_rows += 1
+        if name in attributed:
+            continue  # the call graph carries this function's self time
+        values = {time_metric: float(match.group("self"))}
+        if match.group("calls"):
+            values[calls_metric] = float(match.group("calls"))
+        builder.sample([intern_frame(name)], values)
+    if not flat_rows:
+        raise FormatError("flat profile section has no data rows")
+
+    for caller_name, primary_name, share, calls in graph_samples:
+        builder.sample([intern_frame(caller_name),
+                        intern_frame(primary_name)],
+                       {time_metric: share, calls_metric: calls})
+    return builder.build()
+
+
+def _split_sections(text: str) -> Dict[str, list]:
+    """Split the report into the flat rows and call-graph entries."""
+    lines = text.splitlines()
+    sections: Dict[str, list] = {"flat": [], "graph_entries": []}
+    mode = ""
+    entry: List[str] = []
+    for line in lines:
+        lowered = line.lower()
+        if "flat profile" in lowered:
+            mode = "flat"
+            continue
+        if "call graph" in lowered:
+            mode = "graph"
+            continue
+        if mode == "flat":
+            if line.strip():
+                sections["flat"].append(line)
+        elif mode == "graph":
+            if line.startswith("---"):
+                if entry:
+                    sections["graph_entries"].append(entry)
+                entry = []
+            elif line.strip():
+                entry.append(line)
+    if entry:
+        sections["graph_entries"].append(entry)
+    return sections
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096]
+    return (b"Flat profile" in head
+            and b"cumulative" in head)
+
+
+register(Converter(
+    name="gprof",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".gprof",),
+    description="gprof flat-profile + call-graph text report"))

@@ -1,0 +1,115 @@
+"""HPCToolkit ``experiment.xml`` converter.
+
+HPCToolkit databases carry a calling-context tree in XML: a ``SecHeader``
+with metric/file/procedure/load-module tables, then a
+``SecCallPathProfileData`` tree of ``PF`` (procedure frame), ``C``
+(callsite), ``L`` (loop), and ``S`` (statement) scopes, each optionally
+holding ``M`` metric values.  Loops and statements become ``LOOP`` /
+``INSTRUCTION``-kind contexts, preserving HPCToolkit's sub-procedure
+attribution that plain stack formats lose.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, FrameKind, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Convert an HPCToolkit experiment XML document."""
+    try:
+        root = ET.fromstring(data.decode("utf-8", errors="replace"))
+    except ET.ParseError as exc:
+        raise FormatError("not valid experiment XML: %s" % exc) from exc
+    if root.tag != "HPCToolkitExperiment":
+        raise FormatError("root element is %r, expected HPCToolkitExperiment"
+                          % root.tag)
+
+    builder = ProfileBuilder(tool="hpctoolkit")
+
+    metrics: Dict[str, int] = {}
+    files: Dict[str, str] = {}
+    procedures: Dict[str, str] = {}
+    modules: Dict[str, str] = {}
+
+    for metric in root.iter("Metric"):
+        name = metric.get("n", "metric")
+        unit = "microseconds" if "usec" in name.lower() else ""
+        metrics[metric.get("i", str(len(metrics)))] = builder.metric(
+            name, unit=unit)
+    for file_el in root.iter("File"):
+        files[file_el.get("i", "")] = file_el.get("n", "")
+    for proc in root.iter("Procedure"):
+        procedures[proc.get("i", "")] = proc.get("n", "")
+    for module in root.iter("LoadModule"):
+        name = module.get("n", "")
+        modules[module.get("i", "")] = name.rsplit("/", 1)[-1]
+
+    if not metrics:
+        raise FormatError("experiment XML declares no metrics")
+
+    data_root = root.find(".//SecCallPathProfileData")
+    if data_root is None:
+        raise FormatError("experiment XML has no SecCallPathProfileData")
+
+    def frame_for(element: ET.Element) -> Optional[Frame]:
+        tag = element.tag
+        line = int(element.get("l", 0) or 0)
+        file = files.get(element.get("f", ""), "")
+        module = modules.get(element.get("lm", ""), "")
+        if tag == "PF" or tag == "Pr":
+            name = procedures.get(element.get("n", ""),
+                                  element.get("n", "<unknown>"))
+            return intern_frame(name, file=file, line=line, module=module)
+        if tag == "L":
+            return intern_frame("loop@%s:%d" % (file.rsplit("/", 1)[-1],
+                                                line),
+                                file=file, line=line, module=module,
+                                kind=FrameKind.LOOP)
+        if tag == "S":
+            return intern_frame("line %d" % line, file=file, line=line,
+                                module=module, kind=FrameKind.INSTRUCTION)
+        return None  # C (callsite) and unknown scopes are transparent
+
+    emitted = 0
+
+    def walk(element: ET.Element, path: List[Frame]) -> None:
+        nonlocal emitted
+        frame = frame_for(element)
+        new_path = path + [frame] if frame is not None else path
+        values = {}
+        for m in element.findall("M"):
+            column = metrics.get(m.get("n", ""))
+            if column is not None:
+                values[column] = values.get(column, 0.0) + float(
+                    m.get("v", "0"))
+        if values and new_path:
+            builder.sample(new_path, values)
+            emitted += 1
+        for child in element:
+            if child.tag != "M":
+                walk(child, new_path)
+
+    for child in data_root:
+        walk(child, [])
+    if not emitted:
+        raise FormatError("experiment XML carries no metric values")
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    return b"HPCToolkitExperiment" in data[:4096]
+
+
+register(Converter(
+    name="hpctoolkit",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".xml",),
+    description="HPCToolkit experiment.xml calling-context database"))

@@ -1,0 +1,108 @@
+"""``perf script`` text output converter.
+
+``perf record`` + ``perf script`` produces one block per sample::
+
+    prog 1234 56789.123456:     250000 cycles:
+            ffffffff81a0 do_syscall_64 ([kernel.kallsyms])
+                55d2b31  compute+0x1f (/usr/bin/prog)
+                55d2a10  main+0x40 (/usr/bin/prog)
+
+The header carries process, timestamp, period, and event name; stack lines
+are leaf-first with address, ``symbol+offset``, and load module.  Samples
+of different events become different metric columns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+_HEADER_RE = re.compile(
+    r"^(?P<comm>\S+)\s+(?P<pid>\d+)(?:/\d+)?\s+(?:\[\d+\]\s+)?"
+    r"(?P<time>[\d.]+):\s+(?P<period>\d+)\s+(?P<event>[\w\-.:]+):")
+_FRAME_RE = re.compile(
+    r"^\s+(?P<address>[0-9a-fA-F]+)\s+(?P<symbol>.+?)"
+    r"(?:\+0x(?P<offset>[0-9a-fA-F]+))?\s+\((?P<module>[^)]*)\)\s*$")
+
+
+def parse(data: bytes) -> Profile:
+    """Convert ``perf script`` text."""
+    try:
+        text = data.decode("utf-8", errors="replace")
+    except Exception as exc:  # pragma: no cover - decode with replace
+        raise FormatError("cannot decode perf script output") from exc
+
+    builder = ProfileBuilder(tool="perf")
+    metrics: Dict[str, int] = {}
+
+    current_event: Optional[str] = None
+    current_period = 0.0
+    current_stack: List[Frame] = []
+    parsed_samples = 0
+
+    def flush() -> None:
+        nonlocal parsed_samples
+        if current_event is None or not current_stack:
+            return
+        column = metrics.get(current_event)
+        if column is None:
+            column = builder.metric(current_event, unit="events")
+            metrics[current_event] = column
+        # perf prints leaf-first; EasyView wants root-first.
+        builder.sample(list(reversed(current_stack)),
+                       {column: current_period})
+        parsed_samples += 1
+
+    for line in text.splitlines():
+        if not line.strip():
+            flush()
+            current_event = None
+            current_stack = []
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            flush()
+            current_event = header.group("event")
+            current_period = float(header.group("period"))
+            current_stack = []
+            continue
+        frame_match = _FRAME_RE.match(line)
+        if frame_match and current_event is not None:
+            module = frame_match.group("module")
+            module = module.rsplit("/", 1)[-1]
+            symbol = frame_match.group("symbol").strip()
+            if symbol == "[unknown]":
+                symbol = "0x" + frame_match.group("address")
+            current_stack.append(intern_frame(
+                name=symbol, module=module,
+                address=int(frame_match.group("address"), 16)))
+    flush()
+
+    if not parsed_samples:
+        raise FormatError("no samples found in perf script output")
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:8192]
+    if head[:1] in (b"{", b"<", b"\x1f"):
+        return False
+    try:
+        text = head.decode("utf-8", errors="replace")
+    except Exception:  # pragma: no cover
+        return False
+    return any(_HEADER_RE.match(line) for line in text.splitlines()[:50])
+
+
+register(Converter(
+    name="perf",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".perf", ".perfscript"),
+    description="Linux `perf script` text output"))

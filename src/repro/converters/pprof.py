@@ -1,0 +1,180 @@
+"""pprof binary → EasyView converter (and back).
+
+pprof's ``profile.proto`` is, as §VII-A notes, essentially a subset of
+EasyView's representation, so the conversion is mechanical: samples'
+leaf-first location stacks become root-first call paths, every declared
+``sample_type`` becomes a metric column, inlined frames expand into
+separate contexts, and mappings become load modules.
+
+The reverse direction (:func:`to_pprof`) loses only what pprof cannot hold
+(multi-context points, snapshot sequences); it exists so EasyView can feed
+its analyses back into pprof-consuming pipelines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from ..proto import pprof_pb
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Convert a (possibly gzipped) pprof payload."""
+    try:
+        message = pprof_pb.loads(data)
+    except Exception as exc:
+        raise FormatError("not a pprof profile: %s" % exc) from exc
+
+    builder = ProfileBuilder(tool="pprof",
+                             time_nanos=message.time_nanos,
+                             duration_nanos=message.duration_nanos)
+    metric_columns = []
+    for value_type in message.sample_type:
+        name = message.string(value_type.type) or "value"
+        unit = message.string(value_type.unit)
+        metric_columns.append(builder.metric(name, unit=unit))
+    if not metric_columns:
+        metric_columns.append(builder.metric("value"))
+
+    functions = {fn.id: fn for fn in message.function}
+    mappings = {mp.id: mp for mp in message.mapping}
+
+    # Pre-resolve every location to its frame chain (caller-first), since
+    # locations repeat across thousands of samples.
+    frames_by_location: Dict[int, List[Frame]] = {}
+    for location in message.location:
+        module = ""
+        mapping = mappings.get(location.mapping_id)
+        if mapping is not None:
+            module = os.path.basename(message.string(mapping.filename))
+        chain: List[Frame] = []
+        # A location's lines are innermost-first (inlining); callers first
+        # for EasyView means reversed.
+        for line in reversed(location.line):
+            function = functions.get(line.function_id)
+            if function is None:
+                continue
+            chain.append(intern_frame(
+                name=message.string(function.name) or "<unknown>",
+                file=message.string(function.filename),
+                line=line.line or function.start_line,
+                module=module,
+                address=location.address))
+        if not chain:
+            chain.append(intern_frame(
+                name="0x%x" % location.address if location.address
+                else "<unknown>",
+                module=module, address=location.address))
+        frames_by_location[location.id] = chain
+
+    # Real profiles repeat call stacks heavily, so the leaf CCT node for
+    # each distinct location-id tuple is resolved once and cached — one of
+    # the §V-C optimizations that keeps large profiles fast to open.
+    profile = builder.build()
+    root = profile.root
+    leaf_cache: Dict[tuple, object] = {}
+    for sample in message.sample:
+        key = tuple(sample.location_id)
+        node = leaf_cache.get(key)
+        if node is None:
+            node = root
+            # pprof stacks are leaf-first; walk callers-first.
+            for location_id in reversed(sample.location_id):
+                chain = frames_by_location.get(location_id)
+                if chain is None:
+                    raise FormatError(
+                        "sample references undefined location %d"
+                        % location_id)
+                for frame in chain:
+                    node = node.child(frame)
+            leaf_cache[key] = node
+        metrics = node.metrics
+        for column, value in zip(metric_columns, sample.value):
+            metrics[column] = metrics.get(column, 0.0) + value
+    return profile
+
+
+def to_pprof(profile: Profile, metric_names: List[str] = None
+             ) -> pprof_pb.Profile:
+    """Lower an EasyView profile to a pprof message (lossy; see module doc)."""
+    from ..core.frame import FrameKind
+
+    message = pprof_pb.Profile()
+    strings: Dict[str, int] = {"": 0}
+    table = [""]
+
+    def intern(text: str) -> int:
+        index = strings.get(text)
+        if index is None:
+            index = len(table)
+            table.append(text)
+            strings[text] = index
+        return index
+
+    schema = profile.schema
+    columns = ([schema.index_of(name) for name in metric_names]
+               if metric_names else list(range(len(schema))))
+    for column in columns:
+        metric = schema[column]
+        message.sample_type.append(pprof_pb.ValueType(
+            type=intern(metric.name), unit=intern(metric.unit)))
+
+    function_ids: Dict[tuple, int] = {}
+    location_ids: Dict[tuple, int] = {}
+
+    def location_for(frame: Frame) -> int:
+        fn_key = (frame.name, frame.file)
+        fn_id = function_ids.get(fn_key)
+        if fn_id is None:
+            fn_id = len(message.function) + 1
+            function_ids[fn_key] = fn_id
+            message.function.append(pprof_pb.Function(
+                id=fn_id, name=intern(frame.name),
+                system_name=intern(frame.name),
+                filename=intern(frame.file)))
+        loc_key = (fn_id, frame.line, frame.address)
+        loc_id = location_ids.get(loc_key)
+        if loc_id is None:
+            loc_id = len(message.location) + 1
+            location_ids[loc_key] = loc_id
+            message.location.append(pprof_pb.Location(
+                id=loc_id, address=frame.address,
+                line=[pprof_pb.Line(function_id=fn_id, line=frame.line)]))
+        return loc_id
+
+    for node in profile.nodes():
+        if not node.metrics or node.frame.kind is FrameKind.ROOT:
+            continue
+        stack = [location_for(frame)
+                 for frame in reversed(node.call_path())]
+        message.sample.append(pprof_pb.Sample(
+            location_id=stack,
+            value=[int(node.metrics.get(column, 0.0))
+                   for column in columns]))
+
+    message.string_table = table
+    message.time_nanos = profile.meta.time_nanos
+    message.duration_nanos = profile.meta.duration_nanos
+    return message
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    if data[:2] == pprof_pb.GZIP_MAGIC:
+        return True
+    # Uncompressed protobuf: first field of a pprof profile is always a
+    # length-delimited message (tag byte 0x0A or similar low tag).
+    return bool(data) and data[0] in (0x0A, 0x12) and b"{" not in data[:1]
+
+
+register(Converter(
+    name="pprof",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".pb.gz", ".pprof", ".pb"),
+    description="pprof binary protobuf (Go runtime, perf, Cloud Profiler)"))

@@ -1,0 +1,73 @@
+"""pyinstrument JSON converter.
+
+``pyinstrument --renderer json`` emits a session object whose ``root_frame``
+is a tree of frames, each with ``function``, ``file_path``, ``line_no``,
+``time`` (inclusive seconds), and ``children``.  Conversion walks the tree,
+attributing each frame's *self* time (inclusive minus children) as the
+exclusive metric.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Convert pyinstrument's JSON session output."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError("not valid pyinstrument JSON: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise FormatError("pyinstrument JSON must be an object")
+    root = payload.get("root_frame")
+    if not isinstance(root, dict):
+        raise FormatError("pyinstrument JSON must contain 'root_frame'")
+
+    builder = ProfileBuilder(
+        tool="pyinstrument",
+        duration_nanos=int(float(payload.get("duration", 0)) * 1e9))
+    time_metric = builder.metric("wall_time", unit="nanoseconds")
+
+    # Iterative walk carrying the path.
+    stack: List[tuple] = [(root, [])]
+    while stack:
+        node, path = stack.pop()
+        frame = intern_frame(
+            name=node.get("function") or "<unknown>",
+            file=node.get("file_path") or "",
+            line=int(node.get("line_no", 0) or 0))
+        full_path = path + [frame]
+        children = node.get("children", [])
+        if not isinstance(children, list) or not all(
+                isinstance(c, dict) for c in children):
+            raise FormatError("pyinstrument children must be objects")
+        inclusive = float(node.get("time", 0.0))
+        child_time = sum(float(child.get("time", 0.0))
+                         for child in children)
+        self_time = max(inclusive - child_time, 0.0)
+        if self_time > 0:
+            builder.sample(full_path, {time_metric: self_time * 1e9})
+        for child in children:
+            stack.append((child, full_path))
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:4096]
+    return head.lstrip().startswith(b"{") and b'"root_frame"' in data[:8192]
+
+
+register(Converter(
+    name="pyinstrument",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".pyisession", ".pyinstrument.json"),
+    description="pyinstrument JSON renderer output"))

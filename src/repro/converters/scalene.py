@@ -1,0 +1,89 @@
+"""Scalene JSON converter.
+
+Scalene (Berger, 2020) is line-granular: its ``--json`` output maps files to
+per-line records with CPU shares split into Python/native/system time, plus
+memory and copy metrics.  There are no call paths; each line becomes a
+``file → function → line`` context (an ``INSTRUCTION``-kind frame), which
+the flat view renders exactly like Scalene's own per-file tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..builder import ProfileBuilder
+from ..core.frame import FrameKind, intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+
+def parse(data: bytes) -> Profile:
+    """Convert Scalene ``--json`` output."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError("not valid Scalene JSON: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise FormatError("Scalene JSON must be an object")
+    files = payload.get("files")
+    if not isinstance(files, dict):
+        raise FormatError("Scalene JSON must contain a 'files' object")
+
+    elapsed_ns = float(payload.get("elapsed_time_sec", 0.0)) * 1e9
+    builder = ProfileBuilder(tool="scalene",
+                             duration_nanos=int(elapsed_ns))
+    cpu_python = builder.metric("cpu_python", unit="nanoseconds")
+    cpu_native = builder.metric("cpu_native", unit="nanoseconds")
+    cpu_system = builder.metric("cpu_system", unit="nanoseconds")
+    mem_peak = builder.metric("memory_peak", unit="bytes")
+    copy_volume = builder.metric("copy_volume", unit="bytes")
+
+    for path, record in files.items():
+        if not isinstance(record, dict):
+            raise FormatError("Scalene file records must be objects")
+        lines = record.get("lines", [])
+        if not isinstance(lines, list):
+            raise FormatError("Scalene 'lines' must be an array")
+        for entry in lines:
+            if not isinstance(entry, dict):
+                raise FormatError("Scalene line entries must be objects")
+            line_number = int(entry.get("lineno", 0) or 0)
+            function = entry.get("function") or "<module>"
+            stack = [
+                intern_frame(function, file=path, line=line_number),
+                intern_frame("line %d" % line_number, file=path,
+                             line=line_number, kind=FrameKind.INSTRUCTION),
+            ]
+            # Scalene reports CPU as percent of elapsed time.
+            values = {
+                cpu_python: float(entry.get("n_cpu_percent_python", 0.0))
+                / 100.0 * elapsed_ns,
+                cpu_native: float(entry.get("n_cpu_percent_c", 0.0))
+                / 100.0 * elapsed_ns,
+                cpu_system: float(entry.get("n_sys_percent", 0.0))
+                / 100.0 * elapsed_ns,
+                mem_peak: float(entry.get("n_peak_mb", 0.0)) * 1024 * 1024,
+                copy_volume: float(entry.get("n_copy_mb_s", 0.0))
+                * 1024 * 1024,
+            }
+            if any(values.values()):
+                builder.sample(stack, values)
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:8192]
+    return (head.lstrip().startswith(b"{")
+            and b'"files"' in head
+            and (b"n_cpu_percent_python" in data[:65536]
+                 or b'"scalene' in head))
+
+
+register(Converter(
+    name="scalene",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".scalene.json",),
+    description="Scalene --json line-granular output"))

@@ -1,0 +1,118 @@
+"""TAU text profile converter (``profile.X.Y.Z`` files).
+
+A TAU profile file starts with ``<count> <metric-name>``, a ``# Name Calls
+Subrs Excl Incl ProfileCalls`` header, then one quoted-name row per timer.
+Timer names containing `` => `` are *callpath* timers — ``a => b => c``
+attributes to the full path — while plain names are flat timers, which we
+only use for timers that never appear inside any callpath (to avoid double
+counting).  Exclusive values feed the metric; calls become a second column.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import intern_frame
+from ..core.profile import Profile
+from ..errors import FormatError
+from .base import Converter, register
+
+_ROW_RE = re.compile(
+    r'^"(?P<name>[^"]*)"\s+(?P<calls>[\d.eE+]+)\s+(?P<subrs>[\d.eE+]+)\s+'
+    r"(?P<excl>[\d.eE+-]+)\s+(?P<incl>[\d.eE+-]+)")
+_SOURCE_RE = re.compile(r"^(?P<name>.*?)\s+\[\{(?P<file>[^}]*)\}\s*"
+                        r"\{(?P<line>\d+)[,}]")
+
+
+def _split_name(name: str) -> Tuple[str, str, int]:
+    """Extract (timer, file, line) from a TAU timer name.
+
+    TAU encodes source info as ``name [{file} {line,col}-{line,col}]``.
+    """
+    match = _SOURCE_RE.match(name)
+    if match:
+        return (match.group("name").strip(), match.group("file"),
+                int(match.group("line")))
+    return name.strip(), "", 0
+
+
+def parse(data: bytes) -> Profile:
+    """Convert one TAU profile file."""
+    text = data.decode("utf-8", errors="replace")
+    lines = text.splitlines()
+    if not lines:
+        raise FormatError("empty TAU profile")
+    head = lines[0].split(None, 1)
+    if not head or not head[0].isdigit():
+        raise FormatError("TAU profiles start with '<count> <metric>'")
+    metric_name = head[1].strip() if len(head) > 1 else "TIME"
+    unit = "microseconds" if "TIME" in metric_name.upper() else ""
+
+    builder = ProfileBuilder(tool="tau")
+    excl_metric = builder.metric(metric_name, unit=unit)
+    calls_metric = builder.metric("calls", unit="count")
+
+    rows: List[Tuple[str, float, float]] = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#") or line.startswith("<"):
+            continue
+        match = _ROW_RE.match(line)
+        if match is None:
+            continue
+        rows.append((match.group("name"),
+                     float(match.group("calls")),
+                     float(match.group("excl"))))
+    if not rows:
+        raise FormatError("no timer rows found in TAU profile")
+
+    # A timer's flat exclusive time equals the summed exclusive time of the
+    # callpath rows that end at it, so a flat row double-counts exactly when
+    # its timer is the *leaf* of some callpath row.  Flat rows for timers
+    # that only appear as interior path elements (e.g. "main" heading every
+    # path) still carry unique exclusive time and are kept.
+    callpath_leaves = set()
+    for name, _, _ in rows:
+        if " => " in name:
+            callpath_leaves.add(_split_name(name.split(" => ")[-1])[0])
+
+    for name, calls, excl in rows:
+        if " => " in name:
+            parts = [_split_name(part) for part in name.split(" => ")]
+        else:
+            timer = _split_name(name)
+            if timer[0] in callpath_leaves:
+                continue
+            parts = [timer]
+        stack = [intern_frame(timer_name or "<unknown>", file=file,
+                              line=line)
+                 for timer_name, file, line in parts]
+        builder.sample(stack, {excl_metric: excl, calls_metric: calls})
+    return builder.build()
+
+
+def _sniff(data: bytes, path: str) -> bool:
+    head = data[:2048]
+    try:
+        text = head.decode("utf-8")
+    except UnicodeDecodeError:
+        return False
+    lines = text.splitlines()
+    if not lines:
+        return False
+    first = lines[0].split(None, 1)
+    if not first or not first[0].isdigit():
+        return False
+    return (len(first) > 1 and ("templated_functions" in first[1]
+                                or "MULTI" in first[1]
+                                or first[1].strip().isupper()))
+
+
+register(Converter(
+    name="tau",
+    parse=parse,
+    sniff=_sniff,
+    extensions=(".tau",),
+    description="TAU profile.X.Y.Z text format (flat and callpath timers)"))

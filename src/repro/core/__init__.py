@@ -1,0 +1,18 @@
+"""EasyView's core profile representation: interned frames, calling context
+trees, metric schemas, monitoring points, and binary (de)serialization."""
+
+from .cct import CCT, CCTNode
+from .frame import (Frame, FrameKind, ROOT_FRAME, SourceLocation,
+                    data_object_frame, intern_frame)
+from .metric import Aggregation, Metric, MetricSchema
+from .monitor import MonitoringPoint, PointKind
+from .profile import Profile, ProfileMeta
+from .strings import StringTable
+from . import jsonio, serialize
+
+__all__ = [
+    "CCT", "CCTNode", "Frame", "FrameKind", "ROOT_FRAME", "SourceLocation",
+    "data_object_frame", "intern_frame", "Aggregation", "Metric",
+    "MetricSchema", "MonitoringPoint", "PointKind", "Profile", "ProfileMeta",
+    "StringTable", "serialize", "jsonio",
+]

@@ -1,0 +1,170 @@
+"""The calling context tree (CCT): EasyView's central data structure.
+
+All monitoring points are organized into a compact CCT by merging the common
+prefixes of their call paths (§IV-A), which minimizes both memory and disk
+footprint.  Each node holds one :class:`~repro.core.frame.Frame` of
+attribution plus the *exclusive* metric values measured at that exact
+context; inclusive values are computed by the analysis engine
+(:mod:`repro.analysis.metrics`) and cached on the node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .frame import Frame, FrameKind, ROOT_FRAME
+
+
+class CCTNode:
+    """One node of a calling context tree.
+
+    Attributes:
+        frame: the attribution (function/loop/object) of this context.
+        parent: the calling context, or ``None`` for the root.
+        children: child contexts keyed by their interned frame.
+        metrics: exclusive metric values, metric column index → value.
+        inclusive: cached inclusive values (filled by the analysis engine).
+    """
+
+    __slots__ = ("frame", "parent", "children", "metrics", "inclusive")
+
+    def __init__(self, frame: Frame,
+                 parent: Optional["CCTNode"] = None) -> None:
+        self.frame = frame
+        self.parent = parent
+        self.children: Dict[Frame, CCTNode] = {}
+        self.metrics: Dict[int, float] = {}
+        self.inclusive: Dict[int, float] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def child(self, frame: Frame) -> "CCTNode":
+        """Return the child for ``frame``, creating it if absent.
+
+        This is the prefix-merge operation: two call paths that share a
+        prefix share the corresponding chain of nodes.
+        """
+        node = self.children.get(frame)
+        if node is None:
+            node = CCTNode(frame, parent=self)
+            self.children[frame] = node
+        return node
+
+    def add_value(self, metric_index: int, value: float) -> None:
+        """Accumulate an exclusive metric value on this node."""
+        self.metrics[metric_index] = self.metrics.get(metric_index, 0.0) + value
+
+    def set_value(self, metric_index: int, value: float) -> None:
+        """Overwrite an exclusive metric value on this node."""
+        self.metrics[metric_index] = value
+
+    # -- queries ----------------------------------------------------------
+
+    def exclusive(self, metric_index: int) -> float:
+        """Exclusive value of a metric at this node (0 when absent)."""
+        return self.metrics.get(metric_index, 0.0)
+
+    def inclusive_value(self, metric_index: int) -> float:
+        """Cached inclusive value; falls back to exclusive when uncomputed."""
+        if metric_index in self.inclusive:
+            return self.inclusive[metric_index]
+        return self.metrics.get(metric_index, 0.0)
+
+    def call_path(self) -> List[Frame]:
+        """Frames from the root (exclusive) down to this node."""
+        frames: List[Frame] = []
+        node: Optional[CCTNode] = self
+        while node is not None and node.frame.kind is not FrameKind.ROOT:
+            frames.append(node.frame)
+            node = node.parent
+        frames.reverse()
+        return frames
+
+    def depth(self) -> int:
+        """Distance from the root (root itself has depth 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def is_leaf(self) -> bool:
+        """True when this context has no callees."""
+        return not self.children
+
+    def sorted_children(self) -> List["CCTNode"]:
+        """Children in deterministic (frame label, file, line) order."""
+        return sorted(self.children.values(),
+                      key=lambda n: (n.frame.name, n.frame.file,
+                                     n.frame.line, n.frame.module))
+
+    def walk(self) -> Iterator["CCTNode"]:
+        """Depth-first pre-order iteration over this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def __repr__(self) -> str:
+        return "<CCTNode %s children=%d>" % (self.frame.label(),
+                                             len(self.children))
+
+
+class CCT:
+    """A calling context tree with a synthetic root."""
+
+    def __init__(self) -> None:
+        self.root = CCTNode(ROOT_FRAME)
+
+    def add_path(self, frames: Iterable[Frame]) -> CCTNode:
+        """Merge a root-first call path into the tree; returns the leaf node."""
+        node = self.root
+        for frame in frames:
+            node = node.child(frame)
+        return node
+
+    def add_sample(self, frames: Iterable[Frame],
+                   values: Dict[int, float]) -> CCTNode:
+        """Merge a call path and accumulate its metric values on the leaf."""
+        node = self.add_path(frames)
+        for metric_index, value in values.items():
+            node.add_value(metric_index, value)
+        return node
+
+    def node_count(self) -> int:
+        """Total number of nodes including the root."""
+        return sum(1 for _ in self.root.walk())
+
+    def max_depth(self) -> int:
+        """Depth of the deepest context."""
+        best = 0
+        stack: List[Tuple[CCTNode, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            stack.extend((child, depth + 1) for child in node.children.values())
+        return best
+
+    def nodes(self) -> Iterator[CCTNode]:
+        """Pre-order iteration over all nodes."""
+        return self.root.walk()
+
+    def find(self, predicate: Callable[[CCTNode], bool]) -> List[CCTNode]:
+        """All nodes satisfying ``predicate``, in pre-order."""
+        return [node for node in self.nodes() if predicate(node)]
+
+    def find_by_name(self, name: str) -> List[CCTNode]:
+        """All nodes whose frame name equals ``name``."""
+        return self.find(lambda node: node.frame.name == name)
+
+    def leaf_nodes(self) -> Iterator[CCTNode]:
+        """All leaves (contexts with no callees)."""
+        return (node for node in self.nodes() if node.is_leaf())
+
+    def clear_inclusive_cache(self) -> None:
+        """Drop cached inclusive values (call after mutating the tree)."""
+        for node in self.nodes():
+            node.inclusive.clear()

@@ -1,0 +1,146 @@
+"""Frames: the source-code attribution attached to every CCT node.
+
+A frame captures the paper's "code mapping" feature set (§IV-A): function
+name, source file and line, load module, and instruction address.  Frames of
+kind ``DATA_OBJECT`` name heap or static data objects instead of code,
+enabling data-centric memory profilers (ScaAnalyzer, DrCCTProf, MemProf) to
+live in the same representation.
+
+Frames are immutable and interned: constructing the same attribution twice
+yields the same object, so CCT prefix-merging compares identities.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class FrameKind(enum.IntEnum):
+    """What program entity a frame attributes to."""
+
+    ROOT = 0
+    FUNCTION = 1
+    LOOP = 2
+    BASIC_BLOCK = 3
+    INSTRUCTION = 4
+    DATA_OBJECT = 5
+    THREAD = 6
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (file, line) pair; ``line`` 0 means the line is unknown."""
+
+    file: str = ""
+    line: int = 0
+
+    def is_known(self) -> bool:
+        """True when the profile carried usable line-mapping information."""
+        return bool(self.file) and self.line > 0
+
+    def __str__(self) -> str:
+        if not self.file:
+            return "<unknown>"
+        if self.line > 0:
+            return "%s:%d" % (self.file, self.line)
+        return self.file
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One immutable frame of attribution."""
+
+    name: str
+    file: str = ""
+    line: int = 0
+    module: str = ""
+    address: int = 0
+    kind: FrameKind = FrameKind.FUNCTION
+
+    def __post_init__(self) -> None:
+        # Frames are immutable and heavily compared during view merging, so
+        # the merge identity is computed once at construction.
+        object.__setattr__(self, "_merge_key",
+                           (self.name, self.file, self.module))
+
+    @property
+    def location(self) -> SourceLocation:
+        """The frame's source location."""
+        return SourceLocation(self.file, self.line)
+
+    def key(self) -> Tuple[str, str, int, str, int, int]:
+        """A hashable identity tuple used for interning and merging."""
+        return (self.name, self.file, self.line, self.module,
+                self.address, int(self.kind))
+
+    def merge_key(self) -> Tuple[str, str, str]:
+        """Identity used when merging CCT prefixes across profiles.
+
+        Line numbers and addresses shift between builds, so cross-profile
+        operations (aggregation, differencing) match frames on name, file,
+        and module only — the same rule pprof's ``-diff_base`` uses.
+        """
+        return self._merge_key  # type: ignore[attr-defined]
+
+    def label(self) -> str:
+        """Human-readable ``module!function`` label used in flame graphs."""
+        if self.module:
+            return "%s!%s" % (self.module, self.name)
+        return self.name
+
+    def with_line(self, line: int) -> "Frame":
+        """Return an interned copy of this frame at a different line."""
+        return intern_frame(self.name, self.file, line, self.module,
+                            self.address, self.kind)
+
+    def __str__(self) -> str:
+        loc = self.location
+        if loc.is_known():
+            return "%s (%s)" % (self.label(), loc)
+        return self.label()
+
+
+ROOT_FRAME = Frame(name="<root>", kind=FrameKind.ROOT)
+
+_INTERN_LOCK = threading.Lock()
+_INTERN_POOL: Dict[Tuple[str, str, int, str, int, int], Frame] = {
+    ROOT_FRAME.key(): ROOT_FRAME,
+}
+
+
+def intern_frame(name: str,
+                 file: str = "",
+                 line: int = 0,
+                 module: str = "",
+                 address: int = 0,
+                 kind: FrameKind = FrameKind.FUNCTION) -> Frame:
+    """Return the canonical :class:`Frame` for this attribution.
+
+    Interning makes frame equality an identity check and deduplicates the
+    attribution strings across every loaded profile, which is what keeps
+    EasyView responsive on large inputs.
+    """
+    key = (name, file, line, module, address, int(kind))
+    frame = _INTERN_POOL.get(key)
+    if frame is None:
+        with _INTERN_LOCK:
+            frame = _INTERN_POOL.get(key)
+            if frame is None:
+                frame = Frame(name=name, file=file, line=line, module=module,
+                              address=address, kind=kind)
+                _INTERN_POOL[key] = frame
+    return frame
+
+
+def intern_pool_size() -> int:
+    """Number of distinct frames currently interned (for diagnostics)."""
+    return len(_INTERN_POOL)
+
+
+def data_object_frame(name: str, file: str = "", line: int = 0,
+                      module: str = "") -> Frame:
+    """Intern a frame naming a data object (heap or static allocation)."""
+    return intern_frame(name, file, line, module, kind=FrameKind.DATA_OBJECT)

@@ -1,0 +1,77 @@
+"""Monitoring points beyond simple per-node metrics.
+
+Plain single-context measurements are folded directly into CCT node metrics.
+Two advanced cases from the paper (§IV-A) need first-class point objects:
+
+* *Snapshot series* — profilers such as PProf's heap profiler capture the
+  same contexts repeatedly over time; each capture is a point tagged with a
+  ``sequence`` number so the aggregate view can draw per-context histograms
+  (Fig. 4) and the leak detector can inspect trends (§VII-C1).
+
+* *Multi-context points* — inefficiencies that inherently involve several
+  contexts: data reuse (use + reuse), computation redundancy (redundant +
+  killing), data races and false sharing (two racing accesses).  These power
+  the correlated flame graphs of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cct import CCTNode
+
+
+class PointKind(enum.IntEnum):
+    """The semantic role of a monitoring point's context list."""
+
+    PLAIN = 0
+    ALLOCATION = 1      # contexts: [allocation]
+    USE_REUSE = 2       # contexts: [allocation, use, reuse]
+    REDUNDANCY = 3      # contexts: [redundant, killing]
+    DATA_RACE = 4       # contexts: [access A, access B]
+    FALSE_SHARING = 5   # contexts: [access A, access B]
+
+
+#: Expected context-list arity per point kind (0 = any).
+POINT_ARITY = {
+    PointKind.PLAIN: 1,
+    PointKind.ALLOCATION: 1,
+    PointKind.USE_REUSE: 3,
+    PointKind.REDUNDANCY: 2,
+    PointKind.DATA_RACE: 2,
+    PointKind.FALSE_SHARING: 2,
+}
+
+
+@dataclass
+class MonitoringPoint:
+    """A measurement referencing one or more CCT contexts.
+
+    Attributes:
+        kind: semantic role of the context list.
+        contexts: the referenced CCT nodes, in kind-specific order.
+        values: metric column index → value.
+        sequence: snapshot index for time-series captures (0 otherwise).
+    """
+
+    kind: PointKind = PointKind.PLAIN
+    contexts: List[CCTNode] = field(default_factory=list)
+    values: Dict[int, float] = field(default_factory=dict)
+    sequence: int = 0
+
+    def value(self, metric_index: int) -> float:
+        """This point's value for a metric column (0 when absent)."""
+        return self.values.get(metric_index, 0.0)
+
+    def primary(self) -> CCTNode:
+        """The point's primary context (first in the list)."""
+        if not self.contexts:
+            raise ValueError("monitoring point has no contexts")
+        return self.contexts[0]
+
+    def arity_ok(self) -> bool:
+        """Whether the context list matches the kind's expected arity."""
+        expected = POINT_ARITY.get(self.kind, 0)
+        return expected == 0 or len(self.contexts) == expected

@@ -1,0 +1,128 @@
+"""The :class:`Profile` container: one loaded profile in EasyView's model.
+
+A profile bundles a calling context tree, a metric schema, any advanced
+monitoring points (snapshot series, multi-context points), and provenance
+metadata (producing tool, capture time, duration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import SchemaError
+from .cct import CCT, CCTNode
+from .frame import Frame
+from .metric import Metric, MetricSchema
+from .monitor import MonitoringPoint, POINT_ARITY, PointKind
+
+
+@dataclass
+class ProfileMeta:
+    """Provenance metadata for a profile."""
+
+    tool: str = ""
+    time_nanos: int = 0
+    duration_nanos: int = 0
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+
+class Profile:
+    """One profile: CCT + metric schema + monitoring points + metadata."""
+
+    def __init__(self, schema: Optional[MetricSchema] = None,
+                 meta: Optional[ProfileMeta] = None) -> None:
+        self.cct = CCT()
+        self.schema = schema if schema is not None else MetricSchema()
+        self.points: List[MonitoringPoint] = []
+        self.meta = meta if meta is not None else ProfileMeta()
+
+    # -- construction ------------------------------------------------------
+
+    def add_metric(self, metric: Metric) -> int:
+        """Register a metric column; returns its index."""
+        return self.schema.add(metric)
+
+    def add_sample(self, frames: List[Frame],
+                   values: Dict[int, float]) -> CCTNode:
+        """Record a plain sample: merge the path, accumulate on the leaf."""
+        self._check_columns(values)
+        return self.cct.add_sample(frames, values)
+
+    def add_point(self, point: MonitoringPoint) -> MonitoringPoint:
+        """Record an advanced monitoring point.
+
+        Snapshot points (``sequence > 0`` or kind ``ALLOCATION``) and
+        multi-context points are kept as first-class objects in addition to
+        any per-node accumulation the caller performed.
+        """
+        self._check_columns(point.values)
+        if not point.arity_ok():
+            raise SchemaError(
+                "point of kind %s expects %d contexts, got %d"
+                % (point.kind.name, POINT_ARITY[point.kind],
+                   len(point.contexts)))
+        self.points.append(point)
+        return point
+
+    def _check_columns(self, values: Dict[int, float]) -> None:
+        limit = len(self.schema)
+        for index in values:
+            if not 0 <= index < limit:
+                raise SchemaError(
+                    "metric column %d out of range (schema has %d columns)"
+                    % (index, limit))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def root(self) -> CCTNode:
+        """The CCT root node."""
+        return self.cct.root
+
+    def nodes(self) -> Iterator[CCTNode]:
+        """Pre-order iteration over all CCT nodes."""
+        return self.cct.nodes()
+
+    def node_count(self) -> int:
+        """Number of CCT nodes including the root."""
+        return self.cct.node_count()
+
+    def metric_index(self, name: str) -> int:
+        """Column index for a metric name (raises SchemaError if missing)."""
+        return self.schema.index_of(name)
+
+    def total(self, metric_name: str) -> float:
+        """Program-wide total of a metric (sum of exclusive values)."""
+        index = self.schema.index_of(metric_name)
+        return sum(node.exclusive(index) for node in self.nodes())
+
+    def snapshot_sequences(self) -> List[int]:
+        """Sorted distinct snapshot sequence numbers present in the points."""
+        return sorted({p.sequence for p in self.points if p.sequence > 0})
+
+    def points_of_kind(self, kind: PointKind) -> List[MonitoringPoint]:
+        """All monitoring points of a given kind."""
+        return [p for p in self.points if p.kind is kind]
+
+    def find_by_name(self, name: str) -> List[CCTNode]:
+        """All CCT nodes whose frame name equals ``name``."""
+        return self.cct.find_by_name(name)
+
+    def summary(self) -> Dict[str, object]:
+        """A floating-window style summary of the whole profile (§VI-B)."""
+        totals = {}
+        for index, metric in enumerate(self.schema):
+            total = sum(node.exclusive(index) for node in self.nodes())
+            totals[metric.name] = metric.format_value(total)
+        return {
+            "tool": self.meta.tool,
+            "contexts": self.node_count(),
+            "max_depth": self.cct.max_depth(),
+            "points": len(self.points),
+            "metrics": totals,
+        }
+
+    def __repr__(self) -> str:
+        return "<Profile tool=%r nodes=%d metrics=%s>" % (
+            self.meta.tool, self.node_count(), self.schema.names())

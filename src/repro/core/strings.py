@@ -1,0 +1,64 @@
+"""String interning table shared by a profile's frames and metrics.
+
+Index 0 is always the empty string, mirroring pprof's convention, so that
+proto3's "default values are absent" rule cannot corrupt references.
+Interning is one of EasyView's core efficiency levers (§V-C): frames keep
+small integer references instead of repeated path strings, and equality
+checks during CCT prefix-merging become integer compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class StringTable:
+    """An append-only intern pool mapping strings to stable indices."""
+
+    def __init__(self) -> None:
+        self._strings: List[str] = [""]
+        self._index: Dict[str, int] = {"": 0}
+
+    def intern(self, value: str) -> int:
+        """Return the index for ``value``, adding it if unseen."""
+        idx = self._index.get(value)
+        if idx is None:
+            idx = len(self._strings)
+            self._strings.append(value)
+            self._index[value] = idx
+        return idx
+
+    def lookup(self, index: int) -> str:
+        """Resolve an index back to its string.
+
+        Out-of-range indices resolve to the empty string rather than raising,
+        because foreign profiles occasionally contain dangling references and
+        a viewer must stay usable.
+        """
+        if 0 <= index < len(self._strings):
+            return self._strings[index]
+        return ""
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._index
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._strings)
+
+    def as_list(self) -> List[str]:
+        """Return a copy of the table in index order."""
+        return list(self._strings)
+
+    @classmethod
+    def from_list(cls, strings: List[str]) -> "StringTable":
+        """Rebuild a table from a serialized list (index 0 forced to "")."""
+        table = cls()
+        for i, s in enumerate(strings):
+            if i == 0:
+                continue  # slot 0 is always ""
+            table._strings.append(s)
+            table._index.setdefault(s, len(table._strings) - 1)
+        return table

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the EasyView reproduction."""
+
+from __future__ import annotations
+
+
+class EasyViewError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(EasyViewError):
+    """A profile payload does not conform to its declared format."""
+
+
+class ConversionError(EasyViewError):
+    """A converter could not map a foreign profile into EasyView's model."""
+
+
+class SchemaError(EasyViewError):
+    """A profile violates the EasyView data model (bad ids, metrics, ...)."""
+
+
+class AnalysisError(EasyViewError):
+    """An analysis was asked to do something unsupported or inconsistent."""
+
+
+class FormulaError(AnalysisError):
+    """A derived-metric formula failed to lex, parse, or evaluate."""
+
+
+class ProtocolError(EasyViewError):
+    """A Profile View Protocol message was malformed or out of order."""

@@ -1,0 +1,23 @@
+"""IDE integration: the Profile View Protocol, IDE actions, annotation
+builders, the viewer session, a stdio server, and a scriptable mock IDE."""
+
+from . import protocol
+from .actions import (Capabilities, CodeLens, CodeLink, Decoration,
+                      FloatingWindow, Hover)
+from .annotations import (build_code_lenses, build_decorations,
+                          build_floating_window, build_hover,
+                          line_attribution)
+from .hosts import HOSTS, HostProfile, host, make_ide
+from .mock_ide import EditorState, MockIDE
+from .server import StdioServer
+from .session import OpenedProfile, OpenStats, ViewerSession
+from .tips import TipEngine
+
+__all__ = [
+    "protocol", "Capabilities", "CodeLens", "CodeLink", "Decoration",
+    "FloatingWindow", "Hover", "build_code_lenses", "build_decorations",
+    "build_floating_window", "build_hover", "line_attribution",
+    "HOSTS", "HostProfile", "host", "make_ide",
+    "EditorState", "MockIDE", "StdioServer", "OpenedProfile", "OpenStats",
+    "ViewerSession", "TipEngine",
+]

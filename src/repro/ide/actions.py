@@ -1,0 +1,118 @@
+"""IDE action payloads (§VI-B) and capability negotiation.
+
+*Code link* is the one mandatory action: clicking a flame-graph block or a
+tree-table row opens the source file at the line and highlights it.  The
+optional actions — color semantics, code lens, hovers, floating windows —
+enrich the experience when the host IDE supports them; the viewer degrades
+gracefully when it does not (capabilities are negotiated at session start,
+exactly like LSP's ``initialize``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What the host IDE can render.  ``code_link`` is always true."""
+
+    code_link: bool = True
+    code_lens: bool = False
+    hover: bool = False
+    floating_window: bool = False
+    decorations: bool = False
+
+    @classmethod
+    def full(cls) -> "Capabilities":
+        """Everything on (what the VSCode extension negotiates)."""
+        return cls(code_link=True, code_lens=True, hover=True,
+                   floating_window=True, decorations=True)
+
+    @classmethod
+    def minimal(cls) -> "Capabilities":
+        """A bare editor: only the mandatory code link."""
+        return cls()
+
+    def to_dict(self) -> Dict[str, bool]:
+        return {"codeLink": self.code_link, "codeLens": self.code_lens,
+                "hover": self.hover, "floatingWindow": self.floating_window,
+                "decorations": self.decorations}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Capabilities":
+        return cls(code_link=True,
+                   code_lens=bool(payload.get("codeLens")),
+                   hover=bool(payload.get("hover")),
+                   floating_window=bool(payload.get("floatingWindow")),
+                   decorations=bool(payload.get("decorations")))
+
+
+@dataclass
+class CodeLink:
+    """Mandatory: open ``file`` at ``line`` and highlight it."""
+
+    file: str
+    line: int
+    highlight: bool = True
+    context: str = ""  # the frame label that was clicked
+
+    def to_params(self) -> Dict[str, Any]:
+        return {"file": self.file, "line": self.line,
+                "highlight": self.highlight, "context": self.context}
+
+
+@dataclass
+class CodeLens:
+    """Optional: an annotation above/below a source statement.
+
+    Shows metric values and, when the profile carries them, the assembly
+    instructions attributed to the statement.
+    """
+
+    file: str
+    line: int
+    text: str
+    assembly: List[str] = field(default_factory=list)
+
+    def to_params(self) -> Dict[str, Any]:
+        return {"file": self.file, "line": self.line, "text": self.text,
+                "assembly": self.assembly}
+
+
+@dataclass
+class Hover:
+    """Optional: a popup tied to a source line with metrics and tips."""
+
+    file: str
+    line: int
+    lines: List[str]
+
+    def to_params(self) -> Dict[str, Any]:
+        return {"file": self.file, "line": self.line, "lines": self.lines}
+
+
+@dataclass
+class FloatingWindow:
+    """Optional: a pane-level window summarizing the entire profile."""
+
+    title: str
+    body: str
+
+    def to_params(self) -> Dict[str, Any]:
+        return {"title": self.title, "body": self.body}
+
+
+@dataclass
+class Decoration:
+    """Optional: background color for a source line (color semantics)."""
+
+    file: str
+    line: int
+    color: Tuple[int, int, int]
+    intensity: float = 1.0  # 0..1, scaled by the line's metric share
+
+    def to_params(self) -> Dict[str, Any]:
+        return {"file": self.file, "line": self.line,
+                "color": list(self.color), "intensity": self.intensity}

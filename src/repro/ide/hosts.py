@@ -1,0 +1,78 @@
+"""Editor host presets: capability matrices for the IDEs EasyView targets.
+
+The paper ships EasyView as a VSCode extension and notes it "can be easily
+integrated into JetBrains products with its platform SDK" (§VI-B) —
+support for other IDEs is listed as under development (§VIII).  Because
+the Profile View Protocol negotiates capabilities at session start (like
+LSP's ``initialize``), targeting a new editor is exactly one
+:class:`~repro.ide.actions.Capabilities` preset: the viewer degrades
+gracefully to whatever the host can render.
+
+This module collects the presets and a factory that builds a ready-to-use
+:class:`~repro.ide.mock_ide.MockIDE` per host, which the tests use to
+prove every view works across the capability spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .actions import Capabilities
+from .mock_ide import MockIDE
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """One editor's identity and rendering capabilities."""
+
+    name: str
+    capabilities: Capabilities
+    description: str = ""
+
+
+#: Capability matrices for editors EasyView targets.
+HOSTS: Dict[str, HostProfile] = {
+    "vscode": HostProfile(
+        name="vscode",
+        capabilities=Capabilities.full(),
+        description="Visual Studio Code — the paper's shipped target; "
+                    "every action available"),
+    "jetbrains": HostProfile(
+        name="jetbrains",
+        capabilities=Capabilities(code_link=True, code_lens=True,
+                                  hover=True, floating_window=False,
+                                  decorations=True),
+        description="JetBrains platform SDK — no floating tool windows "
+                    "inside the editor pane; summaries go to a tool "
+                    "window instead"),
+    "eclipse": HostProfile(
+        name="eclipse",
+        capabilities=Capabilities(code_link=True, code_lens=False,
+                                  hover=True, floating_window=True,
+                                  decorations=True),
+        description="Eclipse — hovers and markers but no inline code lens"),
+    "vim": HostProfile(
+        name="vim",
+        capabilities=Capabilities(code_link=True, code_lens=False,
+                                  hover=False, floating_window=False,
+                                  decorations=False),
+        description="A bare editor speaking only the mandatory code link"),
+}
+
+
+def host(name: str) -> HostProfile:
+    """Look up a host preset."""
+    try:
+        return HOSTS[name]
+    except KeyError:
+        raise KeyError("unknown host %r (have: %s)"
+                       % (name, ", ".join(sorted(HOSTS)))) from None
+
+
+def make_ide(name: str, workspace: Optional[Dict[str, str]] = None
+             ) -> MockIDE:
+    """A scripted IDE configured with one host's capabilities."""
+    profile = host(name)
+    return MockIDE(capabilities=profile.capabilities,
+                   workspace=workspace)

@@ -1,0 +1,161 @@
+"""The Profile View Protocol (PVP): EasyView's LSP-inspired message layer.
+
+The paper defines, "like LSP", a set of activities that correlate profile
+views with source code in *any* IDE (§VI).  PVP is that contract made
+concrete: JSON-RPC 2.0 framing with two method namespaces —
+
+* ``view/*`` — the IDE drives the viewer: open a profile, switch shapes,
+  select/click a frame, search, request a hover;
+* ``ide/*``  — the viewer drives the IDE: open a document at a line (code
+  link — the one *mandatory* action), show code lenses, hovers, floating
+  windows, and set color decorations (the optional actions).
+
+Any editor that can speak these few messages gets the full EasyView
+experience; the scriptable host in :mod:`repro.ide.mock_ide` is one such
+editor, and the stdio server in :mod:`repro.ide.server` exposes the same
+contract to external processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from ..errors import ProtocolError
+
+JSONRPC_VERSION = "2.0"
+
+# Error codes (JSON-RPC standard range + protocol-specific range).
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+PROFILE_NOT_LOADED = -32000
+UNSUPPORTED_FORMAT = -32001
+UNKNOWN_VIEW = -32002
+UNKNOWN_NODE = -32003
+
+# view/* methods (IDE → viewer).
+VIEW_OPEN = "view/open"
+VIEW_CLOSE = "view/close"
+VIEW_SHAPE = "view/switchShape"
+VIEW_SELECT = "view/select"
+VIEW_CLICK = "view/click"
+VIEW_SEARCH = "view/search"
+VIEW_HOVER = "view/hover"
+VIEW_ZOOM = "view/zoom"
+VIEW_SUMMARY = "view/summary"
+VIEW_DIFF = "view/diff"
+VIEW_AGGREGATE = "view/aggregate"
+VIEW_DERIVE = "view/deriveMetric"
+VIEW_CAPABILITIES = "view/capabilities"
+VIEW_TABLE = "view/table"
+VIEW_TABLE_EXPAND = "view/tableExpand"
+VIEW_EXPORT = "view/export"
+
+# ide/* methods (viewer → IDE).
+IDE_OPEN_DOCUMENT = "ide/openDocument"       # the mandatory code link
+IDE_CODE_LENS = "ide/showCodeLens"
+IDE_HOVER = "ide/showHover"
+IDE_FLOATING_WINDOW = "ide/showFloatingWindow"
+IDE_SET_DECORATIONS = "ide/setDecorations"
+
+VIEW_METHODS = frozenset({
+    VIEW_OPEN, VIEW_CLOSE, VIEW_SHAPE, VIEW_SELECT, VIEW_CLICK, VIEW_SEARCH,
+    VIEW_HOVER, VIEW_ZOOM, VIEW_SUMMARY, VIEW_DIFF, VIEW_AGGREGATE,
+    VIEW_DERIVE, VIEW_CAPABILITIES, VIEW_TABLE, VIEW_TABLE_EXPAND,
+    VIEW_EXPORT,
+})
+IDE_METHODS = frozenset({
+    IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,
+    IDE_SET_DECORATIONS,
+})
+
+
+@dataclass
+class Request:
+    """A JSON-RPC request (or notification when ``id`` is None)."""
+
+    method: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: Optional[int] = None
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {"jsonrpc": JSONRPC_VERSION,
+                                   "method": self.method,
+                                   "params": self.params}
+        if self.id is not None:
+            payload["id"] = self.id
+        return json.dumps(payload, sort_keys=True)
+
+    @property
+    def is_notification(self) -> bool:
+        return self.id is None
+
+
+@dataclass
+class Response:
+    """A JSON-RPC response: exactly one of ``result`` / ``error`` is set."""
+
+    id: Optional[int]
+    result: Any = None
+    error: Optional[Dict[str, Any]] = None
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {"jsonrpc": JSONRPC_VERSION, "id": self.id}
+        if self.error is not None:
+            payload["error"] = self.error
+        else:
+            payload["result"] = self.result
+        return json.dumps(payload, sort_keys=True)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @classmethod
+    def success(cls, request_id: Optional[int], result: Any) -> "Response":
+        return cls(id=request_id, result=result)
+
+    @classmethod
+    def failure(cls, request_id: Optional[int], code: int,
+                message: str) -> "Response":
+        return cls(id=request_id, error={"code": code, "message": message})
+
+
+Message = Union[Request, Response]
+
+
+def parse_message(text: str) -> Message:
+    """Parse one JSON-RPC message; raises ProtocolError on bad input."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("unparseable message: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    if payload.get("jsonrpc") != JSONRPC_VERSION:
+        raise ProtocolError("missing or wrong jsonrpc version")
+    if "method" in payload:
+        method = payload["method"]
+        if not isinstance(method, str):
+            raise ProtocolError("method must be a string")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("params must be an object")
+        return Request(method=method, params=params, id=payload.get("id"))
+    if "result" in payload or "error" in payload:
+        return Response(id=payload.get("id"),
+                        result=payload.get("result"),
+                        error=payload.get("error"))
+    raise ProtocolError("message is neither request nor response")
+
+
+def require_params(request: Request, *names: str) -> None:
+    """Validate that required parameters are present."""
+    missing = [name for name in names if name not in request.params]
+    if missing:
+        raise ProtocolError("%s requires parameters: %s"
+                            % (request.method, ", ".join(missing)))

@@ -1,0 +1,82 @@
+"""A stdio JSON-RPC server exposing a viewer session to external editors.
+
+Messages are newline-delimited JSON (one message per line), the framing
+used by many LSP-adjacent tools.  An editor process writes ``view/*``
+requests to the server's stdin and reads responses plus ``ide/*``
+notifications from its stdout.  The server is single-threaded and
+processes requests in order, which matches the paper's single-viewer
+interaction model.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, IO, Optional
+
+from ..errors import ProtocolError
+from .actions import Capabilities
+from .protocol import (INVALID_REQUEST, PARSE_ERROR, Request, Response,
+                       parse_message)
+from .session import ViewerSession
+
+
+class StdioServer:
+    """Serve one viewer session over line-delimited JSON-RPC."""
+
+    def __init__(self, stdin: Optional[IO[str]] = None,
+                 stdout: Optional[IO[str]] = None,
+                 capabilities: Optional[Capabilities] = None) -> None:
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+        self.session = ViewerSession(sink=self._notify,
+                                     capabilities=capabilities)
+        self._running = False
+
+    def _notify(self, method: str, params: Dict[str, Any]) -> None:
+        """Forward an ide/* action as a JSON-RPC notification."""
+        self._write(Request(method=method, params=params).to_json())
+
+    def _write(self, line: str) -> None:
+        self._stdout.write(line + "\n")
+        self._stdout.flush()
+
+    def serve_forever(self) -> int:
+        """Read requests until EOF or a ``shutdown`` request; returns the
+        number of requests handled."""
+        self._running = True
+        handled = 0
+        for line in self._stdin:
+            line = line.strip()
+            if not line:
+                continue
+            handled += 1
+            try:
+                message = parse_message(line)
+            except ProtocolError as exc:
+                self._write(Response.failure(None, PARSE_ERROR,
+                                             str(exc)).to_json())
+                continue
+            if not isinstance(message, Request):
+                self._write(Response.failure(None, INVALID_REQUEST,
+                                             "expected a request").to_json())
+                continue
+            if message.method == "shutdown":
+                self._write(Response.success(message.id, {"ok": True})
+                            .to_json())
+                break
+            response = self.session.handle(message)
+            if not message.is_notification:
+                self._write(response.to_json())
+        self._running = False
+        return handled
+
+
+def main() -> int:
+    """Entry point: ``python -m repro.ide.server``."""
+    server = StdioServer()
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Optimization tips: analysis findings routed to source locations.
+
+§VI-B: hovers "open an interface to record any advanced analysis results
+and show the optimization guidance with user-defined analysis".  This
+module is that interface's standard library: it runs every applicable
+domain analysis over a profile and indexes the resulting guidance by
+(file, line), so the session can append the right tip to the right hover.
+
+Built-in advisors:
+
+* leak verdicts (§VII-C1) on allocation sites with snapshot series;
+* use/reuse fusion guidance (§VII-C2) on use and reuse sites;
+* redundancy fixes on dead/killing write sites;
+* false-sharing / race guidance on the contending access sites.
+
+User-defined advisors register with :meth:`TipEngine.add_advisor` — any
+callable from profile to ``[(file, line, tip), ...]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.cct import CCTNode
+from ..core.profile import Profile
+from ..errors import AnalysisError
+
+LineKey = Tuple[str, int]
+Advisor = Callable[[Profile], List[Tuple[str, int, str]]]
+
+
+def _site(node: CCTNode) -> Optional[LineKey]:
+    frame = node.frame
+    if frame.file and frame.line > 0:
+        return (frame.file, frame.line)
+    # Data-object contexts sit under their allocation site.
+    if node.parent is not None:
+        parent = node.parent.frame
+        if parent.file and parent.line > 0:
+            return (parent.file, parent.line)
+    return None
+
+
+def _leak_advisor(profile: Profile) -> List[Tuple[str, int, str]]:
+    from ..analysis.leak import detect_leaks
+    tips = []
+    try:
+        verdicts = detect_leaks(profile, "inuse_bytes", min_peak=1.0)
+    except AnalysisError:
+        return []
+    except Exception:
+        return []
+    for verdict in verdicts:
+        if not verdict.suspicious:
+            continue
+        site = _site(verdict.context)
+        if site:
+            tips.append(site + (
+                "potential leak: live bytes stay high across snapshots "
+                "(retention %.0f%%) — check that this allocation is "
+                "released" % (verdict.retention * 100),))
+    return tips
+
+
+def _reuse_advisor(profile: Profile) -> List[Tuple[str, int, str]]:
+    from ..analysis.reuse import fusion_candidates, reuse_points
+    if not reuse_points(profile):
+        return []
+    tips = []
+    for pair in fusion_candidates(profile, top=5):
+        guidance = ("data reused in %s — consider hoisting to %s and "
+                    "fusing the loops"
+                    % (pair.reuse.frame.name, pair.hoist_target()))
+        for node in (pair.use, pair.reuse):
+            site = _site(node)
+            if site:
+                tips.append(site + (guidance,))
+    return tips
+
+
+def _redundancy_advisor(profile: Profile) -> List[Tuple[str, int, str]]:
+    from ..analysis.redundancy import redundancy_pairs
+    tips = []
+    for pair in redundancy_pairs(profile, top=10):
+        site = _site(pair.dead)
+        if site:
+            tips.append(site + (
+                "values written here are overwritten at %s without being "
+                "read — eliminate the dead store (%s)"
+                % (pair.killing.frame.label(), pair.fix_site()),))
+    return tips
+
+
+def _sharing_advisor(profile: Profile) -> List[Tuple[str, int, str]]:
+    from ..analysis.sharing import access_pairs
+    tips = []
+    for pair in access_pairs(profile, top=10):
+        for node in (pair.first, pair.second):
+            site = _site(node)
+            if site:
+                tips.append(site + (pair.guidance(),))
+    return tips
+
+
+class TipEngine:
+    """Collects per-line optimization tips from all advisors."""
+
+    def __init__(self, include_builtin: bool = True) -> None:
+        self._advisors: List[Advisor] = []
+        if include_builtin:
+            self._advisors.extend([_leak_advisor, _reuse_advisor,
+                                   _redundancy_advisor, _sharing_advisor])
+
+    def add_advisor(self, advisor: Advisor) -> "TipEngine":
+        """Register a user-defined advisor (§VI-B user-defined analysis)."""
+        self._advisors.append(advisor)
+        return self
+
+    def collect(self, profile: Profile) -> Dict[LineKey, List[str]]:
+        """All tips, deduplicated, indexed by (file, line)."""
+        table: Dict[LineKey, List[str]] = {}
+        for advisor in self._advisors:
+            for file, line, tip in advisor(profile):
+                bucket = table.setdefault((file, line), [])
+                if tip not in bucket:
+                    bucket.append(tip)
+        return table
+
+    def tips_for(self, profile: Profile, file: str,
+                 line: int) -> List[str]:
+        """Tips for one source line."""
+        return self.collect(profile).get((file, line), [])

@@ -1,0 +1,27 @@
+"""Profiler substrates: real in-process Python profilers (tracing, sampling,
+heap snapshots), the deterministic synthetic program machine, the paper's
+case-study workloads, and the pprof corpus generator."""
+
+from .corpus import CorpusSpec, TIERS, generate, generate_bytes, tier, write_corpus
+from .machine import Callee, Func, ProgramMachine, add_reuse_pairs
+from .memsnap import HeapSnapshotProfiler, snapshot_workload
+from .sampling import SamplingProfiler, sample_callable
+from .tracing import TracingProfiler, profile_callable
+from .workloads import (LULESH_ALLOCATOR_SHARE, LULESH_FUSION_SAVING,
+                        false_sharing_workload, go_service_profile,
+                        grpc_client_profile, lulesh_fused_profile,
+                        lulesh_profile, lulesh_reuse_profile,
+                        redundancy_workload, scaling_workload,
+                        spark_profile)
+
+__all__ = [
+    "CorpusSpec", "TIERS", "generate", "generate_bytes", "tier",
+    "write_corpus", "Callee", "Func", "ProgramMachine", "add_reuse_pairs",
+    "HeapSnapshotProfiler", "snapshot_workload", "SamplingProfiler",
+    "sample_callable", "TracingProfiler", "profile_callable",
+    "LULESH_ALLOCATOR_SHARE", "LULESH_FUSION_SAVING",
+    "false_sharing_workload", "go_service_profile", "redundancy_workload",
+    "scaling_workload", "grpc_client_profile",
+    "lulesh_fused_profile", "lulesh_profile", "lulesh_reuse_profile",
+    "spark_profile",
+]

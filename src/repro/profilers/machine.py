@@ -1,0 +1,189 @@
+"""A deterministic synthetic program machine.
+
+The paper's evaluation profiles real systems (a Go gRPC client, LULESH,
+Spark).  Offline, we substitute a *program machine*: a weighted call-graph
+whose deterministic execution produces profiles with prescribed shapes —
+hotspots under chosen call paths, leaky allocation contexts, use/reuse
+pairs, and diff-able variants.  Because the machine drives the standard
+:class:`~repro.builder.ProfileBuilder`, the produced profiles exercise
+exactly the code paths a real profiler's output would.
+
+A program is a set of :class:`Func` specs.  Execution expands the call tree
+from the entry function: each call contributes its ``self_cost`` (scaled by
+a deterministic per-path jitter) at its context and recurses into its
+callees ``calls``-many times.  Allocation, snapshot, and reuse events
+attach to functions and are emitted at every expansion of that function's
+context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.monitor import PointKind
+from ..core.profile import Profile
+from ..errors import EasyViewError
+
+
+@dataclass(frozen=True)
+class Callee:
+    """One outgoing call edge: target function, invocation count."""
+
+    target: str
+    calls: int = 1
+
+
+@dataclass
+class Func:
+    """One synthetic function."""
+
+    name: str
+    file: str = ""
+    line: int = 0
+    module: str = ""
+    self_cost: float = 0.0          # exclusive metric units per expansion
+    callees: List[Callee] = field(default_factory=list)
+    #: bytes allocated per expansion (emitted as allocation points)
+    alloc_bytes: float = 0.0
+    alloc_object: str = ""
+
+    def frame(self) -> Frame:
+        return intern_frame(self.name, self.file, self.line, self.module)
+
+
+class ProgramMachine:
+    """Executes a synthetic program into a profile."""
+
+    def __init__(self, functions: Sequence[Func], entry: str = "main",
+                 seed: int = 42, jitter: float = 0.0) -> None:
+        self._functions: Dict[str, Func] = {}
+        for func in functions:
+            if func.name in self._functions:
+                raise EasyViewError("duplicate function %r" % func.name)
+            self._functions[func.name] = func
+        if entry not in self._functions:
+            raise EasyViewError("entry function %r is not defined" % entry)
+        self.entry = entry
+        self.seed = seed
+        #: relative amplitude of the deterministic per-path cost jitter
+        self.jitter = jitter
+        self._check_recursion_budget()
+
+    def function(self, name: str) -> Func:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise EasyViewError("undefined function %r" % name) from None
+
+    def _check_recursion_budget(self, limit: int = 500) -> None:
+        """Reject call graphs with cycles deeper than ``limit`` (the machine
+        expands cycles only to a bounded depth, but catches typos early)."""
+        color: Dict[str, int] = {}
+
+        def depth(name: str, seen: Tuple[str, ...]) -> int:
+            if name in seen:
+                return 0  # cycle: bounded elsewhere
+            func = self._functions.get(name)
+            if func is None:
+                raise EasyViewError("call edge to undefined function %r"
+                                    % name)
+            best = 0
+            for callee in func.callees:
+                best = max(best, 1 + depth(callee.target, seen + (name,)))
+            return best
+
+        if depth(self.entry, ()) > limit:
+            raise EasyViewError("call graph deeper than %d" % limit)
+
+    def _path_jitter(self, path_key: str) -> float:
+        """Deterministic multiplicative jitter in [1-j, 1+j] for a path."""
+        if not self.jitter:
+            return 1.0
+        digest = hashlib.sha1((str(self.seed) + path_key).encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 2 ** 32
+        return 1.0 + self.jitter * (2.0 * unit - 1.0)
+
+    def run(self, metric: str = "cpu", unit: str = "nanoseconds",
+            tool: str = "machine", max_cycle_depth: int = 3,
+            snapshots: int = 0,
+            snapshot_decay: Optional[Dict[str, Sequence[float]]] = None
+            ) -> Profile:
+        """Execute the program and return its profile.
+
+        ``snapshots`` > 0 additionally emits that many allocation snapshot
+        captures per allocating context; ``snapshot_decay`` maps function
+        names to a per-snapshot multiplier series describing how that
+        context's live bytes evolve (default: constant — i.e. leak-shaped).
+        """
+        builder = ProfileBuilder(tool=tool)
+        cost_metric = builder.metric(metric, unit=unit)
+        alloc_metric = None
+        if any(f.alloc_bytes for f in self._functions.values()):
+            alloc_metric = builder.metric("alloc_bytes", unit="bytes")
+            inuse_metric = builder.metric("inuse_bytes", unit="bytes")
+
+        # Iterative expansion: (function, path frames, occurrences, cycle
+        # counter per function name).
+        entry = self.function(self.entry)
+        stack: List[Tuple[Func, Tuple[Frame, ...], float, Tuple[Tuple[str, int], ...]]]
+        stack = [(entry, (entry.frame(),), 1.0, ((entry.name, 1),))]
+        while stack:
+            func, path, count, cycles = stack.pop()
+            path_key = "/".join(f.name for f in path)
+            scale = count * self._path_jitter(path_key)
+            if func.self_cost:
+                builder.sample(path, {cost_metric: func.self_cost * scale})
+            if func.alloc_bytes and alloc_metric is not None:
+                object_name = func.alloc_object or ("obj@%s" % func.name)
+                builder.allocation(object_name, path, {
+                    alloc_metric: func.alloc_bytes * scale})
+                for sequence in range(1, snapshots + 1):
+                    decay = 1.0
+                    if snapshot_decay and func.name in snapshot_decay:
+                        series = snapshot_decay[func.name]
+                        decay = series[min(sequence - 1, len(series) - 1)]
+                    builder.snapshot(sequence, path, {
+                        inuse_metric: func.alloc_bytes * scale * decay})
+            for callee_edge in reversed(func.callees):
+                callee = self.function(callee_edge.target)
+                depth_so_far = dict(cycles).get(callee.name, 0)
+                if depth_so_far >= max_cycle_depth:
+                    continue
+                new_cycles = tuple(
+                    (name, depth + 1 if name == callee.name else depth)
+                    for name, depth in cycles)
+                if callee.name not in dict(cycles):
+                    new_cycles = new_cycles + ((callee.name, 1),)
+                stack.append((callee, path + (callee.frame(),),
+                              count * callee_edge.calls, new_cycles))
+        return builder.build()
+
+
+def add_reuse_pairs(profile: Profile,
+                    pairs: Sequence[Tuple[Sequence, Sequence, Sequence, float]],
+                    metric: str = "accesses") -> Profile:
+    """Attach use/reuse monitoring points to an existing profile.
+
+    Each entry is ``(alloc_stack, use_stack, reuse_stack, count)`` with
+    stacks as builder frame specs (root first).  Returns the same profile.
+    """
+    from ..builder.builder import _coerce_frame
+    index = profile.schema.get(metric)
+    if index is None:
+        from ..core.metric import Metric
+        index = profile.add_metric(Metric(name=metric, unit="count"))
+    from ..core.monitor import MonitoringPoint
+    for alloc_stack, use_stack, reuse_stack, count in pairs:
+        contexts = [
+            profile.cct.add_path([_coerce_frame(s) for s in alloc_stack]),
+            profile.cct.add_path([_coerce_frame(s) for s in use_stack]),
+            profile.cct.add_path([_coerce_frame(s) for s in reuse_stack]),
+        ]
+        profile.add_point(MonitoringPoint(
+            kind=PointKind.USE_REUSE, contexts=contexts,
+            values={index: count}))
+    return profile

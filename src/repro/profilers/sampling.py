@@ -1,0 +1,136 @@
+"""A wall-clock sampling profiler (the perf/Async-Profiler model).
+
+A background thread periodically captures the target threads' Python stacks
+via :func:`sys._current_frames` and accumulates one sample per capture.
+Sampling trades exactness for negligible overhead, which is why most of the
+profilers EasyView ingests (perf, PProf's CPU profiler, Async-Profiler) are
+sampling profilers — supporting one natively keeps the direct-integration
+path honest for that family too.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.profile import Profile
+
+
+class SamplingProfiler:
+    """Samples thread stacks at a fixed interval.
+
+    By default only the starting thread is sampled; with
+    ``all_threads=True`` every Python thread is captured per tick under a
+    ``THREAD``-kind context (named after the thread), which feeds the
+    per-thread operations of :mod:`repro.analysis.threads` directly.
+    """
+
+    def __init__(self, interval_seconds: float = 0.001,
+                 all_threads: bool = False) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_seconds = interval_seconds
+        self.all_threads = all_threads
+        self._builder: Optional[ProfileBuilder] = None
+        self._metric = 0
+        self._target_thread_id: Optional[int] = None
+        self._sampler: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self.samples_taken = 0
+
+    def start(self, thread_id: Optional[int] = None) -> None:
+        """Begin sampling (the current thread by default)."""
+        if self._sampler is not None:
+            raise RuntimeError("sampler already running")
+        self._builder = ProfileBuilder(tool="repro-sampling",
+                                       time_nanos=time.time_ns())
+        self._metric = self._builder.metric("samples", unit="count")
+        self._target_thread_id = (thread_id if thread_id is not None
+                                  else threading.get_ident())
+        self._stop_event.clear()
+        self.samples_taken = 0
+        self._sampler = threading.Thread(target=self._run, daemon=True)
+        self._sampler.start()
+
+    def stop(self) -> Profile:
+        """Stop sampling and return the profile."""
+        if self._sampler is None or self._builder is None:
+            raise RuntimeError("sampler is not running")
+        self._stop_event.set()
+        self._sampler.join()
+        self._sampler = None
+        profile = self._builder.build()
+        profile.meta.duration_nanos = int(
+            self.samples_taken * self.interval_seconds * 1e9)
+        self._builder = None
+        return profile
+
+    def profile(self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+                ) -> Tuple[Any, Profile]:
+        """Run ``fn`` under the sampler; returns (result, profile)."""
+        self.start()
+        try:
+            result = fn(*args, **kwargs)
+        finally:
+            profile = self.stop()
+        return result, profile
+
+    def _run(self) -> None:
+        sampler_ident = threading.get_ident()
+        while not self._stop_event.wait(self.interval_seconds):
+            frames = sys._current_frames()
+            assert self._builder is not None
+            if self.all_threads:
+                names = {t.ident: t.name for t in threading.enumerate()}
+                captured = False
+                for ident, pyframe in frames.items():
+                    if ident == sampler_ident:
+                        continue
+                    stack = self._unwind(pyframe)
+                    if not stack:
+                        continue
+                    from ..core.frame import FrameKind
+                    prefix = intern_frame(
+                        names.get(ident, "thread-%d" % ident),
+                        kind=FrameKind.THREAD)
+                    self._builder.sample([prefix] + stack,
+                                         {self._metric: 1.0})
+                    captured = True
+                if captured:
+                    self.samples_taken += 1
+                continue
+            pyframe = frames.get(self._target_thread_id)
+            if pyframe is None:
+                continue
+            stack = self._unwind(pyframe)
+            if not stack:
+                continue
+            self._builder.sample(stack, {self._metric: 1.0})
+            self.samples_taken += 1
+
+    @staticmethod
+    def _unwind(pyframe: Any) -> List[Frame]:
+        """Root-first frames for one Python stack."""
+        frames: List[Frame] = []
+        while pyframe is not None:
+            code = pyframe.f_code
+            frames.append(intern_frame(
+                code.co_qualname if hasattr(code, "co_qualname")
+                else code.co_name,
+                file=code.co_filename,
+                line=pyframe.f_lineno,
+                module=pyframe.f_globals.get("__name__", "")))
+            pyframe = pyframe.f_back
+        frames.reverse()
+        return frames
+
+
+def sample_callable(fn: Callable[..., Any], *args: Any,
+                    interval_seconds: float = 0.001, **kwargs: Any
+                    ) -> Tuple[Any, Profile]:
+    """One-shot convenience: sample ``fn(*args, **kwargs)``."""
+    return SamplingProfiler(interval_seconds).profile(fn, *args, **kwargs)

@@ -1,0 +1,116 @@
+"""A real in-process Python profiler that emits EasyView data directly.
+
+This is the paper's "direct integration" path (§IV-B): a profiler calls the
+data builder while measuring, and the entire EasyView-specific glue is the
+handful of lines in :meth:`TracingProfiler._emit` — the under-20-lines claim
+the programmability evaluation (§VII-A) audits.
+
+The profiler uses :func:`sys.setprofile` for exact call/return accounting:
+every function gets its wall-clock *exclusive* time and call count
+attributed to its full call path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..builder import ProfileBuilder
+from ..core.frame import Frame, intern_frame
+from ..core.profile import Profile
+
+_StackEntry = Tuple[Frame, float]  # (frame, accumulated child time)
+
+
+class TracingProfiler:
+    """Deterministic call profiler built on ``sys.setprofile``."""
+
+    def __init__(self, timer: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self._timer = timer
+        self._builder: Optional[ProfileBuilder] = None
+        self._time_metric = 0
+        self._calls_metric = 0
+        # Stack of (frame, entry time, child time accumulated so far).
+        self._stack: List[List[Any]] = []
+        self._active = False
+
+    # -- measurement ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin measuring the current thread."""
+        if self._active:
+            raise RuntimeError("profiler already running")
+        self._builder = ProfileBuilder(
+            tool="repro-tracing", time_nanos=time.time_ns())
+        self._time_metric = self._builder.metric("wall_time",
+                                                 unit="nanoseconds")
+        self._calls_metric = self._builder.metric("calls", unit="count")
+        self._stack = []
+        self._active = True
+        sys.setprofile(self._trace)
+
+    def stop(self) -> Profile:
+        """Stop measuring and return the profile."""
+        sys.setprofile(None)
+        if not self._active or self._builder is None:
+            raise RuntimeError("profiler is not running")
+        self._active = False
+        profile = self._builder.build()
+        self._builder = None
+        return profile
+
+    def profile(self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+                ) -> Tuple[Any, Profile]:
+        """Run ``fn`` under the profiler; returns (result, profile)."""
+        self.start()
+        try:
+            result = fn(*args, **kwargs)
+        finally:
+            profile = self.stop()
+        return result, profile
+
+    # -- internals ----------------------------------------------------------------
+
+    def _trace(self, pyframe: Any, event: str, arg: Any) -> None:
+        if event in ("call", "c_call"):
+            frame = self._frame_for(pyframe, event, arg)
+            self._stack.append([frame, self._timer(), 0.0])
+        elif event in ("return", "c_return", "c_exception"):
+            if not self._stack:
+                return
+            frame, entered, child_time = self._stack.pop()
+            elapsed = self._timer() - entered
+            exclusive = max(elapsed - child_time, 0.0)
+            if self._stack:
+                self._stack[-1][2] += elapsed
+            self._emit(frame, exclusive)
+
+    def _frame_for(self, pyframe: Any, event: str, arg: Any) -> Frame:
+        if event == "c_call":
+            name = getattr(arg, "__qualname__", None) or repr(arg)
+            module = getattr(arg, "__module__", "") or "builtins"
+            return intern_frame(name, module=module)
+        code = pyframe.f_code
+        return intern_frame(code.co_qualname
+                            if hasattr(code, "co_qualname")
+                            else code.co_name,
+                            file=code.co_filename,
+                            line=code.co_firstlineno,
+                            module=pyframe.f_globals.get("__name__", ""))
+
+    def _emit(self, frame: Frame, exclusive_seconds: float) -> None:
+        # The entire EasyView integration: one builder call per return.
+        stack = [entry[0] for entry in self._stack] + [frame]
+        assert self._builder is not None
+        self._builder.sample(stack, {
+            self._time_metric: exclusive_seconds * 1e9,
+            self._calls_metric: 1.0,
+        })
+
+
+def profile_callable(fn: Callable[..., Any], *args: Any, **kwargs: Any
+                     ) -> Tuple[Any, Profile]:
+    """One-shot convenience: profile ``fn(*args, **kwargs)``."""
+    return TracingProfiler().profile(fn, *args, **kwargs)

@@ -1,0 +1,297 @@
+"""EasyView's generic profile representation as Protocol Buffer messages.
+
+This is the schema sketched in Figure 2 of the paper: all monitoring points
+are organized into a compact calling context tree (CCT) formed by merging
+common call-path prefixes.  Each monitoring point carries (a) one or more
+*context* references into the CCT — more than one for multi-context
+inefficiencies such as use/reuse pairs, redundant/killing pairs, data races,
+and false sharing — and (b) a list of metric values.
+
+Contexts cover both traditional code regions (program, function, loop, basic
+block, instruction) and data objects (heap objects named by their allocation
+call path, static objects named from the symbol table), which is what lets
+EasyView host data-centric memory profilers.
+
+All strings are interned in a single string table (index 0 is the empty
+string, like pprof), keeping serialized profiles compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from . import wire
+
+FORMAT_MAGIC = b"EZVW"
+FORMAT_VERSION = 1
+
+# ContextNode.kind values.
+CONTEXT_ROOT = 0
+CONTEXT_FUNCTION = 1
+CONTEXT_LOOP = 2
+CONTEXT_BASIC_BLOCK = 3
+CONTEXT_INSTRUCTION = 4
+CONTEXT_DATA_OBJECT = 5
+CONTEXT_THREAD = 6
+
+CONTEXT_KIND_NAMES = {
+    CONTEXT_ROOT: "root",
+    CONTEXT_FUNCTION: "function",
+    CONTEXT_LOOP: "loop",
+    CONTEXT_BASIC_BLOCK: "basic_block",
+    CONTEXT_INSTRUCTION: "instruction",
+    CONTEXT_DATA_OBJECT: "data_object",
+    CONTEXT_THREAD: "thread",
+}
+
+# MonitoringPoint.kind values.
+POINT_PLAIN = 0
+POINT_ALLOCATION = 1
+POINT_USE_REUSE = 2
+POINT_REDUNDANCY = 3
+POINT_DATA_RACE = 4
+POINT_FALSE_SHARING = 5
+
+# MetricDescriptor.aggregation values.
+AGG_SUM = 0
+AGG_MIN = 1
+AGG_MAX = 2
+AGG_MEAN = 3
+AGG_LAST = 4
+
+
+@dataclass
+class MetricDescriptor:
+    """Schema for one metric column (name/unit/description as string ids)."""
+
+    name: int = 0
+    unit: int = 0
+    description: int = 0
+    aggregation: int = AGG_SUM
+
+    def serialize(self) -> bytes:
+        return (wire.Writer()
+                .varint(1, self.name)
+                .varint(2, self.unit)
+                .varint(3, self.description)
+                .varint(4, self.aggregation)
+                .getvalue())
+
+    @classmethod
+    def parse(cls, data: bytes) -> "MetricDescriptor":
+        msg = cls()
+        for num, _, value in wire.iter_fields(data):
+            if num == 1:
+                msg.name = int(value)  # type: ignore[arg-type]
+            elif num == 2:
+                msg.unit = int(value)  # type: ignore[arg-type]
+            elif num == 3:
+                msg.description = int(value)  # type: ignore[arg-type]
+            elif num == 4:
+                msg.aggregation = int(value)  # type: ignore[arg-type]
+        return msg
+
+
+@dataclass
+class ContextNode:
+    """One CCT node with its source-code attribution.
+
+    ``parent_id`` forms the tree (0 for the root, whose own id is 0).  All
+    textual attribution (function name, file path, load module, data-object
+    name) is interned in the profile string table.
+    """
+
+    id: int = 0
+    parent_id: int = 0
+    kind: int = CONTEXT_FUNCTION
+    name: int = 0          # function name / loop label / object name
+    file: int = 0          # source file path
+    line: int = 0          # 1-based source line; 0 = unknown
+    module: int = 0        # load module (binary / shared library)
+    address: int = 0       # instruction pointer, when available
+
+    def serialize(self) -> bytes:
+        return (wire.Writer()
+                .varint(1, self.id)
+                .varint(2, self.parent_id)
+                .varint(3, self.kind)
+                .varint(4, self.name)
+                .varint(5, self.file)
+                .varint(6, self.line)
+                .varint(7, self.module)
+                .varint(8, self.address)
+                .getvalue())
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ContextNode":
+        # proto3 drops zero values, so the decode default for ``kind`` must
+        # be the zero enum member (CONTEXT_ROOT), not the dataclass default.
+        msg = cls(kind=CONTEXT_ROOT)
+        for num, _, value in wire.iter_fields(data):
+            if num == 1:
+                msg.id = int(value)  # type: ignore[arg-type]
+            elif num == 2:
+                msg.parent_id = int(value)  # type: ignore[arg-type]
+            elif num == 3:
+                msg.kind = int(value)  # type: ignore[arg-type]
+            elif num == 4:
+                msg.name = int(value)  # type: ignore[arg-type]
+            elif num == 5:
+                msg.file = int(value)  # type: ignore[arg-type]
+            elif num == 6:
+                msg.line = int(value)  # type: ignore[arg-type]
+            elif num == 7:
+                msg.module = int(value)  # type: ignore[arg-type]
+            elif num == 8:
+                msg.address = int(value)  # type: ignore[arg-type]
+        return msg
+
+
+@dataclass
+class MetricValue:
+    """One metric sample: a descriptor index plus a numeric value.
+
+    Values are stored as IEEE doubles; integer metrics (bytes, counts) are
+    exact up to 2**53 which covers every profiler we studied.
+    """
+
+    metric_id: int = 0
+    value: float = 0.0
+
+    def serialize(self) -> bytes:
+        return (wire.Writer()
+                .varint(1, self.metric_id)
+                .double(2, self.value)
+                .getvalue())
+
+    @classmethod
+    def parse(cls, data: bytes) -> "MetricValue":
+        msg = cls()
+        for num, wtype, value in wire.iter_fields(data):
+            if num == 1:
+                msg.metric_id = int(value)  # type: ignore[arg-type]
+            elif num == 2:
+                if wtype != wire.WIRETYPE_FIXED64:
+                    raise wire.WireError("MetricValue.value must be a double")
+                raw = int(value)  # type: ignore[arg-type]
+                msg.value = _bits_to_double(raw)
+        return msg
+
+
+@dataclass
+class MonitoringPoint:
+    """A measurement: N context references + M metric values.
+
+    ``context_id`` usually holds one id; multi-context inefficiencies (use /
+    reuse, redundant / killing, racing accesses) reference several contexts
+    in a kind-specific order.  ``sequence`` orders points within a series of
+    snapshots (e.g. periodic memory captures) and is 0 otherwise.
+    """
+
+    context_id: List[int] = field(default_factory=list)
+    values: List[MetricValue] = field(default_factory=list)
+    kind: int = POINT_PLAIN
+    sequence: int = 0
+
+    def serialize(self) -> bytes:
+        writer = wire.Writer()
+        writer.packed(1, self.context_id)
+        for mv in self.values:
+            writer.message(2, mv.serialize())
+        writer.varint(3, self.kind)
+        writer.varint(4, self.sequence)
+        return writer.getvalue()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "MonitoringPoint":
+        msg = cls()
+        for num, wtype, value in wire.iter_fields(data):
+            if num == 1:
+                if wtype == wire.WIRETYPE_LENGTH_DELIMITED:
+                    assert isinstance(value, bytes)
+                    msg.context_id.extend(wire.decode_packed_varints(value))
+                else:
+                    msg.context_id.append(int(value))  # type: ignore[arg-type]
+            elif num == 2:
+                msg.values.append(MetricValue.parse(value))
+            elif num == 3:
+                msg.kind = int(value)  # type: ignore[arg-type]
+            elif num == 4:
+                msg.sequence = int(value)  # type: ignore[arg-type]
+        return msg
+
+
+@dataclass
+class ProfileMessage:
+    """Top-level EasyView profile message."""
+
+    tool: int = 0                      # producing profiler's name (string id)
+    string_table: List[str] = field(default_factory=lambda: [""])
+    metrics: List[MetricDescriptor] = field(default_factory=list)
+    nodes: List[ContextNode] = field(default_factory=list)
+    points: List[MonitoringPoint] = field(default_factory=list)
+    time_nanos: int = 0
+    duration_nanos: int = 0
+
+    def serialize(self) -> bytes:
+        writer = wire.Writer()
+        writer.varint(1, self.tool)
+        for s in self.string_table:
+            writer.message(2, s.encode("utf-8"))
+        for md in self.metrics:
+            writer.message(3, md.serialize())
+        for node in self.nodes:
+            writer.message(4, node.serialize())
+        for point in self.points:
+            writer.message(5, point.serialize())
+        writer.varint(6, self.time_nanos)
+        writer.varint(7, self.duration_nanos)
+        return writer.getvalue()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ProfileMessage":
+        msg = cls(string_table=[])
+        for num, _, value in wire.iter_fields(data):
+            if num == 1:
+                msg.tool = int(value)  # type: ignore[arg-type]
+            elif num == 2:
+                msg.string_table.append(value.decode("utf-8"))
+            elif num == 3:
+                msg.metrics.append(MetricDescriptor.parse(value))
+            elif num == 4:
+                msg.nodes.append(ContextNode.parse(value))
+            elif num == 5:
+                msg.points.append(MonitoringPoint.parse(value))
+            elif num == 6:
+                msg.time_nanos = int(value)  # type: ignore[arg-type]
+            elif num == 7:
+                msg.duration_nanos = int(value)  # type: ignore[arg-type]
+        if not msg.string_table:
+            msg.string_table = [""]
+        return msg
+
+
+def dumps(message: ProfileMessage) -> bytes:
+    """Serialize with the EasyView file framing (magic + version)."""
+    body = message.serialize()
+    header = FORMAT_MAGIC + bytes([FORMAT_VERSION])
+    return header + wire.encode_varint(len(body)) + body
+
+
+def loads(data: bytes) -> ProfileMessage:
+    """Parse an EasyView file, validating magic, version, and length."""
+    if data[:4] != FORMAT_MAGIC:
+        raise wire.WireError("not an EasyView profile: bad magic %r" % data[:4])
+    if len(data) < 5 or data[4] != FORMAT_VERSION:
+        raise wire.WireError("unsupported EasyView format version")
+    length, pos = wire.decode_varint(data, 5)
+    body = data[pos:pos + length]
+    if len(body) != length:
+        raise wire.WireError("truncated EasyView profile body")
+    return ProfileMessage.parse(body)
+
+
+def _bits_to_double(bits: int) -> float:
+    import struct
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]

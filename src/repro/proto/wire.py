@@ -1,0 +1,317 @@
+"""Protocol Buffers wire-format codec, implemented from scratch.
+
+EasyView expresses its generic profile representation in a Protocol Buffer
+schema and consumes pprof's binary ``profile.proto`` payloads.  This module
+implements the subset of the proto3 wire format both schemas need:
+
+* base-128 varints (``uint64``/``int64``/``bool``/enums),
+* ZigZag-encoded signed varints (``sint64``),
+* little-endian fixed 32/64-bit fields (``fixed64``/``double``/``float``),
+* length-delimited fields (``bytes``/``string``/embedded messages),
+* packed repeated scalar fields.
+
+The encoding rules follow the official wire-format specification
+(https://protobuf.dev/programming-guides/encoding/).  No third-party
+dependency is used; real ``pprof`` files produced by Go's runtime decode with
+this codec (see ``repro.proto.pprof_pb``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+# Wire types from the protobuf specification.
+WIRETYPE_VARINT = 0
+WIRETYPE_FIXED64 = 1
+WIRETYPE_LENGTH_DELIMITED = 2
+WIRETYPE_START_GROUP = 3  # deprecated in proto3; recognized but rejected
+WIRETYPE_END_GROUP = 4
+WIRETYPE_FIXED32 = 5
+
+_MAX_VARINT_BYTES = 10  # ceil(64 / 7)
+_UINT64_MASK = (1 << 64) - 1
+
+
+class WireError(ValueError):
+    """Raised when a payload violates the protobuf wire format."""
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer (< 2**64) as a base-128 varint."""
+    if value < 0:
+        raise WireError("varint cannot encode negative value %d; "
+                        "use encode_signed_varint" % value)
+    if value > _UINT64_MASK:
+        raise WireError("varint value %d exceeds 64 bits" % value)
+    out = bytearray()
+    while True:
+        bits = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int = 0) -> Tuple[int, int]:
+    """Decode a varint starting at ``pos``.
+
+    Returns ``(value, next_pos)``.  Raises :class:`WireError` on truncated or
+    over-long input.
+    """
+    result = 0
+    shift = 0
+    start = pos
+    end = len(data)
+    while pos < end:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if pos - start > _MAX_VARINT_BYTES:
+                raise WireError("varint longer than 10 bytes at offset %d" % start)
+            return result & _UINT64_MASK, pos
+        shift += 7
+        if shift >= 70:
+            raise WireError("varint longer than 10 bytes at offset %d" % start)
+    raise WireError("truncated varint at offset %d" % start)
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed 64-bit integer onto an unsigned one (ZigZag)."""
+    if not -(1 << 63) <= value < (1 << 63):
+        raise WireError("sint64 value %d out of range" % value)
+    return ((value << 1) ^ (value >> 63)) & _UINT64_MASK
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_signed_varint(value: int) -> bytes:
+    """Encode a signed integer using the two's-complement ``int64`` rule.
+
+    proto3 ``int64`` fields sign-extend negative numbers to ten bytes rather
+    than ZigZag-encoding them; pprof uses ``int64`` throughout.
+    """
+    return encode_varint(value & _UINT64_MASK)
+
+
+def decode_signed_varint(data: bytes, pos: int = 0) -> Tuple[int, int]:
+    """Decode an ``int64`` varint (sign-extended two's complement)."""
+    value, pos = decode_varint(data, pos)
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value, pos
+
+
+def encode_tag(field_number: int, wire_type: int) -> bytes:
+    """Encode a field tag (field number + wire type)."""
+    if field_number < 1:
+        raise WireError("field numbers must be positive, got %d" % field_number)
+    if wire_type not in (WIRETYPE_VARINT, WIRETYPE_FIXED64,
+                         WIRETYPE_LENGTH_DELIMITED, WIRETYPE_FIXED32):
+        raise WireError("unsupported wire type %d" % wire_type)
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def decode_tag(data: bytes, pos: int) -> Tuple[int, int, int]:
+    """Decode a field tag; returns ``(field_number, wire_type, next_pos)``."""
+    key, pos = decode_varint(data, pos)
+    field_number = key >> 3
+    wire_type = key & 0x7
+    if field_number == 0:
+        raise WireError("field number 0 is reserved")
+    return field_number, wire_type, pos
+
+
+def encode_fixed64(value: int) -> bytes:
+    """Encode an unsigned integer as 8 little-endian bytes."""
+    return struct.pack("<Q", value & _UINT64_MASK)
+
+
+def decode_fixed64(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode an 8-byte little-endian unsigned integer."""
+    if pos + 8 > len(data):
+        raise WireError("truncated fixed64 at offset %d" % pos)
+    return struct.unpack_from("<Q", data, pos)[0], pos + 8
+
+
+def encode_fixed32(value: int) -> bytes:
+    """Encode an unsigned integer as 4 little-endian bytes."""
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def decode_fixed32(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode a 4-byte little-endian unsigned integer."""
+    if pos + 4 > len(data):
+        raise WireError("truncated fixed32 at offset %d" % pos)
+    return struct.unpack_from("<I", data, pos)[0], pos + 4
+
+
+def encode_double(value: float) -> bytes:
+    """Encode a ``double`` field payload."""
+    return struct.pack("<d", value)
+
+
+def decode_double(data: bytes, pos: int) -> Tuple[float, int]:
+    """Decode a ``double`` field payload."""
+    if pos + 8 > len(data):
+        raise WireError("truncated double at offset %d" % pos)
+    return struct.unpack_from("<d", data, pos)[0], pos + 8
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Encode a length-delimited payload (length prefix + raw bytes)."""
+    return encode_varint(len(value)) + value
+
+
+def decode_bytes(data: bytes, pos: int) -> Tuple[bytes, int]:
+    """Decode a length-delimited payload; returns ``(payload, next_pos)``."""
+    length, pos = decode_varint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise WireError("length-delimited field overruns buffer at offset %d" % pos)
+    return data[pos:end], end
+
+
+def encode_string(value: str) -> bytes:
+    """Encode a UTF-8 string field payload."""
+    return encode_bytes(value.encode("utf-8"))
+
+
+def skip_field(data: bytes, wire_type: int, pos: int) -> int:
+    """Skip an unknown field's payload; returns the next position."""
+    if wire_type == WIRETYPE_VARINT:
+        _, pos = decode_varint(data, pos)
+        return pos
+    if wire_type == WIRETYPE_FIXED64:
+        if pos + 8 > len(data):
+            raise WireError("truncated fixed64 while skipping at offset %d" % pos)
+        return pos + 8
+    if wire_type == WIRETYPE_LENGTH_DELIMITED:
+        _, pos = decode_bytes(data, pos)
+        return pos
+    if wire_type == WIRETYPE_FIXED32:
+        if pos + 4 > len(data):
+            raise WireError("truncated fixed32 while skipping at offset %d" % pos)
+        return pos + 4
+    raise WireError("cannot skip wire type %d (groups are unsupported)" % wire_type)
+
+
+def iter_fields(data: bytes) -> Iterator[Tuple[int, int, object]]:
+    """Iterate over the top-level fields of a serialized message.
+
+    Yields ``(field_number, wire_type, raw_value)`` where ``raw_value`` is an
+    ``int`` for varint/fixed fields and ``bytes`` for length-delimited fields.
+    Unknown wire types raise :class:`WireError`.
+    """
+    pos = 0
+    end = len(data)
+    while pos < end:
+        field_number, wire_type, pos = decode_tag(data, pos)
+        if wire_type == WIRETYPE_VARINT:
+            value, pos = decode_varint(data, pos)
+        elif wire_type == WIRETYPE_FIXED64:
+            value, pos = decode_fixed64(data, pos)
+        elif wire_type == WIRETYPE_LENGTH_DELIMITED:
+            value, pos = decode_bytes(data, pos)
+        elif wire_type == WIRETYPE_FIXED32:
+            value, pos = decode_fixed32(data, pos)
+        else:
+            raise WireError("unsupported wire type %d for field %d"
+                            % (wire_type, field_number))
+        yield field_number, wire_type, value
+
+
+def encode_packed_varints(values: List[int]) -> bytes:
+    """Encode a packed repeated varint payload (proto3 default packing)."""
+    body = b"".join(encode_signed_varint(v) for v in values)
+    return encode_bytes(body)
+
+
+def decode_packed_varints(payload: bytes) -> List[int]:
+    """Decode a packed repeated ``int64`` payload into a list."""
+    values: List[int] = []
+    pos = 0
+    end = len(payload)
+    while pos < end:
+        value, pos = decode_signed_varint(payload, pos)
+        values.append(value)
+    return values
+
+
+class Writer:
+    """Incremental message writer.
+
+    Accumulates encoded fields and produces the final byte string.  Methods
+    are no-ops for proto3 default values (0, empty, False) unless
+    ``emit_defaults`` is set, mirroring proto3 semantics where defaults are
+    not put on the wire.
+    """
+
+    def __init__(self, emit_defaults: bool = False) -> None:
+        self._chunks: List[bytes] = []
+        self._emit_defaults = emit_defaults
+
+    def varint(self, field_number: int, value: int) -> "Writer":
+        """Write an ``int64``/``uint64``/``bool``/enum field."""
+        if value or self._emit_defaults:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_VARINT))
+            self._chunks.append(encode_signed_varint(int(value)))
+        return self
+
+    def sint(self, field_number: int, value: int) -> "Writer":
+        """Write a ZigZag-encoded ``sint64`` field."""
+        if value or self._emit_defaults:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_VARINT))
+            self._chunks.append(encode_varint(zigzag_encode(value)))
+        return self
+
+    def double(self, field_number: int, value: float) -> "Writer":
+        """Write a ``double`` field."""
+        if value or self._emit_defaults:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_FIXED64))
+            self._chunks.append(encode_double(value))
+        return self
+
+    def bytes(self, field_number: int, value: bytes) -> "Writer":
+        """Write a ``bytes`` field."""
+        if value or self._emit_defaults:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_LENGTH_DELIMITED))
+            self._chunks.append(encode_bytes(value))
+        return self
+
+    def string(self, field_number: int, value: str) -> "Writer":
+        """Write a ``string`` field."""
+        if value or self._emit_defaults:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_LENGTH_DELIMITED))
+            self._chunks.append(encode_string(value))
+        return self
+
+    def message(self, field_number: int, payload: bytes) -> "Writer":
+        """Write an embedded message field from its serialized payload.
+
+        Unlike scalar fields, an *empty* message is still written when
+        explicitly requested, because presence is meaningful for messages.
+        """
+        self._chunks.append(encode_tag(field_number, WIRETYPE_LENGTH_DELIMITED))
+        self._chunks.append(encode_bytes(payload))
+        return self
+
+    def packed(self, field_number: int, values: List[int]) -> "Writer":
+        """Write a packed repeated integer field."""
+        if values:
+            self._chunks.append(encode_tag(field_number, WIRETYPE_LENGTH_DELIMITED))
+            self._chunks.append(encode_packed_varints(values))
+        return self
+
+    def getvalue(self) -> bytes:
+        """Return the serialized message."""
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return sum(len(chunk) for chunk in self._chunks)

@@ -1,0 +1,18 @@
+"""User-study simulation: the analyst cost model, the Task I-III control
+group replay (§VII-D), and the Fig. 8 view-effectiveness survey model."""
+
+from .costmodel import (COSTS, EASYVIEW_CAPS, GIVE_UP_SECONDS, GOLAND_CAPS,
+                        PPROF_CAPS, ToolCapabilities, Workflow)
+from .simulate import (AnalystResult, CellResult, GROUP_SIZE, render_table,
+                       run_study, simulate_analyst)
+from .survey import (BASE_SUCCESS, PARTICIPANTS, SurveyOutcome, VIEWS,
+                     run_survey)
+from .tasks import plan, plan_task1, plan_task2, plan_task3
+
+__all__ = [
+    "COSTS", "EASYVIEW_CAPS", "GIVE_UP_SECONDS", "GOLAND_CAPS", "PPROF_CAPS",
+    "ToolCapabilities", "Workflow", "AnalystResult", "CellResult",
+    "GROUP_SIZE", "render_table", "run_study", "simulate_analyst",
+    "BASE_SUCCESS", "PARTICIPANTS", "SurveyOutcome", "VIEWS", "run_survey",
+    "plan", "plan_task1", "plan_task2", "plan_task3",
+]

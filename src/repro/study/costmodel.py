@@ -1,0 +1,124 @@
+"""The analyst cost model behind the control-group simulation (§VII-D).
+
+Human studies cannot be rerun offline, so we encode the paper's own
+*mechanistic* explanations — "PProf requires manual correlation of profiles
+with source code", "GoLand has no bottom-up flame graph, only a tree table
+that requires more learning time", "neither tool can analyze multiple
+profiles without writing a script" — as primitive analyst operations with
+time costs, and replay each group's task workflow against its tool's
+capability matrix.
+
+The primitive costs are model *assumptions*, stated here once:
+
+=====================  ========  =====================================
+operation              seconds   rationale
+=====================  ========  =====================================
+inspect_block          5         read one flame block / table row
+navigate               3         one click/zoom/scroll step
+switch_tool            25        IDE ↔ external GUI context switch [12,13]
+open_source            2         code-linked jump (tool does the work)
+manual_source_lookup   45        grep the symbol, open the file by hand
+learn_view             300       first encounter with an unfamiliar view
+fold_unfold            4         one tree-table expansion
+write_script           1800      write/debug an ad-hoc analysis script
+run_script             60        run it, read its output
+read_histogram         10        judge one per-context value series
+=====================  ========  =====================================
+
+Tool response time (opening and re-rendering profiles) is added from the
+measured Fig. 5 pipelines, so the simulation and the efficiency benchmark
+stay coupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Primitive operation costs in seconds (see table above).
+COSTS: Dict[str, float] = {
+    "inspect_block": 5.0,
+    "navigate": 3.0,
+    "switch_tool": 25.0,
+    "open_source": 2.0,
+    "manual_source_lookup": 45.0,
+    "learn_view": 300.0,
+    "fold_unfold": 4.0,
+    "write_script": 1800.0,
+    "run_script": 60.0,
+    "read_histogram": 10.0,
+}
+
+#: Tasks are abandoned past this budget (the paper reports "cannot complete
+#: the task in 3 hours").
+GIVE_UP_SECONDS = 3 * 3600.0
+
+
+@dataclass(frozen=True)
+class ToolCapabilities:
+    """What a viewer offers the analyst (drives workflow planning)."""
+
+    name: str
+    in_ide: bool                   # profile views live inside the IDE
+    code_link: bool                # click-to-source works
+    top_down_flame: bool
+    bottom_up_flame: bool
+    bottom_up_table: bool
+    flat_view: bool
+    multi_profile: bool            # aggregate/diff across profiles
+    histograms: bool               # per-context series pane
+    open_seconds: float = 0.5     # measured response time per profile open
+
+
+EASYVIEW_CAPS = ToolCapabilities(
+    name="easyview", in_ide=True, code_link=True, top_down_flame=True,
+    bottom_up_flame=True, bottom_up_table=True, flat_view=True,
+    multi_profile=True, histograms=True)
+
+PPROF_CAPS = ToolCapabilities(
+    name="pprof", in_ide=False, code_link=False, top_down_flame=True,
+    bottom_up_flame=False, bottom_up_table=False, flat_view=True,
+    multi_profile=False, histograms=False)
+
+GOLAND_CAPS = ToolCapabilities(
+    name="goland", in_ide=True, code_link=True, top_down_flame=True,
+    bottom_up_flame=False, bottom_up_table=True, flat_view=False,
+    multi_profile=False, histograms=False)
+
+
+@dataclass
+class Workflow:
+    """A planned sequence of primitive operations for one task."""
+
+    tool: str
+    task: str
+    steps: List[str] = field(default_factory=list)
+    extra_seconds: float = 0.0   # tool response time, scripts' runtime, ...
+    completed: bool = True
+    #: Open-ended work (no bounded recipe) is abandoned past the give-up
+    #: budget; bounded-but-slow work merely finishes late.
+    open_ended: bool = False
+
+    def add(self, operation: str, times: int = 1) -> "Workflow":
+        if operation not in COSTS:
+            raise KeyError("unknown primitive operation %r" % operation)
+        self.steps.extend([operation] * times)
+        return self
+
+    def wait(self, seconds: float) -> "Workflow":
+        self.extra_seconds += seconds
+        return self
+
+    @property
+    def seconds(self) -> float:
+        return sum(COSTS[step] for step in self.steps) + self.extra_seconds
+
+    @property
+    def minutes(self) -> float:
+        return self.seconds / 60.0
+
+    def finish(self) -> "Workflow":
+        """Mark completion, enforcing the give-up budget."""
+        if self.open_ended and self.seconds > GIVE_UP_SECONDS:
+            self.completed = False
+        return self

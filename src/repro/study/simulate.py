@@ -1,0 +1,121 @@
+"""Control-group simulation (§VII-D): replay the three tasks per group.
+
+Each group (EasyView / default PProf / GoLand) is simulated as a small
+population of analysts with varying proficiency.  An analyst's proficiency
+scales the *human* operation costs (newbies read and navigate slower);
+tool response time is taken from the measured Fig. 5 pipelines and is the
+same for everyone.  The reported number per (tool, task) cell is the group
+mean, like the paper's "~10 min on average".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .costmodel import (COSTS, EASYVIEW_CAPS, GIVE_UP_SECONDS, GOLAND_CAPS,
+                        PPROF_CAPS, ToolCapabilities, Workflow)
+from .tasks import plan
+
+#: Group size in the paper's setup.
+GROUP_SIZE = 7
+
+
+@dataclass
+class AnalystResult:
+    """One analyst's outcome on one task."""
+
+    tool: str
+    task: str
+    minutes: float
+    completed: bool
+
+
+@dataclass
+class CellResult:
+    """One (tool, task) cell of the study table."""
+
+    tool: str
+    task: str
+    results: List[AnalystResult] = field(default_factory=list)
+
+    @property
+    def mean_minutes(self) -> float:
+        done = [r.minutes for r in self.results if r.completed]
+        if not done:
+            return float("inf")
+        return sum(done) / len(done)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.completed for r in self.results) / len(self.results)
+
+    def render(self) -> str:
+        if self.completion_rate == 0.0:
+            return "DNF (>%d h)" % int(GIVE_UP_SECONDS / 3600)
+        return "~%.0f min" % self.mean_minutes
+
+
+def proficiency_factors(size: int = GROUP_SIZE, seed: int = 2024
+                        ) -> List[float]:
+    """Human-cost multipliers for a mixed newbie/experienced group.
+
+    Factors span 0.85 (experienced performance engineer) to 1.5 (newbie,
+    trained only on flame-graph basics like the paper's groups); the mix is
+    deterministic per seed so results are reproducible.
+    """
+    rng = random.Random(seed)
+    return [round(0.85 + 0.65 * rng.random(), 3) for _ in range(size)]
+
+
+def simulate_analyst(task: str, caps: ToolCapabilities,
+                     proficiency: float) -> AnalystResult:
+    """Replay one task for one analyst: human costs scale, waits do not."""
+    flow = plan(task, caps)
+    human_seconds = sum(COSTS[step] for step in flow.steps) * proficiency
+    total = human_seconds + flow.extra_seconds
+    completed = not (flow.open_ended and total > GIVE_UP_SECONDS)
+    return AnalystResult(tool=caps.name, task=task,
+                         minutes=total / 60.0,
+                         completed=completed)
+
+
+def run_study(open_seconds: Optional[Dict[str, float]] = None,
+              group_size: int = GROUP_SIZE, seed: int = 2024
+              ) -> Dict[str, Dict[str, CellResult]]:
+    """Run the full 3-tools × 3-tasks study.
+
+    ``open_seconds`` optionally injects *measured* per-tool response times
+    (from the Fig. 5 benchmark) so the two experiments stay coupled.
+    Returns ``{tool: {task: CellResult}}``.
+    """
+    tools = []
+    for caps in (EASYVIEW_CAPS, PPROF_CAPS, GOLAND_CAPS):
+        if open_seconds and caps.name in open_seconds:
+            caps = ToolCapabilities(
+                **{**caps.__dict__, "open_seconds": open_seconds[caps.name]})
+        tools.append(caps)
+
+    factors = proficiency_factors(group_size, seed)
+    table: Dict[str, Dict[str, CellResult]] = {}
+    for caps in tools:
+        table[caps.name] = {}
+        for task in ("task1", "task2", "task3"):
+            cell = CellResult(tool=caps.name, task=task)
+            for factor in factors:
+                cell.results.append(simulate_analyst(task, caps, factor))
+            table[caps.name][task] = cell
+    return table
+
+
+def render_table(table: Dict[str, Dict[str, CellResult]]) -> str:
+    """The study table as aligned text (the §VII-D summary)."""
+    tasks = ("task1", "task2", "task3")
+    lines = ["%-10s %14s %14s %14s" % (("tool",) + tasks)]
+    for tool, cells in table.items():
+        lines.append("%-10s %14s %14s %14s"
+                     % ((tool,) + tuple(cells[t].render() for t in tasks)))
+    return "\n".join(lines)

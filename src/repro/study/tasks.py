@@ -1,0 +1,145 @@
+"""Task workflows for the control-group study (§VII-D).
+
+Three tasks over the same set of PProf-collected profiles:
+
+* **Task I** — pinpoint hotspot functions in their calling contexts for CPU
+  and memory (top-down flame-graph use case);
+* **Task II** — identify hot memory allocation, GC invocation, and lock
+  wait, and find *where they are called from* (bottom-up use case);
+* **Task III** — identify the memory leak of §VII-C1 across a series of
+  snapshots (multi-profile use case).
+
+Each planner turns a tool's capability matrix into the workflow the paper
+describes for that group: tools with the right view do the task directly;
+tools missing it fall back to tree-table archaeology, manual correlation,
+or ad-hoc scripting — the paper's stated reasons for the observed times.
+
+A workflow is *open-ended* when the fallback has no bounded recipe (Task
+III's cross-snapshot alignment by hand); open-ended work past the 3-hour
+budget is abandoned (the paper's "cannot complete the task in 3 hours"),
+while bounded-but-slow work (Task II's inversion script) merely finishes
+late.
+"""
+
+from __future__ import annotations
+
+from .costmodel import GIVE_UP_SECONDS, ToolCapabilities, Workflow
+
+#: Study workload: how many profiles / categories / snapshots each task
+#: touches (matching the §VII-D setup: several profiles, three inefficiency
+#: categories in Task II, the snapshot series of §VII-C1 in Task III).
+TASK1_PROFILES = 4
+TASK1_METRICS = 2          # CPU and memory
+TASK2_CATEGORIES = 3       # allocation, GC, lock wait
+TASK3_SNAPSHOTS = 20
+TASK3_CANDIDATES = 8       # allocation contexts worth checking for leaks
+
+
+def plan_task1(caps: ToolCapabilities) -> Workflow:
+    """Task I: top-down hotspot hunting across profiles × metrics."""
+    flow = Workflow(tool=caps.name, task="task1")
+    for _ in range(TASK1_PROFILES):
+        flow.wait(caps.open_seconds)
+        if not caps.in_ide:
+            flow.add("switch_tool")  # leave the editor for the external GUI
+        for _ in range(TASK1_METRICS):
+            # Switching the metric re-renders the profile view; eager
+            # viewers pay their full open time again (the "GoLand requires
+            # much more time to open and navigate large profiles" effect).
+            flow.wait(caps.open_seconds)
+            flow.add("navigate", 6)
+            flow.add("inspect_block", 8)
+            # Confirm the top 2 hotspots in their source contexts.
+            if caps.code_link:
+                flow.add("open_source", 2)
+            else:
+                flow.add("switch_tool")       # back to the editor…
+                flow.add("manual_source_lookup", 2)   # …and grep by hand
+    return flow.finish()
+
+
+def plan_task2(caps: ToolCapabilities) -> Workflow:
+    """Task II: find hot allocation/GC/lock-wait and their callers."""
+    flow = Workflow(tool=caps.name, task="task2")
+    flow.wait(caps.open_seconds)
+    if caps.bottom_up_flame:
+        # The direct path: one bottom-up flame graph per category, then a
+        # top-down confirmation pass for each finding.
+        for _ in range(TASK2_CATEGORIES):
+            flow.add("navigate", 10)
+            flow.add("inspect_block", 18)
+            flow.add("open_source" if caps.code_link
+                     else "manual_source_lookup", 3)
+            flow.add("navigate", 6)          # confirm in the top-down view
+            flow.add("inspect_block", 8)
+    elif caps.bottom_up_table:
+        # GoLand's path: a bottom-up *tree table* exists but is unfamiliar
+        # and needs row-by-row unfolding to reconstruct each caller chain.
+        flow.add("learn_view", 2)            # table semantics + columns
+        for _ in range(TASK2_CATEGORIES):
+            flow.add("fold_unfold", 80)      # unfold caller chains
+            flow.add("inspect_block", 50)
+            flow.add("navigate", 15)
+            flow.add("open_source" if caps.code_link
+                     else "manual_source_lookup", 3)
+            flow.wait(caps.open_seconds * 10)  # re-render per unfold burst
+    else:
+        # PProf's path: no bottom-up view at all — invert the stacks with
+        # an ad-hoc script (parse the protobuf, reverse, re-aggregate),
+        # then correlate its text output to source by hand.
+        flow.add("write_script", 3)          # write, fix inlining, fix GC frames
+        flow.add("run_script", 8)
+        for _ in range(TASK2_CATEGORIES):
+            flow.add("inspect_block", 60)    # read raw script output
+            flow.add("navigate", 10)
+            flow.add("switch_tool", 4)
+            flow.add("manual_source_lookup", 14)
+    return flow.finish()
+
+
+def plan_task3(caps: ToolCapabilities) -> Workflow:
+    """Task III: memory-leak identification across snapshot profiles."""
+    flow = Workflow(tool=caps.name, task="task3")
+    if caps.multi_profile and caps.histograms:
+        # EasyView's path: aggregate all snapshots in one view, read each
+        # candidate's histogram, confirm the leaky ones in source, and
+        # cross-check against a healthy context.
+        flow.wait(caps.open_seconds * 2)     # open + aggregate
+        flow.add("navigate", 14)
+        flow.add("inspect_block", 24)
+        flow.add("read_histogram", TASK3_CANDIDATES * 2)
+        flow.add("open_source" if caps.code_link
+                 else "manual_source_lookup", 4)
+        return flow.finish()
+    # Without multi-profile support the analyst walks every snapshot by
+    # hand, locating each candidate context and tabulating its value —
+    # open-ended cross-file correlation with no bounded recipe.
+    flow.open_ended = True
+    for _ in range(TASK3_SNAPSHOTS):
+        flow.wait(caps.open_seconds)
+        if not caps.in_ide:
+            flow.add("switch_tool")
+        flow.add("navigate", 8)
+        if caps.bottom_up_table:
+            flow.add("fold_unfold", 4)       # dig each context out of the table
+        flow.add("inspect_block", TASK3_CANDIDATES)
+        # Record each candidate's value against its call path by hand.
+        flow.add("manual_source_lookup", TASK3_CANDIDATES)
+    # …and still needs a script to align and plot the series per context.
+    flow.add("write_script", 2)
+    flow.add("run_script", 4)
+    flow.add("read_histogram", TASK3_CANDIDATES)
+    return flow.finish()
+
+
+PLANNERS = {"task1": plan_task1, "task2": plan_task2, "task3": plan_task3}
+
+
+def plan(task: str, caps: ToolCapabilities) -> Workflow:
+    """Plan one task for one tool."""
+    try:
+        planner = PLANNERS[task]
+    except KeyError:
+        raise KeyError("unknown task %r (have: %s)"
+                       % (task, ", ".join(sorted(PLANNERS)))) from None
+    return planner(caps)

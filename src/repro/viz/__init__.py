@@ -1,0 +1,25 @@
+"""EasyView's visualization layer: flame-graph layout and renderers (SVG,
+HTML, terminal), tree tables, aggregate histograms, and color semantics."""
+
+from .dot import to_dot
+from .color import ansi_index, css, diff_color, frame_color, highlight_color
+from .flamegraph import CorrelatedView, FlameGraph
+from .histogram import (histogram_svg, histogram_text, node_histogram_text,
+                        sparkline, trend_label)
+from .html import HtmlReport
+from .layout import FlameLayout, FlameRect, layout
+from .svg import render_diff_svg, render_svg
+from .terminal import render_flame_text, render_summary, render_tree_text
+from .timeline import timeline_svg, timeline_text
+from .treetable import TableRow, TreeTable
+from .webview import render_webview, save_webview
+
+__all__ = [
+    "ansi_index", "css", "diff_color", "frame_color", "highlight_color",
+    "CorrelatedView", "FlameGraph", "histogram_svg", "histogram_text",
+    "node_histogram_text", "sparkline", "trend_label", "HtmlReport",
+    "FlameLayout", "FlameRect", "layout", "render_diff_svg", "render_svg",
+    "render_flame_text", "render_summary", "render_tree_text", "TableRow",
+    "TreeTable", "timeline_svg", "timeline_text", "to_dot",
+    "render_webview", "save_webview",
+]

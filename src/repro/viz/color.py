@@ -1,0 +1,105 @@
+"""Color semantics (§VI-B): stable per-module hues, darkness encoding
+line-mapping availability, and the red/blue differential scale.
+
+Colors are deterministic functions of the frame, so a function keeps its
+color across views, zooms, and sessions — the property users rely on to
+re-find a frame after a transform.
+"""
+
+from __future__ import annotations
+
+import colorsys
+import hashlib
+from typing import Optional, Tuple
+
+from ..analysis.viewtree import ViewNode
+from ..core.frame import FrameKind
+
+RGB = Tuple[int, int, int]
+
+#: Base hue ranges (degrees) per frame kind; functions get warm flame hues,
+#: data objects green, grouping rows gray-blue.
+_KIND_HUE = {
+    FrameKind.FUNCTION: (0.0, 55.0),       # red → yellow (classic flame)
+    FrameKind.LOOP: (25.0, 55.0),
+    FrameKind.BASIC_BLOCK: (200.0, 230.0),  # module/file grouping rows
+    FrameKind.INSTRUCTION: (0.0, 55.0),
+    FrameKind.DATA_OBJECT: (95.0, 140.0),   # allocations in green
+    FrameKind.THREAD: (260.0, 290.0),
+    FrameKind.ROOT: (0.0, 0.0),
+}
+
+
+def _stable_unit(text: str) -> float:
+    """Map a string to a stable float in [0, 1)."""
+    digest = hashlib.sha1(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") / 2 ** 32
+
+
+def frame_color(node: ViewNode) -> RGB:
+    """The fill color for a node's block.
+
+    Hue: hashed from the frame's module (falling back to file, then name),
+    so frames of one library share a hue family.  Within the family, the
+    exact hue is hashed from the function name.  Lightness: frames *with*
+    line mapping draw saturated; frames without draw washed out — the
+    paper's "darkness represents availability of source line mapping".
+    """
+    frame = node.frame
+    if frame.kind is FrameKind.ROOT:
+        return (208, 208, 208)
+    low, high = _KIND_HUE.get(frame.kind, (0.0, 55.0))
+    family = frame.module or frame.file or frame.name
+    family_unit = _stable_unit(family)
+    member_unit = _stable_unit(frame.name)
+    hue = (low + (high - low) * ((family_unit * 0.7 + member_unit * 0.3) % 1.0)) / 360.0
+    has_mapping = frame.location.is_known()
+    saturation = 0.75 if has_mapping else 0.25
+    lightness = 0.55 if has_mapping else 0.78
+    r, g, b = colorsys.hls_to_rgb(hue, lightness, saturation)
+    return (int(r * 255), int(g * 255), int(b * 255))
+
+
+def diff_color(node: ViewNode, metric_index: int = 0,
+               max_ratio: float = 2.0) -> RGB:
+    """Differential coloring: red for growth, blue for shrinkage.
+
+    Intensity scales with the relative change, saturating at
+    ``max_ratio``; added contexts are fully red, deleted fully blue,
+    unchanged contexts near-white.
+    """
+    if node.tag == "A":
+        return (214, 39, 40)
+    if node.tag == "D":
+        return (31, 119, 180)
+    before = node.baseline.get(metric_index, 0.0)
+    after = node.inclusive.get(metric_index, 0.0)
+    if before == 0.0 and after == 0.0:
+        return (245, 245, 245)
+    base = max(abs(before), abs(after), 1e-12)
+    change = (after - before) / base  # in [-1, 1]
+    intensity = min(abs(change) * max_ratio, 1.0)
+    if change >= 0:
+        # white → red
+        return (255, int(255 - 180 * intensity), int(255 - 180 * intensity))
+    return (int(255 - 180 * intensity), int(255 - 130 * intensity), 255)
+
+
+def highlight_color() -> RGB:
+    """Color of search-highlighted blocks."""
+    return (186, 85, 211)
+
+
+def css(color: RGB) -> str:
+    """Render as a CSS rgb() literal."""
+    return "rgb(%d,%d,%d)" % color
+
+
+def ansi_index(color: RGB) -> int:
+    """Approximate an RGB color in the xterm-256 palette (for terminals)."""
+    r, g, b = color
+
+    def channel(v: int) -> int:
+        return max(0, min(5, round((v - 35) / 40)))
+
+    return 16 + 36 * channel(r) + 6 * channel(g) + channel(b)

@@ -1,0 +1,90 @@
+"""Graphviz DOT export: pprof's classic call-graph view.
+
+pprof users read weighted call graphs (boxes sized by self time, edges by
+transfer); EasyView keeps that view available for backward compatibility
+(§VI-A's goal of attracting users of existing tools).  The exporter folds
+a view tree into a graph — nodes merge across call paths, edges accumulate
+caller→callee flow — and emits DOT text renderable with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..analysis.viewtree import ViewTree
+from ..core.frame import FrameKind
+
+
+def _quote(text: str) -> str:
+    return '"%s"' % text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(tree: ViewTree, metric_index: int = 0,
+           max_nodes: int = 80, min_edge_fraction: float = 0.001,
+           title: str = "") -> str:
+    """Render a view tree as a DOT call graph.
+
+    Nodes are functions (merged across call paths) labeled with exclusive
+    and inclusive values; node font size scales with exclusive share like
+    pprof's.  Edges carry the caller→callee inclusive flow.  Only the
+    ``max_nodes`` hottest functions are drawn; edges below
+    ``min_edge_fraction`` of the total are dropped.
+    """
+    total = tree.total(metric_index) or 1.0
+    metric = tree.schema[metric_index] if len(tree.schema) else None
+
+    node_flat: Dict[Tuple, Dict[str, float]] = {}
+    edges: Dict[Tuple[Tuple, Tuple], float] = {}
+    for node in tree.nodes():
+        if node.frame.kind is FrameKind.ROOT:
+            continue
+        key = node.frame.merge_key()
+        entry = node_flat.setdefault(key, {"exclusive": 0.0,
+                                           "inclusive": 0.0,
+                                           "label": node.frame.label()})
+        entry["exclusive"] += node.exclusive.get(metric_index, 0.0)
+        entry["inclusive"] += node.inclusive.get(metric_index, 0.0)
+        parent = node.parent
+        if parent is not None and parent.frame.kind is not FrameKind.ROOT:
+            edge = (parent.frame.merge_key(), key)
+            edges[edge] = edges.get(edge, 0.0) + node.inclusive.get(
+                metric_index, 0.0)
+
+    keep = sorted(node_flat,
+                  key=lambda k: -(node_flat[k]["exclusive"]
+                                  or node_flat[k]["inclusive"] * 1e-6))
+    keep = set(keep[:max_nodes])
+
+    def fmt(value: float) -> str:
+        if metric is not None:
+            return metric.format_value(value)
+        return "%g" % value
+
+    lines = ["digraph easyview {"]
+    if title:
+        lines.append("  label=%s;" % _quote(title))
+    lines.append("  node [shape=box, style=filled, "
+                 "fillcolor=\"#f2e6d8\", fontname=\"monospace\"];")
+    ids: Dict[Tuple, str] = {}
+    for i, key in enumerate(sorted(keep,
+                                   key=lambda k: node_flat[k]["label"])):
+        entry = node_flat[key]
+        ids[key] = "n%d" % i
+        share = entry["exclusive"] / total
+        font = 8 + 22 * min(share * 4, 1.0) ** 0.5
+        label = "%s\\n%s of %s (%.1f%%)" % (
+            entry["label"], fmt(entry["exclusive"]),
+            fmt(entry["inclusive"]), 100.0 * share)
+        lines.append("  %s [label=%s, fontsize=%.1f];"
+                     % (ids[key], _quote(label), font))
+    for (src, dst), weight in sorted(edges.items(),
+                                     key=lambda kv: -kv[1]):
+        if src not in ids or dst not in ids:
+            continue
+        if weight < total * min_edge_fraction:
+            continue
+        width = 0.5 + 4.0 * min(weight / total, 1.0)
+        lines.append("  %s -> %s [label=%s, penwidth=%.2f];"
+                     % (ids[src], ids[dst], _quote(fmt(weight)), width))
+    lines.append("}")
+    return "\n".join(lines)

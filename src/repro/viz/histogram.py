@@ -1,0 +1,117 @@
+"""Per-context histograms for aggregate views (§VI-A(b), Fig. 4).
+
+When profiles are aggregated, every context carries the value series across
+the inputs (threads, processes, runs, or time-ordered snapshots).  Clicking
+a frame pops this histogram; its *shape over time* is what identifies the
+memory-leak pattern in the paper's cloud case study: continuously high with
+no sign of reclamation ⇒ warning; diminishing at the end ⇒ healthy.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from typing import List, Optional, Sequence
+
+from ..analysis.viewtree import ViewNode
+from ..core.metric import Metric
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """A unicode sparkline of a value series (the hover's one-liner)."""
+    if not series:
+        return ""
+    peak = max(series)
+    if peak <= 0:
+        return SPARK_LEVELS[0] * len(series)
+    out = []
+    for value in series:
+        level = int(value / peak * (len(SPARK_LEVELS) - 1) + 0.5)
+        out.append(SPARK_LEVELS[max(0, min(level, len(SPARK_LEVELS) - 1))])
+    return "".join(out)
+
+
+def histogram_text(series: Sequence[float], bins: int = 0,
+                   width: int = 40, metric: Optional[Metric] = None,
+                   labels: Optional[Sequence[str]] = None) -> str:
+    """Render a value series as horizontal text bars.
+
+    With ``bins`` > 0 the series is re-bucketed (for very long snapshot
+    series); otherwise one bar per entry.
+    """
+    values = list(series)
+    if not values:
+        return "(no data)"
+    if bins and len(values) > bins:
+        step = len(values) / bins
+        rebinned = []
+        for i in range(bins):
+            chunk = values[int(i * step):int((i + 1) * step)] or [0.0]
+            rebinned.append(sum(chunk) / len(chunk))
+        values = rebinned
+        labels = None
+    peak = max(values) or 1.0
+    lines = []
+    for i, value in enumerate(values):
+        bar = "█" * max(int(value / peak * width), 1 if value > 0 else 0)
+        if metric is not None:
+            text = metric.format_value(value)
+        else:
+            text = "%g" % value
+        label = labels[i] if labels else "#%d" % (i + 1)
+        lines.append("%8s %-*s %s" % (label, width, bar, text))
+    return "\n".join(lines)
+
+
+def node_histogram_text(node: ViewNode, metric_index: int,
+                        metric: Optional[Metric] = None,
+                        width: int = 40) -> str:
+    """The histogram pane for one aggregate-view node."""
+    series = node.histogram.get(metric_index, [])
+    if not series:
+        return "(context %s has no per-profile series)" % node.frame.label()
+    header = "%s — %s across %d profiles\n" % (
+        node.frame.label(), metric.name if metric else "metric", len(series))
+    return header + histogram_text(series, metric=metric, width=width)
+
+
+def histogram_svg(series: Sequence[float], width: int = 480,
+                  height: int = 160, title: str = "") -> str:
+    """Render a value series as an SVG bar chart (the GUI's hover body)."""
+    values = list(series)
+    if not values:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='10' height='10'/>"
+    peak = max(values) or 1.0
+    margin = 24 if title else 6
+    bar_w = max((width - 10) / len(values), 1.0)
+    parts = [
+        "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'>"
+        % (width, height + margin),
+        "<rect width='100%' height='100%' fill='#ffffff'/>",
+    ]
+    if title:
+        parts.append("<text x='6' y='15' font-family='monospace' "
+                     "font-size='12'>%s</text>" % html_mod.escape(title))
+    for i, value in enumerate(values):
+        bar_h = value / peak * (height - 8)
+        parts.append(
+            "<rect x='%.1f' y='%.1f' width='%.1f' height='%.1f' "
+            "fill='rgb(84,138,198)'><title>#%d: %g</title></rect>"
+            % (5 + i * bar_w, margin + (height - 8) - bar_h,
+               max(bar_w - 1, 0.5), bar_h, i + 1, value))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def trend_label(series: Sequence[float]) -> str:
+    """Classify a series's shape for hover text: growing / stable /
+    reclaiming.  Mirrors the signals the leak detector scores."""
+    from ..analysis.leak import analyze_series
+    signals = analyze_series(series)
+    if signals["retention"] < 0.5:
+        return "reclaiming — active value diminishes by the end"
+    if signals["retention"] > 0.8 and signals["monotonicity"] > 0.7:
+        # Flat-high or still climbing: the paper's leak warning pattern.
+        return "continuously high, no sign of reclamation"
+    return "stable"

@@ -1,0 +1,94 @@
+"""Self-contained HTML reports bundling the views.
+
+One HTML file with no external resources (CSS inlined, graphics as inline
+SVG): the shareable artifact for a code review or a bug report.  A report
+can hold several sections — flame graphs of any shape, tree tables,
+histograms, summaries — in the order they are added.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from typing import List, Optional, Sequence
+
+from .flamegraph import FlameGraph
+from .histogram import histogram_svg
+from .treetable import TreeTable
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 24px;
+       color: #1c1c1c; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }
+pre { background: #f6f6f6; padding: 10px; overflow-x: auto;
+      font-size: 12px; line-height: 1.35; }
+table { border-collapse: collapse; font-size: 13px; }
+td, th { border: 1px solid #ddd; padding: 3px 8px; text-align: right; }
+td:first-child, th:first-child { text-align: left; font-family: monospace; }
+.section { margin-bottom: 12px; }
+.meta { color: #666; font-size: 12px; }
+"""
+
+
+class HtmlReport:
+    """Accumulates sections and renders one self-contained document."""
+
+    def __init__(self, title: str = "EasyView report") -> None:
+        self.title = title
+        self._sections: List[str] = []
+
+    def add_heading(self, text: str) -> "HtmlReport":
+        """A section heading."""
+        self._sections.append("<h2>%s</h2>" % html_mod.escape(text))
+        return self
+
+    def add_paragraph(self, text: str) -> "HtmlReport":
+        """A paragraph of commentary."""
+        self._sections.append("<p>%s</p>" % html_mod.escape(text))
+        return self
+
+    def add_flamegraph(self, graph: FlameGraph, title: str = ""
+                       ) -> "HtmlReport":
+        """Embed a flame graph as inline SVG."""
+        self._sections.append("<div class='section'>%s</div>"
+                              % graph.to_svg(title=title))
+        return self
+
+    def add_table(self, table: TreeTable, max_rows: int = 100
+                  ) -> "HtmlReport":
+        """Embed a tree table's visible rows."""
+        names = [table.tree.schema[c].name for c in table.columns]
+        rows_html = ["<tr><th>context</th>%s</tr>"
+                     % "".join("<th>%s</th>" % html_mod.escape(n)
+                               for n in names)]
+        for row in table.rows()[:max_rows]:
+            indent = "&nbsp;" * (2 * row.depth)
+            cells = "".join("<td>%g</td>" % v for v in row.values)
+            rows_html.append("<tr><td>%s%s</td>%s</tr>"
+                             % (indent, html_mod.escape(row.label()), cells))
+        self._sections.append("<table>%s</table>" % "".join(rows_html))
+        return self
+
+    def add_histogram(self, series: Sequence[float], title: str = ""
+                      ) -> "HtmlReport":
+        """Embed a value-series bar chart."""
+        self._sections.append("<div class='section'>%s</div>"
+                              % histogram_svg(series, title=title))
+        return self
+
+    def add_preformatted(self, text: str) -> "HtmlReport":
+        """Embed preformatted text (e.g. a terminal rendering)."""
+        self._sections.append("<pre>%s</pre>" % html_mod.escape(text))
+        return self
+
+    def render(self) -> str:
+        """The complete HTML document."""
+        return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+                "<title>%s</title><style>%s</style></head><body>"
+                "<h1>%s</h1>%s</body></html>"
+                % (html_mod.escape(self.title), _STYLE,
+                   html_mod.escape(self.title), "".join(self._sections)))
+
+    def save(self, path: str) -> None:
+        """Write the document to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

@@ -1,0 +1,194 @@
+"""Flame-graph layout: from a view tree to positioned rectangles.
+
+The layout is resolution-aware and lazy, which is one of EasyView's
+response-time levers (§V-C): nodes whose rendered width would fall below
+``min_width`` pixels are not laid out at all (their parent draws as a solid
+block), so opening a million-node profile only materializes the few thousand
+rectangles a screen can show.  Zooming re-runs the layout rooted at the
+zoomed node, exactly like the VSCode extension re-renders on click.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..analysis.viewtree import ViewNode, ViewTree
+
+
+@dataclass
+class FlameRect:
+    """One positioned flame-graph block.
+
+    ``x`` and ``width`` are in pixels within ``[0, canvas_width)``; ``depth``
+    is the row index (0 = the root row at the base of the flame).
+    """
+
+    node: ViewNode
+    x: float
+    width: float
+    depth: int
+
+    @property
+    def label(self) -> str:
+        return self.node.label()
+
+    def fits_text(self, char_width: float = 7.0) -> bool:
+        """Whether any useful label text fits inside this block."""
+        return self.width >= 3 * char_width
+
+
+@dataclass
+class FlameLayout:
+    """A computed layout plus the parameters that produced it."""
+
+    rects: List[FlameRect]
+    canvas_width: float
+    max_depth: int
+    total_value: float
+    metric_index: int
+    laid_out_nodes: int
+    skipped_nodes: int
+
+    def rows(self) -> List[List[FlameRect]]:
+        """Rectangles grouped by depth (row 0 first)."""
+        table: List[List[FlameRect]] = [[] for _ in range(self.max_depth + 1)]
+        for rect in self.rects:
+            table[rect.depth].append(rect)
+        for row in table:
+            row.sort(key=lambda r: r.x)
+        return table
+
+    def find(self, name: str) -> List[FlameRect]:
+        """Rectangles whose frame name contains ``name``."""
+        return [r for r in self.rects if name in r.node.frame.name]
+
+
+def layout(tree: ViewTree, metric_index: int = 0,
+           canvas_width: float = 1200.0, min_width: float = 0.5,
+           root: Optional[ViewNode] = None,
+           max_depth: Optional[int] = None) -> FlameLayout:
+    """Lay out a view tree as flame-graph rectangles.
+
+    ``root`` zooms the layout to a subtree (it takes the full canvas width).
+    ``min_width`` is the lazy-layout cutoff in pixels; pass 0 to force a
+    full layout (the ablation benchmark does).
+    """
+    origin = root if root is not None else tree.root
+    total = origin.inclusive.get(metric_index, 0.0)
+    rects: List[FlameRect] = []
+    skipped = 0
+    deepest = 0
+    if total > 0:
+        scale = canvas_width / total
+        # (node, x, depth); children are laid out left-to-right by
+        # descending value, the conventional flame-graph ordering.
+        stack = [(origin, 0.0, 0)]
+        while stack:
+            node, x, depth = stack.pop()
+            value = node.inclusive.get(metric_index, 0.0)
+            width = value * scale
+            if width < min_width:
+                skipped += 1 + _subtree_size(node)
+                continue
+            rects.append(FlameRect(node=node, x=x, width=width, depth=depth))
+            if depth > deepest:
+                deepest = depth
+            if max_depth is not None and depth >= max_depth:
+                continue
+            child_x = x
+            for child in node.sorted_children():
+                child_value = child.inclusive.get(metric_index, 0.0)
+                if child_value <= 0:
+                    continue
+                stack.append((child, child_x, depth + 1))
+                child_x += child_value * scale
+    return FlameLayout(rects=rects, canvas_width=canvas_width,
+                       max_depth=deepest, total_value=total,
+                       metric_index=metric_index,
+                       laid_out_nodes=len(rects), skipped_nodes=skipped)
+
+
+def layout_profile(profile, metric_index: int = 0,
+                   canvas_width: float = 1200.0, min_width: float = 0.5,
+                   max_depth: Optional[int] = None) -> FlameLayout:
+    """Lay out a profile's top-down flame graph *directly from its CCT*.
+
+    This is the open-pipeline fast path (§V-C): instead of materializing a
+    full view tree first, sibling contexts are merged on the fly per
+    rendered row, and merging stops wherever the merged block falls under
+    ``min_width`` pixels.  Work is proportional to the number of *rendered*
+    blocks, not to profile size — on the Fig. 5 corpus this is what keeps
+    the large-profile open time flat while eager viewers scale with node
+    count.
+
+    Rendered blocks get lightweight :class:`ViewNode` stubs (frame, merged
+    inclusive value, contributing CCT nodes as ``sources``) so every
+    renderer and the code-link action work unchanged.
+    """
+    from ..analysis.metrics import compute_inclusive
+    compute_inclusive(profile, [metric_index])
+    root = profile.root
+    total = root.inclusive.get(metric_index, 0.0)
+    rects: List[FlameRect] = []
+    skipped = 0
+    deepest = 0
+    if total > 0:
+        scale = canvas_width / total
+        root_stub = ViewNode(root.frame)
+        root_stub.inclusive[metric_index] = total
+        root_stub.sources.append(root)
+        # Stack entries: (cct node group, view stub, x, depth).  A group is
+        # the list of CCT contexts merged into one block.
+        stack = [([root], root_stub, 0.0, 0)]
+        while stack:
+            group, stub, x, depth = stack.pop()
+            rects.append(FlameRect(node=stub, x=x, width=stub.inclusive[
+                metric_index] * scale, depth=depth))
+            if depth > deepest:
+                deepest = depth
+            if max_depth is not None and depth >= max_depth:
+                continue
+            # Merge the group's children by frame identity.
+            merged: dict = {}
+            for cct_node in group:
+                for child in cct_node.children.values():
+                    value = child.inclusive.get(metric_index, 0.0)
+                    if value <= 0:
+                        continue
+                    key = child.frame.merge_key()
+                    entry = merged.get(key)
+                    if entry is None:
+                        merged[key] = [child.frame, value, [child]]
+                    else:
+                        entry[1] += value
+                        entry[2].append(child)
+            # Lay wide children out left-to-right by descending value.
+            entries = sorted(merged.values(), key=lambda e: -e[1])
+            child_x = x
+            for frame, value, members in entries:
+                width = value * scale
+                if width < min_width:
+                    skipped += len(members)
+                    child_x += width
+                    continue
+                child_stub = ViewNode(frame, parent=stub)
+                child_stub.inclusive[metric_index] = value
+                child_stub.sources.extend(members)
+                stack.append((members, child_stub, child_x, depth + 1))
+                child_x += width
+    return FlameLayout(rects=rects, canvas_width=canvas_width,
+                       max_depth=deepest, total_value=total,
+                       metric_index=metric_index,
+                       laid_out_nodes=len(rects), skipped_nodes=skipped)
+
+
+def _subtree_size(node: ViewNode) -> int:
+    """Count of descendants (for lazy-layout accounting)."""
+    count = 0
+    stack = list(node.children.values())
+    while stack:
+        current = stack.pop()
+        count += 1
+        stack.extend(current.children.values())
+    return count

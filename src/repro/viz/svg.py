@@ -1,0 +1,94 @@
+"""SVG rendering of flame-graph layouts.
+
+Produces self-contained SVG documents: one ``<rect>`` + clipped ``<text>``
+per laid-out block, with a ``<title>`` tooltip carrying the full label and
+metric value (the hover of a static rendering).  Differential layouts use
+the red/blue scale; search matches are outlined in the highlight color.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Callable, Optional, Set
+
+from ..analysis.viewtree import ViewNode
+from ..core.metric import Metric
+from .color import RGB, css, diff_color, frame_color, highlight_color
+from .layout import FlameLayout, FlameRect
+
+ROW_HEIGHT = 18
+FONT_SIZE = 11
+CHAR_WIDTH = 6.5
+
+ColorFn = Callable[[ViewNode], RGB]
+
+
+def render_svg(layout: FlameLayout, metric: Optional[Metric] = None,
+               title: str = "", inverted: bool = False,
+               color_fn: Optional[ColorFn] = None,
+               highlighted: Optional[Set[int]] = None) -> str:
+    """Render a layout to an SVG document string.
+
+    ``inverted`` draws an icicle (root at top), the conventional orientation
+    for top-down views in IDE panes; the default grows upward like Brendan
+    Gregg's original flame graphs.  ``highlighted`` is a set of ``id()``s of
+    view nodes to outline (search results).
+    """
+    height = (layout.max_depth + 1) * ROW_HEIGHT + (30 if title else 10)
+    header = 25 if title else 5
+    pick_color = color_fn or frame_color
+    highlighted = highlighted or set()
+
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'font-family="monospace" font-size="%d">'
+        % (int(layout.canvas_width), height, FONT_SIZE),
+        '<rect width="100%" height="100%" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append('<text x="%d" y="16" font-size="13">%s</text>'
+                     % (int(layout.canvas_width / 2 - 4 * len(title)),
+                        html.escape(title)))
+
+    for rect in layout.rects:
+        if inverted:
+            y = header + rect.depth * ROW_HEIGHT
+        else:
+            y = header + (layout.max_depth - rect.depth) * ROW_HEIGHT
+        color = pick_color(rect.node)
+        stroke = ""
+        if id(rect.node) in highlighted:
+            stroke = ' stroke="%s" stroke-width="1.5"' % css(highlight_color())
+        value = rect.node.inclusive.get(layout.metric_index, 0.0)
+        if metric is not None:
+            value_text = metric.format_value(value)
+        else:
+            value_text = "%g" % value
+        percent = (100.0 * value / layout.total_value
+                   if layout.total_value else 0.0)
+        tooltip = "%s — %s (%.1f%%)" % (rect.label, value_text, percent)
+        parts.append(
+            '<g><rect x="%.2f" y="%d" width="%.2f" height="%d" '
+            'fill="%s" rx="1"%s><title>%s</title></rect>'
+            % (rect.x, y, max(rect.width - 0.5, 0.1), ROW_HEIGHT - 1,
+               css(color), stroke, html.escape(tooltip)))
+        if rect.fits_text(CHAR_WIDTH):
+            budget = int(rect.width / CHAR_WIDTH) - 1
+            text = rect.label
+            if len(text) > budget:
+                text = text[:max(budget - 1, 1)] + "…"
+            parts.append(
+                '<text x="%.2f" y="%d" fill="#1a1a1a">%s</text>'
+                % (rect.x + 2, y + ROW_HEIGHT - 5, html.escape(text)))
+        parts.append("</g>")
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_diff_svg(layout: FlameLayout, metric: Optional[Metric] = None,
+                    title: str = "Differential flame graph") -> str:
+    """Render a differential layout with the red/blue change scale."""
+    return render_svg(
+        layout, metric=metric, title=title, inverted=True,
+        color_fn=lambda node: diff_color(node, layout.metric_index))

@@ -1,0 +1,92 @@
+"""Timeline strip rendering for snapshot series (the FlameScope pane).
+
+Renders the per-snapshot activity totals as a selectable strip — text for
+the terminal, SVG for reports — with optional phase shading from
+:func:`repro.analysis.timerange.find_phases`.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.timerange import activity_series, find_phases
+from ..core.metric import Metric
+from ..core.profile import Profile
+from .histogram import SPARK_LEVELS
+
+_PHASE_COLORS = ("#dbe9f6", "#fdebd0", "#e8f6e0", "#f6e0f0", "#e0e0f6")
+
+
+def timeline_text(profile: Profile, metric: str, width: int = 60,
+                  mark_phases: bool = True) -> str:
+    """A two-line terminal strip: sparkline + phase markers."""
+    totals = activity_series(profile, metric)
+    if not totals:
+        return "(no snapshot series)"
+    sequences = profile.snapshot_sequences()
+    peak = max(totals) or 1.0
+    # Resample onto the requested width.
+    cells = []
+    for column in range(min(width, len(totals))):
+        index = int(column * len(totals) / min(width, len(totals)))
+        level = int(totals[index] / peak * (len(SPARK_LEVELS) - 1) + 0.5)
+        cells.append(SPARK_LEVELS[max(0, min(level,
+                                             len(SPARK_LEVELS) - 1))])
+    lines = ["".join(cells),
+             "#%d%s#%d" % (sequences[0],
+                           " " * max(len(cells) - 4, 1), sequences[-1])]
+    if mark_phases:
+        phases = find_phases(profile, metric)
+        if len(phases) > 1:
+            lines.append("phases: " + ", ".join(
+                "[%d..%d]" % phase for phase in phases))
+    return "\n".join(lines)
+
+
+def timeline_svg(profile: Profile, metric: str, width: int = 600,
+                 height: int = 90, metric_desc: Optional[Metric] = None,
+                 selection: Optional[Tuple[int, int]] = None) -> str:
+    """An SVG strip with per-snapshot bars, phase shading, and an optional
+    selected window outline."""
+    totals = activity_series(profile, metric)
+    sequences = profile.snapshot_sequences()
+    if not totals:
+        return "<svg xmlns='http://www.w3.org/2000/svg' width='8' height='8'/>"
+    peak = max(totals) or 1.0
+    bar_w = width / len(totals)
+    parts = ["<svg xmlns='http://www.w3.org/2000/svg' width='%d' "
+             "height='%d'>" % (width, height + 18),
+             "<rect width='100%' height='100%' fill='#ffffff'/>"]
+
+    slot = {seq: i for i, seq in enumerate(sequences)}
+    for p, (start, end) in enumerate(find_phases(profile, metric)):
+        x0 = slot[start] * bar_w
+        x1 = (slot[end] + 1) * bar_w
+        parts.append("<rect x='%.1f' y='0' width='%.1f' height='%d' "
+                     "fill='%s'/>" % (x0, x1 - x0, height,
+                                      _PHASE_COLORS[p % len(_PHASE_COLORS)]))
+
+    for i, value in enumerate(totals):
+        bar_h = value / peak * (height - 6)
+        label = metric_desc.format_value(value) if metric_desc else (
+            "%g" % value)
+        parts.append(
+            "<rect x='%.1f' y='%.1f' width='%.1f' height='%.1f' "
+            "fill='rgb(84,138,198)'><title>#%d: %s</title></rect>"
+            % (i * bar_w + 0.5, height - bar_h, max(bar_w - 1, 0.5),
+               bar_h, sequences[i], html_mod.escape(label)))
+
+    if selection is not None:
+        lo, hi = selection
+        if lo in slot and hi in slot:
+            x0 = slot[lo] * bar_w
+            x1 = (slot[hi] + 1) * bar_w
+            parts.append("<rect x='%.1f' y='0' width='%.1f' height='%d' "
+                         "fill='none' stroke='#d62728' "
+                         "stroke-width='2'/>" % (x0, x1 - x0, height))
+    parts.append("<text x='2' y='%d' font-family='monospace' "
+                 "font-size='11'>#%d .. #%d</text>"
+                 % (height + 14, sequences[0], sequences[-1]))
+    parts.append("</svg>")
+    return "".join(parts)

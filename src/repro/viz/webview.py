@@ -1,0 +1,192 @@
+"""A self-contained interactive HTML viewer.
+
+EasyView's GUI is built from web front-end technology (§III "Applicable":
+TypeScript/JavaScript/WASM) and runs locally with no server.  This module
+produces the equivalent shareable artifact: one HTML file embedding the
+profile's views as JSON plus a small vanilla-JS flame-graph renderer —
+click to zoom, double-click to reset, a search box that highlights
+matches, and a shape selector switching between the top-down, bottom-up,
+and flat trees.  No external resources are referenced, so the file works
+offline and nothing ever leaves the machine (the paper's privacy point
+against upload-based services).
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+from typing import Any, Dict, List, Optional
+
+from ..analysis.transform import transform
+from ..analysis.viewtree import ViewNode, ViewTree
+from ..core.profile import Profile
+from .color import css, frame_color
+
+_SHAPES = ("top_down", "bottom_up", "flat")
+
+
+def _tree_json(tree: ViewTree, metric_index: int,
+               min_fraction: float = 0.0005,
+               max_depth: int = 64) -> Dict[str, Any]:
+    """Lower a view tree to the nested JSON the renderer consumes."""
+    total = tree.total(metric_index) or 1.0
+    threshold = abs(total) * min_fraction
+
+    def lower(node: ViewNode, depth: int) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": node.label(),
+            "value": node.inclusive.get(metric_index, 0.0),
+            "color": css(frame_color(node)),
+        }
+        location = node.frame.location
+        if location.is_known():
+            entry["loc"] = str(location)
+        if depth < max_depth:
+            children = [lower(child, depth + 1)
+                        for child in node.sorted_children()
+                        if abs(child.inclusive.get(metric_index, 0.0))
+                        >= threshold]
+            if children:
+                entry["children"] = children
+        return entry
+
+    return lower(tree.root, 0)
+
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>__TITLE__</title>
+<style>
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 16px;
+       color: #1c1c1c; }
+h1 { font-size: 18px; }
+#controls { margin-bottom: 10px; display: flex; gap: 10px;
+            align-items: center; }
+#controls select, #controls input { font-size: 13px; padding: 3px 6px; }
+#status { color: #666; font-size: 12px; }
+#flame { position: relative; width: 100%; border: 1px solid #ddd;
+         overflow: hidden; }
+.blk { position: absolute; height: 17px; font: 11px monospace;
+       overflow: hidden; white-space: nowrap; border-radius: 2px;
+       box-sizing: border-box; padding: 1px 3px; cursor: pointer;
+       border: 0.5px solid rgba(255,255,255,0.6); }
+.blk.dim { opacity: 0.25; }
+.blk.hit { outline: 2px solid #ba55d3; }
+#hint { color: #888; font-size: 11px; margin-top: 6px; }
+</style></head><body>
+<h1>__TITLE__</h1>
+<div id="controls">
+  <label>view <select id="shape">__SHAPE_OPTIONS__</select></label>
+  <label>metric <select id="metric">__METRIC_OPTIONS__</select></label>
+  <input id="search" placeholder="search functions…">
+  <span id="status"></span>
+</div>
+<div id="flame"></div>
+<div id="hint">click a block to zoom · double-click anywhere to reset ·
+type to highlight matches</div>
+<script>
+var DATA = __DATA__;
+var state = { shape: "top_down", metric: 0, root: null, query: "" };
+var flame = document.getElementById("flame");
+
+function currentTree() { return DATA.shapes[state.shape][state.metric]; }
+
+function render() {
+  var tree = state.root || currentTree();
+  flame.innerHTML = "";
+  var width = flame.clientWidth || 1000;
+  var total = tree.value || 1;
+  var maxDepth = 0;
+  var blocks = [];
+  (function walk(node, x, depth) {
+    var w = node.value / total * width;
+    if (w < 0.6) return;
+    blocks.push({node: node, x: x, w: w, d: depth});
+    if (depth > maxDepth) maxDepth = depth;
+    var cx = x;
+    (node.children || []).forEach(function (child) {
+      walk(child, cx, depth + 1);
+      cx += child.value / total * width;
+    });
+  })(tree, 0, 0);
+  flame.style.height = (maxDepth + 1) * 18 + 4 + "px";
+  var q = state.query.toLowerCase();
+  var covered = 0;
+  blocks.forEach(function (b) {
+    var el = document.createElement("div");
+    el.className = "blk";
+    el.style.left = b.x + "px";
+    el.style.top = b.d * 18 + 2 + "px";
+    el.style.width = Math.max(b.w - 1, 1) + "px";
+    el.style.background = b.node.color || "#e8a838";
+    el.textContent = b.w > 30 ? b.node.name : "";
+    var pct = (100 * b.node.value / total).toFixed(1);
+    el.title = b.node.name + " — " + b.node.value.toLocaleString() +
+               " (" + pct + "%)" + (b.node.loc ? "\\n" + b.node.loc : "");
+    if (q) {
+      if (b.node.name.toLowerCase().indexOf(q) >= 0) {
+        el.classList.add("hit");
+        covered += b.node.value;
+      } else { el.classList.add("dim"); }
+    }
+    el.onclick = function (ev) {
+      ev.stopPropagation();
+      state.root = b.node;
+      render();
+    };
+    flame.appendChild(el);
+  });
+  var status = blocks.length + " blocks";
+  if (q) status += " · matches hold " +
+      (100 * covered / total).toFixed(1) + "% (overcounts nesting)";
+  document.getElementById("status").textContent = status;
+}
+
+document.getElementById("shape").onchange = function () {
+  state.shape = this.value; state.root = null; render();
+};
+document.getElementById("metric").onchange = function () {
+  state.metric = +this.value; state.root = null; render();
+};
+document.getElementById("search").oninput = function () {
+  state.query = this.value; render();
+};
+document.body.ondblclick = function () { state.root = null; render(); };
+window.onresize = render;
+render();
+</script></body></html>
+"""
+
+
+def render_webview(profile: Profile, title: str = "EasyView",
+                   metrics: Optional[List[str]] = None,
+                   min_fraction: float = 0.0005) -> str:
+    """Render a profile as one interactive, dependency-free HTML page."""
+    names = metrics if metrics is not None else profile.schema.names()
+    if not names:
+        names = []
+    indices = [profile.schema.index_of(name) for name in names] or [0]
+
+    shapes: Dict[str, List[Dict[str, Any]]] = {}
+    for shape in _SHAPES:
+        tree = transform(profile, shape)
+        shapes[shape] = [_tree_json(tree, index,
+                                    min_fraction=min_fraction)
+                         for index in indices]
+    data = {"shapes": shapes, "metrics": names or ["value"]}
+
+    shape_options = "".join('<option value="%s">%s</option>'
+                            % (s, s.replace("_", "-")) for s in _SHAPES)
+    metric_options = "".join('<option value="%d">%s</option>'
+                             % (i, html_mod.escape(name))
+                             for i, name in enumerate(names or ["value"]))
+    page = _PAGE.replace("__TITLE__", html_mod.escape(title))
+    page = page.replace("__SHAPE_OPTIONS__", shape_options)
+    page = page.replace("__METRIC_OPTIONS__", metric_options)
+    page = page.replace("__DATA__", json.dumps(data))
+    return page
+
+
+def save_webview(profile: Profile, path: str, **kwargs: Any) -> None:
+    """Write the interactive page to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_webview(profile, **kwargs))

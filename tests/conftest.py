@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.profilers.corpus import generate_bytes, tier
+from repro.profilers.workloads import (grpc_client_profile, lulesh_profile,
+                                       lulesh_reuse_profile, spark_profile)
+
+
+@pytest.fixture
+def simple_profile():
+    """A tiny hand-built profile: main → {work, idle}, work → inner."""
+    builder = ProfileBuilder(tool="test")
+    cpu = builder.metric("cpu", unit="nanoseconds")
+    alloc = builder.metric("alloc", unit="bytes")
+    builder.sample([("main", "app.c", 10), ("work", "app.c", 42),
+                    ("inner", "app.c", 60)], {cpu: 700})
+    builder.sample([("main", "app.c", 10), ("work", "app.c", 42)],
+                   {cpu: 200, alloc: 64})
+    builder.sample([("main", "app.c", 10), ("idle", "app.c", 77)],
+                   {cpu: 100})
+    return builder.build()
+
+
+@pytest.fixture
+def recursive_profile():
+    """A profile with a self-recursive chain: main → f → f → f → g."""
+    builder = ProfileBuilder(tool="test")
+    cpu = builder.metric("cpu", unit="nanoseconds")
+    f1 = ("f", "r.c", 5)
+    builder.sample([("main", "r.c", 1), f1], {cpu: 10})
+    builder.sample([("main", "r.c", 1), f1, f1], {cpu: 20})
+    builder.sample([("main", "r.c", 1), f1, f1, f1], {cpu: 30})
+    builder.sample([("main", "r.c", 1), f1, f1, f1, ("g", "r.c", 9)],
+                   {cpu: 40})
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def grpc_profile():
+    """The §VII-C1 gRPC memory-snapshot workload (session-cached)."""
+    return grpc_client_profile(clients=20, snapshots=12)
+
+
+@pytest.fixture(scope="session")
+def lulesh():
+    """The §VII-C2 LULESH CPU workload (session-cached)."""
+    return lulesh_profile(scale=4)
+
+
+@pytest.fixture(scope="session")
+def lulesh_reuse():
+    """LULESH with use/reuse pairs (session-cached)."""
+    return lulesh_reuse_profile(scale=2)
+
+
+@pytest.fixture(scope="session")
+def spark_pair():
+    """(RDD, SQL) Spark profiles for differential tests (session-cached)."""
+    return spark_profile("rdd"), spark_profile("sql")
+
+
+@pytest.fixture(scope="session")
+def small_pprof_bytes():
+    """A small synthetic pprof binary (session-cached)."""
+    return generate_bytes(tier("small"))

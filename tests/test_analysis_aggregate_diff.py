@@ -1,0 +1,178 @@
+"""Tests for multi-profile aggregation and differencing (§V-A(c))."""
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis.aggregate import (aggregate_profiles, merge_trees,
+                                      snapshot_series, snapshot_totals)
+from repro.analysis.diff import (add_delta_column, diff_profiles, diff_trees,
+                                 summarize, TAG_ADDED, TAG_DELETED, TAG_GREW,
+                                 TAG_SAME, TAG_SHRANK)
+from repro.analysis.transform import bottom_up, top_down
+from repro.core.metric import Aggregation
+from repro.errors import AnalysisError
+
+
+def build(tool, entries):
+    builder = ProfileBuilder(tool=tool)
+    cpu = builder.metric("cpu")
+    for path, value in entries:
+        builder.sample([(name, "s.c", 1) for name in path], {cpu: value})
+    return builder.build()
+
+
+class TestAggregate:
+    def test_stats_columns(self):
+        p1 = build("a", [(("main", "f"), 10.0)])
+        p2 = build("b", [(("main", "f"), 30.0)])
+        tree = aggregate_profiles([p1, p2])
+        f = tree.find_by_name("f")[0]
+        schema = tree.schema
+        assert f.inclusive[schema.index_of("cpu:sum")] == 40.0
+        assert f.inclusive[schema.index_of("cpu:min")] == 10.0
+        assert f.inclusive[schema.index_of("cpu:max")] == 30.0
+        assert f.inclusive[schema.index_of("cpu:mean")] == 20.0
+
+    def test_histogram_series_per_profile(self):
+        profiles = [build(str(i), [(("main", "f"), float(i + 1))])
+                    for i in range(4)]
+        tree = aggregate_profiles(profiles)
+        f = tree.find_by_name("f")[0]
+        series = f.histogram[0]
+        assert series == [1.0, 2.0, 3.0, 4.0]
+
+    def test_missing_context_filled_with_zero(self):
+        p1 = build("a", [(("main", "only_in_a"), 5.0)])
+        p2 = build("b", [(("main", "only_in_b"), 7.0)])
+        tree = aggregate_profiles([p1, p2])
+        a = tree.find_by_name("only_in_a")[0]
+        assert a.histogram[0] == [5.0, 0.0]
+
+    def test_mixed_shapes_rejected(self, simple_profile):
+        td = top_down(simple_profile)
+        bu = bottom_up(simple_profile)
+        with pytest.raises(AnalysisError):
+            merge_trees([td, bu])
+
+    def test_zero_trees_rejected(self):
+        with pytest.raises(AnalysisError):
+            merge_trees([])
+
+    def test_aggregate_bottom_up_shape(self, simple_profile):
+        tree = aggregate_profiles([simple_profile, simple_profile],
+                                  shape="bottom_up")
+        assert tree.shape == "aggregate:bottom_up"
+
+    def test_custom_operators(self):
+        p1 = build("a", [(("main",), 10.0)])
+        tree = aggregate_profiles([p1, p1],
+                                  operators=(Aggregation.MEAN,))
+        assert tree.schema.names() == ["cpu:mean"]
+
+
+class TestSnapshotSeries:
+    def test_series_indexed_by_sequence(self):
+        builder = ProfileBuilder()
+        mem = builder.metric("inuse", unit="bytes")
+        for seq, value in ((1, 100.0), (2, 150.0), (3, 50.0)):
+            builder.snapshot(seq, [("main",), ("alloc",)], {mem: value})
+        profile = builder.build()
+        series = snapshot_series(profile, "inuse")
+        assert len(series) == 1
+        assert list(series.values())[0] == [100.0, 150.0, 50.0]
+
+    def test_missing_captures_zero_filled(self):
+        builder = ProfileBuilder()
+        mem = builder.metric("inuse", unit="bytes")
+        builder.snapshot(1, [("main",), ("a",)], {mem: 10.0})
+        builder.snapshot(2, [("main",), ("a",)], {mem: 20.0})
+        builder.snapshot(2, [("main",), ("b",)], {mem: 99.0})
+        series = snapshot_series(builder.build(), "inuse")
+        by_name = {node.frame.name: values for node, values in series.items()}
+        assert by_name["a"] == [10.0, 20.0]
+        assert by_name["b"] == [0.0, 99.0]
+
+    def test_totals(self):
+        builder = ProfileBuilder()
+        mem = builder.metric("inuse", unit="bytes")
+        builder.snapshot(1, [("a",)], {mem: 10.0})
+        builder.snapshot(1, [("b",)], {mem: 5.0})
+        builder.snapshot(2, [("a",)], {mem: 20.0})
+        assert snapshot_totals(builder.build(), "inuse") == [15.0, 20.0]
+
+    def test_no_snapshots_empty(self, simple_profile):
+        assert snapshot_series(simple_profile, "cpu") == {}
+
+
+class TestDiff:
+    def test_tag_classification(self):
+        base = build("p1", [(("main", "stays"), 10.0),
+                            (("main", "shrinks"), 50.0),
+                            (("main", "gone"), 5.0)])
+        treat = build("p2", [(("main", "stays"), 10.0),
+                             (("main", "shrinks"), 20.0),
+                             (("main", "fresh"), 7.0)])
+        tree = diff_profiles(base, treat)
+        tags = {n.frame.name: n.tag for n in tree.nodes() if n.tag}
+        assert tags["stays"] == TAG_SAME
+        assert tags["shrinks"] == TAG_SHRANK
+        assert tags["gone"] == TAG_DELETED
+        assert tags["fresh"] == TAG_ADDED
+
+    def test_deleted_node_keeps_baseline_value(self):
+        base = build("p1", [(("main", "gone"), 5.0)])
+        treat = build("p2", [(("main", "other"), 1.0)])
+        tree = diff_profiles(base, treat)
+        gone = tree.find_by_name("gone")[0]
+        assert gone.baseline[0] == 5.0
+        assert gone.inclusive.get(0, 0.0) == 0.0
+        assert gone.delta(0) == -5.0
+
+    def test_tolerance_suppresses_noise(self):
+        base = build("p1", [(("main", "f"), 100.0)])
+        treat = build("p2", [(("main", "f"), 101.0)])
+        strict = diff_profiles(base, treat)
+        assert strict.find_by_name("f")[0].tag == TAG_GREW
+        loose = diff_profiles(base, treat, tolerance=5.0)
+        assert loose.find_by_name("f")[0].tag == TAG_SAME
+
+    def test_diff_over_bottom_up(self, simple_profile):
+        tree = diff_profiles(simple_profile, simple_profile,
+                             shape="bottom_up")
+        assert tree.shape == "diff:bottom_up"
+        assert set(summarize(tree)) == {TAG_SAME}
+
+    def test_shape_mismatch_rejected(self, simple_profile):
+        with pytest.raises(AnalysisError):
+            diff_trees(top_down(simple_profile),
+                       bottom_up(simple_profile))
+
+    def test_delta_column_subtract(self):
+        base = build("p1", [(("main", "f"), 10.0)])
+        treat = build("p2", [(("main", "f"), 25.0)])
+        tree = diff_profiles(base, treat)
+        column = add_delta_column(tree, 0, mode="subtract")
+        assert tree.find_by_name("f")[0].inclusive[column] == 15.0
+
+    def test_delta_column_ratio(self):
+        base = build("p1", [(("main", "f"), 10.0)])
+        treat = build("p2", [(("main", "f"), 25.0)])
+        tree = diff_profiles(base, treat)
+        column = add_delta_column(tree, 0, mode="ratio")
+        assert tree.find_by_name("f")[0].inclusive[column] == 2.5
+
+    def test_delta_column_requires_diff_tree(self, simple_profile):
+        with pytest.raises(AnalysisError):
+            add_delta_column(top_down(simple_profile), 0)
+
+    def test_spark_rdd_vs_sql(self, spark_pair):
+        rdd, sql = spark_pair
+        tree = diff_profiles(rdd, sql)
+        tags = summarize(tree)
+        # The SQL engine contexts are new, the iterator chain disappears,
+        # and the shared scaffolding shrinks (SQL is faster overall).
+        assert tags.get(TAG_ADDED, 0) >= 3
+        assert tags.get(TAG_DELETED, 0) >= 3
+        assert tags.get(TAG_SHRANK, 0) >= 3
+        root_delta = tree.root.delta(0)
+        assert root_delta < 0

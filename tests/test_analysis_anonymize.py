@@ -1,0 +1,104 @@
+"""Tests for profile anonymization and the multi-thread sampler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.anonymize import anonymize, mapping_for
+from repro.analysis.diff import diff_profiles, summarize
+from repro.analysis.transform import top_down
+from repro.core.serialize import dumps
+from repro.profilers.sampling import SamplingProfiler
+
+
+class TestAnonymize:
+    def test_names_scrubbed_values_kept(self, simple_profile):
+        anon = anonymize(simple_profile, key="secret")
+        assert anon.total("cpu") == simple_profile.total("cpu")
+        assert anon.node_count() == simple_profile.node_count()
+        names = {n.frame.name for n in anon.nodes()}
+        assert "work" not in names and "main" not in names
+        assert any(name.startswith("fn_") for name in names)
+
+    def test_no_plaintext_leaks_into_serialized_bytes(self,
+                                                      simple_profile):
+        data = dumps(anonymize(simple_profile, key="secret"))
+        for secret_text in (b"main", b"work", b"inner", b"app.c"):
+            assert secret_text not in data
+
+    def test_stable_pseudonyms_keep_profiles_diffable(self, spark_pair):
+        rdd, sql = spark_pair
+        anon_rdd = anonymize(rdd, key="k1")
+        anon_sql = anonymize(sql, key="k1")
+        plain = summarize(diff_profiles(rdd, sql))
+        masked = summarize(diff_profiles(anon_rdd, anon_sql))
+        assert plain == masked   # identical tag structure
+
+    def test_different_keys_differ(self, simple_profile):
+        a = {n.frame.name for n in anonymize(simple_profile, "k1").nodes()}
+        b = {n.frame.name for n in anonymize(simple_profile, "k2").nodes()}
+        assert a != b
+
+    def test_keep_modules_whitelist(self, lulesh):
+        anon = anonymize(lulesh, key="k", keep_modules=["libc-2.31.so"])
+        names = {n.frame.name for n in anon.nodes()}
+        assert "brk" in names                    # libc stays readable
+        assert "CalcVolumeForceForElems" not in names
+
+    def test_lines_dropped_by_default(self, simple_profile):
+        anon = anonymize(simple_profile, key="k")
+        assert all(n.frame.line == 0 for n in anon.nodes())
+        kept = anonymize(simple_profile, key="k", keep_lines=True)
+        assert any(n.frame.line > 0 for n in kept.nodes())
+
+    def test_points_survive(self, lulesh_reuse):
+        from repro.analysis.reuse import allocations_with_reuse
+        anon = anonymize(lulesh_reuse, key="k")
+        assert len(anon.points) == len(lulesh_reuse.points)
+        assert allocations_with_reuse(anon)
+
+    def test_mapping_translates_back(self, simple_profile):
+        anon = anonymize(simple_profile, key="k")
+        mapping = mapping_for(simple_profile, key="k")
+        hot = [n for n in anon.nodes() if n.frame.name.startswith("fn_")]
+        originals = {mapping[n.frame.name] for n in hot}
+        assert {"main", "work", "inner", "idle"} == originals
+
+    def test_attributes_removed(self):
+        from repro import ProfileBuilder
+        builder = ProfileBuilder(tool="t", time_nanos=12345)
+        builder.metric("m")
+        builder.attribute("hostname", "prod-db-7")
+        builder.sample(["f"], {0: 1.0})
+        anon = anonymize(builder.build(), key="k")
+        assert anon.meta.attributes == {}
+        assert anon.meta.time_nanos == 0
+
+
+class TestAllThreadSampler:
+    def test_multi_thread_capture(self):
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                sum(i * i for i in range(200))
+
+        workers = [threading.Thread(target=spin, name="spinner-%d" % i)
+                   for i in range(2)]
+        for worker in workers:
+            worker.start()
+        profiler = SamplingProfiler(interval_seconds=0.002,
+                                    all_threads=True)
+        profiler.start()
+        time.sleep(0.15)
+        stop.set()
+        profile = profiler.stop()
+        for worker in workers:
+            worker.join()
+
+        if profiler.samples_taken >= 5:
+            from repro.analysis.threads import is_threaded, thread_totals
+            assert is_threaded(profile)
+            names = set(thread_totals(profile, "samples"))
+            assert any(name.startswith("spinner") for name in names)

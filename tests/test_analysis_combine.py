@@ -1,0 +1,104 @@
+"""Tests for combining profiles from different tools (§VII-C2)."""
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis.combine import combine
+from repro.analysis.reuse import allocations_with_reuse
+from repro.analysis.transform import top_down
+from repro.core.monitor import PointKind
+from repro.errors import AnalysisError
+
+
+def hpctoolkit_like():
+    builder = ProfileBuilder(tool="hpctoolkit")
+    cpu = builder.metric("cpu_time", unit="nanoseconds")
+    builder.sample([("main", "app.cc", 3), ("compute", "app.cc", 40)],
+                   {cpu: 900.0})
+    builder.sample([("main", "app.cc", 3), ("io", "app.cc", 80)],
+                   {cpu: 100.0})
+    return builder.build()
+
+
+def drcctprof_like():
+    builder = ProfileBuilder(tool="drcctprof")
+    accesses = builder.metric("accesses", unit="count")
+    # Same functions, but the tool resolved slightly different lines.
+    builder.sample([("main", "app.cc", 4), ("compute", "app.cc", 41)],
+                   {accesses: 5000.0})
+    builder.pair_point(PointKind.USE_REUSE,
+                       [[("main", "app.cc", 4), ("compute", "app.cc", 41),
+                         ("buf[]", "app.cc", 41)],
+                        [("main", "app.cc", 4), ("compute", "app.cc", 41)],
+                        [("main", "app.cc", 4), ("compute", "app.cc", 41)]],
+                       {accesses: 4000.0})
+    return builder.build()
+
+
+class TestCombine:
+    def test_contexts_merge_across_tools(self):
+        merged = combine([hpctoolkit_like(), drcctprof_like()])
+        computes = merged.find_by_name("compute")
+        # Line 40 vs 41 must not split the context.
+        assert len(computes) == 1
+        node = computes[0]
+        assert node.exclusive(merged.schema.index_of("cpu_time")) == 900.0
+        assert node.exclusive(merged.schema.index_of("accesses")) == 5000.0
+
+    def test_schemas_concatenate(self):
+        merged = combine([hpctoolkit_like(), drcctprof_like()])
+        assert set(merged.schema.names()) == {"cpu_time", "accesses"}
+        assert merged.meta.tool == "hpctoolkit+drcctprof"
+
+    def test_points_reanchored(self):
+        merged = combine([hpctoolkit_like(), drcctprof_like()])
+        allocations = allocations_with_reuse(merged)
+        assert allocations
+        alloc_node = allocations[0][0]
+        # The reuse point's contexts live in the merged tree.
+        assert alloc_node in list(merged.nodes())
+
+    def test_unified_view_renders_both_metrics(self):
+        merged = combine([hpctoolkit_like(), drcctprof_like()])
+        tree = top_down(merged)
+        compute = tree.find_by_name("compute")[0]
+        assert compute.inclusive[tree.schema.index_of("cpu_time")] == 900.0
+        # 5000 sampled accesses; the reuse pair's 4000 live on the point.
+        assert compute.inclusive[tree.schema.index_of("accesses")] == 5000.0
+
+    def test_conflicting_metric_names_disambiguated(self):
+        a = ProfileBuilder(tool="ta")
+        a.metric("time", unit="nanoseconds")
+        a.sample(["f"], {0: 1.0})
+        b = ProfileBuilder(tool="tb")
+        b.metric("time", unit="milliseconds")   # same name, different unit
+        b.sample(["f"], {0: 2.0})
+        merged = combine([a.build(), b.build()])
+        assert "time" in merged.schema
+        assert "tb:time" in merged.schema
+
+    def test_identical_descriptors_share_column(self):
+        a = ProfileBuilder(tool="ta")
+        a.metric("cpu", unit="nanoseconds")
+        a.sample(["f"], {0: 1.0})
+        b = ProfileBuilder(tool="tb")
+        b.metric("cpu", unit="nanoseconds")
+        b.sample(["f"], {0: 2.0})
+        merged = combine([a.build(), b.build()])
+        assert merged.schema.names().count("cpu") == 1
+        assert merged.total("cpu") == 3.0
+
+    def test_lulesh_case_study_combination(self, lulesh, lulesh_reuse):
+        """Fig. 6 + Fig. 7 profiles in one unified view."""
+        merged = combine([lulesh, lulesh_reuse],
+                         tool_names=["hpctoolkit", "drcctprof"])
+        assert allocations_with_reuse(merged)
+        assert merged.total("cpu_time") > 0
+
+    def test_zero_profiles_rejected(self):
+        with pytest.raises(AnalysisError):
+            combine([])
+
+    def test_tool_names_length_checked(self):
+        with pytest.raises(AnalysisError):
+            combine([hpctoolkit_like()], tool_names=["a", "b"])

@@ -1,0 +1,157 @@
+"""Tests for redundancy and false-sharing/race analyses, and presets."""
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis.presets import (PRESETS, applicable_presets, apply_all,
+                                    apply_preset)
+from repro.analysis.redundancy import (redundancy_fraction,
+                                       redundancy_pairs, report as
+                                       redundancy_report)
+from repro.analysis.sharing import (access_pairs, contention_by_object,
+                                    report as sharing_report)
+from repro.analysis.transform import top_down
+from repro.core.monitor import PointKind
+from repro.errors import AnalysisError
+from repro.profilers.workloads import (false_sharing_workload,
+                                       redundancy_workload)
+
+
+@pytest.fixture(scope="module")
+def redundant():
+    return redundancy_workload(scale=2)
+
+
+@pytest.fixture(scope="module")
+def contended():
+    return false_sharing_workload(scale=2)
+
+
+class TestRedundancy:
+    def test_pairs_ranked_by_count(self, redundant):
+        pairs = redundancy_pairs(redundant)
+        assert len(pairs) == 2
+        assert pairs[0].count > pairs[1].count
+
+    def test_cross_function_pair_hoists_to_lca(self, redundant):
+        top = redundancy_pairs(redundant)[0]
+        assert not top.intra_function
+        assert top.dead.frame.name == "init_matrix"
+        assert top.killing.frame.name == "compute_matrix"
+        assert "iterate" in top.fix_site()
+
+    def test_intra_function_pair(self, redundant):
+        intra = [p for p in redundancy_pairs(redundant)
+                 if p.intra_function]
+        assert len(intra) == 1
+        assert "inside" in intra[0].fix_site()
+        assert intra[0].dead.frame.name == "update_cell"
+
+    def test_fraction_bounded(self, redundant):
+        fraction = redundancy_fraction(redundant, "stores")
+        assert 0.0 < fraction < 0.2
+
+    def test_fraction_zero_without_total(self, redundant):
+        from repro.core.metric import Metric
+        redundant_copy = redundancy_workload(scale=2)
+        redundant_copy.add_metric(Metric("empty", unit="count"))
+        assert redundancy_fraction(redundant_copy, "empty") == 0.0
+
+    def test_report_text(self, redundant):
+        text = redundancy_report(redundant)
+        assert "cross-function" in text
+        assert "intra-function" in text
+        assert "solver.c:80" in text
+
+    def test_empty_profile_report(self, simple_profile):
+        assert "no redundancy" in redundancy_report(simple_profile)
+
+    def test_no_points_yields_empty_list(self, simple_profile):
+        assert redundancy_pairs(simple_profile) == []
+        assert access_pairs(simple_profile) == []
+
+
+class TestSharing:
+    def test_pairs_ranked(self, contended):
+        pairs = access_pairs(contended)
+        assert len(pairs) == 3
+        counts = [p.count for p in pairs]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_kind_filter(self, contended):
+        races = access_pairs(contended, kind=PointKind.DATA_RACE)
+        assert len(races) == 1
+        assert races[0].kind is PointKind.DATA_RACE
+
+    def test_contested_object_named(self, contended):
+        top = access_pairs(contended)[0]
+        assert top.contested_object() == "stats"
+
+    def test_guidance_per_kind(self, contended):
+        false_share = access_pairs(contended,
+                                   kind=PointKind.FALSE_SHARING)[0]
+        race = access_pairs(contended, kind=PointKind.DATA_RACE)[0]
+        assert "pad or realign" in false_share.guidance()
+        assert "synchronize" in race.guidance()
+
+    def test_unordered_pair_merging(self):
+        builder = ProfileBuilder()
+        events = builder.metric("pingpongs", unit="count")
+        builder.pair_point(PointKind.FALSE_SHARING,
+                           [["main", "a"], ["main", "b"]], {events: 10})
+        builder.pair_point(PointKind.FALSE_SHARING,
+                           [["main", "b"], ["main", "a"]], {events: 5})
+        pairs = access_pairs(builder.build())
+        assert len(pairs) == 1
+        assert pairs[0].count == 15
+
+    def test_contention_by_object(self, contended):
+        ranking = contention_by_object(contended)
+        assert ranking[0][0] == "stats"
+
+    def test_report_text(self, contended):
+        text = sharing_report(contended)
+        assert "false sharing" in text
+        assert "data race" in text
+        assert "stats" in text
+
+
+class TestPresets:
+    def build_hw_tree(self):
+        builder = ProfileBuilder()
+        cycles = builder.metric("cycles", unit="count")
+        instructions = builder.metric("instructions", unit="count")
+        misses = builder.metric("cache_misses", unit="count")
+        builder.sample([("main",), ("hot",)],
+                       {cycles: 3000.0, instructions: 1000.0, misses: 40.0})
+        return top_down(builder.build())
+
+    def test_applicable_presets(self):
+        tree = self.build_hw_tree()
+        names = {p.name for p in applicable_presets(tree)}
+        assert {"cpi", "ipc", "mpki"} <= names
+        assert "alloc_rate" not in names   # no alloc_bytes metric
+
+    def test_apply_preset_values(self):
+        tree = self.build_hw_tree()
+        index = apply_preset(tree, "cpi")
+        hot = tree.find_by_name("hot")[0]
+        assert hot.inclusive[index] == pytest.approx(3.0)
+        index = apply_preset(tree, "mpki")
+        assert hot.inclusive[index] == pytest.approx(40.0)
+
+    def test_apply_all(self):
+        tree = self.build_hw_tree()
+        applied = apply_all(tree)
+        assert "cpi" in applied and "ipc" in applied
+        for name in applied:
+            assert name in tree.schema
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            apply_preset(self.build_hw_tree(), "wombats_per_second")
+
+    def test_catalogue_formulas_all_parse(self):
+        from repro.analysis.formula import parse
+        for preset in PRESETS.values():
+            parse(preset.formula)   # must not raise

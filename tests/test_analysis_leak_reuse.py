@@ -1,0 +1,115 @@
+"""Tests for the leak detector (§VII-C1) and reuse analysis (§VII-C2)."""
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis.leak import (analyze_series, detect_leaks, score_series,
+                                 suspicious_contexts)
+from repro.analysis.reuse import (allocations_with_reuse, fusion_candidates,
+                                  reuse_points, reuses_of, uses_of)
+from repro.core.monitor import PointKind
+
+
+class TestSeriesSignals:
+    def test_flat_high_series_is_leak_shaped(self):
+        signals = analyze_series([100.0] * 10)
+        assert signals["retention"] == 1.0
+        assert signals["monotonicity"] == 1.0
+        assert abs(signals["trend"]) < 1e-9
+
+    def test_growing_series_positive_trend(self):
+        signals = analyze_series([float(i) for i in range(1, 11)])
+        assert signals["trend"] > 0.1
+
+    def test_reclaiming_series_low_retention(self):
+        signals = analyze_series([100.0, 90.0, 60.0, 30.0, 5.0])
+        assert signals["retention"] == pytest.approx(0.05)
+        assert signals["monotonicity"] == 0.0
+
+    def test_short_series_neutral(self):
+        assert analyze_series([5.0])["retention"] == 1.0
+        assert analyze_series([])["retention"] == 0.0
+
+    def test_scores_ordered(self):
+        leak = score_series([100.0] * 10)
+        growth = score_series([10.0 * i for i in range(1, 11)])
+        healthy = score_series([100.0, 80.0, 40.0, 10.0, 2.0])
+        assert leak > 0.6
+        assert growth > 0.6
+        assert healthy < 0.5
+
+
+class TestDetectLeaks:
+    def test_grpc_workload_verdicts(self, grpc_profile):
+        verdicts = detect_leaks(grpc_profile, "inuse_bytes", min_peak=1.0)
+        by_name = {v.context.frame.name: v for v in verdicts}
+        assert by_name["bufio.NewReaderSize"].suspicious
+        assert by_name["transport.newBufWriter"].suspicious
+        assert not by_name["passthrough"].suspicious
+
+    def test_verdicts_sorted_by_score(self, grpc_profile):
+        verdicts = detect_leaks(grpc_profile, "inuse_bytes")
+        scores = [v.score for v in verdicts]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_peak_filters_noise(self, grpc_profile):
+        all_verdicts = detect_leaks(grpc_profile, "inuse_bytes", min_peak=0.0)
+        big_only = detect_leaks(grpc_profile, "inuse_bytes", min_peak=1e9)
+        assert len(big_only) < len(all_verdicts)
+
+    def test_suspicious_contexts_helper(self, grpc_profile):
+        names = {n.frame.name
+                 for n in suspicious_contexts(grpc_profile, "inuse_bytes")}
+        assert "bufio.NewReaderSize" in names
+
+    def test_describe_mentions_state(self, grpc_profile):
+        verdicts = detect_leaks(grpc_profile, "inuse_bytes", min_peak=1.0)
+        text = verdicts[0].describe()
+        assert "POTENTIAL LEAK" in text or "healthy" in text
+
+    def test_no_snapshots_no_verdicts(self, simple_profile):
+        assert detect_leaks(simple_profile, "cpu") == []
+
+
+class TestReuse:
+    def test_points_found(self, lulesh_reuse):
+        assert len(reuse_points(lulesh_reuse)) == 3
+
+    def test_allocations_ranked_by_volume(self, lulesh_reuse):
+        allocations = allocations_with_reuse(lulesh_reuse)
+        assert len(allocations) == 2
+        names = [node.frame.name for node, _ in allocations]
+        assert names[0] == "dvdx[]"
+        volumes = [v for _, v in allocations]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_uses_narrow_to_selected_allocation(self, lulesh_reuse):
+        allocations = allocations_with_reuse(lulesh_reuse)
+        dvdx = allocations[0][0]
+        uses = uses_of(lulesh_reuse, dvdx)
+        assert len(uses) == 2
+        use_names = {node.frame.name for node, _ in uses}
+        assert "IntegrateStressForElems" in use_names
+
+    def test_reuses_narrow_to_selected_use(self, lulesh_reuse):
+        dvdx = allocations_with_reuse(lulesh_reuse)[0][0]
+        use = [node for node, _ in uses_of(lulesh_reuse, dvdx)
+               if node.frame.name == "IntegrateStressForElems"][0]
+        reuses = reuses_of(lulesh_reuse, dvdx, use)
+        assert len(reuses) == 1
+        assert reuses[0][0].frame.name == "CalcFBHourglassForceForElems"
+
+    def test_fusion_candidate_lca_guidance(self, lulesh_reuse):
+        top = fusion_candidates(lulesh_reuse)[0]
+        # The hottest pair's use and reuse share CalcVolumeForceForElems.
+        assert "CalcVolumeForceForElems" in top.hoist_target()
+
+    def test_fusion_candidates_sorted(self, lulesh_reuse):
+        candidates = fusion_candidates(lulesh_reuse)
+        counts = [c.count for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_count_metric_error_without_points(self, simple_profile):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            fusion_candidates(simple_profile)

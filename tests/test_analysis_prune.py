@@ -1,0 +1,80 @@
+"""Tests for recursion collapsing, pruning, and hot paths."""
+
+import pytest
+
+from repro.analysis.prune import (collapse_recursion, hot_path, prune,
+                                  truncate_depth)
+from repro.analysis.transform import top_down
+
+
+class TestCollapseRecursion:
+    def test_recursive_chain_folds(self, recursive_profile):
+        tree = top_down(recursive_profile)
+        collapsed = collapse_recursion(tree)
+        # main → f → g (f → f → f folded into one f).
+        f_nodes = collapsed.find_by_name("f")
+        assert len(f_nodes) == 1
+        f = f_nodes[0]
+        assert f.exclusive[0] == 60.0        # 10 + 20 + 30 combined
+        assert f.inclusive[0] == 100.0       # outermost occurrence's value
+        child_names = {c.frame.name for c in f.children.values()}
+        assert child_names == {"g"}
+
+    def test_non_recursive_tree_unchanged(self, simple_profile):
+        tree = top_down(simple_profile)
+        collapsed = collapse_recursion(tree)
+        assert collapsed.node_count() == tree.node_count()
+        assert collapsed.total(0) == tree.total(0)
+
+
+class TestPrune:
+    def test_small_subtrees_folded_into_placeholder(self, simple_profile):
+        tree = top_down(simple_profile)
+        pruned = prune(tree, min_fraction=0.15)   # 150 of 1000
+        # idle (100) falls under the cutoff and becomes <pruned>.
+        assert not pruned.find_by_name("idle")
+        placeholder = pruned.find_by_name("<pruned>")
+        assert placeholder and placeholder[0].inclusive[0] == 100.0
+
+    def test_totals_exact_after_prune(self, simple_profile):
+        tree = top_down(simple_profile)
+        pruned = prune(tree, min_fraction=0.15)
+        main = pruned.find_by_name("main")[0]
+        child_sum = sum(c.inclusive[0] for c in main.children.values())
+        assert child_sum == main.inclusive[0]
+
+    def test_zero_fraction_keeps_everything(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert prune(tree, min_fraction=0.0).node_count() == \
+            tree.node_count()
+
+
+class TestHotPath:
+    def test_follows_dominant_child(self, simple_profile):
+        tree = top_down(simple_profile)
+        path = [n.frame.name for n in hot_path(tree)]
+        assert path == ["main", "work", "inner"]
+
+    def test_stops_when_fraction_drops(self, simple_profile):
+        tree = top_down(simple_profile)
+        # main holds 100% of the root, but work only holds 90% of main, so
+        # a 95% threshold stops right after main.
+        path = [n.frame.name for n in hot_path(tree, min_fraction=0.95)]
+        assert path == ["main"]
+        path = [n.frame.name for n in hot_path(tree, min_fraction=0.85)]
+        assert path[:2] == ["main", "work"]
+
+
+class TestTruncate:
+    def test_depth_cut_preserves_totals(self, simple_profile):
+        tree = top_down(simple_profile)
+        cut = truncate_depth(tree, 2)
+        work = cut.find_by_name("work")[0]
+        assert work.children == {}
+        # The folded subtree's cost lands in work's exclusive.
+        assert work.exclusive[0] == 900.0
+        assert cut.total(0) == tree.total(0)
+
+    def test_invalid_depth_rejected(self, simple_profile):
+        with pytest.raises(ValueError):
+            truncate_depth(top_down(simple_profile), 0)

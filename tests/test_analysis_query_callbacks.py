@@ -1,0 +1,118 @@
+"""Tests for search/filtering and the customization hooks (§V-B)."""
+
+import pytest
+
+from repro.analysis.callbacks import Customization
+from repro.analysis.query import (filter_by_name, filter_tree,
+                                  match_fraction, search)
+from repro.analysis.transform import top_down
+from repro.core.frame import intern_frame
+from repro.core.metric import Metric
+
+
+class TestSearch:
+    def test_substring_case_insensitive(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert {n.frame.name for n in search(tree, "WORK")} == {"work"}
+
+    def test_case_sensitive(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert search(tree, "WORK", case_sensitive=True) == []
+
+    def test_regex(self, simple_profile):
+        tree = top_down(simple_profile)
+        names = {n.frame.name for n in search(tree, r"^i\w+", regex=True)}
+        assert names == {"inner", "idle"}
+
+    def test_matches_file_names_too(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert len(search(tree, "app.c")) == 4
+
+    def test_root_never_matches(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert search(tree, "<root>") == []
+
+
+class TestMatchFraction:
+    def test_single_subtree(self, simple_profile):
+        tree = top_down(simple_profile)
+        matches = search(tree, "work")
+        assert match_fraction(tree, matches) == pytest.approx(0.9)
+
+    def test_nested_matches_not_double_counted(self, simple_profile):
+        tree = top_down(simple_profile)
+        matches = search(tree, "main") + search(tree, "work")
+        # work is inside main's subtree: coverage is main's share (100%).
+        assert match_fraction(tree, matches) == pytest.approx(1.0)
+
+    def test_no_matches_zero(self, simple_profile):
+        tree = top_down(simple_profile)
+        assert match_fraction(tree, []) == 0.0
+
+
+class TestFilter:
+    def test_filter_keeps_subtree_and_ancestors(self, simple_profile):
+        tree = top_down(simple_profile)
+        filtered = filter_by_name(tree, "work")
+        names = {n.frame.name for n in filtered.nodes()}
+        assert names == {"<root>", "main", "work", "inner"}
+
+    def test_filter_preserves_values(self, simple_profile):
+        tree = top_down(simple_profile)
+        filtered = filter_by_name(tree, "work")
+        assert filtered.find_by_name("work")[0].inclusive[0] == 900.0
+
+    def test_filter_regex(self, simple_profile):
+        tree = top_down(simple_profile)
+        filtered = filter_by_name(tree, "^id", regex=True)
+        assert {n.frame.name for n in filtered.nodes()} == \
+            {"<root>", "main", "idle"}
+
+    def test_filter_no_match_leaves_root_only(self, simple_profile):
+        tree = top_down(simple_profile)
+        filtered = filter_tree(tree, lambda n: False)
+        assert filtered.node_count() == 1
+
+
+class TestCustomization:
+    def test_elide_names_removes_subtrees(self, simple_profile):
+        custom = Customization().elide_names("work")
+        tree = top_down(simple_profile, customization=custom)
+        assert not tree.find_by_name("work")
+        assert not tree.find_by_name("inner")   # subtree goes too
+        assert tree.find_by_name("idle")
+
+    def test_elide_if_predicate(self, simple_profile):
+        custom = Customization().elide_if(
+            lambda node: node.frame.line > 70)
+        tree = top_down(simple_profile, customization=custom)
+        assert not tree.find_by_name("idle")    # idle is at line 77
+
+    def test_remap_merges_renamed_frames(self, simple_profile):
+        # Rename everything to "f": all siblings merge.
+        custom = Customization().remap_with(
+            lambda frame: intern_frame("f", frame.file, 0, frame.module))
+        tree = top_down(simple_profile, customization=custom)
+        main_level = list(tree.root.children.values())
+        assert len(main_level) == 1
+        assert main_level[0].frame.name == "f"
+
+    def test_derive_callback_adds_metric(self, simple_profile):
+        custom = Customization().derive(
+            Metric("cpu_share", unit="percent"),
+            lambda node, env: 100.0 * env["cpu"] / 1000.0)
+        tree = top_down(simple_profile, customization=custom)
+        index = tree.schema.index_of("cpu_share")
+        work = tree.find_by_name("work")[0]
+        assert work.inclusive[index] == pytest.approx(90.0)
+
+    def test_passthrough_detection(self):
+        assert Customization().is_passthrough()
+        assert not Customization().elide_names("x").is_passthrough()
+
+    def test_customization_applies_to_bottom_up(self, simple_profile):
+        from repro.analysis.transform import bottom_up
+        custom = Customization().elide_if(
+            lambda node: node.frame.name == "idle")
+        tree = bottom_up(simple_profile, customization=custom)
+        assert not tree.find_by_name("idle")

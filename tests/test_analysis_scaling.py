@@ -1,0 +1,97 @@
+"""Tests for the ScaAnalyzer-style scaling analysis."""
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis.scaling import (fit_exponent, scaling_losses,
+                                    scaling_report, scaling_tree)
+from repro.errors import AnalysisError
+from repro.profilers.workloads import scaling_workload
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [(float(r), scaling_workload(r)) for r in (2, 4, 8, 16)]
+
+
+class TestFitExponent:
+    def test_linear_growth(self):
+        assert fit_exponent([1, 2, 4], [10, 20, 40]) == pytest.approx(1.0)
+
+    def test_quadratic_growth(self):
+        assert fit_exponent([1, 2, 4], [3, 12, 48]) == pytest.approx(2.0)
+
+    def test_constant(self):
+        assert fit_exponent([1, 2, 4], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_shrinking(self):
+        assert fit_exponent([1, 2, 4], [40, 20, 10]) == pytest.approx(-1.0)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_exponent([1], [5])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_exponent([1, 2], [5])
+
+
+class TestScalingReport:
+    def test_halo_buffers_flagged(self, sweep):
+        losses = scaling_losses(sweep, "alloc_bytes",
+                                expected_exponent=0.0)
+        names = {v.label for v in losses}
+        assert any("exchange_halos" in n or "halo_buffers" in n
+                   for n in names)
+
+    def test_replicated_table_not_flagged(self, sweep):
+        verdicts = scaling_report(sweep, "alloc_bytes",
+                                  expected_exponent=0.0)
+        table = [v for v in verdicts if "lookup_table" in v.label]
+        assert table and not table[0].loss
+        assert table[0].exponent == pytest.approx(0.0, abs=0.05)
+
+    def test_partitioned_arrays_shrink(self, sweep):
+        verdicts = scaling_report(sweep, "alloc_bytes",
+                                  expected_exponent=0.0)
+        domain = [v for v in verdicts if "domain_arrays" in v.label]
+        assert domain and domain[0].exponent < -0.5
+
+    def test_sorted_worst_first(self, sweep):
+        verdicts = scaling_report(sweep, "alloc_bytes",
+                                  expected_exponent=0.0)
+        exponents = [v.exponent for v in verdicts]
+        assert exponents == sorted(exponents, reverse=True)
+
+    def test_describe(self, sweep):
+        verdicts = scaling_report(sweep, "alloc_bytes",
+                                  expected_exponent=0.0)
+        assert "SCALING LOSS" in verdicts[0].describe()
+
+    def test_single_run_rejected(self, sweep):
+        with pytest.raises(AnalysisError):
+            scaling_report(sweep[:1], "alloc_bytes")
+
+    def test_unordered_scales_rejected(self, sweep):
+        with pytest.raises(AnalysisError):
+            scaling_report(list(reversed(sweep)), "alloc_bytes")
+
+    def test_min_share_filters_noise(self, sweep):
+        few = scaling_report(sweep, "alloc_bytes", expected_exponent=0.0,
+                             min_share=0.2)
+        many = scaling_report(sweep, "alloc_bytes", expected_exponent=0.0,
+                              min_share=0.0)
+        assert len(few) < len(many)
+
+
+class TestScalingTree:
+    def test_ratio_column(self, sweep):
+        tree = scaling_tree(sweep[0][1], sweep[-1][1],
+                            metric="alloc_bytes")
+        column = tree.schema.index_of("alloc_bytes:ratio")
+        halos = [n for n in tree.nodes()
+                 if n.frame.name == "exchange_halos"]
+        # 16 ranks / 2 ranks = 8× halo memory.
+        assert halos[0].inclusive[column] == pytest.approx(8.0, rel=0.01)
+        tables = [n for n in tree.nodes() if n.frame.name == "setup"]
+        assert tables[0].inclusive[column] == pytest.approx(1.0, rel=0.01)

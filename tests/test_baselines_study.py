@@ -1,0 +1,169 @@
+"""Tests for the baseline viewers and the user-study simulation."""
+
+import pytest
+
+from repro.baselines import (EasyViewViewer, GoLandViewer, PProfViewer,
+                             measure)
+from repro.study.costmodel import (COSTS, EASYVIEW_CAPS, GOLAND_CAPS,
+                                   PPROF_CAPS, Workflow)
+from repro.study.simulate import (render_table, run_study,
+                                  simulate_analyst)
+from repro.study.survey import run_survey
+from repro.study.tasks import plan
+
+
+class TestBaselineViewers:
+    def test_all_viewers_open_same_profile(self, small_pprof_bytes):
+        results = {}
+        for viewer in (EasyViewViewer(), GoLandViewer(), PProfViewer()):
+            results[viewer.name] = viewer.open_profile(small_pprof_bytes)
+        # Tree-building viewers agree on context counts.
+        assert results["easyview"].nodes == results["goland"].nodes
+        # EasyView's lazy layout renders strictly fewer blocks.
+        assert results["easyview"].blocks < results["goland"].blocks
+        for result in results.values():
+            assert result.seconds > 0
+
+    def test_measure_takes_min(self, small_pprof_bytes):
+        result = measure(EasyViewViewer(), small_pprof_bytes, repeats=2)
+        assert result.viewer == "easyview"
+
+    def test_detail_phases_sum_close_to_total(self, small_pprof_bytes):
+        result = EasyViewViewer().open_profile(small_pprof_bytes)
+        assert sum(result.detail.values()) <= result.seconds * 1.2
+
+
+class TestWorkflows:
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            Workflow(tool="x", task="y").add("teleport")
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            plan("task9", EASYVIEW_CAPS)
+
+    def test_task1_easyview_uses_code_links(self):
+        flow = plan("task1", EASYVIEW_CAPS)
+        assert "open_source" in flow.steps
+        assert "manual_source_lookup" not in flow.steps
+
+    def test_task1_pprof_pays_tool_switches(self):
+        flow = plan("task1", PPROF_CAPS)
+        assert "switch_tool" in flow.steps
+        assert "manual_source_lookup" in flow.steps
+
+    def test_task2_goland_falls_back_to_tree_table(self):
+        flow = plan("task2", GOLAND_CAPS)
+        assert "learn_view" in flow.steps
+        assert "fold_unfold" in flow.steps
+
+    def test_task2_pprof_writes_scripts(self):
+        flow = plan("task2", PPROF_CAPS)
+        assert flow.steps.count("write_script") >= 2
+
+    def test_task3_only_easyview_bounded(self):
+        assert not plan("task3", EASYVIEW_CAPS).open_ended
+        assert plan("task3", PPROF_CAPS).open_ended
+        assert plan("task3", GOLAND_CAPS).open_ended
+
+
+class TestStudyResults:
+    @pytest.fixture(scope="class")
+    def table(self):
+        # Response times in the ballpark of the large-tier measurements.
+        return run_study(open_seconds={"easyview": 6.0, "pprof": 14.0,
+                                       "goland": 22.0})
+
+    def test_task1_ordering(self, table):
+        t1 = {tool: table[tool]["task1"].mean_minutes for tool in table}
+        assert t1["easyview"] < t1["goland"] < t1["pprof"]
+        assert 7 <= t1["easyview"] <= 14       # paper: ~10 min
+        assert 11 <= t1["goland"] <= 20        # paper: ~15 min
+        assert 24 <= t1["pprof"] <= 40         # paper: ~30 min
+
+    def test_task2_ordering(self, table):
+        t2 = {tool: table[tool]["task2"].mean_minutes for tool in table}
+        assert t2["easyview"] < t2["goland"] < t2["pprof"]
+        assert t2["easyview"] <= 15            # paper: ~10 min
+        assert 40 <= t2["goland"] <= 85        # paper: ~1 h
+        assert t2["pprof"] >= 150              # paper: >3 h
+
+    def test_task3_baselines_dnf(self, table):
+        assert table["easyview"]["task3"].completion_rate == 1.0
+        assert table["easyview"]["task3"].mean_minutes <= 15
+        assert table["pprof"]["task3"].completion_rate == 0.0
+        assert table["goland"]["task3"].completion_rate == 0.0
+
+    def test_render_table_mentions_dnf(self, table):
+        text = render_table(table)
+        assert "DNF" in text and "easyview" in text
+
+    def test_proficiency_scales_human_time_only(self):
+        fast = simulate_analyst("task1", EASYVIEW_CAPS, 0.85)
+        slow = simulate_analyst("task1", EASYVIEW_CAPS, 1.5)
+        assert slow.minutes > fast.minutes
+
+    def test_deterministic_per_seed(self):
+        a = run_study(seed=11)
+        b = run_study(seed=11)
+        assert render_table(a) == render_table(b)
+
+
+class TestSurvey:
+    def test_fig8_orderings(self):
+        outcome = run_survey()
+        # Flame graphs beat tree tables overall.
+        assert outcome.any_flame_percent() > outcome.any_table_percent()
+        # Top-down > bottom-up > flat, in both families.
+        for family in ("flame", "table"):
+            td = outcome.percent(family, "top_down")
+            bu = outcome.percent(family, "bottom_up")
+            fl = outcome.percent(family, "flat")
+            assert td >= bu >= fl
+        # Per-shape, flame ≥ table.
+        for shape in ("top_down", "bottom_up", "flat"):
+            assert outcome.percent("flame", shape) >= \
+                outcome.percent("table", shape)
+
+    def test_percent_bands_roughly_match_paper(self):
+        outcome = run_survey()
+        assert outcome.any_flame_percent() >= 85     # paper: 92.3%
+        assert 70 <= outcome.any_table_percent() <= 100  # paper: 84.6%
+
+    def test_deterministic(self):
+        assert run_survey(seed=3).effective_percent == \
+            run_survey(seed=3).effective_percent
+
+    def test_render(self):
+        text = run_survey().render()
+        assert "flame/top_down" in text and "%" in text
+
+
+class TestStudySensitivity:
+    def test_orderings_robust_to_cost_model(self):
+        """The simulated study's conclusions must not hinge on the exact
+        primitive costs: scaling every human cost by ±30% preserves all
+        of the paper's orderings."""
+        from unittest import mock
+        from repro.study import costmodel
+
+        for factor in (0.7, 1.0, 1.3):
+            scaled = {op: cost * factor
+                      for op, cost in costmodel.COSTS.items()}
+            with mock.patch.dict(costmodel.COSTS, scaled):
+                table = run_study(open_seconds={"easyview": 6.0,
+                                                "pprof": 14.0,
+                                                "goland": 22.0})
+                t1 = {tool: table[tool]["task1"].mean_minutes
+                      for tool in table}
+                assert t1["easyview"] < t1["goland"] < t1["pprof"], factor
+                t2 = {tool: table[tool]["task2"].mean_minutes
+                      for tool in table}
+                assert t2["easyview"] < t2["goland"] < t2["pprof"], factor
+                assert table["easyview"]["task3"].completion_rate == 1.0
+
+    def test_group_size_does_not_flip_orderings(self):
+        for size in (3, 7, 15):
+            table = run_study(group_size=size)
+            assert table["easyview"]["task1"].mean_minutes < \
+                table["pprof"]["task1"].mean_minutes

@@ -1,0 +1,133 @@
+"""Tests for the ProfileBuilder API and profile validation."""
+
+import pytest
+
+from repro.builder import ProfileBuilder, validate
+from repro.builder.builder import _coerce_frame
+from repro.core.frame import Frame, FrameKind, intern_frame
+from repro.core.monitor import PointKind
+
+
+class TestFrameSpecs:
+    def test_string_spec(self):
+        frame = _coerce_frame("main")
+        assert frame.name == "main" and frame.file == ""
+
+    def test_tuple_specs(self):
+        assert _coerce_frame(("f",)).name == "f"
+        assert _coerce_frame(("f", "a.c")).file == "a.c"
+        assert _coerce_frame(("f", "a.c", 3)).line == 3
+        assert _coerce_frame(("f", "a.c", 3, "m")).module == "m"
+
+    def test_frame_passthrough(self):
+        frame = intern_frame("x")
+        assert _coerce_frame(frame) is frame
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            _coerce_frame(("a", "b", 1, "m", "extra"))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            _coerce_frame(42)
+
+
+class TestBuilder:
+    def test_metric_reuse(self):
+        builder = ProfileBuilder()
+        assert builder.metric("cpu") == builder.metric("cpu")
+
+    def test_leaf_sample_reverses(self):
+        builder = ProfileBuilder()
+        cpu = builder.metric("cpu")
+        builder.leaf_sample(["leaf", "mid", "root"], {cpu: 1.0})
+        profile = builder.build()
+        leaf = profile.find_by_name("leaf")[0]
+        assert [f.name for f in leaf.call_path()] == ["root", "mid", "leaf"]
+
+    def test_snapshot_requires_positive_sequence(self):
+        builder = ProfileBuilder()
+        builder.metric("m")
+        with pytest.raises(ValueError):
+            builder.snapshot(0, ["main"], {0: 1.0})
+
+    def test_snapshot_not_folded_into_node_metrics(self):
+        builder = ProfileBuilder()
+        mem = builder.metric("inuse", unit="bytes")
+        builder.snapshot(1, ["main"], {mem: 100.0})
+        profile = builder.build()
+        assert profile.total("inuse") == 0.0  # lives on the point only
+        assert profile.points[0].value(mem) == 100.0
+
+    def test_allocation_creates_data_object_context(self):
+        builder = ProfileBuilder()
+        size = builder.metric("bytes", unit="bytes")
+        point = builder.allocation("buf", ["main", "alloc_site"],
+                                   {size: 64.0})
+        leaf = point.primary()
+        assert leaf.frame.kind is FrameKind.DATA_OBJECT
+        assert leaf.frame.name == "buf"
+        assert leaf.parent.frame.name == "alloc_site"
+
+    def test_pair_point_orders_contexts(self):
+        builder = ProfileBuilder()
+        count = builder.metric("n")
+        point = builder.pair_point(PointKind.REDUNDANCY,
+                                   [["main", "dead"], ["main", "killer"]],
+                                   {count: 2.0})
+        assert [c.frame.name for c in point.contexts] == ["dead", "killer"]
+
+    def test_build_finalizes(self):
+        builder = ProfileBuilder()
+        builder.metric("m")
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.sample(["f"], {0: 1.0})
+
+    def test_attributes_recorded(self):
+        builder = ProfileBuilder(tool="x")
+        builder.attribute("host", "dev01")
+        assert builder.build().meta.attributes == {"host": "dev01"}
+
+
+class TestValidation:
+    def test_clean_profile_passes(self, simple_profile):
+        report = validate(simple_profile)
+        assert report.ok
+        assert not report.errors
+
+    def test_unused_metric_warns(self):
+        builder = ProfileBuilder()
+        builder.metric("used")
+        builder.metric("unused")
+        builder.sample(["main"], {0: 1.0})
+        report = validate(builder.build())
+        assert report.ok
+        assert any("unused" in w for w in report.warnings)
+
+    def test_line_without_file_warns(self):
+        builder = ProfileBuilder()
+        builder.metric("m")
+        builder.sample([intern_frame("f", line=12)], {0: 1.0})
+        report = validate(builder.build())
+        assert any("code link" in w for w in report.warnings)
+
+    def test_negative_sum_metric_warns(self):
+        builder = ProfileBuilder()
+        builder.metric("m")
+        builder.sample(["f"], {0: -5.0})
+        report = validate(builder.build())
+        assert any("negative" in w for w in report.warnings)
+
+    def test_bad_point_arity_is_error(self):
+        builder = ProfileBuilder()
+        builder.metric("m")
+        builder.sample(["f"], {0: 1.0})
+        profile = builder.build()
+        from repro.core.monitor import MonitoringPoint
+        node = profile.find_by_name("f")[0]
+        # Bypass add_point validation to simulate a corrupt file.
+        profile.points.append(MonitoringPoint(
+            kind=PointKind.USE_REUSE, contexts=[node], values={}))
+        report = validate(profile)
+        assert not report.ok

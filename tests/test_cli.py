@@ -1,0 +1,203 @@
+"""End-to-end tests for the ``easyview`` CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import dump
+from repro.profilers.workloads import spark_profile
+
+
+@pytest.fixture
+def pprof_path(tmp_path, small_pprof_bytes):
+    path = tmp_path / "svc.pb.gz"
+    path.write_bytes(small_pprof_bytes)
+    return str(path)
+
+
+@pytest.fixture
+def spark_paths(tmp_path):
+    rdd_path = str(tmp_path / "rdd.ezvw")
+    sql_path = str(tmp_path / "sql.ezvw")
+    dump(spark_profile("rdd"), rdd_path)
+    dump(spark_profile("sql"), sql_path)
+    return rdd_path, sql_path
+
+
+class TestOpen:
+    def test_open_flame(self, pprof_path, capsys):
+        assert main(["open", pprof_path, "--width", "70"]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest contexts" in out
+
+    def test_open_outline(self, pprof_path, capsys):
+        assert main(["open", pprof_path, "--outline"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_open_bottom_up(self, pprof_path, capsys):
+        assert main(["open", pprof_path, "--shape", "bottom_up"]) == 0
+
+    def test_open_missing_file_fails_cleanly(self, capsys):
+        assert main(["open", "/nope.pb.gz"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_open_explicit_metric(self, pprof_path, capsys):
+        assert main(["open", pprof_path, "--metric", "samples"]) == 0
+
+
+class TestConvert:
+    def test_convert_to_native(self, pprof_path, tmp_path, capsys):
+        out_path = str(tmp_path / "out.ezvw")
+        assert main(["convert", pprof_path, out_path]) == 0
+        assert os.path.exists(out_path)
+        assert "contexts" in capsys.readouterr().out
+        # The native file opens again.
+        assert main(["open", out_path]) == 0
+
+    def test_convert_collapsed_input(self, tmp_path):
+        src = tmp_path / "stacks.folded"
+        src.write_text("main;hot 10\n")
+        out_path = str(tmp_path / "o.ezvw")
+        assert main(["convert", str(src), out_path]) == 0
+
+
+class TestDiffAggregate:
+    def test_diff_shows_tags(self, spark_paths, capsys):
+        rdd_path, sql_path = spark_paths
+        assert main(["diff", rdd_path, sql_path]) == 0
+        out = capsys.readouterr().out
+        assert "[A]" in out and "[D]" in out
+        assert "difference tags:" in out
+
+    def test_aggregate(self, spark_paths, capsys):
+        rdd_path, _ = spark_paths
+        assert main(["aggregate", rdd_path, rdd_path]) == 0
+        assert "cpu:sum" in capsys.readouterr().out
+
+
+class TestReportFormats:
+    def test_report_written(self, pprof_path, tmp_path, capsys):
+        out_path = str(tmp_path / "report.html")
+        assert main(["report", pprof_path, "-o", out_path]) == 0
+        html = open(out_path).read()
+        assert "<svg" in html
+        assert "bottom-up flame graph" in html
+
+    def test_formats_listed(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pprof", "collapsed", "hpctoolkit", "easyview"):
+            assert name in out
+
+
+class TestAnalysisSubcommands:
+    def test_leak_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import grpc_client_profile
+        path = str(tmp_path / "heap.ezvw")
+        dump(grpc_client_profile(clients=10, snapshots=10), path)
+        assert main(["leak", path, "--min-peak", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "POTENTIAL LEAK" in out
+        assert "potential leaks" in out
+
+    def test_leak_without_snapshots_fails(self, tmp_path, capsys,
+                                          small_pprof_bytes):
+        path = tmp_path / "cpu.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        assert main(["leak", str(path), "--metric", "cpu"]) == 1
+
+    def test_reuse_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import lulesh_reuse_profile
+        path = str(tmp_path / "reuse.ezvw")
+        dump(lulesh_reuse_profile(scale=2), path)
+        assert main(["reuse", path]) == 0
+        out = capsys.readouterr().out
+        assert "allocations" in out
+        assert "guidance:" in out
+
+    def test_reuse_without_pairs_fails(self, tmp_path, capsys,
+                                       small_pprof_bytes):
+        path = tmp_path / "cpu.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        assert main(["reuse", str(path)]) == 1
+
+    def test_inefficiencies_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import false_sharing_workload
+        path = str(tmp_path / "fs.ezvw")
+        dump(false_sharing_workload(), path)
+        assert main(["inefficiencies", path]) == 0
+        out = capsys.readouterr().out
+        assert "false sharing" in out and "stats" in out
+
+    def test_inefficiencies_redundancy(self, tmp_path, capsys):
+        from repro.profilers.workloads import redundancy_workload
+        path = str(tmp_path / "red.ezvw")
+        dump(redundancy_workload(), path)
+        assert main(["inefficiencies", path]) == 0
+        assert "redundancy" in capsys.readouterr().out
+
+    def test_inefficiencies_empty_fails(self, tmp_path, capsys,
+                                        small_pprof_bytes):
+        path = tmp_path / "cpu.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        assert main(["inefficiencies", str(path)]) == 1
+
+    def test_study_subcommand(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        assert "easyview" in out and "DNF" in out
+        assert "flame/top_down" in out
+
+    def test_report_interactive(self, tmp_path, capsys, small_pprof_bytes):
+        src = tmp_path / "svc.pb.gz"
+        src.write_bytes(small_pprof_bytes)
+        out_path = str(tmp_path / "viewer.html")
+        assert main(["report", str(src), "-o", out_path,
+                     "--interactive"]) == 0
+        page = open(out_path).read()
+        assert "var DATA =" in page and "<script>" in page
+
+    def test_combine_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import (lulesh_profile,
+                                               lulesh_reuse_profile)
+        a = str(tmp_path / "a.ezvw")
+        b = str(tmp_path / "b.ezvw")
+        dump(lulesh_profile(scale=2), a)
+        dump(lulesh_reuse_profile(scale=2), b)
+        out_path = str(tmp_path / "merged.ezvw")
+        assert main(["combine", a, b, "-o", out_path]) == 0
+        assert "hpctoolkit" in capsys.readouterr().out
+        assert main(["open", out_path]) == 0
+
+    def test_timeline_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import grpc_client_profile
+        path = str(tmp_path / "heap.ezvw")
+        dump(grpc_client_profile(clients=10, snapshots=10), path)
+        assert main(["timeline", path, "--window", "1:5"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out and "window 1..5" in out
+
+    def test_timeline_without_snapshots_fails(self, tmp_path, capsys,
+                                              small_pprof_bytes):
+        path = tmp_path / "cpu.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        assert main(["timeline", str(path), "--metric", "cpu"]) == 1
+
+    def test_validate_subcommand(self, tmp_path, capsys,
+                                 small_pprof_bytes):
+        path = tmp_path / "svc.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        assert main(["validate", str(path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_anonymize_subcommand(self, tmp_path, capsys):
+        from repro.profilers.workloads import spark_profile
+        src = str(tmp_path / "spark.ezvw")
+        dump(spark_profile("rdd"), src)
+        out_path = str(tmp_path / "anon.ezvw")
+        assert main(["anonymize", src, "-o", out_path,
+                     "--key", "shared-key"]) == 0
+        data = open(out_path, "rb").read()
+        assert b"ShuffleMapTask" not in data
+        assert main(["open", out_path]) == 0

@@ -1,0 +1,63 @@
+"""Tests for converter registration, sniffing, and dispatch."""
+
+import pytest
+
+from repro.converters import base, names, open_profile, parse_bytes
+from repro.errors import ConversionError, FormatError
+
+
+class TestRegistry:
+    def test_all_eleven_formats_registered(self):
+        expected = {"pprof", "cloud-profiler", "speedscope", "chrome",
+                    "pyinstrument", "scalene", "hpctoolkit", "gprof",
+                    "tau", "perf", "collapsed"}
+        assert expected <= set(names())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConversionError, match="unknown format"):
+            base.get("nonexistent")
+
+    def test_double_registration_rejected(self):
+        converter = base.get("pprof")
+        with pytest.raises(ConversionError):
+            base.register(converter)
+
+
+class TestDetection:
+    def test_extension_routes_first(self, small_pprof_bytes):
+        converter = base.detect(small_pprof_bytes, path="x.pb.gz")
+        assert converter.name == "pprof"
+
+    def test_content_sniffing_without_extension(self, small_pprof_bytes):
+        assert base.detect(small_pprof_bytes).name == "pprof"
+
+    def test_collapsed_sniffed(self):
+        assert base.detect(b"a;b;c 12\n").name == "collapsed"
+
+    def test_undetectable_raises(self):
+        with pytest.raises(FormatError, match="cannot detect"):
+            base.detect(b"\x00\x99 unknown binary nonsense \xff")
+
+    def test_explicit_format_overrides(self):
+        # Valid collapsed text, but forced through the TAU parser → error.
+        with pytest.raises(FormatError):
+            parse_bytes(b"a;b 1\n", format="tau")
+
+    def test_tool_name_tagged(self):
+        profile = parse_bytes(b"main;f 3\n")
+        assert profile.meta.tool == "collapsed"
+
+
+class TestOpenProfile:
+    def test_open_profile_from_path(self, tmp_path, small_pprof_bytes):
+        path = tmp_path / "p.pb.gz"
+        path.write_bytes(small_pprof_bytes)
+        profile = open_profile(str(path))
+        assert profile.node_count() > 100
+
+    def test_top_level_reexport(self, tmp_path):
+        import repro
+        path = tmp_path / "stacks.folded"
+        path.write_text("main;hot 10\n")
+        profile = repro.open_profile(str(path))
+        assert profile.total("samples") == 10

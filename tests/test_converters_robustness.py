@@ -1,0 +1,95 @@
+"""Robustness: converters must fail *cleanly* on malformed input.
+
+A viewer gets fed whatever the user drops on it; every converter must
+either produce a profile or raise :class:`FormatError` — never a random
+exception type, never a hang, never a partially-corrupt profile.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.builder import validate
+from repro.converters import base, names, parse_bytes
+from repro.errors import EasyViewError, FormatError
+
+
+ALL_FORMATS = sorted(names())
+
+
+class TestGarbageBytes:
+    @pytest.mark.parametrize("format_name", ALL_FORMATS)
+    @pytest.mark.parametrize("payload", [
+        b"",
+        b"\x00" * 64,
+        b"\xff\xfe garbage \x00\x01",
+        b"{\"unrelated\": true}",
+        b"<xml><but-not-a-profile/></xml>",
+        b"just some words\nand another line\n",
+    ])
+    def test_clean_failure_or_profile(self, format_name, payload):
+        converter = base.get(format_name)
+        try:
+            profile = converter.parse(payload)
+        except EasyViewError:
+            return  # FormatError and friends are the contract
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            pytest.fail("%s leaked %s: %s"
+                        % (format_name, type(exc).__name__, exc))
+        # If it parsed, the result must be structurally valid.
+        assert validate(profile).ok
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_autodetect_fuzz(self, payload):
+        try:
+            profile = parse_bytes(payload)
+        except EasyViewError:
+            return
+        assert validate(profile).ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(-999, 999),
+                  st.text(max_size=8)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.sampled_from(
+                ["nodes", "samples", "profiles", "files", "root_frame",
+                 "traceEvents", "ph", "name", "id", "children", "$schema",
+                 "shared", "frames", "time", "lines"]),
+                children, max_size=4)),
+        max_leaves=12))
+    def test_json_structure_fuzz(self, document):
+        """Random JSON with profile-ish keys never crashes a converter."""
+        payload = json.dumps(document).encode()
+        for format_name in ("chrome", "speedscope", "pyinstrument",
+                            "scalene", "chrome-trace", "cloud-profiler",
+                            "easyview-json"):
+            converter = base.get(format_name)
+            try:
+                converter.parse(payload)
+            except EasyViewError:
+                pass
+            except (ValueError, KeyError, IndexError, TypeError,
+                    AttributeError) as exc:
+                pytest.fail("%s leaked %s on %r"
+                            % (format_name, type(exc).__name__, document))
+
+
+class TestTruncation:
+    def test_truncated_pprof_fails_cleanly(self, small_pprof_bytes):
+        for cut in (1, 10, len(small_pprof_bytes) // 2):
+            with pytest.raises(EasyViewError):
+                parse_bytes(small_pprof_bytes[:cut], format="pprof")
+
+    def test_bitflipped_pprof_fails_cleanly_or_parses(self,
+                                                      small_pprof_bytes):
+        corrupted = bytearray(small_pprof_bytes)
+        corrupted[len(corrupted) // 3] ^= 0xFF
+        try:
+            profile = parse_bytes(bytes(corrupted), format="pprof")
+        except EasyViewError:
+            return
+        assert profile.node_count() >= 1

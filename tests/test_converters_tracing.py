@@ -1,0 +1,131 @@
+"""Tests for the Austin and Chrome Trace Event converters."""
+
+import json
+
+import pytest
+
+from repro.converters import parse_bytes
+from repro.converters.austin import parse as parse_austin
+from repro.converters.chrome_trace import parse as parse_trace
+from repro.errors import FormatError
+
+
+def as_bytes(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestAustin:
+    SAMPLE = (b"P4242;T0x7f1;app.py:main:10;app.py:work:40 642\n"
+              b"P4242;T0x7f1;app.py:main:10;app.py:work:40 358\n"
+              b"P4242;T0x7f2;app.py:main:10;app.py:idle:70 100\n")
+
+    def test_totals_and_attribution(self):
+        profile = parse_austin(self.SAMPLE)
+        assert profile.total("wall_time") == 1100
+        work = profile.find_by_name("work")[0]
+        assert work.frame.file == "app.py"
+        assert work.frame.line == 40
+
+    def test_process_and_thread_contexts(self):
+        from repro.core.frame import FrameKind
+        profile = parse_austin(self.SAMPLE)
+        threads = [n for n in profile.nodes()
+                   if n.frame.kind is FrameKind.THREAD]
+        names = {n.frame.name for n in threads}
+        assert "process 4242" in names
+        assert "thread 0x7f1" in names and "thread 0x7f2" in names
+
+    def test_sniffed_from_registry(self):
+        profile = parse_bytes(self.SAMPLE)
+        assert profile.meta.tool == "austin"
+
+    def test_plain_collapsed_not_misdetected(self):
+        # No P/T prefix → the generic collapsed converter should claim it.
+        profile = parse_bytes(b"main;work 10\n")
+        assert profile.meta.tool == "collapsed"
+
+    def test_comments_skipped(self):
+        profile = parse_austin(b"# austin 3.6\n" + self.SAMPLE)
+        assert profile.total("wall_time") == 1100
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FormatError, match="non-numeric"):
+            parse_austin(b"P1;T1;a.py:f:1 xyz\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormatError):
+            parse_austin(b"# nothing\n")
+
+
+class TestChromeTrace:
+    def trace(self):
+        return {"traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+             "args": {"name": "MainThread"}},
+            {"ph": "B", "name": "main", "pid": 1, "tid": 2, "ts": 0},
+            {"ph": "B", "name": "work", "pid": 1, "tid": 2, "ts": 100},
+            {"ph": "X", "name": "inner", "pid": 1, "tid": 2, "ts": 150,
+             "dur": 200},
+            {"ph": "E", "pid": 1, "tid": 2, "ts": 600},
+            {"ph": "E", "pid": 1, "tid": 2, "ts": 1000},
+        ]}
+
+    def test_nesting_reconstructed(self):
+        profile = parse_trace(as_bytes(self.trace()))
+        inner = profile.find_by_name("inner")[0]
+        path = [f.name for f in inner.call_path()]
+        assert path == ["MainThread", "main", "work", "inner"]
+
+    def test_self_time_attribution(self):
+        profile = parse_trace(as_bytes(self.trace()))
+        work = profile.find_by_name("work")[0]
+        assert work.exclusive(0) == 300.0     # 500 total − 200 nested
+        main = profile.find_by_name("main")[0]
+        assert main.exclusive(0) == 500.0     # 1000 − 500 nested
+        assert profile.total("wall_time") == 1000.0
+
+    def test_slice_counts(self):
+        profile = parse_trace(as_bytes(self.trace()))
+        assert profile.total("slices") == 3
+
+    def test_bare_array_flavor(self):
+        events = self.trace()["traceEvents"]
+        profile = parse_trace(as_bytes(events))
+        assert profile.total("wall_time") == 1000.0
+
+    def test_multiple_tracks_independent(self):
+        events = self.trace()["traceEvents"]
+        events.extend([
+            {"ph": "X", "name": "io", "pid": 1, "tid": 9, "ts": 0,
+             "dur": 400},
+        ])
+        profile = parse_trace(as_bytes({"traceEvents": events}))
+        io = profile.find_by_name("io")[0]
+        assert io.parent.frame.name == "pid 1 tid 9"
+        assert profile.total("wall_time") == 1400.0
+
+    def test_unbalanced_end_rejected(self):
+        with pytest.raises(FormatError, match="closes nothing"):
+            parse_trace(as_bytes({"traceEvents": [
+                {"ph": "E", "pid": 1, "tid": 1, "ts": 5}]}))
+
+    def test_unclosed_slice_rejected(self):
+        with pytest.raises(FormatError, match="unclosed"):
+            parse_trace(as_bytes({"traceEvents": [
+                {"ph": "B", "name": "x", "pid": 1, "tid": 1, "ts": 5}]}))
+
+    def test_no_duration_events_rejected(self):
+        with pytest.raises(FormatError, match="no duration"):
+            parse_trace(as_bytes({"traceEvents": [
+                {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+                 "args": {"name": "t"}}]}))
+
+    def test_sniffed_from_registry(self):
+        profile = parse_bytes(as_bytes(self.trace()))
+        assert profile.meta.tool == "chrome-trace"
+
+    def test_category_becomes_module(self):
+        events = [{"ph": "X", "name": "f", "cat": "renderer", "pid": 1,
+                   "tid": 1, "ts": 0, "dur": 10}]
+        profile = parse_trace(as_bytes({"traceEvents": events}))
+        assert profile.find_by_name("f")[0].frame.module == "renderer"

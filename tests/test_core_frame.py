@@ -1,0 +1,83 @@
+"""Tests for frame interning and attribution."""
+
+from repro.core.frame import (Frame, FrameKind, ROOT_FRAME, SourceLocation,
+                              data_object_frame, intern_frame)
+
+
+class TestInterning:
+    def test_same_attribution_same_object(self):
+        a = intern_frame("f", "x.c", 10, "libx")
+        b = intern_frame("f", "x.c", 10, "libx")
+        assert a is b
+
+    def test_different_line_different_object(self):
+        a = intern_frame("f", "x.c", 10)
+        b = intern_frame("f", "x.c", 11)
+        assert a is not b
+
+    def test_kind_distinguishes(self):
+        fn = intern_frame("buf", kind=FrameKind.FUNCTION)
+        obj = intern_frame("buf", kind=FrameKind.DATA_OBJECT)
+        assert fn is not obj
+
+    def test_root_frame_is_interned(self):
+        assert intern_frame("<root>", kind=FrameKind.ROOT) is ROOT_FRAME
+
+    def test_with_line_reinterns(self):
+        a = intern_frame("f", "x.c", 10)
+        b = a.with_line(20)
+        assert b.line == 20 and b.name == "f"
+        assert b is intern_frame("f", "x.c", 20)
+
+
+class TestMergeKey:
+    def test_merge_key_ignores_line_and_address(self):
+        a = intern_frame("f", "x.c", 10, "libx", address=0x100)
+        b = intern_frame("f", "x.c", 99, "libx", address=0x200)
+        assert a.merge_key() == b.merge_key()
+
+    def test_merge_key_distinguishes_module(self):
+        a = intern_frame("f", "x.c", 10, "lib1")
+        b = intern_frame("f", "x.c", 10, "lib2")
+        assert a.merge_key() != b.merge_key()
+
+    def test_full_key_includes_everything(self):
+        a = intern_frame("f", "x.c", 10, "libx", address=0x100)
+        assert a.key() == ("f", "x.c", 10, "libx", 0x100,
+                           int(FrameKind.FUNCTION))
+
+
+class TestLabelsAndLocations:
+    def test_label_includes_module(self):
+        assert intern_frame("f", module="libx").label() == "libx!f"
+
+    def test_label_without_module(self):
+        assert intern_frame("f").label() == "f"
+
+    def test_location_known(self):
+        frame = intern_frame("f", "x.c", 10)
+        assert frame.location.is_known()
+        assert str(frame.location) == "x.c:10"
+
+    def test_location_unknown_without_file(self):
+        assert not intern_frame("f", line=10).location.is_known()
+
+    def test_location_unknown_without_line(self):
+        assert not intern_frame("f", "x.c").location.is_known()
+
+    def test_str_includes_location(self):
+        frame = intern_frame("g", "y.c", 3, "m")
+        assert "y.c:3" in str(frame)
+
+    def test_source_location_str_unknown(self):
+        assert str(SourceLocation()) == "<unknown>"
+
+
+class TestDataObjects:
+    def test_data_object_kind(self):
+        frame = data_object_frame("heap_buf", "a.c", 5)
+        assert frame.kind is FrameKind.DATA_OBJECT
+        assert frame.name == "heap_buf"
+
+    def test_data_object_interned(self):
+        assert data_object_frame("x") is data_object_frame("x")

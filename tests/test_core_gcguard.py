@@ -1,0 +1,52 @@
+"""Tests for the GC suppression guard (§V-C manual memory management)."""
+
+import gc
+
+from repro.core.gcguard import no_gc
+
+
+class TestNoGc:
+    def test_disables_inside_and_restores(self):
+        assert gc.isenabled()
+        with no_gc():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_nested_guards_restore_once(self):
+        with no_gc():
+            with no_gc():
+                assert not gc.isenabled()
+            # The inner guard must not re-enable: its entry state was
+            # "disabled" (the outer guard turned collection off).
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_restores_on_exception(self):
+        try:
+            with no_gc():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert gc.isenabled()
+
+    def test_respects_externally_disabled_gc(self):
+        gc.disable()
+        try:
+            with no_gc():
+                pass
+            # GC was off before the guard; it must stay off after.
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_collect_after(self):
+        class Cyclic:
+            def __init__(self):
+                self.me = self
+
+        with no_gc(collect_after=True):
+            for _ in range(100):
+                Cyclic()
+        # The exit collection must have been able to run (no exception and
+        # collection is back on).
+        assert gc.isenabled()

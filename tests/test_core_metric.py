@@ -1,0 +1,104 @@
+"""Tests for metric descriptors and schemas."""
+
+import pytest
+
+from repro.core.metric import Aggregation, Metric, MetricSchema
+from repro.errors import SchemaError
+
+
+class TestAggregation:
+    def test_sum(self):
+        assert Aggregation.SUM.combine([1.0, 2.0, 3.0]) == 6.0
+
+    def test_min_max(self):
+        assert Aggregation.MIN.combine([3.0, 1.0, 2.0]) == 1.0
+        assert Aggregation.MAX.combine([3.0, 1.0, 2.0]) == 3.0
+
+    def test_mean(self):
+        assert Aggregation.MEAN.combine([2.0, 4.0]) == 3.0
+
+    def test_last(self):
+        assert Aggregation.LAST.combine([1.0, 9.0]) == 9.0
+
+    def test_empty_is_zero(self):
+        for agg in Aggregation:
+            assert agg.combine([]) == 0.0
+
+
+class TestMetricFormatting:
+    def test_bytes_scaling(self):
+        metric = Metric("mem", unit="bytes")
+        assert metric.format_value(512) == "512 B"
+        assert metric.format_value(2048) == "2.00 KiB"
+        assert metric.format_value(3 * 1024 ** 2) == "3.00 MiB"
+        assert metric.format_value(5 * 1024 ** 3) == "5.00 GiB"
+
+    def test_time_scaling(self):
+        metric = Metric("t", unit="nanoseconds")
+        assert metric.format_value(500) == "500 ns"
+        assert metric.format_value(2_500) == "2.50 us"
+        assert metric.format_value(3_000_000) == "3.00 ms"
+        assert metric.format_value(7_200_000_000) == "7.20 s"
+
+    def test_plain_unit(self):
+        assert Metric("n", unit="count").format_value(1234) == "1,234 count"
+
+    def test_unitless(self):
+        assert Metric("x").format_value(3.5) == "3.50"
+
+
+class TestMetricSchema:
+    def test_add_returns_index(self):
+        schema = MetricSchema()
+        assert schema.add(Metric("a")) == 0
+        assert schema.add(Metric("b")) == 1
+
+    def test_re_add_same_descriptor_is_idempotent(self):
+        schema = MetricSchema()
+        index = schema.add(Metric("a", unit="x"))
+        assert schema.add(Metric("a", unit="x")) == index
+        assert len(schema) == 1
+
+    def test_conflicting_descriptor_rejected(self):
+        schema = MetricSchema([Metric("a", unit="x")])
+        with pytest.raises(SchemaError):
+            schema.add(Metric("a", unit="y"))
+
+    def test_index_of_unknown_raises(self):
+        schema = MetricSchema([Metric("a")])
+        with pytest.raises(SchemaError, match="unknown metric"):
+            schema.index_of("zzz")
+
+    def test_get_returns_none_for_unknown(self):
+        assert MetricSchema().get("a") is None
+
+    def test_names_order(self):
+        schema = MetricSchema([Metric("b"), Metric("a")])
+        assert schema.names() == ["b", "a"]
+
+    def test_contains(self):
+        schema = MetricSchema([Metric("a")])
+        assert "a" in schema and "b" not in schema
+
+    def test_copy_is_independent(self):
+        schema = MetricSchema([Metric("a")])
+        clone = schema.copy()
+        clone.add(Metric("b"))
+        assert len(schema) == 1 and len(clone) == 2
+
+    def test_union_merges_new_columns(self):
+        left = MetricSchema([Metric("a", unit="x")])
+        right = MetricSchema([Metric("a", unit="x"), Metric("b")])
+        merged = left.union(right)
+        assert merged.names() == ["a", "b"]
+
+    def test_union_conflicting_units_rejected(self):
+        left = MetricSchema([Metric("a", unit="x")])
+        right = MetricSchema([Metric("a", unit="y")])
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_derive_adds_column(self):
+        schema = MetricSchema([Metric("a")])
+        index = schema.derive("a_per_k", unit="ratio")
+        assert schema[index].name == "a_per_k"

@@ -1,0 +1,95 @@
+"""Tests for the Profile container and monitoring points."""
+
+import pytest
+
+from repro.core.frame import intern_frame
+from repro.core.metric import Metric
+from repro.core.monitor import MonitoringPoint, PointKind
+from repro.core.profile import Profile
+from repro.errors import SchemaError
+
+
+def make_profile():
+    profile = Profile()
+    profile.add_metric(Metric("cpu", unit="nanoseconds"))
+    profile.add_metric(Metric("bytes", unit="bytes"))
+    return profile
+
+
+class TestSamples:
+    def test_add_sample_builds_tree(self):
+        profile = make_profile()
+        profile.add_sample([intern_frame("main"), intern_frame("f")],
+                           {0: 10.0})
+        assert profile.node_count() == 3
+        assert profile.total("cpu") == 10.0
+
+    def test_out_of_range_column_rejected(self):
+        profile = make_profile()
+        with pytest.raises(SchemaError):
+            profile.add_sample([intern_frame("main")], {5: 1.0})
+
+    def test_total_of_unknown_metric_raises(self):
+        profile = make_profile()
+        with pytest.raises(SchemaError):
+            profile.total("nope")
+
+
+class TestPoints:
+    def test_point_arity_enforced(self):
+        profile = make_profile()
+        node = profile.cct.add_path([intern_frame("main")])
+        with pytest.raises(SchemaError, match="expects 3 contexts"):
+            profile.add_point(MonitoringPoint(
+                kind=PointKind.USE_REUSE, contexts=[node], values={}))
+
+    def test_point_column_checked(self):
+        profile = make_profile()
+        node = profile.cct.add_path([intern_frame("main")])
+        with pytest.raises(SchemaError):
+            profile.add_point(MonitoringPoint(
+                kind=PointKind.ALLOCATION, contexts=[node], values={9: 1.0}))
+
+    def test_points_of_kind(self):
+        profile = make_profile()
+        node = profile.cct.add_path([intern_frame("main")])
+        profile.add_point(MonitoringPoint(kind=PointKind.ALLOCATION,
+                                          contexts=[node], values={1: 8.0}))
+        profile.add_point(MonitoringPoint(kind=PointKind.DATA_RACE,
+                                          contexts=[node, node], values={}))
+        assert len(profile.points_of_kind(PointKind.ALLOCATION)) == 1
+        assert len(profile.points_of_kind(PointKind.DATA_RACE)) == 1
+
+    def test_snapshot_sequences_sorted_unique(self):
+        profile = make_profile()
+        node = profile.cct.add_path([intern_frame("main")])
+        for seq in (3, 1, 3, 2):
+            profile.add_point(MonitoringPoint(
+                kind=PointKind.ALLOCATION, contexts=[node],
+                values={1: 1.0}, sequence=seq))
+        assert profile.snapshot_sequences() == [1, 2, 3]
+
+    def test_point_primary_requires_contexts(self):
+        point = MonitoringPoint()
+        with pytest.raises(ValueError):
+            point.primary()
+
+    def test_point_value_default_zero(self):
+        point = MonitoringPoint(values={0: 5.0})
+        assert point.value(0) == 5.0
+        assert point.value(3) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self, simple_profile):
+        summary = simple_profile.summary()
+        assert summary["tool"] == "test"
+        assert summary["contexts"] == simple_profile.node_count()
+        assert "cpu" in summary["metrics"]
+        assert summary["max_depth"] == 3
+
+    def test_repr_mentions_tool(self, simple_profile):
+        assert "test" in repr(simple_profile)
+
+    def test_find_by_name(self, simple_profile):
+        assert len(simple_profile.find_by_name("work")) == 1

@@ -1,0 +1,96 @@
+"""Tests for EasyView binary (de)serialization of full profiles."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ProfileBuilder, dumps, loads
+from repro.builder.builder import ProfileBuilder as PB
+from repro.core.monitor import PointKind
+from repro.core.serialize import dump, load
+from repro.errors import FormatError
+
+
+class TestRoundTrip:
+    def test_simple_profile(self, simple_profile):
+        restored = loads(dumps(simple_profile))
+        assert restored.node_count() == simple_profile.node_count()
+        assert restored.total("cpu") == simple_profile.total("cpu")
+        assert restored.total("alloc") == simple_profile.total("alloc")
+        assert restored.meta.tool == "test"
+
+    def test_metric_descriptors_survive(self, simple_profile):
+        restored = loads(dumps(simple_profile))
+        assert restored.schema.names() == ["cpu", "alloc"]
+        assert restored.schema[0].unit == "nanoseconds"
+
+    def test_frame_attribution_survives(self, simple_profile):
+        restored = loads(dumps(simple_profile))
+        work = restored.find_by_name("work")[0]
+        assert work.frame.file == "app.c"
+        assert work.frame.line == 42
+
+    def test_snapshot_points_survive(self):
+        builder = ProfileBuilder(tool="t")
+        mem = builder.metric("inuse", unit="bytes")
+        for seq in (1, 2, 3):
+            builder.snapshot(seq, [("main", "m.c", 1)], {mem: 100.0 * seq})
+        profile = builder.build()
+        restored = loads(dumps(profile))
+        assert restored.snapshot_sequences() == [1, 2, 3]
+        assert restored.points[0].kind is PointKind.ALLOCATION
+
+    def test_multi_context_points_survive(self):
+        builder = ProfileBuilder(tool="t")
+        count = builder.metric("accesses")
+        builder.pair_point(PointKind.USE_REUSE,
+                           [[("main",), ("alloc",)],
+                            [("main",), ("use",)],
+                            [("main",), ("reuse",)]],
+                           {count: 9.0})
+        restored = loads(dumps(builder.build()))
+        point = restored.points[0]
+        assert point.kind is PointKind.USE_REUSE
+        names = [ctx.frame.name for ctx in point.contexts]
+        assert names == ["alloc", "use", "reuse"]
+        assert point.value(0) == 9.0
+
+    def test_file_roundtrip(self, tmp_path, simple_profile):
+        path = os.path.join(tmp_path, "p.ezvw")
+        dump(simple_profile, path)
+        restored = load(path)
+        assert restored.total("cpu") == simple_profile.total("cpu")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FormatError):
+            loads(b"EZVW" + b"\x01" + b"\x05" + b"\xff\xff\xff\xff\xff")
+
+
+@st.composite
+def random_profiles(draw):
+    builder = PB(tool=draw(st.sampled_from(["a", "b"])))
+    metric = builder.metric("m")
+    n_samples = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_samples):
+        depth = draw(st.integers(min_value=1, max_value=5))
+        stack = [("f%d" % draw(st.integers(0, 4)), "s.c",
+                  draw(st.integers(1, 3)))
+                 for _ in range(depth)]
+        builder.sample(stack, {metric: float(draw(st.integers(1, 1000)))})
+    return builder.build()
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(random_profiles())
+    def test_structure_and_totals_preserved(self, profile):
+        restored = loads(dumps(profile))
+        assert restored.node_count() == profile.node_count()
+        assert restored.total("m") == pytest.approx(profile.total("m"))
+        # Per-context exclusive values match by call path.
+        original = {tuple(f.key() for f in node.call_path()):
+                    node.exclusive(0) for node in profile.nodes()}
+        for node in restored.nodes():
+            key = tuple(f.key() for f in node.call_path())
+            assert original[key] == pytest.approx(node.exclusive(0))

@@ -1,0 +1,66 @@
+"""Tests for the string interning table."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.strings import StringTable
+
+
+class TestStringTable:
+    def test_empty_string_is_index_zero(self):
+        table = StringTable()
+        assert table.intern("") == 0
+        assert table.lookup(0) == ""
+
+    def test_intern_is_idempotent(self):
+        table = StringTable()
+        first = table.intern("hello")
+        second = table.intern("hello")
+        assert first == second
+        assert len(table) == 2
+
+    def test_indices_are_sequential(self):
+        table = StringTable()
+        assert [table.intern(s) for s in ("a", "b", "c")] == [1, 2, 3]
+
+    def test_lookup_out_of_range_returns_empty(self):
+        table = StringTable()
+        assert table.lookup(99) == ""
+        assert table.lookup(-1) == ""
+
+    def test_contains(self):
+        table = StringTable()
+        table.intern("x")
+        assert "x" in table
+        assert "y" not in table
+
+    def test_as_list_preserves_order(self):
+        table = StringTable()
+        table.intern("b")
+        table.intern("a")
+        assert table.as_list() == ["", "b", "a"]
+
+    def test_from_list_roundtrip(self):
+        table = StringTable()
+        for s in ("alpha", "beta", "alpha"):  # duplicate intern
+            table.intern(s)
+        rebuilt = StringTable.from_list(table.as_list())
+        assert rebuilt.as_list() == table.as_list()
+        assert rebuilt.intern("alpha") == table.intern("alpha")
+
+    def test_from_list_forces_empty_slot_zero(self):
+        rebuilt = StringTable.from_list(["junk", "a"])
+        assert rebuilt.lookup(0) == ""
+        assert rebuilt.lookup(1) == "a"
+
+    @given(st.lists(st.text(max_size=20), max_size=50))
+    def test_lookup_inverts_intern(self, strings):
+        table = StringTable()
+        for s in strings:
+            assert table.lookup(table.intern(s)) == s
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1,
+                    max_size=30, unique=True))
+    def test_distinct_strings_get_distinct_indices(self, strings):
+        table = StringTable()
+        indices = [table.intern(s) for s in strings]
+        assert len(set(indices)) == len(strings)

@@ -1,0 +1,40 @@
+"""Every example script must run clean end to end.
+
+The examples are executable documentation; breaking one breaks the
+quickstart experience, so they run as tests (stdout suppressed, artifacts
+written to a scratch directory).
+"""
+
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob(
+        "*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    examples_dir = (pathlib.Path(__file__).resolve().parent.parent
+                    / "examples")
+    # Run from a scratch copy so generated .svg/.html artifacts land in
+    # tmp_path, not the repository.
+    target = tmp_path / script
+    shutil.copy(examples_dir / script, target)
+    completed = subprocess.run(
+        [sys.executable, str(target)],
+        capture_output=True, text=True, timeout=180,
+        cwd=str(tmp_path))
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES

@@ -1,0 +1,134 @@
+"""Tests for annotation builders: code lenses, hovers, decorations,
+floating windows."""
+
+import pytest
+
+from repro.analysis.transform import top_down
+from repro.ide.annotations import (build_code_lenses, build_decorations,
+                                   build_floating_window, build_hover,
+                                   line_attribution)
+
+
+class TestLineAttribution:
+    def test_values_bucketed_per_line(self, simple_profile):
+        table = line_attribution(top_down(simple_profile))
+        assert table[("app.c", 42)][0] == 200.0   # work's exclusive cpu
+        assert table[("app.c", 60)][0] == 700.0   # inner
+
+    def test_lines_without_mapping_skipped(self):
+        from repro import ProfileBuilder
+        builder = ProfileBuilder()
+        builder.metric("m")
+        builder.sample(["anonymous"], {0: 5.0})
+        table = line_attribution(top_down(builder.build()))
+        assert table == {}
+
+
+class TestCodeLenses:
+    def test_one_lens_per_measured_line(self, simple_profile):
+        # main (line 10) has no exclusive cost, so no lens appears there.
+        lenses = build_code_lenses(top_down(simple_profile))
+        lines = {lens.line for lens in lenses}
+        assert lines == {42, 60, 77}
+
+    def test_lens_text_shows_metric_and_share(self, simple_profile):
+        lenses = build_code_lenses(top_down(simple_profile), file="app.c")
+        work_lens = [l for l in lenses if l.line == 42][0]
+        assert "cpu" in work_lens.text
+        assert "20.0%" in work_lens.text
+
+    def test_file_filter(self, simple_profile):
+        assert build_code_lenses(top_down(simple_profile),
+                                 file="other.c") == []
+
+    def test_min_fraction_suppresses_noise(self, simple_profile):
+        lenses = build_code_lenses(top_down(simple_profile),
+                                   min_fraction=0.5)
+        # inner holds 70% of cpu; line 42 holds 100% of alloc.
+        assert {l.line for l in lenses} == {42, 60}
+
+
+class TestHover:
+    def test_hover_lists_all_metrics(self, simple_profile):
+        hover = build_hover(top_down(simple_profile), "app.c", 42)
+        assert hover is not None
+        text = "\n".join(hover.lines)
+        assert "cpu" in text and "alloc" in text
+        assert "% of program" in text
+
+    def test_hover_none_for_cold_line(self, simple_profile):
+        assert build_hover(top_down(simple_profile), "app.c", 999) is None
+
+    def test_hover_tips_appended(self, simple_profile):
+        hover = build_hover(top_down(simple_profile), "app.c", 42,
+                            tips=["consider pooling"])
+        assert any("consider pooling" in line for line in hover.lines)
+
+
+class TestDecorations:
+    def test_intensity_proportional_to_share(self, simple_profile):
+        decorations = build_decorations(top_down(simple_profile))
+        by_line = {d.line: d for d in decorations}
+        assert by_line[60].intensity == 1.0            # hottest line
+        assert by_line[42].intensity == pytest.approx(200 / 700)
+
+    def test_empty_profile_no_decorations(self):
+        from repro import ProfileBuilder
+        builder = ProfileBuilder()
+        builder.metric("m")
+        assert build_decorations(top_down(builder.build())) == []
+
+
+class TestFloatingWindow:
+    def test_window_summarizes_whole_profile(self, simple_profile):
+        window = build_floating_window(top_down(simple_profile))
+        assert "total cpu" in window.body
+        assert "contexts:" in window.body
+        assert "Hottest contexts" in window.body
+
+
+class TestAssemblyLenses:
+    def build_instruction_profile(self):
+        """A compiler-developer profile: statements carry instructions."""
+        from repro import ProfileBuilder
+        from repro.core.frame import FrameKind, intern_frame
+        builder = ProfileBuilder(tool="drcctprof")
+        cycles = builder.metric("cycles", unit="count")
+        base = [("main", "kern.c", 4), ("saxpy", "kern.c", 20)]
+        builder.sample(base, {cycles: 10.0})
+        for address, opcode, cost in ((0x4005a0, "vmulps %ymm1,%ymm0",
+                                       900.0),
+                                      (0x4005a4, "vaddps %ymm2,%ymm0",
+                                       700.0),
+                                      (0x4005a8, "vmovups %ymm0,(%rdi)",
+                                       150.0)):
+            builder.sample(
+                base + [intern_frame(opcode, file="kern.c", line=21,
+                                     address=address,
+                                     kind=FrameKind.INSTRUCTION)],
+                {cycles: cost})
+        return builder.build()
+
+    def test_lens_carries_assembly(self):
+        from repro.analysis.transform import top_down
+        profile = self.build_instruction_profile()
+        lenses = build_code_lenses(top_down(profile), file="kern.c")
+        by_line = {lens.line: lens for lens in lenses}
+        assert 21 in by_line
+        assembly = by_line[21].assembly
+        assert len(assembly) == 3
+        # Hottest instruction first, with its address.
+        assert assembly[0].startswith("0x4005a0")
+        assert "vmulps" in assembly[0]
+
+    def test_assembly_suppressed_on_request(self):
+        from repro.analysis.transform import top_down
+        profile = self.build_instruction_profile()
+        lenses = build_code_lenses(top_down(profile), file="kern.c",
+                                   with_assembly=False)
+        assert all(not lens.assembly for lens in lenses)
+
+    def test_profiles_without_instructions_unaffected(self, simple_profile):
+        from repro.analysis.transform import top_down
+        lenses = build_code_lenses(top_down(simple_profile))
+        assert all(lens.assembly == [] for lens in lenses)

@@ -1,0 +1,69 @@
+"""Tests for the editor host presets: every view degrades gracefully
+across the capability spectrum."""
+
+import pytest
+
+from repro.ide.hosts import HOSTS, host, make_ide
+from repro.ide.protocol import (IDE_CODE_LENS, IDE_FLOATING_WINDOW,
+                                IDE_HOVER, IDE_OPEN_DOCUMENT)
+
+
+class TestPresets:
+    def test_known_hosts(self):
+        assert {"vscode", "jetbrains", "eclipse", "vim"} <= set(HOSTS)
+
+    def test_unknown_host_rejected(self):
+        with pytest.raises(KeyError):
+            host("notepad")
+
+    def test_code_link_universal(self):
+        # Code link is the one mandatory action (§VI-B).
+        for profile in HOSTS.values():
+            assert profile.capabilities.code_link
+
+    def test_vscode_has_everything(self):
+        caps = host("vscode").capabilities
+        assert caps.code_lens and caps.hover
+        assert caps.floating_window and caps.decorations
+
+    def test_vim_has_only_code_link(self):
+        caps = host("vim").capabilities
+        assert not (caps.code_lens or caps.hover or caps.floating_window
+                    or caps.decorations)
+
+
+@pytest.mark.parametrize("host_name", sorted(HOSTS))
+class TestDegradation:
+    def test_full_session_on_every_host(self, host_name, simple_profile):
+        """The same workflow runs on every host; optional actions appear
+        only where the host can render them."""
+        ide = make_ide(host_name)
+        opened = ide.session.open(simple_profile)
+        tree = ide.session.view(opened.id, "top_down")
+        caps = host(host_name).capabilities
+
+        # Mandatory: the code link always fires.
+        work = tree.find_by_name("work")[0]
+        link = ide.session.select(opened.id, work)
+        assert link is not None
+        assert ide.actions_of(IDE_OPEN_DOCUMENT)
+
+        # Optional actions follow the capability matrix exactly.
+        lens_count = ide.session.show_code_lenses(opened.id, "top_down")
+        assert (lens_count > 0) == caps.code_lens
+        hover = ide.session.show_hover(opened.id, "top_down", "app.c", 42)
+        assert (hover is not None) == caps.hover
+        ide.session.show_summary(opened.id)
+        assert bool(ide.actions_of(IDE_FLOATING_WINDOW)) == \
+            caps.floating_window
+
+    def test_search_and_shapes_everywhere(self, host_name, simple_profile):
+        """Analysis features are host-independent."""
+        ide = make_ide(host_name)
+        opened = ide.session.open(simple_profile)
+        result = ide.request("view/search", profileId=opened.id,
+                             pattern="work")
+        assert result["matches"]
+        for shape in ("top_down", "bottom_up", "flat"):
+            assert ide.request("view/switchShape", profileId=opened.id,
+                               shape=shape)["blocks"] > 0

@@ -1,0 +1,61 @@
+"""Tests for the Profile View Protocol message layer."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ide import protocol as pvp
+
+
+class TestRequests:
+    def test_request_roundtrip(self):
+        request = pvp.Request(method="view/open",
+                              params={"path": "/p.pb.gz"}, id=7)
+        parsed = pvp.parse_message(request.to_json())
+        assert isinstance(parsed, pvp.Request)
+        assert parsed.method == "view/open"
+        assert parsed.params == {"path": "/p.pb.gz"}
+        assert parsed.id == 7
+
+    def test_notification_has_no_id(self):
+        note = pvp.Request(method="ide/showHover", params={})
+        assert note.is_notification
+        parsed = pvp.parse_message(note.to_json())
+        assert parsed.id is None
+
+    def test_require_params(self):
+        request = pvp.Request(method="view/open", params={})
+        with pytest.raises(ProtocolError, match="requires parameters"):
+            pvp.require_params(request, "path")
+
+
+class TestResponses:
+    def test_success_roundtrip(self):
+        response = pvp.Response.success(3, {"ok": True})
+        parsed = pvp.parse_message(response.to_json())
+        assert isinstance(parsed, pvp.Response)
+        assert parsed.ok and parsed.result == {"ok": True}
+
+    def test_failure_roundtrip(self):
+        response = pvp.Response.failure(3, pvp.INVALID_PARAMS, "bad")
+        parsed = pvp.parse_message(response.to_json())
+        assert not parsed.ok
+        assert parsed.error["code"] == pvp.INVALID_PARAMS
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "not json",
+        "[1, 2]",
+        '{"jsonrpc": "1.0", "method": "x"}',
+        '{"jsonrpc": "2.0"}',
+        '{"jsonrpc": "2.0", "method": 5}',
+        '{"jsonrpc": "2.0", "method": "m", "params": [1]}',
+    ])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ProtocolError):
+            pvp.parse_message(text)
+
+    def test_method_namespaces_defined(self):
+        assert pvp.VIEW_OPEN in pvp.VIEW_METHODS
+        assert pvp.IDE_OPEN_DOCUMENT in pvp.IDE_METHODS
+        assert not (pvp.VIEW_METHODS & pvp.IDE_METHODS)

@@ -1,0 +1,78 @@
+"""Protocol robustness: arbitrary JSON-RPC traffic must fail cleanly.
+
+An editor plugin crashing its viewer over a malformed message is a
+usability disaster; the session must answer *every* request with either a
+result or a JSON-RPC error object.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.ide.protocol import Request, Response, parse_message
+from repro.ide.session import ViewerSession
+
+
+METHODS = ["view/open", "view/close", "view/switchShape", "view/select",
+           "view/click", "view/search", "view/hover", "view/zoom",
+           "view/summary", "view/diff", "view/aggregate",
+           "view/deriveMetric", "view/capabilities", "view/table",
+           "view/tableExpand", "view/export", "view/doesNotExist"]
+
+param_values = st.one_of(
+    st.none(), st.booleans(), st.integers(-10, 10 ** 6),
+    st.text(max_size=12), st.lists(st.integers(0, 5), max_size=3))
+
+
+class TestSessionFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(method=st.sampled_from(METHODS),
+           params=st.dictionaries(
+               st.sampled_from(["profileId", "nodeRef", "shape", "path",
+                                "pattern", "file", "line", "format",
+                                "name", "formula", "profileIds",
+                                "baselineId", "treatmentId", "maxRows",
+                                "capabilities", "metric", "hotPath"]),
+               param_values, max_size=5))
+    def test_every_request_gets_a_response(self, method, params):
+        session = ViewerSession()
+        request = Request(method=method, params=params, id=1)
+        response = session.handle(request)
+        assert isinstance(response, Response)
+        if not response.ok:
+            assert isinstance(response.error["code"], int)
+            assert isinstance(response.error["message"], str)
+        # The response must serialize back through the wire format.
+        parse_message(response.to_json())
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=120))
+    def test_parse_message_never_crashes(self, text):
+        try:
+            parse_message(text)
+        except ProtocolError:
+            pass
+
+    def test_open_profile_then_fuzz_refs(self, simple_profile):
+        """Requests against a live profile with wild node refs."""
+        session = ViewerSession()
+        opened = session.open(simple_profile)
+        for ref in (-1, 0, 10 ** 9):
+            response = session.handle(Request(
+                method="view/select",
+                params={"profileId": opened.id, "nodeRef": ref}, id=1))
+            if ref == 0:
+                continue  # ref 0 may or may not exist yet
+            assert not response.ok
+
+    def test_type_confusion_in_params(self, simple_profile):
+        session = ViewerSession()
+        opened = session.open(simple_profile)
+        for bad in ("abc", None, [1], {"x": 1}):
+            response = session.handle(Request(
+                method="view/switchShape",
+                params={"profileId": bad, "shape": "top_down"}, id=2))
+            assert isinstance(response, Response)
+            assert not response.ok

@@ -1,0 +1,72 @@
+"""Tests for the optimization tip engine and its hover integration."""
+
+import pytest
+
+from repro.ide.mock_ide import MockIDE
+from repro.ide.tips import TipEngine
+from repro.profilers.workloads import (false_sharing_workload,
+                                       grpc_client_profile,
+                                       lulesh_reuse_profile,
+                                       redundancy_workload)
+
+
+class TestBuiltinAdvisors:
+    def test_leak_tips_on_allocation_sites(self, grpc_profile):
+        tips = TipEngine().collect(grpc_profile)
+        # bufio.NewReaderSize allocates at bufio.go:60.
+        assert ("bufio.go", 60) in tips
+        assert any("potential leak" in t for t in tips[("bufio.go", 60)])
+        # The healthy passthrough site gets no leak tip.
+        leaky_only = [t for t in tips.get(("resolver.go", 21), [])
+                      if "potential leak" in t]
+        assert not leaky_only
+
+    def test_reuse_tips_on_use_and_reuse_sites(self, lulesh_reuse):
+        tips = TipEngine().collect(lulesh_reuse)
+        flat = [t for bucket in tips.values() for t in bucket]
+        assert any("fusing the loops" in t for t in flat)
+        assert any("CalcVolumeForceForElems" in t for t in flat)
+
+    def test_redundancy_tips(self):
+        tips = TipEngine().collect(redundancy_workload(scale=1))
+        assert ("solver.c", 80) in tips
+        assert any("dead store" in t for t in tips[("solver.c", 80)])
+
+    def test_sharing_tips(self):
+        tips = TipEngine().collect(false_sharing_workload(scale=1))
+        flat = [t for bucket in tips.values() for t in bucket]
+        assert any("pad or realign" in t for t in flat)
+
+    def test_clean_profile_has_no_tips(self, simple_profile):
+        assert TipEngine().collect(simple_profile) == {}
+
+    def test_tips_deduplicated(self, grpc_profile):
+        tips = TipEngine().collect(grpc_profile)
+        for bucket in tips.values():
+            assert len(bucket) == len(set(bucket))
+
+
+class TestCustomAdvisors:
+    def test_user_advisor_registered(self, simple_profile):
+        engine = TipEngine(include_builtin=False)
+        engine.add_advisor(
+            lambda profile: [("app.c", 42, "try caching this")])
+        assert engine.tips_for(simple_profile, "app.c", 42) == \
+            ["try caching this"]
+
+
+class TestHoverIntegration:
+    def test_hover_carries_leak_tip(self, grpc_profile):
+        ide = MockIDE()
+        opened = ide.session.open(grpc_profile)
+        hover = ide.session.show_hover(opened.id, "top_down",
+                                       "bufio.go", 60)
+        assert hover is not None
+        assert any("potential leak" in line for line in hover.lines)
+
+    def test_hover_without_findings_has_no_tips(self, simple_profile):
+        ide = MockIDE()
+        opened = ide.session.open(simple_profile)
+        hover = ide.session.show_hover(opened.id, "top_down", "app.c", 42)
+        assert hover is not None
+        assert not any("tip:" in line for line in hover.lines)

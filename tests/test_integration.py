@@ -1,0 +1,122 @@
+"""Cross-module integration tests: full pipelines from raw profiler output
+to rendered views and IDE actions."""
+
+import pytest
+
+from repro import ProfileBuilder, dumps, loads
+from repro.analysis.diff import diff_profiles, summarize
+from repro.analysis.formula import derive
+from repro.analysis.leak import detect_leaks
+from repro.analysis.transform import bottom_up, top_down
+from repro.converters import parse_bytes
+from repro.converters.collapsed import serialize as to_collapsed
+from repro.converters.pprof import to_pprof
+from repro.ide.mock_ide import MockIDE
+from repro.profilers.tracing import profile_callable
+from repro.proto import pprof_pb
+from repro.viz.flamegraph import CorrelatedView, FlameGraph
+from repro.viz.html import HtmlReport
+
+
+class TestFormatBridging:
+    def test_pprof_to_native_to_collapsed(self, small_pprof_bytes):
+        """pprof binary → EasyView model → native bytes → folded text."""
+        profile = parse_bytes(small_pprof_bytes, format="pprof")
+        native = dumps(profile)
+        restored = loads(native)
+        folded = to_collapsed(restored, metric="samples")
+        reparsed = parse_bytes(folded.encode(), format="collapsed")
+        assert reparsed.total("samples") == restored.total("samples")
+
+    def test_native_to_pprof_and_back(self, simple_profile):
+        """EasyView model → pprof binary → EasyView model."""
+        data = pprof_pb.dumps(to_pprof(simple_profile))
+        back = parse_bytes(data, format="pprof")
+        assert back.total("cpu") == simple_profile.total("cpu")
+        bu = bottom_up(back)
+        inner = [n for n in bu.root.children.values()
+                 if n.frame.name == "inner"]
+        assert inner and inner[0].inclusive[0] == 700.0
+
+
+class TestSelfProfilingPipeline:
+    def test_profile_python_render_and_link(self):
+        """Profile real Python code, render it, and code-link a frame."""
+
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        _, profile = profile_callable(fib, 12)
+        # Serialize through the native format like the real workflow would.
+        profile = loads(dumps(profile))
+        graph = FlameGraph.top_down(profile, metric="wall_time")
+        svg = graph.to_svg()
+        assert "fib" in svg
+        # Recursion collapses cleanly in analysis.
+        from repro.analysis.prune import collapse_recursion
+        from repro.analysis.query import search
+        collapsed = collapse_recursion(graph.tree)
+        assert len(search(collapsed, "fib")) <= len(search(graph.tree, "fib"))
+        # And the IDE session can code-link the frame to this test file.
+        ide = MockIDE()
+        opened = ide.session.open(profile)
+        tree = ide.session.view(opened.id, "top_down")
+        from repro.analysis.query import search
+        fib_node = search(tree, "fib")[0]   # qualname includes the class
+        link = ide.session.select(opened.id, fib_node)
+        assert link is not None
+        assert link.file.endswith("test_integration.py")
+
+
+class TestCaseStudyPipelines:
+    def test_memory_leak_study_end_to_end(self, grpc_profile):
+        """Fig. 4 flow: aggregate snapshots → histogram → leak verdicts →
+        code link to the leaky allocation site."""
+        verdicts = detect_leaks(grpc_profile, "inuse_bytes", min_peak=1.0)
+        leaky = [v for v in verdicts if v.suspicious]
+        assert leaky
+        ide = MockIDE()
+        opened = ide.session.open(grpc_profile)
+        tree = ide.session.view(opened.id, "top_down")
+        target = tree.find_by_name(leaky[0].context.frame.name)[0]
+        link = ide.session.select(opened.id, target)
+        assert link is not None and link.line > 0
+
+    def test_reuse_study_end_to_end(self, lulesh_reuse):
+        """Fig. 7 flow: correlated panes → fusion guidance."""
+        view = CorrelatedView(lulesh_reuse)
+        allocations = view.allocations()
+        assert allocations
+        uses = view.select_allocation(allocations[0][0])
+        assert uses
+        reuses = view.select_use(uses[0][0])
+        assert reuses
+        guidance = view.guidance()
+        assert any("fuse" in line for line in guidance)
+        text = view.render_text()
+        assert "allocations" in text and "▶" in text
+
+    def test_spark_diff_study_end_to_end(self, spark_pair):
+        """Fig. 3 flow: differential flame graph with tags + HTML export."""
+        rdd, sql = spark_pair
+        graph = FlameGraph.differential(rdd, sql)
+        assert graph.is_differential
+        svg = graph.to_svg()
+        assert "Differential" in svg
+        tags = summarize(graph.tree)
+        assert tags.get("A") and tags.get("D")
+        report = HtmlReport("spark rdd vs sql")
+        report.add_flamegraph(graph)
+        assert "<svg" in report.render()
+
+    def test_derived_metric_on_aggregate_view(self, simple_profile):
+        """§V-B flow: aggregate two runs, derive a per-run-mean ratio."""
+        from repro.analysis.aggregate import aggregate_profiles
+        tree = aggregate_profiles([simple_profile, simple_profile])
+        index = derive(tree, "cpu_spread", "cpu:max - cpu:min")
+        assert tree.root.inclusive[index] == 0.0  # identical runs
+
+    def test_validation_after_every_converter(self, small_pprof_bytes):
+        from repro.builder import validate
+        profile = parse_bytes(small_pprof_bytes)
+        assert validate(profile).ok

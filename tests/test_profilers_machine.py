@@ -1,0 +1,106 @@
+"""Tests for the synthetic program machine and corpus generator."""
+
+import pytest
+
+from repro.errors import EasyViewError
+from repro.profilers.corpus import TIERS, generate, generate_bytes, tier
+from repro.profilers.machine import Callee, Func, ProgramMachine
+from repro.proto import pprof_pb
+
+
+class TestMachine:
+    def simple_program(self):
+        return [
+            Func("main", "m.c", 1, "app",
+                 callees=[Callee("work", calls=2), Callee("idle")]),
+            Func("work", "m.c", 10, "app", self_cost=100.0,
+                 callees=[Callee("inner")]),
+            Func("inner", "m.c", 20, "app", self_cost=50.0),
+            Func("idle", "m.c", 30, "app", self_cost=25.0),
+        ]
+
+    def test_deterministic(self):
+        p1 = ProgramMachine(self.simple_program(), seed=1).run()
+        p2 = ProgramMachine(self.simple_program(), seed=1).run()
+        assert p1.total("cpu") == p2.total("cpu")
+
+    def test_call_counts_multiply(self):
+        profile = ProgramMachine(self.simple_program()).run()
+        work = profile.find_by_name("work")[0]
+        assert work.exclusive(0) == 200.0     # 100 × 2 calls
+        inner = profile.find_by_name("inner")[0]
+        assert inner.exclusive(0) == 100.0    # 50 × 2 (inherited count)
+
+    def test_jitter_bounded(self):
+        base = ProgramMachine(self.simple_program(), jitter=0.0).run()
+        jittered = ProgramMachine(self.simple_program(), seed=5,
+                                  jitter=0.1).run()
+        for node in jittered.nodes():
+            if not node.metrics:
+                continue
+            twin = [n for n in base.find_by_name(node.frame.name)
+                    if n.depth() == node.depth()]
+            assert twin
+            ratio = node.exclusive(0) / twin[0].exclusive(0)
+            assert 0.9 <= ratio <= 1.1
+
+    def test_recursion_bounded(self):
+        program = [
+            Func("main", callees=[Callee("rec")]),
+            Func("rec", self_cost=1.0, callees=[Callee("rec")]),
+        ]
+        profile = ProgramMachine(program).run(max_cycle_depth=3)
+        assert len(profile.find_by_name("rec")) == 3
+
+    def test_undefined_callee_rejected(self):
+        with pytest.raises(EasyViewError, match="undefined function"):
+            ProgramMachine([Func("main", callees=[Callee("ghost")])])
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(EasyViewError, match="duplicate"):
+            ProgramMachine([Func("main"), Func("main")])
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(EasyViewError, match="entry"):
+            ProgramMachine([Func("main")], entry="other")
+
+    def test_snapshots_emitted_with_decay(self):
+        program = [Func("main", callees=[Callee("alloc_site")]),
+                   Func("alloc_site", self_cost=1.0, alloc_bytes=1000.0)]
+        machine = ProgramMachine(program)
+        profile = machine.run(snapshots=4,
+                              snapshot_decay={"alloc_site":
+                                              [1.0, 0.5, 0.25, 0.1]})
+        assert profile.snapshot_sequences() == [1, 2, 3, 4]
+        from repro.analysis.aggregate import snapshot_totals
+        totals = snapshot_totals(profile, "inuse_bytes")
+        assert totals == pytest.approx([1000.0, 500.0, 250.0, 100.0])
+
+
+class TestCorpus:
+    def test_tier_lookup(self):
+        assert tier("small").name == "small"
+        with pytest.raises(KeyError):
+            tier("gigantic")
+
+    def test_sizes_strictly_increase(self):
+        sizes = [len(generate_bytes(spec)) for spec in TIERS[:3]]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_generated_profile_is_valid_pprof(self, small_pprof_bytes):
+        message = pprof_pb.loads(small_pprof_bytes)
+        assert len(message.sample) == tier("small").samples
+        assert len(message.function) == tier("small").functions
+        location_ids = {loc.id for loc in message.location}
+        for sample in message.sample[:100]:
+            assert all(lid in location_ids for lid in sample.location_id)
+
+    def test_deterministic_per_seed(self):
+        assert generate_bytes(tier("small")) == generate_bytes(tier("small"))
+
+    def test_write_corpus(self, tmp_path):
+        from repro.profilers.corpus import write_corpus
+        paths = write_corpus(str(tmp_path), TIERS[:1])
+        assert set(paths) == {"small"}
+        data = open(paths["small"], "rb").read()
+        assert pprof_pb.loads(data).sample

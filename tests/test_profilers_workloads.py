@@ -1,0 +1,87 @@
+"""Tests asserting the paper-shaped properties of each workload."""
+
+import pytest
+
+from repro.analysis.transform import bottom_up, top_down
+from repro.profilers.workloads import (lulesh_fused_profile, lulesh_profile,
+                                       spark_profile)
+
+
+class TestGrpcWorkload:
+    def test_leaky_contexts_on_client_creation_path(self, grpc_profile):
+        reader = grpc_profile.find_by_name("bufio.NewReaderSize")[0]
+        path = [f.name for f in reader.call_path()]
+        assert "grpc.Dial" in path
+        assert "transport.newHTTP2Client" in path
+
+    def test_snapshot_series_present(self, grpc_profile):
+        assert len(grpc_profile.snapshot_sequences()) == 12
+
+    def test_memory_metrics_declared(self, grpc_profile):
+        assert "alloc_bytes" in grpc_profile.schema
+        assert "inuse_bytes" in grpc_profile.schema
+
+
+class TestLuleshWorkload:
+    def test_brk_is_hottest_bottom_up_leaf(self, lulesh):
+        tree = bottom_up(lulesh)
+        hottest = max(tree.root.children.values(),
+                      key=lambda n: n.inclusive[0])
+        assert hottest.frame.name == "brk"
+        assert hottest.frame.module == "libc-2.31.so"
+
+    def test_brk_reached_from_multiple_call_paths(self, lulesh):
+        brk_contexts = lulesh.find_by_name("brk")
+        assert len(brk_contexts) > 4
+
+    def test_hotspot_functions_present_top_down(self, lulesh):
+        tree = top_down(lulesh)
+        for name in ("CalcVolumeForceForElems",
+                     "CalcHourglassForceForElems"):
+            assert tree.find_by_name(name)
+
+    def test_tcmalloc_swap_speedup_about_30_percent(self):
+        libc = lulesh_profile(scale=4).total("cpu_time")
+        tcmalloc = lulesh_profile(scale=4,
+                                  allocator="tcmalloc").total("cpu_time")
+        speedup = libc / tcmalloc
+        assert 1.2 <= speedup <= 1.45   # paper: ≈30%
+
+    def test_fusion_speedup_about_28_percent(self):
+        before = lulesh_profile(scale=4).total("cpu_time")
+        after = lulesh_fused_profile(scale=4).total("cpu_time")
+        speedup = before / after
+        assert 1.18 <= speedup <= 1.45   # paper: ≈28%
+
+    def test_bad_allocator_rejected(self):
+        with pytest.raises(ValueError):
+            lulesh_profile(allocator="jemalloc")
+
+
+class TestSparkWorkload:
+    def test_sql_outperforms_rdd(self, spark_pair):
+        rdd, sql = spark_pair
+        ratio = rdd.total("cpu") / sql.total("cpu")
+        assert 1.5 <= ratio <= 3.0
+
+    def test_common_executor_scaffolding_shared(self, spark_pair):
+        rdd, sql = spark_pair
+        for profile in spark_pair:
+            assert profile.find_by_name("Executor$TaskRunner.run")
+            assert profile.find_by_name("ShuffleMapTask.runTask")
+
+    def test_variant_specific_contexts(self, spark_pair):
+        rdd, sql = spark_pair
+        assert rdd.find_by_name("CartesianRDD.compute")
+        assert not sql.find_by_name("CartesianRDD.compute")
+        assert sql.find_by_name("WholeStageCodegenExec.doExecute")
+        assert not rdd.find_by_name("WholeStageCodegenExec.doExecute")
+
+    def test_api_attribute_recorded(self, spark_pair):
+        rdd, sql = spark_pair
+        assert rdd.meta.attributes["api"] == "rdd"
+        assert sql.meta.attributes["api"] == "sql"
+
+    def test_bad_api_rejected(self):
+        with pytest.raises(ValueError):
+            spark_profile("dataframe")

@@ -1,0 +1,227 @@
+"""Property-based tests of cross-module invariants.
+
+These encode the algebraic laws the views rely on: transforms conserve
+totals, aggregation is linear, diffing partitions contexts, pruning and
+truncation conserve mass, and flame-graph geometry nests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.builder.builder import ProfileBuilder
+from repro.analysis.aggregate import aggregate_profiles
+from repro.analysis.diff import diff_profiles, summarize
+from repro.analysis.prune import collapse_recursion, prune, truncate_depth
+from repro.analysis.transform import bottom_up, flat, top_down
+from repro.viz.layout import layout, layout_profile
+
+# -- profile generator ---------------------------------------------------------
+
+_NAMES = "abcdefg"
+
+
+@st.composite
+def profiles(draw, max_samples=15):
+    builder = ProfileBuilder(tool="prop")
+    metric = builder.metric("m")
+    n = draw(st.integers(min_value=1, max_value=max_samples))
+    for _ in range(n):
+        depth = draw(st.integers(min_value=1, max_value=6))
+        stack = [(draw(st.sampled_from(_NAMES)), "p.c",
+                  draw(st.integers(1, 3)))
+                 for _ in range(depth)]
+        value = draw(st.integers(min_value=1, max_value=10_000))
+        builder.sample(stack, {metric: float(value)})
+    return builder.build()
+
+
+def total(profile):
+    return profile.total("m")
+
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestTransformConservation:
+    @SETTINGS
+    @given(profiles())
+    def test_top_down_conserves_total(self, profile):
+        assert top_down(profile).total(0) == pytest.approx(total(profile))
+
+    @SETTINGS
+    @given(profiles())
+    def test_bottom_up_conserves_total(self, profile):
+        assert bottom_up(profile).total(0) == pytest.approx(total(profile))
+
+    @SETTINGS
+    @given(profiles())
+    def test_flat_exclusive_conserves_total(self, profile):
+        tree = flat(profile)
+        assert tree.root.exclusive.get(0, 0.0) == pytest.approx(
+            total(profile))
+
+    @SETTINGS
+    @given(profiles())
+    def test_children_never_exceed_parent(self, profile):
+        tree = top_down(profile)
+        for node in tree.nodes():
+            child_sum = sum(c.inclusive.get(0, 0.0)
+                            for c in node.children.values())
+            assert child_sum <= node.inclusive.get(0, 0.0) + 1e-6
+
+    @SETTINGS
+    @given(profiles())
+    def test_bottom_up_first_level_is_exclusive_partition(self, profile):
+        tree = bottom_up(profile)
+        level1 = sum(c.inclusive.get(0, 0.0)
+                     for c in tree.root.children.values())
+        assert level1 == pytest.approx(total(profile))
+
+
+class TestPruneConservation:
+    @SETTINGS
+    @given(profiles(), st.floats(min_value=0.0, max_value=0.5))
+    def test_prune_conserves_total(self, profile, fraction):
+        tree = top_down(profile)
+        pruned = prune(tree, min_fraction=fraction)
+        assert pruned.total(0) == pytest.approx(tree.total(0))
+        assert pruned.node_count() <= tree.node_count() + sum(
+            1 for n in pruned.nodes() if n.frame.name == "<pruned>")
+
+    @SETTINGS
+    @given(profiles(), st.integers(min_value=1, max_value=5))
+    def test_truncate_conserves_total(self, profile, depth):
+        tree = top_down(profile)
+        cut = truncate_depth(tree, depth)
+        assert cut.total(0) == pytest.approx(tree.total(0))
+        assert all(n.depth() <= depth for n in cut.nodes())
+
+    @SETTINGS
+    @given(profiles())
+    def test_collapse_recursion_conserves_exclusive(self, profile):
+        tree = top_down(profile)
+        collapsed = collapse_recursion(tree)
+        before = sum(n.exclusive.get(0, 0.0) for n in tree.nodes())
+        after = sum(n.exclusive.get(0, 0.0) for n in collapsed.nodes())
+        assert after == pytest.approx(before)
+
+    @SETTINGS
+    @given(profiles())
+    def test_collapse_removes_self_nesting(self, profile):
+        collapsed = collapse_recursion(top_down(profile))
+        for node in collapsed.nodes():
+            for child in node.children.values():
+                assert child.frame.merge_key() != node.frame.merge_key()
+
+
+class TestAggregateLinearity:
+    @SETTINGS
+    @given(profiles(max_samples=8), profiles(max_samples=8))
+    def test_sum_column_is_sum_of_totals(self, p1, p2):
+        tree = aggregate_profiles([p1, p2])
+        column = tree.schema.index_of("m:sum")
+        assert tree.root.inclusive[column] == pytest.approx(
+            total(p1) + total(p2))
+
+    @SETTINGS
+    @given(profiles(max_samples=8))
+    def test_self_aggregation_doubles(self, profile):
+        tree = aggregate_profiles([profile, profile])
+        column = tree.schema.index_of("m:sum")
+        mean_column = tree.schema.index_of("m:mean")
+        for node in tree.nodes():
+            if column in node.inclusive:
+                assert node.inclusive[column] == pytest.approx(
+                    2 * node.inclusive[mean_column])
+
+    @SETTINGS
+    @given(profiles(max_samples=8))
+    def test_min_le_mean_le_max(self, profile):
+        other = ProfileBuilder(tool="x")
+        other.metric("m")
+        tree = aggregate_profiles([profile, other.build()])
+        schema = tree.schema
+        for node in tree.nodes():
+            lo = node.inclusive.get(schema.index_of("m:min"), 0.0)
+            mid = node.inclusive.get(schema.index_of("m:mean"), 0.0)
+            hi = node.inclusive.get(schema.index_of("m:max"), 0.0)
+            assert lo <= mid + 1e-9 and mid <= hi + 1e-9
+
+
+class TestDiffPartition:
+    @SETTINGS
+    @given(profiles(max_samples=8), profiles(max_samples=8))
+    def test_every_node_tagged(self, p1, p2):
+        tree = diff_profiles(p1, p2)
+        for node in tree.nodes():
+            if node is tree.root:
+                continue
+            assert node.tag in ("A", "D", "+", "-", "=")
+
+    @SETTINGS
+    @given(profiles(max_samples=8))
+    def test_self_diff_is_all_same(self, profile):
+        tree = diff_profiles(profile, profile)
+        assert set(summarize(tree)) <= {"="}
+
+    @SETTINGS
+    @given(profiles(max_samples=8), profiles(max_samples=8))
+    def test_diff_antisymmetry(self, p1, p2):
+        forward = summarize(diff_profiles(p1, p2))
+        backward = summarize(diff_profiles(p2, p1))
+        assert forward.get("A", 0) == backward.get("D", 0)
+        assert forward.get("D", 0) == backward.get("A", 0)
+        assert forward.get("+", 0) == backward.get("-", 0)
+
+    @SETTINGS
+    @given(profiles(max_samples=8), profiles(max_samples=8))
+    def test_delta_sums_to_total_difference(self, p1, p2):
+        tree = diff_profiles(p1, p2)
+        assert tree.root.delta(0) == pytest.approx(total(p2) - total(p1))
+
+
+class TestLayoutGeometry:
+    @SETTINGS
+    @given(profiles())
+    def test_blocks_nest_within_parents(self, profile):
+        flame = layout(top_down(profile), min_width=0.0)
+        for rect in flame.rects:
+            parent = rect.node.parent
+            if parent is None:
+                continue
+            parent_rects = [r for r in flame.rects if r.node is parent]
+            assert parent_rects
+            parent_rect = parent_rects[0]
+            assert rect.x >= parent_rect.x - 1e-6
+            assert rect.x + rect.width <= \
+                parent_rect.x + parent_rect.width + 1e-6
+
+    @SETTINGS
+    @given(profiles())
+    def test_lazy_equals_eager(self, profile):
+        lazy = layout_profile(profile, min_width=0.0)
+        eager = layout(top_down(profile), min_width=0.0)
+        assert lazy.laid_out_nodes == eager.laid_out_nodes
+        assert lazy.total_value == pytest.approx(eager.total_value)
+
+    @SETTINGS
+    @given(profiles(), st.floats(min_value=0.5, max_value=50.0))
+    def test_min_width_monotone(self, profile, cutoff):
+        tree = top_down(profile)
+        fine = layout(tree, min_width=0.0)
+        coarse = layout(tree, min_width=cutoff)
+        assert coarse.laid_out_nodes <= fine.laid_out_nodes
+        assert all(r.width >= cutoff for r in coarse.rects
+                   if r.depth > 0)
+
+
+class TestSerializationIdempotence:
+    @SETTINGS
+    @given(profiles(max_samples=8))
+    def test_double_roundtrip_stable(self, profile):
+        from repro.core.serialize import dumps, loads
+        once = dumps(loads(dumps(profile)))
+        twice = dumps(loads(once))
+        assert once == twice

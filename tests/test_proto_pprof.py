@@ -1,0 +1,150 @@
+"""Tests for the hand-written pprof profile.proto implementation."""
+
+import gzip
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.proto import pprof_pb, wire
+
+
+def build_reference_profile() -> pprof_pb.Profile:
+    profile = pprof_pb.Profile()
+    profile.string_table = ["", "cpu", "nanoseconds", "main", "work",
+                            "app.go", "/usr/bin/app", "samples", "count"]
+    profile.sample_type = [pprof_pb.ValueType(type=1, unit=2),
+                           pprof_pb.ValueType(type=7, unit=8)]
+    profile.mapping = [pprof_pb.Mapping(id=1, memory_start=0x1000,
+                                        memory_limit=0x9000, filename=6,
+                                        has_functions=True)]
+    profile.function = [
+        pprof_pb.Function(id=1, name=3, system_name=3, filename=5,
+                          start_line=10),
+        pprof_pb.Function(id=2, name=4, system_name=4, filename=5,
+                          start_line=40),
+    ]
+    profile.location = [
+        pprof_pb.Location(id=1, mapping_id=1, address=0x1234,
+                          line=[pprof_pb.Line(function_id=1, line=12)]),
+        pprof_pb.Location(id=2, mapping_id=1, address=0x2234,
+                          line=[pprof_pb.Line(function_id=2, line=44)]),
+    ]
+    profile.sample = [
+        pprof_pb.Sample(location_id=[2, 1], value=[1200, 3]),
+        pprof_pb.Sample(location_id=[1], value=[500, 1],
+                        label=[pprof_pb.Label(key=1, num=9)]),
+    ]
+    profile.period_type = pprof_pb.ValueType(type=1, unit=2)
+    profile.period = 10_000_000
+    profile.time_nanos = 1_700_000_000
+    profile.duration_nanos = 2_000_000_000
+    return profile
+
+
+class TestRoundTrip:
+    def test_full_profile_roundtrip(self):
+        original = build_reference_profile()
+        parsed = pprof_pb.Profile.parse(original.serialize())
+        assert parsed.string_table == original.string_table
+        assert len(parsed.sample) == 2
+        assert parsed.sample[0].location_id == [2, 1]
+        assert parsed.sample[0].value == [1200, 3]
+        assert parsed.sample[1].label[0].num == 9
+        assert parsed.mapping[0].has_functions is True
+        assert parsed.location[1].line[0].line == 44
+        assert parsed.period == 10_000_000
+        assert parsed.time_nanos == 1_700_000_000
+
+    def test_gzip_framing(self):
+        original = build_reference_profile()
+        compressed = pprof_pb.dumps(original, compress=True)
+        assert compressed[:2] == pprof_pb.GZIP_MAGIC
+        parsed = pprof_pb.loads(compressed)
+        assert parsed.string_table == original.string_table
+
+    def test_uncompressed_accepted(self):
+        original = build_reference_profile()
+        raw = pprof_pb.dumps(original, compress=False)
+        assert raw[:2] != pprof_pb.GZIP_MAGIC
+        assert pprof_pb.loads(raw).period == original.period
+
+    def test_double_roundtrip_is_stable(self):
+        original = build_reference_profile()
+        once = pprof_pb.Profile.parse(original.serialize())
+        twice = pprof_pb.Profile.parse(once.serialize())
+        assert once.serialize() == twice.serialize()
+
+
+class TestWireCompatibility:
+    def test_unpacked_repeated_ints_accepted(self):
+        # proto2 emitters write repeated ints unpacked; both must parse.
+        writer = wire.Writer()
+        writer.varint(1, 5)   # location_id, unpacked
+        writer.varint(1, 6)
+        writer.varint(2, 100)  # value, unpacked
+        sample = pprof_pb.Sample.parse(writer.getvalue())
+        assert sample.location_id == [5, 6]
+        assert sample.value == [100]
+
+    def test_packed_repeated_ints_roundtrip(self):
+        sample = pprof_pb.Sample(location_id=[1, 2, 3], value=[7, -8])
+        parsed = pprof_pb.Sample.parse(sample.serialize())
+        assert parsed.location_id == [1, 2, 3]
+        assert parsed.value == [7, -8]
+
+    def test_unknown_fields_skipped(self):
+        base = pprof_pb.ValueType(type=3, unit=4).serialize()
+        extra = wire.Writer().string(99, "future").getvalue()
+        parsed = pprof_pb.ValueType.parse(base + extra)
+        assert (parsed.type, parsed.unit) == (3, 4)
+
+    def test_empty_string_table_defaults(self):
+        parsed = pprof_pb.Profile.parse(b"")
+        assert parsed.string_table == [""]
+
+    def test_string_helper_tolerates_bad_index(self):
+        profile = build_reference_profile()
+        assert profile.string(10_000) == ""
+        assert profile.string(-1) == ""
+
+    def test_empty_strings_keep_indices(self):
+        profile = pprof_pb.Profile()
+        profile.string_table = ["", "a", "", "b"]
+        parsed = pprof_pb.Profile.parse(profile.serialize())
+        assert parsed.string_table == ["", "a", "", "b"]
+
+
+@st.composite
+def profiles(draw):
+    n_functions = draw(st.integers(min_value=1, max_value=5))
+    table = [""]
+    profile = pprof_pb.Profile(string_table=table)
+    for i in range(n_functions):
+        table.append("fn%d" % i)
+        profile.function.append(pprof_pb.Function(id=i + 1,
+                                                  name=len(table) - 1))
+        profile.location.append(pprof_pb.Location(
+            id=i + 1, address=draw(st.integers(0, 2 ** 48)),
+            line=[pprof_pb.Line(function_id=i + 1,
+                                line=draw(st.integers(0, 10000)))]))
+    table.append("metric")
+    profile.sample_type.append(pprof_pb.ValueType(type=len(table) - 1))
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        stack = draw(st.lists(st.integers(1, n_functions), min_size=1,
+                              max_size=6))
+        profile.sample.append(pprof_pb.Sample(
+            location_id=stack,
+            value=[draw(st.integers(-(1 << 40), 1 << 40))]))
+    return profile
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=40)
+    @given(profiles())
+    def test_generated_profiles_roundtrip(self, profile):
+        parsed = pprof_pb.loads(pprof_pb.dumps(profile))
+        assert parsed.string_table == profile.string_table
+        assert len(parsed.sample) == len(profile.sample)
+        for a, b in zip(parsed.sample, profile.sample):
+            assert a.location_id == b.location_id
+            assert a.value == b.value

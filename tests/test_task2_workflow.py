@@ -1,0 +1,83 @@
+"""Task II (§VII-D) executed for real against the viewer API.
+
+The control-group simulation models analyst *time*; this test grounds the
+mechanism: the bottom-up flame graph answers all three Task II questions
+— hot memory allocation, GC invocation, lock wait, and *where they are
+called from* — in a handful of API calls, exactly the capability whose
+absence costs the baseline tools an hour-plus.
+"""
+
+import pytest
+
+from repro.analysis.transform import bottom_up
+from repro.ide.mock_ide import MockIDE
+from repro.profilers.workloads import go_service_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return go_service_profile()
+
+
+class TestTask2ViaBottomUp:
+    def test_all_three_targets_surface_at_level_one(self, profile):
+        tree = bottom_up(profile)
+        level1 = [n.frame.name
+                  for n in sorted(tree.root.children.values(),
+                                  key=lambda n: -n.inclusive[0])[:5]]
+        assert "runtime.mallocgc" in level1      # hot allocation
+        assert "sync.(*Mutex).Lock" in level1    # lock wait
+        names = {n.frame.name for n in tree.root.children.values()}
+        assert "runtime.gcBgMarkWorker" in names  # GC invocation
+
+    def test_callers_identified(self, profile):
+        tree = bottom_up(profile)
+        by_name = {n.frame.name: n for n in tree.root.children.values()}
+        malloc_callers = {c.frame.name for c in
+                          by_name["runtime.mallocgc"].children.values()}
+        assert malloc_callers == {"decodeBody", "renderRows"}
+        lock_callers = {c.frame.name for c in
+                        by_name["sync.(*Mutex).Lock"].children.values()}
+        assert lock_callers == {"sessionStore.Put", "sessionStore.Get"}
+
+    def test_companion_metrics_present(self, profile):
+        assert profile.total("alloc_ops") > 0
+        assert profile.total("lock_wait") > 0
+
+    def test_full_workflow_through_protocol(self, profile):
+        """The analyst's clicks, as protocol messages."""
+        ide = MockIDE()
+        opened = ide.session.open(profile)
+        # Switch to the bottom-up view.
+        result = ide.request("view/switchShape", profileId=opened.id,
+                             shape="bottom_up")
+        assert result["blocks"] > 0
+        # Search each target and follow its code link.
+        for target, expected_file in (
+                ("mallocgc", "malloc.go"),
+                ("Mutex", "mutex.go"),
+                ("gcBgMarkWorker", "mgc.go")):
+            found = ide.request("view/search", profileId=opened.id,
+                                pattern=target, shape="bottom_up")
+            assert found["matches"], target
+            ide.request("view/select", profileId=opened.id,
+                        nodeRef=found["matches"][0])
+            assert ide.state.open_file == expected_file
+
+    def test_single_digit_interaction_count(self, profile):
+        """EasyView's whole Task II is under ten protocol interactions —
+        the mechanism behind the ~10-minute study cell."""
+        ide = MockIDE()
+        opened = ide.session.open(profile)
+        interactions = 0
+        ide.request("view/switchShape", profileId=opened.id,
+                    shape="bottom_up")
+        interactions += 1
+        for target in ("mallocgc", "Mutex", "gcBgMarkWorker"):
+            found = ide.request("view/search", profileId=opened.id,
+                                pattern=target, shape="bottom_up")
+            interactions += 1
+            ide.request("view/select", profileId=opened.id,
+                        nodeRef=found["matches"][0])
+            interactions += 1
+        assert interactions <= 8

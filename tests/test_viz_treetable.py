@@ -1,0 +1,90 @@
+"""Tests for the tree table view (fold state, sorting, rendering)."""
+
+import pytest
+
+from repro.analysis.transform import top_down
+from repro.viz.treetable import TreeTable
+
+
+@pytest.fixture
+def table(simple_profile):
+    return TreeTable(top_down(simple_profile))
+
+
+class TestFoldState:
+    def test_initially_only_top_level_visible(self, table):
+        names = [row.label() for row in table.rows()]
+        assert names == ["main"]
+
+    def test_expand_reveals_children(self, table):
+        main = table.tree.find_by_name("main")[0]
+        table.expand(main)
+        names = [row.label() for row in table.rows()]
+        assert names == ["main", "work", "idle"]
+
+    def test_collapse_hides_again(self, table):
+        main = table.tree.find_by_name("main")[0]
+        table.expand(main)
+        table.collapse(main)
+        assert [row.label() for row in table.rows()] == ["main"]
+
+    def test_expand_all(self, table):
+        table.expand_all()
+        assert len(table.rows()) == 4
+
+    def test_expand_all_max_depth(self, table):
+        table.expand_all(max_depth=1)
+        names = [row.label() for row in table.rows()]
+        assert "inner" not in names
+
+    def test_expand_hot_path(self, table):
+        path = table.expand_hot_path()
+        assert [n.frame.name for n in path] == ["main", "work", "inner"]
+        names = [row.label() for row in table.rows()]
+        assert "inner" in names
+
+    def test_rows_sorted_by_value(self, table):
+        main = table.tree.find_by_name("main")[0]
+        table.expand(main)
+        rows = table.rows()
+        assert rows[1].label() == "work"     # 900 before idle's 100
+        assert rows[1].values[0] > rows[2].values[0]
+
+
+class TestColumns:
+    def test_selected_metrics_only(self, simple_profile):
+        table = TreeTable(top_down(simple_profile), metrics=["alloc"])
+        row = table.rows()[0]
+        assert len(row.values) == 1
+
+    def test_exclusive_mode(self, simple_profile):
+        table = TreeTable(top_down(simple_profile), inclusive=False)
+        main_row = table.rows()[0]
+        assert main_row.values[0] == 0.0   # main has no exclusive cpu
+
+    def test_sort_by(self, simple_profile):
+        table = TreeTable(top_down(simple_profile))
+        table.sort_by("alloc")
+        assert table.sort_column == 1
+
+    def test_unknown_metric_rejected(self, simple_profile):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            TreeTable(top_down(simple_profile), metrics=["nope"])
+
+
+class TestRendering:
+    def test_render_text_carets(self, table):
+        table.expand_hot_path()
+        text = table.render_text()
+        assert "▾" in text and "cpu" in text
+
+    def test_render_tsv_parseable(self, table):
+        table.expand_all()
+        lines = table.render_tsv().splitlines()
+        header = lines[0].split("\t")
+        assert header == ["depth", "context", "cpu", "alloc"]
+        for line in lines[1:]:
+            cells = line.split("\t")
+            assert len(cells) == 4
+            float(cells[2])  # numeric

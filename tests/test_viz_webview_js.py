@@ -1,0 +1,72 @@
+"""End-to-end test of the interactive viewer's embedded JavaScript.
+
+Runs the generated page's script in Node against a tiny DOM shim and
+drives the three interactions (render, click-to-zoom, search).  Skipped
+when Node is unavailable.
+"""
+
+import json
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from repro.viz.webview import render_webview
+
+node = shutil.which("node")
+
+_HARNESS = r"""
+const script = process.env.VIEWER_SCRIPT;
+function makeEl() {
+  return {
+    children: [], style: {},
+    classList: { _c: new Set(), add(c) { this._c.add(c); } },
+    set innerHTML(v) { this.children = []; },
+    appendChild(ch) { this.children.push(ch); },
+    textContent: "", title: "", clientWidth: 1000,
+    onclick: null, onchange: null, oninput: null,
+  };
+}
+const els = { flame: makeEl(), status: makeEl(), shape: makeEl(),
+              metric: makeEl(), search: makeEl() };
+const document = { getElementById: (id) => els[id],
+                   createElement: () => makeEl(), body: makeEl() };
+const window = {};
+eval(script);
+const out = { initial: els.flame.children.length };
+els.flame.children[1].onclick({ stopPropagation() {} });
+out.zoomed = els.flame.children.length;
+els.search.value = "work";
+els.search.oninput.call(els.search);
+out.hits = els.flame.children.filter(c => c.classList._c.has("hit")).length;
+document.body.ondblclick();
+out.reset = els.flame.children.length;
+els.shape.value = "bottom_up";
+els.shape.onchange.call(els.shape);
+out.bottomUp = els.flame.children.length;
+console.log(JSON.stringify(out));
+"""
+
+
+@pytest.mark.skipif(node is None, reason="node is not installed")
+def test_viewer_script_interactions(simple_profile):
+    page = render_webview(simple_profile, title="t")
+    script = re.search(r"<script>(.*)</script>", page, re.DOTALL).group(1)
+    import os
+    env = dict(os.environ, VIEWER_SCRIPT=script)
+    completed = subprocess.run(
+        [node, "-e", _HARNESS],
+        capture_output=True, text=True, timeout=30, env=env)
+    assert completed.returncode == 0, completed.stderr
+    out = json.loads(completed.stdout)
+    # Root + main + work + inner + idle render initially.
+    assert out["initial"] == 5
+    # Zooming into `main` re-renders its subtree (main/work/inner/idle).
+    assert out["zoomed"] == 4
+    # Searching "work" highlights exactly the one matching block.
+    assert out["hits"] == 1
+    # Double-click resets to the full tree.
+    assert out["reset"] == 5
+    # The bottom-up tree renders too.
+    assert out["bottomUp"] >= 4
