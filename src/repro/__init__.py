@@ -20,7 +20,8 @@ from .core import (CCT, CCTNode, Frame, FrameKind, Metric, MetricSchema,
                    intern_frame)
 from .core.serialize import dump, dumps, load, loads
 from .errors import (AnalysisError, ConversionError, EasyViewError,
-                     FormatError, FormulaError, ProtocolError, SchemaError)
+                     FormatError, FormulaError, ProtocolError, SchemaError,
+                     Span)
 
 __version__ = "1.0.0"
 
@@ -29,7 +30,7 @@ __all__ = [
     "Metric", "MetricSchema", "MonitoringPoint", "PointKind", "Profile",
     "ProfileMeta", "intern_frame", "dump", "dumps", "load", "loads",
     "EasyViewError", "FormatError", "ConversionError", "SchemaError",
-    "AnalysisError", "FormulaError", "ProtocolError", "open_profile",
+    "AnalysisError", "FormulaError", "ProtocolError", "Span", "open_profile",
     "__version__",
 ]
 

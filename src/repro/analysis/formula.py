@@ -36,11 +36,11 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from ..core.metric import Aggregation, Metric
-from ..errors import FormulaError
+from ..errors import FormulaError, Span
 from .viewtree import ViewTree
 
 
@@ -59,6 +59,13 @@ class Token:
     kind: TokenKind
     text: str
     position: int
+    #: One past the last source character of the token (backquoted names
+    #: include the quotes, so this can exceed ``position + len(text)``).
+    end: int = -1
+
+    def span(self) -> Span:
+        end = self.end if self.end >= 0 else self.position + len(self.text)
+        return Span(self.position, max(end, self.position + 1))
 
 
 _OPS = set("+-*/%^")
@@ -95,20 +102,24 @@ def tokenize(source: str) -> List[Token]:
                         pos += 1
                 else:
                     break
-            tokens.append(Token(TokenKind.NUMBER, source[start:pos], start))
+            tokens.append(Token(TokenKind.NUMBER, source[start:pos], start,
+                                pos))
             continue
         if ch.isalpha() or ch == "_":
             start = pos
             while pos < length and (source[pos].isalnum()
                                     or source[pos] in _IDENT_EXTRA):
                 pos += 1
-            tokens.append(Token(TokenKind.IDENT, source[start:pos], start))
+            tokens.append(Token(TokenKind.IDENT, source[start:pos], start,
+                                pos))
             continue
         if ch == "`":
             end = source.find("`", pos + 1)
             if end < 0:
-                raise FormulaError("unterminated backquoted name at %d" % pos)
-            tokens.append(Token(TokenKind.IDENT, source[pos + 1:end], pos))
+                raise FormulaError("unterminated backquoted name at %d" % pos,
+                                   span=Span(pos, length))
+            tokens.append(Token(TokenKind.IDENT, source[pos + 1:end], pos,
+                                end + 1))
             pos = end + 1
             continue
         if ch in "<>!=":
@@ -116,54 +127,63 @@ def tokenize(source: str) -> List[Token]:
                 op = source[pos:pos + 2]
                 if op not in _COMPARE_OPS:
                     raise FormulaError("unknown operator %r at %d"
-                                       % (op, pos))
-                tokens.append(Token(TokenKind.OP, op, pos))
+                                       % (op, pos), span=Span(pos, pos + 2))
+                tokens.append(Token(TokenKind.OP, op, pos, pos + 2))
                 pos += 2
                 continue
             if ch in "<>":
-                tokens.append(Token(TokenKind.OP, ch, pos))
+                tokens.append(Token(TokenKind.OP, ch, pos, pos + 1))
                 pos += 1
                 continue
             raise FormulaError("unexpected character %r at position %d"
-                               % (ch, pos))
+                               % (ch, pos), span=Span.point(pos))
         if ch in _OPS:
-            tokens.append(Token(TokenKind.OP, ch, pos))
+            tokens.append(Token(TokenKind.OP, ch, pos, pos + 1))
             pos += 1
             continue
         if ch == "(":
-            tokens.append(Token(TokenKind.LPAREN, ch, pos))
+            tokens.append(Token(TokenKind.LPAREN, ch, pos, pos + 1))
             pos += 1
             continue
         if ch == ")":
-            tokens.append(Token(TokenKind.RPAREN, ch, pos))
+            tokens.append(Token(TokenKind.RPAREN, ch, pos, pos + 1))
             pos += 1
             continue
         if ch == ",":
-            tokens.append(Token(TokenKind.COMMA, ch, pos))
+            tokens.append(Token(TokenKind.COMMA, ch, pos, pos + 1))
             pos += 1
             continue
-        raise FormulaError("unexpected character %r at position %d" % (ch, pos))
-    tokens.append(Token(TokenKind.END, "", length))
+        raise FormulaError("unexpected character %r at position %d"
+                           % (ch, pos), span=Span.point(pos))
+    tokens.append(Token(TokenKind.END, "", length, length))
     return tokens
 
 
 # -- AST ---------------------------------------------------------------------
 
 
+#: AST nodes carry the character span of the source text they were parsed
+#: from (``None`` only for hand-built nodes), enabling exact error carets
+#: and the character-precise diagnostics of :mod:`repro.lint`.
+
+
 @dataclass(frozen=True)
 class Num:
     value: float
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
 class Ref:
     name: str
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
 class Unary:
     op: str
     operand: "Expr"
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
@@ -171,15 +191,24 @@ class Binary:
     op: str
     left: "Expr"
     right: "Expr"
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
 class Call:
     name: str
     args: tuple
+    span: Optional[Span] = None
 
 
 Expr = Union[Num, Ref, Unary, Binary, Call]
+
+
+def _join(left: Optional[Span], right: Optional[Span]) -> Optional[Span]:
+    """The smallest span covering two operand spans (None-tolerant)."""
+    if left is None or right is None:
+        return left or right
+    return Span(left.start, right.end)
 
 
 class _Parser:
@@ -195,7 +224,8 @@ class _Parser:
         tok = self._peek()
         if tok.kind is not TokenKind.END:
             raise FormulaError("unexpected %r at position %d in %r"
-                               % (tok.text, tok.position, self._source))
+                               % (tok.text, tok.position, self._source),
+                               span=tok.span())
         return expr
 
     def _peek(self) -> Token:
@@ -210,7 +240,8 @@ class _Parser:
         tok = self._advance()
         if tok.kind is not kind:
             raise FormulaError("expected %s but found %r at position %d"
-                               % (kind.value, tok.text, tok.position))
+                               % (kind.value, tok.text, tok.position),
+                               span=tok.span())
         return tok
 
     def _expr(self) -> Expr:
@@ -218,7 +249,8 @@ class _Parser:
         tok = self._peek()
         if tok.kind is TokenKind.OP and tok.text in _COMPARE_OPS:
             op = self._advance().text
-            return Binary(op, left, self._sum())
+            right = self._sum()
+            return Binary(op, left, right, span=_join(left.span, right.span))
         return left
 
     def _sum(self) -> Expr:
@@ -226,7 +258,8 @@ class _Parser:
         while (self._peek().kind is TokenKind.OP
                and self._peek().text in "+-"):
             op = self._advance().text
-            left = Binary(op, left, self._term())
+            right = self._term()
+            left = Binary(op, left, right, span=_join(left.span, right.span))
         return left
 
     def _term(self) -> Expr:
@@ -234,14 +267,17 @@ class _Parser:
         while (self._peek().kind is TokenKind.OP
                and self._peek().text in "*/%"):
             op = self._advance().text
-            left = Binary(op, left, self._unary())
+            right = self._unary()
+            left = Binary(op, left, right, span=_join(left.span, right.span))
         return left
 
     def _unary(self) -> Expr:
         tok = self._peek()
         if tok.kind is TokenKind.OP and tok.text in "+-":
             self._advance()
-            return Unary(tok.text, self._unary())
+            operand = self._unary()
+            return Unary(tok.text, operand,
+                         span=_join(tok.span(), operand.span))
         return self._power()
 
     def _power(self) -> Expr:
@@ -249,13 +285,15 @@ class _Parser:
         tok = self._peek()
         if tok.kind is TokenKind.OP and tok.text == "^":
             self._advance()
-            return Binary("^", base, self._unary())
+            exponent = self._unary()
+            return Binary("^", base, exponent,
+                          span=_join(base.span, exponent.span))
         return base
 
     def _primary(self) -> Expr:
         tok = self._advance()
         if tok.kind is TokenKind.NUMBER:
-            return Num(float(tok.text))
+            return Num(float(tok.text), span=tok.span())
         if tok.kind is TokenKind.IDENT:
             if self._peek().kind is TokenKind.LPAREN:
                 self._advance()
@@ -265,15 +303,17 @@ class _Parser:
                     while self._peek().kind is TokenKind.COMMA:
                         self._advance()
                         args.append(self._expr())
-                self._expect(TokenKind.RPAREN)
-                return Call(tok.text, tuple(args))
-            return Ref(tok.text)
+                rparen = self._expect(TokenKind.RPAREN)
+                return Call(tok.text, tuple(args),
+                            span=Span(tok.position, rparen.span().end))
+            return Ref(tok.text, span=tok.span())
         if tok.kind is TokenKind.LPAREN:
             expr = self._expr()
-            self._expect(TokenKind.RPAREN)
-            return expr
+            rparen = self._expect(TokenKind.RPAREN)
+            return replace(expr, span=Span(tok.position, rparen.span().end))
         raise FormulaError("unexpected %r at position %d"
-                           % (tok.text or "end of input", tok.position))
+                           % (tok.text or "end of input", tok.position),
+                           span=tok.span())
 
 
 def parse(source: str) -> Expr:
@@ -311,7 +351,8 @@ def evaluate(expr: Expr, env: Mapping[str, float]) -> float:
             return float(env[expr.name])
         except KeyError:
             raise FormulaError("unknown metric %r (have: %s)" % (
-                expr.name, ", ".join(sorted(env)))) from None
+                expr.name, ", ".join(sorted(env))),
+                span=expr.span) from None
     if isinstance(expr, Unary):
         value = evaluate(expr.operand, env)
         return -value if expr.op == "-" else value
@@ -345,11 +386,12 @@ def evaluate(expr: Expr, env: Mapping[str, float]) -> float:
         fn = _FUNCTIONS.get(expr.name)
         if fn is None:
             raise FormulaError("unknown function %r (have: %s)" % (
-                expr.name, ", ".join(sorted(_FUNCTIONS))))
+                expr.name, ", ".join(sorted(_FUNCTIONS))), span=expr.span)
         expected = _ARITY[expr.name]
         if len(expr.args) != expected:
             raise FormulaError("%s() takes %d arguments, got %d"
-                               % (expr.name, expected, len(expr.args)))
+                               % (expr.name, expected, len(expr.args)),
+                               span=expr.span)
         return float(fn(*(evaluate(arg, env) for arg in expr.args)))
     raise FormulaError("unevaluable node %r" % (expr,))
 

@@ -1,0 +1,11 @@
+"""Profile construction and validation.
+
+:class:`ProfileBuilder` assembles profiles from call paths and metric
+values; :func:`validate` sanity-checks the result.  See
+:mod:`repro.builder.builder` and :mod:`repro.builder.validate`.
+"""
+
+from .builder import FrameSpec, ProfileBuilder
+from .validate import ValidationReport, validate
+
+__all__ = ["FrameSpec", "ProfileBuilder", "ValidationReport", "validate"]

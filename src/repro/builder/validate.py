@@ -1,0 +1,104 @@
+"""Structural validation of built profiles.
+
+:func:`validate` inspects a finished :class:`~repro.core.profile.Profile`
+for model violations (errors) and quality problems that degrade the viewer
+experience (warnings): unused metric columns, frames whose line numbers
+cannot become code links, negative totals for summed metrics, and
+monitoring points whose context lists do not match their kind.
+
+The deeper rule-based diagnostics live in :mod:`repro.lint`; this module
+is the cheap always-on sanity check run by converters and the
+``easyview validate`` subcommand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.monitor import POINT_ARITY
+from ..core.profile import Profile
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of one validation pass."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings are tolerated)."""
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def __str__(self) -> str:
+        lines = ["error: %s" % e for e in self.errors]
+        lines += ["warning: %s" % w for w in self.warnings]
+        return "\n".join(lines) if lines else "OK"
+
+
+def validate(profile: Profile) -> ValidationReport:
+    """Validate a profile's structure; returns a :class:`ValidationReport`."""
+    report = ValidationReport()
+    schema_size = len(profile.schema)
+    used_columns = set()
+    negative_totals = [0.0] * schema_size
+
+    for node in profile.nodes():
+        for index, value in node.metrics.items():
+            if not 0 <= index < schema_size:
+                report.error(
+                    "node %r carries metric column %d outside the schema "
+                    "(%d columns)" % (node.frame.label(), index, schema_size))
+                continue
+            used_columns.add(index)
+            if math.isnan(value):
+                report.error("node %r has NaN for metric %r"
+                             % (node.frame.label(),
+                                profile.schema[index].name))
+            elif value < 0:
+                negative_totals[index] += value
+        frame = node.frame
+        if frame.line > 0 and not frame.file:
+            report.warn(
+                "frame %r has line %d but no file: the viewer cannot "
+                "make a code link for it" % (frame.label(), frame.line))
+
+    for position, point in enumerate(profile.points):
+        if not point.arity_ok():
+            report.error(
+                "monitoring point #%d of kind %s expects %d contexts, "
+                "got %d" % (position, point.kind.name,
+                            POINT_ARITY.get(point.kind, 0),
+                            len(point.contexts)))
+        if point.sequence < 0:
+            report.error("monitoring point #%d has negative snapshot "
+                         "sequence %d" % (position, point.sequence))
+        for index in point.values:
+            if 0 <= index < schema_size:
+                used_columns.add(index)
+            else:
+                report.error(
+                    "monitoring point #%d carries metric column %d outside "
+                    "the schema (%d columns)"
+                    % (position, index, schema_size))
+
+    for index, metric in enumerate(profile.schema):
+        if index not in used_columns:
+            report.warn("metric %r is declared but unused (no node or "
+                        "point carries a value for it)" % metric.name)
+        if negative_totals[index] < 0:
+            report.warn(
+                "metric %r accumulates negative values (%.6g total); "
+                "summed metrics are normally non-negative"
+                % (metric.name, negative_totals[index]))
+
+    return report

@@ -7,6 +7,7 @@ Subcommands mirror the viewer's capabilities for headless use:
 * ``diff``      — differential view of two profiles
 * ``aggregate`` — aggregate view over several profiles
 * ``report``    — write a self-contained HTML report
+* ``lint``      — static analysis: formulas, callbacks, profile invariants
 * ``formats``   — list supported input formats
 * ``serve``     — speak the Profile View Protocol over stdio
 """
@@ -185,6 +186,44 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (LintConfig, has_errors, lint_formula, lint_path,
+                       lint_source, render_json)
+    from .viz.terminal import render_diagnostics
+
+    config = LintConfig.from_directives(args.disable or [])
+    diagnostics = []
+    for path in args.paths:
+        diagnostics.extend(lint_path(path, format=args.format,
+                                     config=config))
+    metrics = None
+    if args.paths and args.formula:
+        # Formulas are linted against the union of the linted profiles'
+        # schemas, so `--formula` next to a profile checks real metric names.
+        from .converters import open_profile
+        metrics = set()
+        for path in args.paths:
+            try:
+                metrics.update(open_profile(path,
+                                            format=args.format).schema.names())
+            except Exception:
+                pass  # conversion problems already reported by lint_path
+    for formula in args.formula or []:
+        diagnostics.extend(lint_formula(formula, metrics=metrics,
+                                        profile_count=max(1, len(args.paths)),
+                                        config=config))
+    for path in args.callback or []:
+        with open(path, "r", encoding="utf-8") as handle:
+            diagnostics.extend(lint_source(handle.read(), subject=path,
+                                           config=config))
+
+    if args.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_diagnostics(diagnostics, color=args.color))
+    return 1 if has_errors(diagnostics) else 0
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     from .converters import open_profile
     from .analysis.anonymize import anonymize
@@ -350,6 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("path")
     p_validate.add_argument("--format", default=None)
     p_validate.set_defaults(fn=_cmd_validate)
+
+    p_lint = sub.add_parser("lint",
+                            help="static analysis: formulas, callbacks, "
+                                 "profile invariants")
+    p_lint.add_argument("paths", nargs="*",
+                        help="profile files to lint")
+    p_lint.add_argument("--format", default=None)
+    p_lint.add_argument("--formula", action="append", default=[],
+                        help="formula text to lint (repeatable)")
+    p_lint.add_argument("--callback", action="append", default=[],
+                        help="callback source file to lint (repeatable)")
+    p_lint.add_argument("--disable", action="append", default=[],
+                        help="rule directive, e.g. EV104=off or "
+                             "EV305=warning (repeatable)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    p_lint.add_argument("--color", action="store_true")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_anon = sub.add_parser("anonymize",
                             help="scrub names for safe sharing")

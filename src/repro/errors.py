@@ -1,6 +1,38 @@
-"""Exception hierarchy for the EasyView reproduction."""
+"""Exception hierarchy for the EasyView reproduction, plus :class:`Span`,
+the character-range type shared by formula errors and lint diagnostics."""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A half-open ``[start, end)`` character range into a source text.
+
+    Formula tokens, formula AST nodes, :class:`FormulaError`, and every
+    :class:`repro.lint.Diagnostic` locate themselves with the same type, so
+    an IDE can turn any of them into a squiggle without translation.
+    """
+
+    start: int = 0
+    end: int = 0
+
+    def __len__(self) -> int:
+        return max(0, self.end - self.start)
+
+    def slice(self, source: str) -> str:
+        """The spanned text."""
+        return source[self.start:self.end]
+
+    def to_dict(self) -> dict:
+        return {"start": self.start, "end": self.end}
+
+    @classmethod
+    def point(cls, position: int) -> "Span":
+        """A single-character span at ``position``."""
+        return cls(position, position + 1)
 
 
 class EasyViewError(Exception):
@@ -24,7 +56,16 @@ class AnalysisError(EasyViewError):
 
 
 class FormulaError(AnalysisError):
-    """A derived-metric formula failed to lex, parse, or evaluate."""
+    """A derived-metric formula failed to lex, parse, or evaluate.
+
+    Always carries the :class:`Span` of the offending token or
+    subexpression (when one is known), so editors can underline the exact
+    characters instead of echoing the whole formula.
+    """
+
+    def __init__(self, message: str, span: Optional[Span] = None) -> None:
+        super().__init__(message)
+        self.span = span
 
 
 class ProtocolError(EasyViewError):

@@ -17,7 +17,7 @@ from ..errors import ProtocolError
 from .actions import Capabilities
 from .protocol import (Request, Response, parse_message, IDE_OPEN_DOCUMENT,
                        IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,
-                       IDE_SET_DECORATIONS)
+                       IDE_SET_DECORATIONS, IDE_PUBLISH_DIAGNOSTICS)
 from .session import ViewerSession
 
 
@@ -32,6 +32,8 @@ class EditorState:
     hovers: List[Dict[str, Any]] = field(default_factory=list)
     floating_windows: List[Dict[str, Any]] = field(default_factory=list)
     decorations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Lint findings last published by the viewer (rendered as squiggles).
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class MockIDE:
@@ -66,6 +68,10 @@ class MockIDE:
             self.state.floating_windows.append(params)
         elif method == IDE_SET_DECORATIONS:
             self.state.decorations.append(params)
+        elif method == IDE_PUBLISH_DIAGNOSTICS:
+            # Like LSP's publishDiagnostics: each notification replaces the
+            # previously shown set rather than appending to it.
+            self.state.diagnostics = list(params.get("diagnostics", []))
         else:
             raise ProtocolError("viewer emitted unknown action %r" % method)
 

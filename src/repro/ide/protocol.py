@@ -54,6 +54,7 @@ VIEW_CAPABILITIES = "view/capabilities"
 VIEW_TABLE = "view/table"
 VIEW_TABLE_EXPAND = "view/tableExpand"
 VIEW_EXPORT = "view/export"
+VIEW_LINT = "view/lint"
 
 # ide/* methods (viewer → IDE).
 IDE_OPEN_DOCUMENT = "ide/openDocument"       # the mandatory code link
@@ -61,16 +62,17 @@ IDE_CODE_LENS = "ide/showCodeLens"
 IDE_HOVER = "ide/showHover"
 IDE_FLOATING_WINDOW = "ide/showFloatingWindow"
 IDE_SET_DECORATIONS = "ide/setDecorations"
+IDE_PUBLISH_DIAGNOSTICS = "ide/publishDiagnostics"
 
 VIEW_METHODS = frozenset({
     VIEW_OPEN, VIEW_CLOSE, VIEW_SHAPE, VIEW_SELECT, VIEW_CLICK, VIEW_SEARCH,
     VIEW_HOVER, VIEW_ZOOM, VIEW_SUMMARY, VIEW_DIFF, VIEW_AGGREGATE,
     VIEW_DERIVE, VIEW_CAPABILITIES, VIEW_TABLE, VIEW_TABLE_EXPAND,
-    VIEW_EXPORT,
+    VIEW_EXPORT, VIEW_LINT,
 })
 IDE_METHODS = frozenset({
     IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,
-    IDE_SET_DECORATIONS,
+    IDE_SET_DECORATIONS, IDE_PUBLISH_DIAGNOSTICS,
 })
 
 

@@ -246,6 +246,42 @@ class ViewerSession:
             self._emit(pvp.IDE_SET_DECORATIONS, decoration.to_params())
         return len(decorations)
 
+    # -- diagnostics ---------------------------------------------------------------
+
+    def lint(self, profile_id: Optional[int] = None,
+             formula: Optional[str] = None,
+             callback_source: Optional[str] = None,
+             disable: Sequence[str] = ()) -> List[Any]:
+        """Run ProfLint and publish the findings to the IDE.
+
+        Lints any combination of: an open profile's structure, a formula
+        (checked against that profile's metric names when one is given),
+        and callback source text.  The findings go out as one
+        ``ide/publishDiagnostics`` notification — the IDE side renders them
+        as squiggles — and are also returned to the caller.
+        """
+        from ..lint import (LintConfig, lint_formula, lint_profile,
+                            lint_source, severity_counts, sort_diagnostics)
+        config = LintConfig.from_directives(disable)
+        diagnostics = []
+        metrics = None
+        if profile_id is not None:
+            opened = self.get(profile_id)
+            diagnostics.extend(lint_profile(opened.profile, config=config))
+            metrics = opened.profile.schema.names()
+        if formula:
+            diagnostics.extend(lint_formula(
+                formula, metrics=metrics,
+                profile_count=max(1, len(self._profiles)), config=config))
+        if callback_source:
+            diagnostics.extend(lint_source(callback_source, config=config))
+        diagnostics = sort_diagnostics(diagnostics)
+        self._emit(pvp.IDE_PUBLISH_DIAGNOSTICS, {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "counts": severity_counts(diagnostics),
+        })
+        return diagnostics
+
     # -- export --------------------------------------------------------------------
 
     def export(self, profile_id: int, format: str,
@@ -326,9 +362,10 @@ class ViewerSession:
         except ProtocolError as exc:
             return pvp.Response.failure(request.id, pvp.INVALID_PARAMS,
                                         str(exc))
-        except (TypeError, ValueError, KeyError) as exc:
-            # Malformed parameter types (a string profileId, a null list):
-            # the editor gets a parameter error, never a dead session.
+        except (TypeError, ValueError, KeyError, AttributeError) as exc:
+            # Malformed parameter types (a string profileId, a null list,
+            # a boolean where text belongs): the editor gets a parameter
+            # error, never a dead session.
             return pvp.Response.failure(
                 request.id, pvp.INVALID_PARAMS,
                 "malformed parameters for %s: %s" % (request.method, exc))
@@ -346,6 +383,8 @@ class ViewerSession:
                     "capabilities": self.capabilities.to_dict()}
         if method == pvp.VIEW_OPEN:
             pvp.require_params(request, "path")
+            if not isinstance(params["path"], str):
+                raise ProtocolError("path must be a string")
             opened = self.open(params["path"], format=params.get("format"))
             return {"profileId": opened.id,
                     "summary": opened.profile.summary(),
@@ -454,6 +493,17 @@ class ViewerSession:
                                            params["format"],
                                            params.get("shape", "top_down"),
                                            params.get("metric", ""))}
+        if method == pvp.VIEW_LINT:
+            profile_id = params.get("profileId")
+            diagnostics = self.lint(
+                profile_id=int(profile_id) if profile_id is not None
+                else None,
+                formula=params.get("formula"),
+                callback_source=params.get("callbackSource"),
+                disable=params.get("disable", ()))
+            from ..lint import severity_counts
+            return {"diagnostics": [d.to_dict() for d in diagnostics],
+                    "counts": severity_counts(diagnostics)}
         if method == pvp.VIEW_DERIVE:
             pvp.require_params(request, "profileId", "name", "formula")
             shape = params.get("shape", "top_down")

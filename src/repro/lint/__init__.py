@@ -1,0 +1,35 @@
+"""ProfLint: static analysis and diagnostics for EasyView artifacts.
+
+Three analyzer families, one diagnostic model:
+
+* :mod:`~repro.lint.formula_lint` (``EV1xx``) — derived-metric formulas,
+* :mod:`~repro.lint.callback_lint` (``EV2xx``) — user callbacks and
+  programming-pane scripts,
+* :mod:`~repro.lint.profile_lint` (``EV3xx``) — profile data and CCT
+  invariants, including raw pprof payloads.
+
+Findings surface through ``easyview lint`` on the command line and through
+``ide/publishDiagnostics`` notifications of the Profile View Protocol; rule
+IDs and examples are catalogued in ``docs/LINTING.md``.
+"""
+
+from .callback_lint import lint_callback, lint_source
+from .diagnostics import (Diagnostic, Severity, has_errors, sort_diagnostics,
+                          worst_severity)
+from .formula_lint import lint_formula, split_ref
+from .profile_lint import (lint_path, lint_pprof, lint_pprof_bytes,
+                           lint_profile)
+from .registry import (DEFAULT_CONFIG, FAMILIES, Findings, LintConfig, Rule,
+                       all_rules, get_rule)
+from .render import render_json, render_text, severity_counts, to_report
+
+__all__ = [
+    "Diagnostic", "Severity", "has_errors", "sort_diagnostics",
+    "worst_severity",
+    "Rule", "LintConfig", "Findings", "DEFAULT_CONFIG", "FAMILIES",
+    "all_rules", "get_rule",
+    "lint_formula", "split_ref",
+    "lint_callback", "lint_source",
+    "lint_profile", "lint_pprof", "lint_pprof_bytes", "lint_path",
+    "render_json", "render_text", "severity_counts", "to_report",
+]

@@ -1,0 +1,252 @@
+"""Static vetting of user callbacks and pane scripts (rules EV2xx).
+
+The paper sandboxes user Python by compiling it to WASM; this module gives
+the equivalent guarantees *statically*, by walking the Python ``ast`` of
+``elide``/``remap``/metric callbacks and programming-pane sources before
+they ever run: no imports, no filesystem/network/process escape, no
+dynamic code execution, no nondeterminism inside a deterministic viewer,
+and no mutation of the shared tree state a callback merely observes.
+
+Unlike the substring blocklist in :mod:`repro.analysis.pane` (a fast
+runtime gate), this analyzer understands structure — ``reopen(x)`` passes,
+``open(x)`` is flagged, and each finding carries its line and character
+span.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, List, Optional, Union
+
+from ..errors import Span
+from .diagnostics import Diagnostic
+from .registry import Findings, LintConfig, Rule, Severity, register
+
+register(Rule("EV200", "callback", Severity.ERROR,
+              "callback source does not parse as Python",
+              bad="def elide(node) return False",
+              good="def elide(node): return False"))
+register(Rule("EV201", "callback", Severity.ERROR,
+              "import inside a sandboxed callback",
+              bad="import os",
+              good="use the provided helpers (nodes, value, derive, ...)"))
+register(Rule("EV202", "callback", Severity.ERROR,
+              "filesystem, network, or process access",
+              bad="open('/etc/passwd')",
+              good="emit(value(node, 'cpu'))"))
+register(Rule("EV203", "callback", Severity.ERROR,
+              "dynamic code execution or namespace escape",
+              bad="eval('1+1')", good="1 + 1"))
+register(Rule("EV204", "callback", Severity.WARNING,
+              "nondeterminism: results change run to run",
+              bad="random.random() > 0.5",
+              good="value(node, 'cpu') > 1000"))
+register(Rule("EV205", "callback", Severity.WARNING,
+              "mutation of shared tree state from a read-only callback",
+              bad="node.metrics[0] = 0",
+              good="derive('scaled', 'cpu / 1000')"))
+register(Rule("EV206", "callback", Severity.ERROR,
+              "dunder access escapes the sandbox namespace",
+              bad="node.__class__.__init__",
+              good="node.frame.name"))
+
+#: Modules whose very mention means OS / network / process reach.
+_OS_MODULES = frozenset({
+    "os", "sys", "io", "socket", "subprocess", "shutil", "pathlib",
+    "tempfile", "glob", "ftplib", "http", "urllib", "requests",
+    "multiprocessing", "threading", "signal", "ctypes", "pickle",
+    "importlib", "builtins",
+})
+
+#: Bare calls that reach the filesystem or interpreter state.
+_OS_CALLS = frozenset({"open", "input", "exit", "quit", "breakpoint"})
+
+#: Dynamic-execution / namespace-escape calls.
+_DYNAMIC_CALLS = frozenset({
+    "eval", "exec", "compile", "__import__", "globals", "locals", "vars",
+    "getattr", "setattr", "delattr", "memoryview",
+})
+
+#: Modules (and names) that make results differ between runs.
+_NONDETERMINISTIC = frozenset({"random", "time", "datetime", "uuid",
+                               "secrets"})
+
+#: Viewer-owned objects a callback receives but must not mutate, and the
+#: mutating method names that give mutation away.
+_SHARED_ROOTS = frozenset({"tree", "node", "frame", "profile", "root"})
+_MUTATORS = frozenset({
+    "add_value", "set_value", "add_sample", "add_point", "add_metric",
+    "add_path", "append", "extend", "insert", "remove", "pop", "popitem",
+    "clear", "update", "setdefault", "sort", "reverse",
+})
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _node_span(node: ast.AST, offsets: List[int]) -> Optional[Span]:
+    """Character span of an AST node within the source text."""
+    lineno = getattr(node, "lineno", None)
+    if lineno is None or lineno > len(offsets) - 1:
+        return None
+    start = offsets[lineno - 1] + node.col_offset
+    end_lineno = getattr(node, "end_lineno", None) or lineno
+    end_col = getattr(node, "end_col_offset", None)
+    if end_col is None or end_lineno > len(offsets) - 1:
+        return Span(start, start + 1)
+    return Span(start, offsets[end_lineno - 1] + end_col)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` under a chain of attribute/subscript accesses."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _CallbackVisitor(ast.NodeVisitor):
+    def __init__(self, findings: Findings, offsets: List[int],
+                 shared_roots: frozenset) -> None:
+        self.findings = findings
+        self.offsets = offsets
+        self.shared = shared_roots
+
+    def _add(self, rule: str, message: str, node: ast.AST) -> None:
+        self.findings.add(rule, message, span=_node_span(node, self.offsets),
+                          line=getattr(node, "lineno", 0))
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        names = ", ".join(alias.name for alias in node.names)
+        self._add("EV201", "import of %r: callbacks run sandboxed and may "
+                  "not import" % names, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._add("EV201", "import from %r: callbacks run sandboxed and "
+                  "may not import" % (node.module or "."), node)
+
+    # -- names and attributes ---------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in _NONDETERMINISTIC:
+            self._add("EV204", "%r makes the callback nondeterministic; "
+                      "views must be reproducible" % node.id, node)
+        elif node.id in _OS_MODULES:
+            self._add("EV202", "%r reaches outside the viewer sandbox"
+                      % node.id, node)
+        elif node.id.startswith("__") and node.id != "__debug__":
+            self._add("EV206", "dunder name %r is blocked by the sandbox"
+                      % node.id, node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith("__") and node.attr.endswith("__"):
+            self._add("EV206", "dunder attribute %r escapes the sandbox "
+                      "namespace" % node.attr, node)
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id in _DYNAMIC_CALLS:
+                self._add("EV203", "call to %s(): dynamic execution is "
+                          "blocked in callbacks" % callee.id, node)
+            elif callee.id in _OS_CALLS:
+                self._add("EV202", "call to %s(): callbacks may not touch "
+                          "the filesystem or interpreter" % callee.id, node)
+        elif isinstance(callee, ast.Attribute):
+            root = _root_name(callee)
+            if callee.attr in _MUTATORS and root in self.shared:
+                self._add("EV205", "%s.%s() mutates shared tree state; "
+                          "callbacks observe, transforms mutate"
+                          % (root, callee.attr), node)
+        self.generic_visit(node)
+
+    # -- mutation ----------------------------------------------------------
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root in self.shared:
+                self._add("EV205", "assignment into %r mutates shared tree "
+                          "state owned by the viewer" % root, target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, subject: str = "<callback>",
+                config: Optional[LintConfig] = None,
+                extra_shared: Optional[frozenset] = None
+                ) -> List[Diagnostic]:
+    """Lint callback / pane source text; returns diagnostics (empty = ok)."""
+    findings = Findings(config, subject=subject)
+    source = textwrap.dedent(source)
+    try:
+        module = ast.parse(source)
+    except SyntaxError as exc:
+        offset = (exc.offset or 1) - 1
+        offsets = _line_offsets(source)
+        lineno = min(exc.lineno or 1, len(offsets) - 1)
+        position = offsets[lineno - 1] + offset
+        findings.add("EV200", "syntax error: %s" % exc.msg,
+                     span=Span.point(position), line=exc.lineno or 0)
+        return findings.items
+
+    shared = _SHARED_ROOTS | (extra_shared or frozenset())
+    # Parameters of user-defined callbacks are viewer-owned objects too:
+    # `def elide(n): n.metrics.clear()` must be flagged like `node`.
+    for fn in ast.walk(module):
+        if isinstance(fn, (ast.FunctionDef, ast.Lambda)):
+            args = fn.args
+            params = [a.arg for a in
+                      args.posonlyargs + args.args + args.kwonlyargs]
+            shared = shared | frozenset(params)
+
+    visitor = _CallbackVisitor(findings, _line_offsets(source), shared)
+    visitor.visit(module)
+    return findings.items
+
+
+def lint_callback(fn: Union[Callable, str],
+                  subject: str = "",
+                  config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """Lint a callback given as a function object (or source text).
+
+    Source is recovered with :func:`inspect.getsource`; callables whose
+    source is unavailable (C builtins, REPL lambdas) yield no findings —
+    static vetting is best-effort by nature.
+    """
+    if isinstance(fn, str):
+        return lint_source(fn, subject=subject or "<callback>",
+                           config=config)
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        return []
+    return lint_source(source,
+                       subject=subject or getattr(fn, "__name__",
+                                                  "<callback>"),
+                       config=config)

@@ -1,0 +1,98 @@
+"""Diagnostic objects: what every ProfLint analyzer produces.
+
+A :class:`Diagnostic` is the IDE-consumable unit: a rule ID, a severity, a
+message, and a location — a character :class:`~repro.errors.Span` into the
+analyzed source for formula/callback findings, or a context description for
+profile-structure findings.  :meth:`Diagnostic.to_dict` emits the
+LSP-flavored shape carried by the ``ide/publishDiagnostics`` notification
+of the Profile View Protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import Span
+
+
+class Severity(enum.IntEnum):
+    """LSP ``DiagnosticSeverity`` numbering (lower is worse)."""
+
+    ERROR = 1
+    WARNING = 2
+    INFO = 3
+    HINT = 4
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError("unknown severity %r (error, warning, info, "
+                             "hint)" % name) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a lint rule."""
+
+    rule: str                     # e.g. "EV101"
+    severity: Severity
+    message: str
+    #: Character range into the linted source (formulas, callbacks).
+    span: Optional[Span] = None
+    #: Analyzer family: "formula", "callback", or "profile".
+    source: str = ""
+    #: What was linted: a formula text, a file path, a profile name.
+    subject: str = ""
+    #: 1-based source line for callback findings (0 = not line-based).
+    line: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """LSP-style payload for ``ide/publishDiagnostics``."""
+        payload: Dict[str, Any] = {
+            "ruleId": self.rule,
+            "severity": int(self.severity),
+            "message": self.message,
+            "source": "proflint:%s" % self.source if self.source
+                      else "proflint",
+        }
+        if self.span is not None:
+            payload["range"] = self.span.to_dict()
+        if self.subject:
+            payload["subject"] = self.subject
+        if self.line:
+            payload["line"] = self.line
+        return payload
+
+    def format(self) -> str:
+        """One-line human rendering: ``EV101 error: message [at 4..9]``."""
+        where = ""
+        if self.line:
+            where = " (line %d)" % self.line
+        elif self.span is not None:
+            where = " (chars %d..%d)" % (self.span.start, self.span.end)
+        subject = " in %s" % self.subject if self.subject else ""
+        return "%s %s: %s%s%s" % (self.rule, self.severity.name.lower(),
+                                  self.message, where, subject)
+
+
+def worst_severity(diagnostics: List[Diagnostic]) -> Optional[Severity]:
+    """The most severe level present, or None for an empty list."""
+    if not diagnostics:
+        return None
+    return Severity(min(int(d.severity) for d in diagnostics))
+
+
+def has_errors(diagnostics: List[Diagnostic]) -> bool:
+    """True when any diagnostic is an error."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic ordering: severity, then location, then rule ID."""
+    return sorted(diagnostics, key=lambda d: (
+        int(d.severity), d.subject, d.line,
+        d.span.start if d.span else -1, d.rule, d.message))

@@ -1,0 +1,209 @@
+"""Static analysis of derived-metric formulas (rules EV1xx).
+
+Runs entirely on the AST from :mod:`repro.analysis.formula` — no metric
+value is ever touched — so a bad formula is reported *before* the engine
+walks a million-node view tree.  Every diagnostic carries the character
+span of the offending subexpression in the formula text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..analysis import formula as fm
+from ..errors import FormulaError, Span
+from .diagnostics import Diagnostic
+from .registry import Findings, LintConfig, Rule, Severity, register
+
+register(Rule("EV100", "formula", Severity.ERROR,
+              "formula does not lex or parse",
+              bad="cycles +", good="cycles + 1"))
+register(Rule("EV101", "formula", Severity.ERROR,
+              "reference to a metric the profile does not define",
+              bad="cyclez / instructions", good="cycles / instructions"))
+register(Rule("EV102", "formula", Severity.ERROR,
+              "call to an unknown builtin function",
+              bad="frob(cycles)", good="sqrt(cycles)"))
+register(Rule("EV103", "formula", Severity.ERROR,
+              "builtin called with the wrong number of arguments",
+              bad="max(cycles)", good="max(cycles, 1)"))
+register(Rule("EV104", "formula", Severity.INFO,
+              "constant subexpression could be folded",
+              bad="cycles * (1000 / 8)", good="cycles * 125"))
+register(Rule("EV105", "formula", Severity.WARNING,
+              "division by constant zero always evaluates to 0",
+              bad="cycles / 0", good="cycles / instructions"))
+register(Rule("EV106", "formula", Severity.WARNING,
+              "if() condition is constant, one branch is dead",
+              bad="if(1, cycles, instructions)",
+              good="if(cycles > 0, cycles, instructions)"))
+register(Rule("EV107", "formula", Severity.ERROR,
+              "@N cross-profile reference outside the loaded profiles",
+              bad="bytes@3 - bytes@1",
+              good="bytes@2 - bytes@1"))
+
+#: Prefixes multi-profile environments attach to plain metric names.
+_REF_PREFIXES = ("inclusive.", "exclusive.")
+
+
+def split_ref(name: str):
+    """Split a formula reference into (base metric, profile number or None).
+
+    ``inclusive.bytes@2`` → ``("bytes", 2)``; an unparsable ``@`` suffix
+    yields ``(name, None)`` with the suffix left in the base so EV101 can
+    report the whole reference.
+    """
+    base = name
+    for prefix in _REF_PREFIXES:
+        if base.startswith(prefix):
+            base = base[len(prefix):]
+            break
+    profile = None
+    if "@" in base:
+        candidate, _, suffix = base.rpartition("@")
+        if suffix.isdigit():
+            base = candidate
+            profile = int(suffix)
+    return base, profile
+
+
+def _is_constant(expr: fm.Expr) -> bool:
+    """True when the expression references no metrics (pure arithmetic)."""
+    if isinstance(expr, fm.Num):
+        return True
+    if isinstance(expr, fm.Ref):
+        return False
+    if isinstance(expr, fm.Unary):
+        return _is_constant(expr.operand)
+    if isinstance(expr, fm.Binary):
+        return _is_constant(expr.left) and _is_constant(expr.right)
+    if isinstance(expr, fm.Call):
+        return all(_is_constant(arg) for arg in expr.args)
+    return False
+
+
+def _constant_value(expr: fm.Expr) -> Optional[float]:
+    """Evaluate a constant subexpression, or None when it is not constant
+    (or fails, e.g. unknown function — other rules report that)."""
+    if not _is_constant(expr):
+        return None
+    try:
+        return fm.evaluate(expr, {})
+    except FormulaError:
+        return None
+
+
+def lint_formula(source: str,
+                 metrics: Optional[Iterable[str]] = None,
+                 profile_count: int = 1,
+                 config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """Lint one formula; returns diagnostics (empty = clean).
+
+    ``metrics`` is the known-metrics environment (a schema's names);
+    passing ``None`` skips the undefined-metric check (EV101) for callers
+    that lint formulas without a loaded profile.  ``profile_count`` bounds
+    ``@N`` cross-profile references (EV107).
+    """
+    findings = Findings(config, subject=source)
+    known: Optional[Set[str]] = set(metrics) if metrics is not None else None
+
+    try:
+        expr = fm.parse(source)
+    except FormulaError as exc:
+        findings.add("EV100", str(exc), span=exc.span or Span(0, len(source)))
+        return findings.items
+
+    def literal_like(node: fm.Expr) -> bool:
+        # A number, or a signed number: folding `-3` buys nothing.
+        return isinstance(node, fm.Num) or (
+            isinstance(node, fm.Unary) and isinstance(node.operand, fm.Num))
+
+    def walk(node: fm.Expr, fold_candidate: bool) -> None:
+        # `fold_candidate` marks maximal constant subtrees: once a node is
+        # reported for EV104, its constant children are not re-reported.
+        if fold_candidate and _is_constant(node) and not literal_like(node):
+            value = _constant_value(node)
+            if value is not None:
+                findings.add(
+                    "EV104",
+                    "constant subexpression %r always evaluates to %g"
+                    % (node.span.slice(source) if node.span else "?", value),
+                    span=node.span)
+            fold_candidate = False
+
+        if isinstance(node, fm.Ref):
+            base, profile = split_ref(node.name)
+            if profile is not None and not 1 <= profile <= profile_count:
+                findings.add(
+                    "EV107",
+                    "reference %r names profile %d but only %d profile%s "
+                    "loaded" % (node.name, profile, profile_count,
+                                " is" if profile_count == 1 else "s are"),
+                    span=node.span)
+            elif known is not None and base not in known \
+                    and node.name not in known:
+                findings.add(
+                    "EV101",
+                    "unknown metric %r (have: %s)"
+                    % (node.name, ", ".join(sorted(known))),
+                    span=node.span)
+            return
+        if isinstance(node, fm.Unary):
+            walk(node.operand, fold_candidate)
+            return
+        if isinstance(node, fm.Binary):
+            if node.op in ("/", "%"):
+                denominator = _constant_value(node.right)
+                if denominator == 0.0:
+                    findings.add(
+                        "EV105",
+                        "denominator is constant 0; %r always evaluates "
+                        "to 0" % (node.span.slice(source) if node.span
+                                  else node.op),
+                        span=node.right.span or node.span)
+            walk(node.left, fold_candidate)
+            walk(node.right, fold_candidate)
+            return
+        if isinstance(node, fm.Call):
+            fn_known = node.name in fm._FUNCTIONS
+            if not fn_known:
+                findings.add(
+                    "EV102",
+                    "unknown function %r (have: %s)"
+                    % (node.name, ", ".join(sorted(fm._FUNCTIONS))),
+                    span=node.span)
+            else:
+                expected = fm._ARITY[node.name]
+                if len(node.args) != expected:
+                    findings.add(
+                        "EV103",
+                        "%s() takes %d argument%s, got %d"
+                        % (node.name, expected,
+                           "" if expected == 1 else "s", len(node.args)),
+                        span=node.span)
+                if node.name == "if" and node.args and _is_constant(
+                        node.args[0]):
+                    cond = _constant_value(node.args[0])
+                    if cond is not None:
+                        findings.add(
+                            "EV106",
+                            "if() condition is constant %g; the %s branch "
+                            "is dead" % (cond,
+                                         "else" if cond else "then"),
+                            span=node.args[0].span or node.span)
+            for arg in node.args:
+                walk(arg, fold_candidate)
+            return
+        # Num: nothing to check (EV104 handled above via fold_candidate).
+
+    if _is_constant(expr):
+        value = _constant_value(expr)
+        if value is not None:
+            findings.add(
+                "EV104",
+                "formula is constant: every context gets %g" % value,
+                span=expr.span or Span(0, len(source)))
+        walk(expr, fold_candidate=False)
+    else:
+        walk(expr, fold_candidate=True)
+    return findings.items

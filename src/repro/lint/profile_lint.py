@@ -1,0 +1,285 @@
+"""Structural linting of profiles and raw pprof payloads (rules EV3xx).
+
+Two layers:
+
+* :func:`lint_pprof` inspects a decoded ``profile.proto`` message *before*
+  conversion — dangling string-table indices, samples referencing
+  undefined locations, locations referencing undefined functions or
+  mappings, value rows that do not match the declared sample types;
+* :func:`lint_profile` checks EasyView-model invariants on a built
+  :class:`~repro.core.profile.Profile` — NaN and negative metric values,
+  cached inclusive values smaller than the exclusive values they must
+  contain, CCT cycles, broken parent links, monitoring points with the
+  wrong context arity or contexts outside the tree, unused metric columns.
+
+:func:`lint_path` stitches both layers together for a file on disk and is
+what ``easyview lint`` runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.metric import Aggregation
+from ..core.monitor import POINT_ARITY
+from ..core.profile import Profile
+from ..errors import EasyViewError
+from ..proto import pprof_pb
+from .diagnostics import Diagnostic
+from .registry import Findings, LintConfig, Rule, Severity, register
+
+register(Rule("EV301", "profile", Severity.ERROR,
+              "string-table index outside the table",
+              bad="function.name = 17 with 5 table entries",
+              good="indices < len(string_table)"))
+register(Rule("EV302", "profile", Severity.ERROR,
+              "reference to an undefined location/function/mapping id",
+              bad="sample.location_id = [99] with no location 99",
+              good="every referenced id is declared"))
+register(Rule("EV303", "profile", Severity.ERROR,
+              "NaN metric value",
+              bad="node.metrics[0] = float('nan')",
+              good="drop unmeasured values instead of storing NaN"))
+register(Rule("EV304", "profile", Severity.WARNING,
+              "negative value for a summed metric",
+              bad="cpu = -5.0", good="cpu = 5.0"))
+register(Rule("EV305", "profile", Severity.ERROR,
+              "cached inclusive value smaller than the exclusive value",
+              bad="inclusive = 10 while exclusive = 25",
+              good="inclusive >= exclusive at every node"))
+register(Rule("EV306", "profile", Severity.ERROR,
+              "cycle in the calling context tree",
+              bad="a node reachable from itself via children",
+              good="the CCT is a tree"))
+register(Rule("EV307", "profile", Severity.ERROR,
+              "orphan node: broken parent link or context outside the tree",
+              bad="child.parent is not the node listing it",
+              good="parent links mirror the children maps"))
+register(Rule("EV308", "profile", Severity.ERROR,
+              "monitoring point with the wrong context arity",
+              bad="USE_REUSE point with 1 context",
+              good="USE_REUSE carries [allocation, use, reuse]"))
+register(Rule("EV309", "profile", Severity.INFO,
+              "declared metric never carries a value",
+              bad="schema declares 'alloc' but no node has it",
+              good="drop unused columns before sharing"))
+register(Rule("EV310", "profile", Severity.ERROR,
+              "metric column index outside the schema",
+              bad="values = {7: 1.0} with a 2-column schema",
+              good="column indices come from the schema"))
+register(Rule("EV311", "profile", Severity.WARNING,
+              "sample value count differs from declared sample types",
+              bad="2 sample_types but a 3-value sample",
+              good="one value per declared type"))
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+def lint_pprof(message: pprof_pb.Profile,
+               config: Optional[LintConfig] = None,
+               subject: str = "<pprof>") -> List[Diagnostic]:
+    """Lint a decoded pprof message; returns diagnostics (empty = clean)."""
+    findings = Findings(config, subject=subject)
+    table_size = len(message.string_table)
+
+    def check_string(index: int, owner: str) -> None:
+        if not 0 <= index < table_size:
+            findings.add("EV301",
+                         "%s references string %d but the table has %d "
+                         "entries" % (owner, index, table_size))
+
+    for i, value_type in enumerate(message.sample_type):
+        check_string(value_type.type, "sample_type[%d].type" % i)
+        check_string(value_type.unit, "sample_type[%d].unit" % i)
+    check_string(message.period_type.type, "period_type.type")
+    check_string(message.period_type.unit, "period_type.unit")
+    for i, index in enumerate(message.comment):
+        check_string(index, "comment[%d]" % i)
+
+    mappings = set()
+    for i, mapping in enumerate(message.mapping):
+        mappings.add(mapping.id)
+        check_string(mapping.filename, "mapping[%d].filename" % i)
+        check_string(mapping.build_id, "mapping[%d].build_id" % i)
+
+    functions = set()
+    for i, function in enumerate(message.function):
+        functions.add(function.id)
+        check_string(function.name, "function[%d].name" % i)
+        check_string(function.system_name, "function[%d].system_name" % i)
+        check_string(function.filename, "function[%d].filename" % i)
+
+    locations = set()
+    for i, location in enumerate(message.location):
+        locations.add(location.id)
+        if location.mapping_id and location.mapping_id not in mappings:
+            findings.add("EV302",
+                         "location[%d] references undefined mapping %d"
+                         % (i, location.mapping_id))
+        for j, line in enumerate(location.line):
+            if line.function_id and line.function_id not in functions:
+                findings.add(
+                    "EV302",
+                    "location[%d].line[%d] references undefined function "
+                    "%d" % (i, j, line.function_id))
+
+    declared = len(message.sample_type)
+    for i, sample in enumerate(message.sample):
+        for location_id in sample.location_id:
+            if location_id not in locations:
+                findings.add("EV302",
+                             "sample[%d] references undefined location %d"
+                             % (i, location_id))
+        if declared and len(sample.value) != declared:
+            findings.add("EV311",
+                         "sample[%d] carries %d values but %d sample "
+                         "types are declared"
+                         % (i, len(sample.value), declared))
+        for label in sample.label:
+            check_string(label.key, "sample[%d] label key" % i)
+            if label.str:
+                check_string(label.str, "sample[%d] label value" % i)
+            if label.num_unit:
+                check_string(label.num_unit, "sample[%d] label unit" % i)
+
+    return findings.items
+
+
+def lint_pprof_bytes(data: bytes, config: Optional[LintConfig] = None,
+                     subject: str = "<pprof>") -> List[Diagnostic]:
+    """Parse and lint a raw (optionally gzipped) pprof payload."""
+    return lint_pprof(pprof_pb.loads(data), config=config, subject=subject)
+
+
+def lint_profile(profile: Profile, config: Optional[LintConfig] = None,
+                 subject: str = "") -> List[Diagnostic]:
+    """Lint a built profile's CCT, metrics, and monitoring points."""
+    findings = Findings(config,
+                        subject=subject or (profile.meta.tool
+                                            or "<profile>"))
+    schema_size = len(profile.schema)
+    used = set()
+    sum_metrics = set()
+    for index, metric in enumerate(profile.schema):
+        if metric.aggregation is Aggregation.SUM:
+            sum_metrics.add(index)
+
+    # One guarded DFS finds cycles and orphan links without looping forever.
+    visited = set()
+    stack = [profile.root]
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            findings.add("EV306",
+                         "context %r is reachable twice: the CCT contains "
+                         "a cycle or shared subtree" % node.frame.label())
+            continue
+        visited.add(id(node))
+        for frame, child in node.children.items():
+            if child.parent is not node:
+                findings.add("EV307",
+                             "child %r of %r has a broken parent link"
+                             % (child.frame.label(), node.frame.label()))
+            if frame is not child.frame and frame != child.frame:
+                findings.add("EV307",
+                             "child keyed as %r but carries frame %r under "
+                             "%r" % (frame.label(), child.frame.label(),
+                                     node.frame.label()))
+            stack.append(child)
+
+        for index, value in node.metrics.items():
+            if not 0 <= index < schema_size:
+                findings.add("EV310",
+                             "context %r carries metric column %d but the "
+                             "schema has %d columns"
+                             % (node.frame.label(), index, schema_size))
+                continue
+            used.add(index)
+            name = profile.schema[index].name
+            if math.isnan(value):
+                findings.add("EV303", "context %r has NaN for metric %r"
+                             % (node.frame.label(), name))
+            elif value < 0 and index in sum_metrics:
+                findings.add("EV304",
+                             "context %r has negative value %g for summed "
+                             "metric %r" % (node.frame.label(), value, name))
+            inclusive = node.inclusive.get(index)
+            if inclusive is not None and not math.isnan(inclusive) \
+                    and not math.isnan(value):
+                slack = abs(inclusive) * _RELATIVE_TOLERANCE + 1e-12
+                if index in sum_metrics and inclusive + slack < value:
+                    findings.add(
+                        "EV305",
+                        "context %r: inclusive %g < exclusive %g for "
+                        "metric %r — inclusive values must contain their "
+                        "own context" % (node.frame.label(), inclusive,
+                                         value, name))
+
+    for position, point in enumerate(profile.points):
+        if not point.arity_ok():
+            findings.add("EV308",
+                         "point #%d of kind %s expects %d contexts, got %d"
+                         % (position, point.kind.name,
+                            POINT_ARITY.get(point.kind, 0),
+                            len(point.contexts)))
+        for context in point.contexts:
+            if id(context) not in visited:
+                findings.add("EV307",
+                             "point #%d references context %r that is not "
+                             "reachable from the CCT root"
+                             % (position, context.frame.label()))
+        for index, value in point.values.items():
+            if not 0 <= index < schema_size:
+                findings.add("EV310",
+                             "point #%d carries metric column %d but the "
+                             "schema has %d columns"
+                             % (position, index, schema_size))
+                continue
+            used.add(index)
+            if math.isnan(value):
+                findings.add("EV303", "point #%d has NaN for metric %r"
+                             % (position, profile.schema[index].name))
+
+    for index, metric in enumerate(profile.schema):
+        if index not in used:
+            findings.add("EV309", "metric %r is declared but never "
+                         "carries a value" % metric.name)
+
+    return findings.items
+
+
+def lint_path(path: str, format: Optional[str] = None,
+              config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    """Lint a profile file: raw-payload checks (pprof) plus model checks.
+
+    Conversion failures become EV302 diagnostics rather than exceptions, so
+    ``easyview lint`` always produces a report.
+    """
+    from .. import converters
+
+    with open(path, "rb") as handle:
+        data = handle.read()
+    diagnostics: List[Diagnostic] = []
+
+    converter = None
+    try:
+        converter = (converters.get(format) if format
+                     else converters.detect(data, path))
+    except EasyViewError:
+        pass
+    if converter is not None and converter.name == "pprof":
+        diagnostics.extend(lint_pprof_bytes(data, config=config,
+                                            subject=path))
+
+    try:
+        profile = (converter.parse(data) if converter is not None
+                   else converters.parse_bytes(data, format=format,
+                                               path=path))
+    except EasyViewError as exc:
+        findings = Findings(config, subject=path)
+        findings.add("EV302", "profile does not convert: %s" % exc)
+        diagnostics.extend(findings.items)
+        return diagnostics
+    diagnostics.extend(lint_profile(profile, config=config, subject=path))
+    return diagnostics

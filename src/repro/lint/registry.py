@@ -1,0 +1,139 @@
+"""The rule registry: every ProfLint rule, its ID, and its configuration.
+
+Rule IDs are stable and documented in ``docs/LINTING.md``:
+
+* ``EV1xx`` — formula static analysis,
+* ``EV2xx`` — callback / programming-pane vetting,
+* ``EV3xx`` — profile & CCT invariants.
+
+Analyzers *declare* their rules here (with a bad/good example each, which
+the doc and the test suite consume) and *emit* findings through
+:meth:`LintConfig.diag`, which applies per-rule enable/disable switches and
+severity overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from ..errors import Span
+from .diagnostics import Diagnostic, Severity
+
+FAMILIES = ("formula", "callback", "profile")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    id: str
+    family: str              # one of FAMILIES
+    severity: Severity       # default severity
+    summary: str             # one-line description
+    bad: str = ""            # an input that triggers the rule
+    good: str = ""           # the corrected counterpart
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Register a rule (import-time, once per ID)."""
+    if rule.id in _REGISTRY:
+        raise ValueError("duplicate lint rule id %r" % rule.id)
+    if rule.family not in FAMILIES:
+        raise ValueError("rule %s has unknown family %r"
+                         % (rule.id, rule.family))
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError("unknown lint rule %r (have: %s)"
+                       % (rule_id, ", ".join(sorted(_REGISTRY)))) from None
+
+
+def all_rules(family: Optional[str] = None) -> List[Rule]:
+    """Every registered rule, sorted by ID (optionally one family)."""
+    rules = sorted(_REGISTRY.values(), key=lambda r: r.id)
+    if family is not None:
+        rules = [r for r in rules if r.family == family]
+    return rules
+
+
+class LintConfig:
+    """Per-run rule configuration: disables and severity overrides.
+
+    Accepts directive strings as the CLI takes them: ``"EV104=off"``
+    disables a rule, ``"EV305=warning"`` re-levels one, and a bare
+    ``"EV104"`` also disables.  Family names work too: ``"formula=off"``.
+    """
+
+    def __init__(self, disabled: Optional[Iterable[str]] = None,
+                 severities: Optional[Mapping[str, Severity]] = None
+                 ) -> None:
+        self.disabled = set(disabled or ())
+        self.severities: Dict[str, Severity] = dict(severities or {})
+
+    @classmethod
+    def from_directives(cls, directives: Iterable[str]) -> "LintConfig":
+        config = cls()
+        for directive in directives:
+            name, _, value = directive.partition("=")
+            name = name.strip()
+            value = value.strip().lower()
+            if not value or value == "off":
+                config.disabled.add(name)
+            elif value == "on":
+                config.disabled.discard(name)
+            else:
+                config.severities[name] = Severity.parse(value)
+        return config
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.disabled:
+            return False
+        rule = _REGISTRY.get(rule_id)
+        return rule is None or rule.family not in self.disabled
+
+    def severity(self, rule_id: str) -> Severity:
+        override = self.severities.get(rule_id)
+        if override is not None:
+            return override
+        return get_rule(rule_id).severity
+
+    def diag(self, rule_id: str, message: str,
+             span: Optional[Span] = None, subject: str = "",
+             line: int = 0) -> Optional[Diagnostic]:
+        """Build a diagnostic for a rule, or None when it is disabled."""
+        if not self.enabled(rule_id):
+            return None
+        rule = get_rule(rule_id)
+        return Diagnostic(rule=rule_id, severity=self.severity(rule_id),
+                          message=message, span=span, source=rule.family,
+                          subject=subject, line=line)
+
+
+#: The everything-on default configuration.
+DEFAULT_CONFIG = LintConfig()
+
+
+class Findings:
+    """A small accumulator analyzers append into (drops disabled rules)."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 subject: str = "") -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.subject = subject
+        self.items: List[Diagnostic] = []
+
+    def add(self, rule_id: str, message: str, span: Optional[Span] = None,
+            line: int = 0) -> None:
+        diagnostic = self.config.diag(rule_id, message, span=span,
+                                      subject=self.subject, line=line)
+        if diagnostic is not None:
+            self.items.append(diagnostic)

@@ -1,0 +1,63 @@
+"""Renderers for lint reports: stable JSON and ANSI terminal text.
+
+The JSON shape is the same LSP-flavored payload the Profile View Protocol
+carries in ``ide/publishDiagnostics``, wrapped with summary counts — and it
+is deterministic (sorted diagnostics, sorted keys) so it can be snapshotted
+in golden tests and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+
+_COLORS = {
+    Severity.ERROR: "\x1b[31m",    # red
+    Severity.WARNING: "\x1b[33m",  # yellow
+    Severity.INFO: "\x1b[36m",     # cyan
+    Severity.HINT: "\x1b[2m",      # dim
+}
+_RESET = "\x1b[0m"
+
+
+def severity_counts(diagnostics: List[Diagnostic]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "info": n, "hint": n}`` (zeros kept)."""
+    counts = {severity.name.lower(): 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.name.lower()] += 1
+    return counts
+
+
+def to_report(diagnostics: List[Diagnostic]) -> Dict[str, object]:
+    """The JSON-ready report object for a lint run."""
+    ordered = sort_diagnostics(diagnostics)
+    return {
+        "diagnostics": [d.to_dict() for d in ordered],
+        "counts": severity_counts(ordered),
+        "ok": not any(d.severity is Severity.ERROR for d in ordered),
+    }
+
+
+def render_json(diagnostics: List[Diagnostic], indent: int = 2) -> str:
+    """Deterministic JSON text for golden tests and tooling."""
+    return json.dumps(to_report(diagnostics), indent=indent, sort_keys=True)
+
+
+def render_text(diagnostics: List[Diagnostic], color: bool = False) -> str:
+    """Line-per-finding terminal report with a trailing summary."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = []
+    for diagnostic in ordered:
+        text = diagnostic.format()
+        if color:
+            prefix = _COLORS.get(diagnostic.severity, "")
+            text = "%s%s%s" % (prefix, text, _RESET) if prefix else text
+        lines.append(text)
+    counts = severity_counts(ordered)
+    summary = ", ".join("%d %s%s" % (n, name, "" if n == 1 else "s")
+                        for name, n in counts.items() if n)
+    lines.append("clean: no findings" if not ordered
+                 else "findings: %s" % summary)
+    return "\n".join(lines)

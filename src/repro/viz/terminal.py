@@ -135,3 +135,10 @@ def render_summary(tree: ViewTree, metric_index: int = 0,
                      % (100.0 * value / total, node.frame.label()[:40],
                         value_text))
     return "\n".join(lines)
+
+
+def render_diagnostics(diagnostics, color: bool = False) -> str:
+    """Textual twin of the IDE's squiggle list: one ProfLint finding per
+    line, colored by severity, with a trailing summary count."""
+    from ..lint.render import render_text
+    return render_text(diagnostics, color=color)

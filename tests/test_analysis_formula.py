@@ -8,7 +8,7 @@ from hypothesis import given, strategies as st
 from repro.analysis.formula import (Binary, Call, Num, Ref, derive,
                                     evaluate, evaluate_str, parse, tokenize)
 from repro.analysis.transform import top_down
-from repro.errors import FormulaError
+from repro.errors import FormulaError, Span
 
 
 class TestLexer:
@@ -139,3 +139,78 @@ class TestDerive:
         derive(tree, "double", "cpu * 2")
         index = derive(tree, "quad", "double * 2")
         assert tree.root.inclusive[index] == 4000.0
+
+
+class TestEdgeCases:
+    """Satellite coverage: backticks, @N refs, %, ^, zero-division."""
+
+    def test_backquoted_name_evaluates(self):
+        env = {"cache misses": 40.0, "instructions": 20.0}
+        assert evaluate_str("`cache misses` / instructions", env) == 2.0
+
+    def test_profile_suffix_refs_evaluate(self):
+        env = {"bytes@1": 100.0, "bytes@2": 250.0}
+        assert evaluate_str("bytes@2 - bytes@1", env) == 150.0
+
+    def test_modulo(self):
+        assert evaluate_str("7 % 3", {}) == 1.0
+        assert evaluate_str("a % 4", {"a": 10.0}) == 2.0
+
+    def test_power_chain_right_associative_with_refs(self):
+        assert evaluate_str("x ^ y ^ z",
+                            {"x": 2.0, "y": 3.0, "z": 2.0}) == 512.0
+
+    def test_modulo_by_zero_constant_is_zero(self):
+        assert evaluate_str("5 % 0", {}) == 0.0
+        assert evaluate_str("5 / 0", {}) == 0.0
+
+    def test_percent_binds_like_multiplication(self):
+        assert evaluate_str("1 + 7 % 3", {}) == 2.0
+
+
+class TestSpans:
+    """Every FormulaError carries the offending character span."""
+
+    def test_lex_error_span_points_at_character(self):
+        with pytest.raises(FormulaError) as info:
+            tokenize("a ? b")
+        assert info.value.span is not None
+        assert "a ? b"[info.value.span.start] == "?"
+
+    def test_unterminated_backquote_span(self):
+        with pytest.raises(FormulaError) as info:
+            tokenize("a + `oops")
+        assert info.value.span.start == 4
+
+    def test_parse_error_span(self):
+        with pytest.raises(FormulaError) as info:
+            parse("cycles + * 2")
+        assert "cycles + * 2"[info.value.span.start] == "*"
+
+    def test_trailing_garbage_span(self):
+        with pytest.raises(FormulaError) as info:
+            parse("1 2")
+        assert info.value.span.start == 2
+
+    def test_unknown_metric_error_span(self):
+        with pytest.raises(FormulaError) as info:
+            evaluate_str("a + missing", {"a": 1.0})
+        span = info.value.span
+        assert "a + missing"[span.start:span.end] == "missing"
+
+    def test_arity_error_span_covers_call(self):
+        with pytest.raises(FormulaError) as info:
+            evaluate_str("1 + max(2)", {})
+        span = info.value.span
+        assert "1 + max(2)"[span.start:span.end] == "max(2)"
+
+    def test_ast_nodes_carry_spans(self):
+        ast = parse("cycles + max(1, 2)")
+        assert ast.span.slice("cycles + max(1, 2)") == "cycles + max(1, 2)"
+        assert ast.left.span.slice("cycles + max(1, 2)") == "cycles"
+        assert ast.right.span.slice("cycles + max(1, 2)") == "max(1, 2)"
+
+    def test_token_spans_cover_text(self):
+        tokens = tokenize("ab + `c d`")
+        assert tokens[0].span() == Span(0, 2)
+        assert tokens[2].span() == Span(5, 10)  # includes the backquotes

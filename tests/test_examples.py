@@ -27,10 +27,18 @@ def test_example_runs_clean(script, tmp_path):
     # tmp_path, not the repository.
     target = tmp_path / script
     shutil.copy(examples_dir / script, target)
+    # The scripts run from tmp_path, so a relative PYTHONPATH (the tier-1
+    # invocation uses PYTHONPATH=src) would no longer resolve; rebuild it
+    # from this file's location.
+    env = dict(os.environ)
+    src_dir = str(examples_dir.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                     if p and os.path.isabs(p)])
     completed = subprocess.run(
         [sys.executable, str(target)],
         capture_output=True, text=True, timeout=180,
-        cwd=str(tmp_path))
+        cwd=str(tmp_path), env=env)
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "example produced no output"
 

@@ -1,0 +1,161 @@
+"""End-to-end tests for ``easyview lint`` and the ``view/lint`` protocol.
+
+Covers the ISSUE acceptance criteria: a profile with a dangling
+string-table index exits nonzero while a clean one exits zero; a formula
+with an undefined metric yields a diagnostic with a rule ID and character
+span; a callback calling ``open()`` is flagged — plus the golden
+JSON-diagnostics snapshot and the ``ide/publishDiagnostics`` wiring.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.ide.mock_ide import MockIDE
+from repro.ide.protocol import IDE_PUBLISH_DIAGNOSTICS
+from repro.lint import lint_formula, lint_source, render_json
+from repro.proto import pprof_pb
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "lint_golden.json")
+
+
+def make_pprof(dangling=False):
+    msg = pprof_pb.Profile()
+    msg.string_table = ["", "cpu", "nanoseconds", "main", "work", "a.py"]
+    msg.sample_type.append(pprof_pb.ValueType(type=1, unit=2))
+    msg.function.append(pprof_pb.Function(id=1, name=3, filename=5))
+    msg.function.append(pprof_pb.Function(id=2, name=4, filename=5))
+    msg.location.append(pprof_pb.Location(
+        id=1, line=[pprof_pb.Line(function_id=1, line=10)]))
+    msg.location.append(pprof_pb.Location(
+        id=2, line=[pprof_pb.Line(function_id=2, line=20)]))
+    msg.sample.append(pprof_pb.Sample(location_id=[2, 1], value=[42]))
+    if dangling:
+        msg.function[0].name = 99  # index past the string table
+    return pprof_pb.dumps(msg)
+
+
+@pytest.fixture
+def clean_path(tmp_path):
+    path = tmp_path / "clean.pb.gz"
+    path.write_bytes(make_pprof())
+    return str(path)
+
+
+@pytest.fixture
+def dangling_path(tmp_path):
+    path = tmp_path / "dangling.pb.gz"
+    path.write_bytes(make_pprof(dangling=True))
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_profile_exits_zero(self, clean_path, capsys):
+        assert main(["lint", clean_path]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_dangling_string_index_exits_nonzero(self, dangling_path,
+                                                 capsys):
+        assert main(["lint", dangling_path]) == 1
+        out = capsys.readouterr().out
+        assert "EV301" in out and "string 99" in out
+
+    def test_formula_against_profile_metrics(self, clean_path, capsys):
+        # The pprof converter names the sample-type column "cpu".
+        assert main(["lint", clean_path, "--formula", "cpu / 2"]) == 0
+        assert main(["lint", clean_path, "--formula", "cpuz / 2"]) == 1
+        out = capsys.readouterr().out
+        assert "EV101" in out and "chars 0..4" in out
+
+    def test_formula_without_profile_skips_metric_check(self, capsys):
+        assert main(["lint", "--formula", "whatever + 1"]) == 0
+        assert main(["lint", "--formula", "whatever +"]) == 1
+        assert "EV100" in capsys.readouterr().out
+
+    def test_callback_file_with_open_is_flagged(self, tmp_path, capsys):
+        callback = tmp_path / "cb.py"
+        callback.write_text("def remap(frame):\n"
+                            "    return open(frame.name).read()\n")
+        assert main(["lint", "--callback", str(callback)]) == 1
+        out = capsys.readouterr().out
+        assert "EV202" in out and str(callback) in out
+
+    def test_disable_directive(self, dangling_path):
+        assert main(["lint", dangling_path, "--disable", "EV301"]) == 0
+
+    def test_severity_directive_downgrades_exit_code(self, dangling_path):
+        assert main(["lint", dangling_path,
+                     "--disable", "EV301=warning"]) == 0
+
+    def test_json_output_is_valid_and_sorted(self, dangling_path, capsys):
+        assert main(["lint", dangling_path, "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["counts"]["error"] == 1
+        assert report["diagnostics"][0]["ruleId"] == "EV301"
+
+    def test_unreadable_profile_reports_not_crashes(self, tmp_path, capsys):
+        path = tmp_path / "junk.pb.gz"
+        path.write_bytes(b"\x1f\x8b not actually gzip")
+        assert main(["lint", str(path)]) == 1
+
+
+class TestGoldenSnapshot:
+    def test_json_report_matches_golden(self):
+        diags = lint_formula("cyclez / (1000/8) + min(cycles)",
+                             metrics=["cycles", "instructions"])
+        diags += lint_source(
+            "def remap(frame):\n    return open(frame.name)\n",
+            subject="remap.py")
+        with open(GOLDEN) as handle:
+            assert render_json(diags) + "\n" == handle.read()
+
+
+class TestViewLintProtocol:
+    def test_view_lint_publishes_diagnostics(self, clean_path):
+        ide = MockIDE()
+        pid = ide.open_profile(clean_path)
+        result = ide.request("view/lint", profileId=pid,
+                             formula="cpuz + 1",
+                             callbackSource="import os\n")
+        rules = {d["ruleId"] for d in result["diagnostics"]}
+        assert rules == {"EV101", "EV201"}
+        assert result["counts"]["error"] == 2
+        # The viewer pushed the same findings to the editor as squiggles.
+        assert {d["ruleId"] for d in ide.state.diagnostics} == rules
+        published = ide.actions_of(IDE_PUBLISH_DIAGNOSTICS)
+        assert len(published) == 1
+
+    def test_publish_replaces_previous_set(self, clean_path):
+        ide = MockIDE()
+        pid = ide.open_profile(clean_path)
+        ide.request("view/lint", profileId=pid, formula="cpuz + 1")
+        assert ide.state.diagnostics
+        ide.request("view/lint", profileId=pid, formula="cpu + 1")
+        assert ide.state.diagnostics == []
+
+    def test_view_lint_without_profile(self):
+        ide = MockIDE()
+        result = ide.request("view/lint", formula="1 / 0")
+        assert {d["ruleId"] for d in result["diagnostics"]} == {"EV104",
+                                                               "EV105"}
+
+    def test_view_lint_respects_disable(self, clean_path):
+        ide = MockIDE()
+        pid = ide.open_profile(clean_path)
+        result = ide.request("view/lint", profileId=pid,
+                             formula="cpuz + 1", disable=["EV101"])
+        assert result["diagnostics"] == []
+
+    def test_diagnostic_payload_shape(self):
+        ide = MockIDE()
+        result = ide.request("view/lint", formula="cyclez + 1")
+        assert result["diagnostics"] == []  # no metric env → EV101 skipped
+        result = ide.request("view/lint", callbackSource="eval('x')")
+        [diag] = result["diagnostics"]
+        assert diag["ruleId"] == "EV203"
+        assert diag["severity"] == 1
+        assert diag["source"] == "proflint:callback"
+        assert diag["range"]["start"] == 0

@@ -1,0 +1,85 @@
+"""Lint the repository's own artifacts (``-m lint_self``).
+
+Self-application of ProfLint: every profile fixture the test suite builds,
+every preset formula the viewer ships, and every formula literal that
+appears in ``examples/`` and ``benchmarks/`` must come out free of
+error-severity findings.  Run just this sweep with::
+
+    pytest -m lint_self
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis.presets import PRESETS
+from repro.lint import Severity, lint_formula, lint_profile
+
+pytestmark = pytest.mark.lint_self
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: formula="..." keyword arguments and derive(..., "name", "formula") calls.
+_FORMULA_KWARG = re.compile(r'formula\s*=\s*"([^"]+)"')
+_DERIVE_CALL = re.compile(
+    r'derive\([^,()]*,\s*"[^"]+",\s*"([^"]+)"')
+
+
+def errors_of(diagnostics):
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def harvest_formulas():
+    """Every formula literal in examples/ and benchmarks/ sources."""
+    found = []
+    for directory in ("examples", "benchmarks"):
+        root = os.path.join(REPO_ROOT, directory)
+        for name in sorted(os.listdir(root)):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for pattern in (_FORMULA_KWARG, _DERIVE_CALL):
+                for match in pattern.finditer(text):
+                    found.append(("%s/%s" % (directory, name),
+                                  match.group(1)))
+    return found
+
+
+class TestLintSelf:
+    def test_harvest_finds_formulas(self):
+        sources = {subject for subject, _ in harvest_formulas()}
+        assert "examples/quickstart.py" in sources
+        assert any(s.startswith("benchmarks/") for s in sources)
+
+    def test_example_and_benchmark_formulas_are_clean(self):
+        # metrics=None: the profiles these formulas run against are built
+        # inside the scripts, so only structural rules apply here.
+        problems = []
+        for subject, formula in harvest_formulas():
+            for diag in errors_of(lint_formula(formula, metrics=None)):
+                problems.append("%s: %s" % (subject, diag.format()))
+        assert not problems, "\n".join(problems)
+
+    def test_preset_formulas_are_clean(self):
+        for preset in PRESETS.values():
+            diags = errors_of(lint_formula(preset.formula, metrics=None))
+            assert not diags, "%s: %s" % (preset.name,
+                                          [d.format() for d in diags])
+
+    def test_handbuilt_fixtures_are_clean(self, simple_profile,
+                                          recursive_profile):
+        for profile in (simple_profile, recursive_profile):
+            assert errors_of(lint_profile(profile)) == []
+
+    def test_workload_fixtures_are_clean(self, grpc_profile, lulesh,
+                                         lulesh_reuse, spark_pair):
+        for profile in (grpc_profile, lulesh, lulesh_reuse) + spark_pair:
+            diags = errors_of(lint_profile(profile))
+            assert diags == [], [d.format() for d in diags]
+
+    def test_synthetic_pprof_corpus_is_clean(self, small_pprof_bytes):
+        from repro.lint import lint_pprof_bytes
+        assert errors_of(lint_pprof_bytes(small_pprof_bytes)) == []
