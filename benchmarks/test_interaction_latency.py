@@ -75,6 +75,48 @@ def test_table_hot_path_latency(benchmark, open_session):
     assert benchmark.stats.stats.mean < SMOOTH_SECONDS
 
 
+def test_cached_transform_vs_cold(benchmark, medium_bytes):
+    """The engine's memo makes a repeated transform a digest + lookup.
+
+    The cold pass runs the full transform; the warm passes hit the LRU.
+    The hit/miss counters prove the cache (not a lucky fast path) served
+    the repeats.
+    """
+    import time
+
+    from repro.engine import AnalysisEngine
+
+    engine = AnalysisEngine()
+    profile = parse_pprof(medium_bytes)
+    t0 = time.perf_counter()
+    engine.transform(profile, "bottom_up")
+    cold_seconds = time.perf_counter() - t0
+
+    tree = benchmark(lambda: engine.transform(profile, "bottom_up"))
+    assert tree.node_count() > 1
+    stats = engine.stats()
+    assert stats["operations"]["transform"]["misses"] == 1
+    assert stats["operations"]["transform"]["hits"] >= 1
+    # Warm (digest + lookup) must beat cold (digest + full transform).
+    assert benchmark.stats.stats.mean < cold_seconds
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["cache"] = stats["operations"]["transform"]
+
+
+def test_cached_hover_attribution(benchmark, open_session):
+    """Repeated hovers reuse the engine's memoized line attribution."""
+    from repro.engine import AnalysisEngine
+
+    ide, opened = open_session
+    ide.session.engine = engine = AnalysisEngine()
+    file = engine.annotated_files(
+        ide.session.view(opened.id, "top_down"))[0]
+    result = benchmark(lambda: ide.request(
+        "view/hover", profileId=opened.id, file=file, line=1))
+    assert engine.stats()["operations"]["annotation"]["hits"] >= 1
+    assert benchmark.stats.stats.mean < SMOOTH_SECONDS
+
+
 def test_derive_metric_latency(benchmark, open_session):
     ide, opened = open_session
     counter = [0]

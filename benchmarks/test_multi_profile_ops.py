@@ -53,6 +53,48 @@ def test_diff_medium_profiles(benchmark):
     benchmark.extra_info["nodes"] = tree.node_count()
 
 
+def test_cached_aggregate_vs_cold(benchmark, spark_fleet):
+    """A repeated 16-profile aggregation is served from the engine cache."""
+    import time
+
+    from repro.engine import AnalysisEngine
+
+    engine = AnalysisEngine()
+    t0 = time.perf_counter()
+    engine.aggregate_profiles(spark_fleet)
+    cold_seconds = time.perf_counter() - t0
+
+    tree = benchmark(lambda: engine.aggregate_profiles(spark_fleet))
+    task = tree.find_by_name("Task.run")[0]
+    assert len(task.histogram[0]) == len(spark_fleet)
+    stats = engine.stats()
+    assert stats["operations"]["aggregate"]["misses"] == 1
+    assert stats["operations"]["aggregate"]["hits"] >= 1
+    assert benchmark.stats.stats.mean < cold_seconds
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["cache"] = stats["operations"]["aggregate"]
+
+
+def test_cached_diff_vs_cold(benchmark, spark_fleet):
+    """A repeated diff is a pair of digests plus one LRU lookup."""
+    import time
+
+    from repro.engine import AnalysisEngine
+
+    engine = AnalysisEngine()
+    baseline, treatment = spark_fleet[0], spark_fleet[1]
+    t0 = time.perf_counter()
+    engine.diff_profiles(baseline, treatment)
+    cold_seconds = time.perf_counter() - t0
+
+    tree = benchmark(lambda: engine.diff_profiles(baseline, treatment))
+    assert summarize(tree)
+    stats = engine.stats()
+    assert stats["operations"]["diff"]["misses"] == 1
+    assert stats["operations"]["diff"]["hits"] >= 1
+    assert benchmark.stats.stats.mean < cold_seconds
+
+
 def test_snapshot_aggregation(benchmark):
     """The Task III path: aggregating a 20-capture snapshot series."""
     from repro.analysis.aggregate import snapshot_series

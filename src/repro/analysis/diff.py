@@ -103,10 +103,17 @@ def diff_trees(baseline: ViewTree, treatment: ViewTree,
 def diff_profiles(baseline: Profile, treatment: Profile,
                   shape: str = "top_down", metric: Optional[str] = None,
                   tolerance: float = 0.0) -> ViewTree:
-    """Transform both profiles into ``shape`` and diff the views."""
+    """Transform both profiles into ``shape`` and diff the views.
+
+    ``metric`` is resolved against the *union* schema — the column order of
+    the diff tree itself.  Resolving against the baseline alone would
+    classify tags on the wrong column whenever the two profiles declare
+    their metrics in different orders.
+    """
     t1 = transform(baseline, shape)
     t2 = transform(treatment, shape)
-    metric_index = t1.schema.index_of(metric) if metric else 0
+    schema = t1.schema.union(t2.schema)
+    metric_index = schema.index_of(metric) if metric else 0
     return diff_trees(t1, t2, metric_index=metric_index, tolerance=tolerance)
 
 
@@ -136,6 +143,10 @@ def add_delta_column(tree: ViewTree, metric_index: int,
             node.inclusive[column] = after - before
         else:
             node.inclusive[column] = after / before if before else 0.0
+    # In-place mutation: drop the tree from any engine cache (lazy import —
+    # the engine depends on this package).
+    from ..engine import invalidate_everywhere
+    invalidate_everywhere(tree)
     return column
 
 

@@ -419,4 +419,9 @@ def derive(tree: ViewTree, name: str, formula: str, unit: str = "",
         env = {metric_name: table.get(i, 0.0)
                for i, metric_name in enumerate(names)}
         table[index] = evaluate(expr, env)
+    # The tree's content changed in place: any engine serving it under its
+    # pre-mutation digest must forget it (lazy import — the engine depends
+    # on this package).
+    from ..engine import invalidate_everywhere
+    invalidate_everywhere(tree)
     return index

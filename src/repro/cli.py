@@ -9,6 +9,7 @@ Subcommands mirror the viewer's capabilities for headless use:
 * ``report``    — write a self-contained HTML report
 * ``lint``      — static analysis: formulas, callbacks, profile invariants
 * ``formats``   — list supported input formats
+* ``engine-stats`` — analysis-engine cache counters (cold vs warm)
 * ``serve``     — speak the Profile View Protocol over stdio
 """
 
@@ -51,12 +52,13 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _cmd_diff(args: argparse.Namespace) -> int:
     from .converters import open_profile
-    from .analysis.diff import diff_profiles, summarize
+    from .analysis.diff import summarize
+    from .engine import get_engine
     from .viz.terminal import render_tree_text
 
     baseline = open_profile(args.baseline, format=args.format)
     treatment = open_profile(args.treatment, format=args.format)
-    tree = diff_profiles(baseline, treatment, shape=args.shape)
+    tree = get_engine().diff_profiles(baseline, treatment, shape=args.shape)
     print(render_tree_text(tree))
     print()
     tags = summarize(tree)
@@ -67,12 +69,12 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_aggregate(args: argparse.Namespace) -> int:
     from .converters import open_profile
-    from .analysis.aggregate import aggregate_profiles
+    from .engine import get_engine
     from .viz.terminal import render_tree_text
 
     profiles = [open_profile(path, format=args.format)
                 for path in args.paths]
-    tree = aggregate_profiles(profiles, shape=args.shape)
+    tree = get_engine().aggregate_profiles(profiles, shape=args.shape)
     print("aggregated %d profiles; showing %s"
           % (len(profiles), tree.schema[0].name))
     print(render_tree_text(tree))
@@ -308,6 +310,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_stats(args: argparse.Namespace) -> int:
+    """Report the shared engine's cache counters.
+
+    With profile paths, first exercises the engine — transform + layout per
+    profile, plus a diff of the first two and an aggregate over all of them
+    when several are given — twice over, so the report shows the cold
+    (miss) and warm (hit) cost side by side.
+    """
+    import time
+
+    from .engine import get_engine
+
+    engine = get_engine()
+    if args.paths:
+        from .converters import open_profile
+
+        profiles = [open_profile(path, format=args.format)
+                    for path in args.paths]
+
+        def workload() -> None:
+            for profile in profiles:
+                tree = engine.transform(profile, args.shape)
+                engine.layout(tree)
+            if len(profiles) >= 2:
+                engine.diff_profiles(profiles[0], profiles[1],
+                                     shape=args.shape)
+                engine.aggregate_profiles(profiles, shape=args.shape)
+
+        t0 = time.perf_counter()
+        workload()
+        t1 = time.perf_counter()
+        workload()
+        t2 = time.perf_counter()
+        print("cold pass: %.1f ms" % ((t1 - t0) * 1e3))
+        print("warm pass: %.1f ms" % ((t2 - t1) * 1e3))
+
+    stats = engine.stats()
+    print("cache: %d/%d entries, %d hits, %d misses, %d evictions, "
+          "%d bypasses (hit rate %.1f%%)"
+          % (stats["size"], stats["capacity"], stats["hits"],
+             stats["misses"], stats["evictions"], stats["bypasses"],
+             100.0 * stats["hitRate"]))
+    for operation, counts in stats["operations"].items():
+        print("  %-12s %d hits / %d misses"
+              % (operation, counts["hits"], counts["misses"]))
+    pool = stats["pool"]
+    print("pool: %d workers, %d parallel batches, %d inline batches"
+          % (pool["maxWorkers"], pool["parallelBatches"],
+             pool["inlineBatches"]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -448,6 +502,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_formats = sub.add_parser("formats", help="list supported formats")
     p_formats.set_defaults(fn=_cmd_formats)
+
+    p_engine = sub.add_parser(
+        "engine-stats",
+        help="analysis-engine cache counters (optionally exercising the "
+             "engine on the given profiles, cold then warm)")
+    p_engine.add_argument("paths", nargs="*")
+    p_engine.add_argument("--format", default=None)
+    p_engine.add_argument("--shape", default="top_down",
+                          choices=["top_down", "bottom_up", "flat"])
+    p_engine.set_defaults(fn=_cmd_engine_stats)
 
     p_serve = sub.add_parser("serve",
                              help="Profile View Protocol server on stdio")

@@ -2,6 +2,7 @@
 trees, metric schemas, monitoring points, and binary (de)serialization."""
 
 from .cct import CCT, CCTNode
+from .digest import profile_digest, schema_digest, viewtree_digest
 from .frame import (Frame, FrameKind, ROOT_FRAME, SourceLocation,
                     data_object_frame, intern_frame)
 from .metric import Aggregation, Metric, MetricSchema
@@ -15,4 +16,5 @@ __all__ = [
     "data_object_frame", "intern_frame", "Aggregation", "Metric",
     "MetricSchema", "MonitoringPoint", "PointKind", "Profile", "ProfileMeta",
     "StringTable", "serialize", "jsonio",
+    "profile_digest", "schema_digest", "viewtree_digest",
 ]

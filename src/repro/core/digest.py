@@ -1,0 +1,158 @@
+"""Stable content digests for profiles and view trees.
+
+The analysis engine (:mod:`repro.engine`) memoizes expensive operations —
+transforms, diffs, aggregation, layout — keyed by the *content* of their
+inputs rather than object identity, so equal profiles share cached results
+and any mutation is picked up on the next request.  The digests here are
+that key material: a short BLAKE2b hash over everything an analysis can
+observe.
+
+* :func:`profile_digest` covers the metric schema, the CCT structure (frame
+  identities plus parent/child shape), every node's exclusive metric
+  values, and the monitoring points.  Cached *inclusive* values are
+  deliberately excluded: they are derived from the exclusives, so a profile
+  digests the same whether or not ``compute_inclusive`` has run.
+* :func:`viewtree_digest` covers the schema, the shape string, and every
+  node's frame, inclusive/exclusive values, differential tag, baseline
+  values, and histogram series.
+
+Digests are *stable*: children are visited in a canonical sort order, so
+two profiles built from the same samples in a different insertion order
+digest identically.  Digesting is a single O(nodes) walk with no
+allocation per node beyond the hash state — far cheaper than any of the
+operations it guards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.viewtree import ViewTree
+    from .metric import MetricSchema
+    from .profile import Profile
+
+#: Digest size in bytes; 16 gives a 32-hex-char key with negligible
+#: collision probability at cache scale.
+_DIGEST_SIZE = 16
+
+_PACK_DOUBLE = struct.Struct("<d").pack
+_PACK_INT = struct.Struct("<q").pack
+
+#: Structure markers keeping the encoding prefix-free: without explicit
+#: enter/exit bytes, a chain of three nodes and a node with two children
+#: could hash the same field stream.
+_ENTER = b"\x01"
+_EXIT = b"\x02"
+_SEP = b"\x00"
+
+
+def _new_hash():
+    return hashlib.blake2b(digest_size=_DIGEST_SIZE)
+
+
+def _update_str(h, text: str) -> None:
+    data = text.encode("utf-8", "surrogatepass")
+    h.update(_PACK_INT(len(data)))
+    h.update(data)
+
+
+def _update_values(h, values) -> None:
+    """Hash a metric-index → float mapping in index order."""
+    for index in sorted(values):
+        h.update(_PACK_INT(index))
+        h.update(_PACK_DOUBLE(values[index]))
+    h.update(_SEP)
+
+
+def _update_frame(h, frame) -> None:
+    _update_str(h, frame.name)
+    _update_str(h, frame.file)
+    h.update(_PACK_INT(frame.line))
+    _update_str(h, frame.module)
+    h.update(_PACK_INT(frame.address))
+    h.update(_PACK_INT(int(frame.kind)))
+
+
+def _update_schema(h, schema: "MetricSchema") -> None:
+    h.update(_PACK_INT(len(schema)))
+    for metric in schema:
+        _update_str(h, metric.name)
+        _update_str(h, metric.unit)
+        h.update(_PACK_INT(int(metric.aggregation)))
+    h.update(_SEP)
+
+
+def schema_digest(schema: "MetricSchema") -> str:
+    """Hex digest of a metric schema (names, units, aggregations, order)."""
+    h = _new_hash()
+    _update_schema(h, schema)
+    return h.hexdigest()
+
+
+def profile_digest(profile: "Profile") -> str:
+    """Hex digest of a profile's schema, CCT, values, and points."""
+    h = _new_hash()
+    _update_schema(h, profile.schema)
+
+    # Iterative enter/exit walk; children sorted by frame identity so the
+    # digest does not depend on sample insertion order.
+    stack = [(profile.root, False)]
+    while stack:
+        node, exiting = stack.pop()
+        if exiting:
+            h.update(_EXIT)
+            continue
+        h.update(_ENTER)
+        _update_frame(h, node.frame)
+        _update_values(h, node.metrics)
+        stack.append((node, True))
+        children = sorted(node.children.values(),
+                          key=lambda n: n.frame.key())
+        stack.extend((child, False) for child in reversed(children))
+
+    h.update(_PACK_INT(len(profile.points)))
+    # Points are hashed in recorded order: the order of a snapshot series
+    # is part of its meaning.
+    for point in profile.points:
+        h.update(_PACK_INT(int(point.kind)))
+        h.update(_PACK_INT(point.sequence))
+        _update_values(h, point.values)
+        h.update(_PACK_INT(len(point.contexts)))
+        for context in point.contexts:
+            _update_frame(h, context.frame)
+            h.update(_PACK_INT(context.depth()))
+    return h.hexdigest()
+
+
+def viewtree_digest(tree: "ViewTree") -> str:
+    """Hex digest of a view tree's schema, shape, structure, and values."""
+    h = _new_hash()
+    _update_str(h, tree.shape)
+    _update_schema(h, tree.schema)
+
+    stack = [(tree.root, False)]
+    while stack:
+        node, exiting = stack.pop()
+        if exiting:
+            h.update(_EXIT)
+            continue
+        h.update(_ENTER)
+        _update_frame(h, node.frame)
+        _update_values(h, node.inclusive)
+        _update_values(h, node.exclusive)
+        _update_str(h, node.tag or "")
+        _update_values(h, node.baseline)
+        for index in sorted(node.histogram):
+            h.update(_PACK_INT(index))
+            series = node.histogram[index]
+            h.update(_PACK_INT(len(series)))
+            for value in series:
+                h.update(_PACK_DOUBLE(value))
+        h.update(_SEP)
+        stack.append((node, True))
+        children = sorted(node.children.items(), key=lambda kv: repr(kv[0]))
+        stack.extend((child, False) for _, child in reversed(children))
+    return h.hexdigest()

@@ -1,0 +1,114 @@
+"""The engine's LRU result cache with hit/miss/eviction accounting.
+
+One cache instance backs one :class:`~repro.engine.AnalysisEngine`.  Keys
+are ``(operation, *content digests, *canonicalized options)`` tuples built
+by the engine; values are whatever the operation produced (view trees,
+layouts, attribution tables).  The cache is thread-safe: the engine's
+worker pool may populate it from several threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+class CacheStats:
+    """Counters for one cache: global and per-operation."""
+
+    __slots__ = ("hits", "misses", "evictions", "bypasses", "per_operation")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Requests that skipped the cache (uncacheable options such as a
+        #: user callback or an arbitrary zoom root).
+        self.bypasses = 0
+        self.per_operation: Dict[str, Dict[str, int]] = {}
+
+    def record(self, operation: str, hit: bool) -> None:
+        bucket = self.per_operation.setdefault(operation,
+                                               {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            bucket["hits"] += 1
+        else:
+            self.misses += 1
+            bucket["misses"] += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "hitRate": round(self.hit_rate, 4),
+            "operations": {op: dict(counts)
+                           for op, counts in sorted(
+                               self.per_operation.items())},
+        }
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, operation: str, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(found, value)``, recording a hit or miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.record(operation, hit=False)
+                return False, None
+            self._entries.move_to_end(key)
+            self.stats.record(operation, hit=True)
+            return True, value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def forget_value(self, value: Any) -> int:
+        """Drop every entry whose cached value *is* ``value``.
+
+        Used when a consumer mutates a cached object in place (e.g. the
+        formula engine deriving a new metric column onto a view tree): the
+        stored result no longer matches its content key.
+        """
+        with self._lock:
+            stale = [key for key, cached in self._entries.items()
+                     if cached is value]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()

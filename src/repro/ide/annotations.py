@@ -67,7 +67,12 @@ def assembly_attribution(tree: ViewTree) -> Dict[LineKey, List[str]]:
 
 def build_code_lenses(tree: ViewTree, file: Optional[str] = None,
                       min_fraction: float = 0.001,
-                      with_assembly: bool = True) -> List[CodeLens]:
+                      with_assembly: bool = True,
+                      attribution: Optional[Dict[LineKey,
+                                                 Dict[int, float]]] = None,
+                      assembly: Optional[Dict[LineKey,
+                                              List[str]]] = None
+                      ) -> List[CodeLens]:
     """One code lens per attributed line, showing its metric values.
 
     ``file`` restricts lenses to one document (what the IDE requests when a
@@ -75,12 +80,21 @@ def build_code_lenses(tree: ViewTree, file: Optional[str] = None,
     any metric's total are skipped to avoid annotation noise.  When the
     profile carries instruction-level contexts, each lens also lists the
     statement's assembly annotations (§VI-B).
+
+    ``attribution``/``assembly`` accept precomputed tables (the analysis
+    engine memoizes them per tree content), so batched per-file requests
+    do not re-walk the tree for every document.
     """
     totals = {index: tree.total(index) or 1.0
               for index in range(len(tree.schema))}
-    assembly = assembly_attribution(tree) if with_assembly else {}
+    if assembly is None:
+        assembly = assembly_attribution(tree) if with_assembly else {}
+    elif not with_assembly:
+        assembly = {}
+    if attribution is None:
+        attribution = line_attribution(tree)
     lenses: List[CodeLens] = []
-    for (path, line), values in sorted(line_attribution(tree).items()):
+    for (path, line), values in sorted(attribution.items()):
         if file is not None and path != file:
             continue
         significant = {index: value for index, value in values.items()
@@ -100,12 +114,17 @@ def build_code_lenses(tree: ViewTree, file: Optional[str] = None,
 
 
 def build_hover(tree: ViewTree, file: str, line: int,
-                tips: Optional[List[str]] = None) -> Optional[Hover]:
+                tips: Optional[List[str]] = None,
+                attribution: Optional[Dict[LineKey,
+                                           Dict[int, float]]] = None
+                ) -> Optional[Hover]:
     """The hover for one source line: every metric plus optimization tips.
 
     Returns None when the line has no attribution (the IDE shows nothing).
     """
-    values = line_attribution(tree).get((file, line))
+    if attribution is None:
+        attribution = line_attribution(tree)
+    values = attribution.get((file, line))
     if not values:
         return None
     lines = ["%s:%d" % (file, line)]
@@ -122,12 +141,15 @@ def build_hover(tree: ViewTree, file: str, line: int,
 
 def build_decorations(tree: ViewTree, metric_index: int = 0,
                       file: Optional[str] = None,
-                      color: Tuple[int, int, int] = (255, 96, 64)
+                      color: Tuple[int, int, int] = (255, 96, 64),
+                      attribution: Optional[Dict[LineKey,
+                                                 Dict[int, float]]] = None
                       ) -> List[Decoration]:
     """Line decorations whose intensity encodes the line's metric share."""
     total = tree.total(metric_index) or 1.0
     peak = 0.0
-    attribution = line_attribution(tree)
+    if attribution is None:
+        attribution = line_attribution(tree)
     for values in attribution.values():
         peak = max(peak, abs(values.get(metric_index, 0.0)))
     if peak == 0.0:

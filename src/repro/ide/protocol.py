@@ -55,6 +55,7 @@ VIEW_TABLE = "view/table"
 VIEW_TABLE_EXPAND = "view/tableExpand"
 VIEW_EXPORT = "view/export"
 VIEW_LINT = "view/lint"
+VIEW_ENGINE_STATS = "view/engineStats"
 
 # ide/* methods (viewer → IDE).
 IDE_OPEN_DOCUMENT = "ide/openDocument"       # the mandatory code link
@@ -68,7 +69,7 @@ VIEW_METHODS = frozenset({
     VIEW_OPEN, VIEW_CLOSE, VIEW_SHAPE, VIEW_SELECT, VIEW_CLICK, VIEW_SEARCH,
     VIEW_HOVER, VIEW_ZOOM, VIEW_SUMMARY, VIEW_DIFF, VIEW_AGGREGATE,
     VIEW_DERIVE, VIEW_CAPABILITIES, VIEW_TABLE, VIEW_TABLE_EXPAND,
-    VIEW_EXPORT, VIEW_LINT,
+    VIEW_EXPORT, VIEW_LINT, VIEW_ENGINE_STATS,
 })
 IDE_METHODS = frozenset({
     IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,

@@ -14,18 +14,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..analysis import aggregate as agg
 from ..analysis import formula as formula_mod
 from ..analysis import query as query_mod
-from ..analysis.transform import transform
 from ..analysis.viewtree import ViewNode, ViewTree
-from ..analysis.diff import diff_trees
 from ..core.profile import Profile
+from ..engine import AnalysisEngine, get_engine
 from ..errors import EasyViewError, ProtocolError
 from ..viz.histogram import sparkline, trend_label
-from ..viz.layout import FlameLayout, layout
+from ..viz.layout import FlameLayout
 from .actions import Capabilities, CodeLink, FloatingWindow, Hover
-from .annotations import (build_code_lenses, build_decorations, build_hover,
+from .annotations import (build_decorations, build_hover,
                           build_floating_window)
 from . import protocol as pvp
 
@@ -80,10 +78,15 @@ class ViewerSession:
 
     def __init__(self, sink: Optional[ActionSink] = None,
                  capabilities: Optional[Capabilities] = None,
-                 canvas_width: float = 1200.0) -> None:
+                 canvas_width: float = 1200.0,
+                 engine: Optional[AnalysisEngine] = None) -> None:
         self._sink = sink or (lambda method, params: None)
         self.capabilities = capabilities or Capabilities.full()
         self.canvas_width = canvas_width
+        #: All view/hover/code-lens computation routes through the engine;
+        #: by default sessions share the process-wide instance, so equal
+        #: profiles opened by different sessions share cached work.
+        self.engine = engine if engine is not None else get_engine()
         self._profiles: Dict[int, OpenedProfile] = {}
         self._next_id = 1
 
@@ -124,8 +127,8 @@ class ViewerSession:
                 opened.layouts[shape] = layout_profile(
                     profile, canvas_width=self.canvas_width)
             else:
-                opened.views[shape] = transform(profile, shape)
-                opened.layouts[shape] = layout(
+                opened.views[shape] = self.engine.transform(profile, shape)
+                opened.layouts[shape] = self.engine.layout(
                     opened.views[shape], canvas_width=self.canvas_width)
             t3 = time.perf_counter()
             stats.render_seconds = t3 - t2
@@ -147,10 +150,16 @@ class ViewerSession:
     # -- views -------------------------------------------------------------------
 
     def view(self, profile_id: int, shape: str) -> ViewTree:
-        """The (cached) view of one shape for an open profile."""
+        """The (cached) view of one shape for an open profile.
+
+        ``opened.views`` pins the tree object so node references stay
+        valid for the profile's lifetime even if the engine's LRU evicts
+        the entry; the engine supplies (and memoizes) the computation.
+        """
         opened = self.get(profile_id)
         if shape not in opened.views:
-            opened.views[shape] = transform(opened.profile, shape)
+            opened.views[shape] = self.engine.transform(opened.profile,
+                                                        shape)
         return opened.views[shape]
 
     def tree_table(self, profile_id: int, shape: str):
@@ -169,8 +178,9 @@ class ViewerSession:
         key = "%s:%s" % (shape, metric)
         if key not in opened.layouts:
             metric_index = tree.schema.index_of(metric) if metric else 0
-            opened.layouts[key] = layout(tree, metric_index=metric_index,
-                                         canvas_width=self.canvas_width)
+            opened.layouts[key] = self.engine.layout(
+                tree, metric_index=metric_index,
+                canvas_width=self.canvas_width)
         return opened.layouts[key]
 
     # -- the mandatory action -----------------------------------------------------
@@ -205,8 +215,9 @@ class ViewerSession:
             return None
         opened = self.get(profile_id)
         tips = self._tip_engine().tips_for(opened.profile, file, line)
-        hover = build_hover(self.view(profile_id, shape), file, line,
-                            tips=tips)
+        tree = self.view(profile_id, shape)
+        hover = build_hover(tree, file, line, tips=tips,
+                            attribution=self.engine.line_attribution(tree))
         if hover is not None:
             self._emit(pvp.IDE_HOVER, hover.to_params())
         return hover
@@ -219,10 +230,22 @@ class ViewerSession:
 
     def show_code_lenses(self, profile_id: int, shape: str,
                          file: Optional[str] = None) -> int:
-        """Emit code lenses for a document; returns how many were sent."""
+        """Emit code lenses for a document; returns how many were sent.
+
+        With no ``file``, lenses for every attributed document are built as
+        one batch through the engine's worker pool (the whole-workspace
+        refresh an IDE triggers after opening a profile).
+        """
         if not self.capabilities.code_lens:
             return 0
-        lenses = build_code_lenses(self.view(profile_id, shape), file=file)
+        tree = self.view(profile_id, shape)
+        if file is None:
+            per_file = self.engine.code_lenses_batch(
+                tree, self.engine.annotated_files(tree))
+            lenses = [lens for path in sorted(per_file)
+                      for lens in per_file[path]]
+        else:
+            lenses = self.engine.code_lenses(tree, file=file)
         for lens in lenses:
             self._emit(pvp.IDE_CODE_LENS, lens.to_params())
         return len(lenses)
@@ -240,8 +263,10 @@ class ViewerSession:
         """Emit color-semantics decorations; returns how many were sent."""
         if not self.capabilities.decorations:
             return 0
-        decorations = build_decorations(self.view(profile_id, shape),
-                                        file=file)
+        tree = self.view(profile_id, shape)
+        decorations = build_decorations(
+            tree, file=file,
+            attribution=self.engine.line_attribution(tree))
         for decoration in decorations:
             self._emit(pvp.IDE_SET_DECORATIONS, decoration.to_params())
         return len(decorations)
@@ -303,14 +328,15 @@ class ViewerSession:
         metric_index = tree.schema.index_of(metric) if metric else 0
         if format == "svg":
             from ..viz.svg import render_svg
-            return render_svg(layout(tree, metric_index=metric_index,
-                                     canvas_width=self.canvas_width),
+            return render_svg(self.engine.layout(
+                tree, metric_index=metric_index,
+                canvas_width=self.canvas_width),
                               metric=tree.schema[metric_index],
                               inverted=True)
         if format == "text":
             from ..viz.terminal import render_flame_text
-            return render_flame_text(layout(tree,
-                                            metric_index=metric_index))
+            return render_flame_text(self.engine.layout(
+                tree, metric_index=metric_index))
         if format == "html":
             from ..viz.flamegraph import FlameGraph
             from ..viz.html import HtmlReport
@@ -329,12 +355,12 @@ class ViewerSession:
         """Open a differential view of two loaded profiles as a new entry."""
         base = self.view(baseline_id, shape)
         treat = self.view(treatment_id, shape)
-        diff_tree = diff_trees(base, treat)
+        diff_tree = self.engine.diff_trees(base, treat)
         opened = OpenedProfile(self._next_id, self.get(treatment_id).profile)
         self._next_id += 1
         opened.views[shape] = diff_tree
-        opened.layouts[shape] = layout(diff_tree,
-                                       canvas_width=self.canvas_width)
+        opened.layouts[shape] = self.engine.layout(
+            diff_tree, canvas_width=self.canvas_width)
         self._profiles[opened.id] = opened
         return opened
 
@@ -342,13 +368,13 @@ class ViewerSession:
                        shape: str = "top_down") -> OpenedProfile:
         """Open an aggregate view over several loaded profiles."""
         trees = [self.view(pid, shape) for pid in profile_ids]
-        merged = agg.merge_trees(trees)
+        merged = self.engine.merge_trees(trees)
         opened = OpenedProfile(self._next_id,
                                self.get(profile_ids[0]).profile)
         self._next_id += 1
         opened.views[shape] = merged
-        opened.layouts[shape] = layout(merged,
-                                       canvas_width=self.canvas_width)
+        opened.layouts[shape] = self.engine.layout(
+            merged, canvas_width=self.canvas_width)
         self._profiles[opened.id] = opened
         return opened
 
@@ -444,8 +470,9 @@ class ViewerSession:
             opened = self.get(int(params["profileId"]))
             node = opened.node_by_ref(int(params["nodeRef"]))
             shape = params.get("shape", "top_down")
-            zoomed = layout(self.view(opened.id, shape), root=node,
-                            canvas_width=self.canvas_width)
+            zoomed = self.engine.layout(self.view(opened.id, shape),
+                                        root=node,
+                                        canvas_width=self.canvas_width)
             return {"blocks": zoomed.laid_out_nodes, "depth": zoomed.max_depth}
         if method == pvp.VIEW_SUMMARY:
             pvp.require_params(request, "profileId")
@@ -508,10 +535,15 @@ class ViewerSession:
             pvp.require_params(request, "profileId", "name", "formula")
             shape = params.get("shape", "top_down")
             tree = self.view(int(params["profileId"]), shape)
+            # derive() mutates the tree in place and drops it from every
+            # engine cache, so no content-equal profile can be served the
+            # derived-column tree under the pre-mutation key.
             index = formula_mod.derive(tree, params["name"],
                                        params["formula"],
                                        unit=params.get("unit", ""))
             return {"metricIndex": index}
+        if method == pvp.VIEW_ENGINE_STATS:
+            return self.engine.stats()
         raise ProtocolError("unknown method %r" % method)
 
     # -- internals -----------------------------------------------------------------

@@ -157,6 +157,11 @@ def encode_double(value: float) -> bytes:
     return struct.pack("<d", value)
 
 
+#: The bit pattern of the proto3 double default (+0.0); only this exact
+#: pattern is absent from the wire — ``-0.0`` has the sign bit set.
+_DOUBLE_ZERO = struct.pack("<d", 0.0)
+
+
 def decode_double(data: bytes, pos: int) -> Tuple[float, int]:
     """Decode a ``double`` field payload."""
     if pos + 8 > len(data):
@@ -272,8 +277,13 @@ class Writer:
         return self
 
     def double(self, field_number: int, value: float) -> "Writer":
-        """Write a ``double`` field."""
-        if value or self._emit_defaults:
+        """Write a ``double`` field.
+
+        Presence is judged on the bit pattern, not truthiness: ``-0.0`` is
+        falsy but bit-distinct from the proto3 default ``0.0`` and must
+        reach the wire, or a round trip silently flips its sign.
+        """
+        if self._emit_defaults or encode_double(value) != _DOUBLE_ZERO:
             self._chunks.append(encode_tag(field_number, WIRETYPE_FIXED64))
             self._chunks.append(encode_double(value))
         return self

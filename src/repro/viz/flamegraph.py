@@ -17,11 +17,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 # module objects under ``from ..analysis import transform``.
 from ..analysis import query
 from ..analysis import reuse as reuse_mod
-from ..analysis.aggregate import aggregate_profiles as _aggregate_profiles
-from ..analysis.diff import diff_profiles as _diff_profiles
-from ..analysis.transform import bottom_up as _bottom_up
-from ..analysis.transform import flat as _flat
-from ..analysis.transform import top_down as _top_down
 from ..analysis.viewtree import ViewNode, ViewTree
 from ..core.cct import CCTNode
 from ..core.profile import Profile
@@ -49,44 +44,62 @@ class FlameGraph:
         self._layout: Optional[FlameLayout] = None
 
     # -- constructors for the generic views --------------------------------
+    #
+    # All constructors route through the shared analysis engine
+    # (:mod:`repro.engine`), so repeated construction over equal profiles
+    # hits the memo instead of re-running the transform.  The import is
+    # lazy: the engine itself imports this package's layout module.
+
+    @staticmethod
+    def _engine(engine=None):
+        if engine is not None:
+            return engine
+        from ..engine import get_engine
+        return get_engine()
 
     @classmethod
-    def top_down(cls, profile: Profile, metric: str = "", **kwargs
-                 ) -> "FlameGraph":
+    def top_down(cls, profile: Profile, metric: str = "", engine=None,
+                 **kwargs) -> "FlameGraph":
         """The default view: callees under callers (Fig. 4's main pane)."""
-        return cls(_top_down(profile), metric=metric, **kwargs)
+        return cls(cls._engine(engine).transform(profile, "top_down"),
+                   metric=metric, **kwargs)
 
     @classmethod
-    def bottom_up(cls, profile: Profile, metric: str = "", **kwargs
-                  ) -> "FlameGraph":
+    def bottom_up(cls, profile: Profile, metric: str = "", engine=None,
+                  **kwargs) -> "FlameGraph":
         """Hot functions first, callers below (Fig. 6)."""
-        return cls(_bottom_up(profile), metric=metric, **kwargs)
+        return cls(cls._engine(engine).transform(profile, "bottom_up"),
+                   metric=metric, **kwargs)
 
     @classmethod
-    def flat(cls, profile: Profile, metric: str = "", **kwargs
-             ) -> "FlameGraph":
+    def flat(cls, profile: Profile, metric: str = "", engine=None,
+             **kwargs) -> "FlameGraph":
         """Program → module → file → function grouping."""
-        return cls(_flat(profile), metric=metric, **kwargs)
+        return cls(cls._engine(engine).transform(profile, "flat"),
+                   metric=metric, **kwargs)
 
     # -- constructors for the advanced views --------------------------------
 
     @classmethod
     def differential(cls, baseline: Profile, treatment: Profile,
-                     shape: str = "top_down", metric: str = "", **kwargs
-                     ) -> "FlameGraph":
-        """Differential flame graph with [A]/[D]/[+]/[-] tags (Fig. 3)."""
-        tree = _diff_profiles(baseline, treatment, shape=shape,
-                                      metric=metric or None)
-        graph = cls(tree, **kwargs)
-        if metric:
-            graph.metric_index = tree.schema.index_of(metric)
-        return graph
+                     shape: str = "top_down", metric: str = "", engine=None,
+                     **kwargs) -> "FlameGraph":
+        """Differential flame graph with [A]/[D]/[+]/[-] tags (Fig. 3).
+
+        ``metric`` is resolved exactly once, against the diff tree's union
+        schema (the resolution ``diff_profiles`` itself uses), so the
+        graph's ``metric_index`` and the node tags always agree.
+        """
+        tree = cls._engine(engine).diff_profiles(baseline, treatment,
+                                                 shape=shape,
+                                                 metric=metric or None)
+        return cls(tree, metric=metric, **kwargs)
 
     @classmethod
     def aggregate(cls, profiles: Sequence[Profile], shape: str = "top_down",
-                  metric: str = "", **kwargs) -> "FlameGraph":
+                  metric: str = "", engine=None, **kwargs) -> "FlameGraph":
         """Aggregate flame graph across threads/processes/runs (Fig. 4)."""
-        tree = _aggregate_profiles(profiles, shape=shape)
+        tree = cls._engine(engine).aggregate_profiles(profiles, shape=shape)
         graph = cls(tree, **kwargs)
         if metric:
             graph.metric_index = tree.schema.index_of("%s:sum" % metric)

@@ -21,6 +21,16 @@ def build(tool, entries):
     return builder.build()
 
 
+def build_multi(tool, metrics, entries):
+    """Build a profile with several metric columns, declared in order."""
+    builder = ProfileBuilder(tool=tool)
+    indices = {name: builder.metric(name) for name in metrics}
+    for path, values in entries:
+        builder.sample([(name, "s.c", 1) for name in path],
+                       {indices[name]: v for name, v in values.items()})
+    return builder.build()
+
+
 class TestAggregate:
     def test_stats_columns(self):
         p1 = build("a", [(("main", "f"), 10.0)])
@@ -47,6 +57,19 @@ class TestAggregate:
         tree = aggregate_profiles([p1, p2])
         a = tree.find_by_name("only_in_a")[0]
         assert a.histogram[0] == [5.0, 0.0]
+
+    def test_histogram_position_aligned_with_tree_order(self):
+        # A node absent from some trees still gets a full-length series,
+        # padded with 0.0 at the positions of the trees that lacked it.
+        p1 = build("a", [(("main", "shared"), 1.0)])
+        p2 = build("b", [(("main", "shared"), 2.0),
+                         (("main", "mid_only"), 9.0)])
+        p3 = build("c", [(("main", "shared"), 3.0)])
+        tree = merge_trees([top_down(p) for p in (p1, p2, p3)])
+        shared = tree.find_by_name("shared")[0]
+        assert shared.histogram[0] == [1.0, 2.0, 3.0]
+        mid = tree.find_by_name("mid_only")[0]
+        assert mid.histogram[0] == [0.0, 9.0, 0.0]
 
     def test_mixed_shapes_rejected(self, simple_profile):
         td = top_down(simple_profile)
@@ -118,6 +141,39 @@ class TestDiff:
         assert tags["shrinks"] == TAG_SHRANK
         assert tags["gone"] == TAG_DELETED
         assert tags["fresh"] == TAG_ADDED
+
+    def test_metric_only_in_treatment_resolves_against_union(self):
+        # Regression: ``metric`` used to be resolved against the baseline's
+        # schema alone, so naming a metric the treatment introduced raised
+        # SchemaError even though the diff tree carries that column.
+        base = build_multi("p1", ["cpu"],
+                           [(("main", "work"), {"cpu": 10.0})])
+        treat = build_multi("p2", ["alloc", "cpu"],
+                            [(("main", "work"), {"alloc": 64.0,
+                                                 "cpu": 10.0})])
+        tree = diff_profiles(base, treat, metric="alloc")
+        assert tree.schema.names() == ["cpu", "alloc"]
+        work = tree.find_by_name("work")[0]
+        # cpu is unchanged; the GREW tag proves classification ran on the
+        # alloc column at its union index, not on column 0.
+        assert work.tag == TAG_GREW
+        assert diff_profiles(base, treat,
+                             metric="cpu").find_by_name("work")[0].tag \
+            == TAG_SAME
+
+    def test_permuted_schemas_classify_on_named_metric(self):
+        # The two profiles declare the same metrics in opposite orders;
+        # tags must follow the *named* metric, whatever its local index.
+        base = build_multi("p1", ["alloc", "cpu"],
+                           [(("main", "work"), {"alloc": 100.0,
+                                                "cpu": 10.0})])
+        treat = build_multi("p2", ["cpu", "alloc"],
+                            [(("main", "work"), {"alloc": 40.0,
+                                                 "cpu": 10.0})])
+        shrank = diff_profiles(base, treat, metric="alloc")
+        assert shrank.find_by_name("work")[0].tag == TAG_SHRANK
+        same = diff_profiles(base, treat, metric="cpu")
+        assert same.find_by_name("work")[0].tag == TAG_SAME
 
     def test_deleted_node_keeps_baseline_value(self):
         base = build("p1", [(("main", "gone"), 5.0)])

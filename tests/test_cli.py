@@ -77,6 +77,20 @@ class TestDiffAggregate:
 
 
 class TestReportFormats:
+    def test_engine_stats_cold_and_warm(self, spark_paths, capsys):
+        rdd_path, sql_path = spark_paths
+        assert main(["engine-stats", rdd_path, sql_path]) == 0
+        out = capsys.readouterr().out
+        assert "cold pass:" in out
+        assert "warm pass:" in out
+        assert "hit rate" in out
+        assert "pool:" in out
+
+    def test_engine_stats_without_paths(self, capsys):
+        assert main(["engine-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+
     def test_report_written(self, pprof_path, tmp_path, capsys):
         out_path = str(tmp_path / "report.html")
         assert main(["report", pprof_path, "-o", out_path]) == 0

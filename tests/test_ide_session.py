@@ -205,6 +205,37 @@ class TestMultiProfileRequests:
                         name="x", formula="cpu +")
 
 
+class TestEngineStats:
+    def test_engine_stats_request(self, ide):
+        from repro.engine import AnalysisEngine
+        # Give the session a private engine so counters are deterministic.
+        ide.session.engine = AnalysisEngine()
+        profile = ide.session.get(ide.profile_id).profile
+        # Opening the same profile twice shares the memoized transform and
+        # layout: the second open is all cache hits.
+        ide.session.open(profile, shape="bottom_up")
+        ide.session.open(profile, shape="bottom_up")
+        stats = ide.request("view/engineStats")
+        assert set(stats) >= {"hits", "misses", "evictions", "bypasses",
+                              "hitRate", "operations", "size", "capacity",
+                              "pool"}
+        assert stats["hits"] >= 2       # transform + layout on reopen
+        assert stats["misses"] >= 2
+        assert stats["operations"]["transform"]["hits"] >= 1
+
+    def test_hover_twice_hits_attribution_cache(self, ide):
+        from repro.engine import AnalysisEngine
+        ide.session.engine = AnalysisEngine()
+        ide.request("view/hover", profileId=ide.profile_id,
+                    file="app.c", line=42)
+        before = ide.request("view/engineStats")
+        ide.request("view/hover", profileId=ide.profile_id,
+                    file="app.c", line=42)
+        after = ide.request("view/engineStats")
+        assert after["operations"]["annotation"]["hits"] \
+            > before["operations"]["annotation"].get("hits", 0)
+
+
 class TestServer:
     def test_stdio_server_round_trip(self, tmp_path, simple_profile):
         import io

@@ -56,6 +56,15 @@ class TestMessageRoundTrip:
         parsed = pb.MonitoringPoint.parse(point.serialize())
         assert parsed.values[0].value == -2.5
 
+    def test_negative_zero_metric_value_survives(self):
+        # -0.0 is not the proto3 double default; its sign bit must survive
+        # a full serialize/parse round trip.
+        import math
+        point = pb.MonitoringPoint(
+            context_id=[1], values=[pb.MetricValue(metric_id=0, value=-0.0)])
+        parsed = pb.MonitoringPoint.parse(point.serialize())
+        assert math.copysign(1.0, parsed.values[0].value) == -1.0
+
 
 class TestFileFraming:
     def test_dumps_magic(self):

@@ -157,6 +157,33 @@ class TestIterFields:
         writer = wire.Writer().varint(1, 0).string(2, "").double(3, 0.0)
         assert writer.getvalue() == b""
 
+    def test_negative_zero_double_is_present(self):
+        # Regression: ``value or emit_defaults`` treated -0.0 as the proto3
+        # default (it is falsy) and dropped it; only the exact +0.0 bit
+        # pattern is absent from the wire.
+        import math
+        import struct
+        data = wire.Writer().double(1, -0.0).getvalue()
+        assert data != b""
+        (num, wtype, raw) = next(iter(wire.iter_fields(data)))
+        assert (num, wtype) == (1, wire.WIRETYPE_FIXED64)
+        decoded = struct.unpack("<d", struct.pack("<Q", raw))[0]
+        assert math.copysign(1.0, decoded) == -1.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=True, width=64))
+    def test_double_presence_matches_bit_pattern(self, value):
+        # A double is omitted iff it is bit-identical to +0.0; everything
+        # else (including -0.0) round-trips through the wire exactly.
+        import struct
+        data = wire.Writer().double(5, value).getvalue()
+        if struct.pack("<d", value) == struct.pack("<d", 0.0):
+            assert data == b""
+        else:
+            fields = list(wire.iter_fields(data))
+            assert len(fields) == 1
+            decoded = struct.unpack("<d", struct.pack("<Q", fields[0][2]))[0]
+            assert struct.pack("<d", decoded) == struct.pack("<d", value)
+
     def test_emit_defaults(self):
         writer = wire.Writer(emit_defaults=True).varint(1, 0)
         assert writer.getvalue() == b"\x08\x00"

@@ -81,6 +81,31 @@ class TestSvg:
         svg = render_diff_svg(layout(tree))
         assert "Differential" in svg
 
+    def test_differential_metric_index_agrees_with_tags(self):
+        # Regression: ``metric`` was resolved twice — once inside
+        # diff_profiles (against the baseline schema) and once against the
+        # diff tree's union schema — so a metric the treatment introduced
+        # raised SchemaError.  A single union-schema resolution must leave
+        # metric_index and the node tags in agreement.
+        from repro import ProfileBuilder
+
+        def prof(metrics, alloc):
+            builder = ProfileBuilder()
+            idx = {m: builder.metric(m) for m in metrics}
+            values = {idx["cpu"]: 10.0}
+            if "alloc" in idx:
+                values[idx["alloc"]] = alloc
+            builder.sample([("main", "s.c", 1), ("work", "s.c", 2)], values)
+            return builder.build()
+
+        base = prof(["cpu"], 0.0)
+        treat = prof(["alloc", "cpu"], 64.0)
+        graph = FlameGraph.differential(base, treat, metric="alloc")
+        assert graph.metric_index == graph.tree.schema.index_of("alloc")
+        work = graph.tree.find_by_name("work")[0]
+        assert work.tag == "+"
+        assert work.delta(graph.metric_index) == 64.0
+
     def test_flamegraph_search_highlight(self, simple_profile):
         graph = FlameGraph.top_down(simple_profile)
         graph.search("work")
