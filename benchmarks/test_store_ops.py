@@ -1,0 +1,97 @@
+"""Supplementary bench — ProfStore serving latency, cold vs cached.
+
+The store's serve path is merge-on-read through the analysis engine, so
+the second identical query must be a digest-keyed cache hit — paying
+index lookup and profile loads but skipping the merge.  This bench
+ingests three corpus-tier profiles, measures a cold query against a
+repeat, and cross-checks the merged tree against a direct
+``aggregate.merge_trees`` over the same inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import aggregate
+from repro.analysis.transform import transform
+from repro.core.digest import viewtree_digest
+from repro.engine import AnalysisEngine
+from repro.profilers.corpus import CorpusSpec, generate_bytes, tier
+from repro.store import ProfileStore
+
+
+@pytest.fixture(scope="module")
+def tier_blobs(corpus):
+    """Three corpus-tier profiles: small, a reseeded small, and medium."""
+    spec = tier("small")
+    reseeded = CorpusSpec("small-b", functions=spec.functions,
+                          samples=spec.samples, max_depth=spec.max_depth,
+                          seed=spec.seed + 1)
+    return [corpus["small"], generate_bytes(reseeded), corpus["medium"]]
+
+
+@pytest.fixture
+def loaded_store(tmp_path, tier_blobs):
+    with ProfileStore(str(tmp_path / "store"), engine=AnalysisEngine(),
+                      fsync=False) as store:
+        for i, blob in enumerate(tier_blobs):
+            store.ingest(blob, service="svc", ptype="cpu",
+                         labels={"tier": str(i)})
+        store.flush()
+        yield store
+
+
+def test_cold_vs_cached_query(benchmark, loaded_store):
+    """A repeated store query is served from the engine's cache."""
+    store = loaded_store
+
+    t0 = time.perf_counter()
+    cold = store.query("service=svc type=cpu")
+    cold_s = time.perf_counter() - t0
+    assert cold.count == 3
+
+    hits_before = store.engine.stats()["operations"]["aggregate"]["hits"]
+    t0 = time.perf_counter()
+    warm = store.query("service=svc type=cpu")
+    warm_s = time.perf_counter() - t0
+    hits_after = store.engine.stats()["operations"]["aggregate"]["hits"]
+
+    # The acceptance gates: the repeat hit the cache and changed nothing.
+    assert hits_after == hits_before + 1
+    assert warm.digest() == cold.digest()
+    assert warm_s < cold_s
+
+    result = benchmark.pedantic(
+        lambda: store.query("service=svc type=cpu"), rounds=3, iterations=1)
+    assert result.digest() == cold.digest()
+    benchmark.extra_info["coldSeconds"] = round(cold_s, 4)
+    benchmark.extra_info["warmSeconds"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(cold_s / max(warm_s, 1e-9), 1)
+
+
+def test_merge_on_read_matches_direct_merge(loaded_store):
+    """The served tree is byte-identical to aggregate.merge_trees."""
+    store = loaded_store
+    result = store.query("service=svc")
+    profiles = [store.load(entry) for entry in result.entries]
+    merged = aggregate.merge_trees(
+        [transform(profile, "top_down") for profile in profiles])
+    assert viewtree_digest(merged) == result.digest()
+
+
+def test_ingest_throughput(benchmark, tmp_path, tier_blobs):
+    """Ingest cost: parse + lint + WAL append, no flush in the loop."""
+    with ProfileStore(str(tmp_path / "bench"), engine=AnalysisEngine(),
+                      flush_records=10_000, fsync=False) as store:
+        counter = [0]
+
+        def ingest_one():
+            counter[0] += 1
+            return store.ingest(tier_blobs[0], service="svc",
+                                labels={"n": str(counter[0])})
+
+        result = benchmark.pedantic(ingest_one, rounds=3, iterations=1)
+        assert result.entry.seq == counter[0]
+        benchmark.extra_info["walRecords"] = store.stats()["walRecords"]

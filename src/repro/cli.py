@@ -303,6 +303,132 @@ def _cmd_formats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_nanos(nanos: int) -> str:
+    import datetime
+    if nanos <= 0:
+        return "-"
+    stamp = datetime.datetime.fromtimestamp(nanos / 1e9,
+                                            tz=datetime.timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+
+    labels = {}
+    for item in args.label or []:
+        key, _, value = item.partition("=")
+        labels[key] = value
+    with ProfileStore(args.store) as store:
+        for path in args.paths:
+            result = store.ingest(path, service=args.service,
+                                  ptype=args.type, labels=labels,
+                                  format=args.format)
+            note = " (stamped at ingest)" if result.assigned_time else ""
+            print("ingested %s as #%d service=%s type=%s time=%s%s"
+                  % (path, result.entry.seq, args.service, args.type,
+                     _format_nanos(result.entry.time_nanos), note))
+            for diag in result.diagnostics:
+                print("  %s" % diag.format())
+        if not args.no_flush:
+            address = store.flush()
+            if address:
+                print("flushed to segment %s" % address)
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+    from .viz.flamegraph import FlameGraph
+    from .viz.terminal import render_summary
+
+    with ProfileStore(args.store) as store:
+        result = store.query(" ".join(args.query), shape=args.shape)
+        if result.tree is None:
+            print("no records match %r" % result.query.to_text())
+            return 1
+        print("merged %d records for %r"
+              % (result.count, result.query.to_text() or "<all>"))
+        graph = FlameGraph(result.tree)
+        print(graph.to_text(width=args.width, color=args.color))
+        print()
+        print(render_summary(result.tree, metric_index=graph.metric_index))
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+
+    with ProfileStore(args.store) as store:
+        entries = store.select(" ".join(args.query))
+        for entry in entries:
+            labels = " ".join("%s=%s" % kv
+                              for kv in sorted(entry.labels.items()))
+            print("#%-5d %-16s %-6s %-20s %-10s %s"
+                  % (entry.seq, entry.service or "-", entry.ptype,
+                     _format_nanos(entry.time_nanos),
+                     (entry.segment or "wal")[:10], labels))
+        print("%d records" % len(entries))
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+
+    with ProfileStore(args.store) as store:
+        before = store.stats()["segments"]
+        address = store.compact(small_records=args.small_records)
+        if address is None:
+            print("nothing to compact (%d segments)" % before)
+            return 0
+        after = store.stats()["segments"]
+        print("compacted %d segments into %s (%d live)"
+              % (before - after + 1, address, after))
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+    from .store.query import parse_age
+
+    max_age = parse_age(args.max_age) if args.max_age else None
+    with ProfileStore(args.store) as store:
+        report = store.gc(max_age_nanos=max_age,
+                          max_total_bytes=args.max_bytes)
+        print("removed %d segments, swept %d orphans"
+              % (len(report["removedSegments"]),
+                 len(report["orphansSwept"])))
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from .store import ProfileStore
+
+    with ProfileStore(args.store) as store:
+        stats = store.stats(verify=not args.no_verify)
+        print("store %s: %d segments (%d bytes), %d records "
+              "(%d in WAL), next seq %d"
+              % (stats["root"], stats["segments"], stats["segmentBytes"],
+                 stats["records"], stats["walRecords"], stats["nextSeq"]))
+        window = stats["timeRange"]
+        print("time range: %s .. %s"
+              % (_format_nanos(window["startNanos"]),
+                 _format_nanos(window["endNanos"])))
+        for service, count in sorted(stats["services"].items()):
+            print("  %-24s %d records" % (service or "-", count))
+        if stats["walRecoveredTornBytes"]:
+            print("recovered: truncated %d torn WAL bytes on open"
+                  % stats["walRecoveredTornBytes"])
+        if "integrity" in stats:
+            if stats["integrity"]["ok"]:
+                print("integrity: all segment content addresses verify")
+            else:
+                for problem in stats["integrity"]["problems"]:
+                    print("integrity: %s" % problem)
+                return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .ide.server import StdioServer
 
@@ -512,6 +638,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--shape", default="top_down",
                           choices=["top_down", "bottom_up", "flat"])
     p_engine.set_defaults(fn=_cmd_engine_stats)
+
+    p_store = sub.add_parser("store",
+                             help="persistent profile repository (ProfStore)")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_s_ingest = store_sub.add_parser(
+        "ingest", help="ingest profiles into the store")
+    p_s_ingest.add_argument("store", help="store root directory")
+    p_s_ingest.add_argument("paths", nargs="+")
+    p_s_ingest.add_argument("--service", required=True)
+    p_s_ingest.add_argument("--type", default="cpu")
+    p_s_ingest.add_argument("--format", default=None)
+    p_s_ingest.add_argument("--label", action="append", default=[],
+                            help="k=v ingest label (repeatable)")
+    p_s_ingest.add_argument("--no-flush", action="store_true",
+                            dest="no_flush",
+                            help="leave records in the WAL (no segment)")
+    p_s_ingest.set_defaults(fn=_cmd_store_ingest)
+
+    p_s_query = store_sub.add_parser(
+        "query", help="merge-on-read view over matching records")
+    p_s_query.add_argument("store")
+    p_s_query.add_argument("query", nargs="*",
+                           help="terms like service=api type=cpu since=6h")
+    p_s_query.add_argument("--shape", default="top_down",
+                           choices=["top_down", "bottom_up", "flat"])
+    p_s_query.add_argument("--width", type=int, default=100)
+    p_s_query.add_argument("--color", action="store_true")
+    p_s_query.set_defaults(fn=_cmd_store_query)
+
+    p_s_ls = store_sub.add_parser(
+        "ls", help="list matching records without merging")
+    p_s_ls.add_argument("store")
+    p_s_ls.add_argument("query", nargs="*")
+    p_s_ls.set_defaults(fn=_cmd_store_ls)
+
+    p_s_compact = store_sub.add_parser(
+        "compact", help="merge small segments into one")
+    p_s_compact.add_argument("store")
+    p_s_compact.add_argument("--small-records", type=int, default=32,
+                             dest="small_records",
+                             help="segments with at most this many records "
+                                  "are compaction candidates")
+    p_s_compact.set_defaults(fn=_cmd_store_compact)
+
+    p_s_gc = store_sub.add_parser(
+        "gc", help="apply retention: drop old segments")
+    p_s_gc.add_argument("store")
+    p_s_gc.add_argument("--max-age", default=None, dest="max_age",
+                        help="drop segments wholly older than this "
+                             "(e.g. 7d, 12h)")
+    p_s_gc.add_argument("--max-bytes", type=int, default=None,
+                        dest="max_bytes",
+                        help="drop oldest segments while the store "
+                             "exceeds this byte budget")
+    p_s_gc.set_defaults(fn=_cmd_store_gc)
+
+    p_s_stats = store_sub.add_parser(
+        "stats", help="store counters + segment integrity re-hash")
+    p_s_stats.add_argument("store")
+    p_s_stats.add_argument("--no-verify", action="store_true",
+                           dest="no_verify",
+                           help="skip re-hashing segment content addresses")
+    p_s_stats.set_defaults(fn=_cmd_store_stats)
 
     p_serve = sub.add_parser("serve",
                              help="Profile View Protocol server on stdio")

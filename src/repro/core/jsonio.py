@@ -153,3 +153,15 @@ def loads(text: str) -> Profile:
     if not isinstance(payload, dict):
         raise FormatError("document must be a JSON object")
     return from_dict(payload)
+
+
+def dump(profile: Profile, path: str, indent: int = 2) -> None:
+    """Write a profile to ``path`` as JSON, atomically."""
+    from .atomicio import atomic_write_text
+    atomic_write_text(path, dumps(profile, indent=indent))
+
+
+def load(path: str) -> Profile:
+    """Read a JSON profile from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -176,9 +176,10 @@ def loads(data: bytes) -> Profile:
 
 
 def dump(profile: Profile, path: str) -> None:
-    """Write a profile to ``path``."""
-    with open(path, "wb") as handle:
-        handle.write(dumps(profile))
+    """Write a profile to ``path`` atomically (tempfile + rename), so a
+    crash mid-write never leaves a torn profile behind."""
+    from .atomicio import atomic_write_bytes
+    atomic_write_bytes(path, dumps(profile))
 
 
 def load(path: str) -> Profile:

@@ -70,3 +70,12 @@ class FormulaError(AnalysisError):
 
 class ProtocolError(EasyViewError):
     """A Profile View Protocol message was malformed or out of order."""
+
+
+class StoreError(EasyViewError):
+    """The profile store hit a structural problem: corrupt segment,
+    unknown query field, manifest referencing a missing file."""
+
+
+class QueryError(StoreError):
+    """A store query string failed to parse or referenced unknown keys."""

@@ -56,6 +56,11 @@ VIEW_TABLE_EXPAND = "view/tableExpand"
 VIEW_EXPORT = "view/export"
 VIEW_LINT = "view/lint"
 VIEW_ENGINE_STATS = "view/engineStats"
+VIEW_OPEN_QUERY = "view/openQuery"
+
+# store/* methods (IDE → profile store, via the same session).
+STORE_INGEST = "store/ingest"
+STORE_QUERY = "store/query"
 
 # ide/* methods (viewer → IDE).
 IDE_OPEN_DOCUMENT = "ide/openDocument"       # the mandatory code link
@@ -69,8 +74,9 @@ VIEW_METHODS = frozenset({
     VIEW_OPEN, VIEW_CLOSE, VIEW_SHAPE, VIEW_SELECT, VIEW_CLICK, VIEW_SEARCH,
     VIEW_HOVER, VIEW_ZOOM, VIEW_SUMMARY, VIEW_DIFF, VIEW_AGGREGATE,
     VIEW_DERIVE, VIEW_CAPABILITIES, VIEW_TABLE, VIEW_TABLE_EXPAND,
-    VIEW_EXPORT, VIEW_LINT, VIEW_ENGINE_STATS,
+    VIEW_EXPORT, VIEW_LINT, VIEW_ENGINE_STATS, VIEW_OPEN_QUERY,
 })
+STORE_METHODS = frozenset({STORE_INGEST, STORE_QUERY})
 IDE_METHODS = frozenset({
     IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,
     IDE_SET_DECORATIONS, IDE_PUBLISH_DIAGNOSTICS,

@@ -20,14 +20,27 @@ from .protocol import (INVALID_REQUEST, PARSE_ERROR, Request, Response,
 from .session import ViewerSession
 
 
+#: Upper bound on one request line.  An editor never legitimately sends
+#: requests this large; anything bigger is a broken or hostile peer, and
+#: reading it unbounded would balloon the server's memory.
+MAX_LINE_BYTES = 10 * 1024 * 1024
+
+
 class StdioServer:
-    """Serve one viewer session over line-delimited JSON-RPC."""
+    """Serve one viewer session over line-delimited JSON-RPC.
+
+    Robustness contract: oversized lines and non-UTF-8 input produce a
+    JSON-RPC ``PARSE_ERROR`` response (never an uncaught exception or an
+    unbounded read), and ``KeyboardInterrupt`` is a clean shutdown.
+    """
 
     def __init__(self, stdin: Optional[IO[str]] = None,
                  stdout: Optional[IO[str]] = None,
-                 capabilities: Optional[Capabilities] = None) -> None:
+                 capabilities: Optional[Capabilities] = None,
+                 max_line_bytes: int = MAX_LINE_BYTES) -> None:
         self._stdin = stdin if stdin is not None else sys.stdin
         self._stdout = stdout if stdout is not None else sys.stdout
+        self.max_line_bytes = max_line_bytes
         self.session = ViewerSession(sink=self._notify,
                                      capabilities=capabilities)
         self._running = False
@@ -40,34 +53,84 @@ class StdioServer:
         self._stdout.write(line + "\n")
         self._stdout.flush()
 
+    def _read_line(self):
+        """One bounded line read.
+
+        Returns ``(kind, line)`` where kind is ``"eof"``, ``"line"``,
+        ``"oversized"`` (line longer than the bound; its remainder is
+        drained), or ``"undecodable"`` (bytes that are not UTF-8).  Reads
+        the underlying byte buffer when one exists so a bad byte sequence
+        surfaces as a value, not a decode exception mid-iteration.
+        """
+        reader = getattr(self._stdin, "buffer", self._stdin)
+        chunk = reader.readline(self.max_line_bytes + 1)
+        if not chunk:
+            return "eof", None
+        newline = b"\n" if isinstance(chunk, bytes) else "\n"
+        if len(chunk) > self.max_line_bytes and not chunk.endswith(newline):
+            # Drain the rest of the oversized line so the next read starts
+            # on a message boundary.
+            while True:
+                more = reader.readline(self.max_line_bytes)
+                if not more or more.endswith(newline):
+                    break
+            return "oversized", None
+        if isinstance(chunk, bytes):
+            try:
+                return "line", chunk.decode("utf-8")
+            except UnicodeDecodeError:
+                return "undecodable", None
+        return "line", chunk
+
     def serve_forever(self) -> int:
-        """Read requests until EOF or a ``shutdown`` request; returns the
+        """Read requests until EOF, ``shutdown``, or Ctrl-C; returns the
         number of requests handled."""
         self._running = True
         handled = 0
-        for line in self._stdin:
-            line = line.strip()
-            if not line:
-                continue
-            handled += 1
-            try:
-                message = parse_message(line)
-            except ProtocolError as exc:
-                self._write(Response.failure(None, PARSE_ERROR,
-                                             str(exc)).to_json())
-                continue
-            if not isinstance(message, Request):
-                self._write(Response.failure(None, INVALID_REQUEST,
-                                             "expected a request").to_json())
-                continue
-            if message.method == "shutdown":
-                self._write(Response.success(message.id, {"ok": True})
-                            .to_json())
-                break
-            response = self.session.handle(message)
-            if not message.is_notification:
-                self._write(response.to_json())
-        self._running = False
+        try:
+            while True:
+                kind, line = self._read_line()
+                if kind == "eof":
+                    break
+                if kind == "oversized":
+                    handled += 1
+                    self._write(Response.failure(
+                        None, PARSE_ERROR,
+                        "request exceeds %d bytes" % self.max_line_bytes)
+                        .to_json())
+                    continue
+                if kind == "undecodable":
+                    handled += 1
+                    self._write(Response.failure(
+                        None, PARSE_ERROR,
+                        "request is not valid UTF-8").to_json())
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                handled += 1
+                try:
+                    message = parse_message(line)
+                except ProtocolError as exc:
+                    self._write(Response.failure(None, PARSE_ERROR,
+                                                 str(exc)).to_json())
+                    continue
+                if not isinstance(message, Request):
+                    self._write(Response.failure(
+                        None, INVALID_REQUEST,
+                        "expected a request").to_json())
+                    continue
+                if message.method == "shutdown":
+                    self._write(Response.success(message.id, {"ok": True})
+                                .to_json())
+                    break
+                response = self.session.handle(message)
+                if not message.is_notification:
+                    self._write(response.to_json())
+        except KeyboardInterrupt:
+            pass  # Ctrl-C is a clean shutdown, not a crash
+        finally:
+            self._running = False
         return handled
 
 

@@ -89,6 +89,9 @@ class ViewerSession:
         self.engine = engine if engine is not None else get_engine()
         self._profiles: Dict[int, OpenedProfile] = {}
         self._next_id = 1
+        #: Profile stores opened through store/* requests, keyed by their
+        #: (absolute) root directory so repeated requests share one store.
+        self._stores: Dict[str, Any] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -378,6 +381,49 @@ class ViewerSession:
         self._profiles[opened.id] = opened
         return opened
 
+    # -- the profile store ---------------------------------------------------------
+
+    def store(self, root: str):
+        """The :class:`~repro.store.ProfileStore` at ``root`` (cached).
+
+        Every ``store/*`` request names its store directory; the session
+        keeps one live instance per directory, all sharing the session's
+        engine so query results land in the same digest-keyed cache as
+        file-backed views.
+        """
+        import os
+        key = os.path.abspath(root)
+        store = self._stores.get(key)
+        if store is None:
+            from ..store import ProfileStore
+            store = ProfileStore(key, engine=self.engine)
+            self._stores[key] = store
+        return store
+
+    def open_query(self, root: str, query: str,
+                   shape: str = "top_down") -> OpenedProfile:
+        """Open a store query result exactly like a file-backed profile.
+
+        The merged tree becomes a regular :class:`OpenedProfile`: it gets
+        a profile id, node references, layouts, exports — every ``view/*``
+        request works on it unchanged.
+        """
+        result = self.store(root).query(query, shape=shape)
+        if result.tree is None:
+            raise ProtocolError("query %r matched no records"
+                                % result.query.to_text())
+        opened = OpenedProfile(self._next_id,
+                               self.store(root).load(result.entries[0]))
+        self._next_id += 1
+        opened.views[result.tree.shape] = result.tree
+        # Views index by the *requested* shape too, so view/switchShape and
+        # friends resolve it the same way they resolve file-backed views.
+        opened.views[shape] = result.tree
+        opened.layouts[shape] = self.engine.layout(
+            result.tree, canvas_width=self.canvas_width)
+        self._profiles[opened.id] = opened
+        return opened
+
     # -- protocol dispatch -----------------------------------------------------------
 
     def handle(self, request: pvp.Request) -> pvp.Response:
@@ -544,6 +590,36 @@ class ViewerSession:
             return {"metricIndex": index}
         if method == pvp.VIEW_ENGINE_STATS:
             return self.engine.stats()
+        if method == pvp.STORE_INGEST:
+            pvp.require_params(request, "store", "path")
+            if not isinstance(params["path"], str):
+                raise ProtocolError("path must be a string")
+            result = self.store(params["store"]).ingest(
+                params["path"],
+                service=str(params.get("service", "")),
+                ptype=str(params.get("type", "cpu")),
+                labels={str(k): str(v)
+                        for k, v in (params.get("labels") or {}).items()},
+                format=params.get("format"))
+            return {"seq": result.entry.seq,
+                    "timeNanos": result.entry.time_nanos,
+                    "assignedTime": result.assigned_time,
+                    "diagnostics": [d.to_dict()
+                                    for d in result.diagnostics]}
+        if method == pvp.STORE_QUERY:
+            pvp.require_params(request, "store", "query")
+            store = self.store(params["store"])
+            entries = store.select(str(params["query"]))
+            return {"count": len(entries),
+                    "records": [entry.to_dict() for entry in entries]}
+        if method == pvp.VIEW_OPEN_QUERY:
+            pvp.require_params(request, "store", "query")
+            opened = self.open_query(params["store"], str(params["query"]),
+                                     params.get("shape", "top_down"))
+            tree = next(iter(opened.views.values()))
+            return {"profileId": opened.id,
+                    "shape": tree.shape,
+                    "metrics": tree.schema.names()}
         raise ProtocolError("unknown method %r" % method)
 
     # -- internals -----------------------------------------------------------------

@@ -72,6 +72,10 @@ register(Rule("EV311", "profile", Severity.WARNING,
               "sample value count differs from declared sample types",
               bad="2 sample_types but a 3-value sample",
               good="one value per declared type"))
+register(Rule("EV312", "profile", Severity.WARNING,
+              "wall-clock/time metadata missing or non-monotonic",
+              bad="time_nanos = 0 (or duration_nanos = -5)",
+              good="stamp capture time and a non-negative duration"))
 
 _RELATIVE_TOLERANCE = 1e-9
 
@@ -153,11 +157,36 @@ def lint_pprof_bytes(data: bytes, config: Optional[LintConfig] = None,
 
 
 def lint_profile(profile: Profile, config: Optional[LintConfig] = None,
-                 subject: str = "") -> List[Diagnostic]:
-    """Lint a built profile's CCT, metrics, and monitoring points."""
+                 subject: str = "",
+                 require_time: bool = False) -> List[Diagnostic]:
+    """Lint a built profile's CCT, metrics, and monitoring points.
+
+    ``require_time`` additionally flags a *missing* wall-clock stamp
+    (EV312) — the profile store turns this on at ingest so its time index
+    never silently receives epoch-zero entries; ordinary lint runs only
+    flag time metadata that is present but non-monotonic.
+    """
     findings = Findings(config,
                         subject=subject or (profile.meta.tool
                                             or "<profile>"))
+
+    # EV312: time metadata sanity.  Negative stamps/durations mean the
+    # capture interval runs backwards; a missing stamp is only an ingest-
+    # time concern (require_time).
+    if profile.meta.time_nanos < 0:
+        findings.add("EV312",
+                     "wall-clock time %d ns is negative — capture times "
+                     "must be non-negative" % profile.meta.time_nanos)
+    if profile.meta.duration_nanos < 0:
+        findings.add("EV312",
+                     "duration %d ns is negative — the capture interval is "
+                     "non-monotonic (end precedes start)"
+                     % profile.meta.duration_nanos)
+    if require_time and profile.meta.time_nanos == 0:
+        findings.add("EV312",
+                     "profile carries no wall-clock capture time; the "
+                     "store will index it at its ingest time instead of "
+                     "epoch zero")
     schema_size = len(profile.schema)
     used = set()
     sum_metrics = set()

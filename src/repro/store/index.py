@@ -1,0 +1,216 @@
+"""The label/time index and the manifest that persists it.
+
+The index answers "which records match this query" without touching any
+segment body.  Every record — segment-resident or still WAL-only — has one
+:class:`RecordEntry` carrying its service, profile type, labels, and
+wall-clock range plus its physical location.
+
+The **manifest** (``MANIFEST.json``) is the store's root pointer: the list
+of live segments with their record metadata, the next ingest sequence
+number, and the format version.  It is rewritten atomically
+(:mod:`repro.core.atomicio`) after every flush/compaction/gc, so the store
+directory is always in one of two states: old manifest + old segments, or
+new manifest + new segments.  Segment files not named by the manifest are
+orphans (a crash between segment write and manifest update) and are
+ignored on open and removed by ``gc``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.atomicio import atomic_write_text
+from ..errors import StoreError
+from .query import Query
+from .segment import RecordMeta, Segment
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RecordEntry:
+    """One queryable record: labels + time range + physical location.
+
+    ``segment`` is the owning segment's content address, or ``None`` while
+    the record still lives only in the write-ahead log.
+    """
+
+    service: str
+    ptype: str
+    labels: Dict[str, str]
+    time_nanos: int
+    duration_nanos: int
+    seq: int
+    segment: Optional[str] = None
+    offset: int = 0
+    length: int = 0
+
+    @property
+    def end_nanos(self) -> int:
+        return self.time_nanos + max(0, self.duration_nanos)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "service": self.service,
+            "type": self.ptype,
+            "labels": dict(self.labels),
+            "timeNanos": self.time_nanos,
+            "durationNanos": self.duration_nanos,
+            "seq": self.seq,
+            "segment": self.segment,
+            "offset": self.offset,
+            "length": self.length,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RecordEntry":
+        return cls(service=str(payload.get("service", "")),
+                   ptype=str(payload.get("type", "cpu")),
+                   labels={str(k): str(v)
+                           for k, v in (payload.get("labels") or {}).items()},
+                   time_nanos=int(payload.get("timeNanos", 0)),
+                   duration_nanos=int(payload.get("durationNanos", 0)),
+                   seq=int(payload.get("seq", 0)),
+                   segment=payload.get("segment"),  # type: ignore[arg-type]
+                   offset=int(payload.get("offset", 0)),
+                   length=int(payload.get("length", 0)))
+
+    @classmethod
+    def from_meta(cls, meta: RecordMeta,
+                  segment_address: Optional[str]) -> "RecordEntry":
+        return cls(service=meta.service, ptype=meta.ptype,
+                   labels=dict(meta.labels), time_nanos=meta.time_nanos,
+                   duration_nanos=meta.duration_nanos, seq=meta.seq,
+                   segment=segment_address, offset=meta.offset,
+                   length=meta.length)
+
+
+@dataclass
+class SegmentInfo:
+    """Manifest row for one live segment."""
+
+    address: str
+    size_bytes: int
+    created_nanos: int
+    records: List[RecordEntry] = field(default_factory=list)
+
+    @classmethod
+    def from_segment(cls, segment: Segment) -> "SegmentInfo":
+        return cls(address=segment.address, size_bytes=segment.size_bytes,
+                   created_nanos=segment.created_nanos,
+                   records=[RecordEntry.from_meta(meta, segment.address)
+                            for meta in segment.records])
+
+
+class Manifest:
+    """The persisted root pointer: live segments + the ingest cursor."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, MANIFEST_NAME)
+        self.segments: List[SegmentInfo] = []
+        self.next_seq = 1
+
+    def load(self) -> bool:
+        """Read the manifest; returns False when none exists yet."""
+        if not os.path.exists(self.path):
+            return False
+        with open(self.path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreError("manifest %s is not valid JSON: %s"
+                                 % (self.path, exc)) from exc
+        if payload.get("version") != MANIFEST_VERSION:
+            raise StoreError("manifest %s has unsupported version %r"
+                             % (self.path, payload.get("version")))
+        self.next_seq = int(payload.get("nextSeq", 1))
+        self.segments = []
+        for info in payload.get("segments", []):
+            self.segments.append(SegmentInfo(
+                address=str(info["address"]),
+                size_bytes=int(info.get("sizeBytes", 0)),
+                created_nanos=int(info.get("createdNanos", 0)),
+                records=[RecordEntry.from_dict(entry)
+                         for entry in info.get("records", [])]))
+        return True
+
+    def save(self) -> None:
+        """Atomically persist the manifest."""
+        payload = {
+            "version": MANIFEST_VERSION,
+            "nextSeq": self.next_seq,
+            "segments": [{
+                "address": info.address,
+                "sizeBytes": info.size_bytes,
+                "createdNanos": info.created_nanos,
+                "records": [entry.to_dict() for entry in info.records],
+            } for info in self.segments],
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=1,
+                                                sort_keys=True))
+
+    def addresses(self) -> List[str]:
+        return [info.address for info in self.segments]
+
+    def add_segment(self, info: SegmentInfo) -> None:
+        if info.address in set(self.addresses()):
+            # Content-addressed: the same bytes re-flushed after a crash
+            # land on the same file; adding it twice would double-count.
+            return
+        self.segments.append(info)
+
+    def remove_segments(self, addresses: List[str]) -> List[SegmentInfo]:
+        doomed = set(addresses)
+        removed = [info for info in self.segments if info.address in doomed]
+        self.segments = [info for info in self.segments
+                         if info.address not in doomed]
+        return removed
+
+
+class LabelTimeIndex:
+    """In-memory query index over every live record.
+
+    Rebuilt from the manifest (plus WAL-resident entries) on open; lookups
+    never touch segment bodies.  Matching records come back newest-first,
+    so ``limit=N`` keeps the N most recent.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[RecordEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: RecordEntry) -> None:
+        self._entries.append(entry)
+
+    def remove_segment(self, address: str) -> None:
+        self._entries = [e for e in self._entries if e.segment != address]
+
+    def remove_wal_entries(self) -> None:
+        self._entries = [e for e in self._entries if e.segment is not None]
+
+    def entries(self) -> List[RecordEntry]:
+        return list(self._entries)
+
+    def services(self) -> List[str]:
+        return sorted({e.service for e in self._entries})
+
+    def time_range(self) -> "tuple[int, int]":
+        """(earliest start, latest end) across all records; (0, 0) empty."""
+        if not self._entries:
+            return 0, 0
+        return (min(e.time_nanos for e in self._entries),
+                max(e.end_nanos for e in self._entries))
+
+    def match(self, query: Query) -> List[RecordEntry]:
+        matched = [e for e in self._entries if query.matches(e)]
+        matched.sort(key=lambda e: (e.time_nanos, e.seq), reverse=True)
+        if query.limit is not None:
+            matched = matched[:query.limit]
+        return matched

@@ -1,0 +1,177 @@
+"""The store's query language.
+
+A query is a whitespace-separated list of ``key=value`` terms::
+
+    service=api type=cpu since=2024-01-01T00:00:00 label.region=us limit=5
+
+Supported keys:
+
+* ``service`` — exact service-name match (omit to match all services);
+* ``type``    — profile type (``cpu``, ``heap``, ...);
+* ``since`` / ``until`` — wall-clock bounds on the capture time.  Values
+  are either raw integer nanoseconds, an ISO-8601 timestamp
+  (``2024-01-01`` or ``2024-01-01T06:30:00``), or a relative age such as
+  ``30s`` / ``15m`` / ``6h`` / ``7d`` meaning "that long before *now*"
+  (resolved against the store's clock at query time);
+* ``label.<name>`` — exact match on one ingest label;
+* ``limit``  — keep only the N most recent matching records;
+* ``seq``    — exact ingest sequence number (debugging).
+
+Terms are ANDed.  Unknown keys raise :class:`~repro.errors.QueryError`
+rather than silently matching nothing.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import RecordEntry
+
+_AGE_UNITS = {"s": 10 ** 9, "m": 60 * 10 ** 9, "h": 3600 * 10 ** 9,
+              "d": 86400 * 10 ** 9, "w": 7 * 86400 * 10 ** 9}
+
+
+@dataclass
+class Query:
+    """A parsed store query (all constraints ANDed)."""
+
+    service: Optional[str] = None
+    ptype: Optional[str] = None
+    since_nanos: Optional[int] = None
+    until_nanos: Optional[int] = None
+    labels: Dict[str, str] = field(default_factory=dict)
+    limit: Optional[int] = None
+    seq: Optional[int] = None
+
+    def matches(self, entry: "RecordEntry") -> bool:
+        """Does one index entry satisfy every constraint (except limit)?"""
+        if self.service is not None and entry.service != self.service:
+            return False
+        if self.ptype is not None and entry.ptype != self.ptype:
+            return False
+        if self.since_nanos is not None and entry.time_nanos < self.since_nanos:
+            return False
+        if self.until_nanos is not None and entry.time_nanos > self.until_nanos:
+            return False
+        if self.seq is not None and entry.seq != self.seq:
+            return False
+        for key, value in self.labels.items():
+            if entry.labels.get(key) != value:
+                return False
+        return True
+
+    def to_text(self) -> str:
+        """Canonical text form (stable across equal queries: cache key
+        material for the serve path)."""
+        terms: List[str] = []
+        if self.service is not None:
+            terms.append("service=%s" % self.service)
+        if self.ptype is not None:
+            terms.append("type=%s" % self.ptype)
+        if self.since_nanos is not None:
+            terms.append("since=%d" % self.since_nanos)
+        if self.until_nanos is not None:
+            terms.append("until=%d" % self.until_nanos)
+        for key in sorted(self.labels):
+            terms.append("label.%s=%s" % (key, self.labels[key]))
+        if self.seq is not None:
+            terms.append("seq=%d" % self.seq)
+        if self.limit is not None:
+            terms.append("limit=%d" % self.limit)
+        return " ".join(terms)
+
+
+def parse_time(text: str, now_nanos: Optional[int] = None) -> int:
+    """One time bound: raw nanos, ISO-8601, or a relative age like ``6h``."""
+    text = text.strip()
+    if not text:
+        raise QueryError("empty time value")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    unit = _AGE_UNITS.get(text[-1])
+    if unit is not None:
+        try:
+            count = float(text[:-1])
+        except ValueError:
+            count = None
+        if count is not None:
+            if now_nanos is None:
+                raise QueryError(
+                    "relative time %r needs a reference clock" % text)
+            return now_nanos - int(count * unit)
+    try:
+        stamp = _dt.datetime.fromisoformat(text)
+    except ValueError:
+        raise QueryError(
+            "cannot parse time %r (want nanoseconds, ISO-8601, or an age "
+            "like 15m/6h/7d)" % text) from None
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=_dt.timezone.utc)
+    return int(stamp.timestamp() * 10 ** 9)
+
+
+def parse_age(text: str) -> int:
+    """A duration in nanoseconds: raw nanos or ``30s``/``15m``/``6h``/``7d``."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    if text:
+        unit = _AGE_UNITS.get(text[-1])
+        if unit is not None:
+            try:
+                return int(float(text[:-1]) * unit)
+            except ValueError:
+                pass
+    raise QueryError("cannot parse age %r (want nanoseconds or 30s/15m/"
+                     "6h/7d)" % text)
+
+
+def parse_query(text: str, now_nanos: Optional[int] = None) -> Query:
+    """Parse query text; raises :class:`QueryError` on malformed input."""
+    query = Query()
+    for term in text.split():
+        key, sep, value = term.partition("=")
+        if not sep or not key:
+            raise QueryError("malformed query term %r (want key=value)"
+                             % term)
+        if key == "service":
+            query.service = value
+        elif key == "type":
+            query.ptype = value
+        elif key == "since":
+            query.since_nanos = parse_time(value, now_nanos)
+        elif key == "until":
+            query.until_nanos = parse_time(value, now_nanos)
+        elif key.startswith("label."):
+            name = key[len("label."):]
+            if not name:
+                raise QueryError("label term %r names no label" % term)
+            query.labels[name] = value
+        elif key == "limit":
+            try:
+                query.limit = int(value)
+            except ValueError:
+                raise QueryError("limit must be an integer, got %r"
+                                 % value) from None
+            if query.limit < 1:
+                raise QueryError("limit must be positive")
+        elif key == "seq":
+            try:
+                query.seq = int(value)
+            except ValueError:
+                raise QueryError("seq must be an integer, got %r"
+                                 % value) from None
+        else:
+            raise QueryError(
+                "unknown query key %r (service, type, since, until, "
+                "label.<name>, limit, seq)" % key)
+    return query

@@ -1,0 +1,309 @@
+"""Content-addressed immutable segments: the store's at-rest format.
+
+A segment is a batch of profiles flushed from the write-ahead log.  On
+disk::
+
+    FILE   := MAGIC(8, b"EZSEG001") | BODY | FOOTER | FOOTER_LEN(8, LE) | END(8, b"EZSEGEND")
+    BODY   := profile blob *             (offsets in the footer)
+    FOOTER := wire message               (string table + per-record metadata)
+
+Each profile blob is the EasyView :class:`~repro.proto.easyview_pb.ProfileMessage`
+with its *private string table stripped*: all string indices are remapped
+into one segment-wide table carried by the footer, so a segment of 100
+profiles from the same service stores each function name, file path, and
+metric name once (per-segment string dedup).  The wire codec is the same
+:mod:`repro.proto.wire` the profile format uses.
+
+Footer message fields::
+
+    1 (repeated bytes)    string-table entries, UTF-8, index order
+    2 (repeated message)  RecordMeta
+    3 (varint)            segment creation time, nanoseconds
+
+RecordMeta fields::
+
+    1 string  service        5 varint  duration_nanos
+    2 string  profile type   6 varint  body offset of the blob
+    3 string  labels (JSON)  7 varint  blob length
+    4 varint  time_nanos     8 varint  ingest sequence number
+
+The **content address** is a 32-hex-char BLAKE2b digest over ``BODY +
+FOOTER`` and doubles as the file name (``<address>.seg``).  Addresses make
+segments immutable (any edit changes the name), flushes idempotent (re-
+flushing the same WAL bytes produces the same file), and integrity checks
+trivial (`easyview store stats` re-hashes and compares).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.atomicio import atomic_write_bytes
+from ..core.profile import Profile
+from ..core.strings import StringTable
+from ..core import serialize
+from ..errors import StoreError
+from ..proto import easyview_pb as pb
+from ..proto import wire
+from .wal import WalRecord
+
+SEGMENT_MAGIC = b"EZSEG001"
+SEGMENT_END = b"EZSEGEND"
+SEGMENT_SUFFIX = ".seg"
+_FOOTER_LEN = struct.Struct("<Q")
+
+_ADDRESS_BYTES = 16  # 32 hex chars, matching repro.core.digest
+
+
+@dataclass
+class RecordMeta:
+    """Footer metadata for one profile blob inside a segment."""
+
+    service: str = ""
+    ptype: str = "cpu"
+    labels: Dict[str, str] = field(default_factory=dict)
+    time_nanos: int = 0
+    duration_nanos: int = 0
+    offset: int = 0
+    length: int = 0
+    seq: int = 0
+
+    def serialize(self) -> bytes:
+        writer = wire.Writer()
+        writer.string(1, self.service)
+        writer.string(2, self.ptype)
+        writer.string(3, json.dumps(self.labels, sort_keys=True)
+                      if self.labels else "")
+        writer.varint(4, self.time_nanos)
+        writer.varint(5, self.duration_nanos)
+        writer.varint(6, self.offset)
+        writer.varint(7, self.length)
+        writer.varint(8, self.seq)
+        return writer.getvalue()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "RecordMeta":
+        meta = cls()
+        for num, _, value in wire.iter_fields(data):
+            if num == 1:
+                meta.service = value.decode("utf-8")
+            elif num == 2:
+                meta.ptype = value.decode("utf-8")
+            elif num == 3:
+                text = value.decode("utf-8")
+                meta.labels = json.loads(text) if text else {}
+            elif num == 4:
+                meta.time_nanos = int(value)
+            elif num == 5:
+                meta.duration_nanos = int(value)
+            elif num == 6:
+                meta.offset = int(value)
+            elif num == 7:
+                meta.length = int(value)
+            elif num == 8:
+                meta.seq = int(value)
+        return meta
+
+
+@dataclass
+class Segment:
+    """One immutable segment: its address, strings, and record metadata."""
+
+    address: str
+    path: str
+    strings: List[str]
+    records: List[RecordMeta]
+    created_nanos: int = 0
+    size_bytes: int = 0
+
+
+def _remap_strings(message: pb.ProfileMessage, shared: StringTable) -> None:
+    """Re-point every string index into the segment-wide table."""
+    table = message.string_table or [""]
+
+    def remap(index: int) -> int:
+        text = table[index] if 0 <= index < len(table) else ""
+        return shared.intern(text)
+
+    message.tool = remap(message.tool)
+    for descriptor in message.metrics:
+        descriptor.name = remap(descriptor.name)
+        descriptor.unit = remap(descriptor.unit)
+        descriptor.description = remap(descriptor.description)
+    for node in message.nodes:
+        node.name = remap(node.name)
+        node.file = remap(node.file)
+        node.module = remap(node.module)
+    message.string_table = []
+
+
+def _footer_bytes(strings: List[str], records: List[RecordMeta],
+                  created_nanos: int) -> bytes:
+    writer = wire.Writer()
+    for text in strings:
+        writer.message(1, text.encode("utf-8"))
+    for meta in records:
+        writer.message(2, meta.serialize())
+    writer.varint(3, created_nanos)
+    return writer.getvalue()
+
+
+def _parse_footer(data: bytes) -> "Segment":
+    strings: List[str] = []
+    records: List[RecordMeta] = []
+    created = 0
+    for num, _, value in wire.iter_fields(data):
+        if num == 1:
+            strings.append(value.decode("utf-8"))
+        elif num == 2:
+            records.append(RecordMeta.parse(value))
+        elif num == 3:
+            created = int(value)
+    if not strings:
+        strings = [""]
+    return Segment(address="", path="", strings=strings, records=records,
+                   created_nanos=created)
+
+
+def segment_address(body: bytes, footer: bytes) -> str:
+    """The content address: BLAKE2b over body + footer."""
+    h = hashlib.blake2b(digest_size=_ADDRESS_BYTES)
+    h.update(body)
+    h.update(footer)
+    return h.hexdigest()
+
+
+def build_segment(wal_records: List[WalRecord],
+                  created_nanos: int = 0) -> "tuple[bytes, Segment]":
+    """Compose segment file bytes (and metadata) from WAL records.
+
+    The same WAL records always produce the same bytes — record order, the
+    shared string table's intern order, and the footer encoding are all
+    deterministic — so the content address is reproducible and a re-flush
+    after a crash lands on the identical file.
+    """
+    if not wal_records:
+        raise StoreError("cannot build a segment from zero records")
+    shared = StringTable()
+    body_parts: List[bytes] = []
+    metas: List[RecordMeta] = []
+    offset = 0
+    for record in wal_records:
+        try:
+            message = pb.loads(record.blob)
+        except wire.WireError as exc:
+            raise StoreError("WAL record #%d does not parse: %s"
+                             % (record.seq, exc)) from exc
+        _remap_strings(message, shared)
+        blob = message.serialize()
+        body_parts.append(blob)
+        metas.append(RecordMeta(service=record.service, ptype=record.ptype,
+                                labels=dict(record.labels),
+                                time_nanos=record.time_nanos,
+                                duration_nanos=record.duration_nanos,
+                                offset=offset, length=len(blob),
+                                seq=record.seq))
+        offset += len(blob)
+    body = b"".join(body_parts)
+    footer = _footer_bytes(shared.as_list(), metas, created_nanos)
+    address = segment_address(body, footer)
+    data = (SEGMENT_MAGIC + body + footer +
+            _FOOTER_LEN.pack(len(footer)) + SEGMENT_END)
+    segment = Segment(address=address, path="", strings=shared.as_list(),
+                      records=metas, created_nanos=created_nanos,
+                      size_bytes=len(data))
+    return data, segment
+
+
+def write_segment(directory: str, wal_records: List[WalRecord],
+                  created_nanos: int = 0) -> Segment:
+    """Flush WAL records to ``<directory>/<address>.seg`` atomically."""
+    data, segment = build_segment(wal_records, created_nanos)
+    segment.path = os.path.join(directory, segment.address + SEGMENT_SUFFIX)
+    atomic_write_bytes(segment.path, data)
+    return segment
+
+
+def read_segment(path: str, verify: bool = False) -> Segment:
+    """Open a segment file and parse its footer (body left on disk)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return parse_segment(data, path, verify=verify)
+
+
+def parse_segment(data: bytes, path: str = "",
+                  verify: bool = False) -> Segment:
+    """Parse segment bytes; with ``verify`` re-hash the content address."""
+    if data[:len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+        raise StoreError("%s is not a segment (bad magic)" % (path or "<data>"))
+    trailer_at = len(data) - len(SEGMENT_END)
+    if trailer_at < 0 or data[trailer_at:] != SEGMENT_END:
+        raise StoreError("segment %s is truncated (missing end marker)"
+                         % (path or "<data>"))
+    len_at = trailer_at - _FOOTER_LEN.size
+    (footer_len,) = _FOOTER_LEN.unpack_from(data, len_at)
+    footer_at = len_at - footer_len
+    if footer_at < len(SEGMENT_MAGIC):
+        raise StoreError("segment %s has an impossible footer length %d"
+                         % (path or "<data>", footer_len))
+    footer = data[footer_at:len_at]
+    body = data[len(SEGMENT_MAGIC):footer_at]
+    try:
+        segment = _parse_footer(footer)
+    except (wire.WireError, UnicodeDecodeError, ValueError) as exc:
+        raise StoreError("segment %s has a corrupt footer: %s"
+                         % (path or "<data>", exc)) from exc
+    segment.path = path
+    segment.size_bytes = len(data)
+    segment.address = segment_address(body, footer)
+    if path:
+        named = os.path.basename(path)
+        if named.endswith(SEGMENT_SUFFIX):
+            named = named[:-len(SEGMENT_SUFFIX)]
+        if verify and named != segment.address:
+            raise StoreError(
+                "segment %s fails its integrity check: content hashes to "
+                "%s" % (path, segment.address))
+    for meta in segment.records:
+        if meta.offset < 0 or meta.offset + meta.length > len(body):
+            raise StoreError("segment %s record #%d overruns the body"
+                             % (path or "<data>", meta.seq))
+    return segment
+
+
+def load_profile(segment: Segment, meta: RecordMeta) -> Profile:
+    """Materialize one profile from a segment record.
+
+    Reads only the record's byte range, reattaches the segment string
+    table, and raises the message into a :class:`Profile`.
+    """
+    with open(segment.path, "rb") as handle:
+        handle.seek(len(SEGMENT_MAGIC) + meta.offset)
+        blob = handle.read(meta.length)
+    if len(blob) != meta.length:
+        raise StoreError("segment %s record #%d is truncated"
+                         % (segment.path, meta.seq))
+    try:
+        message = pb.ProfileMessage.parse(blob)
+    except wire.WireError as exc:
+        raise StoreError("segment %s record #%d does not parse: %s"
+                         % (segment.path, meta.seq, exc)) from exc
+    message.string_table = list(segment.strings)
+    profile = serialize.from_message(message)
+    profile.meta.time_nanos = meta.time_nanos
+    profile.meta.duration_nanos = meta.duration_nanos
+    return profile
+
+
+def to_wal_record(segment: Segment, meta: RecordMeta) -> WalRecord:
+    """Re-log one segment record (used by compaction to rebuild batches)."""
+    profile = load_profile(segment, meta)
+    return WalRecord(service=meta.service, ptype=meta.ptype,
+                     labels=dict(meta.labels), time_nanos=meta.time_nanos,
+                     duration_nanos=meta.duration_nanos,
+                     blob=serialize.dumps(profile), seq=meta.seq)

@@ -1,0 +1,410 @@
+"""ProfStore: the persistent, queryable profile repository.
+
+One :class:`ProfileStore` owns a directory::
+
+    store/
+      MANIFEST.json      root pointer: live segments + ingest cursor
+      wal.log            write-ahead log (records since the last flush)
+      <address>.seg      content-addressed immutable segments
+
+**Ingest** accepts anything the converters understand (a path, raw bytes,
+or a built :class:`~repro.core.profile.Profile`), normalizes to the
+EasyView CCT representation, lints the time metadata (rule ``EV312`` —
+records with no wall-clock stamp get the ingest clock, never epoch zero),
+and appends to the WAL.  The record is durable the moment ``ingest``
+returns.
+
+**Flush** drains the WAL into one immutable segment.  The crash ordering
+is: segment written (atomic rename) → manifest updated (atomic rename) →
+WAL truncated.  A crash between any two steps is safe: the WAL still
+holds the records, and because segments are content-addressed the re-flush
+reproduces the *same* file name, so nothing is duplicated.
+
+**Query** runs merge-on-read: the label/time index selects records, their
+profiles load (fanning out through the engine's worker pool), and the
+merge routes through :class:`~repro.engine.AnalysisEngine`, so a repeated
+query is a digest-keyed cache hit rather than a recomputation.
+
+**Compaction** merges small segments into one (same merge-on-read
+contract before and after — the CI smoke test asserts the merged tree is
+byte-identical across a compact).  **GC** applies retention and removes
+orphan segment files left by crashes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.viewtree import ViewTree
+from ..core import serialize
+from ..core.digest import viewtree_digest
+from ..core.profile import Profile
+from ..engine import AnalysisEngine, get_engine
+from ..errors import StoreError
+from .index import LabelTimeIndex, Manifest, RecordEntry, SegmentInfo
+from .query import Query, parse_query
+from .segment import (Segment, load_profile, read_segment, to_wal_record,
+                      write_segment, SEGMENT_SUFFIX)
+from .wal import WalRecord, WriteAheadLog
+
+WAL_NAME = "wal.log"
+
+#: Flush automatically once this many records accumulate in the WAL.
+DEFAULT_FLUSH_RECORDS = 64
+
+#: A segment with fewer records than this is "small" — compaction bait.
+DEFAULT_SMALL_SEGMENT_RECORDS = 32
+
+
+@dataclass
+class IngestResult:
+    """What one ingest produced: the index entry plus any diagnostics."""
+
+    entry: RecordEntry
+    diagnostics: List[Any] = field(default_factory=list)
+    #: True when the profile carried no wall-clock stamp and the store
+    #: assigned its ingest time instead (EV312's remediation).
+    assigned_time: bool = False
+
+
+@dataclass
+class QueryResult:
+    """A merge-on-read answer: matched records and their merged view."""
+
+    query: Query
+    entries: List[RecordEntry]
+    tree: Optional[ViewTree]
+    shape: str
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def digest(self) -> str:
+        """Content digest of the merged tree (empty string when no match);
+        equal digests mean byte-identical merged results."""
+        return viewtree_digest(self.tree) if self.tree is not None else ""
+
+
+class ProfileStore:
+    """A durable, queryable repository of profiles under one directory."""
+
+    def __init__(self, root: str,
+                 engine: Optional[AnalysisEngine] = None,
+                 flush_records: int = DEFAULT_FLUSH_RECORDS,
+                 fsync: bool = True,
+                 clock=time.time_ns) -> None:
+        self.root = root
+        self.engine = engine if engine is not None else get_engine()
+        self.flush_records = flush_records
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._segments: Dict[str, Segment] = {}  # address -> parsed segment
+        os.makedirs(root, exist_ok=True)
+
+        self.manifest = Manifest(root)
+        self.manifest.load()
+        self.index = LabelTimeIndex()
+        for info in self.manifest.segments:
+            path = self._segment_path(info.address)
+            if not os.path.exists(path):
+                raise StoreError(
+                    "manifest names segment %s but %s is missing"
+                    % (info.address, path))
+            for entry in info.records:
+                self.index.add(entry)
+
+        # Replay-on-open: whatever the WAL holds was ingested but never
+        # flushed (or flushed without the manifest update — handled by the
+        # content-address dedup at the next flush).
+        self.wal = WriteAheadLog(os.path.join(root, WAL_NAME), fsync=fsync)
+        for record in self.wal.records:
+            self.index.add(self._wal_entry(record))
+            if record.seq >= self.manifest.next_seq:
+                self.manifest.next_seq = record.seq + 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "ProfileStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _segment_path(self, address: str) -> str:
+        return os.path.join(self.root, address + SEGMENT_SUFFIX)
+
+    @staticmethod
+    def _wal_entry(record: WalRecord) -> RecordEntry:
+        return RecordEntry(service=record.service, ptype=record.ptype,
+                           labels=dict(record.labels),
+                           time_nanos=record.time_nanos,
+                           duration_nanos=record.duration_nanos,
+                           seq=record.seq, segment=None)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, source: Union[str, bytes, Profile],
+               service: str, ptype: str = "cpu",
+               labels: Optional[Dict[str, str]] = None,
+               format: Optional[str] = None) -> IngestResult:
+        """Normalize, lint, and durably log one profile.
+
+        ``source`` may be a file path, raw profile bytes in any supported
+        format, or an already-built :class:`Profile`.  Returns once the
+        record is fsynced into the WAL.  Auto-flushes to a segment when
+        the WAL reaches ``flush_records``.
+        """
+        from ..lint import lint_profile
+        if isinstance(source, Profile):
+            profile = source
+        else:
+            from ..converters import open_profile, parse_bytes
+            if isinstance(source, bytes):
+                profile = parse_bytes(source, format=format)
+            else:
+                profile = open_profile(source, format=format)
+
+        diagnostics = lint_profile(profile, require_time=True,
+                                   subject=service or "<ingest>")
+        assigned = False
+        time_nanos = profile.meta.time_nanos
+        if time_nanos <= 0:
+            # EV312's contract: the time index never gets epoch-zero
+            # entries — a stampless profile is indexed at its ingest time.
+            time_nanos = self.clock()
+            assigned = True
+
+        with self._lock:
+            record = WalRecord(service=service, ptype=ptype,
+                               labels=dict(labels or {}),
+                               time_nanos=time_nanos,
+                               duration_nanos=max(
+                                   0, profile.meta.duration_nanos),
+                               blob=serialize.dumps(profile),
+                               seq=self.manifest.next_seq)
+            self.manifest.next_seq += 1
+            self.wal.append(record)
+            entry = self._wal_entry(record)
+            self.index.add(entry)
+            if len(self.wal) >= self.flush_records:
+                self.flush()
+        return IngestResult(entry=entry, diagnostics=diagnostics,
+                            assigned_time=assigned)
+
+    # -- flush -------------------------------------------------------------
+
+    def flush(self) -> Optional[str]:
+        """Drain the WAL into one immutable segment.
+
+        Returns the new segment's content address, or None when the WAL is
+        empty.  Ordering (segment → manifest → WAL truncate) plus content
+        addressing makes every prefix of this sequence crash-safe.
+        """
+        with self._lock:
+            if not len(self.wal):
+                return None
+            segment = write_segment(self.root, self.wal.records,
+                                    created_nanos=self.clock())
+            self._segments[segment.address] = segment
+            self.manifest.add_segment(SegmentInfo.from_segment(segment))
+            self.manifest.save()
+            self.wal.reset()
+            self.index.remove_wal_entries()
+            for meta in segment.records:
+                self.index.add(RecordEntry.from_meta(meta, segment.address))
+            return segment.address
+
+    # -- read path ---------------------------------------------------------
+
+    def _segment(self, address: str) -> Segment:
+        segment = self._segments.get(address)
+        if segment is None:
+            segment = read_segment(self._segment_path(address))
+            self._segments[address] = segment
+        return segment
+
+    def load(self, entry: RecordEntry) -> Profile:
+        """Materialize the profile behind one index entry."""
+        if entry.segment is None:
+            for record in self.wal.records:
+                if record.seq == entry.seq:
+                    profile = serialize.loads(record.blob)
+                    profile.meta.time_nanos = record.time_nanos
+                    profile.meta.duration_nanos = record.duration_nanos
+                    return profile
+            raise StoreError("record #%d is gone from the WAL" % entry.seq)
+        segment = self._segment(entry.segment)
+        for meta in segment.records:
+            if meta.seq == entry.seq:
+                return load_profile(segment, meta)
+        raise StoreError("segment %s does not hold record #%d"
+                         % (entry.segment, entry.seq))
+
+    def select(self, query: Union[str, Query]) -> List[RecordEntry]:
+        """Index-only query: matching records, newest first."""
+        if isinstance(query, str):
+            query = parse_query(query, now_nanos=self.clock())
+        return self.index.match(query)
+
+    def query(self, query: Union[str, Query],
+              shape: str = "top_down") -> QueryResult:
+        """Merge-on-read: select, load, and aggregate matching profiles.
+
+        Profile loads fan out through the engine's worker pool; the merge
+        itself is the engine's memoized ``aggregate_profiles``, keyed by
+        the profiles' content digests — so re-running a query over
+        unchanged data is a cache hit, whichever segments the records
+        live in (compaction does not change the answer *or* the key).
+        """
+        if isinstance(query, str):
+            query = parse_query(query, now_nanos=self.clock())
+        entries = self.index.match(query)
+        if not entries:
+            return QueryResult(query=query, entries=[], tree=None,
+                               shape=shape)
+        profiles = self.engine.pool.map(self.load, entries)
+        tree = self.engine.aggregate_profiles(profiles, shape=shape)
+        return QueryResult(query=query, entries=entries, tree=tree,
+                           shape=shape)
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self,
+                small_records: int = DEFAULT_SMALL_SEGMENT_RECORDS
+                ) -> Optional[str]:
+        """Merge small segments into one larger segment.
+
+        Segments holding fewer than ``small_records`` records are
+        candidates; two or more are rewritten (record loads fan out
+        through the engine's worker pool) into a single segment, the
+        manifest flips atomically, and only then are the old files
+        removed.  Returns the new segment's address, or None when there
+        was nothing to merge.
+        """
+        with self._lock:
+            small = [info for info in self.manifest.segments
+                     if len(info.records) < small_records]
+            if len(small) < 2:
+                return None
+            jobs = []
+            for info in small:
+                segment = self._segment(info.address)
+                jobs.extend((segment, meta) for meta in segment.records)
+            records = self.engine.pool.map(
+                lambda job: to_wal_record(job[0], job[1]), jobs)
+            records.sort(key=lambda record: record.seq)
+            merged = write_segment(self.root, records,
+                                   created_nanos=self.clock())
+            old = [info.address for info in small
+                   if info.address != merged.address]
+            self.manifest.remove_segments([info.address for info in small])
+            self.manifest.add_segment(SegmentInfo.from_segment(merged))
+            self.manifest.save()
+            self._segments[merged.address] = merged
+            for address in old:
+                self.index.remove_segment(address)
+                self._segments.pop(address, None)
+                try:
+                    os.unlink(self._segment_path(address))
+                except OSError:
+                    pass  # already gone; gc sweeps strays
+            for meta in merged.records:
+                self.index.add(RecordEntry.from_meta(meta, merged.address))
+            return merged.address
+
+    def gc(self, max_age_nanos: Optional[int] = None,
+           max_total_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """Apply retention and sweep orphan segment files.
+
+        A segment is dropped when *every* record in it ended before the
+        retention cutoff, or (oldest first) while the store exceeds
+        ``max_total_bytes``.  Orphans — ``.seg`` files the manifest does
+        not name, left by a crash between segment write and manifest
+        update whose WAL records were since re-flushed — are deleted too.
+        """
+        with self._lock:
+            removed: List[str] = []
+            if max_age_nanos is not None:
+                cutoff = self.clock() - max_age_nanos
+                removed.extend(
+                    info.address for info in self.manifest.segments
+                    if info.records and all(e.end_nanos < cutoff
+                                            for e in info.records))
+            if max_total_bytes is not None:
+                live = [info for info in self.manifest.segments
+                        if info.address not in set(removed)]
+                total = sum(info.size_bytes for info in live)
+                for info in sorted(live, key=lambda i: i.created_nanos):
+                    if total <= max_total_bytes:
+                        break
+                    removed.append(info.address)
+                    total -= info.size_bytes
+            self.manifest.remove_segments(removed)
+            if removed:
+                self.manifest.save()
+            for address in removed:
+                self.index.remove_segment(address)
+                self._segments.pop(address, None)
+                try:
+                    os.unlink(self._segment_path(address))
+                except OSError:
+                    pass
+            orphans = []
+            live_names = {address + SEGMENT_SUFFIX
+                          for address in self.manifest.addresses()}
+            for name in os.listdir(self.root):
+                if name.endswith(SEGMENT_SUFFIX) and name not in live_names:
+                    orphans.append(name[:-len(SEGMENT_SUFFIX)])
+                    try:
+                        os.unlink(os.path.join(self.root, name))
+                    except OSError:
+                        pass
+            return {"removedSegments": removed, "orphansSwept": orphans}
+
+    def verify(self) -> List[str]:
+        """Integrity check: re-hash every live segment's content address.
+
+        Returns a list of problems (empty = everything checks out).  A
+        half-written or bit-flipped segment cannot masquerade as healthy:
+        its re-hashed address no longer matches its name.
+        """
+        problems: List[str] = []
+        for info in self.manifest.segments:
+            path = self._segment_path(info.address)
+            try:
+                read_segment(path, verify=True)
+            except (StoreError, OSError) as exc:
+                problems.append(str(exc))
+        return problems
+
+    def stats(self, verify: bool = False) -> Dict[str, Any]:
+        """Occupancy, per-service counts, time range, engine counters."""
+        entries = self.index.entries()
+        per_service: Dict[str, int] = {}
+        for entry in entries:
+            per_service[entry.service] = per_service.get(entry.service, 0) + 1
+        start, end = self.index.time_range()
+        payload: Dict[str, Any] = {
+            "root": self.root,
+            "segments": len(self.manifest.segments),
+            "segmentBytes": sum(info.size_bytes
+                                for info in self.manifest.segments),
+            "records": len(entries),
+            "walRecords": len(self.wal),
+            "walRecoveredTornBytes": self.wal.recovered_torn_bytes,
+            "services": per_service,
+            "timeRange": {"startNanos": start, "endNanos": end},
+            "nextSeq": self.manifest.next_seq,
+        }
+        if verify:
+            problems = self.verify()
+            payload["integrity"] = {"ok": not problems, "problems": problems}
+        return payload

@@ -89,6 +89,6 @@ class HtmlReport:
                    html_mod.escape(self.title), "".join(self._sections)))
 
     def save(self, path: str) -> None:
-        """Write the document to a file."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.render())
+        """Write the document to a file (atomic tempfile + rename)."""
+        from ..core.atomicio import atomic_write_text
+        atomic_write_text(path, self.render())

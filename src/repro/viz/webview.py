@@ -187,6 +187,6 @@ def render_webview(profile: Profile, title: str = "EasyView",
 
 
 def save_webview(profile: Profile, path: str, **kwargs: Any) -> None:
-    """Write the interactive page to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(render_webview(profile, **kwargs))
+    """Write the interactive page to ``path`` (atomic tempfile + rename)."""
+    from ..core.atomicio import atomic_write_text
+    atomic_write_text(path, render_webview(profile, **kwargs))

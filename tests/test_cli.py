@@ -215,3 +215,60 @@ class TestAnalysisSubcommands:
         data = open(out_path, "rb").read()
         assert b"ShuffleMapTask" not in data
         assert main(["open", out_path]) == 0
+
+
+class TestStoreSubcommands:
+    @pytest.fixture
+    def store_root(self, tmp_path, spark_paths):
+        root = str(tmp_path / "store")
+        rdd_path, sql_path = spark_paths
+        assert main(["store", "ingest", root, rdd_path, sql_path,
+                     "--service", "spark", "--label", "env=test"]) == 0
+        return root
+
+    def test_ingest_and_ls(self, store_root, capsys):
+        capsys.readouterr()
+        assert main(["store", "ls", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "2 records" in out
+        assert "spark" in out and "env=test" in out
+
+    def test_query_renders_merged_view(self, store_root, capsys):
+        capsys.readouterr()
+        assert main(["store", "query", store_root, "service=spark",
+                     "--width", "70"]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 records" in out
+        assert "Hottest" in out
+
+    def test_query_no_match_fails(self, store_root, capsys):
+        assert main(["store", "query", store_root,
+                     "service=nothing"]) == 1
+
+    def test_stats_verifies_integrity(self, store_root, capsys):
+        capsys.readouterr()
+        assert main(["store", "stats", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "1 segments" in out
+        assert "content addresses verify" in out
+
+    def test_stats_reports_corruption(self, store_root, capsys):
+        seg = [name for name in os.listdir(store_root)
+               if name.endswith(".seg")][0]
+        with open(os.path.join(store_root, seg), "r+b") as handle:
+            handle.seek(20)
+            handle.write(b"\x00\x00\x00\x00")
+        assert main(["store", "stats", store_root]) == 1
+        assert "integrity" in capsys.readouterr().out
+
+    def test_gc_by_age(self, store_root, capsys):
+        capsys.readouterr()
+        # The spark fixtures carry no wall-clock stamp, so they were
+        # indexed at ingest time: a 1-week retention keeps everything.
+        assert main(["store", "gc", store_root, "--max-age", "7d"]) == 0
+        assert "removed 0 segments" in capsys.readouterr().out
+
+    def test_compact_needs_two_segments(self, store_root, capsys):
+        capsys.readouterr()
+        assert main(["store", "compact", store_root]) == 0
+        assert "nothing to compact" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Atomic file writes: all-or-nothing replacement, no temp litter."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.atomicio import (atomic_write, atomic_write_bytes,
+                                 atomic_write_text)
+
+
+class TestAtomicWrite:
+    def test_creates_new_file(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"payload")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"x" * 4096)
+        assert os.listdir(str(tmp_path)) == ["out.bin"]
+
+    def test_failure_leaves_old_content_and_no_litter(self, tmp_path,
+                                                      monkeypatch):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"committed")
+
+        def explode(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"doomed")
+        monkeypatch.undo()
+        with open(path, "rb") as handle:
+            assert handle.read() == b"committed"
+        assert os.listdir(str(tmp_path)) == ["out.bin"]
+
+    def test_text_mode(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "héllo")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == "héllo"
+
+    def test_dispatch(self, tmp_path):
+        path = str(tmp_path / "out")
+        atomic_write(path, "text")
+        atomic_write(path, b"bytes")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"bytes"
+
+
+class TestSerializersUseAtomicWrites:
+    def test_binary_dump_is_atomic(self, tmp_path, simple_profile,
+                                   monkeypatch):
+        from repro.core import serialize
+        path = str(tmp_path / "p.ezvw")
+        serialize.dump(simple_profile, path)
+        original = open(path, "rb").read()
+
+        def explode(src, dst):
+            raise OSError("no rename for you")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            serialize.dump(simple_profile, path)
+        monkeypatch.undo()
+        assert open(path, "rb").read() == original
+
+    def test_json_dump_is_atomic(self, tmp_path, simple_profile):
+        from repro.core import jsonio
+        path = str(tmp_path / "p.json")
+        jsonio.dump(simple_profile, path)
+        loaded = jsonio.load(path)
+        assert loaded.node_count() == simple_profile.node_count()
+        assert [n for n in os.listdir(str(tmp_path))
+                if n.endswith(".tmp")] == []

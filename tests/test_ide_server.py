@@ -1,0 +1,108 @@
+"""StdioServer robustness: bounded reads, bad bytes, clean interrupts."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.ide.protocol import PARSE_ERROR
+from repro.ide.server import StdioServer
+
+
+def _serve(stdin, **kwargs):
+    stdout = io.StringIO()
+    server = StdioServer(stdin=stdin, stdout=stdout, **kwargs)
+    handled = server.serve_forever()
+    lines = [json.loads(line) for line in
+             stdout.getvalue().strip().splitlines() if line]
+    return handled, lines
+
+
+def _shutdown(req_id=99):
+    return json.dumps({"jsonrpc": "2.0", "id": req_id,
+                       "method": "shutdown", "params": {}})
+
+
+class TestOversizedLines:
+    def test_oversized_line_gets_parse_error(self):
+        big = '{"jsonrpc": "2.0", "padding": "%s"}' % ("x" * 200)
+        stdin = io.StringIO(big + "\n" + _shutdown() + "\n")
+        handled, lines = _serve(stdin, max_line_bytes=64)
+        assert handled == 2
+        errors = [m for m in lines if m.get("error")]
+        assert errors[0]["error"]["code"] == PARSE_ERROR
+        assert "exceeds 64 bytes" in errors[0]["error"]["message"]
+        # The server recovered onto the next message boundary.
+        assert any(m.get("id") == 99 and m.get("result") == {"ok": True}
+                   for m in lines)
+
+    def test_oversized_read_is_bounded(self):
+        class CountingStream(io.StringIO):
+            max_request = 0
+
+            def readline(self, limit=-1):
+                if limit is not None and limit > 0:
+                    CountingStream.max_request = max(
+                        CountingStream.max_request, limit)
+                return super().readline(limit)
+
+        stdin = CountingStream("y" * 4096 + "\n" + _shutdown() + "\n")
+        _serve(stdin, max_line_bytes=128)
+        assert CountingStream.max_request <= 129
+
+
+class TestBadBytes:
+    def test_non_utf8_input_gets_parse_error(self):
+        stdin = io.BytesIO(b"\xff\xfe not a utf-8 line\n" +
+                           _shutdown().encode("utf-8") + b"\n")
+        handled, lines = _serve(stdin)
+        assert handled == 2
+        errors = [m for m in lines if m.get("error")]
+        assert errors[0]["error"]["code"] == PARSE_ERROR
+        assert "UTF-8" in errors[0]["error"]["message"]
+        assert any(m.get("id") == 99 for m in lines)
+
+    def test_byte_stream_requests_work(self):
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/capabilities", "params": {}})
+        stdin = io.BytesIO((request + "\n").encode("utf-8"))
+        handled, lines = _serve(stdin)
+        assert handled == 1
+        assert lines[0]["id"] == 1
+        assert lines[0]["result"]
+
+
+class TestInterrupts:
+    def test_keyboard_interrupt_is_clean_shutdown(self):
+        class InterruptingStream(io.StringIO):
+            def readline(self, limit=-1):
+                line = super().readline(limit)
+                if not line:
+                    raise KeyboardInterrupt()
+                return line
+
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/capabilities", "params": {}})
+        stdout = io.StringIO()
+        server = StdioServer(stdin=InterruptingStream(request + "\n"),
+                             stdout=stdout)
+        handled = server.serve_forever()  # must not raise
+        assert handled == 1
+        assert not server._running
+        response = json.loads(stdout.getvalue().strip().splitlines()[0])
+        assert response["id"] == 1
+
+
+class TestNormalTraffic:
+    def test_blank_lines_are_skipped(self):
+        stdin = io.StringIO("\n\n" + _shutdown() + "\n")
+        handled, lines = _serve(stdin)
+        assert handled == 1
+
+    def test_response_message_rejected(self):
+        stdin = io.StringIO(
+            json.dumps({"jsonrpc": "2.0", "id": 5, "result": {}}) + "\n" +
+            _shutdown() + "\n")
+        handled, lines = _serve(stdin)
+        assert any(m.get("error", {}).get("message") == "expected a request"
+                   for m in lines)

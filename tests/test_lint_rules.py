@@ -222,6 +222,34 @@ class TestProfileRules:
         node.metrics[9] = 1.0
         assert "EV310" in rules_of(lint_profile(profile))
 
+    def test_ev312_negative_time_always_flagged(self):
+        builder, _, _ = self.build()
+        profile = builder.build()
+        profile.meta.time_nanos = -5
+        assert "EV312" in rules_of(lint_profile(profile))
+
+    def test_ev312_negative_duration_always_flagged(self):
+        builder, _, _ = self.build()
+        profile = builder.build()
+        profile.meta.duration_nanos = -1
+        assert "EV312" in rules_of(lint_profile(profile))
+
+    def test_ev312_missing_time_only_when_required(self):
+        builder, _, _ = self.build()
+        profile = builder.build()
+        assert profile.meta.time_nanos == 0
+        # Ordinary lint tolerates a missing stamp (fixtures, conversions)...
+        assert "EV312" not in rules_of(lint_profile(profile))
+        # ...but the store's ingest path demands one.
+        assert "EV312" in rules_of(lint_profile(profile, require_time=True))
+
+    def test_ev312_stamped_profile_is_clean_even_when_required(self):
+        builder, _, _ = self.build()
+        profile = builder.build()
+        profile.meta.time_nanos = 1_700_000_000_000_000_000
+        assert "EV312" not in rules_of(lint_profile(profile,
+                                                    require_time=True))
+
     def test_workload_fixtures_are_clean_of_errors(self, simple_profile,
                                                    recursive_profile):
         for profile in (simple_profile, recursive_profile):

@@ -1,0 +1,299 @@
+"""ProfileStore end-to-end: ingest, flush, crash safety, query, maintenance."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ProfileBuilder
+from repro.analysis import aggregate
+from repro.analysis.transform import transform
+from repro.core import serialize
+from repro.core.digest import viewtree_digest
+from repro.engine import AnalysisEngine
+from repro.errors import StoreError
+from repro.store import ProfileStore
+from repro.store.segment import SEGMENT_SUFFIX
+
+BASE_NANOS = 1_700_000_000_000_000_000
+
+
+class Clock:
+    """A deterministic nanosecond clock advancing one second per call."""
+
+    def __init__(self, start=BASE_NANOS):
+        self.now = start
+
+    def __call__(self):
+        self.now += 1_000_000_000
+        return self.now
+
+
+def build_profile(scale=1, time_nanos=0):
+    builder = ProfileBuilder(tool="test")
+    cpu = builder.metric("cpu", unit="nanoseconds")
+    builder.sample([("main", "app.c", 10), ("work", "app.c", 42)],
+                   {cpu: 700 * scale})
+    builder.sample([("main", "app.c", 10), ("idle", "app.c", 77)],
+                   {cpu: 100 * scale})
+    profile = builder.build()
+    profile.meta.time_nanos = time_nanos
+    return profile
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ProfileStore(str(tmp_path / "store"), engine=AnalysisEngine(),
+                      fsync=False, clock=Clock()) as store:
+        yield store
+
+
+class TestIngest:
+    def test_ingest_profile_bytes_and_path(self, store, tmp_path):
+        profile = build_profile(time_nanos=BASE_NANOS)
+        path = str(tmp_path / "p.ezvw")
+        serialize.dump(profile, path)
+
+        by_object = store.ingest(profile, service="a")
+        by_bytes = store.ingest(serialize.dumps(profile), service="b")
+        by_path = store.ingest(path, service="c")
+        assert [r.entry.seq for r in (by_object, by_bytes, by_path)] \
+            == [1, 2, 3]
+        assert store.index.services() == ["a", "b", "c"]
+
+    def test_stampless_profile_gets_ingest_time(self, store):
+        result = store.ingest(build_profile(time_nanos=0), service="api")
+        assert result.assigned_time
+        assert result.entry.time_nanos > BASE_NANOS
+        # EV312 fired for the missing stamp.
+        assert any(d.rule == "EV312" for d in result.diagnostics)
+
+    def test_stamped_profile_keeps_its_time(self, store):
+        result = store.ingest(build_profile(time_nanos=BASE_NANOS),
+                              service="api")
+        assert not result.assigned_time
+        assert result.entry.time_nanos == BASE_NANOS
+        assert not any(d.rule == "EV312" for d in result.diagnostics)
+
+    def test_durable_before_flush(self, store):
+        store.ingest(build_profile(), service="api")
+        reopened = ProfileStore(store.root, engine=store.engine,
+                                fsync=False, clock=Clock())
+        try:
+            assert len(reopened.select("service=api")) == 1
+            assert reopened.stats()["walRecords"] == 1
+        finally:
+            reopened.close()
+
+    def test_auto_flush_at_threshold(self, tmp_path):
+        with ProfileStore(str(tmp_path / "s"), engine=AnalysisEngine(),
+                          flush_records=3, fsync=False,
+                          clock=Clock()) as store:
+            for _ in range(3):
+                store.ingest(build_profile(), service="api")
+            assert store.stats()["walRecords"] == 0
+            assert store.stats()["segments"] == 1
+
+
+class TestFlushAndCrash:
+    def test_flush_moves_records_to_segment(self, store):
+        store.ingest(build_profile(time_nanos=BASE_NANOS), service="api")
+        address = store.flush()
+        assert address
+        assert os.path.exists(os.path.join(store.root,
+                                           address + SEGMENT_SUFFIX))
+        entry, = store.select("service=api")
+        assert entry.segment == address
+        assert store.flush() is None  # WAL now empty
+
+    def test_crash_between_segment_and_manifest(self, store):
+        """Segment written, manifest not updated, WAL not truncated."""
+        store.ingest(build_profile(time_nanos=BASE_NANOS), service="api")
+        from repro.store.segment import write_segment
+        orphan = write_segment(store.root, store.wal.records,
+                               created_nanos=store.clock())
+        # "Crash": reopen from disk; the WAL still holds the record.
+        reopened = ProfileStore(store.root, engine=store.engine,
+                                fsync=False, clock=Clock())
+        try:
+            assert reopened.stats()["walRecords"] == 1
+            address = reopened.flush()
+            # Content addressing: the re-flush reuses the orphan's name,
+            # so nothing is duplicated and integrity still holds.
+            assert address == orphan.address
+            stats = reopened.stats(verify=True)
+            assert stats["segments"] == 1
+            assert stats["integrity"]["ok"]
+        finally:
+            reopened.close()
+
+    def test_crash_mid_segment_write_leaves_store_intact(self, store):
+        """A half-written segment temp never shadows committed data."""
+        store.ingest(build_profile(time_nanos=BASE_NANOS), service="api")
+        good = store.flush()
+        store.ingest(build_profile(scale=2), service="api")
+        # Simulate dying mid-flush: the atomic writer's temp file exists
+        # but was never renamed into place.
+        with open(os.path.join(store.root, ".seg-tmp-partial"), "wb") as f:
+            f.write(b"EZSEG001 half written junk")
+        reopened = ProfileStore(store.root, engine=store.engine,
+                                fsync=False, clock=Clock())
+        try:
+            stats = reopened.stats(verify=True)
+            assert stats["integrity"]["ok"]
+            assert stats["segments"] == 1
+            assert stats["walRecords"] == 1
+            assert good in reopened.manifest.addresses()
+        finally:
+            reopened.close()
+
+    def test_missing_segment_detected_on_open(self, store):
+        store.ingest(build_profile(), service="api")
+        address = store.flush()
+        store.close()
+        os.unlink(os.path.join(store.root, address + SEGMENT_SUFFIX))
+        with pytest.raises(StoreError, match="missing"):
+            ProfileStore(store.root, fsync=False)
+
+
+class TestQuery:
+    def test_merge_on_read_matches_merge_trees(self, store):
+        profiles = [build_profile(scale=s, time_nanos=BASE_NANOS + s)
+                    for s in (1, 2, 3)]
+        for profile in profiles:
+            store.ingest(profile, service="api")
+        store.flush()
+        result = store.query("service=api")
+        assert result.count == 3
+        loaded = [store.load(e) for e in result.entries]
+        merged = aggregate.merge_trees(
+            [transform(p, "top_down") for p in loaded])
+        assert viewtree_digest(merged) == result.digest()
+
+    def test_repeat_query_is_engine_cache_hit(self, store):
+        for s in (1, 2):
+            store.ingest(build_profile(scale=s), service="api")
+        store.flush()
+        first = store.query("service=api")
+        hits_before = store.engine.stats()["operations"]["aggregate"]["hits"]
+        second = store.query("service=api")
+        hits_after = store.engine.stats()["operations"]["aggregate"]["hits"]
+        assert hits_after == hits_before + 1
+        assert second.digest() == first.digest()
+
+    def test_query_spans_wal_and_segments(self, store):
+        store.ingest(build_profile(time_nanos=BASE_NANOS), service="api")
+        store.flush()
+        store.ingest(build_profile(time_nanos=BASE_NANOS + 5), service="api")
+        result = store.query("service=api")
+        assert result.count == 2
+        segments = {e.segment for e in result.entries}
+        assert None in segments and len(segments) == 2
+
+    def test_select_newest_first_with_limit(self, store):
+        for i in range(4):
+            store.ingest(build_profile(time_nanos=BASE_NANOS + i),
+                         service="api")
+        entries = store.select("limit=2")
+        assert [e.seq for e in entries] == [4, 3]
+
+    def test_no_match(self, store):
+        result = store.query("service=nothing")
+        assert result.count == 0
+        assert result.tree is None
+        assert result.digest() == ""
+
+
+class TestMaintenance:
+    def _fill(self, store, batches=3, per_batch=2):
+        seq = 0
+        for _ in range(batches):
+            for _ in range(per_batch):
+                seq += 1
+                store.ingest(build_profile(scale=seq,
+                                           time_nanos=BASE_NANOS + seq),
+                             service="api")
+            store.flush()
+
+    def test_compact_preserves_query_results(self, store):
+        self._fill(store)
+        before = store.query("service=api")
+        assert store.stats()["segments"] == 3
+        merged = store.compact()
+        assert merged is not None
+        stats = store.stats(verify=True)
+        assert stats["segments"] == 1
+        assert stats["integrity"]["ok"]
+        after = store.query("service=api")
+        assert after.digest() == before.digest()
+        survivors = [n for n in os.listdir(store.root)
+                     if n.endswith(SEGMENT_SUFFIX)]
+        assert survivors == [merged + SEGMENT_SUFFIX]
+
+    def test_compact_skips_big_segments(self, store):
+        self._fill(store, batches=2, per_batch=2)
+        assert store.compact(small_records=2) is None
+
+    def test_gc_by_age(self, store):
+        self._fill(store)
+        assert store.stats()["segments"] == 3
+        # Everything is older than "now minus one nanosecond".
+        report = store.gc(max_age_nanos=1)
+        assert len(report["removedSegments"]) == 3
+        assert store.stats()["records"] == 0
+
+    def test_gc_by_bytes_drops_oldest_first(self, store):
+        self._fill(store)
+        infos = sorted(store.manifest.segments,
+                       key=lambda i: i.created_nanos)
+        keep = infos[-1].size_bytes
+        report = store.gc(max_total_bytes=keep)
+        removed = set(report["removedSegments"])
+        assert infos[0].address in removed
+        assert infos[-1].address not in removed
+
+    def test_gc_sweeps_orphans(self, store):
+        self._fill(store, batches=1)
+        orphan = os.path.join(store.root, "f" * 32 + SEGMENT_SUFFIX)
+        with open(orphan, "wb") as handle:
+            handle.write(b"EZSEG001junk")
+        report = store.gc()
+        assert report["orphansSwept"] == ["f" * 32]
+        assert not os.path.exists(orphan)
+        assert store.stats()["segments"] == 1
+
+    def test_stats_integrity_catches_corruption(self, store):
+        self._fill(store, batches=1)
+        address = store.manifest.addresses()[0]
+        path = os.path.join(store.root, address + SEGMENT_SUFFIX)
+        with open(path, "r+b") as handle:
+            handle.seek(12)
+            handle.write(b"\x00\x00\x00\x00")
+        stats = store.stats(verify=True)
+        assert not stats["integrity"]["ok"]
+        assert any(address in problem
+                   for problem in stats["integrity"]["problems"])
+
+
+class TestReopen:
+    def test_full_lifecycle_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "store")
+        engine = AnalysisEngine()
+        with ProfileStore(root, engine=engine, fsync=False,
+                          clock=Clock()) as store:
+            for s in (1, 2):
+                store.ingest(build_profile(scale=s,
+                                           time_nanos=BASE_NANOS + s),
+                             service="api", labels={"run": str(s)})
+            store.flush()
+            store.ingest(build_profile(scale=3, time_nanos=BASE_NANOS + 3),
+                         service="api")
+            digest = store.query("service=api").digest()
+            next_seq = store.manifest.next_seq
+        with ProfileStore(root, engine=AnalysisEngine(), fsync=False,
+                          clock=Clock()) as store:
+            assert store.manifest.next_seq == next_seq
+            assert store.query("service=api").digest() == digest
+            entry = store.select("label.run=2")[0]
+            assert store.load(entry).meta.time_nanos == BASE_NANOS + 2

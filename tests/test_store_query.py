@@ -1,0 +1,137 @@
+"""The store query language: parsing, matching, canonical text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.store.index import RecordEntry
+from repro.store.query import Query, parse_age, parse_query, parse_time
+
+NOW = 1_700_000_000_000_000_000
+
+
+def _entry(service="api", ptype="cpu", labels=None, time_nanos=NOW, seq=1):
+    return RecordEntry(service=service, ptype=ptype, labels=labels or {},
+                       time_nanos=time_nanos, duration_nanos=0, seq=seq)
+
+
+class TestParseTime:
+    def test_raw_nanos(self):
+        assert parse_time("123456789") == 123456789
+
+    def test_iso_date(self):
+        assert parse_time("2023-11-14T22:13:20") == NOW
+
+    def test_iso_with_timezone(self):
+        assert parse_time("2023-11-14T22:13:20+00:00") == NOW
+
+    def test_relative_age(self):
+        assert parse_time("15m", now_nanos=NOW) == NOW - 15 * 60 * 10 ** 9
+        assert parse_time("1.5h", now_nanos=NOW) == NOW - 5400 * 10 ** 9
+        assert parse_time("7d", now_nanos=NOW) == NOW - 7 * 86400 * 10 ** 9
+
+    def test_relative_needs_clock(self):
+        with pytest.raises(QueryError, match="reference clock"):
+            parse_time("6h")
+
+    def test_garbage(self):
+        with pytest.raises(QueryError, match="cannot parse time"):
+            parse_time("yesterday-ish")
+
+    def test_empty(self):
+        with pytest.raises(QueryError, match="empty"):
+            parse_time("  ")
+
+
+class TestParseAge:
+    def test_units(self):
+        assert parse_age("30s") == 30 * 10 ** 9
+        assert parse_age("2w") == 14 * 86400 * 10 ** 9
+        assert parse_age("500") == 500
+
+    def test_garbage(self):
+        with pytest.raises(QueryError, match="cannot parse age"):
+            parse_age("soon")
+
+
+class TestParseQuery:
+    def test_empty_matches_everything(self):
+        query = parse_query("")
+        assert query.matches(_entry())
+        assert query.matches(_entry(service="other", ptype="heap"))
+
+    def test_all_keys(self):
+        query = parse_query(
+            "service=api type=cpu since=10 until=20 label.region=us "
+            "limit=3 seq=9")
+        assert query.service == "api"
+        assert query.ptype == "cpu"
+        assert query.since_nanos == 10
+        assert query.until_nanos == 20
+        assert query.labels == {"region": "us"}
+        assert query.limit == 3
+        assert query.seq == 9
+
+    def test_unknown_key(self):
+        with pytest.raises(QueryError, match="unknown query key"):
+            parse_query("color=red")
+
+    def test_malformed_term(self):
+        with pytest.raises(QueryError, match="malformed"):
+            parse_query("service")
+
+    def test_nameless_label(self):
+        with pytest.raises(QueryError, match="names no label"):
+            parse_query("label.=x")
+
+    def test_bad_limit(self):
+        with pytest.raises(QueryError):
+            parse_query("limit=zero")
+        with pytest.raises(QueryError, match="positive"):
+            parse_query("limit=0")
+
+    def test_relative_since_uses_now(self):
+        query = parse_query("since=1h", now_nanos=NOW)
+        assert query.since_nanos == NOW - 3600 * 10 ** 9
+
+
+class TestMatching:
+    def test_service_and_type(self):
+        query = parse_query("service=api type=cpu")
+        assert query.matches(_entry())
+        assert not query.matches(_entry(service="web"))
+        assert not query.matches(_entry(ptype="heap"))
+
+    def test_time_window(self):
+        query = Query(since_nanos=10, until_nanos=20)
+        assert query.matches(_entry(time_nanos=15))
+        assert query.matches(_entry(time_nanos=10))
+        assert query.matches(_entry(time_nanos=20))
+        assert not query.matches(_entry(time_nanos=9))
+        assert not query.matches(_entry(time_nanos=21))
+
+    def test_labels_are_anded(self):
+        query = parse_query("label.region=us label.env=prod")
+        assert query.matches(
+            _entry(labels={"region": "us", "env": "prod", "x": "y"}))
+        assert not query.matches(_entry(labels={"region": "us"}))
+
+    def test_seq(self):
+        query = parse_query("seq=5")
+        assert query.matches(_entry(seq=5))
+        assert not query.matches(_entry(seq=6))
+
+
+class TestCanonicalText:
+    def test_round_trip_is_stable(self):
+        text = ("service=api type=cpu since=10 until=20 label.a=1 "
+                "label.b=2 seq=4 limit=9")
+        query = parse_query(text)
+        assert parse_query(query.to_text()) == query
+        assert parse_query(query.to_text()).to_text() == query.to_text()
+
+    def test_label_order_is_canonical(self):
+        a = parse_query("label.b=2 label.a=1")
+        b = parse_query("label.a=1 label.b=2")
+        assert a.to_text() == b.to_text()
