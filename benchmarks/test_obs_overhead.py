@@ -1,0 +1,107 @@
+"""Supplementary bench — the disabled tracer stays within its budget.
+
+The instrumentation contract in :mod:`repro.obs` is that hot paths may
+stay permanently instrumented because a disabled tracer costs one
+attribute check per ``span()`` call.  Two checks pin that down:
+
+* the disabled ``span()`` round-trip is sub-microsecond in absolute
+  terms, and under 5 % of even the *cheapest* instrumented operation
+  (a warm, memoized engine transform);
+* running the warm engine path with the shipped (disabled)
+  instrumentation is within 5 % of the same path with ``span()``
+  stubbed out entirely — measured as min-of-repeats so scheduler noise
+  does not flake the assertion.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.converters.base import parse_bytes
+from repro.engine import AnalysisEngine
+from repro.engine import engine as engine_mod
+from repro.obs.tracer import _NULL_CONTEXT, Tracer
+
+
+def _time_loop(fn, iterations):
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+def _best_of(fn, iterations, repeats=5):
+    return min(_time_loop(fn, iterations) for _ in range(repeats))
+
+
+class _StubTracer:
+    """The zero-cost floor: span() with no enabled check at all."""
+
+    def span(self, name, **attributes):
+        return _NULL_CONTEXT
+
+
+@pytest.fixture
+def warm_engine(small_bytes):
+    profile = parse_bytes(small_bytes)
+    engine = AnalysisEngine()
+    engine.transform(profile, "bottom_up")  # prime the memo cache
+    return engine, profile
+
+
+def test_disabled_span_call_is_submicrosecond():
+    tracer = Tracer(enabled=False)
+
+    def one_span():
+        with tracer.span("bench.noop"):
+            pass
+
+    per_call = _best_of(one_span, iterations=10_000)
+    assert per_call < 5e-6, (
+        "disabled span() costs %.2f us/call; the null-context fast path "
+        "has regressed" % (per_call * 1e6))
+    assert len(tracer.spans()) == 0
+
+
+def test_disabled_span_under_five_percent_of_cache_hit(warm_engine):
+    """One null span is < 5 % of the cheapest instrumented operation."""
+    engine, profile = warm_engine
+    tracer = Tracer(enabled=False)
+
+    def one_span():
+        with tracer.span("bench.noop"):
+            pass
+
+    span_cost = _best_of(one_span, iterations=10_000)
+    hit_cost = _best_of(lambda: engine.transform(profile, "bottom_up"),
+                        iterations=200)
+    assert span_cost < 0.05 * hit_cost, (
+        "disabled span (%.0f ns) is %.1f%% of a warm transform (%.0f ns)"
+        % (span_cost * 1e9, 100 * span_cost / hit_cost, hit_cost * 1e9))
+
+
+def test_disabled_instrumentation_overhead_under_budget(warm_engine):
+    """Warm engine path: shipped (disabled) tracer vs no tracer at all."""
+    engine, profile = warm_engine
+    real_tracer = engine_mod._tracer
+    assert not real_tracer.enabled, (
+        "bench requires the default (disabled) tracer; EASYVIEW_OBS is "
+        "set in this environment")
+
+    def warm_pass():
+        engine.transform(profile, "bottom_up")
+
+    iterations = 300
+    try:
+        engine_mod._tracer = _StubTracer()
+        floor = _best_of(warm_pass, iterations)
+    finally:
+        engine_mod._tracer = real_tracer
+    shipped = _best_of(warm_pass, iterations)
+    overhead = (shipped - floor) / floor
+    assert overhead < 0.05, (
+        "disabled tracer adds %.1f%% to the warm engine path "
+        "(floor %.0f ns, shipped %.0f ns)"
+        % (100 * overhead, floor * 1e9, shipped * 1e9))

@@ -11,6 +11,9 @@ Subcommands mirror the viewer's capabilities for headless use:
 * ``formats``   — list supported input formats
 * ``engine-stats`` — analysis-engine cache counters (cold vs warm)
 * ``serve``     — speak the Profile View Protocol over stdio
+* ``obs``       — EasyView's own telemetry: trace a nested command and
+  export the spans as metrics, JSONL, a Chrome trace, or an EasyView
+  profile (the dogfooding pipeline)
 """
 
 from __future__ import annotations
@@ -406,6 +409,10 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
 
     with ProfileStore(args.store) as store:
         stats = store.stats(verify=not args.no_verify)
+        if args.json:
+            from .core.jsonio import dumps_data
+            print(dumps_data(stats))
+            return 0 if stats.get("integrity", {}).get("ok", True) else 1
         print("store %s: %d segments (%d bytes), %d records "
               "(%d in WAL), next seq %d"
               % (stats["root"], stats["segments"], stats["segmentBytes"],
@@ -427,6 +434,170 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
                     print("integrity: %s" % problem)
                 return 1
     return 0
+
+
+def _run_nested(argv: List[str]) -> int:
+    """Dispatch one nested ``easyview`` command line (for ``obs ...``).
+
+    The nested command runs in-process so its spans land in this
+    process's ring; its stdout is redirected to stderr so the export
+    payload owns stdout.
+    """
+    import contextlib
+
+    if argv and argv[0] == "--":
+        argv = argv[1:]  # argparse.REMAINDER keeps the separator
+    if not argv:
+        raise SystemExit("obs: give a nested easyview command to trace, "
+                         "e.g. `easyview obs export store query prof`")
+    args = build_parser().parse_args(argv)
+    with contextlib.redirect_stdout(sys.stderr):
+        return args.fn(args)
+
+
+def _format_span_table(spans) -> str:
+    from .obs.export import by_name
+
+    lines = ["%-40s %7s %12s %12s %8s" % ("span", "count", "total ms",
+                                          "self ms", "errors")]
+    for row in by_name(spans):
+        lines.append("%-40s %7d %12.3f %12.3f %8d"
+                     % (row["name"], row["count"],
+                        row["totalNanos"] / 1e6, row["selfNanos"] / 1e6,
+                        row["errors"]))
+    return "\n".join(lines)
+
+
+def _obs_snapshot() -> dict:
+    """The ``obs metrics`` payload: registry + span summary + tracer."""
+    from . import obs
+    from .obs.export import by_name
+
+    tracer = obs.get_tracer()
+    spans = tracer.spans()
+    return {
+        "metrics": obs.get_registry().snapshot(),
+        "spans": by_name(spans),
+        "tracer": {"enabled": tracer.enabled,
+                   "capacity": tracer.capacity,
+                   "sampleEvery": tracer.sample_every,
+                   "spanCount": len(spans)},
+    }
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    from . import obs
+    from .core.jsonio import dumps_data
+
+    if args.command:
+        obs.configure(enabled=True)
+        _run_nested(args.command)
+    snapshot = _obs_snapshot()
+    if args.json:
+        print(dumps_data(snapshot))
+        return 0
+    metrics = snapshot["metrics"]
+    for name, value in metrics["counters"].items():
+        print("%-40s %d" % (name, value))
+    for name, value in metrics["gauges"].items():
+        print("%-40s %g" % (name, value))
+    for name, hist in metrics["histograms"].items():
+        print("%-40s n=%d mean=%.6f max=%s"
+              % (name, hist["count"], hist["mean"], hist["max"]))
+    if snapshot["spans"]:
+        print()
+        print(_format_span_table(obs.get_tracer().spans()))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Trace a nested command, then export the span ring.
+
+    ``--format easyview`` emits the spans folded into an EasyView
+    profile (JSON form, or native binary when ``-o`` ends in ``.ezvw``)
+    that every viewer surface — and ``store ingest`` — accepts:
+
+        easyview obs export --format easyview -o self.ezvw.json \\
+            store query prof service=api
+        easyview open self.ezvw.json
+        easyview store ingest prof self.ezvw.json --service easyview
+    """
+    from . import obs
+    from .obs import export as export_mod
+
+    tracer = obs.configure(enabled=True, capacity=args.capacity,
+                           sample_every=args.sample_every)
+    rc = _run_nested(args.command)
+    spans = tracer.spans()
+    if not spans:
+        print("easyview obs: the traced command recorded no spans",
+              file=sys.stderr)
+        return 1
+    if args.format == "easyview":
+        profile = export_mod.to_profile(spans)
+        if args.output and args.output.endswith(".ezvw"):
+            from .core.serialize import dump
+            dump(profile, args.output)
+            print("wrote %s (%d spans as %d contexts)"
+                  % (args.output, len(spans), profile.node_count()),
+                  file=sys.stderr)
+            return rc
+        from .core import jsonio
+        content = jsonio.dumps(profile)
+    elif args.format == "chrome":
+        import json as json_mod
+        content = json_mod.dumps(export_mod.to_chrome_trace(spans),
+                                 indent=2)
+    else:  # jsonl
+        content = export_mod.to_jsonl(spans)
+    if args.output:
+        from .core.atomicio import atomic_write_text
+        atomic_write_text(args.output, content + "\n")
+        print("wrote %s (%d spans)" % (args.output, len(spans)),
+              file=sys.stderr)
+    else:
+        print(content)
+    return rc
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Run a nested command traced, reporting telemetry as it runs."""
+    import threading
+
+    from . import obs
+
+    tracer = obs.configure(enabled=True)
+    outcome = {}
+
+    def run() -> None:
+        try:
+            outcome["rc"] = _run_nested(args.command)
+        except BaseException as exc:  # surfaced after the final report
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=run, name="easyview-obs-watch",
+                              daemon=True)
+    worker.start()
+    try:
+        while worker.is_alive():
+            worker.join(args.interval)
+            spans = tracer.spans()
+            top = None
+            if spans:
+                from .obs.export import by_name
+                top = by_name(spans)[0]
+            line = "obs: %d spans" % len(spans)
+            if top is not None:
+                line += " | top %s x%d %.1f ms" % (
+                    top["name"], top["count"], top["totalNanos"] / 1e6)
+            print(line, file=sys.stderr)
+    except KeyboardInterrupt:
+        pass
+    print(_format_span_table(tracer.spans()))
+    error = outcome.get("error")
+    if error is not None:
+        raise error
+    return int(outcome.get("rc", 1))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -469,10 +640,18 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
         t1 = time.perf_counter()
         workload()
         t2 = time.perf_counter()
-        print("cold pass: %.1f ms" % ((t1 - t0) * 1e3))
-        print("warm pass: %.1f ms" % ((t2 - t1) * 1e3))
+        if not args.json:
+            print("cold pass: %.1f ms" % ((t1 - t0) * 1e3))
+            print("warm pass: %.1f ms" % ((t2 - t1) * 1e3))
 
     stats = engine.stats()
+    if args.json:
+        from .core.jsonio import dumps_data
+        if args.paths:
+            stats["passes"] = {"coldSeconds": t1 - t0,
+                               "warmSeconds": t2 - t1}
+        print(dumps_data(stats))
+        return 0
     print("cache: %d/%d entries, %d hits, %d misses, %d evictions, "
           "%d bypasses (hit rate %.1f%%)"
           % (stats["size"], stats["capacity"], stats["hits"],
@@ -637,7 +816,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--format", default=None)
     p_engine.add_argument("--shape", default="top_down",
                           choices=["top_down", "bottom_up", "flat"])
+    p_engine.add_argument("--json", action="store_true",
+                          help="machine-readable snapshot")
     p_engine.set_defaults(fn=_cmd_engine_stats)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="self-profiling: trace easyview's own execution")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_o_metrics = obs_sub.add_parser(
+        "metrics",
+        help="metric snapshot (optionally tracing a nested command)")
+    p_o_metrics.add_argument("--json", action="store_true",
+                             help="machine-readable snapshot")
+    p_o_metrics.add_argument("command", nargs=argparse.REMAINDER,
+                             help="nested easyview command to run traced")
+    p_o_metrics.set_defaults(fn=_cmd_obs_metrics)
+
+    p_o_export = obs_sub.add_parser(
+        "export",
+        help="trace a nested command, export its spans")
+    p_o_export.add_argument("--format", default="easyview",
+                            choices=["easyview", "chrome", "jsonl"],
+                            help="easyview: CCT profile of the traced "
+                                 "run; chrome: Trace Event JSON; jsonl: "
+                                 "one span per line")
+    p_o_export.add_argument("-o", "--output", default=None,
+                            help="output file (default stdout; .ezvw "
+                                 "writes native binary)")
+    p_o_export.add_argument("--capacity", type=int, default=None,
+                            help="span ring capacity")
+    p_o_export.add_argument("--sample-every", type=int, default=None,
+                            dest="sample_every",
+                            help="keep every Nth trace (1 = all)")
+    p_o_export.add_argument("command", nargs=argparse.REMAINDER,
+                            help="nested easyview command to run traced")
+    p_o_export.set_defaults(fn=_cmd_obs_export)
+
+    p_o_watch = obs_sub.add_parser(
+        "watch",
+        help="run a nested command traced, reporting live telemetry")
+    p_o_watch.add_argument("--interval", type=float, default=2.0,
+                           help="seconds between progress lines")
+    p_o_watch.add_argument("command", nargs=argparse.REMAINDER,
+                           help="nested easyview command to run traced")
+    p_o_watch.set_defaults(fn=_cmd_obs_watch)
 
     p_store = sub.add_parser("store",
                              help="persistent profile repository (ProfStore)")
@@ -701,6 +925,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_s_stats.add_argument("--no-verify", action="store_true",
                            dest="no_verify",
                            help="skip re-hashing segment content addresses")
+    p_s_stats.add_argument("--json", action="store_true",
+                           help="machine-readable snapshot")
     p_s_stats.set_defaults(fn=_cmd_store_stats)
 
     p_serve = sub.add_parser("serve",

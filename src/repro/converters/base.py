@@ -85,9 +85,12 @@ def parse_bytes(data: bytes, format: Optional[str] = None,
     §V-C efficiency levers.
     """
     from ..core.gcguard import no_gc
+    from ..obs import get_tracer
     converter = get(format) if format else detect(data, path)
-    with no_gc():
-        profile = converter.parse(data)
+    with get_tracer().span("convert.parse", format=converter.name,
+                           bytes=len(data)):
+        with no_gc():
+            profile = converter.parse(data)
     if not profile.meta.tool:
         profile.meta.tool = converter.name
     return profile

@@ -144,6 +144,17 @@ def dumps(profile: Profile, indent: int = 2) -> str:
     return json.dumps(to_dict(profile), indent=indent, sort_keys=False)
 
 
+def dumps_data(payload: Any, indent: int = 2) -> str:
+    """Serialize an arbitrary JSON-ready payload (not a profile).
+
+    The one formatting used by every machine-readable CLI snapshot
+    (``lint --json``, ``store stats --json``, ``engine-stats --json``,
+    ``obs metrics --json``): sorted keys, two-space indent, trailing
+    newline-free.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
 def loads(text: str) -> Profile:
     """Parse from a JSON string."""
     try:

@@ -11,32 +11,80 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Tuple
 
 
 class CacheStats:
-    """Counters for one cache: global and per-operation."""
+    """Counters for one cache: global and per-operation.
 
-    __slots__ = ("hits", "misses", "evictions", "bypasses", "per_operation")
+    Backed by the atomic :class:`repro.obs.metrics.Counter` primitive:
+    the engine's worker pool records hits and misses from several threads
+    at once, and a bare ``self.hits += 1`` is an unsynchronized
+    read-modify-write that loses increments under that load.  The public
+    face is unchanged — ``stats.hits`` and friends still read as plain
+    integers.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_bypasses",
+                 "_per_operation", "_ops_lock")
 
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        from ..obs.metrics import Counter
+        self._hits = Counter("engine.cache.hits")
+        self._misses = Counter("engine.cache.misses")
+        self._evictions = Counter("engine.cache.evictions")
         #: Requests that skipped the cache (uncacheable options such as a
         #: user callback or an arbitrary zoom root).
-        self.bypasses = 0
-        self.per_operation: Dict[str, Dict[str, int]] = {}
+        self._bypasses = Counter("engine.cache.bypasses")
+        self._per_operation: Dict[str, Dict[str, Any]] = {}
+        self._ops_lock = threading.Lock()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def bypasses(self) -> int:
+        return self._bypasses.value
+
+    @property
+    def per_operation(self) -> Dict[str, Dict[str, int]]:
+        with self._ops_lock:
+            return {op: {"hits": bucket["hits"].value,
+                         "misses": bucket["misses"].value}
+                    for op, bucket in self._per_operation.items()}
+
+    def _bucket(self, operation: str) -> Dict[str, Any]:
+        from ..obs.metrics import Counter
+        with self._ops_lock:
+            bucket = self._per_operation.get(operation)
+            if bucket is None:
+                bucket = {"hits": Counter(), "misses": Counter()}
+                self._per_operation[operation] = bucket
+            return bucket
 
     def record(self, operation: str, hit: bool) -> None:
-        bucket = self.per_operation.setdefault(operation,
-                                               {"hits": 0, "misses": 0})
+        bucket = self._bucket(operation)
         if hit:
-            self.hits += 1
-            bucket["hits"] += 1
+            self._hits.inc()
+            bucket["hits"].inc()
         else:
-            self.misses += 1
-            bucket["misses"] += 1
+            self._misses.inc()
+            bucket["misses"].inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
+
+    def record_bypass(self) -> None:
+        self._bypasses.inc()
 
     @property
     def hit_rate(self) -> float:
@@ -50,9 +98,7 @@ class CacheStats:
             "evictions": self.evictions,
             "bypasses": self.bypasses,
             "hitRate": round(self.hit_rate, 4),
-            "operations": {op: dict(counts)
-                           for op, counts in sorted(
-                               self.per_operation.items())},
+            "operations": dict(sorted(self.per_operation.items())),
         }
 
 
@@ -88,7 +134,7 @@ class LRUCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record_eviction()
 
     def forget_value(self, value: Any) -> int:
         """Drop every entry whose cached value *is* ``value``.

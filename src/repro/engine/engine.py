@@ -40,9 +40,15 @@ from ..analysis.viewtree import (ViewNode, ViewTree, default_merge_key,
 from ..core.digest import profile_digest, viewtree_digest
 from ..core.metric import Aggregation
 from ..core.profile import Profile
+from ..obs import get_tracer
 from ..viz.layout import FlameLayout, layout as layout_fn
 from .cache import LRUCache
 from .parallel import WorkerPool
+
+#: The process-wide tracer: every memoized operation runs under a span
+#: carrying its cache disposition (hit / miss / bypass), so a dogfooded
+#: flame graph shows exactly where the interaction budget goes.
+_tracer = get_tracer()
 
 #: Merge-key functions the engine can name in a cache key.  Anything else
 #: is treated as uncacheable and bypasses the cache.
@@ -104,16 +110,20 @@ class AnalysisEngine:
     def _memoize(self, operation: str, key_parts: Tuple,
                  compute: Callable[[], Any]) -> Any:
         key = (operation,) + key_parts
-        found, value = self.cache.lookup(operation, key)
-        if found:
+        with _tracer.span("engine." + operation) as span:
+            found, value = self.cache.lookup(operation, key)
+            if span is not None:
+                span.set("hit", found)
+            if found:
+                return value
+            value = compute()
+            self.cache.store(key, value)
             return value
-        value = compute()
-        self.cache.store(key, value)
-        return value
 
-    def _bypass(self, compute: Callable[[], Any]) -> Any:
-        self.cache.stats.bypasses += 1
-        return compute()
+    def _bypass(self, operation: str, compute: Callable[[], Any]) -> Any:
+        self.cache.stats.record_bypass()
+        with _tracer.span("engine." + operation, bypass=True):
+            return compute()
 
     # -- memoized operations -----------------------------------------------
 
@@ -124,13 +134,13 @@ class AnalysisEngine:
         compute = lambda: transform_fn(profile, shape, **kwargs)
         if customization is not None and not customization.is_passthrough():
             # User callbacks may close over arbitrary state; never cache.
-            return self._bypass(compute)
+            return self._bypass("transform", compute)
         try:
             options = _canonical(
                 [(k, v) for k, v in sorted(kwargs.items())
                  if k != "customization"])
         except _Uncacheable:
-            return self._bypass(compute)
+            return self._bypass("transform", compute)
         return self._memoize("transform",
                              (profile_digest(profile), shape, options),
                              compute)
@@ -146,7 +156,7 @@ class AnalysisEngine:
                                     min_width=min_width, root=root,
                                     max_depth=max_depth)
         if root is not None:
-            return self._bypass(compute)
+            return self._bypass("layout", compute)
         return self._memoize(
             "layout",
             (self._tree_digest(tree), metric_index, canvas_width, min_width,
@@ -163,7 +173,7 @@ class AnalysisEngine:
         try:
             options = _canonical((metric_index, tolerance, key_fn))
         except _Uncacheable:
-            return self._bypass(compute)
+            return self._bypass("diff", compute)
         return self._memoize(
             "diff",
             (self._tree_digest(baseline), self._tree_digest(treatment),
@@ -191,7 +201,7 @@ class AnalysisEngine:
         try:
             options = _canonical((tuple(operators), key_fn))
         except _Uncacheable:
-            return self._bypass(compute)
+            return self._bypass("aggregate", compute)
         return self._memoize(
             "aggregate",
             (tuple(self._tree_digest(tree) for tree in trees), options),
@@ -212,6 +222,7 @@ class AnalysisEngine:
             options = _canonical((shape, tuple(operators)))
         except _Uncacheable:
             return self._bypass(
+                "aggregate",
                 lambda: aggregate_mod.aggregate_profiles(profiles, shape,
                                                          operators))
 

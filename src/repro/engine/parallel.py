@@ -14,6 +14,7 @@ entirely, which tests use for determinism.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -69,7 +70,14 @@ class WorkerPool:
             return [fn(item) for item in items]
         self.parallel_batches += 1
         executor = self._ensure_executor()
-        return list(executor.map(fn, items))
+        # Each task runs in a copy of the *submitting* context, so
+        # context-local state — in particular the tracer's current span —
+        # flows into the workers: a span opened inside a pooled task
+        # attaches to the span that submitted the batch, not to whatever
+        # the worker thread last ran.
+        context = contextvars.copy_context()
+        return list(executor.map(
+            lambda item: context.copy().run(fn, item), items))
 
     def shutdown(self) -> None:
         """Stop the worker threads (idempotent)."""

@@ -62,6 +62,12 @@ VIEW_OPEN_QUERY = "view/openQuery"
 STORE_INGEST = "store/ingest"
 STORE_QUERY = "store/query"
 
+# obs/* methods (IDE → the viewer's own telemetry).  ``obs/metrics``
+# supersedes and generalizes ``view/engineStats``: the engine's cache
+# counters are one tenant of the snapshot it returns.
+OBS_METRICS = "obs/metrics"
+OBS_TRACE = "obs/trace"
+
 # ide/* methods (viewer → IDE).
 IDE_OPEN_DOCUMENT = "ide/openDocument"       # the mandatory code link
 IDE_CODE_LENS = "ide/showCodeLens"
@@ -77,6 +83,7 @@ VIEW_METHODS = frozenset({
     VIEW_EXPORT, VIEW_LINT, VIEW_ENGINE_STATS, VIEW_OPEN_QUERY,
 })
 STORE_METHODS = frozenset({STORE_INGEST, STORE_QUERY})
+OBS_METHODS = frozenset({OBS_METRICS, OBS_TRACE})
 IDE_METHODS = frozenset({
     IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,
     IDE_SET_DECORATIONS, IDE_PUBLISH_DIAGNOSTICS,

@@ -424,6 +424,46 @@ class ViewerSession:
         self._profiles[opened.id] = opened
         return opened
 
+    # -- self-observability ----------------------------------------------------------
+
+    def obs_metrics(self) -> Dict[str, Any]:
+        """The ``obs/metrics`` payload: registry + engine + tracer state.
+
+        Supersedes and generalizes ``view/engineStats`` (still served for
+        older clients): the engine's cache counters appear here as the
+        ``engine`` tenant next to every other instrumented subsystem.
+        """
+        from .. import obs
+        tracer = obs.get_tracer()
+        return {
+            "metrics": obs.get_registry().snapshot(),
+            "engine": self.engine.stats(),
+            "tracer": {
+                "enabled": tracer.enabled,
+                "capacity": tracer.capacity,
+                "sampleEvery": tracer.sample_every,
+                "spans": len(tracer),
+            },
+        }
+
+    def obs_trace(self, limit: Optional[int] = None,
+                  clear: bool = False) -> Dict[str, Any]:
+        """The ``obs/trace`` payload: the span ring as plain data.
+
+        ``limit`` keeps only the newest N spans; ``clear`` empties the
+        ring after the snapshot (so a client can poll without re-reading
+        old spans).
+        """
+        from .. import obs
+        tracer = obs.get_tracer()
+        spans = tracer.spans()
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:] if limit else []
+        if clear:
+            tracer.clear()
+        return {"enabled": tracer.enabled,
+                "spans": [span.to_dict() for span in spans]}
+
     # -- protocol dispatch -----------------------------------------------------------
 
     def handle(self, request: pvp.Request) -> pvp.Response:
@@ -590,6 +630,13 @@ class ViewerSession:
             return {"metricIndex": index}
         if method == pvp.VIEW_ENGINE_STATS:
             return self.engine.stats()
+        if method == pvp.OBS_METRICS:
+            return self.obs_metrics()
+        if method == pvp.OBS_TRACE:
+            limit = params.get("limit")
+            return self.obs_trace(
+                limit=int(limit) if limit is not None else None,
+                clear=bool(params.get("clear", False)))
         if method == pvp.STORE_INGEST:
             pvp.require_params(request, "store", "path")
             if not isinstance(params["path"], str):

@@ -1,0 +1,160 @@
+"""Exporters: the span ring as JSONL, Chrome trace, or an EasyView profile.
+
+Three ways out of the ring, in increasing order of dogfooding:
+
+* :func:`to_jsonl` — one JSON object per finished span; the archival and
+  log-shipping format, and what ``obs/trace`` returns over the PVP.
+* :func:`to_chrome_trace` — Trace Event Format ``B``/``E`` pairs that
+  ``about:tracing``/Perfetto open directly *and* that round-trip through
+  this repo's own :mod:`repro.converters.chrome_trace` converter back
+  into a profile.
+* :func:`to_profile` — the direct path: fold the span tree into an
+  EasyView CCT via :class:`~repro.builder.ProfileBuilder`, with each
+  span's *self* time (duration minus its children's) attributed to its
+  calling context.  The resulting profile opens in every EasyView view —
+  ``easyview obs export --format easyview`` piped back into the viewer
+  shows a flame graph of EasyView's own execution, and ``store ingest``
+  archives it like any other profile.
+
+Span trees are reconstructed from ``parent_id`` links.  A span whose
+parent is no longer in the ring (evicted, or still in flight) is treated
+as a root — exports degrade gracefully under ring pressure instead of
+failing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.profile import Profile
+from .tracer import Span
+
+
+def _subsystem(name: str) -> str:
+    """The subsystem prefix of a span name (``store.wal.append`` → store)."""
+    return name.split(".", 1)[0] if "." in name else name
+
+
+def to_jsonl(spans: Sequence[Span]) -> str:
+    """One JSON object per span, oldest first, newline-delimited."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True)
+                     for span in spans)
+
+
+def to_chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Trace Event Format: ``B``/``E`` pairs on per-thread tracks.
+
+    ``B``/``E`` (rather than ``X``) events are emitted so nesting
+    round-trips through :mod:`repro.converters.chrome_trace`, which folds
+    open-slice stacks into calling contexts.  Timestamps are microseconds
+    of wall-clock time, as the format specifies.
+    """
+    events: List[Dict[str, Any]] = []
+    threads = sorted({span.thread_name for span in spans})
+    tids = {name: i + 1 for i, name in enumerate(threads)}
+    for name in threads:
+        events.append({"ph": "M", "name": "thread_name", "pid": 1,
+                       "tid": tids[name], "args": {"name": name}})
+    timed: List[Dict[str, Any]] = []
+    for span in spans:
+        start_us = span.start_wall_ns / 1e3
+        end_us = (span.start_wall_ns + span.duration_ns) / 1e3
+        args = {str(k): v for k, v in span.attributes.items()}
+        args["traceId"] = span.trace_id
+        timed.append({"ph": "B", "name": span.name, "pid": 1,
+                      "tid": tids[span.thread_name], "ts": start_us,
+                      "cat": _subsystem(span.name), "args": args})
+        timed.append({"ph": "E", "name": span.name, "pid": 1,
+                      "tid": tids[span.thread_name], "ts": end_us})
+    # The converter sorts by (ts, B-before-E); pre-sorting keeps the
+    # emitted JSON readable and deterministic.
+    timed.sort(key=lambda e: (e["ts"], 0 if e["ph"] != "E" else 1))
+    events.extend(timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_profile(spans: Sequence[Span],
+               tool: str = "easyview-obs") -> Profile:
+    """Fold the span ring into an EasyView CCT profile.
+
+    Each span becomes one calling context rooted at its subsystem
+    (``engine``/``store``/``server``/...), carrying its self time in
+    nanoseconds plus a span count; ``compute_inclusive`` then rolls the
+    tree up like any other profile.  Time metadata (EV312) is set from
+    the spans' wall-clock envelope, so the result ingests into a
+    ProfileStore without remediation.
+    """
+    from ..builder import ProfileBuilder
+    if not spans:
+        raise ValueError("no spans recorded; enable tracing "
+                         "(EASYVIEW_OBS=1 or tracer.configure(enabled=True)) "
+                         "and run a workload first")
+    by_id: Dict[str, Span] = {span.span_id: span for span in spans}
+    child_time: Dict[str, int] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            child_time[span.parent_id] = (child_time.get(span.parent_id, 0)
+                                          + span.duration_ns)
+
+    start = min(span.start_wall_ns for span in spans)
+    end = max(span.start_wall_ns + span.duration_ns for span in spans)
+    builder = ProfileBuilder(tool=tool, time_nanos=start,
+                             duration_nanos=max(0, end - start))
+    builder.attribute("spanCount", str(len(spans)))
+    wall = builder.metric("wall_time", unit="nanoseconds",
+                          description="span self time (monotonic clock)")
+    count = builder.metric("spans", unit="count",
+                           description="finished spans at this context")
+
+    def chain(span: Span) -> List[Span]:
+        """Root-first ancestry of one span, robust to evicted parents."""
+        path: List[Span] = []
+        seen = set()
+        node: Optional[Span] = span
+        while node is not None and node.span_id not in seen:
+            seen.add(node.span_id)
+            path.append(node)
+            node = by_id.get(node.parent_id) \
+                if node.parent_id is not None else None
+        path.reverse()
+        return path
+
+    for span in spans:
+        ancestry = chain(span)
+        root = ancestry[0]
+        frames: List[tuple] = [(_subsystem(root.name), "", 0, "obs")]
+        frames.extend((node.name, "", 0, _subsystem(node.name))
+                      for node in ancestry)
+        self_ns = max(0, span.duration_ns
+                      - child_time.get(span.span_id, 0))
+        builder.sample(frames, {wall: float(self_ns), count: 1.0})
+    return builder.build()
+
+
+def by_name(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Aggregate spans per name: count, total/self nanoseconds, errors.
+
+    The summary table behind ``easyview obs metrics`` and ``obs watch``.
+    Sorted by total time, descending.
+    """
+    by_id = {span.span_id: span for span in spans}
+    child_time: Dict[str, int] = {}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            child_time[span.parent_id] = (child_time.get(span.parent_id, 0)
+                                          + span.duration_ns)
+    rows: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        row = rows.setdefault(span.name, {
+            "name": span.name, "count": 0, "totalNanos": 0,
+            "selfNanos": 0, "maxNanos": 0, "errors": 0})
+        row["count"] += 1
+        row["totalNanos"] += span.duration_ns
+        row["selfNanos"] += max(0, span.duration_ns
+                                - child_time.get(span.span_id, 0))
+        row["maxNanos"] = max(row["maxNanos"], span.duration_ns)
+        if span.error:
+            row["errors"] += 1
+    return sorted(rows.values(),
+                  key=lambda row: (-row["totalNanos"], row["name"]))

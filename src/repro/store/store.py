@@ -45,6 +45,7 @@ from ..core.digest import viewtree_digest
 from ..core.profile import Profile
 from ..engine import AnalysisEngine, get_engine
 from ..errors import StoreError
+from ..obs import get_tracer
 from .index import LabelTimeIndex, Manifest, RecordEntry, SegmentInfo
 from .query import Query, parse_query
 from .segment import (Segment, load_profile, read_segment, to_wal_record,
@@ -52,6 +53,11 @@ from .segment import (Segment, load_profile, read_segment, to_wal_record,
 from .wal import WalRecord, WriteAheadLog
 
 WAL_NAME = "wal.log"
+
+#: Spans cover the durability pipeline end to end — ingest, WAL append,
+#: segment write, query planning, merge-on-read — so a dogfooded profile
+#: answers "where does a slow ``store query`` spend its time?".
+_tracer = get_tracer()
 
 #: Flush automatically once this many records accumulate in the WAL.
 DEFAULT_FLUSH_RECORDS = 64
@@ -163,41 +169,47 @@ class ProfileStore:
         the WAL reaches ``flush_records``.
         """
         from ..lint import lint_profile
-        if isinstance(source, Profile):
-            profile = source
-        else:
-            from ..converters import open_profile, parse_bytes
-            if isinstance(source, bytes):
-                profile = parse_bytes(source, format=format)
+        with _tracer.span("store.ingest", service=service,
+                          type=ptype) as span:
+            if isinstance(source, Profile):
+                profile = source
             else:
-                profile = open_profile(source, format=format)
+                from ..converters import open_profile, parse_bytes
+                if isinstance(source, bytes):
+                    profile = parse_bytes(source, format=format)
+                else:
+                    profile = open_profile(source, format=format)
 
-        diagnostics = lint_profile(profile, require_time=True,
-                                   subject=service or "<ingest>")
-        assigned = False
-        time_nanos = profile.meta.time_nanos
-        if time_nanos <= 0:
-            # EV312's contract: the time index never gets epoch-zero
-            # entries — a stampless profile is indexed at its ingest time.
-            time_nanos = self.clock()
-            assigned = True
+            with _tracer.span("store.ingest.lint"):
+                diagnostics = lint_profile(profile, require_time=True,
+                                           subject=service or "<ingest>")
+            assigned = False
+            time_nanos = profile.meta.time_nanos
+            if time_nanos <= 0:
+                # EV312's contract: the time index never gets epoch-zero
+                # entries — a stampless profile is indexed at its ingest
+                # time.
+                time_nanos = self.clock()
+                assigned = True
 
-        with self._lock:
-            record = WalRecord(service=service, ptype=ptype,
-                               labels=dict(labels or {}),
-                               time_nanos=time_nanos,
-                               duration_nanos=max(
-                                   0, profile.meta.duration_nanos),
-                               blob=serialize.dumps(profile),
-                               seq=self.manifest.next_seq)
-            self.manifest.next_seq += 1
-            self.wal.append(record)
-            entry = self._wal_entry(record)
-            self.index.add(entry)
-            if len(self.wal) >= self.flush_records:
-                self.flush()
-        return IngestResult(entry=entry, diagnostics=diagnostics,
-                            assigned_time=assigned)
+            with self._lock:
+                record = WalRecord(service=service, ptype=ptype,
+                                   labels=dict(labels or {}),
+                                   time_nanos=time_nanos,
+                                   duration_nanos=max(
+                                       0, profile.meta.duration_nanos),
+                                   blob=serialize.dumps(profile),
+                                   seq=self.manifest.next_seq)
+                self.manifest.next_seq += 1
+                self.wal.append(record)
+                entry = self._wal_entry(record)
+                self.index.add(entry)
+                if span is not None:
+                    span.set("seq", record.seq)
+                if len(self.wal) >= self.flush_records:
+                    self.flush()
+            return IngestResult(entry=entry, diagnostics=diagnostics,
+                                assigned_time=assigned)
 
     # -- flush -------------------------------------------------------------
 
@@ -211,16 +223,25 @@ class ProfileStore:
         with self._lock:
             if not len(self.wal):
                 return None
-            segment = write_segment(self.root, self.wal.records,
-                                    created_nanos=self.clock())
-            self._segments[segment.address] = segment
-            self.manifest.add_segment(SegmentInfo.from_segment(segment))
-            self.manifest.save()
-            self.wal.reset()
-            self.index.remove_wal_entries()
-            for meta in segment.records:
-                self.index.add(RecordEntry.from_meta(meta, segment.address))
-            return segment.address
+            with _tracer.span("store.flush",
+                              records=len(self.wal)) as span:
+                with _tracer.span("store.segment.write"):
+                    segment = write_segment(self.root, self.wal.records,
+                                            created_nanos=self.clock())
+                if span is not None:
+                    span.set("segment", segment.address)
+                return self._finish_flush(segment)
+
+    def _finish_flush(self, segment: Segment) -> str:
+        """Post-segment-write bookkeeping (manifest, WAL, index)."""
+        self._segments[segment.address] = segment
+        self.manifest.add_segment(SegmentInfo.from_segment(segment))
+        self.manifest.save()
+        self.wal.reset()
+        self.index.remove_wal_entries()
+        for meta in segment.records:
+            self.index.add(RecordEntry.from_meta(meta, segment.address))
+        return segment.address
 
     # -- read path ---------------------------------------------------------
 
@@ -250,9 +271,10 @@ class ProfileStore:
 
     def select(self, query: Union[str, Query]) -> List[RecordEntry]:
         """Index-only query: matching records, newest first."""
-        if isinstance(query, str):
-            query = parse_query(query, now_nanos=self.clock())
-        return self.index.match(query)
+        with _tracer.span("store.query.plan"):
+            if isinstance(query, str):
+                query = parse_query(query, now_nanos=self.clock())
+            return self.index.match(query)
 
     def query(self, query: Union[str, Query],
               shape: str = "top_down") -> QueryResult:
@@ -264,16 +286,21 @@ class ProfileStore:
         unchanged data is a cache hit, whichever segments the records
         live in (compaction does not change the answer *or* the key).
         """
-        if isinstance(query, str):
-            query = parse_query(query, now_nanos=self.clock())
-        entries = self.index.match(query)
-        if not entries:
-            return QueryResult(query=query, entries=[], tree=None,
+        with _tracer.span("store.query") as span:
+            if isinstance(query, str):
+                query = parse_query(query, now_nanos=self.clock())
+            with _tracer.span("store.query.plan"):
+                entries = self.index.match(query)
+            if span is not None:
+                span.set("matches", len(entries))
+            if not entries:
+                return QueryResult(query=query, entries=[], tree=None,
+                                   shape=shape)
+            with _tracer.span("store.query.load", records=len(entries)):
+                profiles = self.engine.pool.map(self.load, entries)
+            tree = self.engine.aggregate_profiles(profiles, shape=shape)
+            return QueryResult(query=query, entries=entries, tree=tree,
                                shape=shape)
-        profiles = self.engine.pool.map(self.load, entries)
-        tree = self.engine.aggregate_profiles(profiles, shape=shape)
-        return QueryResult(query=query, entries=entries, tree=tree,
-                           shape=shape)
 
     # -- maintenance -------------------------------------------------------
 
@@ -289,9 +316,11 @@ class ProfileStore:
         removed.  Returns the new segment's address, or None when there
         was nothing to merge.
         """
-        with self._lock:
+        with self._lock, _tracer.span("store.compact") as span:
             small = [info for info in self.manifest.segments
                      if len(info.records) < small_records]
+            if span is not None:
+                span.set("candidates", len(small))
             if len(small) < 2:
                 return None
             jobs = []
@@ -330,7 +359,7 @@ class ProfileStore:
         not name, left by a crash between segment write and manifest
         update whose WAL records were since re-flushed — are deleted too.
         """
-        with self._lock:
+        with self._lock, _tracer.span("store.gc"):
             removed: List[str] = []
             if max_age_nanos is not None:
                 cutoff = self.clock() - max_age_nanos

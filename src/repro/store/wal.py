@@ -41,7 +41,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import StoreError
+from ..obs import get_tracer
 from ..proto import wire
+
+_tracer = get_tracer()
 
 RECORD_MAGIC = b"WR"
 _HEADER = struct.Struct("<2sII")  # magic, payload length, payload crc32
@@ -160,10 +163,12 @@ class WriteAheadLog:
         """Durably append one record (flushed and fsynced before return)."""
         if self._handle.closed:
             raise StoreError("write-ahead log %s is closed" % self.path)
-        self._handle.write(record.encode())
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
+        with _tracer.span("store.wal.append", seq=record.seq,
+                          bytes=len(record.blob), fsync=self.fsync):
+            self._handle.write(record.encode())
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
         self.records.append(record)
         return record
 

@@ -1,11 +1,12 @@
-"""StdioServer robustness: bounded reads, bad bytes, clean interrupts."""
+"""StdioServer robustness: bounded reads, bad bytes, crashed handlers,
+clean interrupts."""
 
 from __future__ import annotations
 
 import io
 import json
 
-from repro.ide.protocol import PARSE_ERROR
+from repro.ide.protocol import INTERNAL_ERROR, PARSE_ERROR
 from repro.ide.server import StdioServer
 
 
@@ -91,6 +92,109 @@ class TestInterrupts:
         assert not server._running
         response = json.loads(stdout.getvalue().strip().splitlines()[0])
         assert response["id"] == 1
+
+
+class TestHandlerCrashes:
+    """Regression: an exception inside a request handler used to escape
+    ``serve_forever`` and kill the server.  It must instead answer the
+    request with ``INTERNAL_ERROR`` and keep serving."""
+
+    def _crashing_server(self, stdin):
+        stdout = io.StringIO()
+        server = StdioServer(stdin=stdin, stdout=stdout)
+
+        def boom(message):
+            raise RuntimeError("kaput")
+
+        server.session.handle = boom
+        return server, stdout
+
+    def test_handler_exception_becomes_internal_error(self):
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/summary", "params": {}})
+        stdin = io.StringIO(request + "\n" + _shutdown() + "\n")
+        server, stdout = self._crashing_server(stdin)
+        handled = server.serve_forever()  # must not raise
+        assert handled == 2
+        lines = [json.loads(line) for line in
+                 stdout.getvalue().strip().splitlines()]
+        error = next(m for m in lines if m.get("error"))
+        assert error["id"] == 1
+        assert error["error"]["code"] == INTERNAL_ERROR
+        assert "kaput" in error["error"]["message"]
+        assert "view/summary" in error["error"]["message"]
+        # The server survived to answer the shutdown request.
+        assert any(m.get("id") == 99 and m.get("result") == {"ok": True}
+                   for m in lines)
+
+    def test_crash_counter_increments(self):
+        from repro.obs import get_registry
+        before = get_registry().counter("server.handler_crashes").value
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/summary", "params": {}})
+        server, _ = self._crashing_server(io.StringIO(request + "\n"))
+        server.serve_forever()
+        after = get_registry().counter("server.handler_crashes").value
+        assert after == before + 1
+
+    def test_error_carries_trace_id_when_tracing(self):
+        from repro.obs import get_tracer
+        tracer = get_tracer()
+        saved = tracer.enabled
+        tracer.configure(enabled=True)
+        try:
+            request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                                  "method": "view/summary", "params": {}})
+            server, stdout = self._crashing_server(
+                io.StringIO(request + "\n"))
+            server.serve_forever()
+            error = json.loads(stdout.getvalue().strip().splitlines()[0])
+            assert "(trace " in error["error"]["message"]
+        finally:
+            tracer.configure(enabled=saved)
+            tracer.clear()
+
+
+class TestRequestTelemetry:
+    def test_latency_and_inflight_accounting(self):
+        from repro.obs import get_registry
+        registry = get_registry()
+        before = registry.histogram("server.request_seconds").count
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/capabilities", "params": {}})
+        _serve(io.StringIO(request + "\n"))
+        assert registry.histogram("server.request_seconds").count \
+            == before + 1
+        assert registry.gauge("server.inflight").value == 0
+
+    def test_slow_request_logs_structured_line(self):
+        log = io.StringIO()
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/capabilities", "params": {}})
+        stdout = io.StringIO()
+        server = StdioServer(stdin=io.StringIO(request + "\n"),
+                             stdout=stdout, slow_seconds=0.0, log=log)
+        server.serve_forever()
+        entry = json.loads(log.getvalue().strip().splitlines()[0])
+        assert entry["event"] == "slow_request"
+        assert entry["method"] == "view/capabilities"
+        assert entry["seconds"] >= 0
+        assert "traceId" in entry
+
+    def test_fast_requests_do_not_log(self):
+        log = io.StringIO()
+        request = json.dumps({"jsonrpc": "2.0", "id": 1,
+                              "method": "view/capabilities", "params": {}})
+        server = StdioServer(stdin=io.StringIO(request + "\n"),
+                             stdout=io.StringIO(), slow_seconds=60.0,
+                             log=log)
+        server.serve_forever()
+        assert log.getvalue() == ""
+
+    def test_env_slow_threshold(self, monkeypatch):
+        monkeypatch.setenv("EASYVIEW_SLOW_MS", "250")
+        server = StdioServer(stdin=io.StringIO(""), stdout=io.StringIO())
+        assert server.slow_seconds == 0.25
 
 
 class TestNormalTraffic:

@@ -1,0 +1,159 @@
+"""The ``easyview obs`` subcommands and the ``--json`` snapshot flags."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    """obs commands enable the process-wide tracer; undo that per test."""
+    tracer = obs.get_tracer()
+    saved = (tracer.enabled, tracer.capacity, tracer.sample_every)
+    yield
+    tracer.configure(enabled=saved[0], capacity=saved[1],
+                     sample_every=saved[2])
+    tracer.clear()
+
+
+@pytest.fixture
+def collapsed(tmp_path):
+    path = tmp_path / "stacks.folded"
+    path.write_text("main;work;compute 100\nmain;work;io 40\nmain;idle 10\n")
+    return str(path)
+
+
+@pytest.fixture
+def store_root(tmp_path, collapsed):
+    root = str(tmp_path / "prof")
+    assert main(["store", "ingest", root, "--service", "web",
+                 "--type", "cpu", collapsed]) == 0
+    return root
+
+
+class TestObsExport:
+    def test_easyview_profile_reopens_and_lints(self, store_root,
+                                                tmp_path, capsys):
+        out = str(tmp_path / "self.json")
+        rc = main(["obs", "export", "--format", "easyview", "-o", out,
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        assert os.path.exists(out)
+        capsys.readouterr()
+        # The dogfooded profile opens in the viewer and lints clean.
+        assert main(["open", out]) == 0
+        assert "store" in capsys.readouterr().out
+        assert main(["lint", out]) == 0
+
+    def test_double_dash_separator_accepted(self, store_root, tmp_path):
+        out = str(tmp_path / "self.json")
+        rc = main(["obs", "export", "-o", out, "--",
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        assert os.path.exists(out)
+
+    def test_binary_output_for_ezvw_suffix(self, store_root, tmp_path,
+                                           capsys):
+        out = str(tmp_path / "self.ezvw")
+        assert main(["obs", "export", "-o", out, "store", "query",
+                     store_root, "service=web"]) == 0
+        capsys.readouterr()
+        assert main(["open", out]) == 0
+
+    def test_chrome_format_is_trace_event_json(self, store_root,
+                                               capsys):
+        rc = main(["obs", "export", "--format", "chrome",
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert {"B", "E"} <= phases
+
+    def test_jsonl_format_one_span_per_line(self, store_root, capsys):
+        rc = main(["obs", "export", "--format", "jsonl",
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "store.query" in names
+
+    def test_nested_output_redirected_off_stdout(self, store_root,
+                                                 capsys):
+        main(["obs", "export", "--format", "jsonl",
+              "store", "query", store_root, "service=web"])
+        captured = capsys.readouterr()
+        for line in captured.out.strip().splitlines():
+            json.loads(line)  # stdout is pure JSONL, no query rendering
+
+    def test_missing_nested_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "export"])
+
+    def test_sample_every_thins_traces(self, store_root, tmp_path,
+                                       capsys):
+        rc = main(["obs", "export", "--format", "jsonl",
+                   "--sample-every", "1000000",
+                   "store", "query", store_root, "service=web"])
+        # Everything was sampled away: no spans to export.
+        assert rc == 1
+        assert "no spans" in capsys.readouterr().err
+
+
+class TestObsMetrics:
+    def test_json_snapshot_shape(self, store_root, capsys):
+        rc = main(["obs", "metrics", "--json",
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"metrics", "spans", "tracer"}
+        assert "obs.spans_recorded" in payload["metrics"]["counters"]
+        assert any(row["name"] == "store.query"
+                   for row in payload["spans"])
+
+    def test_text_table(self, store_root, capsys):
+        assert main(["obs", "metrics",
+                     "store", "query", store_root, "service=web"]) == 0
+        out = capsys.readouterr().out
+        assert "store.query" in out
+        assert "total ms" in out
+
+    def test_without_nested_command_reads_current_state(self, capsys):
+        assert main(["obs", "metrics", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload
+
+
+class TestObsWatch:
+    def test_watch_runs_command_and_summarizes(self, store_root, capsys):
+        rc = main(["obs", "watch", "--interval", "0.1",
+                   "store", "query", store_root, "service=web"])
+        assert rc == 0
+        assert "store.query" in capsys.readouterr().out
+
+
+class TestJsonFlags:
+    def test_store_stats_json(self, store_root, capsys):
+        assert main(["store", "stats", store_root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 1
+        assert payload["integrity"]["ok"] is True
+
+    def test_engine_stats_json(self, capsys):
+        assert main(["engine-stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"hits", "misses", "hitRate", "capacity"}
+
+    def test_engine_stats_json_with_paths(self, store_root, tmp_path,
+                                          collapsed, capsys):
+        assert main(["engine-stats", "--json", collapsed]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "passes" in payload
+        assert payload["passes"]["coldSeconds"] >= 0

@@ -1,0 +1,135 @@
+"""repro.obs.metrics: counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               DEFAULT_BUCKETS)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        assert counter.inc() == 1
+        assert counter.inc(5) == 6
+        assert counter.value == 6
+
+    def test_rejects_negative_amounts(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments_lose_nothing(self):
+        # The race CacheStats used to have: bare += drops updates under
+        # contention.  8 threads x 2000 increments must land exactly.
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(2000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * 2000
+
+
+class TestGauge:
+    def test_moves_both_directions(self):
+        gauge = Gauge("g")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1.0
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        histogram = Histogram("h", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.to_dict()
+        assert [b["count"] for b in snapshot["buckets"]] == [1, 2, 3, 4]
+        assert snapshot["buckets"][-1]["le"] == "+Inf"
+        assert snapshot["count"] == 4
+        assert snapshot["min"] == 0.005
+        assert snapshot["max"] == 5.0
+        assert snapshot["mean"] == pytest.approx((0.005 + 0.05 + 0.5 + 5) / 4)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.1)  # <= 0.1: first bucket
+        assert histogram.to_dict()["buckets"][0]["count"] == 1
+
+    def test_bounds_are_sorted_and_distinct(self):
+        assert Histogram("h", buckets=(1.0, 0.1)).buckets == (0.1, 1.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.1, 0.1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.0001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_groups_by_type(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("inflight").set(2)
+        registry.histogram("latency", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 3}
+        assert snapshot["gauges"] == {"inflight": 2}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_snapshot_is_json_ready(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(0.2)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]

@@ -1,0 +1,126 @@
+"""The obs/* PVP surface and the instrumented subsystems end-to-end.
+
+``obs/metrics`` supersedes ``view/engineStats``: the engine's cache
+counters become one tenant of a full telemetry snapshot.  ``obs/trace``
+drains the span ring over the wire.  The integration tests at the bottom
+drive real engine and store operations under an enabled tracer and check
+the spans they emit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.ide.mock_ide import MockIDE
+from repro.store.store import ProfileStore
+
+
+@pytest.fixture
+def traced_tracer():
+    """Enable the process-wide tracer for one test, restoring it after."""
+    tracer = obs.get_tracer()
+    saved = (tracer.enabled, tracer.capacity, tracer.sample_every)
+    tracer.configure(enabled=True, capacity=4096, sample_every=1)
+    tracer.clear()
+    yield tracer
+    tracer.configure(enabled=saved[0], capacity=saved[1],
+                     sample_every=saved[2])
+    tracer.clear()
+
+
+@pytest.fixture
+def ide(simple_profile):
+    mock = MockIDE()
+    opened = mock.session.open(simple_profile)
+    mock.profile_id = opened.id
+    return mock
+
+
+class TestObsMetrics:
+    def test_snapshot_carries_engine_stats_as_tenant(self, ide):
+        ide.request("view/summary", profileId=ide.profile_id)
+        result = ide.request("obs/metrics")
+        assert "counters" in result["metrics"]
+        assert "hits" in result["engine"]          # the absorbed tenant
+        assert "hitRate" in result["engine"]
+        tracer = result["tracer"]
+        assert set(tracer) >= {"enabled", "capacity", "sampleEvery",
+                               "spans"}
+
+    def test_supersedes_view_engine_stats(self, ide):
+        legacy = ide.request("view/engineStats")
+        modern = ide.request("obs/metrics")["engine"]
+        assert set(legacy) <= set(modern) | {"responseSeconds"}
+
+
+class TestObsTrace:
+    def test_returns_recorded_spans(self, ide, traced_tracer):
+        ide.request("view/switchShape", profileId=ide.profile_id,
+                    shape="bottom_up")
+        result = ide.request("obs/trace")
+        assert result["enabled"] is True
+        names = [span["name"] for span in result["spans"]]
+        assert any(name.startswith("engine.") for name in names)
+
+    def test_limit_keeps_newest(self, ide, traced_tracer):
+        with traced_tracer.span("first"):
+            pass
+        with traced_tracer.span("second"):
+            pass
+        result = ide.request("obs/trace", limit=1)
+        assert [span["name"] for span in result["spans"]] == ["second"]
+
+    def test_clear_empties_ring(self, ide, traced_tracer):
+        with traced_tracer.span("once"):
+            pass
+        ide.request("obs/trace", clear=True)
+        assert traced_tracer.spans() == []
+
+    def test_disabled_tracer_reports_disabled(self, ide):
+        tracer = obs.get_tracer()
+        saved = tracer.enabled
+        tracer.configure(enabled=False)
+        try:
+            result = ide.request("obs/trace")
+            assert result["enabled"] is False
+        finally:
+            tracer.configure(enabled=saved)
+
+
+class TestEngineInstrumentation:
+    def test_memoized_operations_record_hit_attribute(
+            self, simple_profile, traced_tracer):
+        from repro.engine.engine import AnalysisEngine
+        engine = AnalysisEngine()
+        engine.transform(simple_profile, "bottom_up")  # cold
+        engine.transform(simple_profile, "bottom_up")  # memoized
+        spans = [span for span in traced_tracer.spans()
+                 if span.name == "engine.transform"]
+        assert [span.attributes["hit"] for span in spans] == [False, True]
+
+    def test_session_requests_reach_instrumented_engine(
+            self, ide, traced_tracer):
+        ide.request("view/switchShape", profileId=ide.profile_id,
+                    shape="bottom_up")
+        names = {span.name for span in traced_tracer.spans()}
+        assert "engine.transform" in names
+
+
+class TestStoreInstrumentation:
+    def test_ingest_and_query_emit_span_tree(self, tmp_path,
+                                             simple_profile,
+                                             traced_tracer):
+        store = ProfileStore(str(tmp_path / "prof"))
+        store.ingest(simple_profile, service="web", ptype="cpu")
+        store.flush()
+        store.query("service=web")
+        names = {span.name for span in traced_tracer.spans()}
+        assert {"store.ingest", "store.wal.append", "store.flush",
+                "store.segment.write", "store.query",
+                "store.query.plan", "store.query.load"} <= names
+        # WAL append nests under ingest.
+        spans = traced_tracer.spans()
+        by_id = {span.span_id: span for span in spans}
+        wal = next(s for s in spans if s.name == "store.wal.append")
+        assert by_id[wal.parent_id].name == "store.ingest"

@@ -1,0 +1,275 @@
+"""repro.obs.tracer: nesting, sampling, the ring, and thread-safety.
+
+The thread-safety tests pin down the contract the engine instrumentation
+relies on: spans opened inside :class:`~repro.engine.parallel.WorkerPool`
+tasks attach to the span that *submitted* the batch (the current span is
+a ``contextvars.ContextVar`` and the pool copies the submitting context
+into its workers), and a full ring drops the *oldest* span while
+incrementing ``obs.spans_dropped``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.parallel import WorkerPool
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, env_enabled
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True, registry=MetricsRegistry())
+
+
+class TestNesting:
+    def test_child_attaches_to_enclosing_span(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.spans()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.spans()
+        assert first.trace_id != second.trace_id
+        assert first.parent_id is None
+
+    def test_attributes_and_set(self, tracer):
+        with tracer.span("op", service="web") as span:
+            span.set("seq", 7)
+        recorded, = tracer.spans()
+        assert recorded.attributes == {"service": "web", "seq": 7}
+
+    def test_exception_records_error_and_propagates(self, tracer):
+        with pytest.raises(KeyError):
+            with tracer.span("doomed"):
+                raise KeyError("x")
+        recorded, = tracer.spans()
+        assert recorded.error == "KeyError"
+
+    def test_durations_are_monotonic_nonnegative(self, tracer):
+        with tracer.span("timed"):
+            pass
+        assert tracer.spans()[0].duration_ns >= 0
+
+    def test_current_span_introspection(self, tracer):
+        assert tracer.current_span() is None
+        assert tracer.current_trace_id() is None
+        with tracer.span("live") as span:
+            assert tracer.current_span() is span
+            assert tracer.current_trace_id() == span.trace_id
+        assert tracer.current_span() is None
+
+    def test_decorator(self, tracer):
+        @tracer.trace("custom.name")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert tracer.spans()[0].name == "custom.name"
+
+    def test_to_dict_shape(self, tracer):
+        with tracer.span("op", k="v"):
+            pass
+        payload = tracer.spans()[0].to_dict()
+        assert payload["name"] == "op"
+        assert payload["attributes"] == {"k": "v"}
+        for key in ("traceId", "spanId", "parentId", "startWallNanos",
+                    "durationNanos", "thread"):
+            assert key in payload
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_null_context(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a")
+        second = tracer.span("b", attr=1)
+        assert first is second  # one shared object: no per-call allocation
+        with first as span:
+            assert span is None
+        assert tracer.spans() == []
+
+    def test_env_enabled(self):
+        assert env_enabled({"EASYVIEW_OBS": "1"})
+        assert env_enabled({"EASYVIEW_OBS": "true"})
+        assert env_enabled({"EASYVIEW_OBS": " ON "})
+        assert not env_enabled({"EASYVIEW_OBS": "0"})
+        assert not env_enabled({})
+
+
+class TestSampling:
+    def test_keep_every_nth_root(self):
+        tracer = Tracer(enabled=True, sample_every=3,
+                        registry=MetricsRegistry())
+        for i in range(9):
+            with tracer.span("root-%d" % i):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["root-0", "root-3", "root-6"]
+
+    def test_unsampled_root_suppresses_whole_subtree(self):
+        tracer = Tracer(enabled=True, sample_every=2,
+                        registry=MetricsRegistry())
+        with tracer.span("kept"):
+            with tracer.span("kept.child"):
+                pass
+        with tracer.span("skipped"):
+            with tracer.span("skipped.child"):
+                pass
+        names = {span.name for span in tracer.spans()}
+        assert names == {"kept", "kept.child"}
+
+    def test_sampling_restores_context_after_unsampled_trace(self):
+        tracer = Tracer(enabled=True, sample_every=2,
+                        registry=MetricsRegistry())
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped"):
+            pass
+        with tracer.span("kept-again") as span:
+            assert span is not None
+            assert span.parent_id is None
+
+    def test_invalid_settings_raise(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestRing:
+    def test_overflow_drops_oldest_and_counts(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, capacity=3, registry=registry)
+        for i in range(5):
+            with tracer.span("span-%d" % i):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["span-2", "span-3", "span-4"]  # oldest dropped
+        assert registry.counter("obs.spans_dropped").value == 2
+        assert registry.counter("obs.spans_recorded").value == 5
+
+    def test_clear_empties_ring_but_keeps_counters(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.registry.counter("obs.spans_recorded").value == 1
+
+    def test_configure_shrink_drops_oldest(self, tracer):
+        for i in range(4):
+            with tracer.span("s%d" % i):
+                pass
+        tracer.configure(capacity=2)
+        assert [span.name for span in tracer.spans()] == ["s2", "s3"]
+        assert tracer.registry.counter("obs.spans_dropped").value == 2
+
+    def test_len(self, tracer):
+        assert len(tracer) == 0
+        with tracer.span("one"):
+            pass
+        assert len(tracer) == 1
+
+
+class TestThreadSafety:
+    def test_worker_pool_spans_attach_to_submitting_span(self, tracer):
+        """A span opened inside a pooled task is a child of the span that
+        submitted the batch — context flows through WorkerPool.map."""
+        pool = WorkerPool(max_workers=4)
+        try:
+            def item_work(i):
+                with tracer.span("item"):
+                    return i * i
+
+            with tracer.span("batch") as batch:
+                results = pool.map(item_work, list(range(8)))
+            assert results == [i * i for i in range(8)]
+        finally:
+            pool.shutdown()
+        items = [s for s in tracer.spans() if s.name == "item"]
+        assert len(items) == 8
+        assert all(span.parent_id == batch.span_id for span in items)
+        assert all(span.trace_id == batch.trace_id for span in items)
+
+    def test_worker_pool_inline_path_also_nests(self, tracer):
+        pool = WorkerPool(max_workers=0)  # inline fallback
+        def item_work(i):
+            with tracer.span("item"):
+                return i
+
+        with tracer.span("batch") as batch:
+            pool.map(item_work, [1, 2])
+        items = [s for s in tracer.spans() if s.name == "item"]
+        assert all(span.parent_id == batch.span_id for span in items)
+
+    def test_concurrent_recording_is_complete(self):
+        """Many threads tracing at once: every span lands, none lost."""
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, capacity=10_000, registry=registry)
+
+        def hammer(worker):
+            for i in range(100):
+                with tracer.span("w%d-%d" % (worker, i)):
+                    pass
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.spans()) == 800
+        assert registry.counter("obs.spans_recorded").value == 800
+        assert registry.counter("obs.spans_dropped").value == 0
+
+    def test_concurrent_overflow_accounting_balances(self):
+        """Under overflow, recorded - dropped == ring occupancy."""
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, capacity=50, registry=registry)
+
+        def hammer():
+            for _ in range(200):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        recorded = registry.counter("obs.spans_recorded").value
+        dropped = registry.counter("obs.spans_dropped").value
+        assert recorded == 800
+        assert recorded - dropped == len(tracer.spans()) == 50
+
+    def test_spans_in_unrelated_threads_are_separate_roots(self, tracer):
+        """Without a submitting span, a thread's spans root their own
+        traces instead of attaching to another thread's current span."""
+        def other_thread():
+            with tracer.span("other"):
+                pass
+
+        with tracer.span("main-root"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        other = [s for s in tracer.spans() if s.name == "other"][0]
+        assert other.parent_id is None
