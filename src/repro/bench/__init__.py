@@ -1,0 +1,3 @@
+"""Reusable benchmark harnesses (shared by ``benchmarks/`` and the CLI)."""
+
+from .codec import run_codec_bench, write_report  # noqa: F401

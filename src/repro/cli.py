@@ -667,6 +667,29 @@ def _cmd_engine_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_codec(args: argparse.Namespace) -> int:
+    """Run the codec fast-path benchmark (same harness as CI)."""
+    from .bench.codec import (CodecMismatch, FULL_TIERS, QUICK_TIERS,
+                              format_report, run_codec_bench, write_report)
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    try:
+        report = run_codec_bench(tiers, repeats=args.repeats)
+    except CodecMismatch as exc:
+        print("easyview: codec mismatch: %s" % exc, file=sys.stderr)
+        return 2
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        from .core.jsonio import dumps_data
+        print(dumps_data(report))
+    else:
+        print(format_report(report))
+        if args.out:
+            print("report written to %s" % args.out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -932,6 +955,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser("serve",
                              help="Profile View Protocol server on stdio")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_bench = sub.add_parser("bench", help="run built-in benchmarks")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_b_codec = bench_sub.add_parser(
+        "codec", help="wire codec fast path vs reference codec")
+    p_b_codec.add_argument("--json", action="store_true",
+                           help="print the full report as JSON")
+    p_b_codec.add_argument("--quick", action="store_true",
+                           help="small+medium tiers only (skip large)")
+    p_b_codec.add_argument("--repeats", type=int, default=3,
+                           help="best-of-N repetitions per measurement")
+    p_b_codec.add_argument("--out", metavar="PATH",
+                           help="also write the JSON report to PATH")
+    p_b_codec.set_defaults(fn=_cmd_bench_codec)
     return parser
 
 

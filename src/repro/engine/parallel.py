@@ -26,6 +26,12 @@ R = TypeVar("R")
 #: Below this many items the pool runs inline: dispatch overhead dominates.
 MIN_PARALLEL_ITEMS = 3
 
+#: Target chunks per worker when fanning out large batches.  More than one
+#: chunk per worker keeps the pool load-balanced when item costs vary;
+#: bounding the chunk count keeps ``executor.map`` from queueing one future
+#: (and one context copy) per item.
+CHUNKS_PER_WORKER = 4
+
 
 def default_worker_count() -> int:
     """A conservative pool size: the machine's cores, capped at 8."""
@@ -75,9 +81,28 @@ class WorkerPool:
         # flows into the workers: a span opened inside a pooled task
         # attaches to the span that submitted the batch, not to whatever
         # the worker thread last ran.
+        #
+        # Items are grouped into chunks, one context copy per chunk: a
+        # Context cannot be entered concurrently but *sequential* re-entry
+        # is legal, so a chunk's items share its copy.  That replaces the
+        # old per-item ``context.copy().run(...)`` (two copies per item —
+        # one here, one of the already-copied snapshot) and stops
+        # ``executor.map`` from queueing one future per item on large
+        # batches.
         context = contextvars.copy_context()
-        return list(executor.map(
-            lambda item: context.copy().run(fn, item), items))
+        chunk_size = max(1, -(-len(items) //
+                              (self.max_workers * CHUNKS_PER_WORKER)))
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
+
+        def run_chunk(chunk: Sequence[T]) -> List[R]:
+            ctx = context.copy()
+            return [ctx.run(fn, item) for item in chunk]
+
+        results: List[R] = []
+        for chunk_results in executor.map(run_chunk, chunks):
+            results.extend(chunk_results)
+        return results
 
     def shutdown(self) -> None:
         """Stop the worker threads (idempotent)."""

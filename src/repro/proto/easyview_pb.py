@@ -14,17 +14,39 @@ EasyView host data-centric memory profilers.
 
 All strings are interned in a single string table (index 0 is the empty
 string, like pprof), keeping serialized profiles compact.
+
+Decode and encode run on the :mod:`repro.proto.fastwire` kernels
+(zero-copy ``memoryview`` streaming, one-pass nested serialization);
+output is byte-identical to the original codec preserved in
+:mod:`repro.proto.reference`.
 """
 
 from __future__ import annotations
 
+import gc
+import struct
 from dataclasses import dataclass, field
 from typing import List
 
+from ..obs import get_registry, get_tracer
 from . import wire
+from .fastwire import (Buffer, PackedInt64Batch, Reader, Writer, as_view,
+                       decode_packed_int64s, intern_string, scan_fields)
 
 FORMAT_MAGIC = b"EZVW"
 FORMAT_VERSION = 1
+
+_tracer = get_tracer()
+_registry = get_registry()
+_parse_calls = _registry.counter(
+    "codec.easyview.parse_calls", "EasyView profiles parsed via fastwire")
+_parse_bytes = _registry.counter(
+    "codec.easyview.parse_bytes", "raw EasyView bytes decoded via fastwire")
+_serialize_calls = _registry.counter(
+    "codec.easyview.serialize_calls",
+    "EasyView profiles serialized via fastwire")
+_serialize_bytes = _registry.counter(
+    "codec.easyview.serialize_bytes", "EasyView bytes encoded via fastwire")
 
 # ContextNode.kind values.
 CONTEXT_ROOT = 0
@@ -70,18 +92,21 @@ class MetricDescriptor:
     description: int = 0
     aggregation: int = AGG_SUM
 
+    def _fields(self, writer: Writer) -> None:
+        (writer.varint(1, self.name)
+         .varint(2, self.unit)
+         .varint(3, self.description)
+         .varint(4, self.aggregation))
+
     def serialize(self) -> bytes:
-        return (wire.Writer()
-                .varint(1, self.name)
-                .varint(2, self.unit)
-                .varint(3, self.description)
-                .varint(4, self.aggregation)
-                .getvalue())
+        writer = Writer()
+        self._fields(writer)
+        return writer.getvalue()
 
     @classmethod
-    def parse(cls, data: bytes) -> "MetricDescriptor":
+    def parse(cls, data: Buffer) -> "MetricDescriptor":
         msg = cls()
-        for num, _, value in wire.iter_fields(data):
+        for num, _, value in scan_fields(data):
             if num == 1:
                 msg.name = int(value)  # type: ignore[arg-type]
             elif num == 2:
@@ -111,24 +136,27 @@ class ContextNode:
     module: int = 0        # load module (binary / shared library)
     address: int = 0       # instruction pointer, when available
 
+    def _fields(self, writer: Writer) -> None:
+        (writer.varint(1, self.id)
+         .varint(2, self.parent_id)
+         .varint(3, self.kind)
+         .varint(4, self.name)
+         .varint(5, self.file)
+         .varint(6, self.line)
+         .varint(7, self.module)
+         .varint(8, self.address))
+
     def serialize(self) -> bytes:
-        return (wire.Writer()
-                .varint(1, self.id)
-                .varint(2, self.parent_id)
-                .varint(3, self.kind)
-                .varint(4, self.name)
-                .varint(5, self.file)
-                .varint(6, self.line)
-                .varint(7, self.module)
-                .varint(8, self.address)
-                .getvalue())
+        writer = Writer()
+        self._fields(writer)
+        return writer.getvalue()
 
     @classmethod
-    def parse(cls, data: bytes) -> "ContextNode":
+    def parse(cls, data: Buffer) -> "ContextNode":
         # proto3 drops zero values, so the decode default for ``kind`` must
         # be the zero enum member (CONTEXT_ROOT), not the dataclass default.
         msg = cls(kind=CONTEXT_ROOT)
-        for num, _, value in wire.iter_fields(data):
+        for num, _, value in scan_fields(data):
             if num == 1:
                 msg.id = int(value)  # type: ignore[arg-type]
             elif num == 2:
@@ -159,16 +187,18 @@ class MetricValue:
     metric_id: int = 0
     value: float = 0.0
 
+    def _fields(self, writer: Writer) -> None:
+        writer.varint(1, self.metric_id).double(2, self.value)
+
     def serialize(self) -> bytes:
-        return (wire.Writer()
-                .varint(1, self.metric_id)
-                .double(2, self.value)
-                .getvalue())
+        writer = Writer()
+        self._fields(writer)
+        return writer.getvalue()
 
     @classmethod
-    def parse(cls, data: bytes) -> "MetricValue":
+    def parse(cls, data: Buffer) -> "MetricValue":
         msg = cls()
-        for num, wtype, value in wire.iter_fields(data):
+        for num, wtype, value in scan_fields(data):
             if num == 1:
                 msg.metric_id = int(value)  # type: ignore[arg-type]
             elif num == 2:
@@ -194,25 +224,50 @@ class MonitoringPoint:
     kind: int = POINT_PLAIN
     sequence: int = 0
 
-    def serialize(self) -> bytes:
-        writer = wire.Writer()
+    def _fields(self, writer: Writer) -> None:
         writer.packed(1, self.context_id)
         for mv in self.values:
-            writer.message(2, mv.serialize())
+            mark = writer.begin_message(2)
+            mv._fields(writer)
+            writer.end_message(mark)
         writer.varint(3, self.kind)
         writer.varint(4, self.sequence)
+
+    def serialize(self) -> bytes:
+        writer = Writer()
+        self._fields(writer)
         return writer.getvalue()
 
     @classmethod
-    def parse(cls, data: bytes) -> "MonitoringPoint":
+    def parse(cls, data: Buffer) -> "MonitoringPoint":
         msg = cls()
-        for num, wtype, value in wire.iter_fields(data):
+        for num, wtype, value in scan_fields(data):
             if num == 1:
                 if wtype == wire.WIRETYPE_LENGTH_DELIMITED:
-                    assert isinstance(value, bytes)
-                    msg.context_id.extend(wire.decode_packed_varints(value))
+                    msg.context_id.extend(decode_packed_int64s(value))
                 else:
                     msg.context_id.append(int(value))  # type: ignore[arg-type]
+            elif num == 2:
+                msg.values.append(MetricValue.parse(value))
+            elif num == 3:
+                msg.kind = int(value)  # type: ignore[arg-type]
+            elif num == 4:
+                msg.sequence = int(value)  # type: ignore[arg-type]
+        return msg
+
+    @classmethod
+    def _parse_deferred(cls, data: Buffer,
+                        batch: PackedInt64Batch) -> "MonitoringPoint":
+        """Like :meth:`parse`, but ``context_id`` decodes via the batch."""
+        msg = cls()
+        context_id = msg.context_id
+        for num, wtype, value in scan_fields(data):
+            if num == 1:
+                if wtype == wire.WIRETYPE_LENGTH_DELIMITED:
+                    batch.add(value, context_id)
+                else:
+                    batch.drain(context_id)  # keep wire order
+                    context_id.append(int(value))  # type: ignore[arg-type]
             elif num == 2:
                 msg.values.append(MetricValue.parse(value))
             elif num == 3:
@@ -235,38 +290,72 @@ class ProfileMessage:
     duration_nanos: int = 0
 
     def serialize(self) -> bytes:
-        writer = wire.Writer()
+        writer = Writer()
+        begin = writer.begin_message
+        end = writer.end_message
         writer.varint(1, self.tool)
         for s in self.string_table:
             writer.message(2, s.encode("utf-8"))
         for md in self.metrics:
-            writer.message(3, md.serialize())
+            mark = begin(3)
+            md._fields(writer)
+            end(mark)
         for node in self.nodes:
-            writer.message(4, node.serialize())
+            mark = begin(4)
+            node._fields(writer)
+            end(mark)
         for point in self.points:
-            writer.message(5, point.serialize())
+            mark = begin(5)
+            point._fields(writer)
+            end(mark)
         writer.varint(6, self.time_nanos)
         writer.varint(7, self.duration_nanos)
-        return writer.getvalue()
+        data = writer.getvalue()
+        _serialize_calls.inc()
+        _serialize_bytes.inc(len(data))
+        return data
 
     @classmethod
-    def parse(cls, data: bytes) -> "ProfileMessage":
+    def parse(cls, data: Buffer) -> "ProfileMessage":
+        _parse_calls.inc()
+        _parse_bytes.inc(len(data))
+        # Same allocation-burst reasoning as ``pprof_pb.Profile.parse``:
+        # pausing the cyclic collector while hundreds of thousands of
+        # acyclic containers are born beats letting gen-0 sweeps rescan
+        # the growing graph every ~700 allocations.  (Inline mirror of
+        # ``core.gcguard.no_gc``; importing it here would be circular.)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return cls._parse_impl(data)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    @classmethod
+    def _parse_impl(cls, data: Buffer) -> "ProfileMessage":
         msg = cls(string_table=[])
-        for num, _, value in wire.iter_fields(data):
-            if num == 1:
-                msg.tool = int(value)  # type: ignore[arg-type]
-            elif num == 2:
-                msg.string_table.append(value.decode("utf-8"))
-            elif num == 3:
-                msg.metrics.append(MetricDescriptor.parse(value))
+        batch = PackedInt64Batch()
+        point_parse = MonitoringPoint._parse_deferred
+        points = msg.points
+        strings = msg.string_table
+        for num, _, value in scan_fields(data):
+            if num == 5:  # monitoring points dominate; check them first
+                points.append(point_parse(value, batch))
             elif num == 4:
                 msg.nodes.append(ContextNode.parse(value))
-            elif num == 5:
-                msg.points.append(MonitoringPoint.parse(value))
+            elif num == 2:
+                strings.append(intern_string(value))
+            elif num == 3:
+                msg.metrics.append(MetricDescriptor.parse(value))
+            elif num == 1:
+                msg.tool = int(value)  # type: ignore[arg-type]
             elif num == 6:
                 msg.time_nanos = int(value)  # type: ignore[arg-type]
             elif num == 7:
                 msg.duration_nanos = int(value)  # type: ignore[arg-type]
+        batch.flush()
         if not msg.string_table:
             msg.string_table = [""]
         return msg
@@ -274,24 +363,32 @@ class ProfileMessage:
 
 def dumps(message: ProfileMessage) -> bytes:
     """Serialize with the EasyView file framing (magic + version)."""
-    body = message.serialize()
-    header = FORMAT_MAGIC + bytes([FORMAT_VERSION])
-    return header + wire.encode_varint(len(body)) + body
+    with _tracer.span("codec.easyview.serialize"):
+        body = message.serialize()
+        header = FORMAT_MAGIC + bytes([FORMAT_VERSION])
+        return header + wire.encode_varint(len(body)) + body
 
 
-def loads(data: bytes) -> ProfileMessage:
-    """Parse an EasyView file, validating magic, version, and length."""
-    if data[:4] != FORMAT_MAGIC:
-        raise wire.WireError("not an EasyView profile: bad magic %r" % data[:4])
-    if len(data) < 5 or data[4] != FORMAT_VERSION:
-        raise wire.WireError("unsupported EasyView format version")
-    length, pos = wire.decode_varint(data, 5)
-    body = data[pos:pos + length]
-    if len(body) != length:
-        raise wire.WireError("truncated EasyView profile body")
-    return ProfileMessage.parse(body)
+def loads(data: Buffer) -> ProfileMessage:
+    """Parse an EasyView file, validating magic, version, and length.
+
+    The body is parsed as a zero-copy subview of ``data``; nothing is
+    copied between the framing check and the decoded dataclasses.
+    """
+    with _tracer.span("codec.easyview.parse", bytes=len(data)):
+        view = as_view(data)
+        if bytes(view[:4]) != FORMAT_MAGIC:
+            raise wire.WireError(
+                "not an EasyView profile: bad magic %r" % bytes(view[:4]))
+        if len(view) < 5 or view[4] != FORMAT_VERSION:
+            raise wire.WireError("unsupported EasyView format version")
+        reader = Reader(view, pos=5)
+        length = reader.varint()
+        body = view[reader.pos:reader.pos + length]
+        if len(body) != length:
+            raise wire.WireError("truncated EasyView profile body")
+        return ProfileMessage.parse(body)
 
 
 def _bits_to_double(bits: int) -> float:
-    import struct
     return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]

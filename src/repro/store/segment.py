@@ -48,9 +48,19 @@ from ..core.profile import Profile
 from ..core.strings import StringTable
 from ..core import serialize
 from ..errors import StoreError
+from ..obs import get_registry, get_tracer
 from ..proto import easyview_pb as pb
 from ..proto import wire
+from ..proto.fastwire import (Writer, decode_string, intern_string,
+                              scan_fields)
 from .wal import WalRecord
+
+_tracer = get_tracer()
+_registry = get_registry()
+_segments_built = _registry.counter(
+    "codec.segment.built", "segments composed via fastwire")
+_footers_parsed = _registry.counter(
+    "codec.segment.footers_parsed", "segment footers decoded via fastwire")
 
 SEGMENT_MAGIC = b"EZSEG001"
 SEGMENT_END = b"EZSEGEND"
@@ -73,8 +83,7 @@ class RecordMeta:
     length: int = 0
     seq: int = 0
 
-    def serialize(self) -> bytes:
-        writer = wire.Writer()
+    def _fields(self, writer: Writer) -> None:
         writer.string(1, self.service)
         writer.string(2, self.ptype)
         writer.string(3, json.dumps(self.labels, sort_keys=True)
@@ -84,18 +93,22 @@ class RecordMeta:
         writer.varint(6, self.offset)
         writer.varint(7, self.length)
         writer.varint(8, self.seq)
+
+    def serialize(self) -> bytes:
+        writer = Writer()
+        self._fields(writer)
         return writer.getvalue()
 
     @classmethod
-    def parse(cls, data: bytes) -> "RecordMeta":
+    def parse(cls, data: "bytes | memoryview") -> "RecordMeta":
         meta = cls()
-        for num, _, value in wire.iter_fields(data):
+        for num, _, value in scan_fields(data):
             if num == 1:
-                meta.service = value.decode("utf-8")
+                meta.service = intern_string(value)
             elif num == 2:
-                meta.ptype = value.decode("utf-8")
+                meta.ptype = intern_string(value)
             elif num == 3:
-                text = value.decode("utf-8")
+                text = decode_string(value)
                 meta.labels = json.loads(text) if text else {}
             elif num == 4:
                 meta.time_nanos = int(value)
@@ -144,28 +157,33 @@ def _remap_strings(message: pb.ProfileMessage, shared: StringTable) -> None:
 
 def _footer_bytes(strings: List[str], records: List[RecordMeta],
                   created_nanos: int) -> bytes:
-    writer = wire.Writer()
+    writer = Writer()
     for text in strings:
         writer.message(1, text.encode("utf-8"))
     for meta in records:
-        writer.message(2, meta.serialize())
+        mark = writer.begin_message(2)
+        meta._fields(writer)
+        writer.end_message(mark)
     writer.varint(3, created_nanos)
     return writer.getvalue()
 
 
-def _parse_footer(data: bytes) -> "Segment":
+def _parse_footer(data: "bytes | memoryview") -> "Segment":
     strings: List[str] = []
     records: List[RecordMeta] = []
     created = 0
-    for num, _, value in wire.iter_fields(data):
+    for num, _, value in scan_fields(data):
         if num == 1:
-            strings.append(value.decode("utf-8"))
+            # Segment string tables are exactly what the shared intern pool
+            # is for: every segment from a service repeats the same names.
+            strings.append(intern_string(value))
         elif num == 2:
             records.append(RecordMeta.parse(value))
         elif num == 3:
             created = int(value)
     if not strings:
         strings = [""]
+    _footers_parsed.inc()
     return Segment(address="", path="", strings=strings, records=records,
                    created_nanos=created)
 
@@ -189,6 +207,7 @@ def build_segment(wal_records: List[WalRecord],
     """
     if not wal_records:
         raise StoreError("cannot build a segment from zero records")
+    _segments_built.inc()
     shared = StringTable()
     body_parts: List[bytes] = []
     metas: List[RecordMeta] = []
@@ -210,7 +229,9 @@ def build_segment(wal_records: List[WalRecord],
                                 seq=record.seq))
         offset += len(blob)
     body = b"".join(body_parts)
-    footer = _footer_bytes(shared.as_list(), metas, created_nanos)
+    with _tracer.span("store.segment.encode_footer",
+                      records=len(metas), strings=len(shared)):
+        footer = _footer_bytes(shared.as_list(), metas, created_nanos)
     address = segment_address(body, footer)
     data = (SEGMENT_MAGIC + body + footer +
             _FOOTER_LEN.pack(len(footer)) + SEGMENT_END)
@@ -251,8 +272,9 @@ def parse_segment(data: bytes, path: str = "",
     if footer_at < len(SEGMENT_MAGIC):
         raise StoreError("segment %s has an impossible footer length %d"
                          % (path or "<data>", footer_len))
-    footer = data[footer_at:len_at]
-    body = data[len(SEGMENT_MAGIC):footer_at]
+    view = memoryview(data)  # footer/body stay zero-copy through parsing
+    footer = view[footer_at:len_at]
+    body = view[len(SEGMENT_MAGIC):footer_at]
     try:
         segment = _parse_footer(footer)
     except (wire.WireError, UnicodeDecodeError, ValueError) as exc:

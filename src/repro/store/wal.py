@@ -41,10 +41,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import StoreError
-from ..obs import get_tracer
+from ..obs import get_registry, get_tracer
 from ..proto import wire
+from ..proto.fastwire import decode_string, intern_string, scan_fields
 
 _tracer = get_tracer()
+_registry = get_registry()
+_records_decoded = _registry.counter(
+    "codec.wal.records_decoded", "WAL records decoded via fastwire")
+_records_encoded = _registry.counter(
+    "codec.wal.records_encoded", "WAL records encoded via fastwire")
 
 RECORD_MAGIC = b"WR"
 _HEADER = struct.Struct("<2sII")  # magic, payload length, payload crc32
@@ -76,27 +82,32 @@ class WalRecord:
         writer.varint(5, self.duration_nanos)
         writer.bytes(6, self.blob)
         writer.varint(7, self.seq)
+        _records_encoded.inc()
         return writer.getvalue()
 
     @classmethod
-    def from_payload(cls, payload: bytes) -> "WalRecord":
+    def from_payload(cls, payload: "bytes | memoryview") -> "WalRecord":
         record = cls()
-        for num, _, value in wire.iter_fields(payload):
+        for num, _, value in scan_fields(payload):
             if num == 1:
-                record.service = value.decode("utf-8")
+                # Service/type names repeat across every record a service
+                # logs; the shared intern pool makes each one ``str`` once.
+                record.service = intern_string(value)
             elif num == 2:
-                record.ptype = value.decode("utf-8")
+                record.ptype = intern_string(value)
             elif num == 3:
-                text = value.decode("utf-8")
+                text = decode_string(value)
                 record.labels = json.loads(text) if text else {}
             elif num == 4:
                 record.time_nanos = int(value)
             elif num == 5:
                 record.duration_nanos = int(value)
             elif num == 6:
+                # The blob outlives the scan buffer, so this copy is real.
                 record.blob = bytes(value)
             elif num == 7:
                 record.seq = int(value)
+        _records_decoded.inc()
         return record
 
     def encode(self) -> bytes:
@@ -113,6 +124,7 @@ def scan(data: bytes) -> Tuple[List[WalRecord], int]:
     tail (or garbage) to be truncated.  Never raises on corrupt input.
     """
     records: List[WalRecord] = []
+    view = memoryview(data)  # one view; per-record payloads are subviews
     pos = 0
     size = len(data)
     while pos + _HEADER.size <= size:
@@ -123,7 +135,7 @@ def scan(data: bytes) -> Tuple[List[WalRecord], int]:
         end = start + length
         if end > size:
             break  # torn tail: payload not fully on disk
-        payload = data[start:end]
+        payload = view[start:end]
         if zlib.crc32(payload) != crc:
             break
         try:

@@ -156,6 +156,60 @@ class TestWorkerPool:
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
 
+    def test_large_batch_chunks_context_copies(self):
+        """One context copy per chunk, not one (let alone two) per item.
+
+        Items sharing a chunk run sequentially in the same context copy,
+        so a ContextVar set by a chunk's first item is visible to the
+        rest of that chunk; each fresh copy observes the default once.
+        """
+        import contextvars
+        from repro.engine import parallel as par
+        marker = contextvars.ContextVar("easyview-chunk-marker",
+                                        default=False)
+        fresh_contexts = []
+
+        def fn(x):
+            if not marker.get():
+                marker.set(True)
+                fresh_contexts.append(x)
+            return x + 1
+
+        pool = WorkerPool(max_workers=2)
+        items = list(range(200))
+        try:
+            result = pool.map(fn, items)
+        finally:
+            pool.shutdown()
+        assert result == [x + 1 for x in items]
+        max_chunks = pool.max_workers * par.CHUNKS_PER_WORKER
+        assert 1 <= len(fresh_contexts) <= max_chunks < len(items)
+
+    def test_context_flows_into_chunked_workers(self):
+        import contextvars
+        var = contextvars.ContextVar("easyview-test", default="unset")
+        var.set("submitted")
+        pool = WorkerPool(max_workers=4)
+        try:
+            results = pool.map(lambda _: var.get(), list(range(50)))
+        finally:
+            pool.shutdown()
+        assert results == ["submitted"] * 50
+
+    def test_chunked_exceptions_propagate(self):
+        pool = WorkerPool(max_workers=4)
+
+        def boom(x):
+            if x == 37:
+                raise ValueError("item 37")
+            return x
+
+        try:
+            with pytest.raises(ValueError, match="item 37"):
+                pool.map(boom, list(range(100)))
+        finally:
+            pool.shutdown()
+
 
 class TestEngineMemoization:
     def test_transform_shared_across_equal_profiles(self):
