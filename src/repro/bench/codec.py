@@ -23,6 +23,7 @@ import json
 import time
 from typing import Dict, Iterable, List, Optional
 
+from ..core.atomicio import atomic_write_text
 from ..obs import get_registry
 from ..profilers.corpus import generate_bytes, tier
 from ..proto import reference
@@ -152,9 +153,8 @@ def run_codec_bench(tiers: Optional[Iterable[str]] = None,
 
 def write_report(report: Dict[str, object],
                  path: str = DEFAULT_REPORT) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(path,
+                      json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -8,6 +8,8 @@ Subcommands mirror the viewer's capabilities for headless use:
 * ``aggregate`` — aggregate view over several profiles
 * ``report``    — write a self-contained HTML report
 * ``lint``      — static analysis: formulas, callbacks, profile invariants
+* ``selfcheck`` — static concurrency/resource analysis of EasyView's own
+  source (EV4xx), gated on the checked-in waiver baseline
 * ``formats``   — list supported input formats
 * ``engine-stats`` — analysis-engine cache counters (cold vs warm)
 * ``serve``     — speak the Profile View Protocol over stdio
@@ -227,6 +229,53 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_diagnostics(diagnostics, color=args.color))
     return 1 if has_errors(diagnostics) else 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Run SelfCheck (EV4xx) over repo source and gate on the baseline.
+
+    Exit codes (documented in docs/SELFCHECK.md): 0 — no findings beyond
+    the baseline; 1 — new findings (or stale waivers); 2 — the analyzer
+    itself failed.  ``main()`` maps stray exceptions to 1, so internal
+    errors are caught here to honor the contract.
+    """
+    try:
+        from .core.jsonio import dumps_data
+        from .lint import LintConfig
+        from .sa import Baseline, run_selfcheck
+        from .viz.terminal import render_diagnostics
+
+        config = LintConfig.from_directives(args.disable or [])
+        baseline = Baseline.load(args.baseline)
+        result = run_selfcheck(args.paths or ["src"],
+                               baseline=baseline, config=config)
+
+        if args.update_baseline:
+            updated = Baseline.from_findings(result.diagnostics,
+                                             previous=baseline)
+            updated.save(args.baseline)
+            print("selfcheck: wrote %d waiver(s) to %s"
+                  % (len(updated), args.baseline))
+            return 0
+
+        if args.json:
+            print(dumps_data(result.to_dict()))
+        else:
+            if result.new:
+                print(render_diagnostics(result.new, color=args.color))
+            for waiver in result.stale:
+                print("stale waiver: %s %s: %s"
+                      % (waiver.rule, waiver.subject, waiver.message))
+            print("selfcheck: %d file(s), %d finding(s): %d new, "
+                  "%d waived, %d stale waiver(s)"
+                  % (result.files, len(result.diagnostics),
+                     len(result.new), len(result.waived),
+                     len(result.stale)))
+        return 0 if result.clean and not result.stale else 1
+    except Exception as exc:
+        print("easyview selfcheck: internal error: %s" % exc,
+              file=sys.stderr)
+        return 2
 
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
@@ -789,6 +838,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable report")
     p_lint.add_argument("--color", action="store_true")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_selfcheck = sub.add_parser(
+        "selfcheck",
+        help="static concurrency/resource analysis of EasyView's own "
+             "source (EV4xx), gated on the checked-in baseline")
+    p_selfcheck.add_argument("paths", nargs="*",
+                             help="files/directories to analyze "
+                                  "(default: src)")
+    p_selfcheck.add_argument("--baseline", default="SELFCHECK_BASELINE.json",
+                             help="waiver file (default: "
+                                  "SELFCHECK_BASELINE.json)")
+    p_selfcheck.add_argument("--update-baseline", action="store_true",
+                             help="rewrite the baseline from current "
+                                  "findings (keeps justifications, stamps "
+                                  "new entries UNREVIEWED)")
+    p_selfcheck.add_argument("--disable", action="append", default=[],
+                             help="disable a rule or family, e.g. EV412, "
+                                  "EV4xx=off, selfcheck=hint (repeatable)")
+    p_selfcheck.add_argument("--json", action="store_true",
+                             help="machine-readable report")
+    p_selfcheck.add_argument("--color", action="store_true")
+    p_selfcheck.set_defaults(fn=_cmd_selfcheck)
 
     p_anon = sub.add_parser("anonymize",
                             help="scrub names for safe sharing")

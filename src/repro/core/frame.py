@@ -137,7 +137,8 @@ def intern_frame(name: str,
 
 def intern_pool_size() -> int:
     """Number of distinct frames currently interned (for diagnostics)."""
-    return len(_INTERN_POOL)
+    with _INTERN_LOCK:
+        return len(_INTERN_POOL)
 
 
 def data_object_frame(name: str, file: str = "", line: int = 0,

@@ -114,7 +114,8 @@ class LRUCache:
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, operation: str, key: Hashable) -> Tuple[bool, Any]:
         """Return ``(found, value)``, recording a hit or miss."""

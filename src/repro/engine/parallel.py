@@ -72,9 +72,11 @@ class WorkerPool:
         the caller exactly as in the serial case.
         """
         if not self.enabled or len(items) < MIN_PARALLEL_ITEMS:
-            self.inline_batches += 1
+            with self._lock:
+                self.inline_batches += 1
             return [fn(item) for item in items]
-        self.parallel_batches += 1
+        with self._lock:
+            self.parallel_batches += 1
         executor = self._ensure_executor()
         # Each task runs in a copy of the *submitting* context, so
         # context-local state — in particular the tracer's current span —
@@ -112,8 +114,9 @@ class WorkerPool:
                 self._executor = None
 
     def to_dict(self) -> dict:
-        return {
-            "maxWorkers": self.max_workers,
-            "parallelBatches": self.parallel_batches,
-            "inlineBatches": self.inline_batches,
-        }
+        with self._lock:
+            return {
+                "maxWorkers": self.max_workers,
+                "parallelBatches": self.parallel_batches,
+                "inlineBatches": self.inline_batches,
+            }

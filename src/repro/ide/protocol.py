@@ -55,6 +55,7 @@ VIEW_TABLE = "view/table"
 VIEW_TABLE_EXPAND = "view/tableExpand"
 VIEW_EXPORT = "view/export"
 VIEW_LINT = "view/lint"
+VIEW_SELFCHECK = "view/selfcheck"
 VIEW_ENGINE_STATS = "view/engineStats"
 VIEW_OPEN_QUERY = "view/openQuery"
 
@@ -80,7 +81,8 @@ VIEW_METHODS = frozenset({
     VIEW_OPEN, VIEW_CLOSE, VIEW_SHAPE, VIEW_SELECT, VIEW_CLICK, VIEW_SEARCH,
     VIEW_HOVER, VIEW_ZOOM, VIEW_SUMMARY, VIEW_DIFF, VIEW_AGGREGATE,
     VIEW_DERIVE, VIEW_CAPABILITIES, VIEW_TABLE, VIEW_TABLE_EXPAND,
-    VIEW_EXPORT, VIEW_LINT, VIEW_ENGINE_STATS, VIEW_OPEN_QUERY,
+    VIEW_EXPORT, VIEW_LINT, VIEW_SELFCHECK, VIEW_ENGINE_STATS,
+    VIEW_OPEN_QUERY,
 })
 STORE_METHODS = frozenset({STORE_INGEST, STORE_QUERY})
 OBS_METHODS = frozenset({OBS_METRICS, OBS_TRACE})

@@ -310,6 +310,35 @@ class ViewerSession:
         })
         return diagnostics
 
+    def selfcheck(self, source: Optional[str] = None,
+                  subject: str = "<buffer>",
+                  paths: Sequence[str] = (),
+                  disable: Sequence[str] = ()) -> List[Any]:
+        """Run SelfCheck (EV4xx) and publish findings as IDE squiggles.
+
+        The IDE sends either the text of an open repo-source buffer
+        (``source`` + ``subject``) — the usual on-save flow — or a list
+        of ``paths`` to sweep.  Findings go out as the same
+        ``ide/publishDiagnostics`` notification :meth:`lint` uses, so the
+        editor renders concurrency findings on EasyView's own code
+        exactly as it renders formula findings on a user's.
+        """
+        from ..lint import (LintConfig, severity_counts, sort_diagnostics)
+        from ..sa import analyze_paths, analyze_source
+        config = LintConfig.from_directives(disable)
+        diagnostics: List[Any] = []
+        if source is not None:
+            diagnostics.extend(analyze_source(source, subject,
+                                              config=config))
+        if paths:
+            diagnostics.extend(analyze_paths(list(paths), config=config))
+        diagnostics = sort_diagnostics(diagnostics)
+        self._emit(pvp.IDE_PUBLISH_DIAGNOSTICS, {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "counts": severity_counts(diagnostics),
+        })
+        return diagnostics
+
     # -- export --------------------------------------------------------------------
 
     def export(self, profile_id: int, format: str,
@@ -613,6 +642,15 @@ class ViewerSession:
                 else None,
                 formula=params.get("formula"),
                 callback_source=params.get("callbackSource"),
+                disable=params.get("disable", ()))
+            from ..lint import severity_counts
+            return {"diagnostics": [d.to_dict() for d in diagnostics],
+                    "counts": severity_counts(diagnostics)}
+        if method == pvp.VIEW_SELFCHECK:
+            diagnostics = self.selfcheck(
+                source=params.get("source"),
+                subject=params.get("subject", "<buffer>"),
+                paths=params.get("paths", ()),
                 disable=params.get("disable", ()))
             from ..lint import severity_counts
             return {"diagnostics": [d.to_dict() for d in diagnostics],

@@ -19,15 +19,15 @@ from .diagnostics import (Diagnostic, Severity, has_errors, sort_diagnostics,
 from .formula_lint import lint_formula, split_ref
 from .profile_lint import (lint_path, lint_pprof, lint_pprof_bytes,
                            lint_profile)
-from .registry import (DEFAULT_CONFIG, FAMILIES, Findings, LintConfig, Rule,
-                       all_rules, get_rule)
+from .registry import (DEFAULT_CONFIG, FAMILIES, FAMILY_PREFIXES, Findings,
+                       LintConfig, Rule, all_rules, get_rule)
 from .render import render_json, render_text, severity_counts, to_report
 
 __all__ = [
     "Diagnostic", "Severity", "has_errors", "sort_diagnostics",
     "worst_severity",
     "Rule", "LintConfig", "Findings", "DEFAULT_CONFIG", "FAMILIES",
-    "all_rules", "get_rule",
+    "FAMILY_PREFIXES", "all_rules", "get_rule",
     "lint_formula", "split_ref",
     "lint_callback", "lint_source",
     "lint_profile", "lint_pprof", "lint_pprof_bytes", "lint_path",

@@ -22,6 +22,9 @@ from typing import Callable, List, Optional, Union
 
 from ..errors import Span
 from .diagnostics import Diagnostic
+from .pysource import line_offsets as _line_offsets
+from .pysource import node_span as _node_span
+from .pysource import root_name as _root_name
 from .registry import Findings, LintConfig, Rule, Severity, register
 
 register(Rule("EV200", "callback", Severity.ERROR,
@@ -81,35 +84,6 @@ _MUTATORS = frozenset({
     "add_path", "append", "extend", "insert", "remove", "pop", "popitem",
     "clear", "update", "setdefault", "sort", "reverse",
 })
-
-
-def _line_offsets(source: str) -> List[int]:
-    offsets = [0]
-    for line in source.splitlines(keepends=True):
-        offsets.append(offsets[-1] + len(line))
-    return offsets
-
-
-def _node_span(node: ast.AST, offsets: List[int]) -> Optional[Span]:
-    """Character span of an AST node within the source text."""
-    lineno = getattr(node, "lineno", None)
-    if lineno is None or lineno > len(offsets) - 1:
-        return None
-    start = offsets[lineno - 1] + node.col_offset
-    end_lineno = getattr(node, "end_lineno", None) or lineno
-    end_col = getattr(node, "end_col_offset", None)
-    if end_col is None or end_lineno > len(offsets) - 1:
-        return Span(start, start + 1)
-    return Span(start, offsets[end_lineno - 1] + end_col)
-
-
-def _root_name(node: ast.AST) -> Optional[str]:
-    """The base ``Name`` under a chain of attribute/subscript accesses."""
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        node = node.value
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
 
 
 class _CallbackVisitor(ast.NodeVisitor):

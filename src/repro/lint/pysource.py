@@ -1,0 +1,65 @@
+"""Shared helpers for analyzers that walk Python source ASTs.
+
+Both the callback vetting family (``EV2xx``) and the SelfCheck codebase
+analyzers (``EV4xx``, :mod:`repro.sa`) turn ``ast`` nodes into the char
+:class:`~repro.errors.Span` diagnostics the IDE renders as squiggles.
+The arithmetic lives here once: line offsets into the source text, node
+spans, and attribute-chain flattening.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from ..errors import Span
+
+
+def line_offsets(source: str) -> List[int]:
+    """Character offset of each line start (1-based lines, offsets[0]=0)."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def node_span(node: ast.AST, offsets: List[int]) -> Optional[Span]:
+    """Character span of an AST node within the source text."""
+    lineno = getattr(node, "lineno", None)
+    if lineno is None or lineno > len(offsets) - 1:
+        return None
+    start = offsets[lineno - 1] + node.col_offset
+    end_lineno = getattr(node, "end_lineno", None) or lineno
+    end_col = getattr(node, "end_col_offset", None)
+    if end_col is None or end_lineno > len(offsets) - 1:
+        return Span(start, start + 1)
+    return Span(start, offsets[end_lineno - 1] + end_col)
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` under a chain of attribute/subscript accesses."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Flatten ``a.b.c`` (subscripts transparent) to ``("a", "b", "c")``.
+
+    Returns None when the chain does not bottom out in a plain ``Name``
+    (e.g. a call result or literal receiver).
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        else:
+            return None

@@ -1,10 +1,13 @@
 """The rule registry: every ProfLint rule, its ID, and its configuration.
 
-Rule IDs are stable and documented in ``docs/LINTING.md``:
+Rule IDs are stable and documented in ``docs/LINTING.md`` (EV1xx-EV3xx)
+and ``docs/SELFCHECK.md`` (EV4xx):
 
 * ``EV1xx`` — formula static analysis,
 * ``EV2xx`` — callback / programming-pane vetting,
-* ``EV3xx`` — profile & CCT invariants.
+* ``EV3xx`` — profile & CCT invariants,
+* ``EV4xx`` — SelfCheck: concurrency and resource safety of EasyView's
+  own codebase (:mod:`repro.sa`).
 
 Analyzers *declare* their rules here (with a bad/good example each, which
 the doc and the test suite consume) and *emit* findings through
@@ -20,7 +23,17 @@ from typing import Dict, Iterable, List, Mapping, Optional, Union
 from ..errors import Span
 from .diagnostics import Diagnostic, Severity
 
-FAMILIES = ("formula", "callback", "profile")
+FAMILIES = ("formula", "callback", "profile", "selfcheck")
+
+#: Directive aliases: the ID-prefix spelling of each family, so
+#: ``"EV4xx=off"`` means the same as ``"selfcheck=off"`` (and likewise
+#: for the three artifact families).
+FAMILY_PREFIXES = {
+    "EV1xx": "formula",
+    "EV2xx": "callback",
+    "EV3xx": "profile",
+    "EV4xx": "selfcheck",
+}
 
 
 @dataclass(frozen=True)
@@ -70,7 +83,10 @@ class LintConfig:
 
     Accepts directive strings as the CLI takes them: ``"EV104=off"``
     disables a rule, ``"EV305=warning"`` re-levels one, and a bare
-    ``"EV104"`` also disables.  Family names work too: ``"formula=off"``.
+    ``"EV104"`` also disables.  Family names work too — ``"formula=off"``,
+    ``"selfcheck=off"`` — as do their ID-prefix aliases (``"EV4xx=off"``),
+    and a family directive with a severity (``"selfcheck=hint"``)
+    re-levels every rule in the family.
     """
 
     def __init__(self, disabled: Optional[Iterable[str]] = None,
@@ -84,7 +100,7 @@ class LintConfig:
         config = cls()
         for directive in directives:
             name, _, value = directive.partition("=")
-            name = name.strip()
+            name = FAMILY_PREFIXES.get(name.strip(), name.strip())
             value = value.strip().lower()
             if not value or value == "off":
                 config.disabled.add(name)
@@ -104,7 +120,11 @@ class LintConfig:
         override = self.severities.get(rule_id)
         if override is not None:
             return override
-        return get_rule(rule_id).severity
+        rule = get_rule(rule_id)
+        family_override = self.severities.get(rule.family)
+        if family_override is not None:
+            return family_override
+        return rule.severity
 
     def diag(self, rule_id: str, message: str,
              span: Optional[Span] = None, subject: str = "",

@@ -54,14 +54,15 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         with self._lock:
             self._value = 0
 
     def __repr__(self) -> str:
-        return "Counter(%r, %d)" % (self.name, self._value)
+        return "Counter(%r, %d)" % (self.name, self.value)
 
 
 class Gauge:
@@ -89,13 +90,14 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         self.set(0.0)
 
     def __repr__(self) -> str:
-        return "Gauge(%r, %g)" % (self.name, self._value)
+        return "Gauge(%r, %g)" % (self.name, self.value)
 
 
 class Histogram:
@@ -141,15 +143,19 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        # One acquisition: sum and count must come from the same moment.
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def reset(self) -> None:
         with self._lock:
@@ -178,7 +184,7 @@ class Histogram:
             }
 
     def __repr__(self) -> str:
-        return "Histogram(%r, n=%d)" % (self.name, self._count)
+        return "Histogram(%r, n=%d)" % (self.name, self.count)
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -223,7 +229,8 @@ class MetricsRegistry:
             name, Histogram, lambda: Histogram(name, buckets, description))
 
     def get(self, name: str) -> Optional[Instrument]:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def names(self) -> List[str]:
         with self._lock:

@@ -278,7 +278,8 @@ class Tracer:
             return list(self._ring)
 
     def __len__(self) -> int:
-        return len(self._ring)
+        with self._lock:
+            return len(self._ring)
 
     def clear(self) -> None:
         """Empty the ring (counters survive)."""
@@ -296,7 +297,10 @@ class Tracer:
         if sample_every is not None:
             if sample_every < 1:
                 raise ValueError("sample_every must be >= 1")
-            self.sample_every = sample_every
+            # span() reads this under the lock when rolling a root's
+            # sampling decision; write it under the same lock.
+            with self._lock:
+                self.sample_every = sample_every
         if capacity is not None:
             if capacity < 1:
                 raise ValueError("ring capacity must be positive")

@@ -1,0 +1,44 @@
+"""SelfCheck: static concurrency & resource analysis of EasyView itself.
+
+The ``EV1xx``–``EV3xx`` lint families vet *user* artifacts (formulas,
+callbacks, profiles); this package turns the same diagnostic machinery on
+the codebase that hosts them.  Three AST passes over repo source:
+
+* :mod:`~repro.sa.lockset` (``EV401``–``EV404``) — infers which lock
+  guards which field and flags inconsistently-guarded access, non-atomic
+  read-modify-write, check-then-act, and task callables mutating shared
+  state;
+* :mod:`~repro.sa.blocking` (``EV411``–``EV412``) — blocking I/O while
+  holding a lock or inside a hot tracer span;
+* :mod:`~repro.sa.resources` (``EV421``–``EV422``) — persistence writes
+  that bypass :mod:`repro.core.atomicio`, and leaked file handles.
+
+Findings are ordinary ProfLint diagnostics: ``easyview selfcheck`` gates
+on them (exit 1 on anything the checked-in ``SELFCHECK_BASELINE.json``
+does not waive), CI runs that gate on ``src/``, and the PVP
+``view/selfcheck`` request publishes them as ``ide/publishDiagnostics``
+squiggles on repo source.  The rule catalog lives in
+``docs/SELFCHECK.md``.
+"""
+
+from .baseline import (BaselineError, Baseline, DEFAULT_BASELINE, UNREVIEWED,
+                       Waiver)
+from .blocking import check_blocking, classify_blocking, is_hot_span
+from .lockset import check_lockset, check_task_callables
+from .model import (LOCK_FACTORIES, LockTracker, MUTATOR_METHODS, Scope,
+                    SourceModule, THREAD_CONFINED_FACTORIES, scopes)
+from .resources import check_resources, in_persistence_scope
+from .runner import (SelfCheckResult, analyze_file, analyze_paths,
+                     analyze_source, iter_python_files, normalize_subject,
+                     run_selfcheck)
+
+__all__ = [
+    "Baseline", "BaselineError", "DEFAULT_BASELINE", "UNREVIEWED", "Waiver",
+    "LOCK_FACTORIES", "LockTracker", "MUTATOR_METHODS", "Scope",
+    "SourceModule", "THREAD_CONFINED_FACTORIES", "scopes",
+    "check_blocking", "check_lockset", "check_resources",
+    "check_task_callables", "classify_blocking", "in_persistence_scope",
+    "is_hot_span",
+    "SelfCheckResult", "analyze_file", "analyze_paths", "analyze_source",
+    "iter_python_files", "normalize_subject", "run_selfcheck",
+]

@@ -1,0 +1,174 @@
+"""The SelfCheck baseline: known findings, each with a justification.
+
+SelfCheck gates CI, and a gate that cries wolf gets disabled — so
+intentional findings (the WAL's fsync under the store lock is the
+durability contract, not a bug) are *waived*, not silenced.  A waiver
+names the rule, the file, and the exact finding message, and must say
+**why** the finding is acceptable; loading a baseline with an empty
+justification is an error, which keeps "I'll explain later" entries out
+of the tree.
+
+Waivers match on ``(rule, subject, message)`` — never on line numbers.
+Messages carry scope and field names (``ProfileStore.flush: calls
+write_segment() ...``), so a waiver survives unrelated edits shifting
+the file, yet dies the moment the code it describes changes shape.
+Identical findings at several sites in one function share one waiver by
+construction.
+
+``easyview selfcheck`` exits non-zero on any finding the baseline does
+not cover; ``--update-baseline`` rewrites the file from the current
+findings, preserving existing justifications and stamping new entries
+``UNREVIEWED: ...`` so review debt stays greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.atomicio import atomic_write_text
+from ..core.jsonio import dumps_data
+from ..errors import EasyViewError
+from ..lint.diagnostics import Diagnostic
+
+#: The stamp --update-baseline puts on entries nobody has justified yet.
+UNREVIEWED = "UNREVIEWED: justify this waiver or fix the finding"
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = "SELFCHECK_BASELINE.json"
+
+
+class BaselineError(EasyViewError):
+    """The baseline file is malformed or under-justified."""
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One accepted finding: its fingerprint plus the reason it stays."""
+
+    rule: str
+    subject: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.subject, self.message)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"rule": self.rule, "subject": self.subject,
+                "message": self.message,
+                "justification": self.justification}
+
+
+def _fingerprint(diagnostic: Diagnostic) -> Tuple[str, str, str]:
+    return (diagnostic.rule, diagnostic.subject, diagnostic.message)
+
+
+class Baseline:
+    """An ordered set of waivers with (rule, subject, message) lookup."""
+
+    def __init__(self, waivers: Sequence[Waiver] = ()) -> None:
+        self.waivers: List[Waiver] = list(waivers)
+        self._index: Dict[Tuple[str, str, str], Waiver] = {
+            waiver.key: waiver for waiver in self.waivers}
+
+    def __len__(self) -> int:
+        return len(self.waivers)
+
+    def match(self, diagnostic: Diagnostic) -> Optional[Waiver]:
+        return self._index.get(_fingerprint(diagnostic))
+
+    def split(self, diagnostics: Sequence[Diagnostic]
+              ) -> Tuple[List[Diagnostic], List[Diagnostic], List[Waiver]]:
+        """Partition findings into ``(new, waived)`` plus stale waivers.
+
+        A waiver is *stale* when no current finding matches it — the code
+        it excused has changed or been fixed, so the entry should go.
+        """
+        new: List[Diagnostic] = []
+        waived: List[Diagnostic] = []
+        used = set()
+        for diagnostic in diagnostics:
+            waiver = self.match(diagnostic)
+            if waiver is None:
+                new.append(diagnostic)
+            else:
+                waived.append(diagnostic)
+                used.add(waiver.key)
+        stale = [waiver for waiver in self.waivers
+                 if waiver.key not in used]
+        return new, waived, stale
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError("cannot read baseline %s: %s"
+                                % (path, exc)) from exc
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("waivers"), list):
+            raise BaselineError(
+                "baseline %s must be an object with a 'waivers' list"
+                % path)
+        waivers = []
+        for i, entry in enumerate(payload["waivers"]):
+            if not isinstance(entry, dict):
+                raise BaselineError("baseline %s: waiver #%d is not an "
+                                    "object" % (path, i))
+            missing = [key for key in
+                       ("rule", "subject", "message", "justification")
+                       if not isinstance(entry.get(key), str)]
+            if missing:
+                raise BaselineError(
+                    "baseline %s: waiver #%d lacks %s"
+                    % (path, i, ", ".join(missing)))
+            if not entry["justification"].strip():
+                raise BaselineError(
+                    "baseline %s: waiver #%d (%s in %s) has an empty "
+                    "justification; every waived finding must say why"
+                    % (path, i, entry["rule"], entry["subject"]))
+            waivers.append(Waiver(
+                rule=entry["rule"], subject=entry["subject"],
+                message=entry["message"],
+                justification=entry["justification"]))
+        return cls(waivers)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": 1,
+            "tool": "easyview-selfcheck",
+            "waivers": [waiver.to_dict() for waiver in self.waivers],
+        }
+        atomic_write_text(path, dumps_data(payload) + "\n")
+
+    @classmethod
+    def from_findings(cls, diagnostics: Sequence[Diagnostic],
+                      previous: Optional["Baseline"] = None) -> "Baseline":
+        """A baseline covering the given findings (``--update-baseline``).
+
+        Justifications carry over from ``previous`` where fingerprints
+        still match; genuinely new entries get the UNREVIEWED stamp.
+        """
+        waivers: List[Waiver] = []
+        seen = set()
+        for diagnostic in diagnostics:
+            key = _fingerprint(diagnostic)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept = previous.match(diagnostic) if previous else None
+            waivers.append(Waiver(
+                rule=key[0], subject=key[1], message=key[2],
+                justification=kept.justification if kept else UNREVIEWED))
+        waivers.sort(key=lambda waiver: waiver.key)
+        return cls(waivers)

@@ -1,0 +1,188 @@
+"""The blocking pass (rules EV411-EV412): slow calls in fast places.
+
+Two places a known-blocking call does outsized damage:
+
+* **under a lock** (``EV411``) — every other thread contending for that
+  lock now waits on the disk or the network too; lock hold times should
+  be bounded by memory work, and
+* **inside a hot tracer span** (``EV412``) — spans wrap the engine's and
+  store's latency-sensitive paths; blocking I/O inside one usually means
+  I/O crept onto a path that is profiled precisely because it must stay
+  fast.
+
+"Known-blocking" is a curated list, not an inference: bare ``open()``,
+``time.sleep``, anything under ``subprocess``/``socket``, the
+filesystem-touching ``os.*`` calls, the repo's own segment/atomic-file
+helpers, durability methods on WAL/manifest objects, and worker-pool
+fan-out (``pool.map`` under a lock holds the lock across the whole
+batch).  EV411 takes precedence: a call both under a lock and inside a
+span reports once, as EV411.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..lint.pysource import attr_chain
+from ..lint.registry import Findings, Rule, Severity, register
+from .model import LockTracker, Scope, SourceModule, scopes
+
+register(Rule(
+    "EV411", "selfcheck", Severity.WARNING,
+    "blocking call while holding a lock",
+    bad="import threading\n"
+        "class Journal:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def log(self, line):\n"
+        "        with self._lock:\n"
+        "            with open('journal.txt', 'a') as handle:\n"
+        "                handle.write(line)\n",
+    good="import threading\n"
+         "class Journal:\n"
+         "    def __init__(self):\n"
+         "        self._lock = threading.Lock()\n"
+         "        self._pending = []\n"
+         "    def log(self, line):\n"
+         "        with self._lock:\n"
+         "            self._pending.append(line)\n"))
+register(Rule(
+    "EV412", "selfcheck", Severity.INFO,
+    "blocking call inside a hot tracer span",
+    bad="import time\n"
+        "def render(tracer, tree):\n"
+        "    with tracer.span('viewer.render'):\n"
+        "        time.sleep(0.1)\n"
+        "        return tree.layout()\n",
+    good="import time\n"
+         "def render(tracer, tree):\n"
+         "    time.sleep(0.1)\n"
+         "    with tracer.span('viewer.render'):\n"
+         "        return tree.layout()\n"))
+
+#: ``os.*`` calls that reach the filesystem.
+_OS_BLOCKING = frozenset({
+    "fsync", "fdatasync", "unlink", "remove", "rename", "replace",
+    "listdir", "scandir", "makedirs", "rmdir", "stat", "truncate",
+})
+
+#: Repo-local helpers that read or write files whatever their receiver.
+_IO_HELPERS = frozenset({
+    "write_segment", "read_segment", "load_profile",
+    "atomic_write_bytes", "atomic_write_text", "atomic_write",
+})
+
+#: Durability objects (by receiver-name substring) whose lifecycle
+#: methods hit disk: the WAL fsyncs on ``append``/``reset``, manifests
+#: rewrite their file on ``save``/``load``.
+_DURABILITY_RECEIVERS = ("wal", "manifest")
+_DURABILITY_METHODS = frozenset({"append", "reset", "save", "load"})
+
+#: Worker-pool fan-out held across a lock blocks for the whole batch.
+_SPAWN_METHODS = frozenset({"map", "submit", "apply_async"})
+_POOL_HINTS = ("pool", "executor")
+
+
+def classify_blocking(node: ast.Call) -> Optional[str]:
+    """A short description when the call is known-blocking, else None."""
+    chain = attr_chain(node.func)
+    if not chain:
+        return None
+    joined = ".".join(chain)
+    if chain == ("open",):
+        return "open()"
+    if chain[0] == "time" and chain[-1] == "sleep":
+        return joined + "()"
+    if chain[0] in ("subprocess", "socket"):
+        return joined + "()"
+    if chain[0] == "os" and chain[-1] in _OS_BLOCKING:
+        return joined + "()"
+    if chain[-1] in _IO_HELPERS:
+        return joined + "()"
+    if len(chain) >= 2 and chain[-1] in _DURABILITY_METHODS and any(
+            hint in part.lower()
+            for part in chain[:-1] for hint in _DURABILITY_RECEIVERS):
+        return joined + "()"
+    if len(chain) >= 2 and chain[-1] in _SPAWN_METHODS and any(
+            hint in part.lower()
+            for part in chain[:-1] for hint in _POOL_HINTS):
+        return joined + "() (worker-pool fan-out)"
+    return None
+
+
+def is_hot_span(expr: ast.AST) -> bool:
+    """True for ``with <...tracer...>.span(...)`` context expressions."""
+    if not isinstance(expr, ast.Call):
+        return False
+    chain = attr_chain(expr.func)
+    if not chain or chain[-1] != "span" or len(chain) < 2:
+        return False
+    return any("tracer" in part.lower() for part in chain[:-1])
+
+
+class _BlockingVisitor(LockTracker):
+    def __init__(self, module: SourceModule, scope: Scope, fn_name: str,
+                 findings: Findings) -> None:
+        super().__init__(scope)
+        self.module = module
+        self.fn_name = fn_name
+        self.findings = findings
+        self.span_depth = 0
+        self._span_stack: List[int] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        spans = sum(1 for item in node.items
+                    if is_hot_span(item.context_expr))
+        self.span_depth += spans
+        try:
+            super().visit_With(node)
+        finally:
+            self.span_depth -= spans
+
+    visit_AsyncWith = visit_With
+
+    def enter_function(self, node: ast.AST) -> None:
+        # A nested function's body runs later, outside the span.
+        self._span_stack.append(self.span_depth)
+        self.span_depth = 0
+
+    def leave_function(self, node: ast.AST) -> None:
+        self.span_depth = self._span_stack.pop()
+
+    def handle_node(self, node: ast.AST) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        description = classify_blocking(node)
+        if description is None:
+            return
+        if self.held:
+            lock = self.scope.describe_lock(sorted(self.held)[0])
+            self.findings.add(
+                "EV411",
+                "%s: calls %s while holding %s"
+                % (self.fn_name, description, lock),
+                span=self.module.span(node),
+                line=getattr(node, "lineno", 0))
+        elif self.span_depth:
+            self.findings.add(
+                "EV412",
+                "%s: calls %s inside a tracer span; blocking I/O on a "
+                "traced hot path" % (self.fn_name, description),
+                span=self.module.span(node),
+                line=getattr(node, "lineno", 0))
+
+
+def check_blocking(module: SourceModule, findings: Findings) -> None:
+    """Run EV411/EV412 over every function in the file.
+
+    Scopes without locks still run (EV412 needs no lock); ``self.held``
+    just stays empty there.
+    """
+    for scope in scopes(module):
+        for fn in scope.functions:
+            name = getattr(fn, "name", "<lambda>")
+            fn_name = "%s.%s" % (scope.name, name) if scope.name else name
+            visitor = _BlockingVisitor(module, scope, fn_name, findings)
+            for statement in fn.body:
+                visitor.visit(statement)

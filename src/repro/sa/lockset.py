@@ -1,0 +1,493 @@
+"""The lockset pass (rules EV401-EV404): who guards what, and where.
+
+For every class (or module) that owns a ``threading`` lock, the pass
+infers which fields that lock guards — a field's *guard* is the lock
+held at its accesses — and then flags:
+
+* ``EV401`` — a field accessed both with and without its inferred guard,
+* ``EV402`` — non-atomic read-modify-write (``x += 1``,
+  ``x = x + ...``) on shared state outside any lock,
+* ``EV403`` — check-then-act (``if self.x is None: self.x = ...``)
+  outside any lock,
+* ``EV404`` — a task callable handed to a worker pool / thread that
+  mutates closed-over or module-level state.
+
+Precision choices, deliberately conservative:
+
+* Fields written only in ``__init__`` are configuration, not shared
+  mutable state — never flagged.
+* ``threading.local()`` and ``contextvars.ContextVar`` fields are
+  thread-confined by construction — never flagged.
+* A function that touches a field *under* its guard anywhere is exempt
+  from unguarded-access reports for that field: this is what makes
+  double-checked locking (``if x is None: with lock: if x is None:``)
+  pass clean, as it should.
+* Nested function bodies do not inherit the lexically enclosing ``with
+  lock:`` — they run later, on other threads, without it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lint.pysource import attr_chain
+from ..lint.registry import Findings, Rule, Severity, register
+from .model import (LockTracker, MUTATOR_METHODS, Scope, SourceModule,
+                    is_dunder_init, scopes)
+
+register(Rule(
+    "EV401", "selfcheck", Severity.WARNING,
+    "field accessed both with and without its inferred guarding lock",
+    bad="import threading\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "    def add(self, x):\n"
+        "        with self._lock:\n"
+        "            self._items.append(x)\n"
+        "    def drain(self):\n"
+        "        with self._lock:\n"
+        "            self._items.clear()\n"
+        "    def first(self):\n"
+        "        return self._items[0]\n",
+    good="import threading\n"
+         "class Box:\n"
+         "    def __init__(self):\n"
+         "        self._lock = threading.Lock()\n"
+         "        self._items = []\n"
+         "    def add(self, x):\n"
+         "        with self._lock:\n"
+         "            self._items.append(x)\n"
+         "    def drain(self):\n"
+         "        with self._lock:\n"
+         "            self._items.clear()\n"
+         "    def first(self):\n"
+         "        with self._lock:\n"
+         "            return self._items[0]\n"))
+register(Rule(
+    "EV402", "selfcheck", Severity.WARNING,
+    "non-atomic read-modify-write on shared state outside any lock",
+    bad="import threading\n"
+        "class Stats:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.count = 0\n"
+        "    def hit(self):\n"
+        "        self.count += 1\n",
+    good="import threading\n"
+         "class Stats:\n"
+         "    def __init__(self):\n"
+         "        self._lock = threading.Lock()\n"
+         "        self.count = 0\n"
+         "    def hit(self):\n"
+         "        with self._lock:\n"
+         "            self.count += 1\n"))
+register(Rule(
+    "EV403", "selfcheck", Severity.WARNING,
+    "check-then-act on shared state outside any lock",
+    bad="import threading\n"
+        "class Conn:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._conn = None\n"
+        "    def get(self):\n"
+        "        if self._conn is None:\n"
+        "            self._conn = object()\n"
+        "        return self._conn\n",
+    good="import threading\n"
+         "class Conn:\n"
+         "    def __init__(self):\n"
+         "        self._lock = threading.Lock()\n"
+         "        self._conn = None\n"
+         "    def get(self):\n"
+         "        if self._conn is None:\n"
+         "            with self._lock:\n"
+         "                if self._conn is None:\n"
+         "                    self._conn = object()\n"
+         "        return self._conn\n"))
+register(Rule(
+    "EV404", "selfcheck", Severity.WARNING,
+    "task callable mutates closed-over or module-level state",
+    bad="def run_all(pool, items):\n"
+        "    results = []\n"
+        "    def work(item):\n"
+        "        results.append(item * 2)\n"
+        "    pool.map(work, items)\n"
+        "    return results\n",
+    good="def run_all(pool, items):\n"
+         "    return pool.map(lambda item: item * 2, items)\n"))
+
+
+@dataclass
+class _Access:
+    field: str
+    fn: ast.AST               # the scope function containing the access
+    fn_name: str
+    node: ast.AST
+    write: bool
+    rmw: bool
+    held: frozenset
+    in_init: bool
+
+
+class _AccessCollector(LockTracker):
+    """Collects every access to a scope's shared fields in one function."""
+
+    def __init__(self, scope: Scope, fn: ast.AST, fn_name: str,
+                 module_globals: Set[str]) -> None:
+        super().__init__(scope)
+        self.fn = fn
+        self.fn_name = fn_name
+        self.in_init = is_dunder_init(fn)
+        self.module_globals = module_globals
+        self.accesses: List[_Access] = []
+        self.checks: List[Tuple[ast.If, str, frozenset]] = []
+        self._rmw_nodes: Set[int] = set()
+        self._seen: Set[Tuple[str, int, bool]] = set()
+
+    # -- field resolution --------------------------------------------------
+
+    def _field_of(self, node: ast.AST) -> Optional[str]:
+        """The scope field an expression touches, or None."""
+        if self.scope.is_class:
+            chain = attr_chain(node)
+            if chain and len(chain) >= 2 and chain[0] == "self":
+                return chain[1]
+            return None
+        if isinstance(node, ast.Name) and node.id in self.module_globals:
+            return node.id
+        return None
+
+    def _record(self, field: Optional[str], node: ast.AST, write: bool,
+                rmw: bool = False) -> None:
+        if field is None or field in self.scope.locks \
+                or field in self.scope.confined:
+            return
+        key = (field, getattr(node, "lineno", 0), write)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.accesses.append(_Access(
+            field=field, fn=self.fn, fn_name=self.fn_name, node=node,
+            write=write, rmw=rmw, held=frozenset(self.held),
+            in_init=self.in_init))
+
+    # -- classification ----------------------------------------------------
+
+    def handle_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.AugAssign):
+            self._rmw_nodes.add(id(node.target))
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            # `x = x + 1` spelled out is the same read-modify-write.
+            target_field = self._target_field(node.targets[0])
+            if target_field is not None and any(
+                    self._field_of(read) == target_field
+                    for read in ast.walk(node.value)
+                    if isinstance(read, (ast.Attribute, ast.Name))):
+                self._rmw_nodes.add(id(node.targets[0]))
+        elif isinstance(node, ast.Attribute):
+            if self.scope.is_class:
+                field = self._field_of(node)
+                if field is not None:
+                    if isinstance(node.ctx, (ast.Store, ast.Del)):
+                        self._record(field, node, write=True,
+                                     rmw=id(node) in self._rmw_nodes)
+                    else:
+                        self._record(field, node, write=False)
+        elif isinstance(node, ast.Name):
+            if not self.scope.is_class:
+                field = self._field_of(node)
+                if field is not None:
+                    if isinstance(node.ctx, (ast.Store, ast.Del)):
+                        self._record(field, node, write=True,
+                                     rmw=id(node) in self._rmw_nodes)
+                    else:
+                        self._record(field, node, write=False)
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._record(self._field_of(node.value), node, write=True,
+                         rmw=id(node) in self._rmw_nodes)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            self._record(self._field_of(node.func.value), node, write=True)
+        elif isinstance(node, ast.If):
+            self._note_check_then_act(node)
+
+    def _target_field(self, target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            return self._field_of(target.value)
+        return self._field_of(target)
+
+    def _note_check_then_act(self, node: ast.If) -> None:
+        if self.held or self.in_init:
+            return
+        tested = {self._field_of(read)
+                  for read in ast.walk(node.test)
+                  if isinstance(read, (ast.Attribute, ast.Name))}
+        tested.discard(None)
+        if not tested:
+            return
+        written = set()
+        for child in node.body:
+            for statement in ast.walk(child):
+                if isinstance(statement, (ast.Assign, ast.AugAssign,
+                                          ast.AnnAssign)):
+                    targets = (statement.targets
+                               if isinstance(statement, ast.Assign)
+                               else [statement.target])
+                    for target in targets:
+                        written.add(self._target_field(target))
+        for field in sorted(tested & written):
+            if field and field not in self.scope.locks \
+                    and field not in self.scope.confined:
+                self.checks.append((node, field, frozenset(self.held)))
+
+
+def _scope_fn_name(scope: Scope, fn: ast.AST) -> str:
+    name = getattr(fn, "name", "<lambda>")
+    return "%s.%s" % (scope.name, name) if scope.name else name
+
+
+def _infer_guard(accesses: List[_Access]) -> Optional[str]:
+    """The lock most often held at this field's accesses, with evidence.
+
+    Evidence bar: the candidate must guard at least one write outside
+    ``__init__``, or at least two accesses overall — one incidental read
+    under an unrelated lock does not make that lock the guard.
+    """
+    counts: Dict[str, int] = {}
+    for access in accesses:
+        for lock in access.held:
+            counts[lock] = counts.get(lock, 0) + 1
+    if not counts:
+        return None
+    guard = max(sorted(counts), key=lambda lock: counts[lock])
+    guarded = [a for a in accesses if guard in a.held]
+    if any(a.write and not a.in_init for a in guarded) or len(guarded) >= 2:
+        return guard
+    return None
+
+
+def check_lockset(module: SourceModule, findings: Findings) -> None:
+    """Run EV401-EV403 over every lock-owning scope in the file."""
+    module_globals = _module_globals(module.tree)
+    for scope in scopes(module):
+        if not scope.locks:
+            continue
+        accesses: List[_Access] = []
+        checks: List[Tuple[str, ast.If, str, frozenset, ast.AST]] = []
+        guarded_fns: Dict[str, Set[ast.AST]] = {}
+        for fn in scope.functions:
+            collector = _AccessCollector(scope, fn, _scope_fn_name(scope, fn),
+                                         module_globals)
+            for statement in fn.body:
+                collector.visit(statement)
+            accesses.extend(collector.accesses)
+            for node, field, held in collector.checks:
+                checks.append((collector.fn_name, node, field, held, fn))
+        for access in accesses:
+            if access.held:
+                guarded_fns.setdefault(access.field, set()).add(access.fn)
+
+        by_field: Dict[str, List[_Access]] = {}
+        for access in accesses:
+            by_field.setdefault(access.field, []).append(access)
+
+        for field in sorted(by_field):
+            field_accesses = by_field[field]
+            if not any(a.write and not a.in_init for a in field_accesses):
+                continue  # written only in __init__: configuration
+            guard = _infer_guard(field_accesses)
+            exempt = guarded_fns.get(field, set())
+            if guard is not None:
+                for access in field_accesses:
+                    if access.in_init or guard in access.held \
+                            or access.fn in exempt:
+                        continue
+                    findings.add(
+                        "EV401",
+                        "%s: %s %r without holding %s, which guards its "
+                        "other accesses"
+                        % (access.fn_name,
+                           "writes" if access.write else "reads",
+                           _describe(scope, field),
+                           scope.describe_lock(guard)),
+                        span=module.span(access.node),
+                        line=getattr(access.node, "lineno", 0))
+            else:
+                for access in field_accesses:
+                    if access.rmw and not access.held and not access.in_init:
+                        findings.add(
+                            "EV402",
+                            "%s: non-atomic read-modify-write of %r "
+                            "outside any lock"
+                            % (access.fn_name, _describe(scope, field)),
+                            span=module.span(access.node),
+                            line=getattr(access.node, "lineno", 0))
+                for fn_name, node, check_field, held, fn in checks:
+                    if check_field != field or held:
+                        continue
+                    if fn in guarded_fns.get(field, set()):
+                        continue  # double-checked locking
+                    findings.add(
+                        "EV403",
+                        "%s: check-then-act on %r outside any lock; "
+                        "another thread can interleave between the test "
+                        "and the update"
+                        % (fn_name, _describe(scope, field)),
+                        span=module.span(node.test),
+                        line=getattr(node, "lineno", 0))
+
+
+def _describe(scope: Scope, field: str) -> str:
+    return ("self.%s" % field) if scope.is_class else field
+
+
+def _module_globals(tree: ast.Module) -> Set[str]:
+    """Names that live at module scope and get rebound somewhere."""
+    names: Set[str] = set()
+    for item in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(item, ast.Assign):
+            targets = list(item.targets)
+        elif isinstance(item, (ast.AnnAssign, ast.AugAssign)):
+            targets = [item.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+# -- EV404: task callables ----------------------------------------------------
+
+#: Call attribute names that hand work to other threads.
+_SPAWN_METHODS = frozenset({"map", "submit", "apply_async"})
+
+#: Substrings of the receiver chain that mark it as a pool/executor.
+_POOL_HINTS = ("pool", "executor")
+
+
+def _task_callable_args(node: ast.Call) -> List[ast.AST]:
+    """The callable expressions this call hands to worker threads."""
+    chain = attr_chain(node.func)
+    if not chain:
+        return []
+    if chain[-1] in _SPAWN_METHODS and len(chain) >= 2:
+        receiver = ".".join(chain[:-1]).lower()
+        if any(hint in receiver for hint in _POOL_HINTS):
+            return node.args[:1]
+    if chain[-1] == "Thread":
+        return [kw.value for kw in node.keywords if kw.arg == "target"]
+    return []
+
+
+class _TaskMutationChecker(ast.NodeVisitor):
+    """Finds closed-over / global mutation inside one task callable."""
+
+    def __init__(self, callable_node: ast.AST,
+                 module_globals: Set[str]) -> None:
+        self.module_globals = module_globals
+        if isinstance(callable_node, ast.Lambda):
+            self.name = "<lambda>"
+            args = callable_node.args
+            body: List[ast.AST] = [callable_node.body]
+        else:
+            self.name = callable_node.name
+            args = callable_node.args
+            body = list(callable_node.body)
+        self.body = body
+        self.locals: Set[str] = {
+            a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+        if args.vararg:
+            self.locals.add(args.vararg.arg)
+        if args.kwarg:
+            self.locals.add(args.kwarg.arg)
+        self.escaped: Set[str] = set()  # nonlocal/global declarations
+        for child in body:
+            for node in ast.walk(child):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    self.escaped.update(node.names)
+                elif isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Store):
+                    self.locals.add(node.id)
+        self.locals -= self.escaped
+        self.mutated: List[Tuple[str, ast.AST]] = []
+        self._seen: Set[str] = set()
+
+    def check(self) -> List[Tuple[str, ast.AST]]:
+        for child in self.body:
+            self.visit(child)
+        return self.mutated
+
+    def _flag(self, root: Optional[str], node: ast.AST) -> None:
+        if root is None or root in self.locals or root in self._seen:
+            return
+        self._seen.add(root)
+        self.mutated.append((root, node))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and node.id in self.escaped:
+            self._flag(node.id, node)
+        self.generic_visit(node)
+
+    def _root(self, node: ast.AST) -> Optional[str]:
+        chain = attr_chain(node)
+        return chain[0] if chain else None
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._flag(self._root(node.value), node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            root = self._root(node.value)
+            if root != "self":
+                self._flag(root, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            self._flag(self._root(node.func.value), node)
+        self.generic_visit(node)
+
+
+def check_task_callables(module: SourceModule, findings: Findings) -> None:
+    """EV404 over every function that spawns tasks onto other threads."""
+    module_globals = _module_globals(module.tree)
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nested: Dict[str, ast.AST] = {
+            child.name: child for child in ast.walk(fn)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not fn}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            for task in _task_callable_args(node):
+                target: Optional[ast.AST] = None
+                if isinstance(task, ast.Lambda):
+                    target = task
+                elif isinstance(task, ast.Name) and task.id in nested:
+                    target = nested[task.id]
+                if target is None:
+                    continue
+                checker = _TaskMutationChecker(target, module_globals)
+                for root, site in checker.check():
+                    findings.add(
+                        "EV404",
+                        "%s: task callable %r mutates closed-over %r; it "
+                        "runs on worker threads without synchronization"
+                        % (fn.name, checker.name, root),
+                        span=module.span(site),
+                        line=getattr(site, "lineno", 0))

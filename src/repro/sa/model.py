@@ -1,0 +1,257 @@
+"""The source model SelfCheck analyzers share.
+
+A :class:`SourceModule` wraps one parsed Python file (source text, AST,
+line offsets, display subject).  On top of it, this module provides the
+two inferences every pass needs:
+
+* **lock discovery** — which attributes of a class (or globals of a
+  module) hold ``threading.Lock``/``RLock``/``Condition``/``Semaphore``
+  objects, and
+* **lock tracking** — a statement walker that knows, at every AST node,
+  which of those locks are lexically held (``with self._lock:`` bodies,
+  including multi-item ``with`` statements), and that correctly *resets*
+  the held set inside nested function definitions, whose bodies run
+  later, outside the lock.
+
+Thread-confined state is recognized and exempted here once for all
+passes: attributes holding ``threading.local()`` or
+``contextvars.ContextVar(...)`` are not shared state however they are
+accessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint.pysource import attr_chain, line_offsets, node_span
+
+#: Constructor attributes that mean "this is a lock object".
+LOCK_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+#: Constructor attributes that mean "this state is thread-confined".
+THREAD_CONFINED_FACTORIES = frozenset({"local", "ContextVar"})
+
+
+def _factory_name(value: ast.AST) -> Optional[str]:
+    """``threading.Lock()`` / ``Lock()`` → ``"Lock"`` (None otherwise)."""
+    if not isinstance(value, ast.Call):
+        return None
+    chain = attr_chain(value.func)
+    if not chain:
+        return None
+    return chain[-1]
+
+
+@dataclass
+class SourceModule:
+    """One parsed file: text, AST, offsets, and its display subject."""
+
+    subject: str
+    source: str
+    tree: ast.Module
+    offsets: List[int] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, subject: str) -> "SourceModule":
+        return cls(subject=subject, source=source,
+                   tree=ast.parse(source), offsets=line_offsets(source))
+
+    def span(self, node: ast.AST):
+        return node_span(node, self.offsets)
+
+
+@dataclass
+class Scope:
+    """A class body or a module top level, viewed as a lock domain.
+
+    ``locks`` are the attribute/global names bound to lock objects in
+    this scope; ``confined`` the names bound to thread-local or
+    contextvar state; ``functions`` the scope's directly-owned callables
+    (methods for a class scope, top-level functions for a module scope).
+    """
+
+    name: str                      # "" for the module scope
+    is_class: bool
+    node: ast.AST
+    locks: Set[str] = field(default_factory=set)
+    confined: Set[str] = field(default_factory=set)
+    functions: List[ast.AST] = field(default_factory=list)
+
+    @property
+    def base(self) -> Optional[str]:
+        """The receiver name lock chains hang off: ``self`` for classes,
+        None (bare globals) for the module scope."""
+        return "self" if self.is_class else None
+
+    def describe_lock(self, lock: str) -> str:
+        return ("self.%s" % lock) if self.is_class else lock
+
+
+def _collect_class_scope(node: ast.ClassDef) -> Scope:
+    scope = Scope(name=node.name, is_class=True, node=node)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.functions.append(item)
+    # Lock fields can be assigned in any method (usually __init__).
+    for assign in ast.walk(node):
+        if isinstance(assign, ast.Assign):
+            targets = assign.targets
+        elif isinstance(assign, ast.AnnAssign) and assign.value is not None:
+            targets = [assign.target]
+        else:
+            continue
+        factory = _factory_name(assign.value)
+        if factory is None:
+            continue
+        for target in targets:
+            chain = attr_chain(target)
+            if chain is None or len(chain) != 2 or chain[0] != "self":
+                continue
+            if factory in LOCK_FACTORIES:
+                scope.locks.add(chain[1])
+            elif factory in THREAD_CONFINED_FACTORIES:
+                scope.confined.add(chain[1])
+    return scope
+
+
+def _collect_module_scope(tree: ast.Module) -> Scope:
+    scope = Scope(name="", is_class=False, node=tree)
+    for item in tree.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.functions.append(item)
+        elif isinstance(item, (ast.Assign, ast.AnnAssign)):
+            value = item.value
+            if value is None:
+                continue
+            factory = _factory_name(value)
+            if factory is None:
+                continue
+            targets = (item.targets if isinstance(item, ast.Assign)
+                       else [item.target])
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if factory in LOCK_FACTORIES:
+                    scope.locks.add(target.id)
+                elif factory in THREAD_CONFINED_FACTORIES:
+                    scope.confined.add(target.id)
+    return scope
+
+
+def scopes(module: SourceModule) -> Iterator[Scope]:
+    """Every lock domain in the file: the module itself, then classes.
+
+    Nested classes are found too (``ast.walk``); a scope with no locks
+    is still yielded so passes can decide their own applicability.
+    """
+    yield _collect_module_scope(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            yield _collect_class_scope(node)
+
+
+def lock_key(scope: Scope, expr: ast.AST) -> Optional[str]:
+    """The scope lock named by a ``with`` item (or acquire call), if any.
+
+    ``self._lock`` in a class scope → ``"_lock"``; a bare module global
+    ``_lock`` in the module scope → ``"_lock"``.
+    """
+    chain = attr_chain(expr)
+    if chain is None:
+        return None
+    if scope.is_class:
+        if len(chain) == 2 and chain[0] == "self" and chain[1] in scope.locks:
+            return chain[1]
+    else:
+        if len(chain) == 1 and chain[0] in scope.locks:
+            return chain[0]
+    return None
+
+
+class LockTracker(ast.NodeVisitor):
+    """A function-body walker that maintains the lexically-held lock set.
+
+    Subclasses override the ``handle_*`` hooks; the tracker guarantees:
+
+    * ``self.held`` is the set of scope locks held at the visited node,
+    * nested ``def``/``lambda`` bodies are visited with an *empty* held
+      set (their bodies execute later, when the lock is gone), and
+    * ``self.took_lock_for`` records, per function, every lock the
+      function acquires at any point — the raw material for the
+      double-checked-locking exemption.
+    """
+
+    def __init__(self, scope: Scope) -> None:
+        self.scope = scope
+        self.held: Set[str] = set()
+        self.took_locks: Set[str] = set()
+
+    # -- hooks -------------------------------------------------------------
+
+    def handle_node(self, node: ast.AST) -> None:
+        """Called for every visited node with ``self.held`` current."""
+
+    def enter_function(self, node: ast.AST) -> None:
+        """Called when descending into a nested function/lambda."""
+
+    def leave_function(self, node: ast.AST) -> None:
+        """Called when leaving a nested function/lambda."""
+
+    # -- traversal ---------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            key = lock_key(self.scope, item.context_expr)
+            if key is not None and key not in self.held:
+                acquired.append(key)
+            self.handle_node(item.context_expr)
+            self.visit(item.context_expr)
+        self.held.update(acquired)
+        self.took_locks.update(acquired)
+        for statement in node.body:
+            self.visit(statement)
+        self.held.difference_update(acquired)
+
+    visit_AsyncWith = visit_With
+
+    def _visit_nested(self, node: ast.AST, body) -> None:
+        self.enter_function(node)
+        saved = self.held
+        self.held = set()
+        try:
+            for child in body:
+                self.visit(child)
+        finally:
+            self.held = saved
+            self.leave_function(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node, node.body)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node, node.body)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node, [node.body])
+
+    def generic_visit(self, node: ast.AST) -> None:
+        self.handle_node(node)
+        super().generic_visit(node)
+
+
+#: Method names whose call on an object mutates it in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "sort", "reverse", "add", "discard",
+    "appendleft", "popleft", "move_to_end", "write", "truncate",
+})
+
+
+def is_dunder_init(fn: ast.AST) -> bool:
+    return isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+        and fn.name == "__init__"

@@ -1,0 +1,189 @@
+"""The resource pass (rules EV421-EV422): file handles and durability.
+
+``EV421`` — the repo's durability story (crash-safe WAL, atomic segment
+and manifest replacement) rests on :mod:`repro.core.atomicio`: a write
+that matters goes to a temp file, is fsynced, and is renamed into place.
+A raw ``open(path, "w")`` in a persistence module truncates the
+destination *before* writing — a crash mid-write leaves a torn file with
+no recovery story.  The rule fires on truncating ``open`` modes inside
+the persistence-scoped modules (``repro/store/``, ``repro/bench/``, and
+anything named ``serialize``/``export``); the rest of the codebase, and
+:mod:`repro.core.atomicio` itself, are out of scope.
+
+``EV422`` — a handle from ``open()`` that is neither managed by ``with``,
+nor stored on ``self`` (instance-owned, closed by a lifecycle method),
+nor explicitly ``close()``d/returned in the same function, leaks until
+the GC gets to it — on some platforms with buffered data unflushed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..lint.pysource import attr_chain
+from ..lint.registry import Findings, Rule, Severity, register
+from .model import SourceModule
+
+register(Rule(
+    "EV421", "selfcheck", Severity.WARNING,
+    "persistence write bypasses atomicio (truncate-then-write)",
+    bad="import json\n"
+        "def save_manifest(path, payload):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        json.dump(payload, handle)\n",
+    good="import json\n"
+         "from repro.core.atomicio import atomic_write_text\n"
+         "def save_manifest(path, payload):\n"
+         "    atomic_write_text(path, json.dumps(payload))\n"))
+register(Rule(
+    "EV422", "selfcheck", Severity.WARNING,
+    "file handle opened without with/close/ownership",
+    bad="import json\n"
+        "def read_config(path):\n"
+        "    return json.load(open(path))\n",
+    good="import json\n"
+         "def read_config(path):\n"
+         "    with open(path) as handle:\n"
+         "        return json.load(handle)\n"))
+
+#: Subject fragments that put a file in EV421's persistence scope.
+PERSISTENCE_SCOPES = ("repro/store/", "repro/bench/")
+PERSISTENCE_NAMES = ("serialize", "export")
+
+#: Files whose whole purpose is the raw write EV421 polices.
+PERSISTENCE_EXEMPT = ("atomicio",)
+
+
+def in_persistence_scope(subject: str) -> bool:
+    normalized = subject.replace("\\", "/")
+    final = normalized.rsplit("/", 1)[-1]
+    if any(name in final for name in PERSISTENCE_EXEMPT):
+        return False
+    if any(fragment in normalized for fragment in PERSISTENCE_SCOPES):
+        return True
+    return any(name in final for name in PERSISTENCE_NAMES)
+
+
+def _is_open(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open")
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode argument of an ``open`` call, if one is given."""
+    candidates = list(node.args[1:2])
+    candidates.extend(kw.value for kw in node.keywords if kw.arg == "mode")
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) \
+                and isinstance(candidate.value, str):
+            return candidate.value
+    return None
+
+
+def _truncating(mode: Optional[str]) -> bool:
+    return mode is not None and "w" in mode
+
+
+class _FunctionHandles(ast.NodeVisitor):
+    """Classifies every ``open()`` in one function body."""
+
+    def __init__(self) -> None:
+        self.managed: Set[int] = set()      # with-items, self.X = open(...)
+        self.assigned: Dict[int, str] = {}  # open node -> local name
+        self.closed: Set[str] = set()       # names .close()d
+        self.escaped: Set[str] = set()      # names returned / re-with'd
+        self.opens: List[ast.Call] = []
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested callables are classified on their own
+        super().visit(node)
+
+    def collect(self, body: List[ast.AST]) -> None:
+        for child in body:
+            self.visit(child)
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if _is_open(node):
+            self.opens.append(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _is_open(item.context_expr):
+                    self.managed.add(id(item.context_expr))
+                elif isinstance(item.context_expr, ast.Name):
+                    self.escaped.add(item.context_expr.id)
+        elif isinstance(node, ast.Assign) and _is_open(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.assigned[id(node.value)] = target.id
+                elif isinstance(target, ast.Attribute):
+                    # Instance-owned: `self._handle = open(...)` pairs
+                    # with a close() elsewhere in the class lifecycle.
+                    self.managed.add(id(node.value))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "close" \
+                and isinstance(node.func.value, ast.Name):
+            self.closed.add(node.func.value.id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            for name in ast.walk(node.value):
+                if isinstance(name, ast.Name):
+                    self.escaped.add(name.id)
+        super().generic_visit(node)
+
+    def leaks(self) -> List[ast.Call]:
+        out = []
+        for call in self.opens:
+            if id(call) in self.managed:
+                continue
+            name = self.assigned.get(id(call))
+            if name is not None and (name in self.closed
+                                     or name in self.escaped):
+                continue
+            out.append(call)
+        return out
+
+
+def _function_name(owner: Optional[ast.ClassDef], fn: ast.AST) -> str:
+    name = getattr(fn, "name", "<lambda>")
+    return "%s.%s" % (owner.name, name) if owner is not None else name
+
+
+def check_resources(module: SourceModule, findings: Findings) -> None:
+    """Run EV421/EV422 over every function in the file."""
+    persistence = in_persistence_scope(module.subject)
+    owners: Dict[int, ast.ClassDef] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    owners.setdefault(id(child), node)
+    for fn in ast.walk(module.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fn_name = _function_name(owners.get(id(fn)), fn)
+        handles = _FunctionHandles()
+        handles.collect(list(fn.body))
+        if persistence:
+            for call in handles.opens:
+                mode = _open_mode(call)
+                if _truncating(mode):
+                    findings.add(
+                        "EV421",
+                        "%s: open(..., %r) truncates in place; "
+                        "persistence writes go through "
+                        "repro.core.atomicio so a crash mid-write "
+                        "cannot tear the file" % (fn_name, mode),
+                        span=module.span(call),
+                        line=getattr(call, "lineno", 0))
+        for call in handles.leaks():
+            findings.add(
+                "EV422",
+                "%s: open() handle is never closed; use `with open(...)` "
+                "or close it on every path" % fn_name,
+                span=module.span(call),
+                line=getattr(call, "lineno", 0))

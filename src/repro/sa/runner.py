@@ -1,0 +1,149 @@
+"""SelfCheck's driver: files in, diagnostics out, baseline applied.
+
+``analyze_source`` runs all four passes over one Python source;
+``analyze_paths`` walks directories (skipping hidden trees and
+``__pycache__``) and analyzes every ``.py`` file; ``run_selfcheck``
+layers the baseline on top and produces the triaged result the CLI, CI
+gate, and PVP endpoint all share.
+
+Subjects are normalized to repository-relative ``repro/...`` paths, so
+the same baseline matches whether the scan was launched on ``src``,
+``src/repro``, or an absolute path.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import Span
+from ..lint.diagnostics import Diagnostic, sort_diagnostics
+from ..lint.pysource import line_offsets
+from ..lint.registry import Findings, LintConfig, Rule, Severity, register
+from .baseline import Baseline, Waiver
+from .blocking import check_blocking
+from .lockset import check_lockset, check_task_callables
+from .model import SourceModule
+from .resources import check_resources
+
+register(Rule(
+    "EV400", "selfcheck", Severity.ERROR,
+    "source file does not parse as Python",
+    bad="def flush(self) return None",
+    good="def flush(self): return None"))
+
+
+def normalize_subject(path: str) -> str:
+    """Repository-relative display path: ``.../src/repro/x.py`` →
+    ``repro/x.py`` (unchanged when no ``repro`` component exists)."""
+    normalized = path.replace(os.sep, "/").replace("\\", "/")
+    marker = "/repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        return "repro/" + normalized[index + len(marker):]
+    if normalized.startswith("repro/"):
+        return normalized
+    return normalized.lstrip("./")
+
+
+def analyze_source(source: str, subject: str,
+                   config: Optional[LintConfig] = None
+                   ) -> List[Diagnostic]:
+    """All four SelfCheck passes over one source text."""
+    findings = Findings(config, subject=subject)
+    try:
+        module = SourceModule.from_source(source, subject)
+    except SyntaxError as exc:
+        offsets = line_offsets(source)
+        lineno = min(exc.lineno or 1, len(offsets) - 1)
+        position = offsets[lineno - 1] + (exc.offset or 1) - 1
+        findings.add("EV400", "syntax error: %s" % exc.msg,
+                     span=Span.point(position), line=exc.lineno or 0)
+        return findings.items
+    except (ValueError, RecursionError) as exc:
+        findings.add("EV400", "cannot analyze: %s" % exc)
+        return findings.items
+    check_lockset(module, findings)
+    check_task_callables(module, findings)
+    check_blocking(module, findings)
+    check_resources(module, findings)
+    return sort_diagnostics(findings.items)
+
+
+def analyze_file(path: str,
+                 config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, normalize_subject(path), config=config)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    Hidden directories and ``__pycache__`` are skipped; a path that is
+    itself a ``.py`` file is taken as given.
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+                out.extend(os.path.join(root, name)
+                           for name in sorted(names)
+                           if name.endswith(".py"))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def analyze_paths(paths: Sequence[str],
+                  config: Optional[LintConfig] = None) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        diagnostics.extend(analyze_file(path, config=config))
+    return sort_diagnostics(diagnostics)
+
+
+@dataclass
+class SelfCheckResult:
+    """One full run: everything found, triaged against the baseline."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    new: List[Diagnostic] = field(default_factory=list)
+    waived: List[Diagnostic] = field(default_factory=list)
+    stale: List[Waiver] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict:
+        return {
+            "tool": "easyview-selfcheck",
+            "files": self.files,
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "new": [d.to_dict() for d in self.new],
+            "waived": len(self.waived),
+            "staleWaivers": [w.to_dict() for w in self.stale],
+            "clean": self.clean,
+        }
+
+
+def run_selfcheck(paths: Sequence[str],
+                  baseline: Optional[Baseline] = None,
+                  config: Optional[LintConfig] = None) -> SelfCheckResult:
+    """Analyze ``paths`` and triage the findings against ``baseline``."""
+    files = iter_python_files(paths)
+    diagnostics: List[Diagnostic] = []
+    for path in files:
+        diagnostics.extend(analyze_file(path, config=config))
+    diagnostics = sort_diagnostics(diagnostics)
+    baseline = baseline or Baseline()
+    new, waived, stale = baseline.split(diagnostics)
+    return SelfCheckResult(diagnostics=diagnostics, new=new, waived=waived,
+                           stale=stale, files=len(files))

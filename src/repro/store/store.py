@@ -136,7 +136,8 @@ class ProfileStore:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        self.wal.close()
+        with self._lock:
+            self.wal.close()
 
     def __enter__(self) -> "ProfileStore":
         return self
@@ -233,35 +234,63 @@ class ProfileStore:
                 return self._finish_flush(segment)
 
     def _finish_flush(self, segment: Segment) -> str:
-        """Post-segment-write bookkeeping (manifest, WAL, index)."""
-        self._segments[segment.address] = segment
-        self.manifest.add_segment(SegmentInfo.from_segment(segment))
-        self.manifest.save()
-        self.wal.reset()
-        self.index.remove_wal_entries()
-        for meta in segment.records:
-            self.index.add(RecordEntry.from_meta(meta, segment.address))
-        return segment.address
+        """Post-segment-write bookkeeping (manifest, WAL, index).
+
+        Takes the store lock itself (reentrant under :meth:`flush`) so
+        the manifest/WAL/index transition is atomic however it is
+        reached.
+        """
+        with self._lock:
+            self._segments[segment.address] = segment
+            self.manifest.add_segment(SegmentInfo.from_segment(segment))
+            self.manifest.save()
+            self.wal.reset()
+            self.index.remove_wal_entries()
+            for meta in segment.records:
+                self.index.add(RecordEntry.from_meta(meta, segment.address))
+            return segment.address
 
     # -- read path ---------------------------------------------------------
 
     def _segment(self, address: str) -> Segment:
-        segment = self._segments.get(address)
+        """The parsed segment for ``address``, reading it on first use.
+
+        ``query`` fans :meth:`load` out across the worker pool, so this
+        cache is hit from several threads at once.  The disk read happens
+        *outside* the lock — two threads may both parse a cold segment,
+        but segments are immutable so either result is correct, and
+        ``setdefault`` keeps exactly one.  Holding the lock across
+        ``read_segment`` would serialize every cold load in a batch.
+        """
+        with self._lock:
+            segment = self._segments.get(address)
         if segment is None:
-            segment = read_segment(self._segment_path(address))
-            self._segments[address] = segment
+            loaded = read_segment(self._segment_path(address))
+            with self._lock:
+                segment = self._segments.setdefault(address, loaded)
         return segment
 
     def load(self, entry: RecordEntry) -> Profile:
         """Materialize the profile behind one index entry."""
         if entry.segment is None:
-            for record in self.wal.records:
+            with self._lock:
+                records = list(self.wal.records)
+            for record in records:
                 if record.seq == entry.seq:
                     profile = serialize.loads(record.blob)
                     profile.meta.time_nanos = record.time_nanos
                     profile.meta.duration_nanos = record.duration_nanos
                     return profile
-            raise StoreError("record #%d is gone from the WAL" % entry.seq)
+            # A concurrent flush may have drained the WAL between the
+            # query plan and this load; the index already knows which
+            # segment the record moved to.
+            with self._lock:
+                entry = next((current for current in self.index.entries()
+                              if current.seq == entry.seq
+                              and current.segment is not None), entry)
+            if entry.segment is None:
+                raise StoreError("record #%d is gone from the WAL"
+                                 % entry.seq)
         segment = self._segment(entry.segment)
         for meta in segment.records:
             if meta.seq == entry.seq:
@@ -274,7 +303,8 @@ class ProfileStore:
         with _tracer.span("store.query.plan"):
             if isinstance(query, str):
                 query = parse_query(query, now_nanos=self.clock())
-            return self.index.match(query)
+            with self._lock:
+                return self.index.match(query)
 
     def query(self, query: Union[str, Query],
               shape: str = "top_down") -> QueryResult:
@@ -290,7 +320,11 @@ class ProfileStore:
             if isinstance(query, str):
                 query = parse_query(query, now_nanos=self.clock())
             with _tracer.span("store.query.plan"):
-                entries = self.index.match(query)
+                # Only the planning section holds the lock: the load
+                # fan-out below must run lock-free (each pooled load
+                # re-acquires it briefly for its WAL/segment lookup).
+                with self._lock:
+                    entries = self.index.match(query)
             if span is not None:
                 span.set("matches", len(entries))
             if not entries:
@@ -406,7 +440,10 @@ class ProfileStore:
         its re-hashed address no longer matches its name.
         """
         problems: List[str] = []
-        for info in self.manifest.segments:
+        with self._lock:
+            infos = list(self.manifest.segments)
+        # Re-hashing reads whole segment files; do it outside the lock.
+        for info in infos:
             path = self._segment_path(info.address)
             try:
                 read_segment(path, verify=True)
@@ -416,22 +453,26 @@ class ProfileStore:
 
     def stats(self, verify: bool = False) -> Dict[str, Any]:
         """Occupancy, per-service counts, time range, engine counters."""
-        entries = self.index.entries()
+        with self._lock:
+            entries = self.index.entries()
+            segments = list(self.manifest.segments)
+            wal_records = len(self.wal)
+            torn_bytes = self.wal.recovered_torn_bytes
+            next_seq = self.manifest.next_seq
+            start, end = self.index.time_range()
         per_service: Dict[str, int] = {}
         for entry in entries:
             per_service[entry.service] = per_service.get(entry.service, 0) + 1
-        start, end = self.index.time_range()
         payload: Dict[str, Any] = {
             "root": self.root,
-            "segments": len(self.manifest.segments),
-            "segmentBytes": sum(info.size_bytes
-                                for info in self.manifest.segments),
+            "segments": len(segments),
+            "segmentBytes": sum(info.size_bytes for info in segments),
             "records": len(entries),
-            "walRecords": len(self.wal),
-            "walRecoveredTornBytes": self.wal.recovered_torn_bytes,
+            "walRecords": wal_records,
+            "walRecoveredTornBytes": torn_bytes,
             "services": per_service,
             "timeRange": {"startNanos": start, "endNanos": end},
-            "nextSeq": self.manifest.next_seq,
+            "nextSeq": next_seq,
         }
         if verify:
             problems = self.verify()

@@ -1,0 +1,186 @@
+"""Regression tests for the races SelfCheck's first run over ``src/``
+surfaced (and this change fixed): unguarded counter bumps in the worker
+pool, dirty metric/cache/intern-pool reads, and the store's
+flush-vs-query lock discipline.
+
+Each test hammers the fixed path from many threads and asserts the
+invariant the original code could violate.  They are deterministic
+passes for correct code; under the old code they were flaky by design.
+"""
+
+import threading
+
+from repro.core.frame import intern_frame, intern_pool_size
+from repro.engine.cache import LRUCache
+from repro.engine.parallel import WorkerPool
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+def hammer(worker, threads=8):
+    """Run ``worker(index)`` concurrently on a start barrier."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def wrapped(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [threading.Thread(target=wrapped, args=(i,))
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert errors == []
+
+
+class TestWorkerPoolCounters:
+    def test_inline_batches_counted_exactly(self):
+        pool = WorkerPool(max_workers=1)  # disabled: every batch inline
+        rounds = 200
+
+        def worker(_):
+            for _ in range(rounds):
+                pool.map(lambda x: x, [1])
+
+        hammer(worker)
+        assert pool.to_dict()["inlineBatches"] == 8 * rounds
+
+    def test_parallel_batches_counted_exactly(self):
+        pool = WorkerPool(max_workers=4)
+        big = list(range(64))  # above MIN_PARALLEL_ITEMS
+        rounds = 25
+
+        def worker(_):
+            for _ in range(rounds):
+                assert pool.map(lambda x: x + 1, big) \
+                    == [x + 1 for x in big]
+
+        hammer(worker, threads=4)
+        stats = pool.to_dict()
+        assert stats["parallelBatches"] == 4 * rounds
+        pool.shutdown()
+
+
+class TestMetricsUnderContention:
+    def test_counter_increments_are_not_lost(self):
+        counter = Counter("hits")
+        rounds = 2000
+
+        def worker(_):
+            for _ in range(rounds):
+                counter.inc()
+
+        hammer(worker)
+        assert counter.value == 8 * rounds
+
+    def test_histogram_mean_snapshot_is_consistent(self):
+        histogram = Histogram("latency")
+        stop = threading.Event()
+        seen_bad_mean = []
+
+        def reader():
+            while not stop.is_set():
+                mean = histogram.mean
+                # Every observation is 5.0, so any consistent
+                # (sum, count) snapshot yields exactly 5.0 (or 0.0
+                # before the first record).
+                if mean not in (0.0, 5.0):
+                    seen_bad_mean.append(mean)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            hammer(lambda _: [histogram.observe(5.0)
+                              for _ in range(2000)])
+        finally:
+            stop.set()
+            thread.join()
+        assert seen_bad_mean == []
+        assert histogram.count == 8 * 2000
+
+    def test_registry_get_during_concurrent_registration(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for i in range(300):
+                registry.counter("c.%d.%d" % (index, i)).inc()
+                assert registry.get("c.%d.%d" % (index, i)) is not None
+
+        hammer(worker)
+
+
+class TestStoreConcurrency:
+    def test_concurrent_ingest_query_and_stats(self, tmp_path):
+        from repro import ProfileBuilder
+        from repro.engine import AnalysisEngine
+        from repro.store import ProfileStore
+
+        def build(scale):
+            builder = ProfileBuilder(tool="test")
+            cpu = builder.metric("cpu", unit="nanoseconds")
+            builder.sample([("main", "a.c", 1), ("work", "a.c", 2)],
+                           {cpu: 100 * scale})
+            return builder.build()
+
+        store = ProfileStore(str(tmp_path / "store"),
+                             engine=AnalysisEngine(), fsync=False,
+                             flush_records=5)
+        try:
+            store.ingest(build(1), service="svc")
+
+            def worker(index):
+                # Writers keep flushing (flush_records=5) while readers
+                # query and take stats snapshots: the old code deadlocked
+                # on reentrant flush or tore the stats snapshot.
+                for i in range(10):
+                    store.ingest(build(index * 10 + i), service="svc")
+                    result = store.query("service=svc")
+                    assert result.count >= 1
+                    assert result.tree is not None
+                    snapshot = store.stats()
+                    assert snapshot["records"] >= 1
+
+            hammer(worker, threads=4)
+            assert store.query("service=svc").count == 41
+            assert store.verify() == []
+        finally:
+            store.close()
+
+
+class TestCacheAndInternPool:
+    def test_len_is_safe_during_concurrent_stores(self):
+        cache = LRUCache(capacity=64)
+        stop = threading.Event()
+        sizes = []
+
+        def reader():
+            while not stop.is_set():
+                sizes.append(len(cache))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            hammer(lambda index: [cache.store((index, i), i)
+                                  for i in range(2000)])
+        finally:
+            stop.set()
+            thread.join()
+        assert all(0 <= size <= 64 for size in sizes)
+        assert len(cache) <= 64
+
+    def test_intern_pool_size_during_concurrent_interning(self):
+        before = intern_pool_size()
+
+        def worker(index):
+            for i in range(200):
+                frame = intern_frame("fn_%d_%d" % (index, i), "f.py", i)
+                assert frame is intern_frame("fn_%d_%d" % (index, i),
+                                             "f.py", i)
+                assert intern_pool_size() >= before
+
+        hammer(worker)
+        assert intern_pool_size() >= before + 8 * 200

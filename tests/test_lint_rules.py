@@ -15,6 +15,8 @@ from repro.lint import (DEFAULT_CONFIG, LintConfig, Severity, all_rules,
                         sort_diagnostics, worst_severity)
 from repro.proto import pprof_pb
 
+import repro.sa  # noqa: F401 — registers the EV4xx "selfcheck" family
+
 METRICS = ["cycles", "instructions", "cache misses", "bytes"]
 
 
@@ -311,14 +313,25 @@ class TestConfigAndRegistry:
 
     def test_every_rule_has_summary_and_example(self):
         rules = all_rules()
-        assert len(rules) >= 24
+        assert len(rules) >= 33
         for rule in rules:
             assert rule.summary and rule.bad and rule.good
 
     def test_registry_families(self):
         assert {r.family for r in all_rules()} == {"formula", "callback",
-                                                   "profile"}
+                                                   "profile", "selfcheck"}
         assert get_rule("EV101").family == "formula"
+        assert get_rule("EV401").family == "selfcheck"
+
+    def test_family_prefix_aliases(self):
+        config = LintConfig.from_directives(["EV1xx=off"])
+        assert lint_formula("cycles / cyclez", metrics=METRICS,
+                            config=config) == []
+
+    def test_family_severity_override(self):
+        config = LintConfig.from_directives(["formula=hint"])
+        [diag] = lint_formula("cyclez", metrics=METRICS, config=config)
+        assert diag.severity is Severity.HINT
 
     def test_formula_rule_examples_trigger_their_own_rule(self):
         # The documented bad/good examples are executable documentation.

@@ -1,0 +1,199 @@
+"""Golden tests for the SelfCheck blocking pass (EV411, EV412)."""
+
+import textwrap
+
+from repro.sa import analyze_source, classify_blocking, is_hot_span
+
+
+def run(source, subject="repro/example.py"):
+    return analyze_source(textwrap.dedent(source), subject)
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class TestEV411BlockingUnderLock:
+    def test_sleep_under_lock(self):
+        diags = run("""\
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """)
+        assert [d.rule for d in diags] == ["EV411"]
+        assert "time.sleep" in diags[0].message
+        assert "self._lock" in diags[0].message
+
+    def test_open_under_lock(self):
+        diags = run("""\
+            import threading
+
+            class Writer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def dump(self, path, payload):
+                    with self._lock:
+                        with open(path, "w") as handle:
+                            handle.write(payload)
+            """)
+        assert "EV411" in rules_of(diags)
+
+    def test_fsync_under_lock(self):
+        diags = run("""\
+            import os
+            import threading
+
+            class Log:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def sync(self, fd):
+                    with self._lock:
+                        os.fsync(fd)
+            """)
+        assert "EV411" in rules_of(diags)
+
+    def test_pool_fanout_under_lock(self):
+        diags = run("""\
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self, pool, fn, items):
+                    with self._lock:
+                        return pool.map(fn, items)
+            """)
+        assert "EV411" in rules_of(diags)
+        assert "pool.map" in diags[0].message
+
+    def test_io_after_release_is_clean(self):
+        assert run("""\
+            import threading
+            import time
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait(self):
+                    with self._lock:
+                        delay = 0.1
+                    time.sleep(delay)
+            """) == []
+
+    def test_nested_function_releases_the_lexical_lock(self):
+        # A callable defined under the lock runs later, lock-free: its
+        # blocking calls are not "under the lock".
+        assert run("""\
+            import threading
+            import time
+
+            class Deferred:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def plan(self):
+                    with self._lock:
+                        def later():
+                            time.sleep(1.0)
+                        return later
+            """) == []
+
+
+class TestEV412BlockingInHotSpan:
+    def test_sleep_inside_tracer_span(self):
+        diags = run("""\
+            import time
+
+            def work(tracer):
+                with tracer.span("engine.work"):
+                    time.sleep(0.5)
+            """)
+        assert [d.rule for d in diags] == ["EV412"]
+        assert "time.sleep" in diags[0].message
+
+    def test_ev411_takes_precedence_over_ev412(self):
+        diags = run("""\
+            import threading
+            import time
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self, tracer):
+                    with tracer.span("engine.work"):
+                        with self._lock:
+                            time.sleep(0.5)
+            """)
+        assert [d.rule for d in diags] == ["EV411"]
+
+    def test_span_depth_resets_in_nested_function(self):
+        assert run("""\
+            import time
+
+            def schedule(tracer):
+                with tracer.span("engine.schedule"):
+                    def later():
+                        time.sleep(1.0)
+                    return later
+            """) == []
+
+    def test_non_tracer_span_is_not_hot(self):
+        assert run("""\
+            import time
+
+            def work(doc):
+                with doc.span("bold"):
+                    time.sleep(0.5)
+            """) == []
+
+    def test_plain_code_in_span_is_clean(self):
+        assert run("""\
+            def work(tracer, items):
+                with tracer.span("engine.work"):
+                    return sum(items)
+            """) == []
+
+
+class TestClassifiers:
+    def test_classify_blocking_labels(self):
+        import ast
+
+        def call_node(expr):
+            return ast.parse(expr, mode="eval").body
+
+        assert classify_blocking(call_node("open('x')")) == "open()"
+        assert (classify_blocking(call_node("time.sleep(1)"))
+                == "time.sleep()")
+        assert (classify_blocking(call_node("subprocess.run(cmd)"))
+                == "subprocess.run()")
+        assert classify_blocking(call_node("os.fsync(fd)")) == "os.fsync()"
+        assert (classify_blocking(call_node("pool.map(f, xs)"))
+                == "pool.map() (worker-pool fan-out)")
+        assert (classify_blocking(call_node("self.wal.append(rec)"))
+                == "self.wal.append()")
+        assert classify_blocking(call_node("math.sqrt(2)")) is None
+        assert classify_blocking(call_node("items.append(1)")) is None
+
+    def test_is_hot_span(self):
+        import ast
+
+        def expr(text):
+            return ast.parse(text, mode="eval").body
+
+        assert is_hot_span(expr("tracer.span('x')"))
+        assert is_hot_span(expr("self._tracer.span('x', tag=1)"))
+        assert not is_hot_span(expr("doc.span('x')"))
+        assert not is_hot_span(expr("tracer.begin('x')"))
+        assert not is_hot_span(expr("tracer.span"))

@@ -1,0 +1,424 @@
+"""Golden tests for the SelfCheck lockset pass (EV401-EV404).
+
+Each rule gets true positives *and* the false-positive traps that shaped
+the analyzer: ``__init__``-only writes, double-checked locking,
+thread-local and contextvar state, nested-function lock resets.
+"""
+
+import textwrap
+
+from repro.sa import analyze_source
+
+
+def run(source, subject="repro/example.py"):
+    return analyze_source(textwrap.dedent(source), subject)
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class TestEV401InconsistentGuarding:
+    def test_unguarded_read_of_guarded_field(self):
+        diags = run("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def drain(self):
+                    with self._lock:
+                        self._items.clear()
+
+                def first(self):
+                    return self._items[0]
+            """)
+        assert [d.rule for d in diags] == ["EV401"]
+        assert "Box.first" in diags[0].message
+        assert "self._items" in diags[0].message
+        assert "self._lock" in diags[0].message
+        assert diags[0].line == 17
+
+    def test_unguarded_write_flagged_too(self):
+        diags = run("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._value += 1
+
+                def clobber(self):
+                    self._value = 0
+            """)
+        assert rules_of(diags) == {"EV401"}
+        assert "writes" in diags[0].message
+
+    def test_init_only_field_is_configuration_not_shared_state(self):
+        assert run("""\
+            import threading
+
+            class Engine:
+                def __init__(self, workers):
+                    self._lock = threading.Lock()
+                    self.workers = workers
+                    self._cache = {}
+
+                def get(self, key):
+                    with self._lock:
+                        return self._cache.get(key), self.workers
+            """) == []
+
+    def test_double_checked_locking_is_exempt(self):
+        assert run("""\
+            import threading
+
+            class Lazy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._executor = None
+
+                def ensure(self):
+                    if self._executor is None:
+                        with self._lock:
+                            if self._executor is None:
+                                self._executor = object()
+                    return self._executor
+            """) == []
+
+    def test_module_level_double_checked_singleton_is_exempt(self):
+        assert run("""\
+            import threading
+
+            _lock = threading.Lock()
+            _registry = None
+
+            def get_registry():
+                global _registry
+                if _registry is None:
+                    with _lock:
+                        if _registry is None:
+                            _registry = object()
+                return _registry
+            """) == []
+
+    def test_module_global_mutated_without_lock_is_flagged(self):
+        diags = run("""\
+            import threading
+
+            _lock = threading.Lock()
+            _cache = {}
+
+            def put(key, value):
+                with _lock:
+                    _cache[key] = value
+
+            def drop(key):
+                with _lock:
+                    _cache.pop(key, None)
+
+            def peek(key):
+                return _cache.get(key)
+            """)
+        assert rules_of(diags) == {"EV401"}
+        assert "_cache" in diags[0].message
+
+    def test_thread_local_state_is_confined(self):
+        assert run("""\
+            import threading
+
+            class PerThread:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._slot = threading.local()
+                    self._shared = []
+
+                def work(self, x):
+                    self._slot.value = x
+                    with self._lock:
+                        self._shared.append(x)
+            """) == []
+
+    def test_contextvar_state_is_confined(self):
+        assert run("""\
+            import contextvars
+            import threading
+
+            class Tracer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._current = contextvars.ContextVar("cur")
+                    self._ring = []
+
+                def push(self, span):
+                    self._current.set(span)
+                    with self._lock:
+                        self._ring.append(span)
+            """) == []
+
+    def test_nested_function_does_not_inherit_the_lock(self):
+        diags = run("""\
+            import threading
+
+            class Batcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._out = []
+
+                def go(self, pool, items):
+                    with self._lock:
+                        self._out.clear()
+                        def task(item):
+                            self._out.append(item)
+                        pool.map(task, items)
+            """)
+        # The append inside `task` runs later, without the lock: the
+        # task-callable pass flags the closed-over mutation, and the
+        # blocking pass flags fanning out while still holding the lock.
+        assert rules_of(diags) == {"EV404", "EV411"}
+
+    def test_lock_object_itself_is_never_a_field_finding(self):
+        diags = run("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def lock_object(self):
+                    return self._lock
+            """)
+        assert diags == []
+
+    def test_unrelated_lock_does_not_become_the_guard(self):
+        # One incidental read under some other lock must not turn that
+        # lock into the field's inferred guard.
+        diags = run("""\
+            import threading
+
+            class TwoLocks:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._n = 0
+
+                def write(self):
+                    self._n = 1
+
+                def read(self):
+                    with self._b:
+                        return self._n
+            """)
+        assert diags == []
+
+
+class TestEV402ReadModifyWrite:
+    def test_augassign_outside_any_lock(self):
+        diags = run("""\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def hit(self):
+                    self.count += 1
+            """)
+        assert [d.rule for d in diags] == ["EV402"]
+        assert "self.count" in diags[0].message
+
+    def test_spelled_out_rmw_is_flagged(self):
+        diags = run("""\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def hit(self):
+                    self.count = self.count + 1
+            """)
+        assert "EV402" in rules_of(diags)
+
+    def test_rmw_under_lock_is_clean(self):
+        assert run("""\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def hit(self):
+                    with self._lock:
+                        self.count += 1
+            """) == []
+
+    def test_no_lock_in_scope_means_no_finding(self):
+        # EV402 needs a lock-owning scope: a plain single-threaded class
+        # with counters is not flagged.
+        assert run("""\
+            class Stats:
+                def __init__(self):
+                    self.count = 0
+
+                def hit(self):
+                    self.count += 1
+            """) == []
+
+    def test_guarded_field_reports_ev401_not_ev402(self):
+        diags = run("""\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def hit(self):
+                    with self._lock:
+                        self.count += 1
+
+                def sneak(self):
+                    self.count += 1
+            """)
+        assert [d.rule for d in diags] == ["EV401"]
+
+
+class TestEV403CheckThenAct:
+    def test_naive_lazy_init(self):
+        diags = run("""\
+            import threading
+
+            class Conn:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._conn = None
+
+                def get(self):
+                    if self._conn is None:
+                        self._conn = object()
+                    return self._conn
+            """)
+        assert "EV403" in rules_of(diags)
+        assert "Conn.get" in [d for d in diags
+                              if d.rule == "EV403"][0].message
+
+    def test_check_then_act_under_lock_is_clean(self):
+        assert run("""\
+            import threading
+
+            class Conn:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._conn = None
+
+                def get(self):
+                    with self._lock:
+                        if self._conn is None:
+                            self._conn = object()
+                        return self._conn
+            """) == []
+
+    def test_double_checked_locking_not_flagged(self):
+        assert run("""\
+            import threading
+
+            class Conn:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._conn = None
+
+                def get(self):
+                    if self._conn is None:
+                        with self._lock:
+                            if self._conn is None:
+                                self._conn = object()
+                    return self._conn
+            """) == []
+
+
+class TestEV404TaskCallables:
+    def test_closure_mutation_from_pool_map(self):
+        diags = run("""\
+            def run_all(pool, items):
+                results = []
+                def work(item):
+                    results.append(item * 2)
+                pool.map(work, items)
+                return results
+            """)
+        assert [d.rule for d in diags] == ["EV404"]
+        assert "'work'" in diags[0].message
+        assert "'results'" in diags[0].message
+
+    def test_lambda_passed_to_executor_submit(self):
+        diags = run("""\
+            def run_all(executor, items):
+                seen = {}
+                for item in items:
+                    executor.submit(lambda: seen.update({item: True}))
+                return seen
+            """)
+        assert "EV404" in rules_of(diags)
+
+    def test_thread_target_mutating_outcome_dict(self):
+        diags = run("""\
+            import threading
+
+            def watch(cmd):
+                outcome = {}
+                def run():
+                    outcome["rc"] = cmd()
+                worker = threading.Thread(target=run)
+                worker.start()
+                worker.join()
+                return outcome
+            """)
+        assert "EV404" in rules_of(diags)
+
+    def test_pure_task_is_clean(self):
+        assert run("""\
+            def run_all(pool, items):
+                def work(item):
+                    local = item * 2
+                    return local
+                return pool.map(work, items)
+            """) == []
+
+    def test_mutating_the_item_argument_is_the_tasks_own_business(self):
+        # Each task owns its item; per-item mutation is not shared state.
+        assert run("""\
+            def decorate(pool, nodes):
+                def work(node):
+                    node.seen = True
+                    return node
+                return pool.map(work, nodes)
+            """) == []
+
+    def test_non_pool_receiver_is_ignored(self):
+        assert run("""\
+            def apply(mapper, items):
+                out = []
+                def work(item):
+                    out.append(item)
+                mapper.map(work, items)
+                return out
+            """) == []

@@ -1,0 +1,65 @@
+"""The ``view/selfcheck`` PVP method: EV4xx findings as IDE squiggles."""
+
+import textwrap
+
+from repro.ide.mock_ide import MockIDE
+from repro.ide.protocol import IDE_PUBLISH_DIAGNOSTICS
+
+RACY = textwrap.dedent("""\
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def hit(self):
+            self.count += 1
+    """)
+
+
+class TestViewSelfcheck:
+    def test_buffer_findings_are_published(self):
+        ide = MockIDE()
+        result = ide.request("view/selfcheck", source=RACY,
+                             subject="repro/obs/stats.py")
+        rules = {d["ruleId"] for d in result["diagnostics"]}
+        assert rules == {"EV402"}
+        assert result["counts"]["warning"] == 1
+        # Same findings pushed to the editor as squiggles.
+        assert {d["ruleId"] for d in ide.state.diagnostics} == rules
+        assert len(ide.actions_of(IDE_PUBLISH_DIAGNOSTICS)) == 1
+
+    def test_clean_buffer_clears_squiggles(self):
+        ide = MockIDE()
+        ide.request("view/selfcheck", source=RACY, subject="repro/x.py")
+        assert ide.state.diagnostics
+        ide.request("view/selfcheck", source="x = 1\n",
+                    subject="repro/x.py")
+        assert ide.state.diagnostics == []
+
+    def test_path_sweep(self, tmp_path):
+        target = tmp_path / "repro"
+        target.mkdir()
+        (target / "racy.py").write_text(RACY)
+        ide = MockIDE()
+        result = ide.request("view/selfcheck", paths=[str(target)])
+        [diag] = result["diagnostics"]
+        assert diag["ruleId"] == "EV402"
+        assert diag["subject"] == "repro/racy.py"
+
+    def test_disable_directives_respected(self):
+        ide = MockIDE()
+        result = ide.request("view/selfcheck", source=RACY,
+                             subject="repro/x.py",
+                             disable=["EV4xx=off"])
+        assert result["diagnostics"] == []
+
+    def test_syntax_error_buffer_reports_ev400(self):
+        ide = MockIDE()
+        result = ide.request("view/selfcheck",
+                             source="def broken( return\n",
+                             subject="repro/x.py")
+        [diag] = result["diagnostics"]
+        assert diag["ruleId"] == "EV400"
+        assert diag["severity"] == 1

@@ -1,0 +1,158 @@
+"""Golden tests for the SelfCheck resource pass (EV421, EV422)."""
+
+import textwrap
+
+from repro.sa import analyze_source, in_persistence_scope
+
+
+def run(source, subject="repro/store/example.py"):
+    return analyze_source(textwrap.dedent(source), subject)
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class TestEV421TruncatingOpenInPersistenceScope:
+    def test_w_mode_open_in_store_module(self):
+        diags = run("""\
+            import json
+
+            def save_manifest(path, payload):
+                with open(path, "w") as handle:
+                    json.dump(payload, handle)
+            """)
+        assert "EV421" in rules_of(diags)
+        assert "atomicio" in [d for d in diags
+                              if d.rule == "EV421"][0].message
+
+    def test_wb_mode_flagged_too(self):
+        diags = run("""\
+            def save(path, blob):
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+            """)
+        assert "EV421" in rules_of(diags)
+
+    def test_read_mode_is_fine(self):
+        assert run("""\
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """) == []
+
+    def test_append_mode_is_fine(self):
+        # Appending does not clobber existing durable bytes.
+        assert run("""\
+            def log(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+            """) == []
+
+    def test_outside_persistence_scope_not_flagged(self):
+        diags = analyze_source(textwrap.dedent("""\
+            def save_report(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """), "repro/view/example.py")
+        assert "EV421" not in rules_of(diags)
+
+    def test_serializer_module_name_pulls_any_package_into_scope(self):
+        diags = analyze_source(textwrap.dedent("""\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """), "repro/view/serializer.py")
+        assert "EV421" in rules_of(diags)
+
+    def test_atomicio_module_is_exempt(self):
+        # atomicio is the sanctioned implementation: its own truncating
+        # open (of the temp file) is the mechanism, not a violation.
+        assert analyze_source(textwrap.dedent("""\
+            import os
+
+            def atomic_write_text(path, text):
+                tmp = path + ".tmp"
+                with open(tmp, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            """), "repro/core/atomicio.py") == []
+
+    def test_in_persistence_scope_helper(self):
+        assert in_persistence_scope("repro/store/wal.py")
+        assert in_persistence_scope("repro/bench/codec.py")
+        assert not in_persistence_scope("repro/view/flame.py")
+        assert not in_persistence_scope("repro/core/atomicio.py")
+
+
+class TestEV422UnclosedHandle:
+    def test_bare_open_assigned_and_leaked(self):
+        diags = run("""\
+            def warm(path, cache):
+                handle = open(path, "rb")
+                cache[path] = handle.read(16)
+            """)
+        assert "EV422" in rules_of(diags)
+        assert "never closed" in [d for d in diags
+                                  if d.rule == "EV422"][0].message
+
+    def test_unassigned_open_expression_leaks(self):
+        diags = run("""\
+            import json
+
+            def read_config(path):
+                return json.load(open(path))
+            """)
+        assert "EV422" in rules_of(diags)
+
+    def test_with_statement_is_managed(self):
+        assert run("""\
+            def peek(path):
+                with open(path, "rb") as handle:
+                    return handle.read(16)
+            """) == []
+
+    def test_explicit_close_is_accepted(self):
+        assert run("""\
+            def peek(path):
+                handle = open(path, "rb")
+                data = handle.read(16)
+                handle.close()
+                return data
+            """) == []
+
+    def test_returned_handle_is_the_callers_problem(self):
+        assert run("""\
+            def acquire(path):
+                handle = open(path, "rb")
+                return handle
+            """) == []
+
+    def test_attribute_assignment_is_long_lived_state(self):
+        # self._handle = open(...) is an owned resource with its own
+        # close path (e.g. WriteAheadLog), not a local leak.
+        assert run("""\
+            class Log:
+                def _reopen(self, path):
+                    self._handle = open(path, "ab")
+            """) == []
+
+    def test_later_with_block_manages_the_handle(self):
+        assert run("""\
+            def copy(src):
+                handle = open(src, "rb")
+                with handle:
+                    return handle.read()
+            """) == []
+
+    def test_nested_function_opens_are_scored_separately(self):
+        diags = run("""\
+            def outer(path, sink):
+                def inner():
+                    handle = open(path, "rb")
+                    sink.feed(handle.read(1))
+                return inner
+            """)
+        findings = [d for d in diags if d.rule == "EV422"]
+        assert len(findings) == 1
+        assert "inner" in findings[0].message

@@ -1,0 +1,269 @@
+"""SelfCheck runner, baseline, and CLI contract tests.
+
+Covers subject normalization, the file walker, EV400, the baseline
+waiver lifecycle (justification required, carry-over, staleness), the
+``easyview selfcheck`` exit-code contract (0/1/2), ``--json`` output,
+and the EV4xx lint-directive aliases.
+"""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintConfig, Severity
+from repro.sa import (
+    Baseline,
+    BaselineError,
+    UNREVIEWED,
+    Waiver,
+    analyze_source,
+    iter_python_files,
+    normalize_subject,
+    run_selfcheck,
+)
+
+RACY = textwrap.dedent("""\
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def hit(self):
+            self.count += 1
+    """)
+
+CLEAN = textwrap.dedent("""\
+    import threading
+
+    class Stats:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def hit(self):
+            with self._lock:
+                self.count += 1
+    """)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A mini source tree with one racy module, plus a baseline path."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "stats.py").write_text(RACY)
+    return {"root": str(tmp_path / "src"),
+            "module": pkg / "stats.py",
+            "baseline": str(tmp_path / "baseline.json")}
+
+
+class TestRunner:
+    def test_normalize_subject(self):
+        assert normalize_subject("src/repro/store/wal.py") \
+            == "repro/store/wal.py"
+        assert normalize_subject("/abs/repo/src/repro/cli.py") \
+            == "repro/cli.py"
+        assert normalize_subject("scripts/tool.py") == "scripts/tool.py"
+
+    def test_iter_python_files_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "note.txt").write_text("not python\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / ".git").mkdir()
+        (tmp_path / ".git" / "hook.py").write_text("")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        files = iter_python_files([str(tmp_path)])
+        names = [os.path.relpath(f, str(tmp_path)) for f in files]
+        assert names == ["a.py", os.path.join("sub", "b.py")]
+
+    def test_single_file_path_is_accepted(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("z = 3\n")
+        assert iter_python_files([str(target)]) == [str(target)]
+
+    def test_ev400_on_syntax_error(self):
+        diags = analyze_source("def broken( return 1\n", "repro/bad.py")
+        assert [d.rule for d in diags] == ["EV400"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_run_selfcheck_counts(self, tree):
+        result = run_selfcheck([tree["root"]], baseline=Baseline())
+        assert result.files == 1
+        assert [d.rule for d in result.new] == ["EV402"]
+        assert result.new[0].subject == "repro/stats.py"
+        assert not result.clean
+
+    def test_result_to_dict_shape(self, tree):
+        result = run_selfcheck([tree["root"]], baseline=Baseline())
+        payload = result.to_dict()
+        assert payload["tool"] == "easyview-selfcheck"
+        assert payload["files"] == 1
+        assert payload["clean"] is False
+        assert len(payload["findings"]) == 1
+        assert [d["ruleId"] for d in payload["new"]] == ["EV402"]
+        assert payload["waived"] == 0
+        assert payload["staleWaivers"] == []
+
+
+class TestBaseline:
+    def waiver_for(self, tree):
+        result = run_selfcheck([tree["root"]], baseline=Baseline())
+        diag = result.new[0]
+        return Waiver(rule=diag.rule, subject=diag.subject,
+                      message=diag.message,
+                      justification="counter is approximate by design")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert len(baseline) == 0
+
+    def test_waived_finding_is_not_new(self, tree):
+        baseline = Baseline([self.waiver_for(tree)])
+        result = run_selfcheck([tree["root"]], baseline=baseline)
+        assert result.clean
+        assert result.new == [] and len(result.waived) == 1
+        assert result.stale == []
+
+    def test_stale_waiver_detected_after_fix(self, tree):
+        baseline = Baseline([self.waiver_for(tree)])
+        tree["module"].write_text(CLEAN)
+        result = run_selfcheck([tree["root"]], baseline=baseline)
+        assert result.clean  # no findings...
+        assert len(result.stale) == 1  # ...but the waiver is now dead
+
+    def test_save_load_roundtrip(self, tree):
+        baseline = Baseline([self.waiver_for(tree)])
+        baseline.save(tree["baseline"])
+        loaded = Baseline.load(tree["baseline"])
+        assert [w.key for w in loaded.waivers] \
+            == [w.key for w in baseline.waivers]
+        assert loaded.waivers[0].justification \
+            == "counter is approximate by design"
+
+    def test_empty_justification_rejected_at_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"waivers": [
+            {"rule": "EV402", "subject": "repro/x.py",
+             "message": "m", "justification": "   "}]}))
+        with pytest.raises(BaselineError, match="empty"):
+            Baseline.load(str(path))
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BaselineError):
+            Baseline.load(str(path))
+
+    def test_from_findings_preserves_justifications(self, tree):
+        old = Baseline([self.waiver_for(tree)])
+        result = run_selfcheck([tree["root"]], baseline=Baseline())
+        updated = Baseline.from_findings(result.diagnostics, previous=old)
+        assert updated.waivers[0].justification \
+            == "counter is approximate by design"
+
+    def test_from_findings_stamps_new_entries_unreviewed(self, tree):
+        result = run_selfcheck([tree["root"]], baseline=Baseline())
+        fresh = Baseline.from_findings(result.diagnostics)
+        assert [w.justification for w in fresh.waivers] == [UNREVIEWED]
+
+
+class TestCLI:
+    def test_new_finding_exits_1(self, tree, capsys):
+        rc = main(["selfcheck", tree["root"],
+                   "--baseline", tree["baseline"]])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "EV402" in out
+        assert "1 new" in out
+
+    def test_update_baseline_then_clean_exits_0(self, tree, capsys):
+        assert main(["selfcheck", tree["root"], "--baseline",
+                     tree["baseline"], "--update-baseline"]) == 0
+        assert UNREVIEWED in open(tree["baseline"]).read()
+        assert main(["selfcheck", tree["root"],
+                     "--baseline", tree["baseline"]]) == 0
+        out = capsys.readouterr().out
+        assert "0 new, 1 waived" in out
+
+    def test_stale_waiver_exits_1(self, tree, capsys):
+        assert main(["selfcheck", tree["root"], "--baseline",
+                     tree["baseline"], "--update-baseline"]) == 0
+        tree["module"].write_text(CLEAN)
+        rc = main(["selfcheck", tree["root"],
+                   "--baseline", tree["baseline"]])
+        assert rc == 1
+        assert "stale waiver" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_2(self, tree, capsys):
+        with open(tree["baseline"], "w") as handle:
+            handle.write("not json {")
+        rc = main(["selfcheck", tree["root"],
+                   "--baseline", tree["baseline"]])
+        assert rc == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_json_output(self, tree, capsys):
+        rc = main(["selfcheck", tree["root"],
+                   "--baseline", tree["baseline"], "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "easyview-selfcheck"
+        assert len(payload["new"]) == 1
+        assert payload["findings"][0]["ruleId"] == "EV402"
+
+    def test_disable_silences_the_rule(self, tree):
+        assert main(["selfcheck", tree["root"], "--baseline",
+                     tree["baseline"], "--disable", "EV402"]) == 0
+
+
+class TestDirectives:
+    def test_ev4xx_prefix_alias_disables_the_family(self):
+        config = LintConfig.from_directives(["EV4xx=off"])
+        assert analyze_source(RACY, "repro/stats.py", config) == []
+
+    def test_family_name_disables_too(self):
+        config = LintConfig.from_directives(["selfcheck=off"])
+        assert analyze_source(RACY, "repro/stats.py", config) == []
+
+    def test_family_severity_releveling(self):
+        config = LintConfig.from_directives(["selfcheck=hint"])
+        diags = analyze_source(RACY, "repro/stats.py", config)
+        assert [d.severity for d in diags] == [Severity.HINT]
+
+    def test_single_rule_disable_leaves_siblings_alone(self):
+        config = LintConfig.from_directives(["EV402=off"])
+        assert analyze_source(RACY, "repro/stats.py", config) == []
+        both = RACY + textwrap.dedent("""\
+
+        def leak(path, sink):
+            handle = open(path, "rb")
+            sink.feed(handle.read(1))
+        """)
+        diags = analyze_source(both, "repro/store/stats.py", config)
+        assert {d.rule for d in diags} == {"EV422"}
+
+
+class TestRuleExamples:
+    """Every EV4xx rule's registered bad/good snippets are executable
+    evidence: the bad one triggers the rule, the good one is clean."""
+
+    def test_bad_examples_trigger_their_rule(self):
+        from repro.lint.registry import all_rules
+        for rule in all_rules("selfcheck"):
+            diags = analyze_source(rule.bad,
+                                   "repro/store/_example_.py")
+            assert rule.id in {d.rule for d in diags}, rule.id
+
+    def test_good_examples_are_clean(self):
+        from repro.lint.registry import all_rules
+        for rule in all_rules("selfcheck"):
+            diags = analyze_source(rule.good,
+                                   "repro/store/_example_.py")
+            assert rule.id not in {d.rule for d in diags}, rule.id

@@ -1,0 +1,61 @@
+"""SelfCheck applied to EasyView's own source (``-m selfcheck_self``).
+
+The dogfooding gate: running the EV4xx analyzer over ``src/`` must
+produce exactly the findings recorded (and justified) in
+``SELFCHECK_BASELINE.json`` — nothing new, nothing stale.  This is the
+same check CI runs via ``easyview selfcheck``; having it in the suite
+means a concurrency regression fails ``pytest`` too.  Run just this
+sweep with::
+
+    pytest -m selfcheck_self
+"""
+
+import os
+
+import pytest
+
+from repro.sa import Baseline, UNREVIEWED, run_selfcheck
+
+pytestmark = pytest.mark.selfcheck_self
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "SELFCHECK_BASELINE.json")
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_selfcheck([SRC], baseline=Baseline.load(BASELINE))
+
+
+class TestSelfCheckSelf:
+    def test_src_has_no_findings_beyond_the_baseline(self, result):
+        assert result.new == [], (
+            "new SelfCheck findings — fix them or waive them with a "
+            "justification in SELFCHECK_BASELINE.json:\n%s"
+            % "\n".join("  %s %s:%d %s" % (d.rule, d.subject, d.line,
+                                           d.message)
+                        for d in result.new))
+
+    def test_no_stale_waivers(self, result):
+        assert result.stale == [], (
+            "stale waivers — the code they excused has changed; drop "
+            "them from SELFCHECK_BASELINE.json:\n%s"
+            % "\n".join("  %s %s: %s" % (w.rule, w.subject, w.message)
+                        for w in result.stale))
+
+    def test_analyzer_actually_swept_the_tree(self, result):
+        # Guard against a silent no-op (wrong path, empty walk).
+        assert result.files > 100
+        assert len(result.waived) == len(result.diagnostics)
+
+    def test_every_waiver_is_justified_for_real(self):
+        baseline = Baseline.load(BASELINE)
+        assert baseline.waivers, "baseline unexpectedly empty"
+        for waiver in baseline.waivers:
+            assert waiver.justification != UNREVIEWED, (
+                "%s in %s still carries the UNREVIEWED stamp"
+                % (waiver.rule, waiver.subject))
+
+    def test_no_parse_errors_in_tree(self, result):
+        assert not any(d.rule == "EV400" for d in result.diagnostics)
