@@ -25,9 +25,13 @@ def compute_inclusive(profile: Profile,
         indices: List[int] = list(range(len(profile.schema)))
     else:
         indices = list(metric_indices)
-    # Cached-result fast path: the root's cache covers every requested
-    # column iff a previous pass computed them (mutations must go through
-    # CCT.clear_inclusive_cache, which empties the caches).
+    cct = profile.cct
+    if cct._inclusive_stamp != cct._version:
+        # The tree was mutated since the caches were last filled: every
+        # cached value is suspect, so drop them all before recomputing.
+        cct.clear_inclusive_cache()
+    # Cached-result fast path: the stamp matches and the root's cache
+    # covers every requested column iff a previous pass computed them.
     root_cache = profile.root.inclusive
     if root_cache and all(index in root_cache for index in indices):
         return
@@ -45,7 +49,8 @@ def compute_inclusive(profile: Profile,
 def inclusive_value(profile: Profile, node: CCTNode, metric_name: str) -> float:
     """Inclusive value of one metric at one node, computing caches lazily."""
     index = profile.schema.index_of(metric_name)
-    if index not in node.inclusive:
+    cct = profile.cct
+    if cct._inclusive_stamp != cct._version or index not in node.inclusive:
         compute_inclusive(profile, [index])
     return node.inclusive.get(index, 0.0)
 

@@ -71,7 +71,7 @@ def _copy_pruned(src: ViewNode, dst: ViewNode, metric_index: int,
         s, d = stack.pop()
         d.exclusive = dict(s.exclusive)
         d.inclusive = dict(s.inclusive)
-        d.sources = list(s.sources)
+        d.sources = s.sources.copy()
         d.tag = s.tag
         dropped: dict = {}
         for child in s.children.values():
@@ -130,7 +130,7 @@ def _copy_truncated(src: ViewNode, dst: ViewNode, max_depth: int) -> None:
         s, d, remaining = stack.pop()
         d.exclusive = dict(s.exclusive)
         d.inclusive = dict(s.inclusive)
-        d.sources = list(s.sources)
+        d.sources = s.sources.copy()
         d.tag = s.tag
         if remaining == 0:
             # Fold the entire remaining subtree into this node's exclusive

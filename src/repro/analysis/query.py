@@ -95,7 +95,7 @@ def filter_tree(tree: ViewTree, predicate: Predicate) -> ViewTree:
         src, dst = stack.pop()
         dst.inclusive = dict(src.inclusive)
         dst.exclusive = dict(src.exclusive)
-        dst.sources = list(src.sources)
+        dst.sources = src.sources.copy()
         dst.tag = src.tag
         dst.baseline = dict(src.baseline)
         dst.histogram = {k: list(v) for k, v in src.histogram.items()}

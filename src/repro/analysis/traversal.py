@@ -37,13 +37,33 @@ class Order(enum.Enum):
     BFS = "bfs"
 
 
+def _ordered_children(node: NodeT) -> List[NodeT]:
+    """A node's children in its deterministic display order.
+
+    CCT nodes sort by frame identity, view nodes by descending metric —
+    each class's ``sorted_children`` promise.  Nodes without the method
+    fall back to insertion order.
+    """
+    sorter = getattr(node, "sorted_children", None)
+    if sorter is not None:
+        return sorter()
+    return list(node.children.values())  # type: ignore[attr-defined]
+
+
 def preorder(root: NodeT) -> Iterator[NodeT]:
-    """Depth-first pre-order (parents before children)."""
+    """Depth-first pre-order (parents before children).
+
+    Siblings are visited in ``sorted_children`` order, so two trees built
+    from the same samples in different arrival order traverse identically.
+    """
     stack: List[NodeT] = [root]
     while stack:
         node = stack.pop()
         yield node
-        stack.extend(node.children.values())  # type: ignore[attr-defined]
+        children = _ordered_children(node)
+        if children:
+            children.reverse()
+            stack.extend(children)
 
 
 def postorder(root: NodeT) -> Iterator[NodeT]:
@@ -51,6 +71,8 @@ def postorder(root: NodeT) -> Iterator[NodeT]:
 
     Profiles routinely carry call paths hundreds of frames deep (recursive
     workloads), so recursion-based walks would hit Python's stack limit.
+    Siblings complete in ``sorted_children`` order, mirroring
+    :func:`preorder`.
     """
     stack: List[tuple] = [(root, False)]
     while stack:
@@ -59,20 +81,21 @@ def postorder(root: NodeT) -> Iterator[NodeT]:
             yield node
         else:
             stack.append((node, True))
-            stack.extend(
-                (child, False)
-                for child in node.children.values())  # type: ignore[attr-defined]
+            children = _ordered_children(node)
+            children.reverse()
+            stack.extend((child, False) for child in children)
 
 
 def bfs(root: NodeT) -> Iterator[NodeT]:
-    """Breadth-first order (level by level)."""
+    """Breadth-first order (level by level), siblings in
+    ``sorted_children`` order within each level."""
     queue: List[NodeT] = [root]
     index = 0
     while index < len(queue):
         node = queue[index]
         index += 1
         yield node
-        queue.extend(node.children.values())  # type: ignore[attr-defined]
+        queue.extend(_ordered_children(node))
 
 
 _ORDERS = {Order.PRE: preorder, Order.POST: postorder, Order.BFS: bfs}
@@ -105,7 +128,10 @@ def visit(root: NodeT,
                 return visited
             if action is VisitAction.SKIP:
                 continue
-            stack.extend(node.children.values())  # type: ignore[attr-defined]
+            children = _ordered_children(node)
+            if children:
+                children.reverse()
+                stack.extend(children)
         return visited
 
     for node in iterate(root, order):

@@ -11,7 +11,7 @@ highlights over prior diff tools that only handle top-down flame graphs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.cct import CCTNode
 from ..core.frame import Frame, FrameKind, ROOT_FRAME
@@ -31,6 +31,113 @@ def line_merge_key(frame: Frame) -> MergeKey:
     return (frame.name, frame.file, frame.line, frame.module)
 
 
+class SourceList:
+    """The CCT nodes that contributed to a view node, resolved lazily.
+
+    Behaves like the plain list it replaces, but can additionally hold
+    *lazy parts* — ``(resolver, ids)`` pairs of columnar node ids plus a
+    callable that materializes them into :class:`CCTNode` objects.  The
+    columnar transforms hand out thousands of these without touching a
+    single object node; only consumers that actually need code links
+    (annotations, session detail panes) pay for materialization.
+
+    Length and truthiness never force resolution, so "does this view node
+    exist yet" checks in the merge loops stay free.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, items: Optional[Iterable[CCTNode]] = None) -> None:
+        #: Ordered parts: each one either a list of nodes or a lazy
+        #: ``(resolver, payload, count)`` triple — ``resolver(payload)``
+        #: yields ``count`` materialized nodes.
+        self._parts: List[object] = []
+        if items:
+            self._parts.append(list(items))
+
+    @classmethod
+    def lazy(cls, resolver: Callable[[object], List[CCTNode]],
+             payload: object, count: int) -> "SourceList":
+        """A deferred source list, materialized on first iteration."""
+        instance = cls()
+        if count:
+            instance._parts.append((resolver, payload, count))
+        return instance
+
+    def _force(self) -> List[CCTNode]:
+        parts = self._parts
+        if len(parts) == 1 and type(parts[0]) is list:
+            return parts[0]
+        items: List[CCTNode] = []
+        for part in parts:
+            if type(part) is list:
+                items.extend(part)
+            else:
+                items.extend(part[0](part[1]))
+        self._parts = [items] if items else []
+        return items
+
+    # -- list protocol ---------------------------------------------------
+
+    def append(self, node: CCTNode) -> None:
+        parts = self._parts
+        if parts and type(parts[-1]) is list:
+            parts[-1].append(node)
+        else:
+            parts.append([node])
+
+    def extend(self, items) -> None:
+        if isinstance(items, SourceList):
+            # Copy list parts (list.extend semantics: the receiving list
+            # must not alias the source); lazy parts are immutable pairs
+            # and can be shared.
+            for part in items._parts:
+                if type(part) is list:
+                    if part:
+                        self._parts.append(list(part))
+                else:
+                    self._parts.append(part)
+        else:
+            items = list(items)
+            if items:
+                self._parts.append(items)
+
+    def copy(self) -> "SourceList":
+        duplicate = SourceList()
+        duplicate._parts = [list(part) if type(part) is list else part
+                            for part in self._parts]
+        return duplicate
+
+    def __iter__(self) -> Iterator[CCTNode]:
+        return iter(self._force())
+
+    def __len__(self) -> int:
+        return sum(len(part) if type(part) is list else part[2]
+                   for part in self._parts)
+
+    def __bool__(self) -> bool:
+        return bool(self._parts)
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SourceList):
+            return self._force() == other._force()
+        if isinstance(other, list):
+            return self._force() == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return "SourceList(%r)" % (self._force(),)
+
+
 class ViewNode:
     """One node of a view tree."""
 
@@ -45,7 +152,7 @@ class ViewNode:
         self.inclusive: Dict[int, float] = {}
         self.exclusive: Dict[int, float] = {}
         #: CCT nodes that contributed to this view node (for code links).
-        self.sources: List[CCTNode] = []
+        self.sources: SourceList = SourceList()
         #: Differential tag: one of "A", "D", "+", "-", "=" (None otherwise).
         self.tag: Optional[str] = None
         #: In a differential tree, the first profile's inclusive values.

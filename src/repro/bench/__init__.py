@@ -1,3 +1,4 @@
 """Reusable benchmark harnesses (shared by ``benchmarks/`` and the CLI)."""
 
 from .codec import run_codec_bench, write_report  # noqa: F401
+from .cct import run_cct_bench  # noqa: F401

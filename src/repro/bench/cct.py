@@ -1,0 +1,240 @@
+"""Columnar CCT benchmark: struct-of-arrays core vs the object tree.
+
+One harness, two front ends: ``benchmarks/test_cct_columnar.py`` runs it
+under pytest and CI, and ``easyview bench cct`` runs it from the command
+line.  Both emit the same ``BENCH_cct.json`` report.
+
+For each corpus tier the harness measures the cold profile open (raw
+pprof bytes to a queryable CCT) through the columnar fast path
+(:func:`repro.converters.pprof.parse`) against the per-node object path
+(:func:`~repro.converters.pprof.parse_object`), with a per-phase
+breakdown of the columnar open (wire decode vs CCT build).  It also
+measures digest and top-down view construction on both representations
+and raw traversal throughput over the columnar kernels.
+
+Every run gates on correctness first: the two representations must
+produce equal profile digests, structurally identical materialized trees
+(child order included), and equal top-down view trees, or
+:class:`OracleMismatch` is raised — the benchmark refuses to report
+numbers for a fast path that drifted.
+
+The documented target is columnar cold open >= 3x the object path on the
+large tier (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.transform import top_down
+from ..analysis.diff import diff_profiles
+from ..analysis.aggregate import aggregate_profiles
+from ..core.atomicio import atomic_write_text
+from ..core.cct_columnar import ColumnarCCT, numpy_available
+from ..core.digest import profile_digest, viewtree_digest
+from ..profilers.corpus import generate_bytes, tier
+
+#: Tier sets: quick keeps CI under a few seconds, full adds the tier the
+#: cold-open target is defined on.
+QUICK_TIERS = ("small", "medium")
+FULL_TIERS = ("small", "medium", "large")
+
+#: Documented cold-open target on the large tier (columnar vs object).
+COLD_OPEN_TARGET_SPEEDUP = 3.0
+
+DEFAULT_REPORT = "BENCH_cct.json"
+
+
+class OracleMismatch(AssertionError):
+    """The columnar representation disagreed with the object tree."""
+
+
+def _interleaved_best(fns: Dict[str, object],
+                      repeats: int) -> Dict[str, float]:
+    """Best-of-N wall time per function, repetitions interleaved.
+
+    Interleaving spreads machine-load noise evenly across the competing
+    implementations instead of letting a load spike land entirely on
+    whichever ran last, so the min/min speedup ratios stay comparable.
+    """
+    best = {name: float("inf") for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < best[name]:
+                best[name] = elapsed
+    return best
+
+
+def _assert_trees_equal(name: str, a, b) -> None:
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x.frame != y.frame:
+            raise OracleMismatch(
+                "tier %r: frame mismatch (%r vs %r)"
+                % (name, x.frame, y.frame))
+        if x.metrics != y.metrics:
+            raise OracleMismatch(
+                "tier %r: metric mismatch at %s" % (name, x.frame.label()))
+        if list(x.children) != list(y.children):
+            raise OracleMismatch(
+                "tier %r: child order mismatch at %s"
+                % (name, x.frame.label()))
+        stack.extend(zip(x.children.values(), y.children.values()))
+
+
+def _check_equality(name: str, fast, ref) -> None:
+    """The oracle gate: digests, trees, and view trees must all agree."""
+    if profile_digest(fast) != profile_digest(ref):
+        raise OracleMismatch(
+            "tier %r: profile digests differ (columnar vs object)" % name)
+    if viewtree_digest(top_down(fast)) != viewtree_digest(top_down(ref)):
+        raise OracleMismatch(
+            "tier %r: top-down view trees differ (columnar vs object)"
+            % name)
+    _assert_trees_equal(name, fast.root, ref.root)
+
+
+def bench_tier(name: str, repeats: int = 3) -> Dict[str, object]:
+    """Benchmark one corpus tier; raises :class:`OracleMismatch` on drift."""
+    from ..converters import pprof as pprof_converter
+    from ..proto import pprof_pb
+
+    raw = generate_bytes(tier(name), compress=False)
+    mb = len(raw) / 1e6
+
+    fast = pprof_converter.parse(raw)
+    ref = pprof_converter.parse_object(raw)
+    columnar = fast.columnar()
+    _check_equality(name, fast, ref)
+    n_nodes = ref.node_count()
+
+    other = pprof_converter.parse_object(raw)
+
+    times = _interleaved_best({
+        "wire_decode": lambda: pprof_pb.loads_columnar(raw),
+        "open_columnar": lambda: pprof_converter.parse(raw),
+        "open_object": lambda: pprof_converter.parse_object(raw),
+        "digest_columnar": lambda: profile_digest(
+            pprof_converter.parse(raw)),
+        "digest_object": lambda: profile_digest(ref),
+        "view_columnar": lambda: top_down(pprof_converter.parse(raw)),
+        "view_object": lambda: top_down(ref),
+    }, repeats)
+
+    kernel_times = None
+    if columnar is not None:
+        # Rewrap the arrays per call so lazily-cached kernels (pre-order,
+        # subtree sizes, inclusive) are recomputed, not replayed.
+        def fresh() -> ColumnarCCT:
+            return ColumnarCCT(parent=columnar.parent,
+                               frame_id=columnar.frame_id,
+                               depth=columnar.depth,
+                               values=columnar.values,
+                               present=columnar.present,
+                               frames=columnar.frames)
+
+        kernel_times = _interleaved_best({
+            "preorder_columnar": lambda: fresh().preorder_ids(),
+            "preorder_object": lambda: sum(
+                1 for _ in ref.root.walk()),
+            "inclusive_columnar": lambda: fresh().inclusive(),
+            "diff": lambda: diff_profiles(ref, other),
+            "aggregate": lambda: aggregate_profiles([ref, other]),
+        }, repeats)
+
+    cold_columnar = times["open_columnar"]
+    cold_object = times["open_object"]
+    entry: Dict[str, object] = {
+        "raw_bytes": len(raw),
+        "nodes": n_nodes,
+        "cold_open": {
+            # raw pprof bytes -> queryable CCT, i.e. what the IDE pays
+            # between click and first query.
+            "object_s": round(cold_object, 4),
+            "columnar_s": round(cold_columnar, 4),
+            "speedup": round(cold_object / cold_columnar, 2),
+            "columnar_mb_s": round(mb / cold_columnar, 1),
+            "phases": {
+                "wire_decode_s": round(times["wire_decode"], 4),
+                "cct_build_s": round(
+                    max(cold_columnar - times["wire_decode"], 0.0), 4),
+            },
+        },
+        "digest": {
+            "object_s": round(times["digest_object"], 4),
+            # Includes a fresh parse (digest consumes a cold profile).
+            "columnar_s": round(times["digest_columnar"], 4),
+        },
+        "view_build": {
+            "object_s": round(times["view_object"], 4),
+            "columnar_s": round(times["view_columnar"], 4),
+            "speedup": round(
+                times["view_object"] / times["view_columnar"], 2),
+        },
+        "equality": {
+            "digest_equal": True,
+            "trees_identical": True,
+            "views_identical": True,
+        },
+    }
+    if kernel_times is not None:
+        entry["throughput"] = {
+            "preorder_object_mnodes_s": round(
+                n_nodes / kernel_times["preorder_object"] / 1e6, 2),
+            "preorder_columnar_mnodes_s": round(
+                n_nodes / kernel_times["preorder_columnar"] / 1e6, 2),
+            "inclusive_columnar_s": round(
+                kernel_times["inclusive_columnar"], 4),
+            "diff_s": round(kernel_times["diff"], 4),
+            "aggregate_s": round(kernel_times["aggregate"], 4),
+        }
+    return entry
+
+
+def run_cct_bench(tiers: Optional[Iterable[str]] = None,
+                  repeats: int = 3) -> Dict[str, object]:
+    """Run the columnar CCT benchmark and return the full report dict."""
+    names: List[str] = list(tiers if tiers is not None else FULL_TIERS)
+    report: Dict[str, object] = {
+        "benchmark": "cct-columnar",
+        "numpy_available": numpy_available(),
+        "target_cold_open_speedup_large": COLD_OPEN_TARGET_SPEEDUP,
+        "tiers": {name: bench_tier(name, repeats=repeats)
+                  for name in names},
+    }
+    return report
+
+
+def write_report(report: Dict[str, object],
+                 path: str = DEFAULT_REPORT) -> str:
+    atomic_write_text(path,
+                      json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary table for the CLI."""
+    lines = ["columnar CCT vs object tree  (best-of-N wall time)"]
+    lines.append("numpy kernels: %s"
+                 % ("available" if report["numpy_available"] else
+                    "unavailable (object path only)"))
+    header = "%-8s %10s %9s %11s %9s %11s %11s" % (
+        "tier", "nodes", "open", "open obj", "speedup", "digest", "view")
+    lines.append(header)
+    for name, entry in report["tiers"].items():
+        cold = entry["cold_open"]
+        lines.append("%-8s %10d %8.3fs %10.3fs %8.2fx %10.3fs %10.3fs" % (
+            name, entry["nodes"], cold["columnar_s"], cold["object_s"],
+            cold["speedup"], entry["digest"]["columnar_s"],
+            entry["view_build"]["columnar_s"]))
+    if "large" in report["tiers"]:
+        speedup = report["tiers"]["large"]["cold_open"]["speedup"]
+        lines.append("large-tier cold open speedup %.2fx (target >= %.1fx)"
+                     % (speedup, report["target_cold_open_speedup_large"]))
+    return "\n".join(lines)

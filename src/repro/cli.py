@@ -739,6 +739,30 @@ def _cmd_bench_codec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_cct(args: argparse.Namespace) -> int:
+    """Run the columnar CCT benchmark (same harness as CI)."""
+    from .bench.cct import (FULL_TIERS, OracleMismatch, QUICK_TIERS,
+                            format_report, run_cct_bench, write_report)
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    try:
+        report = run_cct_bench(tiers, repeats=args.repeats)
+    except OracleMismatch as exc:
+        print("easyview: columnar oracle mismatch: %s" % exc,
+              file=sys.stderr)
+        return 2
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        from .core.jsonio import dumps_data
+        print(dumps_data(report))
+    else:
+        print(format_report(report))
+        if args.out:
+            print("report written to %s" % args.out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1040,6 +1064,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_b_codec.add_argument("--out", metavar="PATH",
                            help="also write the JSON report to PATH")
     p_b_codec.set_defaults(fn=_cmd_bench_codec)
+    p_b_cct = bench_sub.add_parser(
+        "cct", help="columnar CCT core vs per-node object tree")
+    p_b_cct.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
+    p_b_cct.add_argument("--quick", action="store_true",
+                         help="small+medium tiers only (skip large)")
+    p_b_cct.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N repetitions per measurement")
+    p_b_cct.add_argument("--out", metavar="PATH",
+                         help="also write the JSON report to PATH")
+    p_b_cct.set_defaults(fn=_cmd_bench_cct)
     return parser
 
 

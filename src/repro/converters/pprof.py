@@ -24,13 +24,8 @@ from ..proto import pprof_pb
 from .base import Converter, register
 
 
-def parse(data: bytes) -> Profile:
-    """Convert a (possibly gzipped) pprof payload."""
-    try:
-        message = pprof_pb.loads(data)
-    except Exception as exc:
-        raise FormatError("not a pprof profile: %s" % exc) from exc
-
+def _begin(message: "pprof_pb.Profile"):
+    """Builder + metric column mapping for a parsed pprof message."""
     builder = ProfileBuilder(tool="pprof",
                              time_nanos=message.time_nanos,
                              duration_nanos=message.duration_nanos)
@@ -41,12 +36,14 @@ def parse(data: bytes) -> Profile:
         metric_columns.append(builder.metric(name, unit=unit))
     if not metric_columns:
         metric_columns.append(builder.metric("value"))
+    return builder, metric_columns
 
+
+def _frame_chains(message: "pprof_pb.Profile") -> Dict[int, List[Frame]]:
+    """Pre-resolve every location to its frame chain (caller-first), since
+    locations repeat across thousands of samples."""
     functions = {fn.id: fn for fn in message.function}
     mappings = {mp.id: mp for mp in message.mapping}
-
-    # Pre-resolve every location to its frame chain (caller-first), since
-    # locations repeat across thousands of samples.
     frames_by_location: Dict[int, List[Frame]] = {}
     for location in message.location:
         module = ""
@@ -72,11 +69,16 @@ def parse(data: bytes) -> Profile:
                 else "<unknown>",
                 module=module, address=location.address))
         frames_by_location[location.id] = chain
+    return frames_by_location
 
+
+def _accumulate_object(message: "pprof_pb.Profile", profile: Profile,
+                       metric_columns: List[int]) -> None:
+    """Replay ``message.sample`` through the object CCT."""
+    frames_by_location = _frame_chains(message)
     # Real profiles repeat call stacks heavily, so the leaf CCT node for
     # each distinct location-id tuple is resolved once and cached — one of
     # the §V-C optimizations that keeps large profiles fast to open.
-    profile = builder.build()
     root = profile.root
     leaf_cache: Dict[tuple, object] = {}
     for sample in message.sample:
@@ -97,6 +99,149 @@ def parse(data: bytes) -> Profile:
         metrics = node.metrics
         for column, value in zip(metric_columns, sample.value):
             metrics[column] = metrics.get(column, 0.0) + value
+
+
+def _build_columnar(message: "pprof_pb.Profile",
+                    block: "pprof_pb.SampleBlock",
+                    metric_columns: List[int], n_schema: int):
+    """Fold a deferred sample block straight into a columnar CCT.
+
+    Mirrors :func:`_accumulate_object` exactly — same wire-order sample
+    walk, same leaf cache, same zip-truncation value semantics — but over
+    integer frame ids, with zero :class:`~repro.core.cct.CCTNode` (and,
+    on the fast path, zero ``Sample``) objects ever constructed.
+    """
+    from ..core import cct_columnar
+    if not cct_columnar.numpy_available():
+        return None
+    import numpy as np
+
+    bld = cct_columnar.ColumnarBuilder()
+    chain_fids: Dict[int, tuple] = {
+        loc_id: tuple(bld.frame_token(frame) for frame in chain)
+        for loc_id, chain in _frame_chains(message).items()}
+
+    decoded = block.decoded
+    offsets = block.offsets
+    irregular = iter(block.irregular)
+    descend = bld.descend
+    leaf_cache: Dict[object, int] = {}
+    ok_leafs: List[int] = []
+    slow: List[tuple] = []  # (leaf id, value list) for irregular samples
+    k = 0
+    # Wire order matters: trie nodes are created at first touch, and the
+    # materialized facade must reproduce the object tree's child insertion
+    # order — so ok and irregular samples interleave exactly as sent.
+    for matched in block.ok:
+        if matched:
+            seg = decoded[offsets[2 * k]:offsets[2 * k + 1]]
+            k += 1
+            key = seg.tobytes()
+            leaf = leaf_cache.get(key)
+            if leaf is None:
+                leaf = 0
+                for location_id in reversed(seg.tolist()):
+                    fids = chain_fids.get(location_id)
+                    if fids is None:
+                        raise FormatError(
+                            "sample references undefined location %d"
+                            % location_id)
+                    for fid in fids:
+                        leaf = descend(leaf, fid)
+                leaf_cache[key] = leaf
+            ok_leafs.append(leaf)
+        else:
+            sample = next(irregular)
+            key = tuple(sample.location_id)
+            leaf = leaf_cache.get(key)
+            if leaf is None:
+                leaf = 0
+                for location_id in reversed(sample.location_id):
+                    fids = chain_fids.get(location_id)
+                    if fids is None:
+                        raise FormatError(
+                            "sample references undefined location %d"
+                            % location_id)
+                    for fid in fids:
+                        leaf = descend(leaf, fid)
+                leaf_cache[key] = leaf
+            slow.append((leaf, sample.value))
+
+    n_nodes = bld.n_nodes
+    values = np.zeros((n_nodes, n_schema), dtype=np.float64)
+    present = np.zeros((n_nodes, n_schema), dtype=bool)
+    n_ok = len(ok_leafs)
+    if n_ok:
+        leaf_arr = np.asarray(ok_leafs, dtype=np.int64)
+        v_starts = offsets[1:2 * n_ok:2]
+        v_ends = offsets[2:2 * n_ok + 1:2]
+        m = len(metric_columns)
+        if (metric_columns == list(range(m))
+                and bool((v_ends - v_starts == m).all())):
+            # Canonical case: every sample carries exactly one value per
+            # declared column — gather into an (n_ok, m) matrix and
+            # scatter-add in one pass.
+            idx = v_starts[:, None] + np.arange(m, dtype=np.int64)
+            np.add.at(values, leaf_arr, decoded[idx].astype(np.float64))
+            present[leaf_arr] = True
+        else:
+            # Ragged value runs or aliased metric names: zip-truncate per
+            # sample, exactly like the object path.
+            starts_l = v_starts.tolist()
+            ends_l = v_ends.tolist()
+            for i, leaf in enumerate(ok_leafs):
+                run = decoded[starts_l[i]:ends_l[i]].tolist()
+                for column, value in zip(metric_columns, run):
+                    values[leaf, column] += value
+                    present[leaf, column] = True
+    for leaf, vals in slow:
+        for column, value in zip(metric_columns, vals):
+            values[leaf, column] += value
+            present[leaf, column] = True
+    return bld.finish(values, present)
+
+
+def parse(data: bytes) -> Profile:
+    """Convert a (possibly gzipped) pprof payload.
+
+    Canonical payloads stay columnar end to end — packed sample runs are
+    bulk-decoded into int64 arrays and folded straight into a
+    :class:`~repro.core.cct_columnar.ColumnarCCT`; the object tree only
+    materializes if a consumer asks for it.  Anything the fast path cannot
+    prove canonical falls back to :func:`parse_object` semantics.
+    """
+    try:
+        message, block = pprof_pb.loads_columnar(data)
+    except Exception as exc:
+        raise FormatError("not a pprof profile: %s" % exc) from exc
+
+    builder, metric_columns = _begin(message)
+    profile = builder.build()
+    if block is not None:
+        columnar = _build_columnar(message, block, metric_columns,
+                                   len(profile.schema))
+        if columnar is not None:
+            profile.attach_columnar(columnar)
+            return profile
+    _accumulate_object(message, profile, metric_columns)
+    return profile
+
+
+def parse_object(data: bytes) -> Profile:
+    """Reference conversion through the per-node object CCT.
+
+    Kept verbatim as the differential oracle for :func:`parse`: the bench
+    equality gate and ``tests/test_cct_columnar.py`` assert both paths
+    produce identical trees, digests, and analysis results.
+    """
+    try:
+        message = pprof_pb.loads(data)
+    except Exception as exc:
+        raise FormatError("not a pprof profile: %s" % exc) from exc
+
+    builder, metric_columns = _begin(message)
+    profile = builder.build()
+    _accumulate_object(message, profile, metric_columns)
     return profile
 
 

@@ -6,6 +6,13 @@ footprint.  Each node holds one :class:`~repro.core.frame.Frame` of
 attribution plus the *exclusive* metric values measured at that exact
 context; inclusive values are computed by the analysis engine
 (:mod:`repro.analysis.metrics`) and cached on the node.
+
+Every mutation — creating a node, accumulating or overwriting a value —
+bumps the owning tree's *version counter*.  Derived state (the per-node
+inclusive caches, a profile's columnar snapshot in
+:mod:`repro.core.cct_columnar`) records the version it was computed at and
+is considered stale the moment the versions disagree, so callers never have
+to remember to invalidate anything by hand.
 """
 
 from __future__ import annotations
@@ -13,6 +20,17 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .frame import Frame, FrameKind, ROOT_FRAME
+
+
+def _child_order(node: "CCTNode") -> Tuple[str, str, int, str, int, int]:
+    """Deterministic sibling sort key: the frame's full identity tuple.
+
+    Siblings are distinct interned frames, so the key never ties and the
+    resulting order is total — independent of sample arrival order.  It is
+    the same key :mod:`repro.core.digest` sorts by, so walk order and
+    digest order agree.
+    """
+    return node.frame.key()
 
 
 class CCTNode:
@@ -26,7 +44,8 @@ class CCTNode:
         inclusive: cached inclusive values (filled by the analysis engine).
     """
 
-    __slots__ = ("frame", "parent", "children", "metrics", "inclusive")
+    __slots__ = ("frame", "parent", "children", "metrics", "inclusive",
+                 "_tree")
 
     def __init__(self, frame: Frame,
                  parent: Optional["CCTNode"] = None) -> None:
@@ -35,6 +54,9 @@ class CCTNode:
         self.children: Dict[Frame, CCTNode] = {}
         self.metrics: Dict[int, float] = {}
         self.inclusive: Dict[int, float] = {}
+        # Back-pointer to the owning CCT (None for detached nodes) so
+        # mutations can bump the tree version in O(1).
+        self._tree = parent._tree if parent is not None else None
 
     # -- construction ----------------------------------------------------
 
@@ -48,15 +70,24 @@ class CCTNode:
         if node is None:
             node = CCTNode(frame, parent=self)
             self.children[frame] = node
+            tree = self._tree
+            if tree is not None:
+                tree._version += 1
         return node
 
     def add_value(self, metric_index: int, value: float) -> None:
         """Accumulate an exclusive metric value on this node."""
         self.metrics[metric_index] = self.metrics.get(metric_index, 0.0) + value
+        tree = self._tree
+        if tree is not None:
+            tree._version += 1
 
     def set_value(self, metric_index: int, value: float) -> None:
         """Overwrite an exclusive metric value on this node."""
         self.metrics[metric_index] = value
+        tree = self._tree
+        if tree is not None:
+            tree._version += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -94,18 +125,31 @@ class CCTNode:
         return not self.children
 
     def sorted_children(self) -> List["CCTNode"]:
-        """Children in deterministic (frame label, file, line) order."""
-        return sorted(self.children.values(),
-                      key=lambda n: (n.frame.name, n.frame.file,
-                                     n.frame.line, n.frame.module))
+        """Children in deterministic frame-identity order.
+
+        The key is the frame's full identity tuple — (name, file, line,
+        module, address, kind) — so the order is total and matches both
+        :meth:`walk` and the digest walk in :mod:`repro.core.digest`.
+        """
+        return sorted(self.children.values(), key=_child_order)
 
     def walk(self) -> Iterator["CCTNode"]:
-        """Depth-first pre-order iteration over this subtree."""
+        """Depth-first pre-order iteration over this subtree.
+
+        Siblings are visited in :meth:`sorted_children` order, so the
+        sequence is deterministic regardless of sample arrival order.
+        """
         stack = [self]
         while stack:
             node = stack.pop()
             yield node
-            stack.extend(node.children.values())
+            children = node.children
+            if children:
+                if len(children) > 1:
+                    stack.extend(sorted(children.values(), key=_child_order,
+                                        reverse=True))
+                else:
+                    stack.extend(children.values())
 
     def __repr__(self) -> str:
         return "<CCTNode %s children=%d>" % (self.frame.label(),
@@ -113,10 +157,21 @@ class CCTNode:
 
 
 class CCT:
-    """A calling context tree with a synthetic root."""
+    """A calling context tree with a synthetic root.
+
+    ``_version`` counts mutations (node creation, value accumulation);
+    ``_inclusive_stamp`` records the version the nodes' inclusive caches
+    were computed at.  The two agreeing is the validity condition checked
+    by :func:`repro.analysis.metrics.compute_inclusive`, which makes the
+    caches self-invalidating: mutate, and the next inclusive query simply
+    recomputes.
+    """
 
     def __init__(self) -> None:
+        self._version = 0
+        self._inclusive_stamp = 0
         self.root = CCTNode(ROOT_FRAME)
+        self.root._tree = self
 
     def add_path(self, frames: Iterable[Frame]) -> CCTNode:
         """Merge a root-first call path into the tree; returns the leaf node."""
@@ -165,6 +220,12 @@ class CCT:
         return (node for node in self.nodes() if node.is_leaf())
 
     def clear_inclusive_cache(self) -> None:
-        """Drop cached inclusive values (call after mutating the tree)."""
+        """Drop cached inclusive values.
+
+        Mutation through the node API invalidates automatically (the
+        version stamp no longer matches), so calling this by hand is only
+        needed after writing ``node.metrics`` dictionaries directly.
+        """
         for node in self.nodes():
             node.inclusive.clear()
+        self._inclusive_stamp = self._version

@@ -92,10 +92,71 @@ def schema_digest(schema: "MetricSchema") -> str:
     return h.hexdigest()
 
 
+def _frame_bytes(frame) -> bytes:
+    """The exact byte stream :func:`_update_frame` feeds the hash."""
+    name = frame.name.encode("utf-8", "surrogatepass")
+    file = frame.file.encode("utf-8", "surrogatepass")
+    module = frame.module.encode("utf-8", "surrogatepass")
+    return b"".join((
+        _PACK_INT(len(name)), name,
+        _PACK_INT(len(file)), file,
+        _PACK_INT(frame.line),
+        _PACK_INT(len(module)), module,
+        _PACK_INT(frame.address),
+        _PACK_INT(int(frame.kind))))
+
+
+def _update_cct_columnar(h, col) -> None:
+    """Feed the hash the enter/exit walk straight from columnar arrays.
+
+    Byte-identical to the object walk in :func:`profile_digest`: the
+    pre-order comes from the vectorized frame-sorted traversal, per-node
+    value bytes are one structured-array encode over every written cell
+    (rows ascend with node id, columns ascend within a row — exactly the
+    sorted-index order the object walk emits), and EXIT markers fall out
+    of :meth:`~repro.core.cct_columnar.ColumnarCCT.walk_events`.
+    """
+    import numpy as np
+
+    frame_chunks = [_ENTER + _frame_bytes(frame) for frame in col.frames]
+    rows, cols = np.nonzero(col.present)
+    cells = np.empty(rows.size, dtype=[("i", "<i8"), ("v", "<f8")])
+    cells["i"] = cols
+    cells["v"] = col.values[rows, cols]
+    cell_stream = memoryview(cells.tobytes())
+    n = col.n_nodes
+    cell_start = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n) * 16, out=cell_start[1:])
+    starts = cell_start.tolist()
+
+    pre_ids, exits = col.walk_events()
+    fid_l = col.frame_id.tolist()
+    out = bytearray()
+    for node, exit_count in zip(pre_ids.tolist(), exits.tolist()):
+        out += frame_chunks[fid_l[node]]
+        out += cell_stream[starts[node]:starts[node + 1]]
+        out += _SEP
+        if exit_count:
+            out += _EXIT * exit_count
+        if len(out) >= 1 << 20:
+            h.update(out)
+            del out[:]
+    h.update(out)
+
+
 def profile_digest(profile: "Profile") -> str:
     """Hex digest of a profile's schema, CCT, values, and points."""
     h = _new_hash()
     _update_schema(h, profile.schema)
+
+    columnar = profile.columnar()
+    if columnar is not None:
+        # Digest straight off the arrays — same bytes, no facade
+        # materialization.  Points still hash below (they reference object
+        # contexts, but a profile carrying points materialized already).
+        _update_cct_columnar(h, columnar)
+        _update_points(h, profile)
+        return h.hexdigest()
 
     # Iterative enter/exit walk; children sorted by frame identity so the
     # digest does not depend on sample insertion order.
@@ -113,6 +174,11 @@ def profile_digest(profile: "Profile") -> str:
                           key=lambda n: n.frame.key())
         stack.extend((child, False) for child in reversed(children))
 
+    _update_points(h, profile)
+    return h.hexdigest()
+
+
+def _update_points(h, profile: "Profile") -> None:
     h.update(_PACK_INT(len(profile.points)))
     # Points are hashed in recorded order: the order of a snapshot series
     # is part of its meaning.
@@ -124,7 +190,6 @@ def profile_digest(profile: "Profile") -> str:
         for context in point.contexts:
             _update_frame(h, context.frame)
             h.update(_PACK_INT(context.depth()))
-    return h.hexdigest()
 
 
 def viewtree_digest(tree: "ViewTree") -> str:

@@ -28,14 +28,71 @@ class ProfileMeta:
 
 
 class Profile:
-    """One profile: CCT + metric schema + monitoring points + metadata."""
+    """One profile: CCT + metric schema + monitoring points + metadata.
+
+    The CCT has two representations: the per-node object tree
+    (:class:`~repro.core.cct.CCT`) and a columnar struct-of-arrays
+    snapshot (:class:`~repro.core.cct_columnar.ColumnarCCT`).  Converters
+    for large formats attach the columnar form and leave the object tree
+    *unmaterialized*; touching :attr:`cct` (or :attr:`root`) materializes
+    it lazily, so facade consumers — callbacks, lint rules, the viewer —
+    never notice.  Mutating the object tree bumps its version counter,
+    which invalidates the columnar snapshot automatically.
+    """
 
     def __init__(self, schema: Optional[MetricSchema] = None,
                  meta: Optional[ProfileMeta] = None) -> None:
-        self.cct = CCT()
+        self._cct: Optional[CCT] = CCT()
+        self._columnar = None
         self.schema = schema if schema is not None else MetricSchema()
         self.points: List[MonitoringPoint] = []
         self.meta = meta if meta is not None else ProfileMeta()
+
+    # -- representations ---------------------------------------------------
+
+    @property
+    def cct(self) -> CCT:
+        """The object CCT, materialized from the columnar form on demand."""
+        cct = self._cct
+        if cct is None:
+            cct = self._cct = self._columnar.to_cct()
+        return cct
+
+    @cct.setter
+    def cct(self, value: CCT) -> None:
+        self._cct = value
+        self._columnar = None
+
+    def attach_columnar(self, columnar) -> None:
+        """Adopt a columnar CCT as this profile's contents.
+
+        The object tree is dropped and will rebuild lazily from the
+        columnar arrays if anything asks for it.
+        """
+        self._cct = None
+        self._columnar = columnar
+
+    def columnar(self, build: bool = False):
+        """The columnar snapshot, or ``None`` when absent or stale.
+
+        A snapshot is stale once the object tree mutated past the version
+        the snapshot was taken at.  With ``build=True`` a missing or stale
+        snapshot is (re)built from the object tree — worth it only when
+        several vectorized passes will reuse it.
+        """
+        col = self._columnar
+        cct = self._cct
+        if col is not None and (cct is None
+                                or cct._version == col._synced_version):
+            return col
+        if not build:
+            return None
+        from .cct_columnar import from_cct, numpy_available
+        if not numpy_available():
+            return None
+        col = from_cct(self.cct, len(self.schema))
+        self._columnar = col
+        return col
 
     # -- construction ------------------------------------------------------
 
@@ -86,6 +143,9 @@ class Profile:
 
     def node_count(self) -> int:
         """Number of CCT nodes including the root."""
+        col = self.columnar()
+        if col is not None:
+            return col.node_count()
         return self.cct.node_count()
 
     def metric_index(self, name: str) -> int:
@@ -95,6 +155,9 @@ class Profile:
     def total(self, metric_name: str) -> float:
         """Program-wide total of a metric (sum of exclusive values)."""
         index = self.schema.index_of(metric_name)
+        col = self.columnar()
+        if col is not None:
+            return col.total(index)
         return sum(node.exclusive(index) for node in self.nodes())
 
     def snapshot_sequences(self) -> List[int]:
@@ -112,13 +175,22 @@ class Profile:
     def summary(self) -> Dict[str, object]:
         """A floating-window style summary of the whole profile (§VI-B)."""
         totals = {}
-        for index, metric in enumerate(self.schema):
-            total = sum(node.exclusive(index) for node in self.nodes())
-            totals[metric.name] = metric.format_value(total)
+        col = self.columnar()
+        if col is not None:
+            col_totals = col.totals()
+            for index, metric in enumerate(self.schema):
+                totals[metric.name] = metric.format_value(
+                    float(col_totals[index]))
+            max_depth = col.max_depth()
+        else:
+            for index, metric in enumerate(self.schema):
+                total = sum(node.exclusive(index) for node in self.nodes())
+                totals[metric.name] = metric.format_value(total)
+            max_depth = self.cct.max_depth()
         return {
             "tool": self.meta.tool,
             "contexts": self.node_count(),
-            "max_depth": self.cct.max_depth(),
+            "max_depth": max_depth,
             "points": len(self.points),
             "metrics": totals,
         }

@@ -114,6 +114,13 @@ def from_message(message: pb.ProfileMessage) -> Profile:
                        duration_nanos=message.duration_nanos)
     profile = Profile(schema=schema, meta=meta)
 
+    from .cct_columnar import numpy_available
+    if numpy_available():
+        columnar = _columnar_from_message(message, lookup, len(schema))
+        if columnar is not None:
+            profile.attach_columnar(columnar)
+            return profile
+
     nodes_by_id: Dict[int, CCTNode] = {}
     for wire_node in message.nodes:
         kind = _PB_TO_FRAME_KIND.get(wire_node.kind, FrameKind.FUNCTION)
@@ -155,6 +162,70 @@ def from_message(message: pb.ProfileMessage) -> Profile:
                 values=values,
                 sequence=wire_point.sequence))
     return profile
+
+
+def _columnar_from_message(message: pb.ProfileMessage, lookup,
+                           n_metrics: int):
+    """Raise a wire message straight into a columnar CCT, or ``None``.
+
+    Handles the common shape — every point a sequence-0 PLAIN point with
+    in-range metric ids — without constructing a single
+    :class:`CCTNode`.  Advanced points (snapshots, multi-context pairs)
+    and out-of-schema metric ids return ``None`` so the object path keeps
+    its exact semantics, including error ordering.
+    """
+    from .cct_columnar import ColumnarBuilder, _np
+
+    for wire_point in message.points:
+        if wire_point.kind != pb.POINT_PLAIN or wire_point.sequence != 0:
+            return None
+        for metric_value in wire_point.values:
+            if not 0 <= metric_value.metric_id < n_metrics:
+                return None
+
+    builder = ColumnarBuilder()
+    descend = builder.descend
+    frame_token = builder.frame_token
+    col_of: Dict[int, int] = {}
+    for wire_node in message.nodes:
+        kind = _PB_TO_FRAME_KIND.get(wire_node.kind, FrameKind.FUNCTION)
+        if kind is FrameKind.ROOT:
+            col_of[wire_node.id] = 0
+            continue
+        parent = col_of.get(wire_node.parent_id)
+        if parent is None:
+            raise FormatError(
+                "context %d references undefined parent %d"
+                % (wire_node.id, wire_node.parent_id))
+        frame = intern_frame(name=lookup(wire_node.name),
+                             file=lookup(wire_node.file),
+                             line=wire_node.line,
+                             module=lookup(wire_node.module),
+                             address=wire_node.address,
+                             kind=kind)
+        col_of[wire_node.id] = descend(parent, frame_token(frame))
+
+    values = _np.zeros((builder.n_nodes, n_metrics), dtype=_np.float64)
+    present = _np.zeros((builder.n_nodes, n_metrics), dtype=bool)
+    for wire_point in message.points:
+        contexts = []
+        for context_id in wire_point.context_id:
+            node = col_of.get(context_id)
+            if node is None:
+                raise FormatError(
+                    "monitoring point references undefined context %d"
+                    % context_id)
+            contexts.append(node)
+        if len(contexts) != 1:
+            raise FormatError("plain point must reference one context")
+        node = contexts[0]
+        # Duplicate metric ids within one point collapse last-wins before
+        # accumulating, matching the object path's value-dict semantics.
+        merged = {mv.metric_id: mv.value for mv in wire_point.values}
+        for metric_index, value in merged.items():
+            values[node, metric_index] += value
+            present[node, metric_index] = True
+    return builder.finish(values, present)
 
 
 def dumps(profile: Profile) -> bytes:

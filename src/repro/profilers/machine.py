@@ -59,7 +59,8 @@ class ProgramMachine:
     """Executes a synthetic program into a profile."""
 
     def __init__(self, functions: Sequence[Func], entry: str = "main",
-                 seed: int = 42, jitter: float = 0.0) -> None:
+                 seed: int = 42, jitter: float = 0.0,
+                 recursion_limit: int = 500) -> None:
         self._functions: Dict[str, Func] = {}
         for func in functions:
             if func.name in self._functions:
@@ -71,6 +72,9 @@ class ProgramMachine:
         self.seed = seed
         #: relative amplitude of the deterministic per-path cost jitter
         self.jitter = jitter
+        #: deepest acyclic call chain the program may declare; raise it for
+        #: deliberately deep shapes (e.g. the 10k-frame stress workload)
+        self.recursion_limit = recursion_limit
         self._check_recursion_budget()
 
     def function(self, name: str) -> Func:
@@ -79,24 +83,53 @@ class ProgramMachine:
         except KeyError:
             raise EasyViewError("undefined function %r" % name) from None
 
-    def _check_recursion_budget(self, limit: int = 500) -> None:
-        """Reject call graphs with cycles deeper than ``limit`` (the machine
-        expands cycles only to a bounded depth, but catches typos early)."""
-        color: Dict[str, int] = {}
+    def _check_recursion_budget(self, limit: Optional[int] = None) -> None:
+        """Reject call graphs with acyclic paths deeper than the limit (the
+        machine expands cycles only to a bounded depth, but catches typos
+        early).
 
-        def depth(name: str, seen: Tuple[str, ...]) -> int:
-            if name in seen:
-                return 0  # cycle: bounded elsewhere
-            func = self._functions.get(name)
-            if func is None:
-                raise EasyViewError("call edge to undefined function %r"
-                                    % name)
-            best = 0
-            for callee in func.callees:
-                best = max(best, 1 + depth(callee.target, seen + (name,)))
-            return best
-
-        if depth(self.entry, ()) > limit:
+        The walk is an explicit-stack depth-first search, never Python
+        recursion: a program as deep as its own budget allows (see
+        ``recursion_limit``) must be *checkable* without tripping the
+        interpreter's recursion limit.
+        """
+        if limit is None:
+            limit = self.recursion_limit
+        # Each frame: [name, callee iterator, deepest subtree so far].
+        entry_func = self._functions[self.entry]
+        stack = [[self.entry, iter(entry_func.callees), 0]]
+        on_path = {self.entry}
+        deepest = 0
+        while stack:
+            frame = stack[-1]
+            pushed = False
+            for callee in frame[1]:
+                target = callee.target
+                if target in on_path:
+                    # Cycle edge: the callee contributes depth 0, the edge
+                    # itself still counts one level.
+                    if frame[2] < 1:
+                        frame[2] = 1
+                    continue
+                func = self._functions.get(target)
+                if func is None:
+                    raise EasyViewError("call edge to undefined function %r"
+                                        % target)
+                stack.append([target, iter(func.callees), 0])
+                on_path.add(target)
+                pushed = True
+                break
+            if pushed:
+                continue
+            stack.pop()
+            on_path.discard(frame[0])
+            reached = frame[2]
+            if stack:
+                if stack[-1][2] < reached + 1:
+                    stack[-1][2] = reached + 1
+            else:
+                deepest = reached
+        if deepest > limit:
             raise EasyViewError("call graph deeper than %d" % limit)
 
     def _path_jitter(self, path_key: str) -> float:
@@ -126,40 +159,49 @@ class ProgramMachine:
             alloc_metric = builder.metric("alloc_bytes", unit="bytes")
             inuse_metric = builder.metric("inuse_bytes", unit="bytes")
 
-        # Iterative expansion: (function, path frames, occurrences, cycle
-        # counter per function name).
+        # Iterative expansion as an enter/exit depth-first walk.  The call
+        # path and per-name cycle counters are *shared* mutable state,
+        # pushed on enter and popped on exit — copying them per expansion
+        # (the old tuple-of-frames approach) cost O(depth) per node, which
+        # made deliberately deep shapes (10k-frame chains) quadratic.
         entry = self.function(self.entry)
-        stack: List[Tuple[Func, Tuple[Frame, ...], float, Tuple[Tuple[str, int], ...]]]
-        stack = [(entry, (entry.frame(),), 1.0, ((entry.name, 1),))]
+        path: List[Frame] = []
+        cycles: Dict[str, int] = {}
+        #: (func, occurrence count, entering?); exits restore shared state.
+        stack: List[Tuple[Func, float, bool]] = [(entry, 1.0, True)]
         while stack:
-            func, path, count, cycles = stack.pop()
-            path_key = "/".join(f.name for f in path)
-            scale = count * self._path_jitter(path_key)
-            if func.self_cost:
-                builder.sample(path, {cost_metric: func.self_cost * scale})
-            if func.alloc_bytes and alloc_metric is not None:
-                object_name = func.alloc_object or ("obj@%s" % func.name)
-                builder.allocation(object_name, path, {
-                    alloc_metric: func.alloc_bytes * scale})
-                for sequence in range(1, snapshots + 1):
-                    decay = 1.0
-                    if snapshot_decay and func.name in snapshot_decay:
-                        series = snapshot_decay[func.name]
-                        decay = series[min(sequence - 1, len(series) - 1)]
-                    builder.snapshot(sequence, path, {
-                        inuse_metric: func.alloc_bytes * scale * decay})
+            func, count, entering = stack.pop()
+            if not entering:
+                path.pop()
+                cycles[func.name] -= 1
+                continue
+            path.append(func.frame())
+            cycles[func.name] = cycles.get(func.name, 0) + 1
+            stack.append((func, count, False))
+            if func.self_cost or (func.alloc_bytes
+                                  and alloc_metric is not None):
+                path_key = "/".join(f.name for f in path)
+                scale = count * self._path_jitter(path_key)
+                if func.self_cost:
+                    builder.sample(path,
+                                   {cost_metric: func.self_cost * scale})
+                if func.alloc_bytes and alloc_metric is not None:
+                    object_name = func.alloc_object or ("obj@%s" % func.name)
+                    builder.allocation(object_name, path, {
+                        alloc_metric: func.alloc_bytes * scale})
+                    for sequence in range(1, snapshots + 1):
+                        decay = 1.0
+                        if snapshot_decay and func.name in snapshot_decay:
+                            series = snapshot_decay[func.name]
+                            decay = series[min(sequence - 1,
+                                               len(series) - 1)]
+                        builder.snapshot(sequence, path, {
+                            inuse_metric: func.alloc_bytes * scale * decay})
             for callee_edge in reversed(func.callees):
                 callee = self.function(callee_edge.target)
-                depth_so_far = dict(cycles).get(callee.name, 0)
-                if depth_so_far >= max_cycle_depth:
+                if cycles.get(callee.name, 0) >= max_cycle_depth:
                     continue
-                new_cycles = tuple(
-                    (name, depth + 1 if name == callee.name else depth)
-                    for name, depth in cycles)
-                if callee.name not in dict(cycles):
-                    new_cycles = new_cycles + ((callee.name, 1),)
-                stack.append((callee, path + (callee.frame(),),
-                              count * callee_edge.calls, new_cycles))
+                stack.append((callee, count * callee_edge.calls, True))
         return builder.build()
 
 

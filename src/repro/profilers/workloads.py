@@ -515,3 +515,36 @@ def go_service_profile(requests: int = 200, seed: int = 37) -> Profile:
         node.add_value(lock, node.exclusive(cpu) * 3.0)
     profile.cct.clear_inclusive_cache()
     return profile
+
+
+def deep_path_profile(depth: int = 10000, fanout_every: int = 500,
+                      seed: int = 41) -> Profile:
+    """A deliberately deep profile: one ``depth``-frame call chain.
+
+    Real async/actor runtimes and instrumented interpreters routinely
+    produce stacks thousands of frames deep; any recursive walk over the
+    CCT dies on them long before the paper's large-profile tiers do.  This
+    shape is the stress fixture for that audit: a single linear chain of
+    ``depth`` frames (every ``fanout_every``-th frame also carries a tiny
+    side branch and a bit of exclusive cost, so traversals, aggregation,
+    and diffs all see interior structure, not just one path).
+    """
+    functions: List[Func] = []
+    for index in range(depth):
+        callees = []
+        if index + 1 < depth:
+            callees.append(Callee("f%d" % (index + 1)))
+        side_cost = 0.0
+        if fanout_every and index % fanout_every == 0:
+            callees.append(Callee("side%d" % index))
+            functions.append(Func("side%d" % index, "deep.py",
+                                  5 * index + 3, "deepmod",
+                                  self_cost=7.0))
+            side_cost = 3.0
+        functions.append(Func("f%d" % index, "deep.py", 5 * index + 1,
+                              "deepmod",
+                              self_cost=side_cost if callees else 11.0,
+                              callees=callees))
+    machine = ProgramMachine(functions, entry="f0", seed=seed,
+                             recursion_limit=depth + 1)
+    return machine.run(metric="cpu", unit="nanoseconds", tool="deepgen")

@@ -521,13 +521,15 @@ class PackedInt64Batch:
             offset = stop
 
 
-def _assemble_packed(data: "object", bounds_end: "object"):
+def _assemble_packed(data: "object", bounds_end: "object",
+                     as_array: bool = False):
     """Bulk-decode concatenated packed int64 runs (numpy required).
 
     ``data`` is a uint8 ndarray of run payloads laid end to end;
     ``bounds_end`` holds each run's exclusive end offset (ascending, with
     empty runs repeating the previous offset).  Returns ``(decoded,
-    cum)`` — every value in order as a Python list, plus the cumulative
+    cum)`` — every value in order as a Python list (an int64 ndarray with
+    ``as_array``, for consumers that stay columnar), plus the cumulative
     value count at each run end — or ``None`` when any run ends
     mid-varint or contains an overlong varint, so the caller can rerun
     the sequential scan and surface the reference codec's error.
@@ -566,14 +568,17 @@ def _assemble_packed(data: "object", bounds_end: "object"):
         sel = sel[keep]
         idx = idx[keep]
         lens = lens[keep]
-    decoded = values.view(_np.int64).tolist()
+    decoded = values.view(_np.int64)
+    if not as_array:
+        decoded = decoded.tolist()
     # Values per run = terminators before each run end; ``ends`` is
     # sorted, so binary search beats a reduceat over the byte array.
     cum = _np.searchsorted(ends, bounds_end, side="left")
     return decoded, cum
 
 
-def decode_packed_samples(buf: "memoryview", span_bounds: List[int]):
+def decode_packed_samples(buf: "memoryview", span_bounds: List[int],
+                          as_array: bool = False):
     """Vectorized shape check + bulk decode for pprof sample messages.
 
     ``span_bounds`` is a flat ``[start, stop, ...]`` list of sample body
@@ -584,6 +589,8 @@ def decode_packed_samples(buf: "memoryview", span_bounds: List[int]):
     flags which samples matched, ``decoded`` holds their values in wire
     order, and ``offsets`` the cumulative value counts (leading zero;
     each ok sample consumes two entries — its id run and its value run).
+    With ``as_array``, ``decoded`` and ``offsets`` stay int64 ndarrays —
+    the zero-materialization path the columnar CCT builder feeds on.
 
     Returns ``None`` when numpy is unavailable or any matched run is
     malformed; the caller then re-scans every sample sequentially so the
@@ -611,6 +618,9 @@ def decode_packed_samples(buf: "memoryview", span_bounds: List[int]):
     ok_idx = _np.flatnonzero(ok)
     ok_list = ok.tolist()
     if not ok_idx.size:
+        if as_array:
+            return ok_list, _np.empty(0, dtype=_np.int64), \
+                _np.zeros(1, dtype=_np.int64)
         return ok_list, [], [0]
     global _PACKED_RUNS_NUMPY
     _PACKED_RUNS_NUMPY += 1
@@ -631,10 +641,15 @@ def decode_packed_samples(buf: "memoryview", span_bounds: List[int]):
     # run_starts[r] + (j - gathered_starts[r]).
     gather = (_np.repeat(run_starts - gathered_starts, run_lens)
               + _np.arange(total, dtype=_np.int64))
-    result = _assemble_packed(data[gather], bounds_end)
+    result = _assemble_packed(data[gather], bounds_end, as_array=as_array)
     if result is None:
         return None
     decoded, cum = result
+    if as_array:
+        offsets_a = _np.empty(cum.size + 1, dtype=_np.int64)
+        offsets_a[0] = 0
+        offsets_a[1:] = cum
+        return ok_list, decoded, offsets_a
     offsets = [0]
     offsets.extend(cum.tolist())
     return ok_list, decoded, offsets

@@ -326,6 +326,27 @@ class Sample:
 
 
 @dataclass
+class SampleBlock:
+    """One profile's sample bodies, kept columnar instead of materialized.
+
+    ``ok`` flags, per sample in wire order, whether the body matched the
+    canonical two-packed-runs layout and was bulk-decoded; ``decoded`` is
+    the int64 ndarray of every matched sample's location-id and value runs
+    laid end to end, with ``offsets`` the cumulative value counts (leading
+    zero, two entries per matched sample).  Non-matching bodies are parsed
+    into ``irregular`` :class:`Sample` objects, wire order preserved.
+
+    This is the zero-object handoff the columnar CCT builder consumes:
+    for a typical profile not a single ``Sample`` is constructed.
+    """
+
+    ok: List[bool]
+    decoded: "object"
+    offsets: "object"
+    irregular: List["Sample"] = field(default_factory=list)
+
+
+@dataclass
 class Mapping:
     """A loaded binary or shared object (load module)."""
 
@@ -712,7 +733,29 @@ class Profile:
                 gc.enable()
 
     @classmethod
-    def _parse_impl(cls, data: Buffer) -> "Profile":
+    def parse_columnar(cls, data: Buffer):
+        """Decode a raw profile, deferring sample bodies columnar-side.
+
+        Returns ``(profile, block)``.  When ``block`` is a
+        :class:`SampleBlock`, ``profile.sample`` is empty and the sample
+        data lives in the block's arrays; when ``block`` is ``None`` (no
+        numpy, a malformed canonical run, or a sample-free profile), the
+        profile is fully materialized exactly as :meth:`parse` returns it.
+        Error behavior is identical to :meth:`parse` either way.
+        """
+        _parse_calls.inc()
+        _parse_bytes.inc(len(data))
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return cls._parse_impl(data, defer_samples=True)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    @classmethod
+    def _parse_impl(cls, data: Buffer, defer_samples: bool = False):
         msg = cls(string_table=[])
         batch = PackedInt64Batch()
         sample_parse = Sample._parse_deferred
@@ -904,8 +947,9 @@ class Profile:
                 msg.comment.extend(_repeated_int(value, wtype))
             elif num == 14:
                 msg.default_sample_type = _as_int64(value)
+        block = None
         if spans:
-            bulk = decode_packed_samples(buf, spans)
+            bulk = decode_packed_samples(buf, spans, as_array=defer_samples)
             if bulk is None:
                 # No numpy, or a canonical-looking run was malformed:
                 # scan every sample sequentially, in wire order, so the
@@ -913,6 +957,17 @@ class Profile:
                 for i in range(0, len(spans), 2):
                     samples_append(
                         sample_parse(buf[spans[i]:spans[i + 1]], batch))
+            elif defer_samples:
+                ok_list, decoded, offsets = bulk
+                irregular: List[Sample] = []
+                i = 0
+                for matched in ok_list:
+                    if not matched:
+                        irregular.append(
+                            sample_parse(buf[spans[i]:spans[i + 1]], batch))
+                    i += 2
+                block = SampleBlock(ok=ok_list, decoded=decoded,
+                                    offsets=offsets, irregular=irregular)
             else:
                 ok_list, decoded, offsets = bulk
                 k = 0
@@ -933,6 +988,8 @@ class Profile:
         batch.flush()
         if not msg.string_table:
             msg.string_table = [""]
+        if defer_samples:
+            return msg, block
         return msg
 
     # -- convenience -----------------------------------------------------
@@ -1103,3 +1160,15 @@ def loads(data: bytes) -> Profile:
         if data[:2] == GZIP_MAGIC:
             data = gzip.decompress(data)
         return Profile.parse(data)
+
+
+def loads_columnar(data: bytes):
+    """Parse a pprof payload with sample bodies kept columnar.
+
+    Returns ``(profile, block)`` as :meth:`Profile.parse_columnar`,
+    transparently handling gzip framing.
+    """
+    with _tracer.span("codec.pprof.parse", bytes=len(data)):
+        if data[:2] == GZIP_MAGIC:
+            data = gzip.decompress(data)
+        return Profile.parse_columnar(data)
