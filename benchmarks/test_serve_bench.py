@@ -1,0 +1,51 @@
+"""Serving bench — concurrent socket sessions vs the single-client path.
+
+Runs the shared harness in :mod:`repro.bench.serve` over the
+client-count tiers, writes ``BENCH_serve.json`` at the repo root, and
+enforces three things:
+
+* **Determinism always**: at every tier the concurrent sessions'
+  response streams must be digest-identical to each other and to the
+  single-client ``StdioServer`` reference (the harness raises
+  :class:`repro.bench.serve.ServeMismatch` if not).
+* **Cancellation effectiveness**: the burst run's superseded ratio must
+  be positive — queued same-pane requests really are cancelled rather
+  than executed.
+* **Scalability shape**: throughput and p50/p95/p99 latency are
+  reported for at least three client counts.
+
+CI runs this in quick mode (1/16/64 sessions); set
+``EASYVIEW_BENCH_LARGE`` != 0 (the default locally) for the
+1024-session tier the scalability claim is defined on.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.serve import QUICK_TIERS, run_serve_bench, write_report
+
+REPORT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_serve.json")
+
+LARGE_ENABLED = os.environ.get("EASYVIEW_BENCH_LARGE", "1") != "0"
+
+
+def test_serve_bench():
+    tiers = list(QUICK_TIERS) + ([1024] if LARGE_ENABLED else [])
+    report = run_serve_bench(tiers)
+    write_report(report, os.path.normpath(REPORT_PATH))
+
+    assert len(report["tiers"]) >= 3
+    for entry in report["tiers"].values():
+        assert entry["digestMatchesStdio"]
+        assert entry["digest"] == report["stdioReferenceDigest"]
+        assert entry["errors"] == 0
+        assert entry["throughputRps"] > 0
+        assert entry["latencyMs"]["p50"] <= entry["latencyMs"]["p95"] \
+            <= entry["latencyMs"]["p99"]
+
+    burst = report["burst"]
+    assert burst["burstRequests"] > 0
+    assert burst["supersededRatio"] > 0, \
+        "supersession never fired under the burst workload"

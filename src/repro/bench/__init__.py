@@ -2,3 +2,4 @@
 
 from .codec import run_codec_bench, write_report  # noqa: F401
 from .cct import run_cct_bench  # noqa: F401
+from .serve import run_serve_bench  # noqa: F401

@@ -1,0 +1,209 @@
+"""Multi-client serving benchmark: the asyncio PVP service under load.
+
+One harness, two front ends: ``benchmarks/test_serve_bench.py`` runs it
+under pytest and CI, and ``easyview bench serve`` runs it from the
+command line.  Both emit the same ``BENCH_serve.json`` report.
+
+For each client-count tier the harness starts an in-process
+:class:`~repro.serve.server.PVPServer`, drives it with
+:func:`~repro.serve.loadgen.run_load` scripted analysts (the
+``repro.study`` task plans translated to PVP requests over a
+``spark_profile`` workload), and records throughput plus p50/p95/p99
+request latency.
+
+Every run also gates on correctness: the deterministic (sequential)
+script must produce response streams that are digest-identical across
+every concurrent session *and* identical to the single-client
+``StdioServer`` answering the same wire lines — volatile keys such as
+``responseSeconds`` masked, ordering canonicalized — or
+:class:`ServeMismatch` is raised.  A separate burst run (mouse-sweep
+hovers fired without awaiting, a deliberately narrow dispatch pool)
+measures cancellation effectiveness: the superseded ratio — cancelled
+burst requests over burst requests sent — must be positive, proving the
+supersession path actually fires under interactive load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..core.atomicio import atomic_write_text
+from ..core.serialize import dump
+from ..profilers.workloads import spark_profile
+from ..serve.loadgen import (LoadReport, analyst_script, canonical_line,
+                             digest_lines, run_load, sequential_script,
+                             wire_lines)
+from ..serve.server import PVPServer, ServeConfig
+
+#: Client-count tiers: quick keeps CI under a minute, full adds the
+#: thousand-session tier the scalability claim is defined on.
+QUICK_TIERS = (1, 16, 64)
+FULL_TIERS = (1, 64, 1024)
+
+#: Sessions and dispatch-pool width for the burst (cancellation) run: a
+#: deliberately narrow pool so queues form and supersession fires.
+BURST_SESSIONS = 32
+BURST_WORKERS = 2
+
+DEFAULT_REPORT = "BENCH_serve.json"
+
+
+class ServeMismatch(AssertionError):
+    """Concurrent serving disagreed with the single-client reference."""
+
+
+def make_profile(directory: str) -> str:
+    """Write the benchmark workload profile and return its path."""
+    path = os.path.join(directory, "spark.ezvw")
+    dump(spark_profile(), path)
+    return path
+
+
+def stdio_reference_digest(profile_path: str,
+                           script: Sequence[Dict[str, Any]]) -> str:
+    """The single-client ``StdioServer`` digest for ``script``.
+
+    Two passes: the first learns the profile id the session assigns, the
+    second replays the full wire script (identical requests and ids to a
+    socket :class:`~repro.serve.loadgen.LoadClient`) and digests every
+    stdout line — responses and notifications — canonicalized.
+    """
+    from ..ide.server import StdioServer
+
+    probe = wire_lines([], profile_id=0, profile_path=profile_path)
+    out = io.StringIO()
+    StdioServer(stdin=io.StringIO("\n".join(probe) + "\n"), stdout=out,
+                log=io.StringIO()).serve_forever()
+    open_response = json.loads(out.getvalue().splitlines()[0])
+    if open_response.get("result") is None:
+        raise ServeMismatch("stdio reference failed to open %r: %s"
+                            % (profile_path, open_response.get("error")))
+    profile_id = open_response["result"]["profileId"]
+
+    full = wire_lines(script, profile_id, profile_path)
+    out = io.StringIO()
+    StdioServer(stdin=io.StringIO("\n".join(full) + "\n"), stdout=out,
+                log=io.StringIO()).serve_forever()
+    lines = [canonical_line(json.loads(line))
+             for line in out.getvalue().splitlines()]
+    return digest_lines(lines)
+
+
+async def _run_tier(sessions: int, profile_path: str,
+                    script: Sequence[Dict[str, Any]],
+                    workers: Optional[int] = None) -> LoadReport:
+    config = ServeConfig(max_pending=max(1024, sessions * 4),
+                         max_session_queue=64,
+                         workers=workers)
+    server = PVPServer(config, log=io.StringIO())
+    await server.start()
+    try:
+        return await run_load("127.0.0.1", server.port, sessions,
+                              profile_path, script=script)
+    finally:
+        await server.stop()
+
+
+def bench_tier(sessions: int, profile_path: str,
+               script: Sequence[Dict[str, Any]],
+               reference_digest: str) -> Dict[str, Any]:
+    """One client-count tier; raises :class:`ServeMismatch` on drift."""
+    report = asyncio.run(_run_tier(sessions, profile_path, script))
+    digests = set(report.digests)
+    if len(digests) != 1:
+        raise ServeMismatch(
+            "%d concurrent sessions produced %d distinct response digests"
+            % (sessions, len(digests)))
+    digest = digests.pop()
+    if digest != reference_digest:
+        raise ServeMismatch(
+            "socket responses at %d sessions (digest %s) differ from the "
+            "single-client StdioServer reference (digest %s)"
+            % (sessions, digest, reference_digest))
+    if report.errors:
+        raise ServeMismatch(
+            "%d error responses in the deterministic run at %d sessions"
+            % (report.errors, sessions))
+    entry = report.to_dict()
+    entry["digest"] = digest
+    entry["digestMatchesStdio"] = True
+    del entry["burstRequests"]  # no bursts in the deterministic script
+    return entry
+
+
+def bench_burst(profile_path: str,
+                script: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The cancellation-effectiveness run (bursty script, narrow pool)."""
+    report = asyncio.run(_run_tier(BURST_SESSIONS, profile_path, script,
+                                   workers=BURST_WORKERS))
+    ratio = (report.cancelled / report.burst_requests
+             if report.burst_requests else 0.0)
+    return {
+        "sessions": BURST_SESSIONS,
+        "workers": BURST_WORKERS,
+        "requests": report.requests,
+        "burstRequests": report.burst_requests,
+        "cancelled": report.cancelled,
+        "denied": report.denied,
+        "supersededRatio": round(ratio, 4),
+        "throughputRps": round(report.throughput_rps, 1),
+    }
+
+
+def run_serve_bench(tiers: Optional[Iterable[int]] = None,
+                    task: str = "task1",
+                    max_steps: int = 12) -> Dict[str, Any]:
+    """Run the serving benchmark and return the full report dict."""
+    names: List[int] = list(tiers if tiers is not None else FULL_TIERS)
+    script = analyst_script(task, max_steps=max_steps)
+    deterministic = sequential_script(script)
+    with tempfile.TemporaryDirectory(prefix="easyview-bench-serve-"
+                                     ) as directory:
+        profile_path = make_profile(directory)
+        reference = stdio_reference_digest(profile_path, deterministic)
+        report_tiers = {
+            str(sessions): bench_tier(sessions, profile_path,
+                                      deterministic, reference)
+            for sessions in names}
+        burst = bench_burst(profile_path, script)
+    return {
+        "benchmark": "serve",
+        "task": task,
+        "stdioReferenceDigest": reference,
+        "tiers": report_tiers,
+        "burst": burst,
+    }
+
+
+def write_report(report: Dict[str, Any],
+                 path: str = DEFAULT_REPORT) -> str:
+    atomic_write_text(path,
+                      json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary table for the CLI."""
+    lines = ["serve: concurrent sessions vs single-client stdio reference"]
+    header = "%-9s %9s %10s %9s %9s %9s  %s" % (
+        "sessions", "requests", "req/s", "p50 ms", "p95 ms", "p99 ms",
+        "digest")
+    lines.append(header)
+    for name in sorted(report["tiers"], key=int):
+        entry = report["tiers"][name]
+        latency = entry["latencyMs"]
+        lines.append("%-9s %9d %10.1f %9.3f %9.3f %9.3f  %s" % (
+            name, entry["requests"], entry["throughputRps"],
+            latency["p50"], latency["p95"], latency["p99"],
+            "ok" if entry["digestMatchesStdio"] else "MISMATCH"))
+    burst = report["burst"]
+    lines.append("burst: %d sessions x %d-wide pool, %d/%d burst requests "
+                 "superseded (ratio %.3f)"
+                 % (burst["sessions"], burst["workers"], burst["cancelled"],
+                    burst["burstRequests"], burst["supersededRatio"]))
+    return "\n".join(lines)

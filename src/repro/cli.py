@@ -650,6 +650,14 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        from .serve.server import ServeConfig, run_server
+
+        run_server(ServeConfig(host=args.host, port=args.port,
+                               max_pending=args.max_pending,
+                               max_session_queue=args.max_session_queue,
+                               workers=args.workers))
+        return 0
     from .ide.server import StdioServer
 
     StdioServer().serve_forever()
@@ -750,6 +758,29 @@ def _cmd_bench_cct(args: argparse.Namespace) -> int:
     except OracleMismatch as exc:
         print("easyview: columnar oracle mismatch: %s" % exc,
               file=sys.stderr)
+        return 2
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        from .core.jsonio import dumps_data
+        print(dumps_data(report))
+    else:
+        print(format_report(report))
+        if args.out:
+            print("report written to %s" % args.out)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Run the multi-client serving benchmark (same harness as CI)."""
+    from .bench.serve import (FULL_TIERS, QUICK_TIERS, ServeMismatch,
+                              format_report, run_serve_bench, write_report)
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    try:
+        report = run_serve_bench(tiers)
+    except ServeMismatch as exc:
+        print("easyview: serve mismatch: %s" % exc, file=sys.stderr)
         return 2
     if args.out:
         write_report(report, args.out)
@@ -1047,8 +1078,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="machine-readable snapshot")
     p_s_stats.set_defaults(fn=_cmd_store_stats)
 
-    p_serve = sub.add_parser("serve",
-                             help="Profile View Protocol server on stdio")
+    p_serve = sub.add_parser(
+        "serve", help="Profile View Protocol server (stdio or socket)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve many clients on a TCP socket "
+                              "(0 = ephemeral); default is stdio")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address for --port (default loopback)")
+    p_serve.add_argument("--max-pending", type=int, default=1024,
+                         help="global admission cap on queued+running "
+                              "requests")
+    p_serve.add_argument("--max-session-queue", type=int, default=16,
+                         help="per-session request queue depth")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="dispatch pool width (default: engine sizing)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="run built-in benchmarks")
@@ -1075,6 +1118,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_b_cct.add_argument("--out", metavar="PATH",
                          help="also write the JSON report to PATH")
     p_b_cct.set_defaults(fn=_cmd_bench_cct)
+    p_b_serve = bench_sub.add_parser(
+        "serve", help="concurrent socket serving vs single-client stdio")
+    p_b_serve.add_argument("--json", action="store_true",
+                           help="print the full report as JSON")
+    p_b_serve.add_argument("--quick", action="store_true",
+                           help="1/16/64 sessions only (skip the 1024 tier)")
+    p_b_serve.add_argument("--out", metavar="PATH",
+                           help="also write the JSON report to PATH")
+    p_b_serve.set_defaults(fn=_cmd_bench_serve)
     return parser
 
 

@@ -60,9 +60,19 @@ class WorkerPool:
             with self._lock:
                 if self._executor is None:
                     self._executor = ThreadPoolExecutor(
-                        max_workers=self.max_workers,
+                        max_workers=max(1, self.max_workers),
                         thread_name_prefix="easyview-engine")
         return self._executor
+
+    def executor(self) -> ThreadPoolExecutor:
+        """The underlying executor (created on first use).
+
+        The socket server schedules per-request dispatch onto this via
+        ``loop.run_in_executor``; a disabled pool (``max_workers <= 1``)
+        still yields a one-thread executor so CPU-bound work always
+        leaves the event loop.
+        """
+        return self._ensure_executor()
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving input order.

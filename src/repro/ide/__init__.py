@@ -9,9 +9,21 @@ from .annotations import (build_code_lenses, build_decorations,
                           line_attribution)
 from .hosts import HOSTS, HostProfile, host, make_ide
 from .mock_ide import EditorState, MockIDE
-from .server import StdioServer
 from .session import OpenedProfile, OpenStats, ViewerSession
 from .tips import TipEngine
+
+
+def __getattr__(name):
+    # Loaded lazily: ``.server`` imports the transport-shared dispatch
+    # layer from ``repro.serve``, whose line parser imports
+    # ``repro.ide.protocol`` — eager loading here would make that a
+    # circular import whenever ``repro.serve`` is imported first.
+    if name == "StdioServer":
+        from .server import StdioServer
+        return StdioServer
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
 
 __all__ = [
     "protocol", "Capabilities", "CodeLens", "CodeLink", "Decoration",

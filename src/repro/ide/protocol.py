@@ -36,6 +36,14 @@ PROFILE_NOT_LOADED = -32000
 UNSUPPORTED_FORMAT = -32001
 UNKNOWN_VIEW = -32002
 UNKNOWN_NODE = -32003
+# Serving-layer codes (the socket transport in :mod:`repro.serve`).
+# ``CANCELLED``: a queued request was superseded by a newer request for
+# the same session+pane and will never run.  ``DENIED``: admission
+# control rejected the request outright (global in-flight cap or
+# per-session queue depth); the error ``data`` carries a
+# ``retryAfterMs`` hint.
+CANCELLED = -32800
+DENIED = -32801
 
 # view/* methods (IDE → viewer).
 VIEW_OPEN = "view/open"
@@ -139,8 +147,11 @@ class Response:
 
     @classmethod
     def failure(cls, request_id: Optional[int], code: int,
-                message: str) -> "Response":
-        return cls(id=request_id, error={"code": code, "message": message})
+                message: str, data: Any = None) -> "Response":
+        error: Dict[str, Any] = {"code": code, "message": message}
+        if data is not None:
+            error["data"] = data
+        return cls(id=request_id, error=error)
 
 
 Message = Union[Request, Response]

@@ -5,40 +5,22 @@ used by many LSP-adjacent tools.  An editor process writes ``view/*``
 requests to the server's stdin and reads responses plus ``ide/*``
 notifications from its stdout.  The server is single-threaded and
 processes requests in order, which matches the paper's single-viewer
-interaction model.
+interaction model; the request parsing, dispatch, and error mapping live
+in :mod:`repro.serve.dispatch`, shared byte-for-byte with the concurrent
+socket transport in :mod:`repro.serve.server`.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import sys
-import time
 from typing import Any, Dict, IO, Optional
 
-from ..errors import ProtocolError
-from ..obs import get_registry, get_tracer
+from ..serve.dispatch import (DEFAULT_SLOW_SECONDS, Dispatcher,
+                              MAX_LINE_BYTES, oversized_response,
+                              parse_line, undecodable_response)
 from .actions import Capabilities
-from .protocol import (INTERNAL_ERROR, INVALID_REQUEST, PARSE_ERROR,
-                       Request, Response, parse_message)
+from .protocol import Request, Response
 from .session import ViewerSession
-
-
-#: Upper bound on one request line.  An editor never legitimately sends
-#: requests this large; anything bigger is a broken or hostile peer, and
-#: reading it unbounded would balloon the server's memory.
-MAX_LINE_BYTES = 10 * 1024 * 1024
-
-#: A request slower than this gets a structured log line on stderr
-#: carrying its trace id (overridable via ``EASYVIEW_SLOW_MS``).
-DEFAULT_SLOW_SECONDS = 0.5
-
-
-def _env_slow_seconds() -> float:
-    try:
-        return float(os.environ.get("EASYVIEW_SLOW_MS", "")) / 1e3
-    except ValueError:
-        return DEFAULT_SLOW_SECONDS
 
 
 class StdioServer:
@@ -52,7 +34,8 @@ class StdioServer:
 
     Every request is counted, timed into the ``server.request_seconds``
     histogram, and tracked by the ``server.inflight`` gauge; slow
-    requests log one structured JSON line on stderr with their trace id.
+    requests log one structured JSON line on stderr with their trace id
+    and session id (all via the shared :class:`Dispatcher`).
     """
 
     def __init__(self, stdin: Optional[IO[str]] = None,
@@ -63,27 +46,17 @@ class StdioServer:
                  log: Optional[IO[str]] = None) -> None:
         self._stdin = stdin if stdin is not None else sys.stdin
         self._stdout = stdout if stdout is not None else sys.stdout
-        self._log = log if log is not None else sys.stderr
         self.max_line_bytes = max_line_bytes
-        self.slow_seconds = (slow_seconds if slow_seconds is not None
-                             else _env_slow_seconds())
         self.session = ViewerSession(sink=self._notify,
-                                     capabilities=capabilities)
+                                     capabilities=capabilities,
+                                     session_id="stdio")
+        self.dispatcher = Dispatcher(self.session,
+                                     slow_seconds=slow_seconds, log=log)
         self._running = False
-        registry = get_registry()
-        self._requests = registry.counter(
-            "server.requests", "PVP requests handled")
-        self._errors = registry.counter(
-            "server.errors", "PVP requests answered with an error")
-        self._crashes = registry.counter(
-            "server.handler_crashes",
-            "unexpected exceptions inside a request handler")
-        self._slow = registry.counter(
-            "server.slow_requests", "requests over the slow threshold")
-        self._inflight = registry.gauge(
-            "server.inflight", "requests currently being handled")
-        self._latency = registry.histogram(
-            "server.request_seconds", description="per-request latency")
+
+    @property
+    def slow_seconds(self) -> float:
+        return self.dispatcher.slow_seconds
 
     def _notify(self, method: str, params: Dict[str, Any]) -> None:
         """Forward an ide/* action as a JSON-RPC notification."""
@@ -94,63 +67,7 @@ class StdioServer:
         self._stdout.flush()
 
     def _handle_request(self, message: Request) -> Response:
-        """Handle one request under a span, with latency accounting.
-
-        Robustness contract: *no* exception from a request handler
-        escapes to ``serve_forever`` — a handler crash becomes a JSON-RPC
-        ``INTERNAL_ERROR`` response carrying the trace id, and the server
-        keeps serving.  Requests slower than ``slow_seconds`` emit a
-        structured log line (one JSON object) on stderr with the same
-        trace id, so a slow interaction can be joined to its spans.
-        """
-        tracer = get_tracer()
-        self._requests.inc()
-        self._inflight.inc()
-        started = time.perf_counter()
-        trace_id = None
-        try:
-            with tracer.span("server.request",
-                             method=message.method) as span:
-                if span is not None:
-                    trace_id = span.trace_id
-                try:
-                    response = self.session.handle(message)
-                except Exception as exc:  # the handler crashed: answer,
-                    self._crashes.inc()   # don't die
-                    if span is not None:
-                        span.set("crashed", type(exc).__name__)
-                    detail = "internal error handling %s: %s" % (
-                        message.method, exc)
-                    if trace_id is not None:
-                        detail += " (trace %s)" % trace_id
-                    response = Response.failure(message.id, INTERNAL_ERROR,
-                                                detail)
-                if span is not None:
-                    span.set("ok", response.ok)
-        finally:
-            elapsed = time.perf_counter() - started
-            self._inflight.dec()
-            self._latency.observe(elapsed)
-        if not response.ok:
-            self._errors.inc()
-        if elapsed >= self.slow_seconds:
-            self._slow.inc()
-            self._log_slow(message, elapsed, trace_id, response.ok)
-        return response
-
-    def _log_slow(self, message: Request, elapsed: float,
-                  trace_id: Optional[str], ok: bool) -> None:
-        try:
-            self._log.write(json.dumps({
-                "event": "slow_request",
-                "method": message.method,
-                "seconds": round(elapsed, 6),
-                "traceId": trace_id,
-                "ok": ok,
-            }, sort_keys=True) + "\n")
-            self._log.flush()
-        except (OSError, ValueError):
-            pass  # logging must never take the server down
+        return self.dispatcher.handle(message)
 
     def _read_line(self):
         """One bounded line read.
@@ -193,31 +110,19 @@ class StdioServer:
                     break
                 if kind == "oversized":
                     handled += 1
-                    self._write(Response.failure(
-                        None, PARSE_ERROR,
-                        "request exceeds %d bytes" % self.max_line_bytes)
-                        .to_json())
+                    self._write(oversized_response(self.max_line_bytes)
+                                .to_json())
                     continue
                 if kind == "undecodable":
                     handled += 1
-                    self._write(Response.failure(
-                        None, PARSE_ERROR,
-                        "request is not valid UTF-8").to_json())
+                    self._write(undecodable_response().to_json())
                     continue
-                line = line.strip()
-                if not line:
-                    continue
+                message, error = parse_line(line)
+                if message is None and error is None:
+                    continue  # blank line
                 handled += 1
-                try:
-                    message = parse_message(line)
-                except ProtocolError as exc:
-                    self._write(Response.failure(None, PARSE_ERROR,
-                                                 str(exc)).to_json())
-                    continue
-                if not isinstance(message, Request):
-                    self._write(Response.failure(
-                        None, INVALID_REQUEST,
-                        "expected a request").to_json())
+                if error is not None:
+                    self._write(error.to_json())
                     continue
                 if message.method == "shutdown":
                     self._write(Response.success(message.id, {"ok": True})

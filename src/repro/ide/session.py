@@ -79,8 +79,14 @@ class ViewerSession:
     def __init__(self, sink: Optional[ActionSink] = None,
                  capabilities: Optional[Capabilities] = None,
                  canvas_width: float = 1200.0,
-                 engine: Optional[AnalysisEngine] = None) -> None:
+                 engine: Optional[AnalysisEngine] = None,
+                 session_id: str = "local") -> None:
         self._sink = sink or (lambda method, params: None)
+        #: Which client this session belongs to ("stdio" for the stdio
+        #: transport, "c<N>" for socket connections).  Slow-request log
+        #: lines and the ``obs/trace`` payload carry it, so a trace in a
+        #: multi-client server is attributable to its session.
+        self.session_id = session_id
         self.capabilities = capabilities or Capabilities.full()
         self.canvas_width = canvas_width
         #: All view/hover/code-lens computation routes through the engine;
@@ -491,6 +497,7 @@ class ViewerSession:
         if clear:
             tracer.clear()
         return {"enabled": tracer.enabled,
+                "sessionId": self.session_id,
                 "spans": [span.to_dict() for span in spans]}
 
     # -- protocol dispatch -----------------------------------------------------------

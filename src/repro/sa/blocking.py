@@ -1,22 +1,27 @@
-"""The blocking pass (rules EV411-EV412): slow calls in fast places.
+"""The blocking pass (rules EV411-EV413): slow calls in fast places.
 
-Two places a known-blocking call does outsized damage:
+Three places a known-blocking call does outsized damage:
 
 * **under a lock** (``EV411``) — every other thread contending for that
   lock now waits on the disk or the network too; lock hold times should
-  be bounded by memory work, and
+  be bounded by memory work,
 * **inside a hot tracer span** (``EV412``) — spans wrap the engine's and
   store's latency-sensitive paths; blocking I/O inside one usually means
   I/O crept onto a path that is profiled precisely because it must stay
-  fast.
+  fast, and
+* **inside an ``async def``** (``EV413``) — the socket server multiplexes
+  every connected session onto one event loop; a blocking call in a
+  coroutine stalls all of them at once.  Blocking work belongs on the
+  dispatch pool via ``run_in_executor`` (``await asyncio.sleep`` is the
+  non-blocking sleep and is not in the curated list).
 
 "Known-blocking" is a curated list, not an inference: bare ``open()``,
 ``time.sleep``, anything under ``subprocess``/``socket``, the
 filesystem-touching ``os.*`` calls, the repo's own segment/atomic-file
 helpers, durability methods on WAL/manifest objects, and worker-pool
 fan-out (``pool.map`` under a lock holds the lock across the whole
-batch).  EV411 takes precedence: a call both under a lock and inside a
-span reports once, as EV411.
+batch).  Precedence when one call qualifies for several rules: EV411,
+then EV413, then EV412 — each call reports once.
 """
 
 from __future__ import annotations
@@ -60,6 +65,17 @@ register(Rule(
          "    time.sleep(0.1)\n"
          "    with tracer.span('viewer.render'):\n"
          "        return tree.layout()\n"))
+register(Rule(
+    "EV413", "selfcheck", Severity.WARNING,
+    "blocking call inside an async function",
+    bad="import time\n"
+        "async def poll(queue):\n"
+        "    time.sleep(0.05)\n"
+        "    return queue.get_nowait()\n",
+    good="import asyncio\n"
+         "async def poll(queue):\n"
+         "    await asyncio.sleep(0.05)\n"
+         "    return queue.get_nowait()\n"))
 
 #: ``os.*`` calls that reach the filesystem.
 _OS_BLOCKING = frozenset({
@@ -123,13 +139,15 @@ def is_hot_span(expr: ast.AST) -> bool:
 
 class _BlockingVisitor(LockTracker):
     def __init__(self, module: SourceModule, scope: Scope, fn_name: str,
-                 findings: Findings) -> None:
+                 findings: Findings, is_async: bool = False) -> None:
         super().__init__(scope)
         self.module = module
         self.fn_name = fn_name
         self.findings = findings
         self.span_depth = 0
         self._span_stack: List[int] = []
+        self.in_async = is_async
+        self._async_stack: List[bool] = []
 
     def visit_With(self, node: ast.With) -> None:
         spans = sum(1 for item in node.items
@@ -143,12 +161,18 @@ class _BlockingVisitor(LockTracker):
     visit_AsyncWith = visit_With
 
     def enter_function(self, node: ast.AST) -> None:
-        # A nested function's body runs later, outside the span.
+        # A nested function's body runs later, outside the span — and in
+        # its own async-ness: a sync callback defined inside a coroutine
+        # does not block the loop when *defined*, and a nested coroutine
+        # does block it when run.
         self._span_stack.append(self.span_depth)
         self.span_depth = 0
+        self._async_stack.append(self.in_async)
+        self.in_async = isinstance(node, ast.AsyncFunctionDef)
 
     def leave_function(self, node: ast.AST) -> None:
         self.span_depth = self._span_stack.pop()
+        self.in_async = self._async_stack.pop()
 
     def handle_node(self, node: ast.AST) -> None:
         if not isinstance(node, ast.Call):
@@ -164,6 +188,14 @@ class _BlockingVisitor(LockTracker):
                 % (self.fn_name, description, lock),
                 span=self.module.span(node),
                 line=getattr(node, "lineno", 0))
+        elif self.in_async:
+            self.findings.add(
+                "EV413",
+                "%s: calls %s inside an async function; a blocking call "
+                "stalls the event loop for every session"
+                % (self.fn_name, description),
+                span=self.module.span(node),
+                line=getattr(node, "lineno", 0))
         elif self.span_depth:
             self.findings.add(
                 "EV412",
@@ -174,15 +206,17 @@ class _BlockingVisitor(LockTracker):
 
 
 def check_blocking(module: SourceModule, findings: Findings) -> None:
-    """Run EV411/EV412 over every function in the file.
+    """Run EV411/EV412/EV413 over every function in the file.
 
-    Scopes without locks still run (EV412 needs no lock); ``self.held``
-    just stays empty there.
+    Scopes without locks still run (EV412/EV413 need no lock);
+    ``self.held`` just stays empty there.
     """
     for scope in scopes(module):
         for fn in scope.functions:
             name = getattr(fn, "name", "<lambda>")
             fn_name = "%s.%s" % (scope.name, name) if scope.name else name
-            visitor = _BlockingVisitor(module, scope, fn_name, findings)
+            visitor = _BlockingVisitor(
+                module, scope, fn_name, findings,
+                is_async=isinstance(fn, ast.AsyncFunctionDef))
             for statement in fn.body:
                 visitor.visit(statement)

@@ -1,0 +1,43 @@
+"""``repro.serve``: the concurrent multi-client PVP service.
+
+The paper's stdio transport serves one editor.  This package is the
+shared-service path: :mod:`repro.serve.dispatch` holds the
+transport-independent parse/dispatch/error-map layer (used verbatim by
+the stdio server, keeping the two transports byte-identical),
+:mod:`repro.serve.server` is the asyncio socket transport with
+admission control, supersession cancellation, slow-client isolation and
+graceful drain, and :mod:`repro.serve.loadgen` drives it with scripted
+analysts derived from the ``repro.study`` cost model.
+"""
+
+from .dispatch import (DEFAULT_SLOW_SECONDS, Dispatcher, MAX_LINE_BYTES,
+                       SUPERSEDABLE, oversized_response, parse_line,
+                       supersede_key, undecodable_response)
+from .loadgen import (LoadClient, LoadReport, SessionResult, analyst_script,
+                      canonical_line, digest_lines, run_load,
+                      sequential_script, wire_lines)
+from .server import PVPServer, ServeConfig, Session, run_server
+
+__all__ = [
+    "DEFAULT_SLOW_SECONDS",
+    "Dispatcher",
+    "LoadClient",
+    "LoadReport",
+    "MAX_LINE_BYTES",
+    "PVPServer",
+    "ServeConfig",
+    "Session",
+    "SessionResult",
+    "SUPERSEDABLE",
+    "analyst_script",
+    "canonical_line",
+    "digest_lines",
+    "oversized_response",
+    "parse_line",
+    "run_load",
+    "run_server",
+    "sequential_script",
+    "supersede_key",
+    "undecodable_response",
+    "wire_lines",
+]

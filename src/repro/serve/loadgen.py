@@ -1,0 +1,443 @@
+"""``repro.serve.loadgen``: drive thousands of concurrent PVP sessions.
+
+The load generator reuses the rest of the repo instead of inventing a
+synthetic protocol exerciser:
+
+* **Workload shapes** come from the program machine — the served profile
+  is a :func:`~repro.profilers.workloads.spark_profile` (or any workload
+  the caller passes), serialized once and opened by every session, so
+  the shared engine cache sees the same content-digest traffic a fleet
+  of IDEs produces.
+
+* **Request scripts** come from ``repro.study``'s scripted analysts: a
+  study task's primitive-operation workflow (``navigate``,
+  ``inspect_block``, ``read_histogram``, ...) is translated step-by-step
+  into the PVP requests an IDE would issue for it
+  (:data:`STEP_REQUESTS`).  ``inspect_block`` becomes a *burst* of
+  hovers — fired without awaiting responses, exactly the mouse-move
+  burst the server's supersession cancellation exists for.
+
+Each simulated analyst opens one connection, runs its script, and
+records per-request latency plus cancellation/denial/error counts;
+:func:`run_load` fans N of them out on one event loop and aggregates
+into a :class:`LoadReport` with p50/p95/p99 latency, which
+``repro.bench.serve`` turns into ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ide.protocol import CANCELLED, DENIED
+from ..study.costmodel import EASYVIEW_CAPS
+from ..study.tasks import plan
+
+#: How one analyst primitive translates into PVP traffic.  Each entry is
+#: a list of (method, params) templates; ``$profile`` is replaced with
+#: the session's opened profile id.  A ``burst`` template group is sent
+#: back-to-back without awaiting responses (supersedable traffic).
+STEP_REQUESTS: Dict[str, Dict[str, Any]] = {
+    "navigate": {
+        "burst": False,
+        "requests": [
+            ("view/switchShape", {"profileId": "$profile",
+                                  "shape": "bottom_up"}),
+            ("view/switchShape", {"profileId": "$profile",
+                                  "shape": "top_down"}),
+        ],
+    },
+    "inspect_block": {
+        # A mouse sweep: hovers racing each other for the same pane.
+        "burst": True,
+        "requests": [
+            ("view/hover", {"profileId": "$profile", "file": "Task.scala",
+                            "line": 123}),
+            ("view/hover", {"profileId": "$profile", "file": "RDD.scala",
+                            "line": 288}),
+            ("view/hover", {"profileId": "$profile",
+                            "file": "Executor.scala", "line": 414}),
+        ],
+    },
+    "open_source": {
+        "burst": False,
+        "requests": [
+            ("view/search", {"profileId": "$profile", "pattern": "run"}),
+            ("view/select", {"profileId": "$profile", "nodeRef": 0}),
+        ],
+    },
+    "manual_source_lookup": {
+        "burst": False,
+        "requests": [
+            ("view/search", {"profileId": "$profile", "pattern": "write"}),
+        ],
+    },
+    "learn_view": {
+        "burst": False,
+        "requests": [
+            ("view/summary", {"profileId": "$profile"}),
+        ],
+    },
+    "fold_unfold": {
+        "burst": False,
+        "requests": [
+            ("view/table", {"profileId": "$profile", "maxRows": 20}),
+        ],
+    },
+    "read_histogram": {
+        "burst": False,
+        "requests": [
+            ("view/click", {"profileId": "$profile", "nodeRef": 0}),
+        ],
+    },
+    "inspect_table": {
+        "burst": False,
+        "requests": [
+            ("view/table", {"profileId": "$profile", "maxRows": 50}),
+        ],
+    },
+}
+
+#: Primitives that are purely human time (no tool interaction).
+_HUMAN_ONLY = frozenset({"switch_tool", "write_script", "run_script"})
+
+
+def analyst_script(task: str = "task1", max_steps: int = 12,
+                   max_repeat: int = 4) -> List[Dict[str, Any]]:
+    """The PVP request script for one scripted analyst.
+
+    Plans the study task with EasyView's capability matrix, walks the
+    resulting primitive steps, and emits the request groups of
+    :data:`STEP_REQUESTS` (human-only primitives contribute no traffic).
+    ``max_steps`` bounds the tool-visible steps so a load tier's request
+    count stays proportional to its session count; ``max_repeat`` caps
+    each primitive so a long ``inspect_block`` run does not crowd the
+    other primitives out of the bounded script.
+    """
+    flow = plan(task, EASYVIEW_CAPS)
+    groups: List[Dict[str, Any]] = []
+    taken: Dict[str, int] = {}
+    for step in flow.steps:
+        if step in _HUMAN_ONLY:
+            continue
+        template = STEP_REQUESTS.get(step)
+        if template is None:
+            continue
+        if taken.get(step, 0) >= max_repeat:
+            continue
+        taken[step] = taken.get(step, 0) + 1
+        groups.append({"step": step, "burst": template["burst"],
+                       "requests": list(template["requests"])})
+        if len(groups) >= max_steps:
+            break
+    return groups
+
+
+@dataclass
+class SessionResult:
+    """One analyst session's outcome."""
+
+    session: int
+    ok: bool = True
+    requests: int = 0
+    burst_requests: int = 0
+    latencies: List[float] = field(default_factory=list)
+    cancelled: int = 0
+    denied: int = 0
+    errors: int = 0
+    notifications: int = 0
+    response_digest: str = ""
+
+
+@dataclass
+class LoadReport:
+    """Aggregate over every session of one load run."""
+
+    sessions: int = 0
+    wall_seconds: float = 0.0
+    requests: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    denied: int = 0
+    errors: int = 0
+    notifications: int = 0
+    burst_requests: int = 0
+    latencies: List[float] = field(default_factory=list)
+    digests: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def percentile(self, pct: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sessions": self.sessions,
+            "wallSeconds": round(self.wall_seconds, 4),
+            "requests": self.requests,
+            "completed": self.completed,
+            "throughputRps": round(self.throughput_rps, 1),
+            "latencyMs": {
+                "p50": round(self.percentile(50) * 1e3, 3),
+                "p95": round(self.percentile(95) * 1e3, 3),
+                "p99": round(self.percentile(99) * 1e3, 3),
+            },
+            "cancelled": self.cancelled,
+            "denied": self.denied,
+            "errors": self.errors,
+            "notifications": self.notifications,
+            "burstRequests": self.burst_requests,
+        }
+
+
+VOLATILE_KEYS = frozenset({"responseSeconds"})
+
+
+def canonical_line(payload: Dict[str, Any]) -> str:
+    """One response/notification as volatile-free canonical JSON."""
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {k: scrub(v) for k, v in sorted(value.items())
+                    if k not in VOLATILE_KEYS}
+        if isinstance(value, list):
+            return [scrub(v) for v in value]
+        return value
+    return json.dumps(scrub(payload), sort_keys=True)
+
+
+def digest_lines(lines: Sequence[str]) -> str:
+    """Order-independent BLAKE2b digest of canonical wire lines."""
+    import hashlib
+    blake = hashlib.blake2b(digest_size=16)
+    for line in sorted(lines):
+        blake.update(line.encode("utf-8"))
+        blake.update(b"\n")
+    return blake.hexdigest()
+
+
+def sequential_script(script: Sequence[Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+    """The same script with every burst flattened to awaited requests.
+
+    Burst traffic is nondeterministic on purpose (whether a hover gets
+    cancelled depends on queue timing); the determinism/digest runs use
+    this variant so every request executes exactly once.
+    """
+    return [dict(group, burst=False) for group in script]
+
+
+def wire_lines(script: Sequence[Dict[str, Any]], profile_id: Any,
+               profile_path: str) -> List[str]:
+    """The exact wire lines a :class:`LoadClient` sends for ``script``.
+
+    Same requests, same order, same JSON-RPC ids (``view/open`` is id 1,
+    script requests follow, ``shutdown`` is id 999999) — the stdio
+    reference run feeds these lines to ``StdioServer`` so its responses
+    are comparable line-for-line with a socket session's.
+    """
+    lines: List[str] = []
+    next_id = 0
+
+    def emit(method: str, params: Dict[str, Any]) -> None:
+        nonlocal next_id
+        next_id += 1
+        lines.append(json.dumps(
+            {"jsonrpc": "2.0", "id": next_id, "method": method,
+             "params": params}, sort_keys=True))
+
+    emit("view/open", {"path": profile_path})
+    for group in script:
+        for method, template in group["requests"]:
+            emit(method, {k: (profile_id if v == "$profile" else v)
+                          for k, v in template.items()})
+    lines.append('{"jsonrpc": "2.0", "id": 999999, '
+                 '"method": "shutdown", "params": {}}')
+    return lines
+
+
+class LoadClient:
+    """One scripted analyst talking to the server over asyncio streams."""
+
+    def __init__(self, host: str, port: int, index: int,
+                 profile_path: str,
+                 script: Sequence[Dict[str, Any]],
+                 think_seconds: float = 0.0) -> None:
+        self.host = host
+        self.port = port
+        self.index = index
+        self.profile_path = profile_path
+        self.script = script
+        self.think_seconds = think_seconds
+        self.result = SessionResult(session=index)
+        self._next_id = 0
+        self._inflight: Dict[int, Tuple[float, bool]] = {}
+        self._done_sending = True
+        self._open_future: Optional["asyncio.Future"] = None
+        self._open_id: Optional[int] = None
+        self._quiesced: Optional[asyncio.Event] = None
+        self._lines: List[str] = []
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    def _send(self, writer: asyncio.StreamWriter, method: str,
+              params: Dict[str, Any], burst: bool,
+              clock) -> int:
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"jsonrpc": "2.0", "id": request_id, "method": method,
+                   "params": params}
+        writer.write((json.dumps(payload, sort_keys=True) + "\n")
+                     .encode("utf-8"))
+        self._inflight[request_id] = (clock(), burst)
+        if self._quiesced is not None:
+            self._quiesced.clear()
+        self.result.requests += 1
+        return request_id
+
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         clock) -> None:
+        while self._inflight or not self._done_sending:
+            raw = await reader.readline()
+            if not raw:
+                break
+            payload = json.loads(raw.decode("utf-8"))
+            self._lines.append(canonical_line(payload))
+            if "method" in payload:          # ide/* notification
+                self.result.notifications += 1
+                continue
+            request_id = payload.get("id")
+            entry = self._inflight.pop(request_id, None)
+            if not self._inflight and self._quiesced is not None:
+                self._quiesced.set()
+            if entry is not None:
+                started, _burst = entry
+                error = payload.get("error")
+                if error is None:
+                    self.result.latencies.append(clock() - started)
+                elif error.get("code") == CANCELLED:
+                    self.result.cancelled += 1
+                elif error.get("code") == DENIED:
+                    self.result.denied += 1
+                else:
+                    self.result.errors += 1
+            if self._open_future is not None and \
+                    request_id == self._open_id and \
+                    not self._open_future.done():
+                self._open_future.set_result(payload)
+            if not self._inflight and self._done_sending:
+                break
+
+    async def run(self) -> SessionResult:
+        loop = asyncio.get_running_loop()
+        clock = loop.time
+        self._done_sending = False
+        self._open_future = loop.create_future()
+        self._quiesced = asyncio.Event()
+        self._quiesced.set()
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port)
+        except (ConnectionError, OSError):
+            self.result.ok = False
+            return self.result
+        self._writer = writer
+        reader_task = asyncio.ensure_future(self._read_loop(reader, clock))
+        try:
+            self._open_id = self._send(
+                writer, "view/open", {"path": self.profile_path},
+                burst=False, clock=clock)
+            await writer.drain()
+            open_response = await self._open_future
+            result = open_response.get("result")
+            if result is None:
+                self.result.ok = False
+                return self.result
+            profile_id = result["profileId"]
+            for group in self.script:
+                burst = group["burst"]
+                for method, template in group["requests"]:
+                    params = {k: (profile_id if v == "$profile" else v)
+                              for k, v in template.items()}
+                    self._send(writer, method, params, burst=burst,
+                               clock=clock)
+                    if burst:
+                        self.result.burst_requests += 1
+                    else:
+                        await writer.drain()
+                        await self._wait_quiesce()
+                await writer.drain()
+                if self.think_seconds:
+                    await asyncio.sleep(self.think_seconds)
+            self._done_sending = True
+            await self._wait_quiesce()
+            writer.write(b'{"jsonrpc": "2.0", "id": 999999, '
+                         b'"method": "shutdown", "params": {}}\n')
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self.result.ok = False
+        finally:
+            self._done_sending = True
+            try:
+                await asyncio.wait_for(reader_task, timeout=30.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError,
+                    ConnectionError, OSError):
+                reader_task.cancel()
+                self.result.ok = False
+            try:
+                writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        self.result.response_digest = digest_lines(self._lines)
+        return self.result
+
+    async def _wait_quiesce(self, timeout: float = 60.0) -> None:
+        """Wait until every sent request has been answered."""
+        if not self._inflight:
+            return
+        try:
+            await asyncio.wait_for(self._quiesced.wait(), timeout)
+        except asyncio.TimeoutError:
+            self.result.ok = False
+
+
+async def run_load(host: str, port: int, sessions: int,
+                   profile_path: str,
+                   script: Optional[Sequence[Dict[str, Any]]] = None,
+                   task: str = "task1",
+                   max_steps: int = 12,
+                   think_seconds: float = 0.0) -> LoadReport:
+    """Fan ``sessions`` scripted analysts out against a running server."""
+    script = (list(script) if script is not None
+              else analyst_script(task, max_steps=max_steps))
+    loop = asyncio.get_running_loop()
+    clients = [LoadClient(host, port, index, profile_path, script,
+                          think_seconds=think_seconds)
+               for index in range(sessions)]
+    started = loop.time()
+    results = await asyncio.gather(*(client.run() for client in clients))
+    wall = loop.time() - started
+
+    report = LoadReport(sessions=sessions, wall_seconds=wall)
+    for result in results:
+        report.requests += result.requests
+        report.completed += len(result.latencies)
+        report.cancelled += result.cancelled
+        report.denied += result.denied
+        report.errors += result.errors
+        report.notifications += result.notifications
+        report.burst_requests += result.burst_requests
+        report.latencies.extend(result.latencies)
+        report.digests.append(result.response_digest)
+        if not result.ok:
+            report.errors += 1
+    return report

@@ -1,0 +1,513 @@
+"""The concurrent PVP service: many IDE sessions over one asyncio loop.
+
+The paper's ``StdioServer`` is one client, one request at a time.  This
+module is the "millions of users" path: an asyncio socket transport
+(newline-delimited JSON-RPC, the exact framing stdio uses) serving many
+concurrent sessions against shared engine/store state.  Design:
+
+* **Per-connection sessions.**  Every accepted connection owns a
+  :class:`Session`: its own :class:`~repro.ide.session.ViewerSession`
+  (so profile ids and node refs are private to the client) sharing the
+  process-wide :class:`~repro.engine.AnalysisEngine` — equal profiles
+  opened by different clients share cached transforms, layouts, and
+  store query results.
+
+* **The event loop never blocks.**  The loop only parses lines and moves
+  queue entries; all CPU-bound view/transform work runs on a
+  :class:`~repro.engine.parallel.WorkerPool` executor via
+  ``run_in_executor``.  The dispatch pool is deliberately *separate*
+  from the engine's fan-out pool: a request handler that fans out
+  through ``engine.pool.map`` must never wait for pool slots occupied
+  by other requests' handlers (the classic nested-thread-pool
+  deadlock).
+
+* **Pipelining with bounded queues.**  A client may send requests
+  without waiting for responses; each session feeds a bounded request
+  queue consumed one-at-a-time (a ``ViewerSession`` is not reentrant),
+  so responses for *executed* requests come back in submission order
+  while control responses — ``CANCELLED`` and ``DENIED`` — overtake
+  them, keyed by JSON-RPC id.
+
+* **Cancellation of superseded requests.**  A newer request for the
+  same session+pane (see :func:`repro.serve.dispatch.supersede_key`)
+  cancels the queued older one: the older request is answered
+  immediately with a ``CANCELLED`` error and never runs.  Under an
+  interactive burst (mouse-move hovers, rapid shape flips) this is what
+  keeps tail latency flat: the server does the newest thing, not every
+  thing.
+
+* **Admission control.**  A global pending cap (queued + running across
+  all sessions) and a per-session queue depth bound.  An over-cap
+  request is answered *fast* with ``DENIED`` plus a ``retryAfterMs``
+  hint — shedding at the door beats queueing into a latency cliff.
+
+* **Slow-client isolation.**  Each session writes through a bounded
+  write queue drained by its own writer task.  When a stalled reader
+  fills the queue, notifications are shed (dropped, counted) and a
+  response that cannot be buffered disconnects the client — one slow
+  TCP peer never stalls the loop or other sessions.
+
+* **Graceful drain.**  ``SIGTERM`` (or :meth:`PVPServer.drain`) stops
+  accepting connections and new requests, finishes queued work up to a
+  deadline, flushes write queues, then closes.
+
+Everything is observable through :mod:`repro.obs`: per-request latency
+histograms (shared with stdio), queue-depth and session gauges,
+cancellation/denial/shed counters, and slow-request log lines carrying
+trace *and* session ids.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import signal
+import sys
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, IO, Optional, Set, Tuple
+
+from ..engine import AnalysisEngine, WorkerPool, default_worker_count
+from ..ide.actions import Capabilities
+from ..ide.protocol import CANCELLED, DENIED, Request, Response
+from ..ide.session import ViewerSession
+from ..obs import get_registry
+from .dispatch import (Dispatcher, MAX_LINE_BYTES, oversized_response,
+                       parse_line, supersede_key, undecodable_response)
+
+#: Read chunk size for the connection's byte buffer.
+_READ_CHUNK = 65536
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs for the socket server (see ``docs/SERVING.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral, read server.port
+    #: Bound on one request line (same contract as stdio).
+    max_line_bytes: int = MAX_LINE_BYTES
+    #: Global admission cap: queued + running requests across every
+    #: session.  Requests past it are answered DENIED immediately.
+    max_pending: int = 1024
+    #: Per-session request queue depth (excludes the running request).
+    max_session_queue: int = 16
+    #: Per-session write queue depth (responses + notifications).
+    max_write_queue: int = 256
+    #: The retry hint attached to DENIED responses, in milliseconds.
+    retry_after_ms: int = 50
+    #: Dispatch pool width (None = engine default sizing).
+    workers: Optional[int] = None
+    #: Seconds a drain waits for queued work before force-closing.
+    drain_seconds: float = 10.0
+    #: Slow-request log threshold override (None = EASYVIEW_SLOW_MS).
+    slow_seconds: Optional[float] = None
+
+
+class _Pending:
+    """One queued request plus its supersession key and queue timestamp."""
+
+    __slots__ = ("request", "key", "enqueued")
+
+    def __init__(self, request: Request, key: Optional[Tuple[str, ...]],
+                 enqueued: float) -> None:
+        self.request = request
+        self.key = key
+        self.enqueued = enqueued
+
+
+class Session:
+    """One connected client: viewer, dispatcher, queues, and tasks."""
+
+    def __init__(self, server: "PVPServer", session_id: str,
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.server = server
+        self.id = session_id
+        self.reader = reader
+        self.writer = writer
+        self.viewer = server.session_factory(self._notify, session_id)
+        self.dispatcher = Dispatcher(self.viewer,
+                                     slow_seconds=server.config.slow_seconds,
+                                     log=server.log)
+        self.queue: Deque[_Pending] = deque()
+        self.wakeup = asyncio.Event()
+        self.write_queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(
+            maxsize=server.config.max_write_queue)
+        self.closing = False          # no new requests accepted
+        self.dead = False             # transport torn down
+        self.tasks: Set["asyncio.Task[Any]"] = set()
+
+    # -- notifications (called from executor threads) ----------------------
+
+    def _notify(self, method: str, params: Dict[str, Any]) -> None:
+        """ide/* action from inside a handler: hop to the loop, enqueue."""
+        line = Request(method=method, params=params).to_json()
+        self.server.loop.call_soon_threadsafe(
+            self.send_line, line, False)
+
+    # -- writing -----------------------------------------------------------
+
+    def send_response(self, response: Response) -> None:
+        self.send_line(response.to_json(), True)
+
+    def send_line(self, line: str, critical: bool) -> None:
+        """Enqueue one wire line; shed or disconnect when the queue is full.
+
+        ``critical`` lines are responses: a client that cannot receive
+        responses is broken, so a full queue disconnects it.  Non-critical
+        lines (notifications) are shed — dropped and counted — which keeps
+        a slow reader from wedging its own dispatch loop.
+        """
+        if self.dead or self.server.closed:
+            return
+        data = (line + "\n").encode("utf-8")
+        try:
+            self.write_queue.put_nowait(data)
+        except asyncio.QueueFull:
+            if critical:
+                self.server.stats_slow_disconnects.inc()
+                self.abort()
+            else:
+                self.server.stats_shed.inc()
+
+    async def _write_loop(self) -> None:
+        while True:
+            data = await self.write_queue.get()
+            if data is None or self.dead:
+                break
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                self.abort()
+                break
+
+    # -- reading -----------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        """Bounded line framing over the raw stream.
+
+        Owns its own byte buffer (instead of ``readuntil``) so an
+        oversized line can be reported once and skipped precisely to the
+        next newline without corrupting message framing.
+        """
+        limit = self.server.config.max_line_bytes
+        buf = bytearray()
+        skipping = False
+        while not self.closing:
+            try:
+                chunk = await self.reader.read(_READ_CHUNK)
+            except (ConnectionError, OSError):
+                break
+            if not chunk:
+                break  # EOF
+            buf += chunk
+            while True:
+                newline = buf.find(b"\n")
+                if newline < 0:
+                    break
+                raw = bytes(buf[:newline])
+                del buf[:newline + 1]
+                if skipping:
+                    skipping = False  # tail of an oversized line
+                    continue
+                if len(raw) > limit:  # complete, but over the bound
+                    self.send_response(oversized_response(limit))
+                    continue
+                self._on_raw_line(raw)
+                if self.closing:
+                    break
+            if not skipping and len(buf) > limit:
+                self.send_response(oversized_response(limit))
+                buf.clear()
+                skipping = True
+        self.closing = True
+        self.wakeup.set()
+
+    def _on_raw_line(self, raw: bytes) -> None:
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            self.send_response(undecodable_response())
+            return
+        request, error = parse_line(text)
+        if request is None and error is None:
+            return  # blank line
+        if error is not None:
+            self.send_response(error)
+            return
+        if request.method == "shutdown":
+            self.send_response(Response.success(request.id, {"ok": True}))
+            self.closing = True
+            self.wakeup.set()
+            return
+        self.server.admit(self, request)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = self.server.loop
+        while True:
+            while not self.queue:
+                if self.closing:
+                    await self.write_queue.put(None)  # flush, then stop
+                    return
+                self.wakeup.clear()
+                await self.wakeup.wait()
+            pending = self.queue.popleft()
+            self.server.note_dequeued(pending)
+            try:
+                response = await loop.run_in_executor(
+                    self.server.executor, self.dispatcher.handle,
+                    pending.request)
+            except (asyncio.CancelledError, RuntimeError):
+                self.server.note_finished()
+                raise
+            self.server.note_finished()
+            if not pending.request.is_notification:
+                self.send_response(response)
+
+    # -- teardown ----------------------------------------------------------
+
+    def abort(self) -> None:
+        """Tear the transport down now (slow client or write failure)."""
+        if self.dead:
+            return
+        self.dead = True
+        self.closing = True
+        self.wakeup.set()
+        try:
+            self.writer.transport.abort()
+        except (AttributeError, RuntimeError):
+            pass
+
+    async def run(self) -> None:
+        """Serve this connection until EOF/shutdown/drain, then clean up."""
+        reader = asyncio.ensure_future(self._read_loop())
+        writer = asyncio.ensure_future(self._write_loop())
+        dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self.tasks = {reader, writer, dispatcher}
+        try:
+            await dispatcher          # finishes queued work, flushes writes
+            await writer              # drains the write queue
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in self.tasks:
+                task.cancel()
+            # Drop whatever is still queued from the global pending count.
+            while self.queue:
+                self.queue.popleft()
+                self.server.note_dequeued(None)
+                self.server.note_finished()
+            self.dead = True
+            try:
+                self.writer.close()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+
+SessionFactory = Callable[[Callable[[str, Dict[str, Any]], None], str], Any]
+
+
+class PVPServer:
+    """The asyncio PVP service: accept, admit, dispatch, observe."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 engine: Optional[AnalysisEngine] = None,
+                 capabilities: Optional[Capabilities] = None,
+                 session_factory: Optional[SessionFactory] = None,
+                 log: Optional[IO[str]] = None) -> None:
+        self.config = config or ServeConfig()
+        self.log = log if log is not None else sys.stderr
+        self._engine = engine
+        self._capabilities = capabilities
+        self.session_factory = (session_factory
+                                or self._default_session_factory)
+        workers = (self.config.workers if self.config.workers is not None
+                   else default_worker_count())
+        #: Dispatch pool — separate from ``engine.pool`` on purpose; see
+        #: the module docstring's deadlock note.
+        self.pool = WorkerPool(workers)
+        self.executor = self.pool.executor()
+        self.loop: asyncio.AbstractEventLoop = None  # set in start()
+        self.port: Optional[int] = None
+        self.closed = False
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: Set[Session] = set()
+        self._session_ids = itertools.count(1)
+        self._pending = 0             # queued + running, server-wide
+        # Created in start(): asyncio primitives must be born inside a
+        # running loop for 3.9 compatibility.
+        self._stopped: Optional[asyncio.Event] = None
+
+        registry = get_registry()
+        self.stats_accepted = registry.counter(
+            "serve.connections", "socket connections accepted")
+        self.stats_cancelled = registry.counter(
+            "serve.cancelled", "queued requests superseded and cancelled")
+        self.stats_denied = registry.counter(
+            "serve.denied", "requests rejected by admission control")
+        self.stats_shed = registry.counter(
+            "serve.shed_notifications",
+            "notifications dropped for slow clients")
+        self.stats_slow_disconnects = registry.counter(
+            "serve.slow_client_disconnects",
+            "clients disconnected because responses could not be buffered")
+        self.stats_sessions = registry.gauge(
+            "serve.sessions", "connected sessions")
+        self.stats_queue_depth = registry.gauge(
+            "serve.queue_depth", "requests queued or running, server-wide")
+        self.stats_queue_seconds = registry.histogram(
+            "serve.queue_seconds",
+            description="time a request waited in its session queue")
+
+    # -- session plumbing --------------------------------------------------
+
+    def _default_session_factory(self, sink, session_id: str):
+        return ViewerSession(sink=sink, capabilities=self._capabilities,
+                             engine=self._engine, session_id=session_id)
+
+    # -- admission control and cancellation --------------------------------
+
+    def admit(self, session: Session, request: Request) -> None:
+        """Queue a request, or answer DENIED / cancel a superseded one.
+
+        Runs on the event loop (single-threaded), so the cap checks and
+        queue edits need no locks.
+        """
+        if self._draining:
+            self._deny(session, request, "draining")
+            return
+        if self._pending >= self.config.max_pending:
+            self._deny(session, request, "server")
+            return
+        if len(session.queue) >= self.config.max_session_queue:
+            self._deny(session, request, "session")
+            return
+        key = supersede_key(request)
+        if key is not None:
+            for pending in list(session.queue):
+                if pending.key == key:
+                    session.queue.remove(pending)
+                    self._pending -= 1
+                    self.stats_cancelled.inc()
+                    session.send_response(Response.failure(
+                        pending.request.id, CANCELLED,
+                        "superseded by a newer %s request for the same "
+                        "pane" % request.method))
+        now = self.loop.time()
+        session.queue.append(_Pending(request, key, now))
+        self._pending += 1
+        self.stats_queue_depth.set(self._pending)
+        session.wakeup.set()
+
+    def _deny(self, session: Session, request: Request,
+              reason: str) -> None:
+        self.stats_denied.inc()
+        if request.is_notification:
+            return  # nothing to answer; the drop is counted
+        session.send_response(Response.failure(
+            request.id, DENIED,
+            "request denied: %s at capacity" % reason,
+            data={"retryAfterMs": self.config.retry_after_ms,
+                  "reason": reason}))
+
+    def note_dequeued(self, pending: Optional[_Pending]) -> None:
+        if pending is not None:
+            self.stats_queue_seconds.observe(
+                max(0.0, self.loop.time() - pending.enqueued))
+
+    def note_finished(self) -> None:
+        self._pending -= 1
+        self.stats_queue_depth.set(self._pending)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "PVPServer":
+        """Bind and start accepting; ``self.port`` is the bound port."""
+        self.loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connect, host=self.config.host, port=self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        if self._draining or self.closed:
+            writer.close()
+            return
+        session = Session(self, "c%d" % next(self._session_ids),
+                          reader, writer)
+        self._sessions.add(session)
+        self.stats_accepted.inc()
+        self.stats_sessions.set(len(self._sessions))
+        try:
+            await session.run()
+        finally:
+            self._sessions.discard(session)
+            self.stats_sessions.set(len(self._sessions))
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish queued work, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for session in list(self._sessions):
+            session.closing = True
+            session.wakeup.set()
+        deadline = self.loop.time() + self.config.drain_seconds
+        while self._sessions and self.loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for session in list(self._sessions):
+            session.abort()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self.closed = True
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT asks for a drain (the CLI path)."""
+        if self._server is None:
+            await self.start()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self.loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal handler support
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Immediate-ish shutdown used by tests and the bench harness."""
+        await self.drain()
+        self.pool.shutdown()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "port": self.port,
+            "sessions": len(self._sessions),
+            "pending": self._pending,
+            "connections": self.stats_accepted.value,
+            "cancelled": self.stats_cancelled.value,
+            "denied": self.stats_denied.value,
+            "shedNotifications": self.stats_shed.value,
+            "slowClientDisconnects": self.stats_slow_disconnects.value,
+            "pool": self.pool.to_dict(),
+        }
+
+
+def run_server(config: Optional[ServeConfig] = None) -> None:
+    """Blocking entry point: serve until SIGTERM (the CLI calls this)."""
+    async def _main() -> None:
+        server = PVPServer(config)
+        await server.start()
+        print("easyview serve: listening on %s:%d"
+              % (server.config.host, server.port), file=sys.stderr)
+        await server.serve_forever()
+
+    asyncio.run(_main())

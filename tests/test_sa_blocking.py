@@ -1,4 +1,4 @@
-"""Golden tests for the SelfCheck blocking pass (EV411, EV412)."""
+"""Golden tests for the SelfCheck blocking pass (EV411-EV413)."""
 
 import textwrap
 
@@ -164,6 +164,88 @@ class TestEV412BlockingInHotSpan:
                 with tracer.span("engine.work"):
                     return sum(items)
             """) == []
+
+
+class TestEV413BlockingInAsyncDef:
+    def test_sleep_in_coroutine(self):
+        diags = run("""\
+            import time
+
+            async def poll(queue):
+                time.sleep(0.05)
+                return queue.get_nowait()
+            """)
+        assert [d.rule for d in diags] == ["EV413"]
+        assert "time.sleep" in diags[0].message
+        assert "event loop" in diags[0].message
+
+    def test_open_in_async_method(self):
+        diags = run("""\
+            class Session:
+                async def load(self, path):
+                    with open(path) as handle:
+                        return handle.read()
+            """)
+        assert rules_of(diags) == {"EV413"}
+        assert "Session.load" in diags[0].message
+
+    def test_asyncio_sleep_is_clean(self):
+        assert run("""\
+            import asyncio
+
+            async def poll(queue):
+                await asyncio.sleep(0.05)
+                return queue.get_nowait()
+            """) == []
+
+    def test_sync_helper_nested_in_coroutine_is_clean(self):
+        # The nested def runs later, on whatever thread calls it — its
+        # body does not execute on the event loop when defined.
+        assert run("""\
+            import time
+
+            async def schedule(loop):
+                def blocking_job():
+                    time.sleep(0.05)
+                return loop.run_in_executor(None, blocking_job)
+            """) == []
+
+    def test_nested_coroutine_inside_sync_def_flags(self):
+        diags = run("""\
+            import time
+
+            def make_handler():
+                async def handler(request):
+                    time.sleep(0.05)
+                return handler
+            """)
+        assert [d.rule for d in diags] == ["EV413"]
+
+    def test_ev411_takes_precedence_over_ev413(self):
+        diags = run("""\
+            import threading
+            import time
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                async def refresh(self):
+                    with self._lock:
+                        time.sleep(0.05)
+            """)
+        assert [d.rule for d in diags] == ["EV411"]
+
+    def test_ev413_takes_precedence_over_ev412(self):
+        diags = run("""\
+            import time
+
+            async def render(tracer, tree):
+                with tracer.span("viewer.render"):
+                    time.sleep(0.05)
+                    return tree.layout()
+            """)
+        assert [d.rule for d in diags] == ["EV413"]
 
 
 class TestClassifiers:

@@ -1,0 +1,140 @@
+"""Concurrent shared-state serving: N sessions, one engine, one store.
+
+The determinism claim under test: N sessions hammering the shared
+engine cache and a shared profile store through ``repro.serve`` produce
+response streams digest-identical to each other *and* to a single
+client running the same script against the stdio transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.bench.serve import make_profile, stdio_reference_digest
+from repro.core.serialize import dump
+from repro.engine import get_engine
+from repro.ide import protocol as pvp
+from repro.ide.session import ViewerSession
+from repro.serve import (PVPServer, ServeConfig, analyst_script, run_load,
+                         sequential_script)
+
+SESSIONS = 8
+
+
+def run_sessions(profile_path, script, sessions=SESSIONS):
+    async def main():
+        server = PVPServer(ServeConfig(max_session_queue=64),
+                           log=io.StringIO())
+        await server.start()
+        try:
+            return await run_load("127.0.0.1", server.port, sessions,
+                                  profile_path, script=script)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+@pytest.fixture(scope="module")
+def profile_path(tmp_path_factory):
+    return make_profile(str(tmp_path_factory.mktemp("serve-profiles")))
+
+
+class TestEngineSharing:
+    def test_concurrent_sessions_match_stdio(self, profile_path):
+        script = sequential_script(analyst_script(max_steps=8))
+        reference = stdio_reference_digest(profile_path, script)
+        report = run_sessions(profile_path, script)
+        assert report.errors == 0
+        assert report.denied == 0
+        assert len(set(report.digests)) == 1
+        assert set(report.digests) == {reference}
+
+    def test_shared_engine_cache_absorbs_the_fleet(self, profile_path):
+        script = sequential_script(analyst_script(max_steps=8))
+        before = get_engine().stats()["hits"]
+        report = run_sessions(profile_path, script)
+        assert report.errors == 0
+        # Every session re-renders the same profile: all but the first
+        # computation of each (digest-keyed) view hits the shared cache.
+        assert get_engine().stats()["hits"] > before
+
+    def test_repeat_run_is_stable(self, profile_path):
+        script = sequential_script(analyst_script(max_steps=6))
+        first = run_sessions(profile_path, script, sessions=4)
+        second = run_sessions(profile_path, script, sessions=4)
+        assert set(first.digests) == set(second.digests)
+
+
+class TestStoreSharing:
+    @pytest.fixture(scope="class")
+    def store_root(self, tmp_path_factory, profile_path):
+        """A store populated once, then read by every session."""
+        from repro.profilers.workloads import spark_profile
+
+        base = tmp_path_factory.mktemp("serve-store")
+        root = str(base / "store")
+        session = ViewerSession()
+        for i in (1, 2, 3):
+            path = str(base / ("p%d.ezvw" % i))
+            profile = spark_profile(seed=i)
+            profile.meta.time_nanos = 1_700_000_000_000_000_000 + i
+            dump(profile, path)
+            response = session.handle(pvp.Request(
+                method="store/ingest", id=i,
+                params={"store": root, "path": path, "service": "api",
+                        "labels": {"run": str(i)}}))
+            assert response.ok, response.error
+        return root
+
+    def test_concurrent_store_reads_match_stdio(self, profile_path,
+                                                store_root):
+        script = [{
+            "step": "store_reads", "burst": False,
+            "requests": [
+                ("store/query", {"store": store_root,
+                                 "query": "service=api"}),
+                ("view/openQuery", {"store": store_root,
+                                    "query": "service=api"}),
+                ("store/query", {"store": store_root, "query": "limit=2"}),
+            ],
+        }]
+        reference = stdio_reference_digest(profile_path, script)
+        report = run_sessions(profile_path, script, sessions=6)
+        assert report.errors == 0
+        assert len(set(report.digests)) == 1
+        assert set(report.digests) == {reference}
+
+
+class TestBurstNondeterminismIsContained:
+    def test_burst_cancellations_only_hit_supersedable_requests(
+            self, profile_path):
+        # Bursty hovers may or may not be cancelled (timing), but no
+        # non-burst request may ever be: completed + cancelled must
+        # account for every request, with zero errors.
+        script = analyst_script(max_steps=8)
+        report = run_sessions(profile_path, script)
+        assert report.errors == 0
+        assert report.denied == 0
+        assert report.completed + report.cancelled == report.requests
+
+    def test_cancellation_fires_under_narrow_pool(self, profile_path):
+        async def main():
+            server = PVPServer(
+                ServeConfig(max_session_queue=64, workers=2),
+                log=io.StringIO())
+            await server.start()
+            try:
+                return await run_load(
+                    "127.0.0.1", server.port, 16, profile_path,
+                    script=analyst_script(max_steps=8))
+            finally:
+                await server.stop()
+
+        report = asyncio.run(main())
+        assert report.errors == 0
+        assert report.burst_requests > 0
+        assert report.cancelled > 0  # supersession actually fired

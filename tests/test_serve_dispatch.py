@@ -1,0 +1,213 @@
+"""The transport-shared dispatch layer: parity, parsing, supersession.
+
+The contract under test: the stdio server and the socket server answer
+the same wire input with the same responses — well-formed requests,
+parse errors, oversized lines, and non-UTF-8 bytes alike — because both
+route through :mod:`repro.serve.dispatch`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.core.serialize import dump
+from repro.ide import protocol as pvp
+from repro.ide.server import StdioServer
+from repro.serve import (PVPServer, ServeConfig, canonical_line,
+                         parse_line, supersede_key)
+
+
+def run_stdio(lines, **kwargs):
+    """Feed raw wire lines to a StdioServer; return its stdout lines."""
+    stdout = io.StringIO()
+    server = StdioServer(stdin=io.StringIO("\n".join(lines) + "\n"),
+                         stdout=stdout, log=io.StringIO(), **kwargs)
+    server.serve_forever()
+    return stdout.getvalue().splitlines()
+
+
+def run_socket(payload_lines, config=None):
+    """Feed the same wire lines over a socket session; return its lines.
+
+    ``payload_lines`` may mix str and bytes (bytes for deliberately
+    undecodable input).  Reads until the server closes the connection
+    (every input ends with a ``shutdown`` request).
+    """
+    async def main():
+        server = PVPServer(config or ServeConfig(), log=io.StringIO())
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            for line in payload_lines:
+                data = (line.encode("utf-8") if isinstance(line, str)
+                        else line)
+                writer.write(data + b"\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), timeout=30)
+            writer.close()
+            return raw.decode("utf-8").splitlines()
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def canonical(lines):
+    """Sorted canonical forms — response order may legally differ across
+    transports (control responses overtake executed ones)."""
+    return sorted(canonical_line(json.loads(line)) for line in lines)
+
+
+def request_line(req_id, method, **params):
+    return json.dumps({"jsonrpc": "2.0", "id": req_id, "method": method,
+                       "params": params}, sort_keys=True)
+
+
+SHUTDOWN = request_line(99, "shutdown")
+
+
+class TestTransportParity:
+    def test_happy_path_byte_identical(self, tmp_path, simple_profile):
+        path = str(tmp_path / "p.ezvw")
+        dump(simple_profile, path)
+        lines = [
+            request_line(1, "view/open", path=path),
+            request_line(2, "view/summary", profileId=1),
+            request_line(3, "view/switchShape", profileId=1,
+                         shape="bottom_up"),
+            SHUTDOWN,
+        ]
+        assert canonical(run_stdio(lines)) == canonical(run_socket(lines))
+
+    def test_error_paths_byte_identical(self):
+        lines = [
+            "this is not json",
+            json.dumps({"jsonrpc": "2.0", "id": 7}),   # not a request
+            request_line(2, "view/summary", profileId=12345),  # unknown id
+            request_line(3, "no/such/method"),
+            "",
+            SHUTDOWN,
+        ]
+        stdio = run_stdio(lines)
+        socket = run_socket(lines)
+        # Error responses carry no volatile fields: exact bytes, not just
+        # canonical forms, must agree.
+        assert sorted(stdio) == sorted(socket)
+
+    def test_oversized_line_byte_identical(self):
+        big = request_line(1, "view/summary",
+                           profileId=1, pad="x" * 5000)
+        lines = [big, SHUTDOWN]
+        stdio = run_stdio(lines, max_line_bytes=256)
+        socket = run_socket(lines, ServeConfig(max_line_bytes=256))
+        assert sorted(stdio) == sorted(socket)
+
+    def test_undecodable_bytes_byte_identical(self):
+        stdio_out = io.StringIO()
+        raw = b"\xff\xfe not utf8\n" + (SHUTDOWN + "\n").encode("utf-8")
+        server = StdioServer(stdin=io.BytesIO(raw), stdout=stdio_out,
+                             log=io.StringIO())
+        server.serve_forever()
+        stdio = stdio_out.getvalue().splitlines()
+        socket = run_socket([b"\xff\xfe not utf8", SHUTDOWN])
+        assert sorted(stdio) == sorted(socket)
+
+    def test_shutdown_acknowledged_identically(self):
+        stdio = run_stdio([SHUTDOWN])
+        socket = run_socket([SHUTDOWN])
+        assert stdio == socket
+        assert json.loads(stdio[0])["result"] == {"ok": True}
+
+
+class TestParseLine:
+    def test_blank_line_is_skipped(self):
+        assert parse_line("   ") == (None, None)
+
+    def test_garbage_is_parse_error(self):
+        request, error = parse_line("nope")
+        assert request is None
+        assert error.error["code"] == pvp.PARSE_ERROR
+
+    def test_method_less_message_is_parse_error(self):
+        request, error = parse_line(json.dumps({"jsonrpc": "2.0", "id": 1}))
+        assert request is None
+        assert error.error["code"] == pvp.PARSE_ERROR
+
+    def test_response_message_is_invalid_request(self):
+        request, error = parse_line(json.dumps(
+            {"jsonrpc": "2.0", "id": 1, "result": {}}))
+        assert request is None
+        assert error.error["code"] == pvp.INVALID_REQUEST
+
+    def test_valid_request_parses(self):
+        request, error = parse_line(request_line(1, "view/summary",
+                                                 profileId=1))
+        assert error is None
+        assert request.method == "view/summary"
+
+
+class TestSupersedeKey:
+    def request(self, method, req_id=1, **params):
+        return pvp.Request(method=method, id=req_id, params=params)
+
+    def test_same_pane_same_key(self):
+        a = self.request("view/hover", 1, profileId=1, file="a.c", line=1)
+        b = self.request("view/hover", 2, profileId=1, file="b.c", line=9)
+        assert supersede_key(a) == supersede_key(b)
+        assert supersede_key(a) is not None
+
+    def test_different_profile_different_key(self):
+        a = self.request("view/hover", 1, profileId=1, file="a.c", line=1)
+        b = self.request("view/hover", 2, profileId=2, file="a.c", line=1)
+        assert supersede_key(a) != supersede_key(b)
+
+    def test_different_shape_different_key(self):
+        a = self.request("view/search", 1, profileId=1, shape="top_down",
+                         pattern="x")
+        b = self.request("view/search", 2, profileId=1, shape="bottom_up",
+                         pattern="x")
+        assert supersede_key(a) != supersede_key(b)
+
+    def test_mutating_requests_never_supersede(self):
+        for method in ("view/open", "view/deriveMetric", "view/tableExpand",
+                       "store/ingest", "view/close"):
+            assert supersede_key(self.request(method, 1, profileId=1)) \
+                is None
+
+    def test_notifications_never_supersede(self):
+        note = pvp.Request(method="view/hover", id=None,
+                           params={"profileId": 1, "file": "a", "line": 1})
+        assert note.is_notification
+        assert supersede_key(note) is None
+
+
+class TestDispatcherSessionId:
+    def test_slow_log_carries_session_id(self, tmp_path, simple_profile):
+        path = str(tmp_path / "p.ezvw")
+        dump(simple_profile, path)
+        log = io.StringIO()
+        stdout = io.StringIO()
+        lines = [request_line(1, "view/open", path=path), SHUTDOWN]
+        server = StdioServer(stdin=io.StringIO("\n".join(lines) + "\n"),
+                             stdout=stdout, log=log,
+                             slow_seconds=0.0)  # everything is "slow"
+        server.serve_forever()
+        entries = [json.loads(line) for line in
+                   log.getvalue().splitlines()]
+        assert entries, "expected at least one slow-request log line"
+        assert entries[0]["event"] == "slow_request"
+        assert entries[0]["sessionId"] == "stdio"
+        assert "traceId" in entries[0]  # null unless the tracer is on
+
+    def test_obs_trace_carries_session_id(self):
+        from repro.ide.session import ViewerSession
+        session = ViewerSession(session_id="c42")
+        response = session.handle(pvp.Request(method="obs/trace", id=1,
+                                              params={}))
+        assert response.ok
+        assert response.result["sessionId"] == "c42"

@@ -1,0 +1,97 @@
+"""The load generator: analyst scripts, wire framing, and aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import analyst_script, sequential_script, wire_lines
+from repro.serve.loadgen import (LoadReport, STEP_REQUESTS, canonical_line,
+                                 digest_lines)
+
+
+class TestAnalystScript:
+    def test_derived_from_study_plan(self):
+        script = analyst_script("task1")
+        assert script, "task1 must produce tool-visible traffic"
+        # Task I is navigate/inspect/open-source work in the cost model.
+        steps = {group["step"] for group in script}
+        assert "navigate" in steps
+        assert "inspect_block" in steps
+
+    def test_inspect_block_is_a_burst(self):
+        script = analyst_script("task1")
+        bursts = [g for g in script if g["step"] == "inspect_block"]
+        assert bursts and all(g["burst"] for g in bursts)
+
+    def test_max_steps_bounds_the_script(self):
+        assert len(analyst_script("task1", max_steps=5)) == 5
+
+    def test_max_repeat_keeps_variety(self):
+        script = analyst_script("task2", max_steps=12, max_repeat=2)
+        per_step = {}
+        for group in script:
+            per_step[group["step"]] = per_step.get(group["step"], 0) + 1
+        assert all(count <= 2 for count in per_step.values())
+        assert len(per_step) >= 3
+
+    def test_human_only_steps_emit_no_traffic(self):
+        for steps in STEP_REQUESTS.values():
+            assert steps["requests"]
+
+    def test_sequential_script_flattens_bursts(self):
+        seq = sequential_script(analyst_script("task1"))
+        assert all(not group["burst"] for group in seq)
+
+
+class TestWireLines:
+    def test_ids_are_sequential_with_shutdown_last(self):
+        script = analyst_script("task1", max_steps=4)
+        lines = wire_lines(script, profile_id=7, profile_path="/p.ezvw")
+        messages = [json.loads(line) for line in lines]
+        assert messages[0]["method"] == "view/open"
+        assert messages[0]["id"] == 1
+        assert messages[-1]["method"] == "shutdown"
+        assert messages[-1]["id"] == 999999
+        body = messages[1:-1]
+        assert [m["id"] for m in body] == list(range(2, len(body) + 2))
+
+    def test_profile_placeholder_is_substituted(self):
+        lines = wire_lines(analyst_script("task1", max_steps=4),
+                           profile_id=42, profile_path="/p.ezvw")
+        for message in (json.loads(line) for line in lines[1:-1]):
+            assert message["params"].get("profileId") == 42
+
+
+class TestCanonicalization:
+    def test_volatile_keys_are_masked(self):
+        a = canonical_line({"id": 1, "result": {"x": 1,
+                                                "responseSeconds": 0.5}})
+        b = canonical_line({"id": 1, "result": {"responseSeconds": 9.9,
+                                                "x": 1}})
+        assert a == b
+
+    def test_digest_is_order_independent(self):
+        lines = ['{"id": 1}', '{"id": 2}', '{"id": 3}']
+        assert digest_lines(lines) == digest_lines(list(reversed(lines)))
+
+    def test_digest_distinguishes_content(self):
+        assert digest_lines(['{"id": 1}']) != digest_lines(['{"id": 2}'])
+
+
+class TestLoadReport:
+    def test_percentiles_and_throughput(self):
+        report = LoadReport(sessions=2, wall_seconds=2.0)
+        report.latencies = [i / 1000.0 for i in range(1, 101)]
+        report.completed = 100
+        assert report.throughput_rps == pytest.approx(50.0)
+        assert report.percentile(50) == pytest.approx(0.050, abs=0.002)
+        assert report.percentile(99) == pytest.approx(0.099, abs=0.002)
+
+    def test_empty_report_is_safe(self):
+        report = LoadReport()
+        assert report.throughput_rps == 0.0
+        assert report.percentile(99) == 0.0
+        payload = report.to_dict()
+        assert payload["latencyMs"]["p99"] == 0.0

@@ -1,0 +1,268 @@
+"""The socket server's control plane: cancellation, admission, isolation.
+
+These tests inject a stub session factory whose handler blocks on a
+:class:`threading.Event`, so queue states are built deterministically:
+one request parks in the dispatch pool while later ones pile into the
+session queue, and the test then observes exactly which get CANCELLED,
+DENIED, or executed once the gate opens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.ide import protocol as pvp
+from repro.obs import get_registry
+from repro.serve import PVPServer, ServeConfig
+
+
+class StubViewer:
+    """A controllable stand-in for ViewerSession.
+
+    ``slow/block`` waits on the gate (parking one executor thread);
+    every method echoes its name and id back.
+    """
+
+    def __init__(self, sink, session_id, gate):
+        self.sink = sink
+        self.session_id = session_id
+        self.gate = gate
+
+    def handle(self, request):
+        if request.method == "slow/block":
+            assert self.gate.wait(timeout=30), "test gate never opened"
+        return pvp.Response.success(request.id,
+                                    {"method": request.method})
+
+
+class Harness:
+    """One server + one connected client, with a shared handler gate."""
+
+    def __init__(self, config):
+        self.config = config
+        self.gate = threading.Event()
+        self.server = None
+        self.reader = None
+        self.writer = None
+
+    async def __aenter__(self):
+        self.server = PVPServer(
+            self.config, log=io.StringIO(),
+            session_factory=lambda sink, sid: StubViewer(sink, sid,
+                                                         self.gate))
+        await self.server.start()
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.server.port)
+        return self
+
+    async def __aexit__(self, *exc):
+        self.gate.set()  # never leave an executor thread parked
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        await self.server.stop()
+
+    def send(self, req_id, method, **params):
+        self.writer.write((json.dumps(
+            {"jsonrpc": "2.0", "id": req_id, "method": method,
+             "params": params}) + "\n").encode("utf-8"))
+
+    async def read_response(self, timeout=15):
+        line = await asyncio.wait_for(self.reader.readline(), timeout)
+        assert line, "connection closed while awaiting a response"
+        return json.loads(line.decode("utf-8"))
+
+    async def session(self):
+        """The server-side Session for this (only) connection."""
+        for _ in range(1000):
+            if self.server._sessions:
+                return next(iter(self.server._sessions))
+            await asyncio.sleep(0.005)
+        raise AssertionError("session never registered")
+
+
+class TestCancellation:
+    def test_superseded_request_is_cancelled(self):
+        async def main():
+            async with Harness(ServeConfig()) as h:
+                h.send(1, "slow/block")      # parks the dispatch thread
+                h.send(2, "view/hover", profileId=1, file="a.c", line=1)
+                h.send(3, "view/hover", profileId=1, file="a.c", line=2)
+                await h.writer.drain()
+                # id 2 is answered CANCELLED while id 1 is still running.
+                cancelled = await h.read_response()
+                assert cancelled["id"] == 2
+                assert cancelled["error"]["code"] == pvp.CANCELLED
+                assert "superseded" in cancelled["error"]["message"]
+                h.gate.set()
+                first = await h.read_response()
+                assert first["id"] == 1
+                last = await h.read_response()
+                assert last["id"] == 3
+                assert last["result"]["method"] == "view/hover"
+
+        asyncio.run(main())
+
+    def test_different_pane_is_not_cancelled(self):
+        async def main():
+            async with Harness(ServeConfig()) as h:
+                h.send(1, "slow/block")
+                h.send(2, "view/hover", profileId=1, file="a.c", line=1)
+                h.send(3, "view/hover", profileId=2, file="a.c", line=1)
+                await h.writer.drain()
+                h.gate.set()
+                ids = [(await h.read_response())["id"] for _ in range(3)]
+                assert sorted(ids) == [1, 2, 3]
+
+        asyncio.run(main())
+
+
+class TestAdmissionControl:
+    def test_session_queue_cap_denies_fast(self):
+        async def main():
+            config = ServeConfig(max_session_queue=1)
+            async with Harness(config) as h:
+                h.send(1, "slow/block")
+                session = await h.session()
+                # Wait until id 1 is *running* (dequeued), so the queue
+                # depth below is exactly the queued id 2.
+                for _ in range(1000):
+                    if not session.queue and h.server._pending == 1:
+                        break
+                    await asyncio.sleep(0.005)
+                h.send(2, "view/open", path="x")   # queued (depth 1)
+                h.send(3, "view/open", path="y")   # over the cap
+                await h.writer.drain()
+                denied = await h.read_response()
+                assert denied["id"] == 3
+                assert denied["error"]["code"] == pvp.DENIED
+                assert denied["error"]["data"]["reason"] == "session"
+                assert denied["error"]["data"]["retryAfterMs"] \
+                    == config.retry_after_ms
+                h.gate.set()
+                assert (await h.read_response())["id"] == 1
+                assert (await h.read_response())["id"] == 2
+
+        asyncio.run(main())
+
+    def test_global_pending_cap_denies_fast(self):
+        async def main():
+            async with Harness(ServeConfig(max_pending=1)) as h:
+                h.send(1, "slow/block")
+                session = await h.session()
+                for _ in range(1000):
+                    if h.server._pending == 1 and not session.queue:
+                        break
+                    await asyncio.sleep(0.005)
+                h.send(2, "view/open", path="x")
+                await h.writer.drain()
+                denied = await h.read_response()
+                assert denied["id"] == 2
+                assert denied["error"]["code"] == pvp.DENIED
+                assert denied["error"]["data"]["reason"] == "server"
+                h.gate.set()
+                assert (await h.read_response())["id"] == 1
+
+        asyncio.run(main())
+
+
+class TestSlowClientIsolation:
+    def test_notifications_shed_when_write_queue_full(self):
+        async def main():
+            async with Harness(ServeConfig(max_write_queue=4)) as h:
+                session = await h.session()
+                shed_before = h.server.stats_shed.value
+                # No awaits between sends: the writer task cannot drain,
+                # so the queue genuinely fills.
+                for i in range(10):
+                    session.send_line('{"note": %d}' % i, critical=False)
+                assert h.server.stats_shed.value - shed_before == 6
+                assert not session.dead  # shedding is not a disconnect
+
+        asyncio.run(main())
+
+    def test_unbufferable_response_disconnects(self):
+        async def main():
+            async with Harness(ServeConfig(max_write_queue=2)) as h:
+                session = await h.session()
+                drops_before = h.server.stats_slow_disconnects.value
+                for i in range(3):
+                    session.send_line('{"id": %d}' % i, critical=True)
+                assert h.server.stats_slow_disconnects.value \
+                    - drops_before == 1
+                assert session.dead
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_shutdown_request_closes_the_session(self):
+        async def main():
+            async with Harness(ServeConfig()) as h:
+                h.send(1, "shutdown")
+                await h.writer.drain()
+                ack = await h.read_response()
+                assert ack["result"] == {"ok": True}
+                tail = await asyncio.wait_for(h.reader.read(), timeout=15)
+                assert tail == b""  # server closed the connection
+
+        asyncio.run(main())
+
+    def test_drain_finishes_queued_work_then_refuses(self):
+        async def main():
+            async with Harness(ServeConfig()) as h:
+                h.send(1, "view/open", path="x")
+                await h.writer.drain()
+                response = await h.read_response()
+                assert response["id"] == 1
+                await h.server.drain()
+                assert h.server.closed
+                # New connections are closed immediately.
+                reader, writer = None, None
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", h.server.port)
+                    assert await asyncio.wait_for(
+                        reader.read(), timeout=15) == b""
+                except (ConnectionError, OSError):
+                    pass  # refused outright is fine too
+                finally:
+                    if writer is not None:
+                        writer.close()
+
+        asyncio.run(main())
+
+    def test_draining_server_denies_new_requests(self):
+        async def main():
+            async with Harness(ServeConfig(drain_seconds=0.5)) as h:
+                session = await h.session()
+                h.server._draining = True
+                h.send(1, "view/open", path="x")
+                await h.writer.drain()
+                denied = await h.read_response()
+                assert denied["error"]["code"] == pvp.DENIED
+                assert denied["error"]["data"]["reason"] == "draining"
+                h.server._draining = False
+
+        asyncio.run(main())
+
+    def test_stats_snapshot(self):
+        async def main():
+            async with Harness(ServeConfig()) as h:
+                h.send(1, "view/open", path="x")
+                await h.writer.drain()
+                await h.read_response()
+                stats = h.server.stats()
+                # Counters live in the process-wide obs registry, so
+                # they are cumulative across servers; gauges are not.
+                assert stats["connections"] >= 1
+                assert stats["sessions"] == 1
+                assert stats["port"] == h.server.port
+
+        asyncio.run(main())
