@@ -16,6 +16,9 @@ Subcommands mirror the viewer's capabilities for headless use:
 * ``obs``       — EasyView's own telemetry: trace a nested command and
   export the spans as metrics, JSONL, a Chrome trace, or an EasyView
   profile (the dogfooding pipeline)
+* ``agent``/``collector``/``watch`` — the continuous-profiling loop:
+  capture on a cadence, ship over HTTP into a ProfStore, and watch the
+  stored stream for regressions
 """
 
 from __future__ import annotations
@@ -541,8 +544,14 @@ def _cmd_obs_metrics(args: argparse.Namespace) -> int:
     if args.command:
         obs.configure(enabled=True)
         _run_nested(args.command)
+    fmt = "json" if args.json else args.format
+    if fmt == "prom":
+        # Prometheus text exposition: what a scraper pointed at a file
+        # (or the collector's /metrics endpoint) expects.
+        sys.stdout.write(obs.registry_prometheus())
+        return 0
     snapshot = _obs_snapshot()
-    if args.json:
+    if fmt == "json":
         print(dumps_data(snapshot))
         return 0
     metrics = snapshot["metrics"]
@@ -610,7 +619,15 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_watch(args: argparse.Namespace) -> int:
-    """Run a nested command traced, reporting telemetry as it runs."""
+    """Run a nested command traced, reporting telemetry as it runs.
+
+    Exit status is the nested command's own, even when the watcher is
+    interrupted after the command finished; an interrupt that lands
+    while the command is still running reports the conventional 130
+    (128 + SIGINT).  Either way the watcher thread is joined before
+    this function returns — the final span table is printed once, after
+    the last writer to the ring has stopped.
+    """
     import threading
 
     from . import obs
@@ -621,12 +638,16 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
     def run() -> None:
         try:
             outcome["rc"] = _run_nested(args.command)
+        except SystemExit as exc:  # argparse errors and explicit exits
+            code = exc.code
+            outcome["rc"] = code if isinstance(code, int) else 1
         except BaseException as exc:  # surfaced after the final report
             outcome["error"] = exc
 
     worker = threading.Thread(target=run, name="easyview-obs-watch",
                               daemon=True)
     worker.start()
+    interrupted = False
     try:
         while worker.is_alive():
             worker.join(args.interval)
@@ -641,12 +662,28 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
                     top["name"], top["count"], top["totalNanos"] / 1e6)
             print(line, file=sys.stderr)
     except KeyboardInterrupt:
-        pass
+        interrupted = True
+        print("obs: interrupted; waiting for the traced command",
+              file=sys.stderr)
+    # Join even on interrupt: the in-process command cannot be killed,
+    # only outwaited (briefly) — a still-running command after the grace
+    # period is reported rather than silently abandoned mid-table.  A
+    # second Ctrl-C landing in this grace join must not turn into a
+    # traceback either.
+    try:
+        worker.join(timeout=max(args.interval, 1.0))
+    except KeyboardInterrupt:
+        interrupted = True
+    if worker.is_alive():
+        print("obs: traced command still running; span table may be "
+              "partial", file=sys.stderr)
     print(_format_span_table(tracer.spans()))
     error = outcome.get("error")
     if error is not None:
         raise error
-    return int(outcome.get("rc", 1))
+    if "rc" in outcome:
+        return int(outcome["rc"])
+    return 130 if interrupted else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -661,6 +698,146 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .ide.server import StdioServer
 
     StdioServer().serve_forever()
+    return 0
+
+
+def _parse_labels(pairs: List[str]) -> dict:
+    labels = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit("labels are k=v, got %r" % pair)
+        labels[key] = value
+    return labels
+
+
+def _cmd_agent_run(args: argparse.Namespace) -> int:
+    """Capture on a cadence and ship to a collector (spooling outages)."""
+    from .continuous import (CaptureAgent, DiskSpool, MachineSource,
+                             RetryPolicy)
+    from .continuous.agent import HTTPShipper, SamplerSource
+
+    if args.self_profile:
+        # Dogfooding source: sample this very process running a nested
+        # easyview command each tick.
+        source = SamplerSource(lambda: _run_nested(list(args.self_profile)))
+    else:
+        source = MachineSource(args.scenario,
+                               **_typed_params(args.scenario_arg))
+    agent = CaptureAgent(
+        source, HTTPShipper(args.collector, timeout=args.timeout),
+        service=args.service, host=args.host, ptype=args.type,
+        labels=_parse_labels(args.label),
+        cadence_seconds=args.cadence,
+        spool=DiskSpool(args.spool) if args.spool else None,
+        retry=RetryPolicy(max_attempts=args.max_attempts))
+    results = []
+    try:
+        if args.ticks:
+            results = agent.run(args.ticks)
+        else:
+            while True:  # cadence loop until interrupted
+                results.append(agent.tick())
+                agent.sleep(agent.cadence_seconds)
+    except KeyboardInterrupt:
+        print("agent: interrupted", file=sys.stderr)
+    shipped = sum(1 for r in results if r is not None)
+    print("agent: %d tick(s), %d shipped, %d spooled"
+          % (len(results), shipped,
+             len(agent.spool) if agent.spool else 0), file=sys.stderr)
+    return 0 if shipped == len(results) else 1
+
+
+def _typed_params(pairs: List[str]) -> dict:
+    """``k=v`` scenario args with ints/floats/bools recognized."""
+    params = {}
+    for key, value in _parse_labels(pairs).items():
+        if value.lower() in ("true", "false"):
+            params[key] = value.lower() == "true"
+            continue
+        for cast in (int, float):
+            try:
+                params[key] = cast(value)
+                break
+            except ValueError:
+                continue
+        else:
+            params[key] = value
+    return params
+
+
+def _cmd_collector(args: argparse.Namespace) -> int:
+    """Serve the upload endpoint over one ProfStore until interrupted."""
+    import signal
+    import threading
+
+    from .continuous import Collector
+    from .store import ProfileStore
+
+    store = ProfileStore(args.store)
+    collector = Collector(store, host=args.host, port=args.port,
+                          max_pending=args.max_pending,
+                          max_service_queue=args.max_service_queue,
+                          max_body_bytes=args.max_body_bytes)
+    collector.start()
+    print("collector: listening on %s (store %s)"
+          % (collector.url, store.root), file=sys.stderr)
+    # Ctrl-C raises KeyboardInterrupt; SIGTERM (what a supervisor — or a
+    # CI `kill` against a backgrounded daemon, which starts with SIGINT
+    # ignored — sends) must take the same drain-then-flush exit path.
+    stopping = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda signum, frame: stopping.set())
+    except ValueError:  # not the main thread (tests)
+        pass
+    try:
+        while not stopping.wait(1.0):
+            pass
+        print("collector: draining", file=sys.stderr)
+        collector.drain()
+    except KeyboardInterrupt:
+        print("collector: draining", file=sys.stderr)
+        collector.drain()
+    finally:
+        collector.stop()
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Windowed regression watch over a stored capture stream."""
+    from .continuous.watch import RegressionWatch
+    from .store import ProfileStore
+
+    store = ProfileStore(args.store)
+    watch = RegressionWatch(
+        store, query=" ".join(args.query), window=args.window,
+        baseline=args.baseline, metric=args.metric, shape=args.shape,
+        min_ratio=args.min_ratio, top=args.top)
+    if args.now is not None:
+        watch.clock = lambda: args.now
+    last = {}
+
+    def report_out(report) -> None:
+        last["report"] = report
+        if args.json != "-":
+            print(report.render())
+
+    try:
+        watch.run(args.ticks, interval_seconds=args.interval,
+                  on_report=report_out)
+    except KeyboardInterrupt:
+        print("watch: interrupted", file=sys.stderr)
+    report = last.get("report")
+    if report is None:
+        return 1
+    if args.json == "-":
+        print(report.to_json())
+    elif args.json:
+        from .core.atomicio import atomic_write_text
+        atomic_write_text(args.json, report.to_json() + "\n")
+        print("watch: wrote %s" % args.json, file=sys.stderr)
+    if args.fail_on_regression and report.has_regressions:
+        return 2
     return 0
 
 
@@ -977,8 +1154,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_o_metrics = obs_sub.add_parser(
         "metrics",
         help="metric snapshot (optionally tracing a nested command)")
+    p_o_metrics.add_argument("--format", default="text",
+                             choices=["text", "json", "prom"],
+                             help="text: human table; json: full snapshot; "
+                                  "prom: Prometheus text exposition")
     p_o_metrics.add_argument("--json", action="store_true",
-                             help="machine-readable snapshot")
+                             help="shorthand for --format json")
     p_o_metrics.add_argument("command", nargs=argparse.REMAINDER,
                              help="nested easyview command to run traced")
     p_o_metrics.set_defaults(fn=_cmd_obs_metrics)
@@ -1093,6 +1274,103 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="dispatch pool width (default: engine sizing)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_agent = sub.add_parser(
+        "agent", help="continuous-profiling capture agent")
+    agent_sub = p_agent.add_subparsers(dest="agent_command", required=True)
+    p_a_run = agent_sub.add_parser(
+        "run", help="capture on a cadence and ship to a collector")
+    p_a_run.add_argument("--collector", required=True,
+                         help="collector base URL, e.g. http://host:9120")
+    p_a_run.add_argument("--service", required=True,
+                         help="service label stamped on every capture")
+    p_a_run.add_argument("--host", default="",
+                         help="host label (default: this hostname)")
+    p_a_run.add_argument("--type", default="cpu",
+                         help="profile type label")
+    p_a_run.add_argument("--scenario", default="checkout",
+                         help="ProgramMachine workload to capture "
+                              "(see repro.profilers.workloads.SCENARIOS)")
+    p_a_run.add_argument("--scenario-arg", action="append", default=[],
+                         dest="scenario_arg",
+                         help="k=v builder argument (repeatable)")
+    p_a_run.add_argument("--self-profile", nargs=argparse.REMAINDER,
+                         default=None, dest="self_profile",
+                         help="instead of a scenario: sample this process "
+                              "running the given nested easyview command "
+                              "each tick")
+    p_a_run.add_argument("--cadence", type=float, default=1.0,
+                         help="seconds between captures")
+    p_a_run.add_argument("--ticks", type=int, default=0,
+                         help="stop after N captures (0 = run forever)")
+    p_a_run.add_argument("--spool", default=None,
+                         help="directory for captures that outlive "
+                              "collector outages")
+    p_a_run.add_argument("--max-attempts", type=int, default=4,
+                         dest="max_attempts",
+                         help="ship attempts per capture before spooling")
+    p_a_run.add_argument("--timeout", type=float, default=5.0,
+                         help="per-request HTTP timeout, seconds")
+    p_a_run.add_argument("--label", action="append", default=[],
+                         help="k=v capture label (repeatable)")
+    p_a_run.set_defaults(fn=_cmd_agent_run)
+
+    p_collector = sub.add_parser(
+        "collector",
+        help="HTTP collector: agent uploads into a ProfStore")
+    p_collector.add_argument("--store", required=True,
+                             help="store root directory")
+    p_collector.add_argument("--port", type=int, default=9120,
+                             help="listen port (0 = ephemeral)")
+    p_collector.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default loopback)")
+    p_collector.add_argument("--max-pending", type=int, default=32,
+                             dest="max_pending",
+                             help="global cap on in-flight uploads")
+    p_collector.add_argument("--max-service-queue", type=int, default=8,
+                             dest="max_service_queue",
+                             help="per-service in-flight cap")
+    p_collector.add_argument("--max-body-bytes", type=int,
+                             default=8 * 1024 * 1024, dest="max_body_bytes",
+                             help="largest accepted upload body")
+    p_collector.set_defaults(fn=_cmd_collector)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="scheduled regression watch over a stored capture stream")
+    p_watch.add_argument("--store", required=True,
+                         help="store root directory")
+    p_watch.add_argument("query", nargs="*",
+                         help="stream selector, e.g. service=api type=cpu")
+    p_watch.add_argument("--window", default="60s",
+                         help="current-window length (e.g. 30s, 5m)")
+    p_watch.add_argument("--baseline", default=None,
+                         help="baseline-window length (default: --window)")
+    p_watch.add_argument("--metric", default=None,
+                         help="metric to rank on (default: first :mean)")
+    p_watch.add_argument("--shape", default="top_down",
+                         choices=["top_down", "bottom_up", "flat"])
+    p_watch.add_argument("--min-ratio", type=float, default=1.0,
+                         dest="min_ratio",
+                         help="report only current/baseline >= this")
+    p_watch.add_argument("--top", type=int, default=20,
+                         help="entries per report section")
+    p_watch.add_argument("--now", type=int, default=None,
+                         help="evaluate windows against this nanosecond "
+                              "timestamp instead of the wall clock "
+                              "(reproducible reports)")
+    p_watch.add_argument("--ticks", type=int, default=1,
+                         help="comparisons to run (1 = one-shot)")
+    p_watch.add_argument("--interval", type=float, default=30.0,
+                         help="seconds between comparisons")
+    p_watch.add_argument("--json", default=None,
+                         help="write the final report as JSON here "
+                              "('-' for stdout, replacing the text form)")
+    p_watch.add_argument("--fail-on-regression", action="store_true",
+                         dest="fail_on_regression",
+                         help="exit 2 when the final report has "
+                              "regressions (CI gating)")
+    p_watch.set_defaults(fn=_cmd_watch)
 
     p_bench = sub.add_parser("bench", help="run built-in benchmarks")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

@@ -1,0 +1,43 @@
+"""``repro.continuous``: the continuous-profiling loop.
+
+The paper's workflow is interactive — a developer opens one profile in
+the IDE and explores it.  This package closes the *fleet* loop around
+that workflow, the way production continuous profilers (Google-Wide
+Profiling, Parca, Pyroscope) do, while reusing every layer the repo
+already has:
+
+* :mod:`.agent` — a capture agent that samples a target on a cadence
+  (the in-repo :class:`~repro.profilers.sampling.SamplingProfiler` or a
+  deterministic :class:`~repro.profilers.machine.ProgramMachine`
+  scenario), stamps each capture with ``service``/``host``/``seq``
+  labels, and ships it over HTTP with retry/backoff/jitter plus an
+  on-disk :mod:`spool <.spool>` that rides out collector outages;
+* :mod:`.collector` — an ``http.server``-based ingest front that reuses
+  :class:`repro.serve.admission.AdmissionController` (the socket
+  server's discipline, transport-independent since this PR), lints each
+  upload, dedups by content digest, and lands accepted captures in a
+  :class:`~repro.store.ProfileStore`;
+* :mod:`.watch` — a scheduled regression watch running windowed
+  aggregate queries over the stored stream and diffing the current
+  window against a baseline window with the existing diff engine,
+  producing a ranked, deterministic regression report.
+
+Everything self-reports through :mod:`repro.obs`, so the loop's health
+(captures, ships, spools, dedups, rejections, watch ticks) is visible in
+``easyview obs metrics`` — including the Prometheus rendering the
+collector serves at ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+from .agent import CaptureAgent, MachineSource, RetryPolicy, SamplerSource
+from .collector import Collector
+from .envelope import CaptureEnvelope, EnvelopeError
+from .spool import DiskSpool
+from .watch import RegressionWatch, WatchReport
+
+__all__ = [
+    "CaptureAgent", "CaptureEnvelope", "Collector", "DiskSpool",
+    "EnvelopeError", "MachineSource", "RegressionWatch", "RetryPolicy",
+    "SamplerSource", "WatchReport",
+]

@@ -1,0 +1,316 @@
+"""The capture agent: sample on a cadence, stamp, ship, spool.
+
+An agent binds four pieces:
+
+* a **source** — anything callable returning a
+  :class:`~repro.core.profile.Profile` per tick.  Two ship in-repo:
+  :class:`SamplerSource` wraps the wall-clock
+  :class:`~repro.profilers.sampling.SamplingProfiler` around a target
+  callable, and :class:`MachineSource` runs a named
+  :class:`~repro.profilers.workloads.SCENARIOS` workload (the
+  deterministic path the tests and the CI smoke job use);
+* a **shipper** — :class:`HTTPShipper` POSTs envelopes to a collector's
+  ``/upload``; tests inject any callable with the same contract;
+* a **retry policy** — capped exponential backoff with full jitter
+  (decorrelated retries keep a fleet of agents from stampeding a
+  recovering collector in lockstep);
+* a **spool** — where captures go when every attempt fails, replayed
+  ahead of fresh captures on the next successful contact.
+
+Every moving part that touches time or randomness (``clock``,
+``sleep``, ``rng``) is injectable, so the retry schedule and the
+cadence are exactly testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.profile import Profile
+from ..core.serialize import dumps as serialize_profile
+from ..errors import EasyViewError
+from ..obs import get_registry, get_tracer
+from .envelope import CaptureEnvelope
+from .spool import DiskSpool
+
+_tracer = get_tracer()
+
+
+class ShipError(EasyViewError):
+    """A ship attempt failed.
+
+    ``retryable`` distinguishes transient refusals (connection errors,
+    429/503 with a retry hint) from permanent rejections (400/413/422 —
+    re-sending the same bytes can never succeed, so the agent drops the
+    capture and says so instead of spooling it forever).
+    """
+
+    def __init__(self, message: str, retryable: bool = True,
+                 retry_after_ms: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with full jitter."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int, rng: Callable[[], float],
+              retry_after_ms: Optional[int] = None) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (0-based).
+
+        The exponential ceiling doubles per attempt; the actual delay is
+        uniform in [0, ceiling] ("full jitter").  A server-provided
+        retry hint becomes the floor — never retry sooner than the
+        collector asked.
+        """
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        delay = ceiling * rng()
+        if retry_after_ms is not None:
+            delay = max(delay, retry_after_ms / 1000.0)
+        return delay
+
+
+# -- sources ---------------------------------------------------------------
+
+
+class SamplerSource:
+    """Each tick: run ``target()`` under the in-repo sampling profiler."""
+
+    def __init__(self, target: Callable[[], Any],
+                 interval_seconds: float = 0.001,
+                 all_threads: bool = False) -> None:
+        self.target = target
+        self.interval_seconds = interval_seconds
+        self.all_threads = all_threads
+
+    def __call__(self) -> Profile:
+        from ..profilers.sampling import SamplingProfiler
+        profiler = SamplingProfiler(interval_seconds=self.interval_seconds,
+                                    all_threads=self.all_threads)
+        _, profile = profiler.profile(self.target)
+        return profile
+
+
+class MachineSource:
+    """Each tick: run one named deterministic workload scenario.
+
+    ``params`` pass through to the scenario builder; a per-tick
+    ``seed`` offset (when the scenario accepts one) keeps successive
+    captures distinct-but-reproducible.
+    """
+
+    def __init__(self, scenario: str, vary_seed: bool = True,
+                 **params: Any) -> None:
+        from ..profilers.workloads import SCENARIOS
+        if scenario not in SCENARIOS:
+            raise EasyViewError(
+                "unknown scenario %r (have: %s)"
+                % (scenario, ", ".join(sorted(SCENARIOS))))
+        self.scenario = scenario
+        self.params = params
+        #: Offset the builder's seed per tick so successive captures are
+        #: distinct (identical bytes dedup away at the collector) while
+        #: staying reproducible.  Off for builders without a ``seed``.
+        self.vary_seed = vary_seed
+        self.ticks = 0
+
+    def __call__(self) -> Profile:
+        import inspect
+        from ..profilers.workloads import SCENARIOS
+        builder = SCENARIOS[self.scenario]
+        params = dict(self.params)
+        if self.vary_seed and "seed" in inspect.signature(builder).parameters:
+            base = params.get(
+                "seed", inspect.signature(builder).parameters["seed"].default)
+            params["seed"] = int(base) + self.ticks
+        self.ticks += 1
+        return builder(**params)
+
+
+# -- shippers --------------------------------------------------------------
+
+
+class HTTPShipper:
+    """POST envelopes to a collector's ``/upload`` endpoint."""
+
+    def __init__(self, url: str, timeout: float = 5.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def __call__(self, envelope: CaptureEnvelope) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.url + "/upload", data=envelope.blob,
+            headers=dict(envelope.to_headers(),
+                         **{"Content-Type": "application/octet-stream"}),
+            method="POST")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                import json
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            retry_after = exc.headers.get("Retry-After-Ms")
+            raise ShipError(
+                "collector said %d: %s" % (exc.code, body.strip()),
+                retryable=exc.code in (429, 503),
+                retry_after_ms=int(retry_after) if retry_after else None)
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise ShipError("collector unreachable: %s" % exc,
+                            retryable=True)
+
+
+# -- the agent -------------------------------------------------------------
+
+
+class CaptureAgent:
+    """Capture → envelope → ship (with retries) → spool on failure."""
+
+    def __init__(self, source: Callable[[], Profile],
+                 shipper: Callable[[CaptureEnvelope], Dict[str, Any]],
+                 service: str,
+                 host: str = "",
+                 ptype: str = "cpu",
+                 labels: Optional[Dict[str, str]] = None,
+                 cadence_seconds: float = 1.0,
+                 spool: Optional[DiskSpool] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 clock: Callable[[], float] = time.time,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Callable[[], float] = random.random) -> None:
+        self.source = source
+        self.shipper = shipper
+        self.service = service
+        self.host = host or socket.gethostname()
+        self.ptype = ptype
+        self.labels = dict(labels or {})
+        self.cadence_seconds = cadence_seconds
+        self.spool = spool
+        self.retry = retry or RetryPolicy()
+        self.clock = clock
+        self.sleep = sleep
+        self.rng = rng
+        self.seq = 0
+
+        registry = get_registry()
+        self._captures = registry.counter(
+            "continuous.agent.captures", "profiles captured")
+        self._shipped = registry.counter(
+            "continuous.agent.shipped", "envelopes accepted by a collector")
+        self._retries = registry.counter(
+            "continuous.agent.retries", "ship attempts beyond the first")
+        self._spooled = registry.counter(
+            "continuous.agent.spooled",
+            "captures parked on disk after exhausting retries")
+        self._replayed = registry.counter(
+            "continuous.agent.replayed",
+            "spooled captures later accepted by a collector")
+        self._dropped = registry.counter(
+            "continuous.agent.dropped",
+            "captures permanently rejected by the collector")
+        self._ship_seconds = registry.histogram(
+            "continuous.agent.ship_seconds",
+            description="latency of successful ship attempts")
+
+    # -- one capture -------------------------------------------------------
+
+    def capture(self) -> CaptureEnvelope:
+        """Run the source once and wrap the result."""
+        with _tracer.span("continuous.agent.capture",
+                          service=self.service):
+            profile = self.source()
+        envelope = CaptureEnvelope(
+            service=self.service, host=self.host, ptype=self.ptype,
+            seq=self.seq, blob=serialize_profile(profile),
+            time_nanos=(profile.meta.time_nanos
+                        or int(self.clock() * 1e9)),
+            labels=dict(self.labels))
+        self.seq += 1
+        self._captures.inc()
+        return envelope
+
+    def _ship_once(self, envelope: CaptureEnvelope) -> Dict[str, Any]:
+        started = self.clock()
+        result = self.shipper(envelope)
+        self._ship_seconds.observe(max(0.0, self.clock() - started))
+        return result
+
+    def ship(self, envelope: CaptureEnvelope) -> Optional[Dict[str, Any]]:
+        """Ship with retry/backoff; spool when the collector stays away.
+
+        Returns the collector's response, or None when the envelope was
+        spooled (transient exhaustion) or dropped (permanent rejection).
+        """
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self._retries.inc()
+            try:
+                return self._ship_once(envelope)
+            except ShipError as exc:
+                if not exc.retryable:
+                    self._dropped.inc()
+                    return None
+                if attempt + 1 >= self.retry.max_attempts:
+                    break
+                self.sleep(self.retry.delay(
+                    attempt, self.rng, retry_after_ms=exc.retry_after_ms))
+        if self.spool is not None:
+            self.spool.put(envelope)
+            self._spooled.inc()
+        return None
+
+    def replay_spool(self) -> int:
+        """Drain spooled captures (oldest first); stop on first failure.
+
+        Single-attempt sends: if the collector is still away, the rest of
+        the spool stays put for the next tick instead of burning the full
+        retry schedule per record.
+        """
+        if self.spool is None:
+            return 0
+        replayed = 0
+        while True:
+            envelope = self.spool.peek()
+            if envelope is None:
+                return replayed
+            try:
+                self._ship_once(envelope)
+            except ShipError as exc:
+                if exc.retryable:
+                    return replayed
+                self._dropped.inc()    # permanent: discard and keep going
+            else:
+                self._shipped.inc()
+                self._replayed.inc()
+            self.spool.pop()
+            replayed += 1
+
+    def tick(self) -> Optional[Dict[str, Any]]:
+        """One cadence step: replay any backlog, then capture and ship."""
+        self.replay_spool()
+        envelope = self.capture()
+        result = self.ship(envelope)
+        if result is not None:
+            self._shipped.inc()
+        return result
+
+    def run(self, ticks: int) -> List[Optional[Dict[str, Any]]]:
+        """Run ``ticks`` cadence steps, sleeping the cadence in between."""
+        results: List[Optional[Dict[str, Any]]] = []
+        for i in range(ticks):
+            if i:
+                self.sleep(self.cadence_seconds)
+            results.append(self.tick())
+        return results

@@ -1,0 +1,142 @@
+"""The agent's on-disk spool: captures that outlived a collector outage.
+
+When every ship attempt for a capture fails, the agent parks the
+envelope here and moves on — sampling must not stop because the network
+did.  On the next successful contact the spool drains oldest-first, so
+the store receives the stream in capture order (the collector tolerates
+disorder anyway; digests, not arrival order, decide identity).
+
+Layout: one record per file, named ``<seq>-<digest12>.evspool`` inside
+the spool directory.  Single-file records make crash-safety trivial —
+a record is written to a ``.tmp`` name and renamed into place, so a
+reader never sees a half-written spool entry; anything left as ``.tmp``
+is an aborted write and is swept on the next :meth:`DiskSpool.put`.
+
+The spool is bounded (``max_records``): when full, the *oldest* record
+is dropped to make room, on the theory that a regression watch cares
+far more about fresh captures than about stale ones — and a counter
+(``continuous.agent.spool_dropped``) makes every drop visible.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional
+
+from ..obs import get_registry
+from .envelope import CaptureEnvelope, EnvelopeError
+
+_SUFFIX = ".evspool"
+_TMP_SUFFIX = ".tmp"
+
+
+class DiskSpool:
+    """A directory of pending capture envelopes, drained oldest-first."""
+
+    def __init__(self, root: str, max_records: int = 256) -> None:
+        if max_records < 1:
+            raise ValueError("a spool must hold at least one record")
+        self.root = os.path.abspath(root)
+        self.max_records = max_records
+        os.makedirs(self.root, exist_ok=True)
+        registry = get_registry()
+        self._dropped = registry.counter(
+            "continuous.agent.spool_dropped",
+            "spooled captures evicted because the spool was full")
+        self._depth = registry.gauge(
+            "continuous.agent.spool_depth",
+            "capture envelopes currently parked on disk")
+        self._depth.set(len(self._names()))
+
+    # -- internals ---------------------------------------------------------
+
+    def _names(self) -> List[str]:
+        """Record filenames in replay (oldest-first) order.
+
+        The ``<seq>`` prefix is zero-padded at write time, so plain
+        lexicographic order is capture order.
+        """
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n for n in entries if n.endswith(_SUFFIX))
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _sweep_tmp(self) -> None:
+        for name in os.listdir(self.root):
+            if name.endswith(_TMP_SUFFIX):
+                try:
+                    os.unlink(self._path(name))
+                except OSError:
+                    pass
+
+    # -- queue operations --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def put(self, envelope: CaptureEnvelope) -> str:
+        """Park one envelope; returns the record filename.
+
+        Evicts the oldest record first when the spool is at capacity.
+        """
+        self._sweep_tmp()
+        names = self._names()
+        while len(names) >= self.max_records:
+            victim = names.pop(0)
+            try:
+                os.unlink(self._path(victim))
+            except OSError:
+                pass
+            self._dropped.inc()
+        name = "%016d-%s%s" % (envelope.seq, envelope.digest[:12], _SUFFIX)
+        tmp = self._path(name + _TMP_SUFFIX)
+        with open(tmp, "wb") as handle:
+            handle.write(envelope.to_bytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._path(name))
+        self._depth.set(len(names) + 1)
+        return name
+
+    def peek(self) -> Optional[CaptureEnvelope]:
+        """The oldest spooled envelope, or None when empty.
+
+        A record that no longer parses (torn by outside interference or
+        a partial disk) is deleted and skipped — the spool never wedges
+        on one bad file.
+        """
+        for name in self._names():
+            try:
+                with open(self._path(name), "rb") as handle:
+                    return CaptureEnvelope.from_bytes(handle.read())
+            except (OSError, EnvelopeError):
+                try:
+                    os.unlink(self._path(name))
+                except OSError:
+                    pass
+        return None
+
+    def pop(self) -> None:
+        """Discard the oldest record (its envelope was shipped)."""
+        names = self._names()
+        if names:
+            try:
+                os.unlink(self._path(names[0]))
+            except OSError:
+                pass
+        self._depth.set(max(0, len(names) - 1))
+
+    def drain(self) -> Iterator[CaptureEnvelope]:
+        """Yield envelopes oldest-first, removing each *after* it is
+        yielded — callers that stop mid-drain (the collector went away
+        again) keep the unshipped tail on disk."""
+        while True:
+            envelope = self.peek()
+            if envelope is None:
+                return
+            yield envelope
+            self.pop()

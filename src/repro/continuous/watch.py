@@ -1,0 +1,304 @@
+"""Scheduled regression watch over a stored capture stream.
+
+Every tick compares two adjacent time windows of one service's stream:
+
+* the **current** window — ``(now - window, now]``;
+* the **baseline** window — ``(now - window - baseline, now - window]``.
+
+Each window is merged with the store's windowed aggregate
+(:meth:`~repro.store.ProfileStore.query_window`), which keys the
+engine's cache on the window's *membership digest* — repeated ticks
+over an unchanged window never reload or re-merge profiles, which is
+what makes a tight watch cadence affordable.  The two aggregates are
+then compared with the existing differential engine
+(:func:`repro.analysis.diff.diff_trees`) on the per-capture *mean*
+column, so windows with different capture counts compare fairly.
+
+Ranking attributes regressions to the frames that caused them: a
+node's **self delta** is its inclusive delta minus its children's, so
+a slowdown injected into one function ranks that function first — not
+every ancestor on its call path (whose inclusive deltas are just as
+large but explain nothing).  Ordering is completely deterministic
+(self delta descending, then path) so reports golden-test cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis.diff import TAG_ADDED, TAG_DELETED, diff_trees, summarize
+from ..analysis.viewtree import ViewNode, ViewTree
+from ..errors import EasyViewError
+from ..obs import get_registry, get_tracer
+from ..store.query import Query, parse_age, parse_query
+
+_tracer = get_tracer()
+
+
+@dataclass
+class Regression:
+    """One ranked entry of a watch report."""
+
+    path: str
+    tag: str
+    baseline: float
+    current: float
+    delta: float          # inclusive current - baseline
+    self_delta: float     # delta not explained by callees
+    ratio: float          # current / baseline (0 when baseline is 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "tag": self.tag,
+            "baseline": round(self.baseline, 6),
+            "current": round(self.current, 6),
+            "delta": round(self.delta, 6),
+            "selfDelta": round(self.self_delta, 6),
+            "ratio": round(self.ratio, 6),
+        }
+
+
+@dataclass
+class WatchReport:
+    """One tick's findings, JSON-ready and deterministically ordered."""
+
+    query: str
+    metric: str
+    window_nanos: int
+    baseline_nanos: int
+    now_nanos: int
+    current_captures: int
+    baseline_captures: int
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[Regression] = field(default_factory=list)
+    tags: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "metric": self.metric,
+            "windowNanos": self.window_nanos,
+            "baselineNanos": self.baseline_nanos,
+            "nowNanos": self.now_nanos,
+            "currentCaptures": self.current_captures,
+            "baselineCaptures": self.baseline_captures,
+            "regressions": [r.to_dict() for r in self.regressions],
+            "improvements": [r.to_dict() for r in self.improvements],
+            "tags": dict(sorted(self.tags.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """The terminal rendering of this report."""
+        lines = [
+            "watch %s  metric=%s" % (self.query or "<all>", self.metric),
+            "  current window: %d capture(s); baseline: %d capture(s)"
+            % (self.current_captures, self.baseline_captures),
+        ]
+        if not self.current_captures or not self.baseline_captures:
+            lines.append("  (not enough data in one of the windows)")
+            return "\n".join(lines)
+        if not self.regressions and not self.improvements:
+            lines.append("  no change")
+            return "\n".join(lines)
+        if self.regressions:
+            lines.append("  regressions (self delta, current/baseline):")
+            for entry in self.regressions:
+                lines.append("    [%s] %-44s %+.4g  x%.3f"
+                             % (entry.tag, entry.path, entry.self_delta,
+                                entry.ratio))
+        if self.improvements:
+            lines.append("  improvements:")
+            for entry in self.improvements:
+                lines.append("    [%s] %-44s %+.4g"
+                             % (entry.tag, entry.path, entry.self_delta))
+        return "\n".join(lines)
+
+
+def _node_path(node: ViewNode) -> str:
+    return " > ".join(n.frame.name for n in node.path())
+
+
+def _pick_metric(tree: ViewTree, metric: Optional[str]) -> str:
+    """Resolve the column to diff on.
+
+    Aggregate schemas carry derived ``<metric>:<op>`` columns; the mean
+    is the fair cross-window comparison (windows rarely hold the same
+    number of captures).  An explicit ``metric`` naming an exact column
+    wins; a bare input-metric name resolves to its ``:mean``.
+    """
+    names = tree.schema.names()
+    if metric:
+        if metric in names:
+            return metric
+        if "%s:mean" % metric in names:
+            return "%s:mean" % metric
+        raise EasyViewError("no metric %r in window aggregate (have: %s)"
+                            % (metric, ", ".join(names)))
+    for name in names:
+        if name.endswith(":mean"):
+            return name
+    return names[0]
+
+
+class RegressionWatch:
+    """Windowed diff of a capture stream, scheduled or one-shot."""
+
+    def __init__(self, store: Any, query: str = "",
+                 window: str = "60s", baseline: Optional[str] = None,
+                 metric: Optional[str] = None,
+                 shape: str = "top_down",
+                 min_self_delta: float = 0.0,
+                 min_ratio: float = 1.0,
+                 top: int = 20,
+                 clock: Optional[Callable[[], int]] = None) -> None:
+        self.store = store
+        self.base_query = query
+        self.window_nanos = parse_age(window)
+        self.baseline_nanos = parse_age(baseline) if baseline \
+            else self.window_nanos
+        if self.window_nanos <= 0 or self.baseline_nanos <= 0:
+            raise EasyViewError("watch windows must be positive")
+        self.metric = metric
+        self.shape = shape
+        #: Absolute floor on a reported self delta — anything at or below
+        #: is noise (0.0 keeps exact no-change windows empty without
+        #: suppressing real movement in low-cost frames).
+        self.min_self_delta = min_self_delta
+        #: Relative floor: current/baseline must reach this to count as a
+        #: regression (1.0 = any growth).
+        self.min_ratio = min_ratio
+        self.top = top
+        self.clock = clock or getattr(store, "clock", None) \
+            or (lambda: time.time_ns())
+
+        registry = get_registry()
+        self._ticks = registry.counter(
+            "continuous.watch.ticks", "watch comparisons run")
+        self._found = registry.counter(
+            "continuous.watch.regressions", "ranked regressions reported")
+        self._tick_seconds = registry.histogram(
+            "continuous.watch.tick_seconds",
+            description="latency of one watch comparison")
+
+    # -- window selection --------------------------------------------------
+
+    def _window_query(self, since: int, until: int) -> Query:
+        query = parse_query(self.base_query, now_nanos=until)
+        query.since_nanos = since + 1   # windows are (since, until]
+        query.until_nanos = until
+        return query
+
+    def tick(self, now_nanos: Optional[int] = None) -> WatchReport:
+        """Compare the two windows ending at ``now`` and rank the drift."""
+        start = time.monotonic()
+        now = int(now_nanos if now_nanos is not None else self.clock())
+        split = now - self.window_nanos
+        with _tracer.span("continuous.watch.tick"):
+            current = self.store.query_window(
+                self._window_query(split, now), shape=self.shape)
+            baseline = self.store.query_window(
+                self._window_query(split - self.baseline_nanos, split),
+                shape=self.shape)
+        report = self._compare(baseline, current, now)
+        self._ticks.inc()
+        self._found.inc(len(report.regressions))
+        self._tick_seconds.observe(max(0.0, time.monotonic() - start))
+        return report
+
+    # -- comparison --------------------------------------------------------
+
+    def _compare(self, baseline: Any, current: Any,
+                 now: int) -> WatchReport:
+        report = WatchReport(
+            query=self.base_query, metric=self.metric or "",
+            window_nanos=self.window_nanos,
+            baseline_nanos=self.baseline_nanos, now_nanos=now,
+            current_captures=len(current.entries),
+            baseline_captures=len(baseline.entries))
+        if baseline.tree is None or current.tree is None:
+            # One empty window: nothing to diff.  (A service's first
+            # window after deploy, or a stream gap — not a regression.)
+            return report
+
+        metric_name = _pick_metric(current.tree, self.metric)
+        report.metric = metric_name
+        schema = baseline.tree.schema.union(current.tree.schema)
+        diff = diff_trees(baseline.tree, current.tree,
+                          metric_index=schema.index_of(metric_name))
+        index = diff.schema.index_of(metric_name)
+        report.tags = summarize(diff)
+
+        entries: List[Regression] = []
+        for node in diff.nodes():
+            if node is diff.root:
+                continue
+            before = node.baseline.get(index, 0.0)
+            after = node.inclusive.get(index, 0.0)
+            delta = after - before
+            child_delta = sum(
+                child.inclusive.get(index, 0.0)
+                - child.baseline.get(index, 0.0)
+                for child in node.children.values())
+            self_delta = delta - child_delta
+            ratio = after / before if before else 0.0
+            entries.append(Regression(
+                path=_node_path(node), tag=node.tag or "=",
+                baseline=before, current=after, delta=delta,
+                self_delta=self_delta, ratio=ratio))
+
+        def floor(entry: Regression) -> float:
+            # Aggregation sums floats in pool-arrival order, so "equal"
+            # windows can differ by a few ulps; a scale-relative epsilon
+            # keeps that noise out of reports without a unit-dependent
+            # absolute threshold.
+            noise = 1e-9 * (abs(entry.baseline) + abs(entry.current))
+            return max(self.min_self_delta, noise)
+
+        def keep_regression(entry: Regression) -> bool:
+            if entry.tag == TAG_DELETED:
+                return False
+            if entry.self_delta <= floor(entry):
+                return False
+            if entry.tag != TAG_ADDED and entry.baseline \
+                    and entry.current / entry.baseline < self.min_ratio:
+                return False
+            return True
+
+        regressions = sorted(
+            (e for e in entries if keep_regression(e)),
+            key=lambda e: (-e.self_delta, e.path))
+        improvements = sorted(
+            (e for e in entries
+             if e.self_delta < -floor(e) or e.tag == TAG_DELETED),
+            key=lambda e: (e.self_delta, e.path))
+        report.regressions = regressions[:self.top]
+        report.improvements = improvements[:self.top]
+        return report
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, ticks: int, interval_seconds: float = 0.0,
+            sleep: Callable[[float], None] = time.sleep,
+            on_report: Optional[Callable[[WatchReport], None]] = None
+            ) -> List[WatchReport]:
+        """Run ``ticks`` comparisons on a fixed schedule."""
+        reports: List[WatchReport] = []
+        for i in range(ticks):
+            if i and interval_seconds > 0:
+                sleep(interval_seconds)
+            report = self.tick()
+            reports.append(report)
+            if on_report is not None:
+                on_report(report)
+        return reports

@@ -236,6 +236,35 @@ class AnalysisEngine:
             (tuple(profile_digest(p) for p in profiles), options),
             compute)
 
+    def aggregate_window(self, window_key: str, loader: Callable[[], Any],
+                         shape: str = "top_down",
+                         operators=aggregate_mod.DEFAULT_OPERATORS
+                         ) -> ViewTree:
+        """Windowed aggregation memoized on a *precomputed* window digest.
+
+        The regression-watch loop re-aggregates the same time window every
+        tick.  Content-digest keying (:meth:`aggregate_profiles`) would be
+        a cache hit too — but only after loading every member profile to
+        digest it.  ``window_key`` is a digest the store derives from the
+        window's record identities alone (seqs are append-only and a seq's
+        content never changes), so a repeat query over an unchanged window
+        returns the cached merged tree *without touching a single profile
+        blob*: ``loader`` runs only on a miss, and the miss path still
+        flows through :meth:`aggregate_profiles`, so windows sharing
+        content share the inner cache entries as well.
+        """
+        try:
+            options = _canonical((str(window_key), shape, tuple(operators)))
+        except _Uncacheable:
+            return self._bypass(
+                "window",
+                lambda: self.aggregate_profiles(loader(), shape=shape,
+                                                operators=operators))
+        return self._memoize(
+            "window", (options,),
+            lambda: self.aggregate_profiles(loader(), shape=shape,
+                                            operators=operators))
+
     # -- memoized annotation support ---------------------------------------
 
     def line_attribution(self, tree: ViewTree) -> Dict:

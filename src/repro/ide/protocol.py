@@ -71,6 +71,9 @@ VIEW_OPEN_QUERY = "view/openQuery"
 STORE_INGEST = "store/ingest"
 STORE_QUERY = "store/query"
 
+# watch/* methods (IDE → the continuous-profiling regression watch).
+WATCH_REPORT = "watch/report"
+
 # obs/* methods (IDE → the viewer's own telemetry).  ``obs/metrics``
 # supersedes and generalizes ``view/engineStats``: the engine's cache
 # counters are one tenant of the snapshot it returns.
@@ -93,6 +96,7 @@ VIEW_METHODS = frozenset({
     VIEW_OPEN_QUERY,
 })
 STORE_METHODS = frozenset({STORE_INGEST, STORE_QUERY})
+WATCH_METHODS = frozenset({WATCH_REPORT})
 OBS_METHODS = frozenset({OBS_METRICS, OBS_TRACE})
 IDE_METHODS = frozenset({
     IDE_OPEN_DOCUMENT, IDE_CODE_LENS, IDE_HOVER, IDE_FLOATING_WINDOW,

@@ -712,6 +712,23 @@ class ViewerSession:
             return {"profileId": opened.id,
                     "shape": tree.shape,
                     "metrics": tree.schema.names()}
+        if method == pvp.WATCH_REPORT:
+            pvp.require_params(request, "store", "query")
+            from ..continuous.watch import RegressionWatch
+            watch = RegressionWatch(
+                self.store(params["store"]),
+                query=str(params["query"]),
+                window=str(params.get("window", "60s")),
+                baseline=(str(params["baseline"])
+                          if params.get("baseline") else None),
+                metric=params.get("metric"),
+                shape=str(params.get("shape", "top_down")),
+                min_ratio=float(params.get("minRatio", 1.0)),
+                top=int(params.get("top", 20)))
+            now = params.get("nowNanos")
+            report = watch.tick(
+                now_nanos=int(now) if now is not None else None)
+            return report.to_dict()
         raise ProtocolError("unknown method %r" % method)
 
     # -- internals -----------------------------------------------------------------

@@ -31,12 +31,13 @@ from typing import Optional
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       DEFAULT_BUCKETS)
+from .prom import registry_prometheus, to_prometheus
 from .tracer import Span, Tracer, env_enabled
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
     "Span", "Tracer", "configure", "get_registry", "get_tracer",
-    "trace_span", "env_enabled",
+    "trace_span", "env_enabled", "registry_prometheus", "to_prometheus",
 ]
 
 _lock = threading.Lock()

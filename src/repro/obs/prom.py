@@ -1,0 +1,116 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` in the
+`text-based exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ version
+``0.0.4`` — the format every Prometheus-compatible scraper (Prometheus
+itself, the Grafana agent, VictoriaMetrics, ...) accepts.  Two surfaces
+serve it:
+
+* ``easyview obs metrics --format prom`` — ad-hoc scrapes of any
+  EasyView process;
+* the continuous-profiling collector's ``GET /metrics`` endpoint — so
+  the ingest loop's health (uploads, dedups, rejections, queue depth,
+  ingest latency) is monitored with standard tooling, no custom glue.
+
+Dotted instrument names become underscore-separated metric names
+(``serve.queue_seconds`` → ``serve_queue_seconds``); counters get the
+conventional ``_total`` suffix; histograms expand to cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count``, which is exactly
+the layout :class:`~repro.obs.metrics.Histogram` already keeps.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A registry instrument name as a legal Prometheus metric name."""
+    cleaned = _INVALID_CHAR.sub("_", name.replace(".", "_"))
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    """A sample value in exposition syntax (integers stay integral)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _le_label(bound: Any) -> str:
+    if bound == "+Inf":
+        return "+Inf"
+    return _format_value(float(bound))
+
+
+def to_prometheus(snapshot: Dict[str, Any],
+                  help_text: Optional[Dict[str, str]] = None) -> str:
+    """Render one registry snapshot as Prometheus exposition text.
+
+    Output is deterministic: metric families appear in sorted-name order
+    (counters, then gauges, then histograms — each internally sorted),
+    which makes the format golden-testable and diff-friendly.
+    """
+    help_text = help_text or {}
+    lines: List[str] = []
+
+    def emit_help(name: str, kind: str, source: str) -> None:
+        text = help_text.get(source, "")
+        if text:
+            lines.append("# HELP %s %s"
+                         % (name, text.replace("\\", "\\\\")
+                            .replace("\n", "\\n")))
+        lines.append("# TYPE %s %s" % (name, kind))
+
+    for source in sorted(snapshot.get("counters", {})):
+        name = metric_name(source) + "_total"
+        emit_help(name, "counter", source)
+        lines.append("%s %s"
+                     % (name, _format_value(snapshot["counters"][source])))
+
+    for source in sorted(snapshot.get("gauges", {})):
+        name = metric_name(source)
+        emit_help(name, "gauge", source)
+        lines.append("%s %s"
+                     % (name, _format_value(snapshot["gauges"][source])))
+
+    for source in sorted(snapshot.get("histograms", {})):
+        name = metric_name(source)
+        emit_help(name, "histogram", source)
+        hist = snapshot["histograms"][source]
+        for bucket in hist.get("buckets", []):
+            lines.append('%s_bucket{le="%s"} %d'
+                         % (name, _le_label(bucket["le"]), bucket["count"]))
+        lines.append("%s_sum %s" % (name, _format_value(hist.get("sum", 0))))
+        lines.append("%s_count %d" % (name, hist.get("count", 0)))
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_prometheus() -> str:
+    """The process-wide registry, rendered with instrument descriptions."""
+    from . import get_registry
+
+    registry = get_registry()
+    descriptions: Dict[str, str] = {}
+    for name in registry.names():
+        instrument = registry.get(name)
+        if instrument is not None and instrument.description:
+            descriptions[name] = instrument.description
+    return to_prometheus(registry.snapshot(), help_text=descriptions)

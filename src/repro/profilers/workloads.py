@@ -548,3 +548,54 @@ def deep_path_profile(depth: int = 10000, fanout_every: int = 500,
     machine = ProgramMachine(functions, entry="f0", seed=seed,
                              recursion_limit=depth + 1)
     return machine.run(metric="cpu", unit="nanoseconds", tool="deepgen")
+
+
+def checkout_service_profile(slow: bool = False, scale: int = 20,
+                             seed: int = 43) -> Profile:
+    """A small web-service request profile for the continuous loop.
+
+    The shape is one request handler fanning into three phases —
+    ``parse_payload``, ``db_query``, ``render`` — whose costs are
+    deterministic per seed.  With ``slow=True`` the payload parser's
+    exclusive cost quadruples (a "someone swapped in a pure-Python JSON
+    decoder" regression): exactly one frame moves, which is what the
+    regression watch's self-delta attribution must pin — the report has
+    to rank ``parse_payload`` first, not its ancestors, whose inclusive
+    time grows just as much.
+    """
+    svc = "checkout"
+    parse_cost = 2e5 * (4.0 if slow else 1.0)
+    functions = [
+        Func("main", "checkout/main.py", 8, svc,
+             callees=[Callee("handle_request", calls=scale)]),
+        Func("handle_request", "checkout/handler.py", 21, svc,
+             self_cost=5e4,
+             callees=[Callee("parse_payload"), Callee("db_query"),
+                      Callee("render")]),
+        Func("parse_payload", "checkout/codec.py", 44, svc,
+             self_cost=parse_cost),
+        Func("db_query", "checkout/db.py", 67, svc, self_cost=3e5,
+             callees=[Callee("pool_acquire")]),
+        Func("pool_acquire", "checkout/db.py", 112, svc, self_cost=8e4),
+        Func("render", "checkout/render.py", 30, svc, self_cost=1.5e5),
+    ]
+    # Small deterministic jitter: distinct seeds yield distinct captures
+    # (so a capture stream survives collector dedup), same seed yields
+    # byte-identical ones (so no-change windows diff to exactly zero).
+    machine = ProgramMachine(functions, entry="main", seed=seed,
+                             jitter=0.02)
+    return machine.run(metric="cpu", unit="nanoseconds", tool="easyview")
+
+
+#: Workload builders addressable by name — the capture agent's
+#: ``--scenario`` flag and :class:`repro.continuous.MachineSource` resolve
+#: through this table, so a new workload becomes a shippable capture
+#: source by adding one entry.
+SCENARIOS = {
+    "grpc-client": grpc_client_profile,
+    "lulesh": lulesh_profile,
+    "lulesh-reuse": lulesh_reuse_profile,
+    "spark": spark_profile,
+    "go-service": go_service_profile,
+    "checkout": checkout_service_profile,
+}

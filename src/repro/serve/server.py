@@ -72,6 +72,7 @@ from ..ide.actions import Capabilities
 from ..ide.protocol import CANCELLED, DENIED, Request, Response
 from ..ide.session import ViewerSession
 from ..obs import get_registry
+from .admission import AdmissionController
 from .dispatch import (Dispatcher, MAX_LINE_BYTES, oversized_response,
                        parse_line, supersede_key, undecodable_response)
 
@@ -334,11 +335,16 @@ class PVPServer:
         self.loop: asyncio.AbstractEventLoop = None  # set in start()
         self.port: Optional[int] = None
         self.closed = False
-        self._draining = False
         self._server: Optional[asyncio.base_events.Server] = None
         self._sessions: Set[Session] = set()
         self._session_ids = itertools.count(1)
-        self._pending = 0             # queued + running, server-wide
+        #: Shared admission discipline (also used by the HTTP collector in
+        #: :mod:`repro.continuous`): global queued+running cap plus the
+        #: per-session queue bound, with structured denials.
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            max_source_queue=self.config.max_session_queue,
+            retry_after_ms=self.config.retry_after_ms)
         # Created in start(): asyncio primitives must be born inside a
         # running loop for 3.9 compatibility.
         self._stopped: Optional[asyncio.Event] = None
@@ -375,24 +381,20 @@ class PVPServer:
     def admit(self, session: Session, request: Request) -> None:
         """Queue a request, or answer DENIED / cancel a superseded one.
 
-        Runs on the event loop (single-threaded), so the cap checks and
-        queue edits need no locks.
+        Runs on the event loop (single-threaded); the shared
+        :class:`AdmissionController` still takes its lock so the same
+        instance could serve threaded fronts, but here it is uncontended.
         """
-        if self._draining:
-            self._deny(session, request, "draining")
-            return
-        if self._pending >= self.config.max_pending:
-            self._deny(session, request, "server")
-            return
-        if len(session.queue) >= self.config.max_session_queue:
-            self._deny(session, request, "session")
+        denial = self.admission.try_admit(queued=len(session.queue))
+        if denial is not None:
+            self._deny(session, request, denial.reason)
             return
         key = supersede_key(request)
         if key is not None:
             for pending in list(session.queue):
                 if pending.key == key:
                     session.queue.remove(pending)
-                    self._pending -= 1
+                    self.admission.release()
                     self.stats_cancelled.inc()
                     session.send_response(Response.failure(
                         pending.request.id, CANCELLED,
@@ -400,8 +402,7 @@ class PVPServer:
                         "pane" % request.method))
         now = self.loop.time()
         session.queue.append(_Pending(request, key, now))
-        self._pending += 1
-        self.stats_queue_depth.set(self._pending)
+        self.stats_queue_depth.set(self.admission.pending)
         session.wakeup.set()
 
     def _deny(self, session: Session, request: Request,
@@ -421,8 +422,22 @@ class PVPServer:
                 max(0.0, self.loop.time() - pending.enqueued))
 
     def note_finished(self) -> None:
-        self._pending -= 1
-        self.stats_queue_depth.set(self._pending)
+        self.admission.release()
+        self.stats_queue_depth.set(self.admission.pending)
+
+    @property
+    def _pending(self) -> int:
+        # Kept for the tests/tools that read the pre-refactor counter.
+        return self.admission.pending
+
+    @property
+    def _draining(self) -> bool:
+        # Pre-refactor flag, now owned by the admission controller.
+        return self.admission.draining
+
+    @_draining.setter
+    def _draining(self, value: bool) -> None:
+        self.admission.draining = value
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -437,7 +452,7 @@ class PVPServer:
 
     async def _on_connect(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
-        if self._draining or self.closed:
+        if self.admission.draining or self.closed:
             writer.close()
             return
         session = Session(self, "c%d" % next(self._session_ids),
@@ -453,7 +468,7 @@ class PVPServer:
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, finish queued work, close."""
-        self._draining = True
+        self.admission.start_drain()
         if self._server is not None:
             self._server.close()
         for session in list(self._sessions):
@@ -491,7 +506,7 @@ class PVPServer:
         return {
             "port": self.port,
             "sessions": len(self._sessions),
-            "pending": self._pending,
+            "pending": self.admission.pending,
             "connections": self.stats_accepted.value,
             "cancelled": self.stats_cancelled.value,
             "denied": self.stats_denied.value,

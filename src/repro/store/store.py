@@ -33,6 +33,7 @@ orphan segment files left by crashes.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import time
@@ -333,6 +334,49 @@ class ProfileStore:
             with _tracer.span("store.query.load", records=len(entries)):
                 profiles = self.engine.pool.map(self.load, entries)
             tree = self.engine.aggregate_profiles(profiles, shape=shape)
+            return QueryResult(query=query, entries=entries, tree=tree,
+                               shape=shape)
+
+    def window_key(self, entries: Sequence[RecordEntry]) -> str:
+        """A digest identifying a window's membership *and* content.
+
+        Sequence numbers are append-only and the blob behind a seq never
+        changes (flush and compaction move records between WAL and
+        segments but preserve bytes), so ``(store root, sorted seqs)``
+        pins both which records are in the window and what they contain —
+        without loading or hashing any profile data.  Used to key the
+        engine's windowed-aggregate cache.
+        """
+        h = hashlib.blake2b(self.root.encode("utf-8"), digest_size=16)
+        for seq in sorted(entry.seq for entry in entries):
+            h.update(b"%d," % seq)
+        return h.hexdigest()
+
+    def query_window(self, query: Union[str, Query],
+                     shape: str = "top_down") -> QueryResult:
+        """Merge-on-read keyed by window identity instead of content.
+
+        Same answer as :meth:`query`, but a repeat over an unchanged
+        window (the regression-watch cadence) is a cache hit keyed by
+        :meth:`window_key` — no profile loads, no content re-digesting.
+        A changed window misses here and falls through to the ordinary
+        content-keyed aggregation, so correctness never depends on this
+        cache.
+        """
+        with _tracer.span("store.query.window") as span:
+            if isinstance(query, str):
+                query = parse_query(query, now_nanos=self.clock())
+            with self._lock:
+                entries = self.index.match(query)
+            if span is not None:
+                span.set("matches", len(entries))
+            if not entries:
+                return QueryResult(query=query, entries=[], tree=None,
+                                   shape=shape)
+            tree = self.engine.aggregate_window(
+                self.window_key(entries),
+                lambda: self.engine.pool.map(self.load, entries),
+                shape=shape)
             return QueryResult(query=query, entries=entries, tree=tree,
                                shape=shape)
 

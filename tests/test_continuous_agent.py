@@ -1,0 +1,281 @@
+"""The capture agent: envelopes, the spool, retry/backoff, replay."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.continuous import (CaptureAgent, CaptureEnvelope, DiskSpool,
+                              EnvelopeError, MachineSource, RetryPolicy)
+from repro.continuous.agent import ShipError
+from repro.continuous.envelope import (HEADER_DIGEST, HEADER_LABELS,
+                                       HEADER_SERVICE)
+
+
+def make_envelope(seq=0, payload=b"profile-bytes", service="checkout",
+                  **kwargs):
+    return CaptureEnvelope(service=service, host="h1", ptype="cpu",
+                           seq=seq, blob=payload, time_nanos=123,
+                           labels={"region": "us"}, **kwargs)
+
+
+class RecordingShipper:
+    """Scripted shipper: raises per the plan, then succeeds."""
+
+    def __init__(self, plan=()):
+        self.plan = list(plan)
+        self.sent = []
+
+    def __call__(self, envelope):
+        self.sent.append(envelope)
+        if self.plan:
+            exc = self.plan.pop(0)
+            if exc is not None:
+                raise exc
+        return {"status": "stored", "digest": envelope.digest}
+
+
+class TestEnvelope:
+    def test_spool_roundtrip(self):
+        env = make_envelope()
+        back = CaptureEnvelope.from_bytes(env.to_bytes())
+        assert back.service == "checkout"
+        assert back.host == "h1"
+        assert back.seq == 0
+        assert back.time_nanos == 123
+        assert back.labels == {"region": "us"}
+        assert back.blob == b"profile-bytes"
+        assert back.digest == env.digest
+
+    def test_header_roundtrip(self):
+        env = make_envelope(seq=7)
+        back = CaptureEnvelope.from_headers(env.to_headers(), env.blob)
+        assert back.seq == 7
+        assert back.labels == {"region": "us"}
+        assert back.digest == env.digest
+
+    def test_header_digest_mismatch_rejected(self):
+        env = make_envelope()
+        headers = env.to_headers()
+        with pytest.raises(EnvelopeError, match="digest mismatch"):
+            CaptureEnvelope.from_headers(headers, b"different-bytes")
+
+    def test_missing_service_header_rejected(self):
+        headers = make_envelope().to_headers()
+        del headers[HEADER_SERVICE]
+        with pytest.raises(EnvelopeError, match=HEADER_SERVICE):
+            CaptureEnvelope.from_headers(headers, b"profile-bytes")
+
+    def test_bad_labels_header_rejected(self):
+        headers = make_envelope().to_headers()
+        headers[HEADER_LABELS] = "{not json"
+        with pytest.raises(EnvelopeError, match="unparseable"):
+            CaptureEnvelope.from_headers(headers, b"profile-bytes")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(EnvelopeError, match="magic"):
+            CaptureEnvelope.from_bytes(b"NOTSPOOL {}\nxx")
+
+    def test_truncated_record_rejected(self):
+        data = make_envelope().to_bytes()
+        with pytest.raises(EnvelopeError):
+            CaptureEnvelope.from_bytes(data.split(b"\n")[0])
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(EnvelopeError, match="non-empty"):
+            CaptureEnvelope(service="s", host="h", ptype="cpu", seq=0,
+                            blob=b"")
+
+    def test_corrupt_spool_blob_detected(self):
+        data = make_envelope().to_bytes()
+        with pytest.raises(EnvelopeError, match="corrupt"):
+            CaptureEnvelope.from_bytes(data[:-1] + b"X")
+
+    def test_store_labels_carry_identity_and_digest(self):
+        env = make_envelope(seq=3)
+        labels = env.store_labels()
+        assert labels["host"] == "h1"
+        assert labels["agent_seq"] == "3"
+        assert labels["digest"] == env.digest
+        assert labels["region"] == "us"
+
+
+class TestDiskSpool:
+    def test_put_peek_pop_is_fifo(self, tmp_path):
+        spool = DiskSpool(str(tmp_path))
+        for seq in range(3):
+            spool.put(make_envelope(seq=seq,
+                                    payload=b"payload-%d" % seq))
+        assert len(spool) == 3
+        assert spool.peek().seq == 0
+        spool.pop()
+        assert spool.peek().seq == 1
+
+    def test_drain_removes_after_yield(self, tmp_path):
+        spool = DiskSpool(str(tmp_path))
+        for seq in range(3):
+            spool.put(make_envelope(seq=seq, payload=b"p%d" % seq))
+        drained = []
+        for env in spool.drain():
+            drained.append(env.seq)
+            if env.seq == 1:
+                break  # simulate the collector going away again
+        assert drained == [0, 1]
+        # 0 was popped, 1 was yielded but not popped (break before the
+        # generator advanced), 2 untouched.
+        assert spool.peek().seq == 1
+
+    def test_bounded_spool_evicts_oldest(self, tmp_path):
+        spool = DiskSpool(str(tmp_path), max_records=2)
+        for seq in range(4):
+            spool.put(make_envelope(seq=seq, payload=b"p%d" % seq))
+        assert len(spool) == 2
+        assert spool.peek().seq == 2
+
+    def test_corrupt_record_is_skipped_and_removed(self, tmp_path):
+        spool = DiskSpool(str(tmp_path))
+        spool.put(make_envelope(seq=0, payload=b"good"))
+        # Corrupt the only record on disk.
+        (name,) = [n for n in os.listdir(str(tmp_path))
+                   if n.endswith(".evspool")]
+        with open(os.path.join(str(tmp_path), name), "wb") as fh:
+            fh.write(b"garbage")
+        assert spool.peek() is None
+        assert len(spool) == 0
+
+    def test_tmp_leftovers_are_swept(self, tmp_path):
+        leftover = tmp_path / "0000.evspool.tmp"
+        leftover.write_bytes(b"half-written")
+        spool = DiskSpool(str(tmp_path))
+        spool.put(make_envelope())
+        assert not leftover.exists()
+
+    def test_survives_reopen(self, tmp_path):
+        DiskSpool(str(tmp_path)).put(make_envelope(seq=9))
+        reopened = DiskSpool(str(tmp_path))
+        assert len(reopened) == 1
+        assert reopened.peek().seq == 9
+
+
+class TestRetryPolicy:
+    def test_ceiling_doubles_then_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5)
+        full = lambda: 1.0  # jitter at the ceiling
+        assert policy.delay(0, full) == pytest.approx(0.1)
+        assert policy.delay(1, full) == pytest.approx(0.2)
+        assert policy.delay(2, full) == pytest.approx(0.4)
+        assert policy.delay(3, full) == pytest.approx(0.5)  # capped
+        assert policy.delay(10, full) == pytest.approx(0.5)
+
+    def test_full_jitter_spans_zero_to_ceiling(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        assert policy.delay(1, lambda: 0.0) == 0.0
+        assert policy.delay(1, lambda: 0.5) == pytest.approx(0.1)
+
+    def test_server_retry_hint_is_a_floor(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.02)
+        delay = policy.delay(0, lambda: 0.0, retry_after_ms=250)
+        assert delay == pytest.approx(0.25)
+
+
+class TestCaptureAgent:
+    def make_agent(self, shipper, tmp_path=None, attempts=3):
+        sleeps = []
+        agent = CaptureAgent(
+            MachineSource("checkout", scale=3), shipper,
+            service="checkout", host="h1", labels={"env": "test"},
+            spool=DiskSpool(str(tmp_path)) if tmp_path else None,
+            retry=RetryPolicy(max_attempts=attempts, base_delay=0.01),
+            clock=lambda: 1000.0, sleep=sleeps.append,
+            rng=lambda: 1.0)
+        return agent, sleeps
+
+    def test_capture_stamps_identity(self):
+        agent, _ = self.make_agent(RecordingShipper())
+        env = agent.capture()
+        assert env.service == "checkout"
+        assert env.host == "h1"
+        assert env.labels == {"env": "test"}
+        assert env.seq == 0
+        assert agent.capture().seq == 1
+
+    def test_ship_retries_then_succeeds(self):
+        shipper = RecordingShipper([ShipError("down"), ShipError("down"),
+                                    None])
+        agent, sleeps = self.make_agent(shipper)
+        result = agent.ship(agent.capture())
+        assert result["status"] == "stored"
+        assert len(shipper.sent) == 3
+        assert len(sleeps) == 2  # backoff between the three attempts
+
+    def test_exhausted_retries_spool_the_capture(self, tmp_path):
+        shipper = RecordingShipper([ShipError("down")] * 3)
+        agent, _ = self.make_agent(shipper, tmp_path=tmp_path, attempts=3)
+        assert agent.ship(agent.capture()) is None
+        assert len(agent.spool) == 1
+
+    def test_permanent_rejection_drops_without_spooling(self, tmp_path):
+        shipper = RecordingShipper(
+            [ShipError("bad profile", retryable=False)])
+        agent, _ = self.make_agent(shipper, tmp_path=tmp_path)
+        assert agent.ship(agent.capture()) is None
+        assert len(shipper.sent) == 1  # no retries for permanent errors
+        assert len(agent.spool) == 0
+
+    def test_spool_replays_before_fresh_captures(self, tmp_path):
+        # Outage: two captures land in the spool.
+        down = RecordingShipper([ShipError("down")] * 8)
+        agent, _ = self.make_agent(down, tmp_path=tmp_path, attempts=2)
+        agent.tick()
+        agent.tick()
+        assert len(agent.spool) == 2
+
+        # Recovery: the next tick drains the backlog first, in order.
+        up = RecordingShipper()
+        agent.shipper = up
+        agent.tick()
+        assert [e.seq for e in up.sent] == [0, 1, 2]
+        assert len(agent.spool) == 0
+
+    def test_replay_stops_on_transient_failure(self, tmp_path):
+        down = RecordingShipper([ShipError("down")] * 8)
+        agent, _ = self.make_agent(down, tmp_path=tmp_path, attempts=2)
+        agent.tick()
+        agent.tick()
+        flaky = RecordingShipper([None, ShipError("down again")])
+        agent.shipper = flaky
+        assert agent.replay_spool() == 1
+        assert len(agent.spool) == 1  # the unshipped tail stays parked
+
+    def test_run_sleeps_the_cadence_between_ticks(self):
+        agent, sleeps = self.make_agent(RecordingShipper())
+        agent.cadence_seconds = 5.0
+        results = agent.run(3)
+        assert len(results) == 3
+        assert sleeps.count(5.0) == 2
+
+    def test_retry_hint_reaches_the_backoff(self):
+        shipper = RecordingShipper(
+            [ShipError("busy", retry_after_ms=500), None])
+        agent, sleeps = self.make_agent(shipper)
+        agent.ship(agent.capture())
+        assert sleeps and sleeps[0] >= 0.5
+
+
+class TestMachineSource:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(Exception, match="unknown scenario"):
+            MachineSource("nope")
+
+    def test_seed_varies_per_tick(self):
+        from repro.core.digest import profile_digest
+        source = MachineSource("checkout", scale=3)
+        digests = {profile_digest(source()) for _ in range(3)}
+        assert len(digests) == 3
+
+    def test_vary_seed_off_is_deterministic(self):
+        from repro.core.digest import profile_digest
+        source = MachineSource("checkout", scale=3, vary_seed=False)
+        digests = {profile_digest(source()) for _ in range(3)}
+        assert len(digests) == 1

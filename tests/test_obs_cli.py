@@ -138,6 +138,78 @@ class TestObsWatch:
         assert rc == 0
         assert "store.query" in capsys.readouterr().out
 
+    def test_watch_propagates_child_exit_code(self, monkeypatch, capsys):
+        monkeypatch.setattr("repro.cli._run_nested", lambda argv: 7)
+        rc = main(["obs", "watch", "--interval", "0.05", "engine-stats"])
+        capsys.readouterr()
+        assert rc == 7
+
+    def test_watch_maps_systemexit_to_exit_code(self, monkeypatch,
+                                                capsys):
+        def explode(argv):
+            raise SystemExit(3)
+
+        monkeypatch.setattr("repro.cli._run_nested", explode)
+        rc = main(["obs", "watch", "--interval", "0.05", "engine-stats"])
+        capsys.readouterr()
+        assert rc == 3
+
+    def test_interrupt_after_child_finished_keeps_child_code(
+            self, monkeypatch, capsys):
+        """Ctrl-C while the child wraps up must not eat the child's rc."""
+        import threading
+        import time as time_module
+
+        def wrap_up(argv):
+            time_module.sleep(0.3)
+            return 5
+
+        monkeypatch.setattr("repro.cli._run_nested", wrap_up)
+        real_join = threading.Thread.join
+        calls = {"n": 0}
+
+        def flaky_join(self, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return real_join(self, timeout)
+
+        monkeypatch.setattr(threading.Thread, "join", flaky_join)
+        rc = main(["obs", "watch", "--interval", "0.05", "engine-stats"])
+        err = capsys.readouterr().err
+        assert rc == 5
+        assert "interrupted" in err
+        assert calls["n"] >= 2  # the worker was joined, not abandoned
+
+    def test_interrupt_with_child_still_running_reports_130(
+            self, monkeypatch, capsys):
+        import threading
+        import time as time_module
+
+        finished = threading.Event()
+
+        def dawdle(argv):
+            time_module.sleep(2.0)
+            finished.set()
+            return 0
+
+        monkeypatch.setattr("repro.cli._run_nested", dawdle)
+        real_join = threading.Thread.join
+        calls = {"n": 0}
+
+        def flaky_join(self, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return real_join(self, timeout)
+
+        monkeypatch.setattr(threading.Thread, "join", flaky_join)
+        rc = main(["obs", "watch", "--interval", "0.1", "engine-stats"])
+        err = capsys.readouterr().err
+        assert rc == 130  # 128 + SIGINT: the command never finished
+        assert "still running" in err
+        finished.wait(5.0)  # let the daemon thread drain before exit
+
 
 class TestJsonFlags:
     def test_store_stats_json(self, store_root, capsys):

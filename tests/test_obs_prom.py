@@ -1,0 +1,135 @@
+"""Prometheus text exposition of the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.prom import metric_name, to_prometheus
+
+
+def make_snapshot():
+    return {
+        "counters": {"serve.requests": 7},
+        "gauges": {"serve.sessions": 2.5},
+        "histograms": {
+            "serve.latency": {
+                "count": 3,
+                "sum": 0.6,
+                "mean": 0.2,
+                "min": 0.1,
+                "max": 0.3,
+                "buckets": [
+                    {"le": 0.1, "count": 1},
+                    {"le": 0.5, "count": 3},
+                    {"le": "+Inf", "count": 3},
+                ],
+            },
+        },
+    }
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("serve.queue_seconds") == "serve_queue_seconds"
+
+    def test_invalid_characters_sanitized(self):
+        assert metric_name("a.b-c/d") == "a_b_c_d"
+
+    def test_leading_digit_gets_prefix(self):
+        assert metric_name("2xx.count") == "_2xx_count"
+
+
+class TestExposition:
+    def test_counter_family(self):
+        text = to_prometheus(make_snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 7" in text
+
+    def test_gauge_family(self):
+        text = to_prometheus(make_snapshot())
+        assert "# TYPE serve_sessions gauge" in text
+        assert "serve_sessions 2.5" in text
+
+    def test_histogram_expands_to_bucket_sum_count(self):
+        lines = to_prometheus(make_snapshot()).splitlines()
+        assert 'serve_latency_bucket{le="0.1"} 1' in lines
+        assert 'serve_latency_bucket{le="0.5"} 3' in lines
+        assert 'serve_latency_bucket{le="+Inf"} 3' in lines
+        assert "serve_latency_sum 0.6" in lines
+        assert "serve_latency_count 3" in lines
+        assert "# TYPE serve_latency histogram" in lines
+
+    def test_help_lines_from_descriptions(self):
+        text = to_prometheus(make_snapshot(),
+                             help_text={"serve.requests": "requests served"})
+        assert "# HELP serve_requests_total requests served" in text
+
+    def test_output_is_deterministic_and_sorted(self):
+        snapshot = {
+            "counters": {"b.two": 2, "a.one": 1},
+            "gauges": {},
+            "histograms": {},
+        }
+        text = to_prometheus(snapshot)
+        assert text == to_prometheus(snapshot)
+        assert text.index("a_one_total") < text.index("b_two_total")
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus({"counters": {}, "gauges": {},
+                              "histograms": {}}) == ""
+
+    def test_ends_with_newline(self):
+        assert to_prometheus(make_snapshot()).endswith("\n")
+
+
+class TestRegistryExposition:
+    def test_live_registry_renders_with_help(self):
+        registry = obs.get_registry()
+        counter = registry.counter("promtest.hits",
+                                   "hits recorded by the prom test")
+        counter.inc(3)
+        try:
+            text = obs.registry_prometheus()
+            assert "# HELP promtest_hits_total hits recorded by the " \
+                "prom test" in text
+            assert "promtest_hits_total 3" in text
+        finally:
+            counter.reset()
+
+    def test_snapshot_and_prom_agree(self):
+        registry = obs.get_registry()
+        gauge = registry.gauge("promtest.depth")
+        gauge.set(4)
+        try:
+            snapshot = registry.snapshot()
+            text = obs.to_prometheus(snapshot)
+            assert "promtest_depth 4" in text
+        finally:
+            gauge.reset()
+
+
+class TestPromCLI:
+    def test_obs_metrics_format_prom(self, capsys):
+        from repro.cli import main
+
+        registry = obs.get_registry()
+        counter = registry.counter("promtest.cli")
+        counter.inc()
+        try:
+            rc = main(["obs", "metrics", "--format", "prom"])
+            out = capsys.readouterr().out
+        finally:
+            counter.reset()
+        assert rc == 0
+        assert "promtest_cli_total 1" in out
+        # Exposition format, not the human table.
+        assert "# TYPE" in out
+
+    def test_json_flag_still_works(self, capsys):
+        from repro.cli import main
+
+        rc = main(["obs", "metrics", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert '"metrics"' in out
