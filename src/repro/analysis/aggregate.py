@@ -19,6 +19,7 @@ from ..core.metric import Aggregation, Metric, MetricSchema
 from ..core.monitor import PointKind
 from ..core.profile import Profile
 from ..errors import AnalysisError
+from . import viewtree_columnar
 from .transform import KeyFn, top_down, transform
 from .viewtree import ViewNode, ViewTree, default_merge_key
 
@@ -61,6 +62,18 @@ def merge_trees(trees: Sequence[ViewTree],
                             % (op.name.lower(), metric.name, len(trees)),
                 aggregation=op))
             stat_columns[(index, op)] = column
+
+    columnar = [tree.columnar() for tree in trees]
+    if (key_fn is default_merge_key
+            and all(cvt is not None and cvt.default_keys
+                    for cvt in columnar)
+            and all(op in viewtree_columnar._COMBINABLE
+                    for op in operators)):
+        remaps = [[base_schema.index_of(name) for name in tree.schema.names()]
+                  for tree in trees]
+        return viewtree_columnar.merge_columnar(
+            columnar, remaps, tuple(operators), result.schema,
+            result.shape, len(base_schema))
 
     count = len(trees)
     for position, tree in enumerate(trees):

@@ -95,6 +95,11 @@ class Customization:
         """Apply derived-metric callbacks to a completed view tree."""
         if not self._derived:
             return
+        # The loop below edits node dicts in place; a columnar-backed
+        # tree must drop its (now stale) arrays first.
+        mark = getattr(tree, "mark_mutated", None)
+        if mark is not None:
+            mark()
         names = tree.schema.names()
         plans = []
         for metric, fn, inclusive in self._derived:

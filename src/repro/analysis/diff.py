@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence
 from ..core.metric import Aggregation, Metric, MetricSchema
 from ..core.profile import Profile
 from ..errors import AnalysisError
+from . import viewtree_columnar
 from .transform import KeyFn, transform
 from .viewtree import ViewNode, ViewTree, default_merge_key
 
@@ -53,6 +54,15 @@ def diff_trees(baseline: ViewTree, treatment: ViewTree,
 
     base_remap = [schema.index_of(n) for n in baseline.schema.names()]
     treat_remap = [schema.index_of(n) for n in treatment.schema.names()]
+
+    base_columnar = baseline.columnar()
+    treat_columnar = treatment.columnar()
+    if (key_fn is default_merge_key
+            and base_columnar is not None and base_columnar.default_keys
+            and treat_columnar is not None and treat_columnar.default_keys):
+        return viewtree_columnar.diff_columnar(
+            base_columnar, treat_columnar, base_remap, treat_remap,
+            schema, result.shape, metric_index, tolerance)
 
     # Overlay the baseline first, then the treatment, then classify.
     base_seen = set()

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 from ..core.cct import CCTNode
 from ..core.frame import Frame, FrameKind, intern_frame
 from ..core.profile import Profile
+from . import viewtree_columnar
 from .callbacks import Customization
 from .metrics import compute_inclusive
 from .traversal import postorder, preorder
@@ -39,7 +40,7 @@ def top_down(profile: Profile,
     if passthrough and plain_keys:
         columnar = profile.columnar()
         if columnar is not None:
-            tree = _top_down_columnar(profile, columnar)
+            tree = viewtree_columnar.build_top_down(profile, columnar)
             custom.finish(tree)
             return tree
     compute_inclusive(profile)
@@ -81,135 +82,6 @@ def top_down(profile: Profile,
     return tree
 
 
-def _top_down_columnar(profile: Profile, col) -> ViewTree:
-    """Vectorized top-down build straight from the columnar arrays.
-
-    The tree *shape* (which contexts merge into which view rows) still
-    needs one sequential pass — merging is a trie walk — but it runs on
-    integer ids, and everything per-metric (exclusive, inclusive, and
-    presence aggregation) happens as ``np.add.at`` scatter passes over
-    the whole matrix at once.  The traversal replays the object loop's
-    exact stack discipline, so view shape, values, and child insertion
-    order come out identical to what :func:`top_down` builds from the
-    materialized facade.  Source lists hold the same contributor sets,
-    ordered by context creation rather than visit order, and resolve to
-    real :class:`~repro.core.cct.CCTNode` objects only when iterated.
-    """
-    from ..core.cct_columnar import _np
-    from .viewtree import SourceList
-
-    tree = ViewTree(profile.schema.copy(), shape="top_down")
-    n = col.n_nodes
-    n_metrics = col.n_metrics
-
-    # Merge token per frame-table entry: frames sharing a merge key (name,
-    # file, module) collapse onto one small int.
-    token_of: Dict[tuple, int] = {}
-    frame_token = []
-    for frame in col.frames:
-        merge_key = frame.merge_key()
-        token = token_of.get(merge_key)
-        if token is None:
-            token = len(token_of)
-            token_of[merge_key] = token
-        frame_token.append(token)
-    shift = max(len(token_of).bit_length(), 1)
-
-    order, start = col.children_csr()
-    order_l = order.tolist()
-    start_l = start.tolist()
-    frame_l = col.frame_id.tolist()
-
-    view_of = [0] * n        # cct id -> view id
-    view_parent = [-1]       # view id -> parent view id
-    view_first = [0]         # view id -> first contributing cct id
-    trie: Dict[int, int] = {}
-    stack = [0]
-    while stack:
-        i = stack.pop()
-        begin = start_l[i]
-        end = start_l[i + 1]
-        if begin == end:
-            continue
-        kids = order_l[begin:end]
-        vi = view_of[i]
-        for child in kids:
-            key = (vi << shift) | frame_token[frame_l[child]]
-            vc = trie.get(key)
-            if vc is None:
-                vc = len(view_parent)
-                trie[key] = vc
-                view_parent.append(vi)
-                view_first.append(child)
-            view_of[child] = vc
-        stack.extend(kids)
-
-    n_views = len(view_parent)
-    view_index = _np.asarray(view_of, dtype=_np.int64)
-    exclusive = _np.zeros((n_views, n_metrics), dtype=_np.float64)
-    _np.add.at(exclusive, view_index, col.values)
-    inclusive = _np.zeros((n_views, n_metrics), dtype=_np.float64)
-    _np.add.at(inclusive, view_index, col.inclusive())
-    written = _np.zeros((n_views, n_metrics), dtype=_np.int64)
-    _np.add.at(written, view_index, col.present.astype(_np.int64))
-    contributors = _np.bincount(view_index, minlength=n_views)
-    counts = contributors.tolist()
-
-    # Per-view contributor ids resolve through one shared grouping, built
-    # only when some consumer actually iterates a source list.
-    group_state: Dict[str, object] = {}
-
-    def resolver(vid):
-        if not group_state:
-            profile.cct  # materialize the facade; fills col.node_objects
-            ids = _np.argsort(view_index, kind="stable")
-            group_start = _np.zeros(n_views + 1, dtype=_np.int64)
-            _np.cumsum(contributors, out=group_start[1:])
-            group_state["ids"] = ids
-            group_state["start"] = group_start
-        ids = group_state["ids"]
-        group_start = group_state["start"]
-        return col.resolve_nodes(
-            ids[group_start[vid]:group_start[vid + 1]].tolist())
-
-    frames = col.frames
-    views = [tree.root]
-    new_source = SourceList.__new__
-    sources = new_source(SourceList)
-    sources._parts = [(resolver, 0, counts[0])]
-    tree.root.sources = sources
-    new = ViewNode.__new__
-    for vid in range(1, n_views):
-        node = new(ViewNode)
-        frame = frames[frame_l[view_first[vid]]]
-        parent = views[view_parent[vid]]
-        node.frame = frame
-        node.parent = parent
-        node.children = {}
-        node.inclusive = {}
-        node.exclusive = {}
-        sources = new_source(SourceList)
-        sources._parts = [(resolver, vid, counts[vid])]
-        node.sources = sources
-        node.tag = None
-        node.baseline = {}
-        node.histogram = {}
-        parent.children[frame.merge_key()] = node
-        views.append(node)
-
-    # Exclusive dicts carry only explicitly-written cells (presence union
-    # over contributors); inclusive dicts carry every column, exactly as
-    # compute_inclusive fills them on the object tree.
-    rows, cols = _np.nonzero(written)
-    cells = exclusive[rows, cols]
-    for row, column, value in zip(rows.tolist(), cols.tolist(),
-                                  cells.tolist()):
-        views[row].exclusive[column] = value
-    for vid, row in enumerate(inclusive.tolist()):
-        views[vid].inclusive = dict(enumerate(row))
-    return tree
-
-
 def bottom_up(profile: Profile,
               key_fn: KeyFn = default_merge_key,
               customization: Optional[Customization] = None) -> ViewTree:
@@ -221,6 +93,12 @@ def bottom_up(profile: Profile,
     quantity Fig. 6 uses to expose ``brk`` as the hotspot.
     """
     custom = customization or Customization.empty()
+    if custom.is_passthrough() and key_fn is default_merge_key:
+        columnar = profile.columnar()
+        if columnar is not None:
+            tree = viewtree_columnar.build_bottom_up(profile, columnar)
+            custom.finish(tree)
+            return tree
     tree = ViewTree(profile.schema.copy(), shape="bottom_up")
     for node in preorder(profile.root):
         if not node.metrics or custom.elides(node):
@@ -255,8 +133,14 @@ def flat(profile: Profile,
     *outermost* occurrences of each function (paths containing no other
     frame with the same identity), so recursion does not double-count.
     """
-    compute_inclusive(profile)
     custom = customization or Customization.empty()
+    if custom.is_passthrough():
+        columnar = profile.columnar()
+        if columnar is not None:
+            tree = viewtree_columnar.build_flat(profile, columnar)
+            custom.finish(tree)
+            return tree
+    compute_inclusive(profile)
     tree = ViewTree(profile.schema.copy(), shape="flat")
 
     for node in preorder(profile.root):

@@ -241,14 +241,66 @@ class ViewNode:
 
 
 class ViewTree:
-    """A view tree plus the metric schema its column indices refer to."""
+    """A view tree plus the metric schema its column indices refer to.
+
+    The node objects can be *lazy*: a tree built by the columnar
+    transforms carries a :class:`~repro.analysis.viewtree_columnar.
+    ColumnarViewTree` and only materializes ``ViewNode`` objects when
+    ``root`` is first touched.  Array-aware consumers (digest, layout,
+    merge, diff) read the columnar form through :meth:`columnar` and
+    never pay for the facade.
+    """
 
     #: The shape of the view: "top_down", "bottom_up", "flat", or a
     #: decorated shape such as "diff:top_down" / "aggregate:top_down".
     def __init__(self, schema: MetricSchema, shape: str = "top_down") -> None:
-        self.root = ViewNode(ROOT_FRAME)
+        self._root: Optional[ViewNode] = ViewNode(ROOT_FRAME)
+        self._columnar = None
         self.schema = schema
         self.shape = shape
+
+    @classmethod
+    def columnar_backed(cls, schema: MetricSchema, shape: str,
+                        columnar) -> "ViewTree":
+        """A tree whose nodes materialize lazily from columnar arrays."""
+        tree = cls.__new__(cls)
+        tree._root = None
+        tree._columnar = columnar
+        tree.schema = schema
+        tree.shape = shape
+        return tree
+
+    @property
+    def root(self) -> ViewNode:
+        node = self._root
+        if node is None:
+            node = self._root = self._columnar.materialize()
+        return node
+
+    @root.setter
+    def root(self, node: ViewNode) -> None:
+        # Replacing the root hand-builds a new tree; any columnar
+        # snapshot no longer describes it.
+        self._root = node
+        self._columnar = None
+
+    def columnar(self):
+        """The backing column arrays, or None for object-built trees."""
+        return self._columnar
+
+    def mark_mutated(self) -> None:
+        """Drop the columnar snapshot after in-place facade mutation.
+
+        Mutators (``formula.derive``, ``diff.add_delta_column``, derived
+        -metric callbacks) edit the materialized ``ViewNode`` dicts; the
+        arrays no longer agree, so array-path consumers must fall back
+        to the objects.  Materializes first so no data is lost when a
+        mutator is applied to a never-touched lazy tree.
+        """
+        if self._columnar is not None:
+            if self._root is None:
+                self._root = self._columnar.materialize()
+            self._columnar = None
 
     def nodes(self) -> Iterator[ViewNode]:
         """Pre-order iteration over all nodes."""
@@ -256,10 +308,18 @@ class ViewTree:
 
     def node_count(self) -> int:
         """Total node count including the root."""
+        if self._root is None:
+            return self._columnar.n_rows
         return sum(1 for _ in self.nodes())
 
     def total(self, metric_index: int) -> float:
         """The root's inclusive value for a metric."""
+        if self._root is None:
+            columnar = self._columnar
+            if 0 <= metric_index < columnar.n_metrics and \
+                    columnar.incl_present[0, metric_index]:
+                return float(columnar.inclusive[0, metric_index])
+            return 0.0
         return self.root.inclusive.get(metric_index, 0.0)
 
     def find_by_name(self, name: str) -> List[ViewNode]:

@@ -1,0 +1,1159 @@
+"""Struct-of-arrays view trees: the columnar core behind ViewTree.
+
+`repro.core.cct_columnar` made the *calling context tree* a set of
+parallel arrays with the object tree as a lazy facade.  This module
+carries the same form one layer up, through the §V-A view shapes: a
+:class:`ColumnarViewTree` keeps a view tree as
+
+* ``parent``/``depth``/``token`` int64 arrays (``parent[i] < i``, rows
+  numbered in creation order — the order the object transforms would
+  have allocated ``ViewNode`` objects),
+* a per-tree merge-key table (``merge_keys[token]`` is the tuple a
+  ``ViewNode.children`` dict would use),
+* ``float64[R, M]`` inclusive / exclusive value matrices with boolean
+  presence masks standing in for the per-node sparse dicts, and
+* optional baseline / tag / histogram planes for diff and aggregate
+  results.
+
+The transforms themselves (:func:`build_top_down`,
+:func:`build_bottom_up`, :func:`build_flat`, :func:`merge_columnar`,
+:func:`diff_columnar`) never allocate a ``ViewNode``: tree shape is
+found with ``np.unique`` over (parent-view-row, merge-token) integer
+pairs one depth level at a time, and every per-metric quantity moves as
+one ``np.add.at`` scatter per input.  A creation-order replay pass then
+renumbers rows so the arrays are *bit-identical* — shape, values, child
+insertion order, source order — to what the preserved object transforms
+produce; the object path stays behind as the differential oracle.
+
+``ViewNode`` materialization is deferred exactly like ``CCTNode``:
+:meth:`ColumnarViewTree.materialize` builds the facade on first access
+to ``ViewTree.root``, and :class:`~repro.analysis.viewtree.SourceList`
+lazy parts keep code links resolvable without touching CCT objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.cct_columnar import _np
+from ..core.frame import Frame, FrameKind, intern_frame
+from ..core.metric import Aggregation
+from .viewtree import MergeKey, SourceList, ViewNode, ViewTree
+
+#: Differential tag codes: index into this tuple == value in ``tag_codes``.
+_TAGS: Tuple[Optional[str], ...] = (None, "A", "D", "+", "-", "=")
+_TAG_CODE: Dict[Optional[str], int] = {tag: i for i, tag in enumerate(_TAGS)}
+
+
+def numpy_available() -> bool:
+    """True when the columnar view kernels can run."""
+    return _np is not None
+
+
+# ---------------------------------------------------------------------------
+# shared array kernels
+# ---------------------------------------------------------------------------
+
+def _visit_positions(parent, depth_groups, sizes, sibling_keys):
+    """Pre-order visit position per node for a given sibling order.
+
+    ``sibling_keys`` is a tuple of arrays lexsorted (last key primary is
+    ``parent``; the given keys break ties within a parent group).  The
+    grouped-exclusive-cumsum trick from ``ColumnarCCT.preorder_positions``
+    generalizes to any sibling order, so one helper serves the digest
+    walk (merge-key order), creation replay (reversed creation order),
+    and the flame layout (value order).
+    """
+    np = _np
+    n = int(parent.shape[0])
+    pre = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return pre
+    order = np.lexsort(sibling_keys + (parent,))[1:]
+    sized = sizes[order]
+    cum = np.cumsum(sized)
+    parents = parent[order]
+    counts = np.bincount(parent[1:], minlength=n)
+    start = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=start[1:])
+    group_base = np.zeros_like(cum)
+    group_start = start[parents]
+    nonzero = group_start > 0
+    group_base[nonzero] = cum[group_start[nonzero] - 1]
+    offset = cum - sized - group_base
+    child_offset = np.empty(n, dtype=np.int64)
+    child_offset[order] = offset
+    ids, lstart = depth_groups
+    for level in range(1, len(lstart) - 1):
+        rows = ids[lstart[level]:lstart[level + 1]]
+        pre[rows] = pre[parent[rows]] + 1 + child_offset[rows]
+    return pre
+
+
+def _group_by_depth(depth):
+    np = _np
+    ids = np.argsort(depth, kind="stable")
+    levels = int(depth.max()) + 1 if depth.shape[0] else 1
+    counts = np.bincount(depth, minlength=levels)
+    start = np.zeros(levels + 1, dtype=np.int64)
+    np.cumsum(counts, out=start[1:])
+    return ids, start
+
+
+def _sizes_of(parent, depth_groups):
+    np = _np
+    sizes = np.ones(parent.shape[0], dtype=np.int64)
+    ids, start = depth_groups
+    for level in range(len(start) - 2, 0, -1):
+        rows = ids[start[level]:start[level + 1]]
+        np.add.at(sizes, parent[rows], sizes[rows])
+    return sizes
+
+
+def _merge_tokens(frames: Sequence[Frame]):
+    """Merge token per frame-table entry plus the merge-key table."""
+    np = _np
+    token_of: Dict[MergeKey, int] = {}
+    merge_keys: List[MergeKey] = []
+    out = np.empty(len(frames), dtype=np.int64)
+    for i, frame in enumerate(frames):
+        key = frame.merge_key()
+        token = token_of.get(key)
+        if token is None:
+            token = len(merge_keys)
+            token_of[key] = token
+            merge_keys.append(key)
+        out[i] = token
+    return out, merge_keys
+
+
+def _renumber(parent, depth, token, frame_id, creation):
+    """Renumber rows ascending by creation rank (root pinned at 0).
+
+    The creation ranks are topological — a row's creator path passes
+    through its parent's creator first — so ``parent[i] < i`` holds in
+    the renumbered arrays and level sweeps stay valid.
+    """
+    np = _np
+    n_rows = parent.shape[0]
+    remap = np.empty(n_rows, dtype=np.int64)
+    body = np.argsort(creation[1:], kind="stable") + 1
+    remap[0] = 0
+    remap[body] = np.arange(1, n_rows, dtype=np.int64)
+    new_parent = np.empty(n_rows, dtype=np.int64)
+    new_parent[remap] = np.where(parent < 0, np.int64(-1),
+                                 remap[np.maximum(parent, 0)])
+    new_depth = np.empty(n_rows, dtype=np.int64)
+    new_depth[remap] = depth
+    new_token = np.empty(n_rows, dtype=np.int64)
+    new_token[remap] = token
+    new_frame = np.empty(n_rows, dtype=np.int64)
+    new_frame[remap] = frame_id
+    return remap, new_parent, new_depth, new_token, new_frame
+
+
+def _grouped_csr(index, minlength):
+    """Stable-sort ``index`` into per-group ranges: ``(order, start)``."""
+    np = _np
+    order = np.argsort(index, kind="stable")
+    start = np.zeros(minlength + 1, dtype=np.int64)
+    np.cumsum(np.bincount(index, minlength=minlength), out=start[1:])
+    return order, start
+
+
+# ---------------------------------------------------------------------------
+# source providers
+# ---------------------------------------------------------------------------
+
+class _CCTSources:
+    """Lazy per-row source lists backed by a grouped columnar-CCT index.
+
+    ``ids[start[row]:start[row + 1]]`` are the contributing CCT node ids
+    for a view row, in the same order the object transform would have
+    appended them.  Resolution materializes the CCT facade on demand —
+    and, when the owning profile has since swapped its CCT out (so
+    ``profile.cct`` no longer fills this snapshot's ``node_objects``),
+    falls back to materializing from the snapshot itself.
+    """
+
+    __slots__ = ("profile", "col", "ids", "start")
+
+    def __init__(self, profile, col, ids, start) -> None:
+        self.profile = profile
+        self.col = col
+        self.ids = ids
+        self.start = start
+
+    def __call__(self, row: int) -> SourceList:
+        start = self.start
+        count = int(start[row + 1] - start[row])
+        return SourceList.lazy(self._resolve, row, count)
+
+    def _resolve(self, row: int):
+        col = self.col
+        if col.node_objects is None:
+            profile = self.profile
+            if profile is not None and profile.columnar() is col:
+                profile.cct  # materialize the facade; fills node_objects
+        if col.node_objects is None:
+            col.to_cct()
+        start = self.start
+        return col.resolve_nodes(
+            self.ids[start[row]:start[row + 1]].tolist())
+
+
+class _UnionSources:
+    """Per-row sources of a merge/diff result: concatenated input rows.
+
+    ``refs`` are (input-tree index, input-row) pairs grouped by result
+    row in contribution order; each resolves through the input tree's
+    own provider, so laziness survives arbitrarily deep merge stacks.
+    """
+
+    __slots__ = ("trees", "tree_of", "row_of", "start")
+
+    def __init__(self, trees, tree_of, row_of, start) -> None:
+        self.trees = trees
+        self.tree_of = tree_of
+        self.row_of = row_of
+        self.start = start
+
+    def __call__(self, row: int) -> SourceList:
+        out = SourceList()
+        tree_of = self.tree_of
+        row_of = self.row_of
+        trees = self.trees
+        for at in range(int(self.start[row]), int(self.start[row + 1])):
+            src = trees[tree_of[at]].sources_for(int(row_of[at]))
+            out.extend(src)
+        return out
+
+
+class _StoredSources:
+    """Row sources captured from an existing object tree (round-trips)."""
+
+    __slots__ = ("lists",)
+
+    def __init__(self, lists: List[SourceList]) -> None:
+        self.lists = lists
+
+    def __call__(self, row: int) -> SourceList:
+        return self.lists[row].copy()
+
+
+# ---------------------------------------------------------------------------
+# the columnar view tree
+# ---------------------------------------------------------------------------
+
+class ColumnarViewTree:
+    """A view tree as parallel arrays (see module docstring)."""
+
+    __slots__ = ("parent", "depth", "token", "frame_id", "frames",
+                 "merge_keys", "shape", "default_keys",
+                 "inclusive", "incl_present", "exclusive", "excl_present",
+                 "baseline", "base_present", "tag_codes",
+                 "hist", "hist_present", "hist_first", "n_series",
+                 "row_sources", "node_objects",
+                 "_depth_groups_cache", "_size", "_vp")
+
+    def __init__(self, parent, depth, token, frame_id, frames, merge_keys,
+                 shape, inclusive, incl_present, exclusive, excl_present,
+                 baseline=None, base_present=None, tag_codes=None,
+                 hist=None, hist_present=None, hist_first=None,
+                 n_series=0, row_sources=None, default_keys=True) -> None:
+        self.parent = parent
+        self.depth = depth
+        #: Merge token per row; ``merge_keys[token[i]]`` is the dict key
+        #: under which row ``i`` hangs off its parent.
+        self.token = token
+        #: Representative frame per row (the first contributor's frame).
+        self.frame_id = frame_id
+        self.frames = frames
+        self.merge_keys = merge_keys
+        self.shape = shape
+        #: True when ``merge_keys`` are known to be default merge keys —
+        #: merge/diff re-key children through ``key_fn``, which is only a
+        #: no-op (and so array-safe) when both sides use the default.
+        self.default_keys = default_keys
+        self.inclusive = inclusive
+        self.incl_present = incl_present
+        self.exclusive = exclusive
+        self.excl_present = excl_present
+        self.baseline = baseline
+        self.base_present = base_present
+        #: int8 per-row diff tag (index into ``_TAGS``), or None.
+        self.tag_codes = tag_codes
+        #: float64[R, M_in, T] per-input value series (aggregate trees).
+        self.hist = hist
+        self.hist_present = hist_present
+        #: Encounter rank per histogram cell — replays dict insertion
+        #: order for the facade (sessions read ``next(iter(...))``).
+        self.hist_first = hist_first
+        self.n_series = n_series
+        #: ``row_sources(row) -> SourceList`` or None for source-free rows.
+        self.row_sources = row_sources
+        #: After :meth:`materialize`: the ``ViewNode`` per row.
+        self.node_objects: Optional[List[ViewNode]] = None
+        self._depth_groups_cache = None
+        self._size = None
+        self._vp = None
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.parent.shape[0])
+
+    @property
+    def n_metrics(self) -> int:
+        return int(self.inclusive.shape[1])
+
+    def depth_groups(self):
+        if self._depth_groups_cache is None:
+            self._depth_groups_cache = _group_by_depth(self.depth)
+        return self._depth_groups_cache
+
+    def subtree_sizes(self):
+        if self._size is None:
+            self._size = _sizes_of(self.parent, self.depth_groups())
+        return self._size
+
+    def visit_positions(self, sibling_keys):
+        """Pre-order position per row under a custom sibling order."""
+        return _visit_positions(self.parent, self.depth_groups(),
+                                self.subtree_sizes(), sibling_keys)
+
+    def creation_visit_positions(self):
+        """Visit positions of the object merge loops' pop-last DFS.
+
+        The object DFS pushes children in creation order and pops from
+        the stack tail, so siblings are *visited* in reversed creation
+        order — the sibling key is the negated row id.
+        """
+        if self._vp is None:
+            ids = _np.arange(self.n_rows, dtype=_np.int64)
+            self._vp = self.visit_positions((-ids,))
+        return self._vp
+
+    def sources_for(self, row: int) -> SourceList:
+        provider = self.row_sources
+        if provider is None:
+            return SourceList()
+        return provider(row)
+
+    # -- facade ------------------------------------------------------------
+
+    def materialize(self) -> ViewNode:
+        """Build the ``ViewNode`` facade; returns the root.
+
+        Rows are already in creation order, so a single ascending pass
+        reproduces the object transforms' child insertion order, and
+        per-dict cells are inserted ascending by column — matching how
+        the object loops fill them — except aggregate histograms, which
+        replay their recorded encounter order.
+        """
+        np = _np
+        n_rows = self.n_rows
+        frames = self.frames
+        frame_l = self.frame_id.tolist()
+        parent_l = self.parent.tolist()
+        token_l = self.token.tolist()
+        merge_keys = self.merge_keys
+        provider = self.row_sources
+        new = ViewNode.__new__
+        nodes: List[ViewNode] = []
+        for row in range(n_rows):
+            node = new(ViewNode)
+            node.frame = frames[frame_l[row]]
+            node.children = {}
+            node.inclusive = {}
+            node.exclusive = {}
+            node.sources = provider(row) if provider else SourceList()
+            node.tag = None
+            node.baseline = {}
+            node.histogram = {}
+            if row:
+                parent = nodes[parent_l[row]]
+                node.parent = parent
+                parent.children[merge_keys[token_l[row]]] = node
+            else:
+                node.parent = None
+            nodes.append(node)
+
+        def fill(matrix, presence, attr):
+            rows, cols = np.nonzero(presence)
+            cells = matrix[rows, cols]
+            for row, col, value in zip(rows.tolist(), cols.tolist(),
+                                       cells.tolist()):
+                getattr(nodes[row], attr)[col] = value
+
+        if self.incl_present.all():
+            for row, values in enumerate(self.inclusive.tolist()):
+                nodes[row].inclusive = dict(enumerate(values))
+        else:
+            fill(self.inclusive, self.incl_present, "inclusive")
+        fill(self.exclusive, self.excl_present, "exclusive")
+        if self.baseline is not None:
+            fill(self.baseline, self.base_present, "baseline")
+        if self.tag_codes is not None:
+            for row, code in enumerate(self.tag_codes.tolist()):
+                if code:
+                    nodes[row].tag = _TAGS[code]
+        if self.hist is not None:
+            rows, cols = np.nonzero(self.hist_present)
+            order = np.lexsort((self.hist_first[rows, cols], rows))
+            rows = rows[order]
+            cols = cols[order]
+            series = self.hist[rows, cols]
+            for row, col, values in zip(rows.tolist(), cols.tolist(),
+                                        series.tolist()):
+                nodes[row].histogram[col] = values
+        self.node_objects = nodes
+        return nodes[0]
+
+
+def from_viewtree(tree: ViewTree) -> Optional[ColumnarViewTree]:
+    """Snapshot an object view tree into columnar form.
+
+    The inverse of :meth:`ColumnarViewTree.materialize`, used by the
+    round-trip tests and by consumers that want array kernels over a
+    hand-built tree.  Row ids follow the same reversed-push DFS as
+    ``cct_columnar.from_cct``, so within a parent the ascending row ids
+    are the children's insertion order.
+    """
+    if _np is None:
+        return None
+    np = _np
+    n_metrics = len(tree.schema)
+    root = tree.root
+    frame_index: Dict[int, int] = {}
+    frames: List[Frame] = []
+    token_of: Dict[MergeKey, int] = {}
+    merge_keys: List[MergeKey] = []
+    parents: List[int] = []
+    depths: List[int] = []
+    tokens: List[int] = []
+    frame_ids: List[int] = []
+    records = []
+
+    def intern(frame: Frame) -> int:
+        index = frame_index.get(id(frame))
+        if index is None:
+            index = len(frames)
+            frame_index[id(frame)] = index
+            frames.append(frame)
+        return index
+
+    def token_for(key: MergeKey) -> int:
+        token = token_of.get(key)
+        if token is None:
+            token = len(merge_keys)
+            token_of[key] = token
+            merge_keys.append(key)
+        return token
+
+    stack = [(root, root.frame.merge_key(), -1, 0)]
+    while stack:
+        node, key, parent_id, depth = stack.pop()
+        row = len(parents)
+        parents.append(parent_id)
+        depths.append(depth)
+        tokens.append(token_for(key))
+        frame_ids.append(intern(node.frame))
+        records.append(node)
+        for child_key, child in reversed(list(node.children.items())):
+            stack.append((child, child_key, row, depth + 1))
+
+    n_rows = len(parents)
+    inclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    incl_present = np.zeros((n_rows, n_metrics), dtype=bool)
+    exclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    excl_present = np.zeros((n_rows, n_metrics), dtype=bool)
+    baseline = None
+    base_present = None
+    tag_codes = None
+    hist = None
+    hist_present = None
+    hist_first = None
+    n_series = 0
+    source_lists: List[SourceList] = []
+    for row, node in enumerate(records):
+        for col, value in node.inclusive.items():
+            inclusive[row, col] = value
+            incl_present[row, col] = True
+        for col, value in node.exclusive.items():
+            exclusive[row, col] = value
+            excl_present[row, col] = True
+        if node.baseline:
+            if baseline is None:
+                baseline = np.zeros((n_rows, n_metrics), dtype=np.float64)
+                base_present = np.zeros((n_rows, n_metrics), dtype=bool)
+            for col, value in node.baseline.items():
+                baseline[row, col] = value
+                base_present[row, col] = True
+        if node.tag is not None:
+            if tag_codes is None:
+                tag_codes = np.zeros(n_rows, dtype=np.int8)
+            tag_codes[row] = _TAG_CODE.get(node.tag, 0)
+        if node.histogram:
+            if hist is None:
+                n_series = len(next(iter(node.histogram.values())))
+                hist = np.zeros((n_rows, n_metrics, n_series),
+                                dtype=np.float64)
+                hist_present = np.zeros((n_rows, n_metrics), dtype=bool)
+                hist_first = np.zeros((n_rows, n_metrics), dtype=np.int64)
+            for rank, (col, series) in enumerate(node.histogram.items()):
+                if len(series) != n_series:
+                    return None  # ragged histograms stay on the object path
+                hist[row, col, :] = series
+                hist_present[row, col] = True
+                hist_first[row, col] = rank
+        source_lists.append(node.sources)
+
+    cvt = ColumnarViewTree(
+        parent=np.asarray(parents, dtype=np.int64),
+        depth=np.asarray(depths, dtype=np.int64),
+        token=np.asarray(tokens, dtype=np.int64),
+        frame_id=np.asarray(frame_ids, dtype=np.int64),
+        frames=frames, merge_keys=merge_keys, shape=tree.shape,
+        inclusive=inclusive, incl_present=incl_present,
+        exclusive=exclusive, excl_present=excl_present,
+        baseline=baseline, base_present=base_present, tag_codes=tag_codes,
+        hist=hist, hist_present=hist_present, hist_first=hist_first,
+        n_series=n_series, row_sources=_StoredSources(source_lists),
+        default_keys=False)
+    return cvt
+
+
+# ---------------------------------------------------------------------------
+# transforms
+# ---------------------------------------------------------------------------
+
+def _cct_creation_positions(col):
+    """Visit positions of the object top-down DFS over a columnar CCT."""
+    np = _np
+    n = col.n_nodes
+    ids = np.arange(n, dtype=np.int64)
+    return _visit_positions(col.parent, col._by_depth(),
+                            col.subtree_sizes(), (-ids,))
+
+
+def build_top_down(profile, col) -> ViewTree:
+    """Vectorized top-down view build from a columnar CCT.
+
+    Shape discovery is one ``np.unique`` over (parent-view-row,
+    merge-token) int pairs per depth level; a creation-order replay then
+    renumbers rows to the object loop's allocation order, and all value
+    planes land with one ``np.add.at`` scatter each.
+    """
+    np = _np
+    n = col.n_nodes
+    n_metrics = col.n_metrics
+    frame_token, merge_keys = _merge_tokens(col.frames)
+    n_tokens = max(len(merge_keys), 1)
+    node_token = frame_token[col.frame_id]
+    parent = col.parent
+    ids, lstart = col._by_depth()
+
+    view_of = np.zeros(n, dtype=np.int64)
+    chunk_parent = [np.full(1, -1, dtype=np.int64)]
+    chunk_token = [node_token[:1].copy()]
+    chunk_depth = [np.zeros(1, dtype=np.int64)]
+    n_rows = 1
+    for level in range(1, len(lstart) - 1):
+        rows = ids[lstart[level]:lstart[level + 1]]
+        keys = view_of[parent[rows]] * n_tokens + node_token[rows]
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        view_of[rows] = n_rows + inverse
+        chunk_parent.append(uniq // n_tokens)
+        chunk_token.append(uniq % n_tokens)
+        chunk_depth.append(np.full(uniq.shape[0], level, dtype=np.int64))
+        n_rows += uniq.shape[0]
+
+    row_parent = np.concatenate(chunk_parent)
+    row_token = np.concatenate(chunk_token)
+    row_depth = np.concatenate(chunk_depth)
+    row_frame = np.empty(n_rows, dtype=np.int64)
+    row_frame[0] = col.frame_id[0]
+    creation = np.zeros(n_rows, dtype=np.int64)
+    if n > 1:
+        # Creation replay: the object DFS creates a view row the first
+        # time any contributor is scanned from its (visited) parent, so
+        # the rank is (parent's visit position, contributor id).
+        visit = _cct_creation_positions(col)
+        body = np.arange(1, n, dtype=np.int64)
+        rank = visit[parent[1:]] * n + body
+        by_rank = np.argsort(rank, kind="stable")
+        rows_by_rank = view_of[1:][by_rank]
+        uniq_rows, first = np.unique(rows_by_rank, return_index=True)
+        creators = body[by_rank[first]]
+        row_frame[uniq_rows] = col.frame_id[creators]
+        creation[uniq_rows] = rank[by_rank[first]]
+
+    remap, row_parent, row_depth, row_token, row_frame = _renumber(
+        row_parent, row_depth, row_token, row_frame, creation)
+    view_of = remap[view_of]
+
+    exclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    np.add.at(exclusive, view_of, col.values)
+    inclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    np.add.at(inclusive, view_of, col.inclusive())
+    written = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    np.add.at(written, view_of, col.present.astype(np.int64))
+
+    source_ids, source_start = _grouped_csr(view_of, n_rows)
+    cvt = ColumnarViewTree(
+        parent=row_parent, depth=row_depth, token=row_token,
+        frame_id=row_frame, frames=col.frames, merge_keys=merge_keys,
+        shape="top_down",
+        inclusive=inclusive,
+        incl_present=np.ones((n_rows, n_metrics), dtype=bool),
+        exclusive=exclusive, excl_present=written > 0,
+        row_sources=_CCTSources(profile, col, source_ids, source_start))
+    return ViewTree.columnar_backed(profile.schema.copy(), "top_down", cvt)
+
+
+def build_bottom_up(profile, col) -> ViewTree:
+    """Vectorized bottom-up view build: array gather along parent chains.
+
+    Every CCT context with metrics becomes a *lane*; each iteration all
+    lanes take one step up their parent chain at once, and ``np.unique``
+    over (previous-view-row, merge-token) pairs merges the reversed
+    paths level by level.
+    """
+    np = _np
+    n_metrics = col.n_metrics
+    frame_token, merge_keys = _merge_tokens(col.frames)
+    n_tokens = max(len(merge_keys), 1)
+    node_token = frame_token[col.frame_id]
+    pre = col.preorder_positions()
+    depth = col.depth
+    parent = col.parent
+
+    contributors = np.flatnonzero(col.present.any(axis=1))
+    contributors = contributors[np.argsort(pre[contributors], kind="stable")]
+    max_level = int(depth[contributors].max()) + 2 if contributors.size else 2
+
+    chunk_parent = [np.full(1, -1, dtype=np.int64)]
+    chunk_token = [node_token[:1].copy()]
+    chunk_depth = [np.zeros(1, dtype=np.int64)]
+    chunk_frame = [col.frame_id[:1].copy()]
+    chunk_creation = [np.zeros(1, dtype=np.int64)]
+    incl_targets = []          # (view rows, contributing cct ids) per level
+    excl_targets = None
+    src_rows = []
+    src_ids = []
+    n_rows = 1
+
+    deep = depth[contributors] >= 1
+    cursor = contributors[deep]          # the caller named at this level
+    lane_contrib = cursor.copy()         # the contributing hot context
+    lane_prev = np.zeros(cursor.shape[0], dtype=np.int64)
+    level = 0
+    while cursor.size:
+        level += 1
+        keys = lane_prev * n_tokens + node_token[cursor]
+        uniq, first, inverse = np.unique(keys, return_index=True,
+                                         return_inverse=True)
+        rows = n_rows + inverse
+        chunk_parent.append(uniq // n_tokens)
+        chunk_token.append(uniq % n_tokens)
+        chunk_depth.append(np.full(uniq.shape[0], level, dtype=np.int64))
+        chunk_frame.append(col.frame_id[cursor[first]])
+        # Lanes stay sorted by contributor pre-order, so the first lane
+        # holding a key is the row's creator; its rank interleaves whole
+        # reversed paths per contributor, like the object loop.
+        chunk_creation.append(pre[lane_contrib[first]] * max_level + level)
+        incl_targets.append((rows, lane_contrib))
+        if level == 1:
+            excl_targets = (rows, lane_contrib)
+        src_rows.append(rows)
+        src_ids.append(cursor)
+        n_rows += uniq.shape[0]
+        step = parent[cursor]
+        keep = depth[step] >= 1
+        cursor = step[keep]
+        lane_contrib = lane_contrib[keep]
+        lane_prev = rows[keep]
+
+    remap, row_parent, row_depth, row_token, row_frame = _renumber(
+        np.concatenate(chunk_parent), np.concatenate(chunk_depth),
+        np.concatenate(chunk_token), np.concatenate(chunk_frame),
+        np.concatenate(chunk_creation))
+
+    inclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    written = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    exclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    excl_written = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    present_int = col.present.astype(np.int64)
+    if contributors.size:
+        root_rows = np.zeros(contributors.shape[0], dtype=np.int64)
+        np.add.at(inclusive, root_rows, col.values[contributors])
+        np.add.at(written, root_rows, present_int[contributors])
+    for rows, contribs in incl_targets:
+        target = remap[rows]
+        np.add.at(inclusive, target, col.values[contribs])
+        np.add.at(written, target, present_int[contribs])
+    if excl_targets is not None:
+        rows, contribs = excl_targets
+        target = remap[rows]
+        np.add.at(exclusive, target, col.values[contribs])
+        np.add.at(excl_written, target, present_int[contribs])
+
+    if src_rows:
+        all_rows = remap[np.concatenate(src_rows)]
+        all_ids = np.concatenate(src_ids)
+        order, start = _grouped_csr(all_rows, n_rows)
+        provider = _CCTSources(profile, col, all_ids[order], start)
+    else:
+        provider = None
+    cvt = ColumnarViewTree(
+        parent=row_parent, depth=row_depth, token=row_token,
+        frame_id=row_frame, frames=col.frames, merge_keys=merge_keys,
+        shape="bottom_up",
+        inclusive=inclusive, incl_present=written > 0,
+        exclusive=exclusive, excl_present=excl_written > 0,
+        row_sources=provider)
+    return ViewTree.columnar_backed(profile.schema.copy(), "bottom_up", cvt)
+
+
+def build_flat(profile, col) -> ViewTree:
+    """Vectorized flat view build: one grouped scatter-add per level.
+
+    The three grouping levels (module / file / function) are token maps
+    over the frame table; rows fall out of ``np.unique`` over tokens, and
+    the recursion-aware "outermost occurrence" test is a segmented
+    running-max of subtree reach over pre-order, per function group.
+    """
+    np = _np
+    n = col.n_nodes
+    n_metrics = col.n_metrics
+    frames = list(col.frames)
+    merge_keys: List[MergeKey] = []
+    token_of: Dict[Tuple[int, MergeKey], int] = {}
+    token_frame: List[int] = []   # representative frame; -1 = first node
+
+    def token_for(level_tag: int, key: MergeKey, frame_index: int) -> int:
+        token = token_of.get((level_tag, key))
+        if token is None:
+            token = len(merge_keys)
+            token_of[(level_tag, key)] = token
+            merge_keys.append(key)
+            token_frame.append(frame_index)
+        return token
+
+    n_entries = len(frames)
+    module_token = np.empty(n_entries, dtype=np.int64)
+    file_token = np.empty(n_entries, dtype=np.int64)
+    func_token = np.empty(n_entries, dtype=np.int64)
+    for index in range(n_entries):
+        frame = frames[index]
+        module_frame = intern_frame(frame.module or "<unknown module>",
+                                    module=frame.module,
+                                    kind=FrameKind.BASIC_BLOCK)
+        mkey = module_frame.merge_key()
+        token = token_of.get((1, mkey))
+        if token is None:
+            frames.append(module_frame)
+            token = token_for(1, mkey, len(frames) - 1)
+        module_token[index] = token
+        file_frame = intern_frame(frame.file or "<unknown file>",
+                                  file=frame.file, module=frame.module,
+                                  kind=FrameKind.BASIC_BLOCK)
+        fkey = file_frame.merge_key()
+        token = token_of.get((2, fkey))
+        if token is None:
+            frames.append(file_frame)
+            token = token_for(2, fkey, len(frames) - 1)
+        file_token[index] = token
+        func_token[index] = token_for(3, frame.merge_key(), -1)
+
+    # Root token: the object tree keys nothing off the root, but the
+    # columnar facade still needs a slot for it.
+    root_token = token_for(0, frames[col.frame_id[0]].merge_key()
+                           if n else (), int(col.frame_id[0]) if n else -1)
+
+    nodes_pre = col.preorder_ids()[1:] if n > 1 else \
+        np.empty(0, dtype=np.int64)
+    node_frames = col.frame_id[nodes_pre]
+    node_module = module_token[node_frames]
+    node_file = file_token[node_frames]
+    node_func = func_token[node_frames]
+
+    mod_uniq, mod_first, mod_inv = np.unique(node_module, return_index=True,
+                                             return_inverse=True)
+    file_uniq, file_first, file_inv = np.unique(node_file, return_index=True,
+                                                return_inverse=True)
+    func_uniq, func_first, func_inv = np.unique(node_func, return_index=True,
+                                                return_inverse=True)
+    n_mod = mod_uniq.shape[0]
+    n_file = file_uniq.shape[0]
+    n_func = func_uniq.shape[0]
+    n_rows = 1 + n_mod + n_file + n_func
+    mod_row = 1 + mod_inv
+    file_row = 1 + n_mod + file_inv
+    func_row = 1 + n_mod + n_file + func_inv
+
+    row_parent = np.empty(n_rows, dtype=np.int64)
+    row_token = np.empty(n_rows, dtype=np.int64)
+    row_depth = np.empty(n_rows, dtype=np.int64)
+    row_frame = np.empty(n_rows, dtype=np.int64)
+    creation = np.zeros(n_rows, dtype=np.int64)
+    row_parent[0] = -1
+    row_token[0] = root_token
+    row_depth[0] = 0
+    row_frame[0] = col.frame_id[0] if n else 0
+    token_frame_arr = np.asarray(token_frame, dtype=np.int64)
+    mod_slice = slice(1, 1 + n_mod)
+    row_parent[mod_slice] = 0
+    row_token[mod_slice] = mod_uniq
+    row_depth[mod_slice] = 1
+    row_frame[mod_slice] = token_frame_arr[mod_uniq]
+    creation[mod_slice] = mod_first * 3
+    file_slice = slice(1 + n_mod, 1 + n_mod + n_file)
+    row_parent[file_slice] = 1 + mod_inv[file_first]
+    row_token[file_slice] = file_uniq
+    row_depth[file_slice] = 2
+    row_frame[file_slice] = token_frame_arr[file_uniq]
+    creation[file_slice] = file_first * 3 + 1
+    func_slice = slice(1 + n_mod + n_file, n_rows)
+    row_parent[func_slice] = 1 + n_mod + file_inv[func_first]
+    row_token[func_slice] = func_uniq
+    row_depth[func_slice] = 3
+    row_frame[func_slice] = node_frames[func_first]
+    creation[func_slice] = func_first * 3 + 2
+
+    remap, row_parent, row_depth, row_token, row_frame = _renumber(
+        row_parent, row_depth, row_token, row_frame, creation)
+    mod_row = remap[mod_row]
+    file_row = remap[file_row]
+    func_row = remap[func_row]
+
+    values = col.values[nodes_pre]
+    present_int = col.present[nodes_pre].astype(np.int64)
+    exclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    excl_written = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    inclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    incl_written = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    incl_full = np.zeros(n_rows, dtype=bool)
+    if nodes_pre.size:
+        root_rows = np.zeros(nodes_pre.shape[0], dtype=np.int64)
+        for target in (root_rows, mod_row, file_row, func_row):
+            np.add.at(exclusive, target, values)
+            np.add.at(excl_written, target, present_int)
+        for target in (root_rows, mod_row, file_row):
+            np.add.at(inclusive, target, values)
+            np.add.at(incl_written, target, present_int)
+        # Outermost test: within each function group (pre-order sorted),
+        # a node is outermost iff no earlier group member's subtree
+        # reaches it — a segmented exclusive running-max of (pre + size).
+        pre_pos = np.arange(1, n, dtype=np.int64)
+        reach = pre_pos + col.subtree_sizes()[nodes_pre] - 1
+        grouped = np.lexsort((pre_pos, node_func))
+        group = node_func[grouped]
+        running = np.maximum.accumulate(reach[grouped]
+                                        + group * np.int64(n + 1))
+        shifted = np.empty_like(running)
+        shifted[0] = -1
+        shifted[1:] = running[:-1]
+        starts = np.empty(group.shape[0], dtype=bool)
+        starts[0] = True
+        starts[1:] = group[1:] != group[:-1]
+        shifted[starts] = -1
+        outer_sorted = (shifted - group * np.int64(n + 1)) < pre_pos[grouped]
+        outer = np.empty(group.shape[0], dtype=bool)
+        outer[grouped] = outer_sorted
+        np.add.at(inclusive, func_row[outer],
+                  col.inclusive()[nodes_pre[outer]])
+        incl_full[func_row[outer]] = True
+
+    incl_present = incl_written > 0
+    incl_present[incl_full] = True
+    if nodes_pre.size:
+        order, start = _grouped_csr(func_row, n_rows)
+        provider = _CCTSources(profile, col, nodes_pre[order], start)
+    else:
+        provider = None
+    cvt = ColumnarViewTree(
+        parent=row_parent, depth=row_depth, token=row_token,
+        frame_id=row_frame, frames=frames, merge_keys=merge_keys,
+        shape="flat",
+        inclusive=inclusive, incl_present=incl_present,
+        exclusive=exclusive, excl_present=excl_written > 0,
+        row_sources=provider)
+    return ViewTree.columnar_backed(profile.schema.copy(), "flat", cvt)
+
+
+# ---------------------------------------------------------------------------
+# merge / diff over aligned columnar view rows
+# ---------------------------------------------------------------------------
+
+class _UnionRows:
+    """Aligned union of several columnar view trees' rows."""
+
+    __slots__ = ("parent", "depth", "token", "frame_id", "frames",
+                 "merge_keys", "row_of", "visit", "max_rank")
+
+    def __init__(self, parent, depth, token, frame_id, frames, merge_keys,
+                 row_of, visit, max_rank) -> None:
+        self.parent = parent
+        self.depth = depth
+        self.token = token
+        self.frame_id = frame_id
+        self.frames = frames
+        self.merge_keys = merge_keys
+        #: Per input tree: result row per input row.
+        self.row_of = row_of
+        #: Per input tree: creation-DFS visit position per input row.
+        self.visit = visit
+        self.max_rank = max_rank
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.parent.shape[0])
+
+
+def _union_rows(trees: Sequence[ColumnarViewTree]) -> _UnionRows:
+    """Align rows of several view trees on merge-key paths.
+
+    The result row set is the union of the input trees' merge-key paths,
+    numbered in the order the object merge loop would create the nodes:
+    all of tree 0's DFS first, then tree 1's unseen paths, and so on.
+    """
+    np = _np
+    token_union: Dict[MergeKey, int] = {}
+    merge_keys: List[MergeKey] = []
+    union_tok = []
+    for tree in trees:
+        local = np.empty(len(tree.merge_keys), dtype=np.int64)
+        for i, key in enumerate(tree.merge_keys):
+            token = token_union.get(key)
+            if token is None:
+                token = len(merge_keys)
+                token_union[key] = token
+                merge_keys.append(key)
+            local[i] = token
+        union_tok.append(local)
+    n_tokens = max(len(merge_keys), 1)
+
+    frames: List[Frame] = []
+    frame_off = []
+    for tree in trees:
+        frame_off.append(len(frames))
+        frames.extend(tree.frames)
+
+    visit = [tree.creation_visit_positions() for tree in trees]
+    max_rank = max(tree.n_rows for tree in trees) + 1
+    row_of = [np.zeros(tree.n_rows, dtype=np.int64) for tree in trees]
+    levels = [tree.depth_groups() for tree in trees]
+    max_depth = max(len(start) - 2 for _, start in levels)
+
+    chunk_parent = [np.full(1, -1, dtype=np.int64)]
+    chunk_token = [np.asarray([union_tok[0][trees[0].token[0]]],
+                              dtype=np.int64)]
+    chunk_depth = [np.zeros(1, dtype=np.int64)]
+    chunk_frame = [np.asarray([frame_off[0] + trees[0].frame_id[0]],
+                              dtype=np.int64)]
+    chunk_creation = [np.zeros(1, dtype=np.int64)]
+    n_rows = 1
+    for level in range(1, max_depth + 1):
+        key_parts = []
+        rank_parts = []
+        frame_parts = []
+        slices = []
+        for index, tree in enumerate(trees):
+            ids, start = levels[index]
+            if level >= len(start) - 1:
+                continue
+            rows = ids[start[level]:start[level + 1]]
+            if not rows.shape[0]:
+                continue
+            parents = tree.parent[rows]
+            key_parts.append(row_of[index][parents] * n_tokens
+                             + union_tok[index][tree.token[rows]])
+            rank_parts.append((index * max_rank + visit[index][parents])
+                              * max_rank + rows)
+            frame_parts.append(frame_off[index] + tree.frame_id[rows])
+            slices.append((index, rows))
+        if not key_parts:
+            continue
+        keys = np.concatenate(key_parts)
+        ranks = np.concatenate(rank_parts)
+        frame_ids = np.concatenate(frame_parts)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        result_rows = n_rows + inverse
+        cursor = 0
+        for index, rows in slices:
+            row_of[index][rows] = result_rows[cursor:cursor + rows.shape[0]]
+            cursor += rows.shape[0]
+        by_rank = np.argsort(ranks, kind="stable")
+        _, first = np.unique(inverse[by_rank], return_index=True)
+        chunk_parent.append(uniq // n_tokens)
+        chunk_token.append(uniq % n_tokens)
+        chunk_depth.append(np.full(uniq.shape[0], level, dtype=np.int64))
+        chunk_frame.append(frame_ids[by_rank[first]])
+        chunk_creation.append(ranks[by_rank[first]])
+        n_rows += uniq.shape[0]
+
+    remap, parent, depth, token, frame_id = _renumber(
+        np.concatenate(chunk_parent), np.concatenate(chunk_depth),
+        np.concatenate(chunk_token), np.concatenate(chunk_frame),
+        np.concatenate(chunk_creation))
+    row_of = [remap[mapping] for mapping in row_of]
+    return _UnionRows(parent, depth, token, frame_id, frames, merge_keys,
+                      row_of, visit, max_rank)
+
+
+def _union_sources(trees, union: _UnionRows):
+    """Per-result-row (input-tree, input-row) refs in contribution order."""
+    np = _np
+    parts_res = []
+    parts_tree = []
+    parts_row = []
+    parts_rank = []
+    for index, tree in enumerate(trees):
+        count = tree.n_rows
+        parts_res.append(union.row_of[index])
+        parts_tree.append(np.full(count, index, dtype=np.int64))
+        parts_row.append(np.arange(count, dtype=np.int64))
+        parts_rank.append(index * union.max_rank + union.visit[index])
+    res = np.concatenate(parts_res)
+    rank = np.concatenate(parts_rank)
+    order = np.lexsort((rank, res))
+    start = np.zeros(union.n_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(res, minlength=union.n_rows), out=start[1:])
+    return _UnionSources(list(trees),
+                         np.concatenate(parts_tree)[order],
+                         np.concatenate(parts_row)[order], start)
+
+
+#: Operators the vectorized combine handles; anything else falls back to
+#: the object path.
+_COMBINABLE = frozenset((Aggregation.SUM, Aggregation.MIN, Aggregation.MAX,
+                         Aggregation.MEAN, Aggregation.LAST))
+
+
+def merge_columnar(trees: Sequence[ColumnarViewTree],
+                   remaps: Sequence[Sequence[int]],
+                   operators: Sequence[Aggregation],
+                   schema, shape: str,
+                   base_metrics: int) -> ViewTree:
+    """Vectorized ``aggregate.merge_trees`` over aligned columnar rows.
+
+    One histogram tensor gather-scatter per input tree replaces the
+    per-node dict merging; the statistic columns then fall out of whole-
+    tensor reductions (``sum``/``min``/``max`` along the series axis).
+    """
+    np = _np
+    union = _union_rows(trees)
+    n_rows = union.n_rows
+    n_trees = len(trees)
+    n_ops = len(operators)
+    ops = list(operators)
+    sum_position = ops.index(Aggregation.SUM) if Aggregation.SUM in ops else 0
+
+    hist = np.zeros((n_rows, base_metrics, n_trees), dtype=np.float64)
+    hist_count = np.zeros((n_rows, base_metrics), dtype=np.int64)
+    hist_first = np.full((n_rows, base_metrics), np.iinfo(np.int64).max,
+                         dtype=np.int64)
+    exclusive = np.zeros((n_rows, base_metrics * n_ops), dtype=np.float64)
+    excl_count = np.zeros((n_rows, base_metrics * n_ops), dtype=np.int64)
+    max_metrics = max(base_metrics, 1)
+    for index, tree in enumerate(trees):
+        remap = np.asarray(remaps[index], dtype=np.int64)
+        rows, cols = np.nonzero(tree.incl_present)
+        res = union.row_of[index][rows]
+        unified = remap[cols]
+        hist[res, unified, index] = tree.inclusive[rows, cols]
+        hist_count[res, unified] += 1
+        rank = ((index * union.max_rank + union.visit[index][rows])
+                * max_metrics + cols)
+        np.minimum.at(hist_first, (res, unified), rank)
+        rows, cols = np.nonzero(tree.excl_present)
+        res = union.row_of[index][rows]
+        stat = remap[cols] * n_ops + sum_position
+        exclusive[res, stat] += tree.exclusive[rows, cols]
+        excl_count[res, stat] += 1
+    hist_present = hist_count > 0
+
+    inclusive = np.zeros((n_rows, base_metrics * n_ops), dtype=np.float64)
+    incl_present = np.zeros((n_rows, base_metrics * n_ops), dtype=bool)
+    for position, op in enumerate(ops):
+        if op is Aggregation.SUM:
+            stat = hist.sum(axis=2)
+        elif op is Aggregation.MIN:
+            stat = hist.min(axis=2) if n_trees else hist.sum(axis=2)
+        elif op is Aggregation.MAX:
+            stat = hist.max(axis=2) if n_trees else hist.sum(axis=2)
+        elif op is Aggregation.MEAN:
+            stat = hist.sum(axis=2) / max(n_trees, 1)
+        else:  # LAST
+            stat = hist[:, :, -1] if n_trees else hist.sum(axis=2)
+        inclusive[:, position::n_ops] = stat
+        incl_present[:, position::n_ops] = hist_present
+
+    cvt = ColumnarViewTree(
+        parent=union.parent, depth=union.depth, token=union.token,
+        frame_id=union.frame_id, frames=union.frames,
+        merge_keys=union.merge_keys, shape=shape,
+        inclusive=inclusive, incl_present=incl_present,
+        exclusive=exclusive, excl_present=excl_count > 0,
+        hist=hist, hist_present=hist_present, hist_first=hist_first,
+        n_series=n_trees, row_sources=_union_sources(trees, union))
+    return ViewTree.columnar_backed(schema, shape, cvt)
+
+
+def diff_columnar(base: ColumnarViewTree, treatment: ColumnarViewTree,
+                  base_remap: Sequence[int], treat_remap: Sequence[int],
+                  schema, shape: str, metric_index: int,
+                  tolerance: float) -> ViewTree:
+    """Vectorized ``diff.diff_trees`` over two aligned columnar trees."""
+    np = _np
+    union = _union_rows([base, treatment])
+    n_rows = union.n_rows
+    n_metrics = len(schema)
+
+    def scatter(tree, mapping, remap_cols, matrix, presence, count, attr):
+        rows, cols = np.nonzero(presence)
+        res = mapping[rows]
+        unified = remap_cols[cols]
+        matrix[res, unified] += getattr(tree, attr)[rows, cols]
+        count[res, unified] += 1
+
+    base_cols = np.asarray(base_remap, dtype=np.int64)
+    treat_cols = np.asarray(treat_remap, dtype=np.int64)
+    baseline = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    base_count = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    scatter(base, union.row_of[0], base_cols, baseline, base.incl_present,
+            base_count, "inclusive")
+    inclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    incl_count = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    scatter(treatment, union.row_of[1], treat_cols, inclusive,
+            treatment.incl_present, incl_count, "inclusive")
+    exclusive = np.zeros((n_rows, n_metrics), dtype=np.float64)
+    excl_count = np.zeros((n_rows, n_metrics), dtype=np.int64)
+    scatter(treatment, union.row_of[1], treat_cols, exclusive,
+            treatment.excl_present, excl_count, "exclusive")
+
+    in_base = np.zeros(n_rows, dtype=bool)
+    in_base[union.row_of[0]] = True
+    in_treat = np.zeros(n_rows, dtype=bool)
+    in_treat[union.row_of[1]] = True
+    before = baseline[:, metric_index]
+    after = inclusive[:, metric_index]
+    codes = np.full(n_rows, _TAG_CODE["="], dtype=np.int8)
+    codes[after > before + tolerance] = _TAG_CODE["+"]
+    codes[after < before - tolerance] = _TAG_CODE["-"]
+    codes[in_base & ~in_treat] = _TAG_CODE["D"]
+    codes[in_treat & ~in_base] = _TAG_CODE["A"]
+    codes[0] = 0
+
+    cvt = ColumnarViewTree(
+        parent=union.parent, depth=union.depth, token=union.token,
+        frame_id=union.frame_id, frames=union.frames,
+        merge_keys=union.merge_keys, shape=shape,
+        inclusive=inclusive, incl_present=incl_count > 0,
+        exclusive=exclusive, excl_present=excl_count > 0,
+        baseline=baseline, base_present=base_count > 0, tag_codes=codes,
+        row_sources=_union_sources([base, treatment], union))
+    return ViewTree.columnar_backed(schema, shape, cvt)

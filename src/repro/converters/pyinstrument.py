@@ -19,6 +19,18 @@ from ..errors import FormatError
 from .base import Converter, register
 
 
+def _seconds(value: object, what: str) -> float:
+    """Coerce a JSON time field to float, treating null as absent."""
+    if value is None:
+        return 0.0
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise FormatError(
+            "pyinstrument %s must be numeric, got %r" % (what, value)
+        ) from exc
+
+
 def parse(data: bytes) -> Profile:
     """Convert pyinstrument's JSON session output."""
     try:
@@ -33,7 +45,8 @@ def parse(data: bytes) -> Profile:
 
     builder = ProfileBuilder(
         tool="pyinstrument",
-        duration_nanos=int(float(payload.get("duration", 0)) * 1e9))
+        duration_nanos=int(_seconds(payload.get("duration"), "duration")
+                           * 1e9))
     time_metric = builder.metric("wall_time", unit="nanoseconds")
 
     # Iterative walk carrying the path.
@@ -49,8 +62,8 @@ def parse(data: bytes) -> Profile:
         if not isinstance(children, list) or not all(
                 isinstance(c, dict) for c in children):
             raise FormatError("pyinstrument children must be objects")
-        inclusive = float(node.get("time", 0.0))
-        child_time = sum(float(child.get("time", 0.0))
+        inclusive = _seconds(node.get("time"), "frame time")
+        child_time = sum(_seconds(child.get("time"), "frame time")
                          for child in children)
         self_time = max(inclusive - child_time, 0.0)
         if self_time > 0:

@@ -192,11 +192,103 @@ def _update_points(h, profile: "Profile") -> None:
             h.update(_PACK_INT(context.depth()))
 
 
+def _update_viewtree_columnar(h, cvt) -> None:
+    """Feed the hash a view tree's walk straight from columnar arrays.
+
+    Byte-identical to the object walk in :func:`viewtree_digest`: the
+    pre-order visits children ranked by ``repr(merge_key)`` (the object
+    walk's sort key), and each value plane — inclusive, exclusive,
+    baseline, histogram — becomes one structured-array encode over its
+    written cells, sliced per row by a cumulative byte offset.
+    """
+    import numpy as np
+
+    n = cvt.n_rows
+    frame_chunks = [_ENTER + _frame_bytes(frame) for frame in cvt.frames]
+
+    def cell_parts(matrix, presence):
+        rows, cols = np.nonzero(presence)
+        cells = np.empty(rows.size, dtype=[("i", "<i8"), ("v", "<f8")])
+        cells["i"] = cols
+        cells["v"] = matrix[rows, cols]
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n) * 16, out=starts[1:])
+        return memoryview(cells.tobytes()), starts.tolist()
+
+    incl_stream, incl_starts = cell_parts(cvt.inclusive, cvt.incl_present)
+    excl_stream, excl_starts = cell_parts(cvt.exclusive, cvt.excl_present)
+    base_stream = base_starts = None
+    if cvt.baseline is not None:
+        base_stream, base_starts = cell_parts(cvt.baseline, cvt.base_present)
+    hist_stream = hist_starts = None
+    if cvt.hist is not None:
+        length = cvt.n_series
+        dtype = np.dtype([("i", "<i8"), ("l", "<i8"),
+                          ("v", "<f8", (length,))])
+        rows, cols = np.nonzero(cvt.hist_present)
+        cells = np.empty(rows.size, dtype=dtype)
+        cells["i"] = cols
+        cells["l"] = length
+        cells["v"] = cvt.hist[rows, cols]
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n) * dtype.itemsize,
+                  out=starts[1:])
+        hist_stream, hist_starts = memoryview(cells.tobytes()), starts.tolist()
+    empty_tag = _PACK_INT(0)
+    tag_chunks = None
+    if cvt.tag_codes is not None:
+        from ..analysis.viewtree_columnar import _TAGS
+        variants = []
+        for tag in _TAGS:
+            data = (tag or "").encode("utf-8", "surrogatepass")
+            variants.append(_PACK_INT(len(data)) + data)
+        tag_chunks = [variants[code] for code in cvt.tag_codes.tolist()]
+
+    ranking = sorted(range(len(cvt.merge_keys)),
+                     key=lambda t: repr(cvt.merge_keys[t]))
+    rank = np.empty(len(cvt.merge_keys), dtype=np.int64)
+    rank[ranking] = np.arange(len(ranking), dtype=np.int64)
+    pre = cvt.visit_positions((rank[cvt.token],))
+    exits = np.bincount(pre + cvt.subtree_sizes() - 1, minlength=n)
+    seq = np.empty(n, dtype=np.int64)
+    seq[pre] = np.arange(n, dtype=np.int64)
+    fid = cvt.frame_id.tolist()
+    out = bytearray()
+    # Both seq and exits are indexed by pre-order position.
+    for node, exit_count in zip(seq.tolist(), exits.tolist()):
+        out += frame_chunks[fid[node]]
+        out += incl_stream[incl_starts[node]:incl_starts[node + 1]]
+        out += _SEP
+        out += excl_stream[excl_starts[node]:excl_starts[node + 1]]
+        out += _SEP
+        out += tag_chunks[node] if tag_chunks is not None else empty_tag
+        if base_stream is not None:
+            out += base_stream[base_starts[node]:base_starts[node + 1]]
+        out += _SEP
+        if hist_stream is not None:
+            out += hist_stream[hist_starts[node]:hist_starts[node + 1]]
+        out += _SEP
+        if exit_count:
+            out += _EXIT * exit_count
+        if len(out) >= 1 << 20:
+            h.update(out)
+            del out[:]
+    h.update(out)
+
+
 def viewtree_digest(tree: "ViewTree") -> str:
     """Hex digest of a view tree's schema, shape, structure, and values."""
     h = _new_hash()
     _update_str(h, tree.shape)
     _update_schema(h, tree.schema)
+
+    columnar = getattr(tree, "columnar", None)
+    cvt = columnar() if columnar is not None else None
+    if cvt is not None:
+        # Digest straight off the arrays — same bytes, no ViewNode
+        # materialization.
+        _update_viewtree_columnar(h, cvt)
+        return h.hexdigest()
 
     stack = [(tree.root, False)]
     while stack:

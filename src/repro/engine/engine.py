@@ -355,7 +355,16 @@ def invalidate_everywhere(value: Any) -> int:
     module's ``add_delta_column``) call this so a mutated tree is never
     served under its pre-mutation content key, whichever engine cached it.
     Returns the total number of entries dropped.
+
+    Columnar-backed view trees additionally drop their array backing here
+    (after forcing the facade, so pending lazy reads keep pre-mutation
+    values out of the picture): the mutators write through the ``ViewNode``
+    objects, and a survivor columnar plane would keep serving — and
+    digesting — the stale values.
     """
+    mark = getattr(value, "mark_mutated", None)
+    if mark is not None:
+        mark()
     return sum(engine.invalidate_value(value) for engine in list(_live_engines))
 
 

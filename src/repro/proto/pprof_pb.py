@@ -1150,7 +1150,9 @@ def dumps(profile: Profile, compress: bool = True) -> bytes:
     with _tracer.span("codec.pprof.serialize", compress=compress):
         raw = profile.serialize()
         if compress:
-            return gzip.compress(raw, compresslevel=6)
+            # mtime=0 keeps the gzip header free of the wall clock so
+            # serializing the same profile twice yields identical bytes.
+            return gzip.compress(raw, compresslevel=6, mtime=0)
         return raw
 
 

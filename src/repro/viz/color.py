@@ -37,15 +37,22 @@ def _stable_unit(text: str) -> float:
 
 
 def frame_color(node: ViewNode) -> RGB:
-    """The fill color for a node's block.
+    """The fill color for a node's block (see :func:`frame_rgb`)."""
+    return frame_rgb(node.frame)
+
+
+def frame_rgb(frame) -> RGB:
+    """The fill color for a frame.
 
     Hue: hashed from the frame's module (falling back to file, then name),
     so frames of one library share a hue family.  Within the family, the
     exact hue is hashed from the function name.  Lightness: frames *with*
     line mapping draw saturated; frames without draw washed out — the
     paper's "darkness represents availability of source line mapping".
+
+    Colors depend only on the frame, so columnar layouts compute one color
+    per frame-table entry and broadcast it across every rect sharing it.
     """
-    frame = node.frame
     if frame.kind is FrameKind.ROOT:
         return (208, 208, 208)
     low, high = _KIND_HUE.get(frame.kind, (0.0, 55.0))

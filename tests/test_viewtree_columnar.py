@@ -1,0 +1,388 @@
+"""Differential oracle for the columnar view pipeline.
+
+The array-backed view trees (:mod:`repro.analysis.viewtree_columnar`) and
+the per-``ViewNode`` object transforms must be observably identical: same
+materialized trees (child insertion order included), same digests, same
+aggregate and diff results, same flame-graph rectangles.  The object path
+is kept alive purely as the oracle these tests hold the vectorized path
+against — on corpus fixtures, synthetic workloads, a 10k-deep call chain,
+and randomized trees via hypothesis round-trips.  Also here: regression
+tests for the invalidation fix that landed with the pipeline (a mutated
+facade must drop its columnar backing, or digests serve stale bytes).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import formula
+from repro.analysis.aggregate import merge_trees
+from repro.analysis.diff import add_delta_column, diff_trees, summarize
+from repro.analysis.transform import bottom_up, flat, top_down, transform
+from repro.analysis.viewtree import ViewNode, ViewTree, default_merge_key
+from repro.analysis import viewtree_columnar
+from repro.converters import pprof
+from repro.core.cct_columnar import from_cct
+from repro.core.digest import viewtree_digest
+from repro.core.frame import FrameKind, intern_frame
+from repro.core.metric import Aggregation, Metric, MetricSchema
+from repro.profilers.corpus import generate_bytes, tier
+from repro.profilers.workloads import (deep_path_profile, lulesh_profile,
+                                       spark_profile)
+
+np = pytest.importorskip("numpy")
+
+SHAPES = ("top_down", "bottom_up", "flat")
+
+
+def assert_views_identical(a, b, check_sources=True):
+    """Bitwise view-tree equality, child insertion order included."""
+    stack = [(a.root, b.root)]
+    while stack:
+        x, y = stack.pop()
+        assert x.frame == y.frame
+        assert x.exclusive == y.exclusive
+        assert x.inclusive == y.inclusive
+        assert x.tag == y.tag
+        assert x.baseline == y.baseline
+        assert x.histogram == y.histogram
+        assert list(x.children) == list(y.children)
+        if check_sources:
+            assert len(x.sources) == len(y.sources)
+            assert (sorted(s.frame.key() for s in x.sources)
+                    == sorted(s.frame.key() for s in y.sources))
+        stack.extend(zip(x.children.values(), y.children.values()))
+
+
+def _pair(raw):
+    """(columnar-backed, object-only) profiles off the same bytes."""
+    return pprof.parse(raw), pprof.parse_object(raw)
+
+
+def _attach(profile):
+    """Give an object-built workload profile a columnar CCT."""
+    profile.attach_columnar(from_cct(profile.cct, len(profile.schema)))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def corpus_raw():
+    return generate_bytes(tier("small"), compress=False)
+
+
+@pytest.fixture(scope="module")
+def corpus_raw_alt():
+    return generate_bytes(dataclasses.replace(tier("small"), seed=99),
+                          compress=False)
+
+
+class TestTransformOracle:
+    """Each vectorized transform vs the object transform, bit for bit."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_corpus(self, corpus_raw, shape):
+        col_profile, obj_profile = _pair(corpus_raw)
+        col_tree = transform(col_profile, shape)
+        obj_tree = transform(obj_profile, shape)
+        assert col_tree.columnar() is not None
+        assert obj_tree.columnar() is None
+        assert_views_identical(col_tree, obj_tree)
+        assert viewtree_digest(col_tree) == viewtree_digest(obj_tree)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("workload", [lulesh_profile, spark_profile])
+    def test_workloads(self, workload, shape):
+        col_profile = _attach(workload())
+        obj_profile = workload()
+        assert col_profile.columnar() is not None
+        col_tree = transform(col_profile, shape)
+        obj_tree = transform(obj_profile, shape)
+        assert col_tree.columnar() is not None
+        assert_views_identical(col_tree, obj_tree)
+        assert viewtree_digest(col_tree) == viewtree_digest(obj_tree)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_deep_chain(self, shape):
+        col_profile = _attach(deep_path_profile())
+        obj_profile = deep_path_profile()
+        col_tree = transform(col_profile, shape)
+        obj_tree = transform(obj_profile, shape)
+        assert col_tree.columnar() is not None
+        assert_views_identical(col_tree, obj_tree)
+        assert viewtree_digest(col_tree) == viewtree_digest(obj_tree)
+
+    def test_custom_key_fn_stays_object(self, corpus_raw):
+        col_profile, _ = _pair(corpus_raw)
+        tree = top_down(col_profile, key_fn=lambda f: f.name)
+        assert tree.columnar() is None  # custom keys bypass the fast path
+
+
+class TestAggregateOracle:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_merge(self, corpus_raw, corpus_raw_alt, shape):
+        col = [transform(pprof.parse(corpus_raw), shape),
+               transform(pprof.parse(corpus_raw_alt), shape)]
+        obj = [transform(pprof.parse_object(corpus_raw), shape),
+               transform(pprof.parse_object(corpus_raw_alt), shape)]
+        merged_col = merge_trees(col)
+        merged_obj = merge_trees(obj)
+        assert merged_col.columnar() is not None
+        assert_views_identical(merged_col, merged_obj)
+        assert viewtree_digest(merged_col) == viewtree_digest(merged_obj)
+
+    def test_merge_of_merges(self, corpus_raw, corpus_raw_alt):
+        """Nested merges keep the columnar path and stay lazy."""
+        col = [transform(pprof.parse(corpus_raw), "top_down"),
+               transform(pprof.parse(corpus_raw_alt), "top_down")]
+        obj = [transform(pprof.parse_object(corpus_raw), "top_down"),
+               transform(pprof.parse_object(corpus_raw_alt), "top_down")]
+        nested_col = merge_trees([merge_trees(col), merge_trees(col)],
+                                 operators=(Aggregation.SUM,))
+        nested_obj = merge_trees([merge_trees(obj), merge_trees(obj)],
+                                 operators=(Aggregation.SUM,))
+        assert nested_col.columnar() is not None
+        assert_views_identical(nested_col, nested_obj)
+
+    def test_stat_operator_coverage(self, corpus_raw, corpus_raw_alt):
+        """Every aggregation operator, columnar vs object."""
+        operators = (Aggregation.SUM, Aggregation.MIN, Aggregation.MAX,
+                     Aggregation.MEAN, Aggregation.LAST)
+        col = [transform(pprof.parse(corpus_raw), "top_down"),
+               transform(pprof.parse(corpus_raw_alt), "top_down")]
+        obj = [transform(pprof.parse_object(corpus_raw), "top_down"),
+               transform(pprof.parse_object(corpus_raw_alt), "top_down")]
+        merged_col = merge_trees(col, operators=operators)
+        merged_obj = merge_trees(obj, operators=operators)
+        assert merged_col.columnar() is not None
+        assert_views_identical(merged_col, merged_obj)
+        assert viewtree_digest(merged_col) == viewtree_digest(merged_obj)
+
+
+class TestDiffOracle:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_diff(self, corpus_raw, corpus_raw_alt, shape):
+        diff_col = diff_trees(transform(pprof.parse(corpus_raw), shape),
+                              transform(pprof.parse(corpus_raw_alt), shape))
+        diff_obj = diff_trees(
+            transform(pprof.parse_object(corpus_raw), shape),
+            transform(pprof.parse_object(corpus_raw_alt), shape))
+        assert diff_col.columnar() is not None
+        assert_views_identical(diff_col, diff_obj)
+        assert viewtree_digest(diff_col) == viewtree_digest(diff_obj)
+        assert summarize(diff_col) == summarize(diff_obj)
+
+    def test_diff_tolerance(self, corpus_raw, corpus_raw_alt):
+        diff_col = diff_trees(
+            transform(pprof.parse(corpus_raw), "top_down"),
+            transform(pprof.parse(corpus_raw_alt), "top_down"),
+            tolerance=50.0)
+        diff_obj = diff_trees(
+            transform(pprof.parse_object(corpus_raw), "top_down"),
+            transform(pprof.parse_object(corpus_raw_alt), "top_down"),
+            tolerance=50.0)
+        assert diff_col.columnar() is not None
+        assert summarize(diff_col) == summarize(diff_obj)
+        assert_views_identical(diff_col, diff_obj)
+
+    def test_self_diff_all_same(self, corpus_raw):
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        diffed = diff_trees(tree, tree)
+        assert diffed.columnar() is not None
+        tags = summarize(diffed)
+        assert set(tags) == {"="}
+
+
+class TestMutationInvalidation:
+    """A mutated facade must drop its columnar backing (the satellite fix:
+    without ``invalidate_everywhere`` → ``mark_mutated``, the digest and
+    serialization paths read pre-mutation array bytes)."""
+
+    def test_derive_drops_backing_and_redigests(self, corpus_raw):
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        assert tree.columnar() is not None
+        before = viewtree_digest(tree)
+        first = tree.schema.names()[0]
+        column = formula.derive(tree, "doubled", "2 * %s" % first)
+        assert tree.columnar() is None
+        assert viewtree_digest(tree) != before
+        root = tree.root
+        assert root.inclusive[column] == 2 * root.inclusive.get(0, 0.0)
+
+    def test_derive_matches_object_path(self, corpus_raw):
+        col_tree = transform(pprof.parse(corpus_raw), "top_down")
+        obj_tree = transform(pprof.parse_object(corpus_raw), "top_down")
+        first = col_tree.schema.names()[0]
+        formula.derive(col_tree, "doubled", "2 * %s" % first)
+        formula.derive(obj_tree, "doubled", "2 * %s" % first)
+        assert_views_identical(col_tree, obj_tree)
+        assert viewtree_digest(col_tree) == viewtree_digest(obj_tree)
+
+    def test_sources_resolve_after_mutation(self, corpus_raw):
+        """Lazy source parts must survive the backing being dropped."""
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        formula.derive(tree, "d", "1 + %s" % tree.schema.names()[0])
+        child = tree.root.sorted_children()[0]
+        assert len(child.sources) > 0
+        assert all(source.frame is not None for source in child.sources)
+
+    def test_add_delta_column_drops_backing(self, corpus_raw,
+                                            corpus_raw_alt):
+        diffed = diff_trees(
+            transform(pprof.parse(corpus_raw), "top_down"),
+            transform(pprof.parse(corpus_raw_alt), "top_down"))
+        assert diffed.columnar() is not None
+        before = viewtree_digest(diffed)
+        add_delta_column(diffed, 0)
+        assert diffed.columnar() is None
+        assert viewtree_digest(diffed) != before
+
+
+class TestLayoutOracle:
+    """Flame rects from preorder arrays vs the object stack walk."""
+
+    @staticmethod
+    def _assert_layouts_identical(col_layout, obj_layout):
+        assert col_layout.geometry is not None
+        assert obj_layout.geometry is None
+        assert col_layout.laid_out_nodes == obj_layout.laid_out_nodes
+        assert col_layout.skipped_nodes == obj_layout.skipped_nodes
+        assert col_layout.max_depth == obj_layout.max_depth
+        assert col_layout.total_value == obj_layout.total_value
+        assert len(col_layout.rects) == len(obj_layout.rects)
+        for ours, theirs in zip(col_layout.rects, obj_layout.rects):
+            assert ours.node.frame == theirs.node.frame
+            assert ours.depth == theirs.depth
+            assert ours.width == theirs.width
+            # x accumulates sibling widths with a different float
+            # association (grouped prefix sums vs a serial cursor) — equal
+            # to rounding, not bitwise.
+            assert ours.x == pytest.approx(theirs.x, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("kwargs", [
+        {}, {"min_width": 0.0}, {"min_width": 5.0}, {"max_depth": 3},
+        {"max_depth": 0}, {"canvas_width": 640.0, "min_width": 2.0}])
+    def test_corpus_layouts(self, corpus_raw, shape, kwargs):
+        from repro.viz.layout import layout
+        col_tree = transform(pprof.parse(corpus_raw), shape)
+        obj_tree = transform(pprof.parse_object(corpus_raw), shape)
+        self._assert_layouts_identical(layout(col_tree, **kwargs),
+                                       layout(obj_tree, **kwargs))
+
+    def test_merge_and_diff_layouts(self, corpus_raw, corpus_raw_alt):
+        from repro.viz.layout import layout
+        col = [transform(pprof.parse(corpus_raw), "top_down"),
+               transform(pprof.parse(corpus_raw_alt), "top_down")]
+        obj = [transform(pprof.parse_object(corpus_raw), "top_down"),
+               transform(pprof.parse_object(corpus_raw_alt), "top_down")]
+        self._assert_layouts_identical(layout(merge_trees(col)),
+                                       layout(merge_trees(obj)))
+        self._assert_layouts_identical(
+            layout(diff_trees(col[0], col[1]), metric_index=1),
+            layout(diff_trees(obj[0], obj[1]), metric_index=1))
+
+    def test_geometry_is_lazy(self, corpus_raw):
+        from repro.viz.layout import layout
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        laid = layout(tree)
+        assert tree._root is None  # geometry came without materializing
+        geometry = laid.geometry
+        assert len(laid.rects) == geometry.row.shape[0] > 0
+        colors = geometry.colors()
+        assert len(colors) == len(laid.rects)
+        assert tree._root is None
+        # Touching a rect's node forces the facade exactly once.
+        first = laid.rects[0]
+        assert first.node is tree.root
+        assert tree._root is not None
+
+    def test_geometry_colors_match_object_colors(self, corpus_raw):
+        from repro.viz.color import frame_color
+        from repro.viz.layout import layout
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        laid = layout(tree)
+        colors = laid.geometry.colors()
+        for rect, color in zip(laid.rects, colors):
+            assert frame_color(rect.node) == color
+
+    def test_zoomed_layout_uses_object_path(self, corpus_raw):
+        from repro.viz.layout import layout
+        tree = transform(pprof.parse(corpus_raw), "top_down")
+        zoom_root = tree.root.sorted_children()[0]
+        zoomed = layout(tree, root=zoom_root)
+        assert zoomed.geometry is None
+        assert zoomed.rects[0].node is zoom_root
+
+
+class TestRoundTrip:
+    """columnar → facade → from_viewtree → facade fixpoint."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_corpus_round_trip(self, corpus_raw, shape):
+        tree = transform(pprof.parse(corpus_raw), shape)
+        cvt = tree.columnar()
+        assert cvt is not None
+        digest = viewtree_digest(tree)
+        tree.root  # materialize the facade
+        stored = viewtree_columnar.from_viewtree(tree)
+        assert stored is not None
+        assert stored.default_keys is False
+        round_trip = ViewTree.columnar_backed(tree.schema.copy(), tree.shape,
+                                              stored)
+        assert viewtree_digest(round_trip) == digest
+        assert_views_identical(round_trip, tree)
+
+
+# -- hypothesis round-trips ------------------------------------------------
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+_files = st.sampled_from(["a.py", "b.py", ""])
+_values = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                    width=32)
+
+
+@st.composite
+def _view_trees(draw):
+    schema = MetricSchema()
+    n_metrics = draw(st.integers(min_value=1, max_value=3))
+    for i in range(n_metrics):
+        schema.add(Metric(name="m%d" % i, unit="u",
+                          aggregation=Aggregation.SUM))
+    tree = ViewTree(schema)
+    nodes = [tree.root]
+    count = draw(st.integers(min_value=0, max_value=24))
+    for index in range(count):
+        parent = nodes[draw(st.integers(min_value=0,
+                                        max_value=len(nodes) - 1))]
+        frame = intern_frame(name=draw(_names), file=draw(_files),
+                             line=draw(st.integers(0, 3)),
+                             kind=FrameKind.FUNCTION)
+        node = parent.child(frame, default_merge_key)
+        for i in range(n_metrics):
+            if draw(st.booleans()):
+                node.add_inclusive(i, draw(_values))
+            if draw(st.booleans()):
+                node.add_exclusive(i, draw(_values))
+        if draw(st.booleans()):
+            node.histogram[draw(st.integers(0, n_metrics - 1))] = [
+                draw(_values), draw(_values)]
+        nodes.append(node)
+    return tree
+
+
+@given(_view_trees())
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_columnar_facade_round_trip(tree):
+    stored = viewtree_columnar.from_viewtree(tree)
+    assert stored is not None
+    facade = ViewTree.columnar_backed(tree.schema.copy(), tree.shape, stored)
+    assert facade.node_count() == tree.node_count()
+    assert viewtree_digest(facade) == viewtree_digest(tree)
+    assert_views_identical(facade, tree, check_sources=False)
+    # And the facade, once materialized, re-encodes to the same digest.
+    facade.root
+    again = viewtree_columnar.from_viewtree(facade)
+    assert again is not None
+    second = ViewTree.columnar_backed(tree.schema.copy(), tree.shape, again)
+    assert viewtree_digest(second) == viewtree_digest(tree)
